@@ -1,0 +1,117 @@
+// Ablation: passive-DNS coverage vs an ISP resolver feed (Sec. 7.4).
+//
+// The baseline methodology runs on an external passive-DNS database with
+// coverage gaps (15 of the catalog's domains are missing; only 8 are
+// recoverable via certificate scans). This bench rebuilds the rule set
+// with the resolver-feed pathway added: wire-format DNS responses for the
+// gap domains are ingested through dns::ResolverFeed, which repairs the
+// database and rescues services the baseline loses.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/infra_classifier.hpp"
+#include "dns/resolver_feed.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+  const auto& catalog = world.catalog();
+  const auto& backend = world.backend();
+
+  // Baseline: the standard rule set (built from DNSDB + cert scans).
+  const core::RuleSet& baseline = world.rules();
+
+  // Resolver feed: replay synthetic resolver responses for every catalog
+  // domain (the ISP resolver sees what devices actually ask), on every
+  // study day — including the 15 DNSDB-missing domains.
+  dns::PassiveDnsDb repaired;
+  // Start from the external database contents by re-adding what it knows…
+  // simpler and more honest: feed *all* domains through the resolver path.
+  dns::ResolverFeed feed{repaired};
+  for (const auto& dom : catalog.domains()) {
+    feed.allow_sld(dom.fqdn.registrable());
+  }
+  std::uint64_t messages = 0;
+  for (const auto& unit : catalog.units()) {
+    for (const auto* dom : catalog.domains_of(unit.id)) {
+      for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+        std::vector<dns::WireRecord> answers;
+        const auto& hosting = backend.hosting_of(unit.id, dom->index);
+        dns::Fqdn owner = dom->fqdn;
+        if (hosting.cname.valid()) {
+          dns::WireRecord cname;
+          cname.name = dom->fqdn;
+          cname.type = dns::WireType::kCname;
+          cname.ttl = 300;
+          cname.target = hosting.cname;
+          answers.push_back(cname);
+          owner = hosting.cname;
+        }
+        for (const auto& ip : backend.ips_of(unit.id, dom->index, day)) {
+          dns::WireRecord a;
+          a.name = owner;
+          a.type = dns::WireType::kA;
+          a.ttl = 300;
+          a.address = ip;
+          answers.push_back(a);
+        }
+        const auto msg = dns::encode_response(
+            static_cast<std::uint16_t>(messages), dom->fqdn, answers);
+        feed.ingest(msg, day);
+        ++messages;
+      }
+    }
+  }
+  // The CDN co-tenancy evidence still comes from the external database
+  // (a resolver only sees its own customers' queries): merge it in.
+  // Here we approximate by reusing the backend's pdns for the tenant
+  // names, which the classifier reads through the repaired db only. To
+  // keep shared domains classified shared, replay the tenant records too.
+  for (const auto& unit : catalog.units()) {
+    for (const auto* dom : catalog.domains_of(unit.id)) {
+      const auto& hosting = backend.hosting_of(unit.id, dom->index);
+      if (!hosting.shared) continue;
+      for (const auto& ip : hosting.daily_ips[0]) {
+        for (const auto& tenant :
+             backend.pdns().domains_on(ip, {0, util::kStudyDays - 1})) {
+          repaired.add_a(tenant, ip, 0, util::kStudyDays - 1);
+        }
+      }
+    }
+  }
+
+  const core::InfraClassifier classifier{repaired, backend.scans(), 0,
+                                         util::kStudyDays - 1};
+  const auto with_feed = core::generate_rules(
+      simnet::build_service_specs(backend), classifier,
+      core::RuleGenConfig{});
+
+  util::print_banner(std::cout,
+                     "Ablation: external passive DNS vs ISP resolver feed");
+  util::TextTable table;
+  table.header({"Metric", "DNSDB + cert scans", "Resolver feed"});
+  table.row({"Detection rules", std::to_string(baseline.rules.size()),
+             std::to_string(with_feed.rules.size())});
+  table.row({"Excluded services", std::to_string(baseline.excluded.size()),
+             std::to_string(with_feed.excluded.size())});
+  table.row({"Domains without data",
+             std::to_string(baseline.stats.unresolved),
+             std::to_string(with_feed.stats.unresolved)});
+  table.row({"Hitlist entries",
+             std::to_string(baseline.hitlist.total_size()),
+             std::to_string(with_feed.hitlist.total_size())});
+  table.print(std::cout);
+
+  std::cout << "\nResolver feed processed " << util::fmt_count(messages)
+            << " DNS responses (" << feed.stats().answers_kept
+            << " answers kept). Services rescued by the feed:";
+  for (const auto& rule : with_feed.rules) {
+    if (baseline.rule_by_name(rule.name) == nullptr) {
+      std::cout << ' ' << rule.name;
+    }
+  }
+  std::cout << "\n(The paper's Sec. 7.4: resolver access would simplify "
+               "the methodology — at a real privacy cost, which is why "
+               "the feed is allowlist-scoped.)\n";
+  return 0;
+}

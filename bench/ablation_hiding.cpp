@@ -1,0 +1,100 @@
+// Ablation: hiding an IoT service behind shared infrastructure.
+//
+// Sec. 7.4: "Given that we are unable to identify IoT services if they are
+// using shared infrastructures (e.g., CDNs), this also points out a good
+// way to hide IoT services." This bench takes detectable services and
+// re-hosts growing fractions of their domains on the shared CDN, showing
+// how detectability degrades and at what point the rule generator drops
+// the service entirely.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/infra_classifier.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+  const auto& backend = world.backend();
+
+  // Build a synthetic passive-DNS view in which the first K primary
+  // domains of each targeted service are CDN-fronted (co-tenant records
+  // make them classify shared); the rest keep their real records.
+  const std::vector<std::string> kTargets = {"Amazon Product", "Yi Camera",
+                                             "Ring Doorbell"};
+
+  util::print_banner(std::cout,
+                     "Ablation: CDN-fronting as a hiding countermeasure");
+  util::TextTable table;
+  table.header({"Service", "Fronted fraction", "Monitored domains",
+                "Rule survives"});
+
+  for (const auto& target : kTargets) {
+    const auto* unit = world.catalog().unit_by_name(target);
+    for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      dns::PassiveDnsDb pdns;
+      const auto cdn_ip = *net::IpAddress::parse("23.0.0.250");
+      pdns.add_a(dns::Fqdn{"othertenant.example.com"}, cdn_ip, 0,
+                 util::kStudyDays - 1);
+
+      // Copy the real records, fronting the first K primary domains of the
+      // target (and only those).
+      for (const auto& u : world.catalog().units()) {
+        unsigned primaries_seen = 0;
+        for (const auto* dom : world.catalog().domains_of(u.id)) {
+          const bool front =
+              u.id == unit->id &&
+              dom->role == simnet::DomainRole::kPrimary &&
+              static_cast<double>(primaries_seen) <
+                  fraction * unit->primary_domains;
+          if (dom->role == simnet::DomainRole::kPrimary) ++primaries_seen;
+          if (dom->dnsdb_missing) continue;
+          if (front) {
+            pdns.add_cname(dom->fqdn,
+                           dns::Fqdn{dom->fqdn.str() + ".edge.simcdn.net"},
+                           0, util::kStudyDays - 1);
+            pdns.add_a(dns::Fqdn{dom->fqdn.str() + ".edge.simcdn.net"},
+                       cdn_ip, 0, util::kStudyDays - 1);
+          } else {
+            const auto& hosting = backend.hosting_of(u.id, dom->index);
+            const dns::Fqdn* head = &dom->fqdn;
+            if (hosting.cname.valid()) {
+              pdns.add_cname(dom->fqdn, hosting.cname, 0,
+                             util::kStudyDays - 1);
+              head = &hosting.cname;
+            }
+            for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+              for (const auto& ip : hosting.daily_ips[day]) {
+                pdns.add_a(*head, ip, day, day);
+              }
+            }
+            if (hosting.shared) {
+              for (const auto& ip : hosting.daily_ips[0]) {
+                for (const auto& tenant : backend.pdns().domains_on(
+                         ip, {0, util::kStudyDays - 1})) {
+                  pdns.add_a(tenant, ip, 0, util::kStudyDays - 1);
+                }
+              }
+            }
+          }
+        }
+      }
+
+      const core::InfraClassifier classifier{pdns, backend.scans(), 0,
+                                             util::kStudyDays - 1};
+      const auto rules = core::generate_rules(
+          simnet::build_service_specs(backend), classifier,
+          core::RuleGenConfig{});
+      const auto* rule = rules.rule_by_name(target);
+      table.row({target, util::fmt_percent(fraction, 0),
+                 rule != nullptr ? std::to_string(rule->monitored_domains)
+                                 : "0",
+                 rule != nullptr ? "yes" : "NO (hidden)"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nOnce the dedicated fraction falls below the rule "
+               "generator's minimum, the service disappears from the "
+               "hitlist — the vendor has hidden it (at the cost of routing "
+               "all control traffic through a CDN).\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: detection speed vs packet-sampling rate.
+//
+// Sec. 7.4: "The subscriber or device detection speed varies depending ...
+// also on the traffic capture sampling rates. The lower this rate, the
+// more time it may take to detect a specific IoT device." This bench sweeps
+// the sampling interval from 1:100 to 1:100000 over the active ground-truth
+// window and reports detection coverage at 1/24/96 hours (D=0.4).
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "core/detector.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+
+  util::print_banner(std::cout,
+                     "Ablation: detection coverage vs sampling interval "
+                     "(active window, D=0.4)");
+  util::TextTable table;
+  table.header({"Sampling", "within 1h", "within 24h", "within 96h",
+                "never"});
+
+  for (const std::uint32_t interval :
+       {100u, 300u, 1000u, 3000u, 10000u, 30000u, 100000u}) {
+    telemetry::IspVantage vantage{
+        {.sampling = interval, .wire_roundtrip = false}};
+    core::Detector det{world.rules().hitlist, world.rules(),
+                       {.threshold = 0.4}};
+    std::map<core::ServiceId, util::HourBin> first_traffic;
+    for (util::HourBin h = 0; h < util::day_start(4); ++h) {
+      const auto home = world.gt().hour_flows(h);
+      for (const auto& f : home) {
+        if (f.unit && !first_traffic.contains(*f.unit)) {
+          first_traffic[*f.unit] = h;
+        }
+      }
+      for (const auto& f : vantage.observe(home, h)) {
+        det.observe(1, f.flow.key.dst, f.flow.key.dst_port,
+                    f.flow.packets, h);
+      }
+    }
+    unsigned total = 0, w1 = 0, w24 = 0, w96 = 0, never = 0;
+    for (const auto& rule : world.rules().rules) {
+      if (rule.level == core::Level::kPlatform) continue;
+      ++total;
+      const auto dh = det.detection_hour(1, rule.service);
+      if (!dh) {
+        ++never;
+        continue;
+      }
+      const auto t0 = first_traffic.contains(rule.service)
+                          ? first_traffic[rule.service]
+                          : 0;
+      const unsigned latency = *dh - t0;
+      if (latency <= 1) ++w1;
+      if (latency <= 24) ++w24;
+      ++w96;
+    }
+    table.row({"1:" + std::to_string(interval),
+               util::fmt_percent(double(w1) / total),
+               util::fmt_percent(double(w24) / total),
+               util::fmt_percent(double(w96) / total),
+               std::to_string(never)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe ISP's 1:1000 and the IXP's 1:10000 sit on the steep "
+               "part of this curve — the paper's observation that the "
+               "IXP needs daily aggregation where the ISP detects within "
+               "hours.\n";
+  return 0;
+}

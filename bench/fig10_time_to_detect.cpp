@@ -1,0 +1,111 @@
+// Figure 10 reproduction: time to detect every unit from sampled ISP data,
+// per detection threshold D in {0.1 .. 1.0}, for the active and idle
+// ground-truth windows — plus the Sec. 5 summary percentages at D=0.4.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "core/detector.hpp"
+
+using namespace haystack;
+
+namespace {
+
+// Detection latency (hours after the unit's first Home-VP traffic) per
+// service for one window and threshold; missing = not detected.
+std::map<core::ServiceId, unsigned> run_window(const bench::SimWorld& world,
+                                               util::HourBin start,
+                                               util::HourBin end,
+                                               double threshold) {
+  telemetry::IspVantage isp{{.sampling = 1000, .wire_roundtrip = false}};
+  core::Detector det{world.rules().hitlist, world.rules(),
+                     {.threshold = threshold}};
+  std::map<core::ServiceId, util::HourBin> first_traffic;
+  for (util::HourBin h = start; h < end; ++h) {
+    const auto home = world.gt().hour_flows(h);
+    for (const auto& f : home) {
+      if (f.unit && !first_traffic.contains(*f.unit)) {
+        first_traffic[*f.unit] = h;
+      }
+    }
+    for (const auto& f : isp.observe(home, h)) {
+      det.observe(1, f.flow.key.dst, f.flow.key.dst_port, f.flow.packets,
+                  h);
+    }
+  }
+  std::map<core::ServiceId, unsigned> latency;
+  for (const auto& rule : world.rules().rules) {
+    if (const auto dh = det.detection_hour(1, rule.service)) {
+      const auto t0 = first_traffic.contains(rule.service)
+                          ? first_traffic[rule.service]
+                          : start;
+      latency[rule.service] = *dh - t0;
+    }
+  }
+  return latency;
+}
+
+void print_window(const bench::SimWorld& world, const char* label,
+                  util::HourBin start, util::HourBin end) {
+  static constexpr double kThresholds[] = {0.1, 0.25, 0.4, 0.6, 0.8, 1.0};
+  std::map<double, std::map<core::ServiceId, unsigned>> results;
+  for (const double d : kThresholds) {
+    results[d] = run_window(world, start, end, d);
+  }
+
+  util::print_banner(std::cout, std::string{"Figure 10 ("} + label +
+                                    "): hours to detect per threshold D");
+  util::TextTable table;
+  table.header({"Unit (level)", "N", "D=0.1", "D=0.25", "D=0.4", "D=0.6",
+                "D=0.8", "D=1.0"});
+  for (const auto& rule : world.rules().rules) {
+    std::vector<std::string> row{
+        rule.name + " (" + std::string{core::level_name(rule.level)} + ")",
+        std::to_string(rule.monitored_domains)};
+    for (const double d : kThresholds) {
+      const auto it = results[d].find(rule.service);
+      row.push_back(it == results[d].end() ? "-"
+                                           : std::to_string(it->second) + "h");
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Sec. 5 summary at the conservative D=0.4.
+  const auto& at04 = results[0.4];
+  unsigned total = 0, w1 = 0, w24 = 0, w72 = 0;
+  unsigned pr_total = 0, pr1 = 0, pr24 = 0, pr72 = 0;
+  for (const auto& rule : world.rules().rules) {
+    if (rule.level == core::Level::kPlatform) continue;
+    ++total;
+    if (rule.level == core::Level::kProduct) ++pr_total;
+    const auto it = at04.find(rule.service);
+    if (it == at04.end()) continue;
+    const unsigned t = it->second;
+    if (t <= 1) { ++w1; if (rule.level == core::Level::kProduct) ++pr1; }
+    if (t <= 24) { ++w24; if (rule.level == core::Level::kProduct) ++pr24; }
+    if (t <= 72) { ++w72; if (rule.level == core::Level::kProduct) ++pr72; }
+  }
+  std::cout << "\nD=0.4, manufacturer+product units (" << total
+            << "): within 1h " << util::fmt_percent(double(w1) / total)
+            << ", 24h " << util::fmt_percent(double(w24) / total) << ", 72h "
+            << util::fmt_percent(double(w72) / total) << "\n";
+  std::cout << "D=0.4, product-level units (" << pr_total << "): within 1h "
+            << util::fmt_percent(double(pr1) / pr_total) << ", 24h "
+            << util::fmt_percent(double(pr24) / pr_total) << ", 72h "
+            << util::fmt_percent(double(pr72) / pr_total) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::SimWorld world;
+  print_window(world, "active experiments", 0, util::day_start(4));
+  print_window(world, "idle experiments",
+               util::day_start(util::kIdleFirstDay),
+               util::day_start(util::kIdleFirstDay) + 72);
+  std::cout << "\nPaper: active 72/93/96% within 1/24/72h (Man.+Pr., "
+               "D=0.4); idle 40/73/76%; product-level active 63/81/90%; "
+               "6 devices undetectable across the idle window.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 12 reproduction: daily drill-down of the Amazon and Samsung
+// hierarchies — Alexa Enabled ⊇ Amazon Product ⊇ Fire TV, and
+// Samsung IoT ⊇ Samsung TV — at the conservative threshold D=0.4.
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+  const auto alexa = world.service("Alexa Enabled");
+  const auto amazon = world.service("Amazon Product");
+  const auto firetv = world.service("Fire TV");
+  const auto samsung = world.service("Samsung IoT");
+  const auto stv = world.service("Samsung TV");
+
+  struct Row {
+    util::DayBin day;
+    std::size_t alexa, amazon, firetv, samsung, stv;
+  };
+  std::vector<Row> rows;
+
+  bench::WildSweep sweep{world};
+  sweep.set_daily([&](util::HourBin start, const bench::BinResult& bin) {
+    auto count = [&](core::ServiceId s) {
+      const auto it = bin.by_service.find(s);
+      return it == bin.by_service.end() ? std::size_t{0} : it->second.size();
+    };
+    rows.push_back({util::day_of(start), count(alexa), count(amazon),
+                    count(firetv), count(samsung), count(stv)});
+  });
+  sweep.run(0, util::kStudyHours);
+
+  util::print_banner(std::cout,
+                     "Figure 12: Amazon/Samsung drill-down per day "
+                     "(population " +
+                         util::fmt_count(world.lines()) + ")");
+  util::TextTable table;
+  table.header({"Day", "Alexa Enabled", "Amazon Product", "Amazon FireTV",
+                "Samsung IoT", "Samsung TV"});
+  bool hierarchy_ok = true;
+  for (const auto& r : rows) {
+    table.row({util::day_label(r.day), util::fmt_count(r.alexa),
+               util::fmt_count(r.amazon), util::fmt_count(r.firetv),
+               util::fmt_count(r.samsung), util::fmt_count(r.stv)});
+    hierarchy_ok = hierarchy_ok && r.alexa >= r.amazon &&
+                   r.amazon >= r.firetv && r.samsung >= r.stv;
+  }
+  table.print(std::cout);
+  std::cout << "\nHierarchy invariant (Alexa >= Amazon >= FireTV, Samsung "
+               ">= Samsung TV): "
+            << (hierarchy_ok ? "holds" : "VIOLATED")
+            << ". Paper: specialized products account for a fraction of "
+               "each superclass; counts are stable across days.\n";
+  return 0;
+}

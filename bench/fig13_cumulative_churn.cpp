@@ -1,0 +1,63 @@
+// Figure 13 reproduction: cumulative count of subscriber identifiers and of
+// /24 aggregates with detected IoT activity across the two weeks, for the
+// Amazon/Samsung hierarchy. Identifier rotation inflates the cumulative
+// subscriber curve; the /24 view stabilizes.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "common.hpp"
+#include "net/prefix.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+  const std::vector<std::string> kNames = {"Alexa Enabled", "Amazon Product",
+                                           "Fire TV", "Samsung IoT",
+                                           "Samsung TV"};
+  std::map<core::ServiceId, std::string> names;
+  for (const auto& n : kNames) names[world.service(n)] = n;
+
+  // Cumulative sets keyed by the *rotating daily identifier* (address) and
+  // by /24 aggregate.
+  std::map<core::ServiceId, std::set<net::IpAddress>> cum_ids;
+  std::map<core::ServiceId, std::set<net::Prefix>> cum_s24;
+
+  util::TextTable table;
+  std::vector<std::string> header{"Day"};
+  for (const auto& n : kNames) header.push_back(n + " ids");
+  for (const auto& n : kNames) header.push_back(n + " /24s");
+  table.header(std::move(header));
+
+  bench::WildSweep sweep{world};
+  sweep.set_daily([&](util::HourBin start, const bench::BinResult& bin) {
+    const util::DayBin day = util::day_of(start);
+    for (const auto& [service, lines] : bin.by_service) {
+      if (!names.contains(service)) continue;
+      for (const auto line : lines) {
+        const auto addr = world.population().address_of(line, day);
+        cum_ids[service].insert(addr);
+        cum_s24[service].insert(net::aggregate_of(addr));
+      }
+    }
+    std::vector<std::string> row{util::day_label(day)};
+    for (const auto& n : kNames) {
+      row.push_back(util::fmt_count(cum_ids[world.service(n)].size()));
+    }
+    for (const auto& n : kNames) {
+      row.push_back(util::fmt_count(cum_s24[world.service(n)].size()));
+    }
+    table.row(std::move(row));
+  });
+  sweep.run(0, util::kStudyHours);
+
+  util::print_banner(std::cout,
+                     "Figure 13: cumulative identifiers and /24s with IoT "
+                     "activity (population " +
+                         util::fmt_count(world.lines()) + ")");
+  table.print(std::cout);
+  std::cout << "\nPaper: cumulative identifier counts keep rising through "
+               "identifier rotation (double counting); /24 aggregates "
+               "stabilize smoothly, faster for popular units.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 14 reproduction: the per-day detected-subscriber counts for the 32
+// IoT device types that are neither Alexa Enabled nor Samsung, annotated
+// with each device's market-popularity bucket in the ISP's country.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+
+  static const std::set<std::string> kExcluded = {
+      "Alexa Enabled", "Amazon Product", "Fire TV", "Samsung IoT",
+      "Samsung TV"};
+
+  // Collect daily counts per service.
+  std::map<core::ServiceId, std::vector<std::size_t>> daily;
+  bench::WildSweep sweep{world};
+  sweep.set_daily([&](util::HourBin, const bench::BinResult& bin) {
+    for (const auto& rule : world.rules().rules) {
+      const auto it = bin.by_service.find(rule.service);
+      daily[rule.service].push_back(
+          it == bin.by_service.end() ? 0 : it->second.size());
+    }
+  });
+  sweep.run(0, util::kStudyHours);
+
+  // Popularity annotation: the most popular product mapped to each unit.
+  auto popularity_of = [&](const core::DetectionRule& rule) {
+    const auto* unit = world.catalog().unit_by_name(rule.name);
+    simnet::Popularity best = simnet::Popularity::kOther;
+    for (const auto pid : world.catalog().products_of(unit->id)) {
+      const auto& p = world.catalog().products()[pid];
+      if (static_cast<int>(p.popularity) < static_cast<int>(best)) {
+        best = p.popularity;
+      }
+    }
+    return best;
+  };
+
+  // Sort rows by mean count descending, as the figure's visual ordering.
+  struct Row {
+    const core::DetectionRule* rule;
+    double mean;
+  };
+  std::vector<Row> rows;
+  for (const auto& rule : world.rules().rules) {
+    if (kExcluded.contains(rule.name)) continue;
+    double mean = 0;
+    for (const auto c : daily[rule.service]) mean += double(c);
+    mean /= double(daily[rule.service].size());
+    rows.push_back({&rule, mean});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.mean > b.mean; });
+
+  util::print_banner(std::cout,
+                     "Figure 14: daily subscriber lines per IoT device "
+                     "type (32 types, population " +
+                         util::fmt_count(world.lines()) + ")");
+  util::TextTable table;
+  table.header({"Device (level)", "Popularity", "Mean lines/day", "Min",
+                "Max", "@15M"});
+  for (const auto& row : rows) {
+    const auto& series = daily[row.rule->service];
+    const auto [min_it, max_it] =
+        std::minmax_element(series.begin(), series.end());
+    table.row(
+        {row.rule->name + " (" +
+             std::string{core::level_name(row.rule->level)} + ")",
+         std::string{simnet::popularity_name(popularity_of(*row.rule))},
+         util::fmt_double(row.mean, 1), util::fmt_count(*min_it),
+         util::fmt_count(*max_it),
+         util::fmt_count(static_cast<std::uint64_t>(
+             row.mean * world.scale_to_paper()))});
+  }
+  table.print(std::cout);
+  std::cout << "\nRows: " << rows.size()
+            << " (paper: 32). Counts are stable across days; popular "
+               "devices dominate, while off-market devices (Microseven) "
+               "still show isolated deployments.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 15 reproduction: unique device IPs with detected IoT activity per
+// day at the IXP (IPFIX at 10x lower sampling, established-TCP guard,
+// routing asymmetry), split into Samsung IoT, Alexa Enabled, and the other
+// 32 device types.
+#include <iostream>
+#include <set>
+
+#include "common.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+  simnet::IxpConfig config;
+  config.eyeball_households = static_cast<std::uint32_t>(
+      bench::env_u64("HAYSTACK_IXP_HOUSEHOLDS", 60'000));
+  simnet::WildIxpSim ixp{world.backend(), world.rates(), config};
+
+  const auto* alexa = world.catalog().unit_by_name("Alexa Enabled");
+  const auto* amazonu = world.catalog().unit_by_name("Amazon Product");
+  const auto* firetv = world.catalog().unit_by_name("Fire TV");
+  const auto* samsung = world.catalog().unit_by_name("Samsung IoT");
+  const auto* stv = world.catalog().unit_by_name("Samsung TV");
+
+  util::print_banner(std::cout,
+                     "Figure 15: unique IPs with IoT activity per day at "
+                     "the IXP");
+  util::TextTable table;
+  table.header({"Day", "Alexa Enabled", "Samsung IoT", "Other 32",
+                "Flows sampled"});
+  for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+    std::set<net::IpAddress> alexa_ips, samsung_ips, other_ips;
+    std::size_t flows = 0;
+    ixp.day_observations(day, [&](const simnet::IxpObs& o) {
+      ++flows;
+      if (o.unit == alexa->id) {
+        alexa_ips.insert(o.device_ip);
+      } else if (o.unit == samsung->id) {
+        samsung_ips.insert(o.device_ip);
+      } else if (o.unit != amazonu->id && o.unit != firetv->id &&
+                 o.unit != stv->id) {
+        other_ips.insert(o.device_ip);
+      }
+    });
+    table.row({util::day_label(day), util::fmt_count(alexa_ips.size()),
+               util::fmt_count(samsung_ips.size()),
+               util::fmt_count(other_ips.size()), util::fmt_count(flows)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper (absolute, at the real IXP): ~200k Alexa, ~90k "
+               "Samsung, >100k other IPs per day; here the ordering and "
+               "stability are the reproduced shape (simulated member "
+               "population is smaller).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 16 reproduction: ECDF of the per-member-AS share of unique IoT
+// device IPs at the IXP for one day — a few eyeball ASes carry most of the
+// activity; a long tail of members contributes the rest.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+  simnet::IxpConfig config;
+  config.eyeball_households = static_cast<std::uint32_t>(
+      bench::env_u64("HAYSTACK_IXP_HOUSEHOLDS", 60'000));
+  simnet::WildIxpSim ixp{world.backend(), world.rates(), config};
+
+  const auto* alexa = world.catalog().unit_by_name("Alexa Enabled");
+  const auto* samsung = world.catalog().unit_by_name("Samsung IoT");
+
+  std::map<net::Asn, std::set<net::IpAddress>> alexa_as, samsung_as,
+      other_as;
+  ixp.day_observations(0, [&](const simnet::IxpObs& o) {
+    if (o.unit == alexa->id) {
+      alexa_as[o.member].insert(o.device_ip);
+    } else if (o.unit == samsung->id) {
+      samsung_as[o.member].insert(o.device_ip);
+    } else {
+      other_as[o.member].insert(o.device_ip);
+    }
+  });
+
+  auto print_ecdf = [&](const char* label,
+                        const std::map<net::Asn, std::set<net::IpAddress>>&
+                            per_as) {
+    std::size_t total = 0;
+    for (const auto& [asn, ips] : per_as) total += ips.size();
+    util::Ecdf ecdf;
+    double top_share = 0;
+    for (const auto& [asn, ips] : per_as) {
+      const double share = 100.0 * double(ips.size()) / double(total);
+      ecdf.add(share);
+      top_share = std::max(top_share, share);
+    }
+    ecdf.freeze();
+    util::TextTable table;
+    table.header({"Per-AS share of unique IPs", "ECDF"});
+    for (const double pct : {0.001, 0.01, 0.1, 1.0, 5.0, 10.0, 25.0}) {
+      table.row({util::fmt_double(pct, 3) + "%",
+                 util::fmt_double(ecdf.fraction_at(pct), 3)});
+    }
+    util::print_banner(std::cout, std::string{"Figure 16 ECDF: "} + label);
+    table.print(std::cout);
+    std::cout << "members with activity: " << per_as.size()
+              << ", top AS share: " << util::fmt_double(top_share, 1)
+              << "% (eyeball)\n";
+  };
+
+  print_ecdf("Alexa Enabled", alexa_as);
+  print_ecdf("Samsung IoT", samsung_as);
+  print_ecdf("Other 32 device types", other_as);
+  std::cout << "\nPaper: all three distributions are heavily skewed — a "
+               "handful of eyeball member ASes hold most of the IoT "
+               "activity, with a long tail across the remaining members.\n";
+  return 0;
+}

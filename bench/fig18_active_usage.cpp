@@ -1,0 +1,77 @@
+// Figure 18 reproduction: subscriber lines with *actively used*
+// Alexa-enabled devices per hour, against the lines merely detected
+// (active or idle) per hour and per day. Active use = more than 10 sampled
+// packets toward the service in the hour (Sec. 7.1).
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "common.hpp"
+#include "core/usage.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+  const auto alexa = world.service("Alexa Enabled");
+
+  core::UsageClassifier usage{{.packet_threshold = 10}};
+  struct HourRow {
+    util::HourBin hour;
+    std::size_t detected;
+    std::size_t active;
+  };
+  std::vector<HourRow> hours;
+  std::vector<std::size_t> daily;
+
+  bench::WildSweep sweep{world};
+  sweep.set_on_match([&](const simnet::WildObs& o, const core::Hit& hit,
+                         util::HourBin) {
+    if (hit.service == alexa) {
+      usage.observe(o.line, hit.service, o.flow.packets);
+    }
+  });
+  sweep.set_hourly([&](util::HourBin h, const bench::BinResult& bin) {
+    const auto it = bin.by_service.find(alexa);
+    const std::size_t detected =
+        it == bin.by_service.end() ? 0 : it->second.size();
+    std::set<std::uint64_t> active_lines;
+    for (const auto& a : usage.end_hour()) active_lines.insert(a.subscriber);
+    hours.push_back({h, detected, active_lines.size()});
+  });
+  sweep.set_daily([&](util::HourBin, const bench::BinResult& bin) {
+    const auto it = bin.by_service.find(alexa);
+    daily.push_back(it == bin.by_service.end() ? 0 : it->second.size());
+  });
+  // One week is enough for the diurnal shape (Nov 22–28 in the paper).
+  sweep.run(util::day_start(7), util::kStudyHours);
+
+  util::print_banner(std::cout,
+                     "Figure 18: subscribers with active Alexa use per "
+                     "hour (threshold >10 sampled pkts/h, population " +
+                         util::fmt_count(world.lines()) + ")");
+  util::TextTable table;
+  table.header({"Hour", "Detected (any state)", "Actively used",
+                "Active@15M"});
+  for (const auto& row : hours) {
+    if (row.hour % 3 != 0) continue;
+    table.row({util::hour_label(row.hour), util::fmt_count(row.detected),
+               util::fmt_count(row.active),
+               util::fmt_count(static_cast<std::uint64_t>(
+                   row.active * world.scale_to_paper()))});
+  }
+  table.print(std::cout);
+
+  std::size_t peak_active = 0, trough_active = SIZE_MAX;
+  for (const auto& row : hours) {
+    peak_active = std::max(peak_active, row.active);
+    trough_active = std::min(trough_active, row.active);
+  }
+  std::cout << "\nDaily detected (for reference): "
+            << util::fmt_count(daily.empty() ? 0 : daily.front())
+            << " lines/day. Active-use peak/trough per hour: "
+            << util::fmt_count(peak_active) << "/"
+            << util::fmt_count(trough_active)
+            << ". Paper: ~27k active lines at daytime/weekend peaks (of "
+               "15M), following the human diurnal pattern.\n";
+  return 0;
+}

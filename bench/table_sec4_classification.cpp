@@ -1,0 +1,80 @@
+// Section 4 reproduction: the classification statistics —
+//   4.1: 524 observed domains -> 415 Primary + 19 Support + 90 Generic;
+//   4.2: 434 IoT-specific -> 217 dedicated, 202 shared, 15 without DNSDB
+//        records, of which the certificate-scan fallback recovers 8
+//        (belonging to 5 devices);
+//   4.2.3/4.3: the excluded services and the surviving rule counts.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/domain_classifier.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+
+  util::print_banner(std::cout, "Section 4.1: domain classification");
+  const core::DomainClassifier classifier{
+      simnet::build_domain_knowledge(world.catalog())};
+  const auto stats =
+      classifier.classify_all(simnet::observed_domains(world.catalog()));
+  util::TextTable t1;
+  t1.header({"Class", "Count", "Paper"});
+  t1.row({"Observed domains", std::to_string(stats.total), "524"});
+  t1.row({"Primary", std::to_string(stats.primary), "415"});
+  t1.row({"Support", std::to_string(stats.support), "19"});
+  t1.row({"Generic", std::to_string(stats.generic), "90"});
+  t1.print(std::cout);
+
+  util::print_banner(std::cout,
+                     "Section 4.2: dedicated vs shared infrastructure");
+  const auto& cls = world.rules().stats;
+  util::TextTable t2;
+  t2.header({"Outcome", "Count", "Paper"});
+  t2.row({"Dedicated (passive DNS, incl. 19 support)",
+          std::to_string(cls.dedicated + 19), "217"});
+  t2.row({"Shared", std::to_string(cls.shared), "202"});
+  t2.row({"No DNSDB record", std::to_string(cls.dnsdb_missing), "15"});
+  t2.row({"  recovered via cert scan", std::to_string(cls.via_cert_scan),
+          "8"});
+  t2.row({"  still unresolved", std::to_string(cls.unresolved), "7"});
+  t2.print(std::cout);
+
+  util::print_banner(std::cout, "Section 4.2.3: excluded services");
+  util::TextTable t3;
+  t3.header({"Service", "Reason", "Dedicated/Total domains"});
+  for (const auto& e : world.rules().excluded) {
+    t3.row({e.name,
+            e.reason == core::ExclusionReason::kSharedBackend
+                ? "shared backend"
+                : "insufficient data",
+            std::to_string(e.dedicated_domains) + "/" +
+                std::to_string(e.total_domains)});
+  }
+  t3.print(std::cout);
+
+  util::print_banner(std::cout, "Section 4.3: generated detection rules");
+  unsigned platform = 0, manufacturer = 0, product = 0;
+  for (const auto& r : world.rules().rules) {
+    switch (r.level) {
+      case core::Level::kPlatform: ++platform; break;
+      case core::Level::kManufacturer: ++manufacturer; break;
+      case core::Level::kProduct: ++product; break;
+    }
+  }
+  util::TextTable t4;
+  t4.header({"Level", "Rules", "Paper"});
+  t4.row({"Platform rows (4 distinct backends)", std::to_string(platform),
+          "3 unique platforms + Alexa"});
+  t4.row({"Manufacturer", std::to_string(manufacturer), "20"});
+  t4.row({"Product", std::to_string(product), "11"});
+  t4.row({"Total detectable units", std::to_string(world.rules().rules.size()),
+          "37 (Fig. 10 rows)"});
+  t4.print(std::cout);
+
+  std::cout << "\nHitlist: " << world.rules().hitlist.total_size()
+            << " (IP, port, day) entries across " << util::kStudyDays
+            << " days, " << world.rules().hitlist.collisions()
+            << " collisions\n";
+  return 0;
+}

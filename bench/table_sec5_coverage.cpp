@@ -1,0 +1,75 @@
+// Section 4.3.2 / Sec. 9 coverage summary: how much of the testbed the
+// generated rules cover — 20 manufacturer rules, 11 product rules, the
+// platform backends, and the "devices from 31 of 40 manufacturers (77%)"
+// headline.
+#include <iostream>
+#include <set>
+
+#include "common.hpp"
+
+int main() {
+  using namespace haystack;
+  bench::SimWorld world;
+  const auto& catalog = world.catalog();
+  const auto& rules = world.rules();
+
+  unsigned platform = 0, manufacturer = 0, product = 0;
+  std::set<std::string> platform_backends;
+  for (const auto& r : rules.rules) {
+    switch (r.level) {
+      case core::Level::kPlatform: {
+        ++platform;
+        const auto* unit = catalog.unit_by_name(r.name);
+        platform_backends.insert(unit->sld);
+        break;
+      }
+      case core::Level::kManufacturer:
+        ++manufacturer;
+        break;
+      case core::Level::kProduct:
+        ++product;
+        break;
+    }
+  }
+
+  // Vendors whose products map to at least one surviving rule.
+  std::set<std::string> covered_vendors;
+  std::set<std::string> all_vendors;
+  std::set<core::ServiceId> ruled;
+  for (const auto& r : rules.rules) ruled.insert(r.service);
+  for (const auto& p : catalog.products()) {
+    all_vendors.insert(p.vendor);
+    if (p.unit && ruled.contains(*p.unit)) covered_vendors.insert(p.vendor);
+  }
+
+  util::print_banner(std::cout, "Section 4.3.2 / Sec. 9: rule coverage");
+  util::TextTable table;
+  table.header({"Metric", "Reproduced", "Paper"});
+  table.row({"Manufacturer-level rules", std::to_string(manufacturer),
+             "20"});
+  table.row({"Product-level rules", std::to_string(product), "11"});
+  table.row({"Platform-level rules (rows)", std::to_string(platform),
+             "6 rows over 3 platforms + AVS"});
+  table.row({"Distinct platform backends",
+             std::to_string(platform_backends.size()), "4 (AVS, Tuya, "
+             "Smarter, Lightify)"});
+  table.row({"Manufacturer+product units",
+             std::to_string(manufacturer + product),
+             "31 => devices from 31/40 manufacturers"});
+  table.row({"Vendors with a covering rule",
+             std::to_string(covered_vendors.size()) + "/" +
+                 std::to_string(all_vendors.size()),
+             "77% of manufacturers"});
+  table.row({"Excluded services", std::to_string(rules.excluded.size()),
+             "7 (Google, Apple TV, Lefun, LG TV, WeMo, Wink, +1)"});
+  table.print(std::cout);
+
+  std::cout << "\nUncovered vendors:";
+  for (const auto& v : all_vendors) {
+    if (!covered_vendors.contains(v)) std::cout << ' ' << v;
+  }
+  std::cout << "\nCoverage: "
+            << util::fmt_percent(double(manufacturer + product) / 40.0)
+            << " of the 40 manufacturers via Man.+Pr. rules (paper: 77%)\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// IXP-scale scan: detect IoT device IPs across the exchange's member ASes
+// for one day (Sec. 6.3) — IPFIX at an order of magnitude lower sampling,
+// the established-TCP spoofing guard, and routing asymmetry all apply.
+//
+// Usage: ixp_scan [eyeball_households] [day]
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "core/detector.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/ixp.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haystack;
+  const std::uint32_t households =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 40'000;
+  const util::DayBin day =
+      argc > 2 ? static_cast<util::DayBin>(std::atoi(argv[2])) : 0;
+
+  simnet::Catalog catalog;
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+  const core::RuleSet rules = simnet::build_ruleset(backend);
+  simnet::DomainRateModel rates{catalog, 7};
+  simnet::WildIxpSim ixp{backend, rates,
+                         {.eyeball_households = households}};
+
+  std::cout << "Scanning IXP fabric (largest eyeball: " << households
+            << " households), day " << util::day_label(day) << " ...\n";
+
+  // At the IXP the subscriber key is the observed device IP (no line
+  // identifiers exist mid-network).
+  core::Detector detector{rules.hitlist, rules, {.threshold = 0.4}};
+  std::map<net::Asn, std::set<net::IpAddress>> per_member;
+  std::uint64_t flows = 0;
+  ixp.day_observations(day, [&](const simnet::IxpObs& obs) {
+    ++flows;
+    const auto hit = detector.observe(
+        obs.device_ip.hash(), obs.flow.key.dst, obs.flow.key.dst_port,
+        obs.flow.packets, util::day_start(day));
+    if (hit) per_member[obs.member].insert(obs.device_ip);
+  });
+
+  std::set<std::uint64_t> detected_ips;
+  detector.for_each_evidence([&](core::SubscriberKey ip,
+                                 core::ServiceId service,
+                                 const core::Evidence&) {
+    if (detector.detected(ip, service)) detected_ips.insert(ip);
+  });
+
+  // Per-member skew (the Fig. 16 picture).
+  std::vector<std::pair<std::size_t, net::Asn>> ranked;
+  for (const auto& [asn, ips] : per_member) {
+    ranked.emplace_back(ips.size(), asn);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  util::TextTable table;
+  table.header({"Member AS", "Role", "Unique device IPs"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(ranked.size(), 12);
+       ++i) {
+    const auto* info = backend.asns().info(ranked[i].second);
+    table.row({"AS" + std::to_string(ranked[i].second),
+               info != nullptr && info->role == net::AsRole::kEyeball
+                   ? "eyeball"
+                   : "other",
+               util::fmt_count(ranked[i].first)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n" << util::fmt_count(flows) << " sampled IPFIX flows; "
+            << util::fmt_count(detected_ips.size())
+            << " device IPs detected across "
+            << util::fmt_count(per_member.size())
+            << " member ASes. The top members are eyeballs (paper Fig. 16); "
+               "a long tail of members carries isolated devices.\n";
+  return 0;
+}

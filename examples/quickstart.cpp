@@ -1,0 +1,65 @@
+// Quickstart: the smallest end-to-end use of the library's public API.
+//
+// Builds the simulated world (device catalog, backend infrastructure,
+// passive-DNS + certificate-scan databases), derives detection rules the
+// way the paper does (Fig. 7), and then detects IoT devices on one
+// subscriber line from sampled flow records.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/ground_truth.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "telemetry/vantage.hpp"
+
+int main() {
+  using namespace haystack;
+
+  // 1. The world: testbed catalog + backend infrastructure. The Backend
+  //    also materializes the two external datasets the methodology needs
+  //    (a passive-DNS database and a certificate-scan database).
+  simnet::Catalog catalog;
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+
+  // 2. Methodology (paper Sec. 4): classify every candidate domain's
+  //    hosting as dedicated or shared, build the daily hitlist, and emit
+  //    one detection rule per detectable service.
+  const core::RuleSet rules = simnet::build_ruleset(backend);
+  std::cout << "Generated " << rules.rules.size() << " detection rules ("
+            << rules.excluded.size() << " services excluded); hitlist has "
+            << rules.hitlist.total_size() << " (IP, port, day) entries\n";
+
+  // 3. Traffic: one hour of ground-truth testbed traffic, sampled at
+  //    1-in-1000 through a real NetFlow v9 encode/decode round trip —
+  //    exactly what an ISP border router exports.
+  simnet::GroundTruthSim testbed{backend, simnet::GroundTruthConfig{}};
+  telemetry::IspVantage isp{{.sampling = 1000, .wire_roundtrip = true}};
+
+  // 4. Detection: stream sampled flows into the detector. The subscriber
+  //    key would be an anonymized line identifier in production.
+  core::Detector detector{rules.hitlist, rules, {.threshold = 0.4}};
+  constexpr core::SubscriberKey kLine = 1;
+  for (util::HourBin hour = 0; hour < 24; ++hour) {
+    for (const auto& labeled : isp.observe(testbed.hour_flows(hour), hour)) {
+      detector.observe(kLine, labeled.flow.key.dst,
+                       labeled.flow.key.dst_port, labeled.flow.packets,
+                       hour);
+    }
+  }
+
+  // 5. Results: which IoT services were detected behind the line?
+  std::cout << "\nDetected on the ground-truth line within 24h:\n";
+  for (const auto& rule : rules.rules) {
+    if (const auto hour = detector.detection_hour(kLine, rule.service)) {
+      std::cout << "  " << rule.name << " ("
+                << core::level_name(rule.level) << " level) after " << *hour
+                << "h\n";
+    }
+  }
+  std::cout << "\nProcessed " << detector.stats().flows
+            << " sampled flows, of which " << detector.stats().matched
+            << " matched the hitlist\n";
+  return 0;
+}

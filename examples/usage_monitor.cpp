@@ -1,0 +1,70 @@
+// Usage monitor: distinguish *actively used* Alexa-enabled devices from
+// idle ones in sampled flow data (Sec. 7.1, Fig. 18). Streams one day of
+// wild ISP traffic and reports, per hour, how many lines crossed the
+// active-use packet threshold.
+//
+// Usage: usage_monitor [lines] [threshold]
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "core/detector.hpp"
+#include "core/usage.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "simnet/population.hpp"
+#include "simnet/wild_isp.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haystack;
+  const std::uint32_t lines =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 50'000;
+  const std::uint64_t threshold =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 10;
+
+  simnet::Catalog catalog;
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+  const core::RuleSet rules = simnet::build_ruleset(backend);
+  simnet::Population population{catalog, {.lines = lines}};
+  simnet::DomainRateModel rates{catalog, 7};
+  simnet::WildIspSim wild{backend, population, rates,
+                          simnet::WildIspConfig{}};
+
+  const auto* alexa_rule = rules.rule_by_name("Alexa Enabled");
+  core::Detector detector{rules.hitlist, rules, {.threshold = 0.4}};
+  core::UsageClassifier usage{{.packet_threshold = threshold}};
+
+  util::TextTable table;
+  table.header({"Hour", "Lines w/ Alexa traffic", "Actively used",
+                "Active share"});
+
+  // A Saturday (Nov 23): the paper's usage peaks fall on the weekend.
+  const util::DayBin day = 8;
+  for (util::HourBin h = util::day_start(day); h < util::day_start(day) + 24;
+       ++h) {
+    std::set<simnet::LineId> seen;
+    wild.hour_observations(h, [&](const simnet::WildObs& obs) {
+      const auto hit = detector.observe(obs.line, obs.flow.key.dst,
+                                        obs.flow.key.dst_port,
+                                        obs.flow.packets, h);
+      if (hit && hit->service == alexa_rule->service) {
+        seen.insert(obs.line);
+        usage.observe(obs.line, hit->service, obs.flow.packets);
+      }
+    });
+    const auto active = usage.end_hour();
+    table.row({util::hour_label(h), util::fmt_count(seen.size()),
+               util::fmt_count(active.size()),
+               seen.empty() ? "-"
+                            : util::fmt_percent(double(active.size()) /
+                                                double(seen.size()))});
+    detector.clear();
+  }
+  table.print(std::cout);
+  std::cout << "\nActive use = more than " << threshold
+            << " sampled packets/hour toward the Alexa service. The "
+               "evening peak follows the human diurnal pattern (paper "
+               "Fig. 18: ~27k active lines at 15M scale).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+namespace haystack::core {
+
+Detector::Detector(const Hitlist& hitlist, const RuleSet& rules,
+                   const DetectorConfig& config)
+    : hitlist_{hitlist}, rules_{rules}, config_{config} {
+  ServiceId max_id = 0;
+  for (const auto& r : rules.rules) max_id = std::max(max_id, r.service);
+  rule_of_.assign(max_id + 1U, nullptr);
+  for (const auto& r : rules.rules) rule_of_[r.service] = &r;
+}
+
+std::optional<Hit> Detector::observe(SubscriberKey subscriber,
+                                     const net::IpAddress& server,
+                                     std::uint16_t port,
+                                     std::uint64_t packets,
+                                     util::HourBin hour) {
+  ++stats_.flows;
+  const auto hit = hitlist_.lookup(server, port, util::day_of(hour));
+  if (!hit) return std::nullopt;
+  ++stats_.matched;
+
+  const DetectionRule* rule =
+      hit->service < rule_of_.size() ? rule_of_[hit->service] : nullptr;
+  if (rule == nullptr) return hit;
+
+  auto [it, inserted] = evidence_.try_emplace({subscriber, hit->service});
+  Evidence& ev = it->second;
+  if (inserted) ev.first_seen = hour;
+  ev.packets += packets;
+
+  const std::uint16_t pos = hit->domain_index;
+  if (pos < 128 && !ev.sees(pos)) {
+    ev.mask[pos >> 6] |= std::uint64_t{1} << (pos & 63U);
+    ++ev.distinct;
+  }
+
+  if (ev.satisfied_hour == Evidence::kNever) {
+    const bool critical_ok =
+        rule->critical_sufficient && rule->critical_monitored_index &&
+        ev.sees(*rule->critical_monitored_index);
+    if (critical_ok ||
+        ev.distinct >= rule->required_domains(config_.threshold)) {
+      ev.satisfied_hour = hour;
+    }
+  }
+  return hit;
+}
+
+std::optional<util::HourBin> Detector::detection_hour(
+    SubscriberKey subscriber, ServiceId service) const {
+  util::HourBin latest = 0;
+  std::optional<ServiceId> current = service;
+  while (current) {
+    const DetectionRule* rule =
+        *current < rule_of_.size() ? rule_of_[*current] : nullptr;
+    if (rule == nullptr) return std::nullopt;
+    const auto it = evidence_.find({subscriber, *current});
+    if (it == evidence_.end() ||
+        it->second.satisfied_hour == Evidence::kNever) {
+      return std::nullopt;
+    }
+    latest = std::max(latest, it->second.satisfied_hour);
+    current = rule->parent;
+  }
+  return latest;
+}
+
+const Evidence* Detector::evidence(SubscriberKey subscriber,
+                                   ServiceId service) const {
+  const auto it = evidence_.find({subscriber, service});
+  return it == evidence_.end() ? nullptr : &it->second;
+}
+
+void Detector::for_each_evidence(
+    const std::function<void(SubscriberKey, ServiceId, const Evidence&)>& fn)
+    const {
+  for (const auto& [key, ev] : evidence_) {
+    fn(key.subscriber, key.service, ev);
+  }
+}
+
+void Detector::clear() { evidence_.clear(); }
+
+}  // namespace haystack::core

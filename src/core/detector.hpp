@@ -1,0 +1,127 @@
+// Streaming IoT-device detector (paper Secs. 5/6).
+//
+// Consumes sampled flow observations one at a time: each flow's server-side
+// (IP, port) is looked up in the daily hitlist; a match contributes one
+// piece of evidence — "subscriber S contacted monitored domain m of service
+// X". A service counts as detected for a subscriber once evidence covers
+// max(1, floor(D*N)) of its N monitored domains (or its critical domain,
+// when that alone is sufficient), *and* its hierarchy parent is detected
+// (Samsung TV requires Samsung IoT first; Fire TV requires Amazon Product).
+//
+// The detector is deliberately tiny per flow: one hash lookup plus a bitset
+// update, which is what makes the methodology viable at ISP scale
+// ("millions of IoT devices within minutes").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hitlist.hpp"
+#include "core/rules.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::core {
+
+/// Anonymized subscriber identifier (from telemetry::anonymize, or any
+/// stable 64-bit key).
+using SubscriberKey = std::uint64_t;
+
+/// Detector configuration.
+struct DetectorConfig {
+  /// Domain-coverage threshold D (Sec. 4.3.2; the paper's conservative
+  /// default is 0.4).
+  double threshold = 0.4;
+};
+
+/// Per-(subscriber, service) evidence state.
+struct Evidence {
+  /// Bitset over monitored-domain positions (up to 128; Fire TV's 34 is
+  /// the catalog maximum).
+  std::array<std::uint64_t, 2> mask{0, 0};
+  std::uint16_t distinct = 0;
+  std::uint64_t packets = 0;          ///< cumulative sampled packets
+  util::HourBin first_seen = 0;
+  /// Hour the rule's own coverage requirement was first met; kNever until.
+  util::HourBin satisfied_hour = kNever;
+
+  static constexpr util::HourBin kNever = 0xffffffffU;
+
+  [[nodiscard]] bool sees(std::uint16_t position) const noexcept {
+    return (mask[position >> 6] >> (position & 63U)) & 1U;
+  }
+};
+
+/// The streaming detector.
+class Detector {
+ public:
+  Detector(const Hitlist& hitlist, const RuleSet& rules,
+           const DetectorConfig& config);
+
+  /// Feeds one sampled flow observation (already direction-normalized:
+  /// `server`/`port` are the service side). Returns the hitlist match, if
+  /// any — callers use this to avoid a second lookup.
+  std::optional<Hit> observe(SubscriberKey subscriber,
+                             const net::IpAddress& server, std::uint16_t port,
+                             std::uint64_t packets, util::HourBin hour);
+
+  /// Hierarchy-aware detection: the hour at which the service and all of
+  /// its ancestors were satisfied for this subscriber, or nullopt.
+  [[nodiscard]] std::optional<util::HourBin> detection_hour(
+      SubscriberKey subscriber, ServiceId service) const;
+
+  [[nodiscard]] bool detected(SubscriberKey subscriber,
+                              ServiceId service) const {
+    return detection_hour(subscriber, service).has_value();
+  }
+
+  /// Raw evidence for diagnostics/tests; nullptr when none.
+  [[nodiscard]] const Evidence* evidence(SubscriberKey subscriber,
+                                         ServiceId service) const;
+
+  /// Visits every (subscriber, service, evidence) triple.
+  void for_each_evidence(
+      const std::function<void(SubscriberKey, ServiceId, const Evidence&)>&
+          fn) const;
+
+  /// Drops all evidence (per-bin analyses re-use one detector).
+  void clear();
+
+  /// Throughput counters.
+  struct Stats {
+    std::uint64_t flows = 0;
+    std::uint64_t matched = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const RuleSet& rules() const noexcept { return rules_; }
+
+ private:
+  struct Key {
+    SubscriberKey subscriber;
+    ServiceId service;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(
+          util::hash_combine(k.subscriber, k.service));
+    }
+  };
+
+  const Hitlist& hitlist_;
+  const RuleSet& rules_;
+  DetectorConfig config_;
+  // Rule pointer per service id for O(1) dispatch.
+  std::vector<const DetectionRule*> rule_of_;
+  std::unordered_map<Key, Evidence, KeyHash> evidence_;
+  Stats stats_;
+};
+
+}  // namespace haystack::core

@@ -1,0 +1,60 @@
+#include "core/domain_classifier.hpp"
+
+#include <array>
+
+namespace haystack::core {
+
+namespace {
+
+// Name heuristics applied when the knowledge base has no entry: tokens that
+// mark well-known generic services.
+constexpr std::array<std::string_view, 8> kGenericTokens = {
+    "ntp", "time", "analytics", "ads", "doubleclick",
+    "cdn", "update.microsoft", "telemetry"};
+
+bool looks_generic(const dns::Fqdn& domain) {
+  const std::string& name = domain.str();
+  for (const auto token : kGenericTokens) {
+    if (name.find(token) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DomainClass DomainClassifier::classify(const dns::Fqdn& domain) const {
+  if (knowledge_.generic_fqdns.contains(domain)) return DomainClass::kGeneric;
+  const dns::Fqdn sld = domain.registrable();
+  if (knowledge_.manufacturer_slds.contains(sld)) {
+    return DomainClass::kPrimary;
+  }
+  if (knowledge_.generic_slds.contains(sld)) return DomainClass::kGeneric;
+  if (knowledge_.support_slds.contains(sld)) return DomainClass::kSupport;
+  if (looks_generic(domain)) return DomainClass::kGeneric;
+  // Unknown registrable domain: the paper's manual step resolved these by
+  // visiting vendor sites; default to Generic so unknowns never become
+  // detection features (fail-safe against false positives).
+  return DomainClass::kGeneric;
+}
+
+DomainClassifier::Stats DomainClassifier::classify_all(
+    const std::vector<dns::Fqdn>& domains) const {
+  Stats stats;
+  stats.total = domains.size();
+  for (const auto& d : domains) {
+    switch (classify(d)) {
+      case DomainClass::kPrimary:
+        ++stats.primary;
+        break;
+      case DomainClass::kSupport:
+        ++stats.support;
+        break;
+      case DomainClass::kGeneric:
+        ++stats.generic;
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace haystack::core

@@ -1,0 +1,80 @@
+// Domain classification (paper Sec. 4.1): every domain observed in ground
+// truth is Primary (registered to an IoT manufacturer or service operator),
+// Support (third-party service complementing an IoT product), or Generic
+// (heavily used by non-IoT clients too — NTP pools, CDNs, analytics).
+//
+// The paper did this with pattern matching plus manual inspection; the
+// classifier here consumes the same kind of side information in machine
+// form: the set of manufacturer registrable domains, the known support
+// providers, and a generic blocklist, plus name heuristics for the rest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/fqdn.hpp"
+
+namespace haystack::core {
+
+/// Classification outcome for one domain.
+enum class DomainClass : std::uint8_t { kPrimary, kSupport, kGeneric };
+
+[[nodiscard]] constexpr std::string_view domain_class_name(
+    DomainClass c) noexcept {
+  switch (c) {
+    case DomainClass::kPrimary:
+      return "Primary";
+    case DomainClass::kSupport:
+      return "Support";
+    case DomainClass::kGeneric:
+      return "Generic";
+  }
+  return "?";
+}
+
+/// Side information driving the classification.
+struct DomainKnowledge {
+  /// Registrable domains of IoT manufacturers / service operators
+  /// (amazon.com, tuya.com, ...), from vendor research.
+  std::unordered_set<dns::Fqdn> manufacturer_slds;
+  /// Registrable domains of known support providers (whisk.com, ...).
+  std::unordered_set<dns::Fqdn> support_slds;
+  /// Registrable domains of known generic services (netflix.com, NTP
+  /// pools, ad networks).
+  std::unordered_set<dns::Fqdn> generic_slds;
+  /// Exact generic names. Takes precedence over everything: a vendor can
+  /// host generic services under its own SLD (time.google.com is generic
+  /// even though google.com is a manufacturer SLD).
+  std::unordered_set<dns::Fqdn> generic_fqdns;
+};
+
+/// Stateless classifier over the knowledge base.
+class DomainClassifier {
+ public:
+  explicit DomainClassifier(DomainKnowledge knowledge)
+      : knowledge_{std::move(knowledge)} {}
+
+  /// Classifies one observed domain.
+  [[nodiscard]] DomainClass classify(const dns::Fqdn& domain) const;
+
+  /// Aggregate statistics over a domain list (the Sec. 4.1 headline:
+  /// 415 Primary + 19 Support of 524 observed).
+  struct Stats {
+    std::size_t total = 0;
+    std::size_t primary = 0;
+    std::size_t support = 0;
+    std::size_t generic = 0;
+  };
+  [[nodiscard]] Stats classify_all(const std::vector<dns::Fqdn>& domains) const;
+
+  [[nodiscard]] const DomainKnowledge& knowledge() const noexcept {
+    return knowledge_;
+  }
+
+ private:
+  DomainKnowledge knowledge_;
+};
+
+}  // namespace haystack::core

@@ -1,0 +1,52 @@
+#include "core/forensics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace haystack::core {
+
+std::vector<ServicePrevalence> rank_common_services(
+    const Detector& detector,
+    const std::unordered_set<SubscriberKey>& suspicious) {
+  std::map<ServiceId, std::size_t> suspicious_hits;
+  std::map<ServiceId, std::size_t> baseline_hits;
+  std::unordered_set<SubscriberKey> all_detected;
+  std::unordered_set<SubscriberKey> suspicious_detected;
+
+  detector.for_each_evidence([&](SubscriberKey subscriber, ServiceId service,
+                                 const Evidence&) {
+    if (!detector.detected(subscriber, service)) return;
+    ++baseline_hits[service];
+    all_detected.insert(subscriber);
+    if (suspicious.contains(subscriber)) {
+      ++suspicious_hits[service];
+      suspicious_detected.insert(subscriber);
+    }
+  });
+
+  std::vector<ServicePrevalence> ranking;
+  const double n_suspicious =
+      std::max<std::size_t>(1, suspicious_detected.size());
+  const double n_all = std::max<std::size_t>(1, all_detected.size());
+  for (const auto& [service, count] : suspicious_hits) {
+    ServicePrevalence row;
+    row.service = service;
+    const auto* rule = detector.rules().rule_for(service);
+    row.name = rule != nullptr ? rule->name : std::to_string(service);
+    row.suspicious_count = count;
+    row.suspicious_share = static_cast<double>(count) / n_suspicious;
+    row.baseline_share =
+        static_cast<double>(baseline_hits[service]) / n_all;
+    row.lift = row.baseline_share > 0.0
+                   ? row.suspicious_share / row.baseline_share
+                   : 0.0;
+    ranking.push_back(std::move(row));
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const ServicePrevalence& a, const ServicePrevalence& b) {
+              return a.lift > b.lift;
+            });
+  return ranking;
+}
+
+}  // namespace haystack::core

@@ -1,0 +1,44 @@
+// Incident forensics (paper Sec. 7.2).
+//
+// "If an IoT device is misbehaving, e.g., involved in network attacks or
+// part of a botnet, our methodology can help the ISP/IXP in identifying
+// what devices are common among the subscriber lines with suspicious
+// traffic."
+//
+// rank_common_services() does exactly that: given the detector's evidence
+// and the set of suspicious subscriber lines, it compares each service's
+// prevalence among the suspicious lines with its prevalence in the overall
+// detected population and ranks by lift. The compromised product's service
+// stands out with lift >> 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/detector.hpp"
+
+namespace haystack::core {
+
+/// One row of the forensic ranking.
+struct ServicePrevalence {
+  ServiceId service = 0;
+  std::string name;
+  /// Fraction of suspicious lines with this service detected.
+  double suspicious_share = 0.0;
+  /// Fraction of all detected lines with this service detected.
+  double baseline_share = 0.0;
+  /// suspicious_share / baseline_share (0 when baseline empty).
+  double lift = 0.0;
+  std::size_t suspicious_count = 0;
+};
+
+/// Ranks services by how over-represented they are among `suspicious`
+/// subscriber lines, most suspicious first. Services never detected among
+/// the suspicious set are omitted.
+[[nodiscard]] std::vector<ServicePrevalence> rank_common_services(
+    const Detector& detector,
+    const std::unordered_set<SubscriberKey>& suspicious);
+
+}  // namespace haystack::core

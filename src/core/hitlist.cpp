@@ -1,0 +1,28 @@
+#include "core/hitlist.hpp"
+
+namespace haystack::core {
+
+void Hitlist::add(const net::IpAddress& ip, std::uint16_t port,
+                  util::DayBin day, Hit hit) {
+  auto& map = days_.at(day);
+  const auto [it, inserted] = map.try_emplace({ip, port}, hit);
+  if (!inserted && it->second.service != hit.service) ++collisions_;
+}
+
+std::optional<Hit> Hitlist::lookup(const net::IpAddress& ip,
+                                   std::uint16_t port,
+                                   util::DayBin day) const {
+  if (day >= days_.size()) return std::nullopt;
+  const auto& map = days_[day];
+  const auto it = map.find({ip, port});
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Hitlist::total_size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : days_) n += m.size();
+  return n;
+}
+
+}  // namespace haystack::core

@@ -1,0 +1,83 @@
+// Daily hitlist (paper Sec. 4.2.3 / Fig. 7): the dictionary mapping
+// (service IP, port, day) to the IoT service and monitored domain it
+// belongs to. This is what the detector consults per flow — the only
+// per-flow state, so lookups must be O(1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/service.hpp"
+#include "net/ip_address.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::core {
+
+/// What a hitlist lookup returns.
+struct Hit {
+  ServiceId service = 0;
+  std::uint16_t domain_index = 0;  ///< index into the service's domains
+};
+
+/// Day-resolved (IP, port) -> (service, domain) dictionary.
+class Hitlist {
+ public:
+  Hitlist() : days_(util::kStudyDays) {}
+
+  /// Registers a mapping for one day. First writer wins; a conflicting
+  /// second registration (same IP/port/day, different service) increments
+  /// the collision counter instead of overwriting — dedicated
+  /// infrastructure should never collide, so collisions indicate either a
+  /// classification bug or genuinely shared hosting.
+  void add(const net::IpAddress& ip, std::uint16_t port, util::DayBin day,
+           Hit hit);
+
+  /// O(1) lookup.
+  [[nodiscard]] std::optional<Hit> lookup(const net::IpAddress& ip,
+                                          std::uint16_t port,
+                                          util::DayBin day) const;
+
+  /// Entries registered for one day.
+  [[nodiscard]] std::size_t day_size(util::DayBin day) const {
+    return days_.at(day).size();
+  }
+
+  /// Total entries across all days.
+  [[nodiscard]] std::size_t total_size() const noexcept;
+
+  /// Cross-service collisions observed while building.
+  [[nodiscard]] std::uint64_t collisions() const noexcept {
+    return collisions_;
+  }
+
+  /// Visits every entry as (day, ip, port, hit), day-major. Order within a
+  /// day is unspecified.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (util::DayBin day = 0; day < days_.size(); ++day) {
+      for (const auto& [key, hit] : days_[day]) {
+        fn(day, key.ip, key.port, hit);
+      }
+    }
+  }
+
+ private:
+  struct Key {
+    net::IpAddress ip;
+    std::uint16_t port;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(
+          util::hash_combine(k.ip.hash(), k.port));
+    }
+  };
+
+  std::vector<std::unordered_map<Key, Hit, KeyHash>> days_;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace haystack::core

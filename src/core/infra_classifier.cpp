@@ -1,0 +1,71 @@
+#include "core/infra_classifier.hpp"
+
+#include <algorithm>
+
+namespace haystack::core {
+
+bool InfraClassifier::ip_exclusive(const net::IpAddress& ip,
+                                   const dns::Fqdn& domain,
+                                   const dns::Resolution& resolution,
+                                   util::DayBin day) const {
+  const dns::Fqdn own_sld = domain.registrable();
+  const auto on_ip = pdns_.domains_on(ip, {day, day});
+  for (const auto& other : on_ip) {
+    // Allowed: the queried domain's own registrable domain...
+    if (other.registrable() == own_sld) continue;
+    // ...or a name on the resolution chain (the EC2-VM CNAME case).
+    if (std::binary_search(resolution.chain.begin(), resolution.chain.end(),
+                           other)) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+InfraResult InfraClassifier::classify(const ServiceDomain& domain) const {
+  InfraResult result;
+  const dns::DayWindow window{first_day_, last_day_};
+
+  if (!pdns_.has_records(domain.fqdn, window)) {
+    // Passive DNS never saw this domain: certificate-scan fallback
+    // (requires HTTPS and a ground-truth banner checksum).
+    if (!domain.https || !domain.banner) {
+      result.cls = InfraClass::kNoData;
+      return result;
+    }
+    bool any = false;
+    result.daily_ips.resize(last_day_ - first_day_ + 1);
+    for (util::DayBin day = first_day_; day <= last_day_; ++day) {
+      auto ips = scans_.ips_serving_domain(domain.fqdn, *domain.banner,
+                                           {day, day});
+      any = any || !ips.empty();
+      result.daily_ips[day - first_day_] = std::move(ips);
+    }
+    if (!any) {
+      result.cls = InfraClass::kNoData;
+      result.daily_ips.clear();
+      return result;
+    }
+    result.cls = InfraClass::kViaCertScan;
+    return result;
+  }
+
+  // Passive-DNS path: all IPs on all days must be exclusive.
+  result.daily_ips.resize(last_day_ - first_day_ + 1);
+  for (util::DayBin day = first_day_; day <= last_day_; ++day) {
+    const auto resolution = pdns_.resolve(domain.fqdn, {day, day});
+    for (const auto& ip : resolution.ips) {
+      if (!ip_exclusive(ip, domain.fqdn, resolution, day)) {
+        result.cls = InfraClass::kShared;
+        result.daily_ips.clear();
+        return result;
+      }
+    }
+    result.daily_ips[day - first_day_] = resolution.ips;
+  }
+  result.cls = InfraClass::kDedicated;
+  return result;
+}
+
+}  // namespace haystack::core

@@ -1,0 +1,88 @@
+// Dedicated-vs-shared backend classification (paper Sec. 4.2).
+//
+// For each IoT-specific domain, decide whether its service IPs are
+// *dedicated* to the service or *shared* (CDN / multi-tenant hosting), and
+// collect the full service-IP footprint beyond what the single ground-truth
+// vantage observed:
+//
+//   1. Passive DNS (Sec. 4.2.1): resolve the domain (following CNAMEs) for
+//      every day in the window; a service IP is exclusive when every domain
+//      it serves is either on the resolution chain or under the queried
+//      domain's registrable domain. The domain is dedicated only when all
+//      of its IPs are exclusive on all days.
+//   2. Certificate-scan fallback (Sec. 4.2.2): when passive DNS has no
+//      record at all, find every IP presenting a certificate that matches
+//      the domain (SLD-anchored, no unrelated SAN) together with the
+//      ground-truth banner checksum.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "dns/passive_dns.hpp"
+#include "net/ip_address.hpp"
+#include "tlscert/scan_db.hpp"
+#include "core/service.hpp"
+
+namespace haystack::core {
+
+/// Classification outcome for one domain's backend.
+enum class InfraClass : std::uint8_t {
+  kDedicated,      ///< exclusive service IPs on all days (via passive DNS)
+  kShared,         ///< at least one IP serves unrelated domains
+  kViaCertScan,    ///< no passive-DNS record; recovered via the scan dataset
+  kNoData,         ///< no passive-DNS record and no usable certificate
+};
+
+[[nodiscard]] constexpr std::string_view infra_class_name(
+    InfraClass c) noexcept {
+  switch (c) {
+    case InfraClass::kDedicated:
+      return "Dedicated";
+    case InfraClass::kShared:
+      return "Shared";
+    case InfraClass::kViaCertScan:
+      return "ViaCertScan";
+    case InfraClass::kNoData:
+      return "NoData";
+  }
+  return "?";
+}
+
+/// Result of classifying one domain.
+struct InfraResult {
+  InfraClass cls = InfraClass::kNoData;
+  /// Per-day service IPs (kStudyDays entries) for dedicated/cert-scan
+  /// domains; empty for shared/no-data.
+  std::vector<std::vector<net::IpAddress>> daily_ips;
+};
+
+/// The classifier. Holds references to the external datasets; cheap to
+/// copy construct per analysis window.
+class InfraClassifier {
+ public:
+  InfraClassifier(const dns::PassiveDnsDb& pdns,
+                  const tlscert::CertScanDb& scans, util::DayBin first_day,
+                  util::DayBin last_day) noexcept
+      : pdns_{pdns}, scans_{scans}, first_day_{first_day},
+        last_day_{last_day} {}
+
+  /// Classifies one service domain.
+  [[nodiscard]] InfraResult classify(const ServiceDomain& domain) const;
+
+  /// True when `ip` is exclusively used for `domain` in the window — the
+  /// Sec. 4.2.1 rule, exposed separately for tests and diagnostics.
+  [[nodiscard]] bool ip_exclusive(const net::IpAddress& ip,
+                                  const dns::Fqdn& domain,
+                                  const dns::Resolution& resolution,
+                                  util::DayBin day) const;
+
+ private:
+  const dns::PassiveDnsDb& pdns_;
+  const tlscert::CertScanDb& scans_;
+  util::DayBin first_day_;
+  util::DayBin last_day_;
+};
+
+}  // namespace haystack::core

@@ -1,0 +1,42 @@
+#include "core/mitigation.hpp"
+
+namespace haystack::core {
+
+const AclEntry* MitigationPlan::match(const net::IpAddress& ip,
+                                      std::uint16_t port) const {
+  const auto it = index_.find({ip, port});
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+bool MitigationPlanner::request(std::string_view service_name,
+                                MitigationAction action) {
+  const auto* rule = rules_.rule_by_name(service_name);
+  if (rule == nullptr) return false;
+  requests_[rule->service] = action;
+  return true;
+}
+
+MitigationPlan MitigationPlanner::compile(util::DayBin day) const {
+  MitigationPlan plan;
+  rules_.hitlist.for_each([&](util::DayBin entry_day,
+                              const net::IpAddress& ip, std::uint16_t port,
+                              const Hit& hit) {
+    if (entry_day != day) return;
+    const auto it = requests_.find(hit.service);
+    if (it == requests_.end()) return;
+    AclEntry entry;
+    entry.ip = ip;
+    entry.port = port;
+    entry.action = it->second;
+    entry.service = hit.service;
+    if (entry.action == MitigationAction::kRedirect) {
+      entry.redirect_to = sinkhole_;
+    }
+    const auto [slot, inserted] =
+        plan.index_.try_emplace({ip, port}, plan.entries_.size());
+    if (inserted) plan.entries_.push_back(entry);
+  });
+  return plan;
+}
+
+}  // namespace haystack::core

@@ -1,0 +1,98 @@
+// Mitigation planning (paper Sec. 7.2, "Potential Security Benefits").
+//
+// Once a service is detectable via its dedicated infrastructure, the same
+// hitlist supports constructive interventions: block a vulnerable device's
+// control traffic, or redirect it to a benign server that serves privacy
+// notices / security patches for abandoned products. The planner turns a
+// (service, action) request into concrete (IP, port) ACL entries for a
+// day, plus an applies-to predicate that a flow pipeline can evaluate in
+// O(1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hitlist.hpp"
+#include "core/rules.hpp"
+
+namespace haystack::core {
+
+/// What to do with matching traffic.
+enum class MitigationAction : std::uint8_t {
+  kBlock,      ///< drop flows to the service's infrastructure
+  kRedirect,   ///< rewrite the destination to a benign sinkhole
+  kRateLimit,  ///< police to a configured rate (attack damping)
+};
+
+[[nodiscard]] constexpr std::string_view action_name(
+    MitigationAction a) noexcept {
+  switch (a) {
+    case MitigationAction::kBlock:
+      return "block";
+    case MitigationAction::kRedirect:
+      return "redirect";
+    case MitigationAction::kRateLimit:
+      return "rate-limit";
+  }
+  return "?";
+}
+
+/// One ACL entry.
+struct AclEntry {
+  net::IpAddress ip;
+  std::uint16_t port = 0;
+  MitigationAction action = MitigationAction::kBlock;
+  ServiceId service = 0;
+  /// Sinkhole destination for redirects.
+  net::IpAddress redirect_to;
+};
+
+/// A compiled plan for one day.
+class MitigationPlan {
+ public:
+  /// O(1): the entry applying to (ip, port), or nullptr.
+  [[nodiscard]] const AclEntry* match(const net::IpAddress& ip,
+                                      std::uint16_t port) const;
+
+  [[nodiscard]] const std::vector<AclEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  friend class MitigationPlanner;
+  struct Key {
+    net::IpAddress ip;
+    std::uint16_t port;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(util::hash_combine(k.ip.hash(), k.port));
+    }
+  };
+  std::vector<AclEntry> entries_;
+  std::unordered_map<Key, std::size_t, KeyHash> index_;
+};
+
+/// Builds plans from a rule set's hitlist.
+class MitigationPlanner {
+ public:
+  MitigationPlanner(const RuleSet& rules, net::IpAddress sinkhole)
+      : rules_{rules}, sinkhole_{sinkhole} {}
+
+  /// Requests an action against a service (by rule name). Unknown names
+  /// are ignored; returns whether the service was found.
+  bool request(std::string_view service_name, MitigationAction action);
+
+  /// Compiles the plan for one study day from the daily hitlist.
+  [[nodiscard]] MitigationPlan compile(util::DayBin day) const;
+
+ private:
+  const RuleSet& rules_;
+  net::IpAddress sinkhole_;
+  std::unordered_map<ServiceId, MitigationAction> requests_;
+};
+
+}  // namespace haystack::core

@@ -1,0 +1,169 @@
+#include "core/rule_export.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace haystack::core {
+
+namespace {
+
+const char* level_token(Level level) {
+  switch (level) {
+    case Level::kPlatform:
+      return "platform";
+    case Level::kManufacturer:
+      return "manufacturer";
+    case Level::kProduct:
+      return "product";
+  }
+  return "?";
+}
+
+std::optional<Level> parse_level(const std::string& token) {
+  if (token == "platform") return Level::kPlatform;
+  if (token == "manufacturer") return Level::kManufacturer;
+  if (token == "product") return Level::kProduct;
+  return std::nullopt;
+}
+
+const char* reason_token(ExclusionReason reason) {
+  return reason == ExclusionReason::kSharedBackend ? "shared" : "nodata";
+}
+
+}  // namespace
+
+void export_rules(const RuleSet& rules, std::ostream& os) {
+  os << "# haystack rule set v1\n";
+  for (const auto& rule : rules.rules) {
+    os << "rule\t" << rule.service << '\t' << level_token(rule.level) << '\t'
+       << rule.monitored_domains << '\t';
+    if (rule.parent) {
+      os << *rule.parent;
+    } else {
+      os << '-';
+    }
+    os << '\t';
+    if (rule.critical_monitored_index) {
+      os << *rule.critical_monitored_index;
+    } else {
+      os << '-';
+    }
+    os << '\t' << (rule.critical_sufficient ? 1 : 0) << '\t' << rule.name
+       << '\n';
+    for (std::size_t m = 0; m < rule.monitored_indices.size(); ++m) {
+      os << "mon\t" << rule.service << '\t' << m << '\t'
+         << rule.monitored_indices[m] << '\n';
+    }
+  }
+  for (const auto& excluded : rules.excluded) {
+    os << "excl\t" << excluded.service << '\t'
+       << reason_token(excluded.reason) << '\t' << excluded.dedicated_domains
+       << '\t' << excluded.total_domains << '\t' << excluded.name << '\n';
+  }
+  // Hitlist last: the bulk of the data.
+  rules.hitlist.for_each([&os](util::DayBin day, const net::IpAddress& ip,
+                               std::uint16_t port, const Hit& hit) {
+    os << "hit\t" << day << '\t' << ip.to_string() << '\t' << port << '\t'
+       << hit.service << '\t' << hit.domain_index << '\n';
+  });
+}
+
+std::optional<RuleSet> import_rules(std::istream& is, std::string* error) {
+  RuleSet out;
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+
+    auto syntax_error = [&](const char* what) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + what;
+      }
+      return std::nullopt;
+    };
+
+    if (kind == "rule") {
+      DetectionRule rule;
+      std::string level_str, parent_str, critical_str;
+      int crit_suff = 0;
+      if (!(fields >> rule.service >> level_str >> rule.monitored_domains >>
+            parent_str >> critical_str >> crit_suff)) {
+        return syntax_error("bad rule record");
+      }
+      const auto level = parse_level(level_str);
+      if (!level) return syntax_error("bad level");
+      rule.level = *level;
+      if (parent_str != "-") {
+        rule.parent =
+            static_cast<ServiceId>(std::stoul(parent_str));
+      }
+      if (critical_str != "-") {
+        rule.critical_monitored_index =
+            static_cast<std::uint16_t>(std::stoul(critical_str));
+      }
+      rule.critical_sufficient = crit_suff != 0;
+      std::getline(fields, rule.name);
+      if (!rule.name.empty() && rule.name.front() == '\t') {
+        rule.name.erase(0, 1);
+      }
+      if (rule.name.empty()) return syntax_error("missing rule name");
+      out.rules.push_back(std::move(rule));
+    } else if (kind == "mon") {
+      ServiceId service = 0;
+      std::size_t pos = 0;
+      std::uint16_t index = 0;
+      if (!(fields >> service >> pos >> index)) {
+        return syntax_error("bad mon record");
+      }
+      DetectionRule* rule = nullptr;
+      for (auto& r : out.rules) {
+        if (r.service == service) rule = &r;
+      }
+      if (rule == nullptr) return syntax_error("mon before rule");
+      if (pos != rule->monitored_indices.size()) {
+        return syntax_error("mon out of order");
+      }
+      rule->monitored_indices.push_back(index);
+    } else if (kind == "hit") {
+      util::DayBin day = 0;
+      std::string ip_str;
+      std::uint16_t port = 0;
+      Hit hit;
+      if (!(fields >> day >> ip_str >> port >> hit.service >>
+            hit.domain_index)) {
+        return syntax_error("bad hit record");
+      }
+      const auto ip = net::IpAddress::parse(ip_str);
+      if (!ip || day >= util::kStudyDays) {
+        return syntax_error("bad hit address/day");
+      }
+      out.hitlist.add(*ip, port, day, hit);
+    } else if (kind == "excl") {
+      ExcludedService excluded;
+      std::string reason;
+      if (!(fields >> excluded.service >> reason >>
+            excluded.dedicated_domains >> excluded.total_domains)) {
+        return syntax_error("bad excl record");
+      }
+      excluded.reason = reason == "shared"
+                            ? ExclusionReason::kSharedBackend
+                            : ExclusionReason::kInsufficientData;
+      std::getline(fields, excluded.name);
+      if (!excluded.name.empty() && excluded.name.front() == '\t') {
+        excluded.name.erase(0, 1);
+      }
+      out.excluded.push_back(std::move(excluded));
+    } else {
+      return syntax_error("unknown record kind");
+    }
+  }
+  return out;
+}
+
+}  // namespace haystack::core

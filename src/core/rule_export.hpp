@@ -1,0 +1,30 @@
+// Rule-set serialization: a portable, line-oriented text format so a rule
+// set built by the methodology pipeline can be shipped to collectors that
+// run only the detector (the paper's deployment story: the hitlist is
+// rebuilt daily and distributed to the ISP's analysis nodes).
+//
+// Format (one record per line, tab-separated, '#' comments):
+//   rule <service-id> <level> <N> <parent|-> <critical|-> <crit-suff 0|1> <name>
+//   mon  <service-id> <monitored-pos> <spec-domain-index>
+//   hit  <day> <ip> <port> <service-id> <monitored-pos>
+//   excl <service-id> <reason> <dedicated> <total> <name>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/rules.hpp"
+
+namespace haystack::core {
+
+/// Serializes rules + hitlist + exclusions.
+void export_rules(const RuleSet& rules, std::ostream& os);
+
+/// Parses a serialized rule set. Returns nullopt on any syntax error, with
+/// a human-readable message in `error` (when non-null). Classification
+/// statistics are not part of the format and come back zeroed.
+[[nodiscard]] std::optional<RuleSet> import_rules(std::istream& is,
+                                                  std::string* error = nullptr);
+
+}  // namespace haystack::core

@@ -1,0 +1,118 @@
+#include "core/rules.hpp"
+
+#include <algorithm>
+
+namespace haystack::core {
+
+const DetectionRule* RuleSet::rule_for(ServiceId service) const {
+  for (const auto& r : rules) {
+    if (r.service == service) return &r;
+  }
+  return nullptr;
+}
+
+const DetectionRule* RuleSet::rule_by_name(std::string_view name) const {
+  for (const auto& r : rules) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+RuleSet generate_rules(const std::vector<ServiceSpec>& specs,
+                       const InfraClassifier& classifier,
+                       const RuleGenConfig& config) {
+  RuleSet out;
+
+  for (const ServiceSpec& spec : specs) {
+    unsigned dedicated = 0;
+    unsigned with_data = 0;
+    DetectionRule rule;
+    rule.service = spec.id;
+    rule.name = spec.name;
+    rule.level = spec.level;
+    rule.parent = spec.parent;
+    rule.critical_sufficient = spec.critical_sufficient;
+
+    struct Monitored {
+      std::uint16_t index;
+      std::vector<std::vector<net::IpAddress>> daily_ips;
+      std::uint16_t port;
+    };
+    std::vector<Monitored> monitored;
+
+    for (std::uint16_t i = 0; i < spec.domains.size(); ++i) {
+      const ServiceDomain& dom = spec.domains[i];
+      if (dom.support) continue;  // support domains inform, never trigger
+      const InfraResult result = classifier.classify(dom);
+      ++out.stats.domains_total;
+      switch (result.cls) {
+        case InfraClass::kDedicated:
+          ++out.stats.dedicated;
+          break;
+        case InfraClass::kShared:
+          ++out.stats.shared;
+          break;
+        case InfraClass::kViaCertScan:
+          ++out.stats.dnsdb_missing;
+          ++out.stats.via_cert_scan;
+          break;
+        case InfraClass::kNoData:
+          ++out.stats.dnsdb_missing;
+          ++out.stats.unresolved;
+          break;
+      }
+      if (result.cls == InfraClass::kShared) ++with_data;
+      if (result.cls == InfraClass::kDedicated ||
+          result.cls == InfraClass::kViaCertScan) {
+        ++with_data;
+        ++dedicated;
+        if (dom.iot_exclusive) {
+          monitored.push_back({i, result.daily_ips, dom.port});
+        }
+      }
+    }
+
+    const auto primary_total = static_cast<unsigned>(std::count_if(
+        spec.domains.begin(), spec.domains.end(),
+        [](const ServiceDomain& d) { return !d.support; }));
+
+    if (with_data == 0) {
+      out.excluded.push_back({spec.id, spec.name,
+                              ExclusionReason::kInsufficientData, 0,
+                              primary_total});
+      continue;
+    }
+    const double dedicated_fraction =
+        primary_total == 0 ? 0.0
+                           : static_cast<double>(dedicated) /
+                                 static_cast<double>(primary_total);
+    if (monitored.empty() ||
+        dedicated_fraction < config.min_dedicated_fraction) {
+      out.excluded.push_back({spec.id, spec.name,
+                              ExclusionReason::kSharedBackend, dedicated,
+                              primary_total});
+      continue;
+    }
+
+    // Emit the rule and register the hitlist entries.
+    rule.monitored_domains = static_cast<unsigned>(monitored.size());
+    for (std::uint16_t m = 0; m < monitored.size(); ++m) {
+      const Monitored& mon = monitored[m];
+      rule.monitored_indices.push_back(mon.index);
+      if (mon.index == spec.critical_index) {
+        rule.critical_monitored_index = m;
+      }
+      for (util::DayBin day = config.first_day; day <= config.last_day;
+           ++day) {
+        const auto& ips = mon.daily_ips.at(day - config.first_day);
+        for (const auto& ip : ips) {
+          out.hitlist.add(ip, mon.port, day, {spec.id, m});
+        }
+      }
+    }
+    out.rules.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace haystack::core

@@ -1,0 +1,77 @@
+// IoT service model — the unit of detection.
+//
+// A ServiceSpec is the product of the paper's "manual analysis" step: the
+// grouping of ground-truth-observed domains into an IoT service (one per
+// platform / manufacturer / product detection target), with side
+// information such as the critical domain (avs-alexa.*.amazon.com,
+// samsungotn.net) and the detection hierarchy (Fire TV under Amazon
+// Product under Alexa Enabled).
+//
+// Everything downstream (infrastructure classification, hitlist, rules,
+// detector) consumes ServiceSpecs; nothing in core depends on the
+// simulation — feed it specs derived from real testbed captures and it
+// runs unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/fqdn.hpp"
+
+namespace haystack::core {
+
+/// Detection granularity (Sec. 4.3.1), coarse to fine.
+enum class Level : std::uint8_t { kPlatform, kManufacturer, kProduct };
+
+[[nodiscard]] constexpr std::string_view level_name(Level l) noexcept {
+  switch (l) {
+    case Level::kPlatform:
+      return "Platform";
+    case Level::kManufacturer:
+      return "Manufacturer";
+    case Level::kProduct:
+      return "Product";
+  }
+  return "?";
+}
+
+/// Service identifier: index into the spec list.
+using ServiceId = std::uint16_t;
+
+/// One domain observed for a service in the ground truth.
+struct ServiceDomain {
+  dns::Fqdn fqdn;
+  std::uint16_t port = 443;
+  bool https = false;
+  /// HTTPS banner checksum recorded by the ground-truth probe; enables the
+  /// certificate-scan fallback when passive DNS has no record.
+  std::optional<std::uint64_t> banner;
+  /// True for support domains (complementary third-party services).
+  bool support = false;
+  /// False when the domain is known to be contacted by non-IoT products of
+  /// the same vendor too (the paper's non-exclusive Samsung domains) —
+  /// observed and classified, but never monitored.
+  bool iot_exclusive = true;
+};
+
+/// A candidate IoT service.
+struct ServiceSpec {
+  ServiceId id = 0;
+  std::string name;
+  Level level = Level::kManufacturer;
+  /// Primary-domain candidates (classification decides which become
+  /// monitored). Order is stable; `critical_index` points into it.
+  std::vector<ServiceDomain> domains;
+  /// Detection-hierarchy parent (must be detected before this service).
+  std::optional<ServiceId> parent;
+  /// Index of the critical domain within `domains`.
+  unsigned critical_index = 0;
+  /// When true, observing the critical domain alone suffices for detection
+  /// regardless of the coverage threshold (Samsung's firmware-update
+  /// domain, Sec. 4.3.2).
+  bool critical_sufficient = false;
+};
+
+}  // namespace haystack::core

@@ -1,0 +1,79 @@
+#include "core/sharded_detector.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace haystack::core {
+
+ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
+                                 const DetectorConfig& config,
+                                 unsigned shards) {
+  shards_.reserve(std::max(1u, shards));
+  for (unsigned s = 0; s < std::max(1u, shards); ++s) {
+    shards_.push_back(std::make_unique<Detector>(hitlist, rules, config));
+  }
+}
+
+void ShardedDetector::observe(const Observation& obs) {
+  shards_[shard_of(obs.subscriber)]->observe(obs.subscriber, obs.server,
+                                             obs.port, obs.packets,
+                                             obs.hour);
+}
+
+void ShardedDetector::process_batch(std::span<const Observation> batch) {
+  if (shards_.size() == 1) {
+    for (const auto& obs : batch) observe(obs);
+    return;
+  }
+  // Partition preserving per-subscriber order.
+  std::vector<std::vector<const Observation*>> partitions(shards_.size());
+  for (auto& p : partitions) {
+    p.reserve(batch.size() / shards_.size() + 1);
+  }
+  for (const auto& obs : batch) {
+    partitions[shard_of(obs.subscriber)].push_back(&obs);
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    workers.emplace_back([this, s, &partitions] {
+      Detector& det = *shards_[s];
+      for (const Observation* obs : partitions[s]) {
+        det.observe(obs->subscriber, obs->server, obs->port, obs->packets,
+                    obs->hour);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+bool ShardedDetector::detected(SubscriberKey subscriber,
+                               ServiceId service) const {
+  return shards_[shard_of(subscriber)]->detected(subscriber, service);
+}
+
+std::optional<util::HourBin> ShardedDetector::detection_hour(
+    SubscriberKey subscriber, ServiceId service) const {
+  return shards_[shard_of(subscriber)]->detection_hour(subscriber, service);
+}
+
+void ShardedDetector::for_each_evidence(
+    const std::function<void(SubscriberKey, ServiceId, const Evidence&)>& fn)
+    const {
+  for (const auto& shard : shards_) shard->for_each_evidence(fn);
+}
+
+void ShardedDetector::clear() {
+  for (const auto& shard : shards_) shard->clear();
+}
+
+Detector::Stats ShardedDetector::stats() const {
+  Detector::Stats total;
+  for (const auto& shard : shards_) {
+    total.flows += shard->stats().flows;
+    total.matched += shard->stats().matched;
+  }
+  return total;
+}
+
+}  // namespace haystack::core

@@ -1,0 +1,72 @@
+// Sharded, thread-parallel detector.
+//
+// The per-flow work is one hash lookup plus a bitset update, so a single
+// core already absorbs an ISP's sampled flow volume (see bench/
+// perf_pipeline). For headroom — or for replaying weeks of archived flows
+// "within minutes" — the detector shards by subscriber: evidence for one
+// subscriber lives in exactly one shard, shards share the immutable
+// hitlist and rules, and a batch of observations is partitioned and
+// processed by one thread per shard with no locks on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/detector.hpp"
+
+namespace haystack::core {
+
+/// One flow observation, direction-normalized.
+struct Observation {
+  SubscriberKey subscriber = 0;
+  net::IpAddress server;
+  std::uint16_t port = 0;
+  std::uint64_t packets = 0;
+  util::HourBin hour = 0;
+};
+
+/// Detector sharded by subscriber key.
+class ShardedDetector {
+ public:
+  /// `shards` worker partitions (>= 1). Shares `hitlist`/`rules` which must
+  /// outlive the detector.
+  ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
+                  const DetectorConfig& config, unsigned shards);
+
+  /// Processes a batch: partitions by subscriber shard, then runs every
+  /// shard's partition on its own thread. Observations for one subscriber
+  /// keep their relative order.
+  void process_batch(std::span<const Observation> batch);
+
+  /// Single-observation path (runs inline on the calling thread).
+  void observe(const Observation& obs);
+
+  /// Hierarchy-aware detection (delegates to the owning shard).
+  [[nodiscard]] bool detected(SubscriberKey subscriber,
+                              ServiceId service) const;
+  [[nodiscard]] std::optional<util::HourBin> detection_hour(
+      SubscriberKey subscriber, ServiceId service) const;
+
+  /// Visits evidence across all shards (single-threaded).
+  void for_each_evidence(
+      const std::function<void(SubscriberKey, ServiceId, const Evidence&)>&
+          fn) const;
+
+  void clear();
+
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+  [[nodiscard]] Detector::Stats stats() const;
+
+ private:
+  [[nodiscard]] std::size_t shard_of(SubscriberKey subscriber) const {
+    return util::fnv1a_u64(subscriber) % shards_.size();
+  }
+
+  std::vector<std::unique_ptr<Detector>> shards_;
+};
+
+}  // namespace haystack::core

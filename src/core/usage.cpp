@@ -1,0 +1,21 @@
+#include "core/usage.hpp"
+
+namespace haystack::core {
+
+void UsageClassifier::observe(std::uint64_t subscriber, ServiceId service,
+                              std::uint64_t packets) {
+  hour_packets_[{subscriber, service}] += packets;
+}
+
+std::vector<UsageClassifier::ActiveUse> UsageClassifier::end_hour() {
+  std::vector<ActiveUse> active;
+  for (const auto& [key, packets] : hour_packets_) {
+    if (packets > config_.packet_threshold) {
+      active.push_back({key.subscriber, key.service, packets});
+    }
+  }
+  hour_packets_.clear();
+  return active;
+}
+
+}  // namespace haystack::core

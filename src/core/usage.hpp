@@ -1,0 +1,69 @@
+// Active-vs-idle usage classification (paper Sec. 7.1).
+//
+// Two signals distinguish an actively used device from an idle one in
+// sampled data: (i) some domains only appear during active use, and
+// (ii) the sampled packet volume spikes. The paper uses the second for
+// Alexa-enabled devices — more than `packet_threshold` sampled packets per
+// hour toward a service marks the subscriber as actively using it in that
+// hour (threshold 10, Fig. 17/18).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/service.hpp"
+#include "util/hash.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::core {
+
+/// Usage-classifier configuration.
+struct UsageConfig {
+  /// Sampled packets/hour toward one service above which the device is
+  /// considered in active use (paper: 10).
+  std::uint64_t packet_threshold = 10;
+};
+
+/// Per-hour accumulation of sampled packets per (subscriber, service),
+/// queried at bin close.
+class UsageClassifier {
+ public:
+  explicit UsageClassifier(const UsageConfig& config) : config_{config} {}
+
+  /// Accounts `packets` sampled toward `service` for `subscriber` in the
+  /// current hour. Callers must finish an hour (end_hour) before starting
+  /// the next.
+  void observe(std::uint64_t subscriber, ServiceId service,
+               std::uint64_t packets);
+
+  /// Closes the current hour: returns the set of (subscriber, service)
+  /// pairs classified active, and resets the accumulator.
+  struct ActiveUse {
+    std::uint64_t subscriber;
+    ServiceId service;
+    std::uint64_t packets;
+  };
+  [[nodiscard]] std::vector<ActiveUse> end_hour();
+
+  [[nodiscard]] const UsageConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Key {
+    std::uint64_t subscriber;
+    ServiceId service;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(
+          util::hash_combine(k.subscriber, k.service));
+    }
+  };
+
+  UsageConfig config_;
+  std::unordered_map<Key, std::uint64_t, KeyHash> hour_packets_;
+};
+
+}  // namespace haystack::core

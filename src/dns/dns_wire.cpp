@@ -1,0 +1,205 @@
+#include "dns/dns_wire.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace haystack::dns {
+
+namespace {
+
+constexpr std::uint16_t kFlagResponse = 0x8000;
+constexpr std::uint16_t kClassIn = 1;
+constexpr std::size_t kMaxNameLength = 255;
+constexpr int kMaxPointerHops = 32;
+
+void write_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void write_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  write_u16(out, static_cast<std::uint16_t>(v >> 16));
+  write_u16(out, static_cast<std::uint16_t>(v));
+}
+
+// Encodes a name as uncompressed labels.
+bool write_name(std::vector<std::uint8_t>& out, const Fqdn& name) {
+  if (!name.valid()) return false;
+  for (const auto label : name.labels()) {
+    if (label.empty() || label.size() > 63) return false;
+    out.push_back(static_cast<std::uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+  }
+  out.push_back(0);
+  return true;
+}
+
+// Reads a (possibly compressed) name starting at `pos` in `data`. On
+// success advances `pos` past the name's in-place bytes and returns the
+// dotted name.
+std::optional<std::string> read_name(std::span<const std::uint8_t> data,
+                                     std::size_t& pos) {
+  std::string name;
+  std::size_t cursor = pos;
+  bool jumped = false;
+  int hops = 0;
+
+  for (;;) {
+    if (cursor >= data.size()) return std::nullopt;
+    const std::uint8_t len = data[cursor];
+    if ((len & 0xc0U) == 0xc0U) {
+      // Compression pointer.
+      if (cursor + 1 >= data.size()) return std::nullopt;
+      if (++hops > kMaxPointerHops) return std::nullopt;
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3fU) << 8) | data[cursor + 1];
+      if (!jumped) {
+        pos = cursor + 2;
+        jumped = true;
+      }
+      if (target >= cursor) {
+        // Forward pointers enable trivial loops; RFC names always point
+        // backward.
+        return std::nullopt;
+      }
+      cursor = target;
+      continue;
+    }
+    if ((len & 0xc0U) != 0) return std::nullopt;  // reserved label types
+    if (len == 0) {
+      if (!jumped) pos = cursor + 1;
+      break;
+    }
+    if (cursor + 1 + len > data.size()) return std::nullopt;
+    if (!name.empty()) name += '.';
+    name.append(reinterpret_cast<const char*>(data.data() + cursor + 1),
+                len);
+    if (name.size() > kMaxNameLength) return std::nullopt;
+    cursor += 1 + len;
+  }
+  return name;
+}
+
+std::uint16_t read_u16(std::span<const std::uint8_t> data, std::size_t pos) {
+  return static_cast<std::uint16_t>((data[pos] << 8) | data[pos + 1]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_response(
+    std::uint16_t id, const Fqdn& question,
+    const std::vector<WireRecord>& answers) {
+  std::vector<std::uint8_t> out;
+  write_u16(out, id);
+  write_u16(out, kFlagResponse);
+  write_u16(out, 1);  // qdcount
+  write_u16(out, static_cast<std::uint16_t>(answers.size()));
+  write_u16(out, 0);  // nscount
+  write_u16(out, 0);  // arcount
+
+  write_name(out, question);
+  write_u16(out, static_cast<std::uint16_t>(WireType::kA));
+  write_u16(out, kClassIn);
+
+  for (const auto& rr : answers) {
+    write_name(out, rr.name);
+    write_u16(out, static_cast<std::uint16_t>(rr.type));
+    write_u16(out, kClassIn);
+    write_u32(out, rr.ttl);
+    switch (rr.type) {
+      case WireType::kA: {
+        write_u16(out, 4);
+        write_u32(out, rr.address.v4_value());
+        break;
+      }
+      case WireType::kAaaa: {
+        write_u16(out, 16);
+        const auto bytes = rr.address.bytes();
+        out.insert(out.end(), bytes.begin(), bytes.end());
+        break;
+      }
+      case WireType::kCname: {
+        std::vector<std::uint8_t> target;
+        write_name(target, rr.target);
+        write_u16(out, static_cast<std::uint16_t>(target.size()));
+        out.insert(out.end(), target.begin(), target.end());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<WireMessage> decode_message(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 12) return std::nullopt;
+  WireMessage msg;
+  msg.id = read_u16(data, 0);
+  const std::uint16_t flags = read_u16(data, 2);
+  msg.is_response = (flags & kFlagResponse) != 0;
+  msg.rcode = flags & 0x0fU;
+  const std::uint16_t qdcount = read_u16(data, 4);
+  const std::uint16_t ancount = read_u16(data, 6);
+
+  std::size_t pos = 12;
+  for (std::uint16_t q = 0; q < qdcount; ++q) {
+    const auto name = read_name(data, pos);
+    if (!name || pos + 4 > data.size()) return std::nullopt;
+    if (q == 0) msg.question = Fqdn{*name};
+    pos += 4;  // qtype + qclass
+  }
+
+  for (std::uint16_t a = 0; a < ancount; ++a) {
+    const auto name = read_name(data, pos);
+    if (!name || pos + 10 > data.size()) return std::nullopt;
+    const std::uint16_t type = read_u16(data, pos);
+    // class at pos+2 ignored
+    std::uint32_t ttl = (static_cast<std::uint32_t>(read_u16(data, pos + 4))
+                         << 16) |
+                        read_u16(data, pos + 6);
+    const std::uint16_t rdlength = read_u16(data, pos + 8);
+    pos += 10;
+    if (pos + rdlength > data.size()) return std::nullopt;
+
+    WireRecord rr;
+    rr.name = Fqdn{*name};
+    rr.ttl = ttl;
+    bool keep = true;
+    switch (static_cast<WireType>(type)) {
+      case WireType::kA: {
+        if (rdlength != 4) return std::nullopt;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v = (v << 8) | data[pos + i];
+        rr.type = WireType::kA;
+        rr.address = net::IpAddress::v4(v);
+        break;
+      }
+      case WireType::kAaaa: {
+        if (rdlength != 16) return std::nullopt;
+        std::uint64_t hi = 0;
+        std::uint64_t lo = 0;
+        for (int i = 0; i < 8; ++i) hi = (hi << 8) | data[pos + i];
+        for (int i = 8; i < 16; ++i) lo = (lo << 8) | data[pos + i];
+        rr.type = WireType::kAaaa;
+        rr.address = net::IpAddress::v6(hi, lo);
+        break;
+      }
+      case WireType::kCname: {
+        std::size_t target_pos = pos;
+        const auto target = read_name(data, target_pos);
+        if (!target) return std::nullopt;
+        rr.type = WireType::kCname;
+        rr.target = Fqdn{*target};
+        break;
+      }
+      default:
+        keep = false;  // unknown type: skip rdata
+        break;
+    }
+    pos += rdlength;
+    if (keep) msg.answers.push_back(std::move(rr));
+  }
+  return msg;
+}
+
+}  // namespace haystack::dns

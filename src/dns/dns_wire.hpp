@@ -1,0 +1,61 @@
+// DNS message codec (RFC 1035 subset: A / AAAA / CNAME).
+//
+// Sec. 7.4 of the paper observes that the methodology would be simpler if
+// the ISP could consume its resolver's query stream. This codec plus
+// dns::ResolverFeed implement that pathway: parse real DNS response
+// messages (including compression pointers) and turn their answer sections
+// into passive-DNS records.
+//
+// The encoder produces valid uncompressed messages (compression is an
+// optimization, never a requirement); the decoder handles compression,
+// bounds-checks everything, and refuses pointer loops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dns/fqdn.hpp"
+#include "net/ip_address.hpp"
+
+namespace haystack::dns {
+
+/// DNS RR types handled by this codec.
+enum class WireType : std::uint16_t {
+  kA = 1,
+  kCname = 5,
+  kAaaa = 28,
+};
+
+/// One parsed resource record.
+struct WireRecord {
+  Fqdn name;
+  WireType type = WireType::kA;
+  std::uint32_t ttl = 0;
+  net::IpAddress address;  ///< for A/AAAA
+  Fqdn target;             ///< for CNAME
+};
+
+/// A parsed DNS message (the subset the feed needs).
+struct WireMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t rcode = 0;
+  std::optional<Fqdn> question;       ///< first question, if present
+  std::vector<WireRecord> answers;    ///< answer-section A/AAAA/CNAME only
+};
+
+/// Builds a response message for `question` with the given answer records.
+/// Unknown-type records are not encodable; A/AAAA/CNAME only.
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    std::uint16_t id, const Fqdn& question,
+    const std::vector<WireRecord>& answers);
+
+/// Parses a message. Returns nullopt on malformed input (truncation, bad
+/// labels, compression loops). Unknown RR types in the answer section are
+/// skipped, not errors.
+[[nodiscard]] std::optional<WireMessage> decode_message(
+    std::span<const std::uint8_t> data);
+
+}  // namespace haystack::dns

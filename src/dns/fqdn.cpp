@@ -1,0 +1,132 @@
+#include "dns/fqdn.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace haystack::dns {
+
+namespace {
+
+// Embedded subset of the public-suffix list: the suffixes that occur in the
+// device catalog and backend simulation, plus the common generic TLDs. A
+// multi-label entry means "the registrable domain has one more label than
+// this suffix".
+constexpr std::array<std::string_view, 22> kSuffixes = {
+    "com",    "net",   "org",    "io",     "co",    "tv",     "cn",
+    "de",     "uk",    "eu",     "info",   "cloud", "biz",    "me",
+    "co.uk",  "org.uk", "com.cn", "net.cn", "co.jp", "com.au", "co.kr",
+    "com.br",
+};
+
+bool label_ok(std::string_view label) {
+  if (label.empty() || label.size() > 63) return false;
+  return std::all_of(label.begin(), label.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '-' || c == '_' || c == '*';
+  });
+}
+
+}  // namespace
+
+bool is_public_suffix(std::string_view suffix) noexcept {
+  return std::find(kSuffixes.begin(), kSuffixes.end(), suffix) !=
+         kSuffixes.end();
+}
+
+Fqdn::Fqdn(std::string_view name) {
+  if (name.empty()) return;
+  std::string normalized;
+  normalized.reserve(name.size());
+  for (const char c : name) {
+    normalized += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (!normalized.empty() && normalized.back() == '.') normalized.pop_back();
+  if (normalized.empty() || normalized.size() > 253) return;
+
+  // Validate labels.
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = normalized.find('.', start);
+    const std::string_view label =
+        std::string_view{normalized}.substr(start, dot - start);
+    if (!label_ok(label)) return;
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  name_ = std::move(normalized);
+  valid_ = true;
+}
+
+std::vector<std::string_view> Fqdn::labels() const {
+  std::vector<std::string_view> out;
+  if (!valid_) return out;
+  const std::string_view sv{name_};
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = sv.find('.', start);
+    out.push_back(sv.substr(start, dot - start));
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return out;
+}
+
+std::size_t Fqdn::label_count() const noexcept {
+  if (!valid_) return 0;
+  return static_cast<std::size_t>(
+             std::count(name_.begin(), name_.end(), '.')) +
+         1;
+}
+
+Fqdn Fqdn::registrable() const {
+  if (!valid_) return {};
+  const auto parts = labels();
+  if (parts.size() <= 1) return *this;
+
+  // Find the longest public suffix that is a proper suffix of the name.
+  std::size_t suffix_labels = 0;
+  for (std::size_t take = 1; take < parts.size(); ++take) {
+    std::string candidate;
+    for (std::size_t i = parts.size() - take; i < parts.size(); ++i) {
+      if (!candidate.empty()) candidate += '.';
+      candidate += parts[i];
+    }
+    if (is_public_suffix(candidate)) suffix_labels = take;
+  }
+  if (suffix_labels == 0) suffix_labels = 1;  // unknown TLD: assume 1 label
+  const std::size_t keep = std::min(parts.size(), suffix_labels + 1);
+
+  std::string out;
+  for (std::size_t i = parts.size() - keep; i < parts.size(); ++i) {
+    if (!out.empty()) out += '.';
+    out += parts[i];
+  }
+  return Fqdn{out};
+}
+
+bool Fqdn::is_subdomain_of(const Fqdn& ancestor) const noexcept {
+  if (!valid_ || !ancestor.valid_) return false;
+  if (name_ == ancestor.name_) return true;
+  if (name_.size() <= ancestor.name_.size() + 1) return false;
+  const std::size_t offset = name_.size() - ancestor.name_.size();
+  return name_[offset - 1] == '.' &&
+         name_.compare(offset, std::string::npos, ancestor.name_) == 0;
+}
+
+bool Fqdn::matches_pattern(const Fqdn& pattern) const noexcept {
+  if (!valid_ || !pattern.valid_) return false;
+  const std::string& p = pattern.name_;
+  if (p.rfind("*.", 0) == 0) {
+    const std::string_view tail = std::string_view{p}.substr(2);
+    if (name_.size() <= tail.size() + 1) return false;
+    const std::size_t offset = name_.size() - tail.size();
+    if (name_.compare(offset, std::string::npos, tail) != 0) return false;
+    if (name_[offset - 1] != '.') return false;
+    // Exactly one label may precede the suffix.
+    return name_.find('.') == offset - 1;
+  }
+  return name_ == p;
+}
+
+}  // namespace haystack::dns

@@ -1,0 +1,86 @@
+// Fully-qualified domain name value type.
+//
+// Detection signatures in the paper are keyed on FQDNs and on their
+// "second-level domain" (SLD) — the registrable domain one label below the
+// public suffix (e.g. the SLD of "avs-alexa.na.amazon.com" is "amazon.com",
+// of "foo.co.uk" it is "foo.co.uk"'s owner "foo.co.uk" -> registrable
+// "foo.co.uk"). The exclusivity rule of Sec. 4.2.1 ("an IP is exclusively
+// used if it only serves domains from a single SLD and its CNAMEs") depends
+// on this extraction, so it is implemented against an embedded subset of
+// the public-suffix list covering the suffixes that occur in the catalog.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace haystack::dns {
+
+/// Immutable, case-normalized domain name. Regular value type.
+class Fqdn {
+ public:
+  Fqdn() = default;
+
+  /// Normalizes: lowercases, strips one trailing dot. An empty or
+  /// syntactically hopeless name yields an Fqdn with valid() == false.
+  explicit Fqdn(std::string_view name);
+
+  /// The normalized textual form.
+  [[nodiscard]] const std::string& str() const noexcept { return name_; }
+
+  /// False when the input was empty, had empty labels, or exceeded the
+  /// 253-octet limit.
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+
+  /// Labels from most specific to TLD, e.g. {"avs-alexa","na","amazon","com"}.
+  [[nodiscard]] std::vector<std::string_view> labels() const;
+
+  /// Number of labels.
+  [[nodiscard]] std::size_t label_count() const noexcept;
+
+  /// The registrable domain ("SLD" in the paper's terminology): one label
+  /// below the public suffix. Returns the whole name when it already is a
+  /// registrable domain or when it is a bare public suffix.
+  [[nodiscard]] Fqdn registrable() const;
+
+  /// True when this name equals `ancestor` or is a subdomain of it.
+  [[nodiscard]] bool is_subdomain_of(const Fqdn& ancestor) const noexcept;
+
+  /// Wildcard-pattern match per the paper's certificate rule: `pattern` may
+  /// begin with "*." which matches exactly one leading label; otherwise an
+  /// exact (case-normalized) comparison.
+  [[nodiscard]] bool matches_pattern(const Fqdn& pattern) const noexcept;
+
+  /// Stable hash of the normalized name.
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    return util::fnv1a(name_);
+  }
+
+  friend auto operator<=>(const Fqdn& a, const Fqdn& b) noexcept {
+    return a.name_ <=> b.name_;
+  }
+  friend bool operator==(const Fqdn& a, const Fqdn& b) noexcept {
+    return a.name_ == b.name_;
+  }
+
+ private:
+  std::string name_;
+  bool valid_ = false;
+};
+
+/// True when `suffix` ("com", "co.uk", ...) is in the embedded public-suffix
+/// subset.
+[[nodiscard]] bool is_public_suffix(std::string_view suffix) noexcept;
+
+}  // namespace haystack::dns
+
+template <>
+struct std::hash<haystack::dns::Fqdn> {
+  std::size_t operator()(const haystack::dns::Fqdn& f) const noexcept {
+    return static_cast<std::size_t>(f.hash());
+  }
+};

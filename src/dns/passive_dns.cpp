@@ -1,0 +1,181 @@
+#include "dns/passive_dns.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace haystack::dns {
+
+namespace {
+constexpr std::size_t kMaxChainDepth = 16;
+}
+
+void PassiveDnsDb::add(const PdnsRecord& record) {
+  if (record.type == RrType::kCname) {
+    add_cname(record.name, record.target, record.first_day, record.last_day);
+  } else {
+    add_a(record.name, record.ip, record.first_day, record.last_day);
+  }
+}
+
+void PassiveDnsDb::add_a(const Fqdn& name, const net::IpAddress& ip,
+                         util::DayBin first, util::DayBin last) {
+  auto& entries = addr_[name];
+  for (auto& e : entries) {
+    if (e.ip == ip && first <= e.last + 1 && last + 1 >= e.first) {
+      e.first = std::min(e.first, first);
+      e.last = std::max(e.last, last);
+      return;
+    }
+  }
+  entries.push_back({ip, first, last});
+  index_reverse(ip, name);
+  ++records_;
+}
+
+void PassiveDnsDb::add_cname(const Fqdn& name, const Fqdn& target,
+                             util::DayBin first, util::DayBin last) {
+  auto& entries = cname_[name];
+  for (auto& e : entries) {
+    if (e.target == target && first <= e.last + 1 && last + 1 >= e.first) {
+      e.first = std::min(e.first, first);
+      e.last = std::max(e.last, last);
+      return;
+    }
+  }
+  entries.push_back({target, first, last});
+  auto& rev = cname_reverse_[target];
+  if (std::find(rev.begin(), rev.end(), name) == rev.end()) {
+    rev.push_back(name);
+  }
+  ++records_;
+}
+
+void PassiveDnsDb::index_reverse(const net::IpAddress& ip, const Fqdn& name) {
+  auto& names = reverse_[ip];
+  if (std::find(names.begin(), names.end(), name) == names.end()) {
+    names.push_back(name);
+  }
+}
+
+bool PassiveDnsDb::has_records(const Fqdn& name, DayWindow window) const {
+  if (const auto it = addr_.find(name); it != addr_.end()) {
+    for (const auto& e : it->second) {
+      if (window.overlaps(e.first, e.last)) return true;
+    }
+  }
+  if (const auto it = cname_.find(name); it != cname_.end()) {
+    for (const auto& e : it->second) {
+      if (window.overlaps(e.first, e.last)) return true;
+    }
+  }
+  return false;
+}
+
+Resolution PassiveDnsDb::resolve(const Fqdn& name, DayWindow window) const {
+  Resolution out;
+  std::unordered_set<Fqdn> visited;
+  std::unordered_set<net::IpAddress> ips;
+  std::deque<std::pair<Fqdn, std::size_t>> queue;
+  queue.emplace_back(name, 0);
+
+  while (!queue.empty()) {
+    const auto [current, depth] = queue.front();
+    queue.pop_front();
+    if (depth > kMaxChainDepth || !visited.insert(current).second) continue;
+    out.chain.push_back(current);
+
+    if (const auto it = addr_.find(current); it != addr_.end()) {
+      for (const auto& e : it->second) {
+        if (window.overlaps(e.first, e.last) && ips.insert(e.ip).second) {
+          out.ips.push_back(e.ip);
+        }
+      }
+    }
+    if (const auto it = cname_.find(current); it != cname_.end()) {
+      for (const auto& e : it->second) {
+        if (window.overlaps(e.first, e.last)) {
+          queue.emplace_back(e.target, depth + 1);
+        }
+      }
+    }
+  }
+  std::sort(out.ips.begin(), out.ips.end());
+  std::sort(out.chain.begin(), out.chain.end());
+  return out;
+}
+
+std::vector<Fqdn> PassiveDnsDb::domains_on(const net::IpAddress& ip,
+                                           DayWindow window) const {
+  std::unordered_set<Fqdn> names;
+  const auto rit = reverse_.find(ip);
+  if (rit == reverse_.end()) return {};
+
+  // Direct A/AAAA owners active in the window.
+  std::deque<Fqdn> queue;
+  for (const auto& name : rit->second) {
+    const auto ait = addr_.find(name);
+    if (ait == addr_.end()) continue;
+    for (const auto& e : ait->second) {
+      if (e.ip == ip && window.overlaps(e.first, e.last)) {
+        if (names.insert(name).second) queue.push_back(name);
+        break;
+      }
+    }
+  }
+
+  // Walk CNAMEs backwards: anything aliasing a name on this IP is also "on"
+  // the IP for the exclusivity analysis.
+  std::size_t steps = 0;
+  while (!queue.empty() && steps < 4096) {
+    ++steps;
+    const Fqdn current = queue.front();
+    queue.pop_front();
+    const auto cit = cname_reverse_.find(current);
+    if (cit == cname_reverse_.end()) continue;
+    for (const auto& alias : cit->second) {
+      const auto eit = cname_.find(alias);
+      if (eit == cname_.end()) continue;
+      for (const auto& e : eit->second) {
+        if (e.target == current && window.overlaps(e.first, e.last)) {
+          if (names.insert(alias).second) queue.push_back(alias);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Fqdn> out(names.begin(), names.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PassiveDnsDb::record_count() const noexcept { return records_; }
+
+void PassiveDnsDb::for_each_record(
+    const std::function<void(const PdnsRecord&)>& fn) const {
+  for (const auto& [name, entries] : addr_) {
+    for (const auto& e : entries) {
+      PdnsRecord record;
+      record.name = name;
+      record.type = e.ip.is_v4() ? RrType::kA : RrType::kAaaa;
+      record.ip = e.ip;
+      record.first_day = e.first;
+      record.last_day = e.last;
+      fn(record);
+    }
+  }
+  for (const auto& [name, entries] : cname_) {
+    for (const auto& e : entries) {
+      PdnsRecord record;
+      record.name = name;
+      record.type = RrType::kCname;
+      record.target = e.target;
+      record.first_day = e.first;
+      record.last_day = e.last;
+      fn(record);
+    }
+  }
+}
+
+}  // namespace haystack::dns

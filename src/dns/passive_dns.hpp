@@ -1,0 +1,121 @@
+// Passive-DNS database — the reproduction's stand-in for Farsight DNSDB.
+//
+// Stores time-ranged observations of A/AAAA and CNAME records and answers
+// the two queries the dedicated-vs-shared classifier needs (Sec. 4.2.1):
+//
+//   * resolve(domain, window): every service IP the domain (following its
+//     CNAME chain) mapped to during a day window, and
+//   * domains_on(ip, window): every domain observed mapping to the IP in
+//     the window — the "what else lives on this IP" reverse view.
+//
+// Coverage is intentionally incomplete: the simulator only feeds in records
+// for domains whose lookups "were seen" by the sensor network, reproducing
+// the paper's 15 missing domains that force the Censys fallback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/fqdn.hpp"
+#include "net/ip_address.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::dns {
+
+/// Record type subset needed by the methodology.
+enum class RrType : std::uint8_t { kA, kAaaa, kCname };
+
+/// One passive-DNS observation: `name` resolved to `ip` (A/AAAA) or to
+/// `target` (CNAME) on every day in [first_day, last_day].
+struct PdnsRecord {
+  Fqdn name;
+  RrType type = RrType::kA;
+  net::IpAddress ip;  ///< valid for A/AAAA
+  Fqdn target;        ///< valid for CNAME
+  util::DayBin first_day = 0;
+  util::DayBin last_day = 0;
+};
+
+/// Inclusive day window for queries.
+struct DayWindow {
+  util::DayBin first = 0;
+  util::DayBin last = 0;
+
+  [[nodiscard]] constexpr bool overlaps(util::DayBin a,
+                                        util::DayBin b) const noexcept {
+    return a <= last && b >= first;
+  }
+};
+
+/// Result of resolving a domain: terminal IPs plus every name on the CNAME
+/// chain (including the query name itself).
+struct Resolution {
+  std::vector<net::IpAddress> ips;
+  std::vector<Fqdn> chain;
+};
+
+/// Interval-indexed passive-DNS store.
+class PassiveDnsDb {
+ public:
+  /// Adds one observation. Observations for the same (name, value) pair on
+  /// adjacent/overlapping days are coalesced.
+  void add(const PdnsRecord& record);
+
+  /// Convenience: adds an A record spanning [first, last].
+  void add_a(const Fqdn& name, const net::IpAddress& ip, util::DayBin first,
+             util::DayBin last);
+
+  /// Convenience: adds a CNAME record spanning [first, last].
+  void add_cname(const Fqdn& name, const Fqdn& target, util::DayBin first,
+                 util::DayBin last);
+
+  /// True when the database holds any record (A/AAAA or CNAME) for `name`
+  /// within the window — the "does DNSDB know this domain at all" probe.
+  [[nodiscard]] bool has_records(const Fqdn& name, DayWindow window) const;
+
+  /// Follows CNAME chains (cycle-safe, depth-limited) and returns all
+  /// terminal IPs observed in the window plus the set of chain names.
+  [[nodiscard]] Resolution resolve(const Fqdn& name, DayWindow window) const;
+
+  /// All domains observed resolving (directly, as chain heads, or as CNAME
+  /// intermediates) to `ip` in the window.
+  [[nodiscard]] std::vector<Fqdn> domains_on(const net::IpAddress& ip,
+                                             DayWindow window) const;
+
+  /// Total stored records (after coalescing).
+  [[nodiscard]] std::size_t record_count() const noexcept;
+
+  /// Visits every stored record (A/AAAA first, then CNAMEs; order within a
+  /// kind is unspecified). Used by the serialization layer.
+  void for_each_record(
+      const std::function<void(const PdnsRecord&)>& fn) const;
+
+ private:
+  struct AddrEntry {
+    net::IpAddress ip;
+    util::DayBin first;
+    util::DayBin last;
+  };
+  struct CnameEntry {
+    Fqdn target;
+    util::DayBin first;
+    util::DayBin last;
+  };
+
+  void index_reverse(const net::IpAddress& ip, const Fqdn& name);
+
+  std::unordered_map<Fqdn, std::vector<AddrEntry>> addr_;
+  std::unordered_map<Fqdn, std::vector<CnameEntry>> cname_;
+  // Reverse index: IP -> names with at least one A/AAAA entry for it.
+  std::unordered_map<net::IpAddress, std::vector<Fqdn>> reverse_;
+  // Reverse CNAME index: target -> names pointing at it.
+  std::unordered_map<Fqdn, std::vector<Fqdn>> cname_reverse_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace haystack::dns

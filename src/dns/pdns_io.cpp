@@ -1,0 +1,81 @@
+#include "dns/pdns_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace haystack::dns {
+
+void export_pdns(const PassiveDnsDb& db, std::ostream& os) {
+  os << "# haystack pdns v1\n";
+  db.for_each_record([&os](const PdnsRecord& record) {
+    switch (record.type) {
+      case RrType::kA:
+        os << "a\t" << record.name.str() << '\t' << record.ip.to_string();
+        break;
+      case RrType::kAaaa:
+        os << "aaaa\t" << record.name.str() << '\t'
+           << record.ip.to_string();
+        break;
+      case RrType::kCname:
+        os << "cname\t" << record.name.str() << '\t' << record.target.str();
+        break;
+    }
+    os << '\t' << record.first_day << '\t' << record.last_day << '\n';
+  });
+}
+
+std::optional<PassiveDnsDb> import_pdns(std::istream& is,
+                                        std::string* error) {
+  PassiveDnsDb db;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields{line};
+    std::string kind, name, value;
+    util::DayBin first = 0;
+    util::DayBin last = 0;
+    if (!(fields >> kind >> name >> value >> first >> last)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": bad record";
+      }
+      return std::nullopt;
+    }
+    const Fqdn fqdn{name};
+    if (!fqdn.valid() || last < first) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": bad name or range";
+      }
+      return std::nullopt;
+    }
+    if (kind == "a" || kind == "aaaa") {
+      const auto ip = net::IpAddress::parse(value);
+      if (!ip) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) + ": bad address";
+        }
+        return std::nullopt;
+      }
+      db.add_a(fqdn, *ip, first, last);
+    } else if (kind == "cname") {
+      const Fqdn target{value};
+      if (!target.valid()) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) + ": bad cname target";
+        }
+        return std::nullopt;
+      }
+      db.add_cname(fqdn, target, first, last);
+    } else {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": unknown kind";
+      }
+      return std::nullopt;
+    }
+  }
+  return db;
+}
+
+}  // namespace haystack::dns

@@ -1,0 +1,29 @@
+// Passive-DNS bulk import/export — the MISP/Farsight-style flat dump.
+//
+// A production deployment periodically snapshots the passive-DNS database
+// for rule rebuilds on other machines; the line-oriented format here is
+// the smallest faithful carrier:
+//
+//   # haystack pdns v1
+//   a     <name> <ip> <first-day> <last-day>
+//   aaaa  <name> <ip> <first-day> <last-day>
+//   cname <name> <target> <first-day> <last-day>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "dns/passive_dns.hpp"
+
+namespace haystack::dns {
+
+/// Writes every record of `db`.
+void export_pdns(const PassiveDnsDb& db, std::ostream& os);
+
+/// Reads records into a fresh database. Returns nullopt on syntax errors,
+/// describing the problem via `error` when non-null.
+[[nodiscard]] std::optional<PassiveDnsDb> import_pdns(
+    std::istream& is, std::string* error = nullptr);
+
+}  // namespace haystack::dns

@@ -1,0 +1,38 @@
+#include "dns/resolver_feed.hpp"
+
+namespace haystack::dns {
+
+bool ResolverFeed::allowed(const Fqdn& name) const {
+  return allowlist_.empty() || allowlist_.contains(name.registrable());
+}
+
+bool ResolverFeed::ingest(std::span<const std::uint8_t> message,
+                          util::DayBin day) {
+  const auto parsed = decode_message(message);
+  if (!parsed) {
+    ++stats_.malformed;
+    return false;
+  }
+  ++stats_.messages;
+  if (!parsed->is_response || parsed->rcode != 0) return true;
+
+  for (const auto& rr : parsed->answers) {
+    if (!allowed(rr.name)) {
+      ++stats_.answers_filtered;
+      continue;
+    }
+    switch (rr.type) {
+      case WireType::kA:
+      case WireType::kAaaa:
+        db_.add_a(rr.name, rr.address, day, day);
+        break;
+      case WireType::kCname:
+        db_.add_cname(rr.name, rr.target, day, day);
+        break;
+    }
+    ++stats_.answers_kept;
+  }
+  return true;
+}
+
+}  // namespace haystack::dns

@@ -1,0 +1,425 @@
+#include "flow/ipfix.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace haystack::flow::ipfix {
+
+namespace {
+
+struct FieldSpec {
+  Ie ie;
+  std::uint16_t length;
+};
+
+constexpr std::array<FieldSpec, 11> kV4Fields = {{
+    {Ie::kSourceIpv4Address, 4},
+    {Ie::kDestinationIpv4Address, 4},
+    {Ie::kSourceTransportPort, 2},
+    {Ie::kDestinationTransportPort, 2},
+    {Ie::kProtocolIdentifier, 1},
+    {Ie::kTcpControlBits, 1},
+    {Ie::kPacketDeltaCount, 8},
+    {Ie::kOctetDeltaCount, 8},
+    {Ie::kFlowStartMilliseconds, 8},
+    {Ie::kFlowEndMilliseconds, 8},
+    {Ie::kSamplingInterval, 4},
+}};
+
+constexpr std::array<FieldSpec, 11> kV6Fields = {{
+    {Ie::kSourceIpv6Address, 16},
+    {Ie::kDestinationIpv6Address, 16},
+    {Ie::kSourceTransportPort, 2},
+    {Ie::kDestinationTransportPort, 2},
+    {Ie::kProtocolIdentifier, 1},
+    {Ie::kTcpControlBits, 1},
+    {Ie::kPacketDeltaCount, 8},
+    {Ie::kOctetDeltaCount, 8},
+    {Ie::kFlowStartMilliseconds, 8},
+    {Ie::kFlowEndMilliseconds, 8},
+    {Ie::kSamplingInterval, 4},
+}};
+
+void write_record(ByteWriter& w, const FlowRecord& rec) {
+  const auto src = rec.key.src.bytes();
+  const auto dst = rec.key.dst.bytes();
+  if (rec.key.src.is_v4()) {
+    w.bytes(std::span{src}.subspan(12));
+    w.bytes(std::span{dst}.subspan(12));
+  } else {
+    w.bytes(src);
+    w.bytes(dst);
+  }
+  w.u16(rec.key.src_port);
+  w.u16(rec.key.dst_port);
+  w.u8(rec.key.proto);
+  w.u8(rec.tcp_flags);
+  w.u64(rec.packets);
+  w.u64(rec.bytes);
+  w.u64(rec.start_ms);
+  w.u64(rec.end_ms);
+  w.u32(rec.sampling);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_sampling_options(
+    std::uint32_t observation_domain, std::uint32_t interval,
+    std::uint32_t export_time, std::uint32_t sequence) {
+  ByteWriter w;
+  w.u16(10);
+  const std::size_t total_off = w.size();
+  w.u16(0);
+  w.u32(export_time);
+  w.u32(sequence);
+  w.u32(observation_domain);
+
+  // Options template set (id 3): template id, field count, scope field
+  // count, then scope fields followed by option fields (RFC 7011 §3.4.2.2).
+  {
+    const std::size_t len_off = w.size() + 2;
+    w.u16(kOptionsTemplateSetId);
+    w.u16(0);
+    w.u16(kSamplingOptionsTemplateId);
+    w.u16(3);  // total fields: 1 scope + 2 options
+    w.u16(1);  // scope field count
+    w.u16(149);  // observationDomainId as scope
+    w.u16(4);
+    w.u16(static_cast<std::uint16_t>(Ie::kSamplingInterval));
+    w.u16(4);
+    w.u16(kIeSamplingAlgorithm);
+    w.u16(1);
+    const std::size_t unpadded = w.size() - (len_off - 2);
+    w.pad((4 - unpadded % 4) % 4);
+    w.patch_u16(len_off,
+                static_cast<std::uint16_t>(w.size() - (len_off - 2)));
+  }
+  // Options data set.
+  {
+    const std::size_t len_off = w.size() + 2;
+    w.u16(kSamplingOptionsTemplateId);
+    w.u16(0);
+    w.u32(observation_domain);  // scope value
+    w.u32(interval);
+    w.u8(2);  // random sampling
+    const std::size_t unpadded = w.size() - (len_off - 2);
+    w.pad((4 - unpadded % 4) % 4);
+    w.patch_u16(len_off,
+                static_cast<std::uint16_t>(w.size() - (len_off - 2)));
+  }
+  w.patch_u16(total_off, static_cast<std::uint16_t>(w.size()));
+  return w.take();
+}
+
+void Exporter::write_templates(ByteWriter& w) const {
+  const std::size_t length_offset = w.size() + 2;
+  w.u16(kTemplateSetId);
+  w.u16(0);  // length placeholder
+  auto emit = [&w](std::uint16_t id, std::span<const FieldSpec> fields) {
+    w.u16(id);
+    w.u16(static_cast<std::uint16_t>(fields.size()));
+    for (const auto& f : fields) {
+      w.u16(static_cast<std::uint16_t>(f.ie));
+      w.u16(f.length);
+    }
+  };
+  emit(kTemplateV4, kV4Fields);
+  emit(kTemplateV6, kV6Fields);
+  w.patch_u16(length_offset,
+              static_cast<std::uint16_t>(w.size() - (length_offset - 2)));
+}
+
+std::vector<std::vector<std::uint8_t>> Exporter::export_flows(
+    std::span<const FlowRecord> records, std::uint32_t export_time) {
+  std::vector<std::vector<std::uint8_t>> messages;
+  std::size_t index = 0;
+  while (index < records.size() || messages.empty()) {
+    ByteWriter w;
+    w.u16(10);  // version
+    const std::size_t length_offset = w.size();
+    w.u16(0);  // total length placeholder
+    w.u32(export_time);
+    w.u32(records_sent_);  // sequence: cumulative data records (RFC 7011)
+    w.u32(config_.observation_domain);
+
+    const bool with_templates =
+        messages_sent_ % std::max<std::uint32_t>(
+                             1, config_.template_refresh_messages) ==
+        0;
+    if (with_templates) write_templates(w);
+
+    const std::size_t batch_end =
+        std::min(records.size(), index + config_.max_records_per_message);
+    std::uint32_t emitted = 0;
+    for (const bool v4 : {true, false}) {
+      std::size_t n_here = 0;
+      for (std::size_t i = index; i < batch_end; ++i) {
+        if (records[i].key.src.is_v4() == v4) ++n_here;
+      }
+      if (n_here == 0) continue;
+      const std::size_t set_length_offset = w.size() + 2;
+      w.u16(v4 ? kTemplateV4 : kTemplateV6);
+      w.u16(0);
+      for (std::size_t i = index; i < batch_end; ++i) {
+        if (records[i].key.src.is_v4() == v4) {
+          write_record(w, records[i]);
+          ++emitted;
+        }
+      }
+      const std::size_t unpadded = w.size() - (set_length_offset - 2);
+      const std::size_t padding = (4 - unpadded % 4) % 4;
+      w.pad(padding);
+      w.patch_u16(set_length_offset,
+                  static_cast<std::uint16_t>(unpadded + padding));
+    }
+
+    w.patch_u16(length_offset, static_cast<std::uint16_t>(w.size()));
+    index = batch_end;
+    records_sent_ += emitted;
+    ++messages_sent_;
+    messages.push_back(w.take());
+    if (index >= records.size()) break;
+  }
+  return messages;
+}
+
+bool Collector::ingest(std::span<const std::uint8_t> message,
+                       std::vector<FlowRecord>& out) {
+  ByteReader whole{message};
+  const std::uint16_t version = whole.u16();
+  const std::uint16_t total_length = whole.u16();
+  whole.u32();  // export time
+  const std::uint32_t sequence = whole.u32();
+  const std::uint32_t domain = whole.u32();
+  if (!whole.ok() || version != 10 || total_length != message.size() ||
+      total_length < 16) {
+    ++stats_.malformed_messages;
+    return false;
+  }
+  ++stats_.messages;
+
+  // Sequence-gap detection per observation domain.
+  if (const auto it = expected_sequence_.find(domain);
+      it != expected_sequence_.end() && it->second != sequence) {
+    ++stats_.sequence_gaps;
+  }
+
+  std::uint64_t records_before = stats_.records;
+  while (whole.ok() && whole.remaining() >= 4) {
+    const std::uint16_t set_id = whole.u16();
+    const std::uint16_t set_length = whole.u16();
+    if (set_length < 4 || set_length - 4U > whole.remaining()) {
+      ++stats_.malformed_messages;
+      return false;
+    }
+    ByteReader body = whole.slice(set_length - 4U);
+    if (set_id == kTemplateSetId) {
+      if (!decode_template_set(body, domain)) {
+        ++stats_.malformed_messages;
+        return false;
+      }
+    } else if (set_id == kOptionsTemplateSetId) {
+      if (!decode_options_template_set(body, domain)) {
+        ++stats_.malformed_messages;
+        return false;
+      }
+    } else if (set_id >= 256) {
+      if (options_templates_.contains({domain, set_id})) {
+        if (!decode_options_data(body, set_id, domain)) {
+          ++stats_.malformed_messages;
+          return false;
+        }
+      } else if (!decode_data_set(body, set_id, domain, out)) {
+        ++stats_.malformed_messages;
+        return false;
+      }
+    }
+  }
+  if (!whole.ok()) {
+    ++stats_.malformed_messages;
+    return false;
+  }
+  expected_sequence_[domain] =
+      sequence + static_cast<std::uint32_t>(stats_.records - records_before);
+  return true;
+}
+
+bool Collector::decode_template_set(ByteReader& r, std::uint32_t domain) {
+  while (r.ok() && r.remaining() >= 4) {
+    const std::uint16_t template_id = r.u16();
+    const std::uint16_t field_count = r.u16();
+    if (template_id < 256) return false;
+    Template tmpl;
+    tmpl.reserve(field_count);
+    for (std::uint16_t i = 0; i < field_count; ++i) {
+      std::uint16_t id = r.u16();
+      const std::uint16_t length = r.u16();
+      TemplateField field{};
+      field.enterprise = (id & 0x8000U) != 0;
+      field.id = id & 0x7fffU;
+      field.length = length;
+      if (field.enterprise) r.u32();  // enterprise number, skipped
+      if (!r.ok()) return false;
+      tmpl.push_back(field);
+    }
+    templates_[{domain, template_id}] = std::move(tmpl);
+    ++stats_.templates_learned;
+  }
+  return r.ok();
+}
+
+bool Collector::decode_options_template_set(ByteReader& r,
+                                            std::uint32_t domain) {
+  while (r.ok() && r.remaining() >= 6) {
+    const std::uint16_t template_id = r.u16();
+    const std::uint16_t field_count = r.u16();
+    const std::uint16_t scope_count = r.u16();
+    if (template_id < 256 || scope_count > field_count) return false;
+    OptionsTemplate tmpl;
+    for (std::uint16_t i = 0; i < field_count; ++i) {
+      std::uint16_t id = r.u16();
+      const std::uint16_t length = r.u16();
+      TemplateField field{};
+      field.enterprise = (id & 0x8000U) != 0;
+      field.id = id & 0x7fffU;
+      field.length = length;
+      if (field.enterprise) r.u32();
+      if (!r.ok()) return false;
+      if (i < scope_count) {
+        tmpl.scope_bytes += length;
+      } else {
+        tmpl.fields.push_back(field);
+      }
+    }
+    options_templates_[{domain, template_id}] = std::move(tmpl);
+    ++stats_.options_templates_learned;
+    // Padding at set end: stop when too little remains for a header.
+    if (r.remaining() < 6) break;
+  }
+  return r.ok();
+}
+
+bool Collector::decode_options_data(ByteReader& r, std::uint16_t set_id,
+                                    std::uint32_t domain) {
+  const auto it = options_templates_.find({domain, set_id});
+  if (it == options_templates_.end()) return true;
+  const OptionsTemplate& tmpl = it->second;
+  std::size_t record_bytes = tmpl.scope_bytes;
+  for (const auto& f : tmpl.fields) record_bytes += f.length;
+  if (record_bytes == 0) return false;
+
+  while (r.ok() && r.remaining() >= record_bytes) {
+    r.skip(tmpl.scope_bytes);
+    std::optional<std::uint32_t> interval;
+    for (const auto& f : tmpl.fields) {
+      if (!f.enterprise &&
+          f.id == static_cast<std::uint16_t>(Ie::kSamplingInterval) &&
+          f.length == 4) {
+        interval = r.u32();
+      } else {
+        r.skip(f.length);
+      }
+    }
+    if (!r.ok()) return false;
+    if (interval) announced_sampling_[domain] = *interval;
+  }
+  return r.ok();
+}
+
+std::optional<std::uint32_t> Collector::announced_sampling(
+    std::uint32_t observation_domain) const {
+  const auto it = announced_sampling_.find(observation_domain);
+  if (it == announced_sampling_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Collector::decode_data_set(ByteReader& r, std::uint16_t set_id,
+                                std::uint32_t domain,
+                                std::vector<FlowRecord>& out) {
+  const auto it = templates_.find({domain, set_id});
+  if (it == templates_.end()) {
+    ++stats_.unknown_template_sets;
+    return true;
+  }
+  const Template& tmpl = it->second;
+
+  // Minimum fixed size of one record; variable-length fields contribute
+  // their 1-byte length prefix.
+  std::size_t min_len = 0;
+  for (const auto& f : tmpl) {
+    min_len += f.length == 0xffffU ? 1 : f.length;
+  }
+  if (min_len == 0) return false;
+
+  while (r.ok() && r.remaining() >= min_len) {
+    FlowRecord rec;
+    for (const auto& f : tmpl) {
+      std::uint16_t length = f.length;
+      if (length == 0xffffU) {
+        // RFC 7011 §7: variable length; 255 escapes to a 2-byte length.
+        length = r.u8();
+        if (length == 255) length = r.u16();
+        r.skip(length);
+        continue;
+      }
+      if (f.enterprise) {
+        r.skip(length);
+        continue;
+      }
+      switch (static_cast<Ie>(f.id)) {
+        case Ie::kSourceIpv4Address:
+          rec.key.src = net::IpAddress::v4(r.u32());
+          break;
+        case Ie::kDestinationIpv4Address:
+          rec.key.dst = net::IpAddress::v4(r.u32());
+          break;
+        case Ie::kSourceIpv6Address: {
+          const std::uint64_t hi = r.u64();
+          rec.key.src = net::IpAddress::v6(hi, r.u64());
+          break;
+        }
+        case Ie::kDestinationIpv6Address: {
+          const std::uint64_t hi = r.u64();
+          rec.key.dst = net::IpAddress::v6(hi, r.u64());
+          break;
+        }
+        case Ie::kSourceTransportPort:
+          rec.key.src_port = r.u16();
+          break;
+        case Ie::kDestinationTransportPort:
+          rec.key.dst_port = r.u16();
+          break;
+        case Ie::kProtocolIdentifier:
+          rec.key.proto = r.u8();
+          break;
+        case Ie::kTcpControlBits:
+          rec.tcp_flags = r.u8();
+          break;
+        case Ie::kPacketDeltaCount:
+          rec.packets = f.length == 8 ? r.u64() : r.u32();
+          break;
+        case Ie::kOctetDeltaCount:
+          rec.bytes = f.length == 8 ? r.u64() : r.u32();
+          break;
+        case Ie::kFlowStartMilliseconds:
+          rec.start_ms = r.u64();
+          break;
+        case Ie::kFlowEndMilliseconds:
+          rec.end_ms = r.u64();
+          break;
+        case Ie::kSamplingInterval:
+          rec.sampling = r.u32();
+          break;
+        default:
+          r.skip(length);
+          break;
+      }
+    }
+    if (!r.ok()) return false;
+    out.push_back(rec);
+    ++stats_.records;
+  }
+  return r.ok();
+}
+
+}  // namespace haystack::flow::ipfix

@@ -1,0 +1,143 @@
+// IPFIX message codec (RFC 7011).
+//
+// The IXP vantage point collects IPFIX across its switching fabric. This
+// codec implements the real message format: the 16-byte message header
+// (version 10, total length, export time, sequence number counting data
+// records, observation domain), template sets (set id 2) and data sets
+// (set id >= 256). The decoder additionally understands enterprise-numbered
+// fields (high bit of the IE id, RFC 7011 §3.2) and variable-length fields
+// (field length 65535, §7), skipping their content, so it survives
+// real-world exporters that interleave vendor IEs with the standard ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "flow/wire.hpp"
+
+namespace haystack::flow::ipfix {
+
+/// IANA information element ids used by this implementation.
+enum class Ie : std::uint16_t {
+  kOctetDeltaCount = 1,
+  kPacketDeltaCount = 2,
+  kProtocolIdentifier = 4,
+  kTcpControlBits = 6,
+  kSourceTransportPort = 7,
+  kSourceIpv4Address = 8,
+  kDestinationTransportPort = 11,
+  kDestinationIpv4Address = 12,
+  kSourceIpv6Address = 27,
+  kDestinationIpv6Address = 28,
+  kSamplingInterval = 34,
+  kFlowStartMilliseconds = 152,
+  kFlowEndMilliseconds = 153,
+};
+
+inline constexpr std::uint16_t kTemplateSetId = 2;
+inline constexpr std::uint16_t kOptionsTemplateSetId = 3;
+inline constexpr std::uint16_t kTemplateV4 = 300;
+inline constexpr std::uint16_t kTemplateV6 = 301;
+inline constexpr std::uint16_t kSamplingOptionsTemplateId = 400;
+/// samplingAlgorithm IE (deprecated in favour of selector IEs, but still
+/// what fielded exporters emit alongside samplingInterval).
+inline constexpr std::uint16_t kIeSamplingAlgorithm = 35;
+
+/// Encodes a stand-alone IPFIX message announcing the observation domain's
+/// sampling configuration through an options template (set id 3, RFC 7011
+/// §3.4.2.2) plus one options data record.
+[[nodiscard]] std::vector<std::uint8_t> encode_sampling_options(
+    std::uint32_t observation_domain, std::uint32_t interval,
+    std::uint32_t export_time, std::uint32_t sequence);
+
+/// Exporter configuration.
+struct ExporterConfig {
+  std::uint32_t observation_domain = 1;
+  std::uint32_t sampling = 1;
+  std::size_t max_records_per_message = 24;
+  std::uint32_t template_refresh_messages = 20;
+};
+
+/// Stateful IPFIX exporter.
+class Exporter {
+ public:
+  explicit Exporter(ExporterConfig config) noexcept : config_{config} {}
+
+  /// Encodes `records` into one or more IPFIX messages. The message
+  /// sequence number counts cumulative data records per RFC 7011 §3.1.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> export_flows(
+      std::span<const FlowRecord> records, std::uint32_t export_time);
+
+  [[nodiscard]] std::uint32_t messages_sent() const noexcept {
+    return messages_sent_;
+  }
+  [[nodiscard]] std::uint32_t records_sent() const noexcept {
+    return records_sent_;
+  }
+
+ private:
+  void write_templates(ByteWriter& w) const;
+
+  ExporterConfig config_;
+  std::uint32_t messages_sent_ = 0;
+  std::uint32_t records_sent_ = 0;
+};
+
+/// Decoder statistics.
+struct CollectorStats {
+  std::uint64_t messages = 0;
+  std::uint64_t records = 0;
+  std::uint64_t templates_learned = 0;
+  std::uint64_t options_templates_learned = 0;
+  std::uint64_t unknown_template_sets = 0;
+  std::uint64_t malformed_messages = 0;
+  std::uint64_t sequence_gaps = 0;  ///< detected lost data records
+};
+
+/// Stateful IPFIX collector with sequence-gap tracking.
+class Collector {
+ public:
+  /// Decodes one IPFIX message, appending records to `out`. Returns false
+  /// on malformed input.
+  bool ingest(std::span<const std::uint8_t> message,
+              std::vector<FlowRecord>& out);
+
+  [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
+
+  /// Sampling interval announced by an observation domain via options data,
+  /// or nullopt when none was seen.
+  [[nodiscard]] std::optional<std::uint32_t> announced_sampling(
+      std::uint32_t observation_domain) const;
+
+ private:
+  struct TemplateField {
+    std::uint16_t id;          ///< IE id without the enterprise bit
+    std::uint16_t length;      ///< 65535 = variable length
+    bool enterprise = false;
+  };
+  using Template = std::vector<TemplateField>;
+
+  bool decode_template_set(ByteReader& r, std::uint32_t domain);
+  bool decode_options_template_set(ByteReader& r, std::uint32_t domain);
+  bool decode_data_set(ByteReader& r, std::uint16_t set_id,
+                       std::uint32_t domain, std::vector<FlowRecord>& out);
+  bool decode_options_data(ByteReader& r, std::uint16_t set_id,
+                           std::uint32_t domain);
+
+  struct OptionsTemplate {
+    std::uint16_t scope_bytes = 0;
+    std::vector<TemplateField> fields;
+  };
+  std::map<std::pair<std::uint32_t, std::uint16_t>, Template> templates_;
+  std::map<std::pair<std::uint32_t, std::uint16_t>, OptionsTemplate>
+      options_templates_;
+  std::map<std::uint32_t, std::uint32_t> announced_sampling_;
+  std::map<std::uint32_t, std::uint32_t> expected_sequence_;
+  CollectorStats stats_;
+};
+
+}  // namespace haystack::flow::ipfix

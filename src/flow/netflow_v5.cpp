@@ -1,0 +1,130 @@
+#include "flow/netflow_v5.hpp"
+
+#include <algorithm>
+
+namespace haystack::flow::nf5 {
+
+std::vector<std::vector<std::uint8_t>> Exporter::export_flows(
+    std::span<const FlowRecord> records, std::uint32_t unix_secs) {
+  // Collect encodable (IPv4) records first.
+  std::vector<const FlowRecord*> v4;
+  v4.reserve(records.size());
+  for (const auto& rec : records) {
+    if (rec.key.src.is_v4() && rec.key.dst.is_v4()) {
+      v4.push_back(&rec);
+    } else {
+      ++skipped_ipv6_;
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> packets;
+  for (std::size_t index = 0; index < v4.size();
+       index += kMaxRecordsPerPacket) {
+    const std::size_t count =
+        std::min(kMaxRecordsPerPacket, v4.size() - index);
+    ByteWriter w;
+    w.u16(5);
+    w.u16(static_cast<std::uint16_t>(count));
+    w.u32(unix_secs * 1000U);          // sysUptime
+    w.u32(unix_secs);                  // unix secs
+    w.u32(0);                          // residual nanoseconds
+    w.u32(flows_sent_);                // flow sequence
+    w.u8(0);                           // engine type
+    w.u8(config_.engine_id);
+    // sampling: mode (2 bits) << 14 | interval (14 bits); mode 1 = packet
+    // interval sampling.
+    const std::uint16_t mode = config_.sampling > 1 ? 1 : 0;
+    w.u16(static_cast<std::uint16_t>((mode << 14) |
+                                     (config_.sampling & 0x3fffU)));
+
+    for (std::size_t i = 0; i < count; ++i) {
+      const FlowRecord& rec = *v4[index + i];
+      w.u32(rec.key.src.v4_value());
+      w.u32(rec.key.dst.v4_value());
+      w.u32(0);  // next hop
+      w.u16(0);  // input ifindex
+      w.u16(0);  // output ifindex
+      w.u32(static_cast<std::uint32_t>(rec.packets));
+      w.u32(static_cast<std::uint32_t>(rec.bytes));
+      w.u32(static_cast<std::uint32_t>(rec.start_ms));
+      w.u32(static_cast<std::uint32_t>(rec.end_ms));
+      w.u16(rec.key.src_port);
+      w.u16(rec.key.dst_port);
+      w.u8(0);  // pad
+      w.u8(rec.tcp_flags);
+      w.u8(rec.key.proto);
+      w.u8(0);   // tos
+      w.u16(0);  // src AS
+      w.u16(0);  // dst AS
+      w.u8(0);   // src mask
+      w.u8(0);   // dst mask
+      w.u16(0);  // pad
+    }
+    flows_sent_ += static_cast<std::uint32_t>(count);
+    packets.push_back(w.take());
+  }
+  return packets;
+}
+
+bool Collector::ingest(std::span<const std::uint8_t> packet,
+                       std::vector<FlowRecord>& out) {
+  ByteReader r{packet};
+  const std::uint16_t version = r.u16();
+  const std::uint16_t count = r.u16();
+  r.u32();  // sysUptime
+  r.u32();  // unix secs
+  r.u32();  // nanoseconds
+  const std::uint32_t sequence = r.u32();
+  r.u8();   // engine type
+  r.u8();   // engine id
+  const std::uint16_t sampling_field = r.u16();
+  if (!r.ok() || version != 5 || count > kMaxRecordsPerPacket ||
+      packet.size() != kHeaderBytes + count * kRecordBytes) {
+    ++stats_.malformed_packets;
+    return false;
+  }
+  ++stats_.packets;
+  if (have_sequence_ && sequence != expected_sequence_) {
+    ++stats_.sequence_gaps;
+  }
+
+  const std::uint16_t mode = sampling_field >> 14;
+  const std::uint32_t interval =
+      mode == 0 ? 1 : std::max<std::uint32_t>(1, sampling_field & 0x3fffU);
+
+  for (std::uint16_t i = 0; i < count; ++i) {
+    FlowRecord rec;
+    rec.key.src = net::IpAddress::v4(r.u32());
+    rec.key.dst = net::IpAddress::v4(r.u32());
+    r.u32();  // next hop
+    r.u16();
+    r.u16();
+    rec.packets = r.u32();
+    rec.bytes = r.u32();
+    rec.start_ms = r.u32();
+    rec.end_ms = r.u32();
+    rec.key.src_port = r.u16();
+    rec.key.dst_port = r.u16();
+    r.u8();
+    rec.tcp_flags = r.u8();
+    rec.key.proto = r.u8();
+    r.u8();
+    r.u16();
+    r.u16();
+    r.u8();
+    r.u8();
+    r.u16();
+    rec.sampling = interval;
+    if (!r.ok()) {
+      ++stats_.malformed_packets;
+      return false;
+    }
+    out.push_back(rec);
+    ++stats_.records;
+  }
+  have_sequence_ = true;
+  expected_sequence_ = sequence + count;
+  return true;
+}
+
+}  // namespace haystack::flow::nf5

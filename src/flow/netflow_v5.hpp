@@ -1,0 +1,77 @@
+// NetFlow v5 codec — the fixed-format legacy export still emitted by a
+// large share of deployed routers. Production collectors at an ISP ingest
+// a mix of v5 and v9; the methodology is format-agnostic once records are
+// normalized, so the repository carries both.
+//
+// v5 is IPv4-only: 24-byte header + up to 30 fixed 48-byte records. The
+// sampling interval travels in the header (bits 0..13 of the last field),
+// not per record.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "flow/wire.hpp"
+
+namespace haystack::flow::nf5 {
+
+inline constexpr std::size_t kMaxRecordsPerPacket = 30;
+inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::size_t kRecordBytes = 48;
+
+/// Exporter configuration.
+struct ExporterConfig {
+  std::uint8_t engine_id = 1;
+  /// 1-in-N sampling interval, stamped into the header (14 bits).
+  std::uint16_t sampling = 1;
+};
+
+/// Stateless v5 exporter (no templates). IPv6 records are not encodable
+/// and are skipped; the count of skipped records is returned via stats.
+class Exporter {
+ public:
+  explicit Exporter(ExporterConfig config) noexcept : config_{config} {}
+
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> export_flows(
+      std::span<const FlowRecord> records, std::uint32_t unix_secs);
+
+  [[nodiscard]] std::uint32_t flows_sent() const noexcept {
+    return flows_sent_;
+  }
+  [[nodiscard]] std::uint64_t skipped_ipv6() const noexcept {
+    return skipped_ipv6_;
+  }
+
+ private:
+  ExporterConfig config_;
+  std::uint32_t flows_sent_ = 0;
+  std::uint64_t skipped_ipv6_ = 0;
+};
+
+/// Decoder statistics.
+struct CollectorStats {
+  std::uint64_t packets = 0;
+  std::uint64_t records = 0;
+  std::uint64_t malformed_packets = 0;
+  std::uint64_t sequence_gaps = 0;
+};
+
+/// v5 collector. Applies the header's sampling interval to every record.
+class Collector {
+ public:
+  bool ingest(std::span<const std::uint8_t> packet,
+              std::vector<FlowRecord>& out);
+
+  [[nodiscard]] const CollectorStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  CollectorStats stats_;
+  bool have_sequence_ = false;
+  std::uint32_t expected_sequence_ = 0;
+};
+
+}  // namespace haystack::flow::nf5

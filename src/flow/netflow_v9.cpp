@@ -1,0 +1,290 @@
+#include "flow/netflow_v9.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace haystack::flow::nf9 {
+
+namespace {
+
+struct FieldSpec {
+  FieldType type;
+  std::uint16_t length;
+};
+
+// Record layouts. Field order matters on the wire; both templates put the
+// addresses first, then ports/proto/flags, then counters and times.
+constexpr std::array<FieldSpec, 11> kV4Fields = {{
+    {FieldType::kIpv4SrcAddr, 4},
+    {FieldType::kIpv4DstAddr, 4},
+    {FieldType::kL4SrcPort, 2},
+    {FieldType::kL4DstPort, 2},
+    {FieldType::kProtocol, 1},
+    {FieldType::kTcpFlags, 1},
+    {FieldType::kInPkts, 8},
+    {FieldType::kInBytes, 8},
+    {FieldType::kFirstSwitched, 4},
+    {FieldType::kLastSwitched, 4},
+    {FieldType::kSamplingInterval, 4},
+}};
+
+constexpr std::array<FieldSpec, 11> kV6Fields = {{
+    {FieldType::kIpv6SrcAddr, 16},
+    {FieldType::kIpv6DstAddr, 16},
+    {FieldType::kL4SrcPort, 2},
+    {FieldType::kL4DstPort, 2},
+    {FieldType::kProtocol, 1},
+    {FieldType::kTcpFlags, 1},
+    {FieldType::kInPkts, 8},
+    {FieldType::kInBytes, 8},
+    {FieldType::kFirstSwitched, 4},
+    {FieldType::kLastSwitched, 4},
+    {FieldType::kSamplingInterval, 4},
+}};
+
+void write_record(ByteWriter& w, const FlowRecord& rec) {
+  const auto src = rec.key.src.bytes();
+  const auto dst = rec.key.dst.bytes();
+  if (rec.key.src.is_v4()) {
+    w.bytes(std::span{src}.subspan(12));
+    w.bytes(std::span{dst}.subspan(12));
+  } else {
+    w.bytes(src);
+    w.bytes(dst);
+  }
+  w.u16(rec.key.src_port);
+  w.u16(rec.key.dst_port);
+  w.u8(rec.key.proto);
+  w.u8(rec.tcp_flags);
+  w.u64(rec.packets);
+  w.u64(rec.bytes);
+  w.u32(static_cast<std::uint32_t>(rec.start_ms));
+  w.u32(static_cast<std::uint32_t>(rec.end_ms));
+  w.u32(rec.sampling);
+}
+
+}  // namespace
+
+void Exporter::write_templates(ByteWriter& w) const {
+  // Template flowset: id 0, then for each template: id, field count, fields.
+  const std::size_t length_offset = w.size() + 2;
+  w.u16(0);  // flowset id 0 = template
+  w.u16(0);  // length placeholder
+  auto emit = [&w](std::uint16_t id, std::span<const FieldSpec> fields) {
+    w.u16(id);
+    w.u16(static_cast<std::uint16_t>(fields.size()));
+    for (const auto& f : fields) {
+      w.u16(static_cast<std::uint16_t>(f.type));
+      w.u16(f.length);
+    }
+  };
+  emit(kTemplateV4, kV4Fields);
+  emit(kTemplateV6, kV6Fields);
+  w.patch_u16(length_offset,
+              static_cast<std::uint16_t>(w.size() - (length_offset - 2)));
+}
+
+std::vector<std::vector<std::uint8_t>> Exporter::export_flows(
+    std::span<const FlowRecord> records, std::uint32_t unix_secs) {
+  std::vector<std::vector<std::uint8_t>> packets;
+  std::size_t index = 0;
+  while (index < records.size() || packets.empty()) {
+    ByteWriter w;
+    // Packet header (20 bytes). Count is patched once known.
+    w.u16(9);
+    const std::size_t count_offset = w.size();
+    w.u16(0);
+    w.u32(unix_secs * 1000U);  // sysUptime: synthetic, ms since boot
+    w.u32(unix_secs);
+    w.u32(packets_sent_);  // sequence = packets sent so far (RFC 3954)
+    w.u32(config_.source_id);
+
+    std::uint16_t flowset_count = 0;
+    const bool with_templates =
+        packets_sent_ % std::max<std::uint32_t>(
+                            1, config_.template_refresh_packets) ==
+        0;
+    if (with_templates) {
+      write_templates(w);
+      ++flowset_count;
+    }
+
+    // Partition this packet's records by family, one data flowset each.
+    const std::size_t batch_end =
+        std::min(records.size(), index + config_.max_records_per_packet);
+    for (const bool v4 : {true, false}) {
+      std::size_t n_here = 0;
+      for (std::size_t i = index; i < batch_end; ++i) {
+        if (records[i].key.src.is_v4() == v4) ++n_here;
+      }
+      if (n_here == 0) continue;
+      const std::size_t length_offset = w.size() + 2;
+      w.u16(v4 ? kTemplateV4 : kTemplateV6);
+      w.u16(0);  // length placeholder
+      for (std::size_t i = index; i < batch_end; ++i) {
+        if (records[i].key.src.is_v4() == v4) write_record(w, records[i]);
+      }
+      // Pad to 32-bit boundary.
+      const std::size_t unpadded = w.size() - (length_offset - 2);
+      const std::size_t padding = (4 - unpadded % 4) % 4;
+      w.pad(padding);
+      w.patch_u16(length_offset,
+                  static_cast<std::uint16_t>(unpadded + padding));
+      ++flowset_count;
+    }
+
+    w.patch_u16(count_offset, flowset_count);
+    index = batch_end;
+    ++packets_sent_;
+    packets.push_back(w.take());
+    if (index >= records.size()) break;
+  }
+  return packets;
+}
+
+bool Collector::ingest(std::span<const std::uint8_t> packet,
+                       std::vector<FlowRecord>& out) {
+  ByteReader r{packet};
+  const std::uint16_t version = r.u16();
+  const std::uint16_t count = r.u16();
+  r.u32();  // sysUptime
+  r.u32();  // unix secs
+  r.u32();  // sequence
+  const std::uint32_t source_id = r.u32();
+  if (!r.ok() || version != 9) {
+    ++stats_.malformed_packets;
+    return false;
+  }
+  ++stats_.packets;
+
+  // `count` in v9 counts *records plus templates*; implementations disagree,
+  // so we use it only as a sanity bound and otherwise walk flowsets until
+  // the packet is exhausted.
+  (void)count;
+  while (r.ok() && r.remaining() >= 4) {
+    const std::uint16_t flowset_id = r.u16();
+    const std::uint16_t length = r.u16();
+    if (length < 4 || static_cast<std::size_t>(length - 4) > r.remaining()) {
+      ++stats_.malformed_packets;
+      return false;
+    }
+    ByteReader body = r.slice(length - 4U);
+    if (flowset_id == 0) {
+      if (!decode_template_flowset(body, source_id)) {
+        ++stats_.malformed_packets;
+        return false;
+      }
+    } else if (flowset_id >= 256) {
+      if (!decode_data_flowset(body, flowset_id, source_id, out)) {
+        ++stats_.malformed_packets;
+        return false;
+      }
+    }
+    // Options templates (id 1) and anything in 2..255: skipped.
+  }
+  if (!r.ok()) {
+    ++stats_.malformed_packets;
+    return false;
+  }
+  return true;
+}
+
+bool Collector::decode_template_flowset(ByteReader& r,
+                                        std::uint32_t source_id) {
+  while (r.ok() && r.remaining() >= 4) {
+    const std::uint16_t template_id = r.u16();
+    const std::uint16_t field_count = r.u16();
+    if (template_id < 256) return false;
+    Template tmpl;
+    tmpl.reserve(field_count);
+    for (std::uint16_t i = 0; i < field_count; ++i) {
+      const std::uint16_t type = r.u16();
+      const std::uint16_t length = r.u16();
+      if (!r.ok()) return false;
+      tmpl.push_back({type, length});
+    }
+    templates_[{source_id, template_id}] = std::move(tmpl);
+    ++stats_.templates_learned;
+  }
+  return r.ok();
+}
+
+bool Collector::decode_data_flowset(ByteReader& r, std::uint16_t flowset_id,
+                                    std::uint32_t source_id,
+                                    std::vector<FlowRecord>& out) {
+  const auto it = templates_.find({source_id, flowset_id});
+  if (it == templates_.end()) {
+    ++stats_.unknown_template_flowsets;
+    return true;  // not an error: template may arrive later
+  }
+  const Template& tmpl = it->second;
+  std::size_t rec_len = 0;
+  for (const auto& f : tmpl) rec_len += f.length;
+  if (rec_len == 0) return false;
+
+  while (r.ok() && r.remaining() >= rec_len) {
+    FlowRecord rec;
+    bool v6_src = false;
+    for (const auto& f : tmpl) {
+      switch (static_cast<FieldType>(f.type)) {
+        case FieldType::kIpv4SrcAddr:
+          rec.key.src = net::IpAddress::v4(r.u32());
+          break;
+        case FieldType::kIpv4DstAddr:
+          rec.key.dst = net::IpAddress::v4(r.u32());
+          break;
+        case FieldType::kIpv6SrcAddr: {
+          const std::uint64_t hi = r.u64();
+          const std::uint64_t lo = r.u64();
+          rec.key.src = net::IpAddress::v6(hi, lo);
+          v6_src = true;
+          break;
+        }
+        case FieldType::kIpv6DstAddr: {
+          const std::uint64_t hi = r.u64();
+          const std::uint64_t lo = r.u64();
+          rec.key.dst = net::IpAddress::v6(hi, lo);
+          break;
+        }
+        case FieldType::kL4SrcPort:
+          rec.key.src_port = r.u16();
+          break;
+        case FieldType::kL4DstPort:
+          rec.key.dst_port = r.u16();
+          break;
+        case FieldType::kProtocol:
+          rec.key.proto = r.u8();
+          break;
+        case FieldType::kTcpFlags:
+          rec.tcp_flags = r.u8();
+          break;
+        case FieldType::kInPkts:
+          rec.packets = f.length == 8 ? r.u64() : r.u32();
+          break;
+        case FieldType::kInBytes:
+          rec.bytes = f.length == 8 ? r.u64() : r.u32();
+          break;
+        case FieldType::kFirstSwitched:
+          rec.start_ms = r.u32();
+          break;
+        case FieldType::kLastSwitched:
+          rec.end_ms = r.u32();
+          break;
+        case FieldType::kSamplingInterval:
+          rec.sampling = r.u32();
+          break;
+        default:
+          r.skip(f.length);
+          break;
+      }
+    }
+    (void)v6_src;
+    if (!r.ok()) return false;
+    out.push_back(rec);
+    ++stats_.records;
+  }
+  // Remaining bytes are padding (< rec_len); accept.
+  return r.ok();
+}
+
+}  // namespace haystack::flow::nf9

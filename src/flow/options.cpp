@@ -1,0 +1,144 @@
+#include "flow/options.hpp"
+
+namespace haystack::flow::nf9 {
+
+std::vector<std::uint8_t> encode_sampling_announcement(
+    const SamplingAnnouncement& announcement, std::uint32_t unix_secs,
+    std::uint32_t sequence) {
+  ByteWriter w;
+  w.u16(9);
+  w.u16(2);  // two flowsets: options template + options data
+  w.u32(unix_secs * 1000U);
+  w.u32(unix_secs);
+  w.u32(sequence);
+  w.u32(announcement.source_id);
+
+  // Options template flowset (id 1): template id, scope length (bytes),
+  // option length (bytes), then scope fields and option fields.
+  {
+    const std::size_t len_off = w.size() + 2;
+    w.u16(1);
+    w.u16(0);
+    w.u16(kOptionsTemplateId);
+    w.u16(4);   // scope section: one (type, len) pair = 4 bytes
+    w.u16(8);   // options section: two pairs = 8 bytes
+    w.u16(kScopeSystem);
+    w.u16(0);   // system scope carries no data bytes
+    w.u16(kFieldSamplingInterval);
+    w.u16(4);
+    w.u16(kFieldSamplingAlgorithm);
+    w.u16(1);
+    // Pad flowset to 32-bit boundary.
+    const std::size_t unpadded = w.size() - (len_off - 2);
+    w.pad((4 - unpadded % 4) % 4);
+    w.patch_u16(len_off,
+                static_cast<std::uint16_t>(w.size() - (len_off - 2)));
+  }
+
+  // Options data flowset (id = options template id).
+  {
+    const std::size_t len_off = w.size() + 2;
+    w.u16(kOptionsTemplateId);
+    w.u16(0);
+    w.u32(announcement.interval);
+    w.u8(static_cast<std::uint8_t>(announcement.algorithm));
+    const std::size_t unpadded = w.size() - (len_off - 2);
+    w.pad((4 - unpadded % 4) % 4);
+    w.patch_u16(len_off,
+                static_cast<std::uint16_t>(w.size() - (len_off - 2)));
+  }
+  return w.take();
+}
+
+bool SamplingRegistry::ingest(std::span<const std::uint8_t> packet) {
+  ByteReader r{packet};
+  const std::uint16_t version = r.u16();
+  r.u16();  // count
+  r.u32();
+  r.u32();
+  r.u32();
+  const std::uint32_t source_id = r.u32();
+  if (!r.ok() || version != 9) return false;
+
+  bool learned = false;
+  while (r.ok() && r.remaining() >= 4) {
+    const std::uint16_t flowset_id = r.u16();
+    const std::uint16_t length = r.u16();
+    if (length < 4 ||
+        static_cast<std::size_t>(length - 4) > r.remaining()) {
+      return learned;
+    }
+    ByteReader body = r.slice(length - 4U);
+
+    if (flowset_id == 1) {
+      // Options template: record the layout.
+      while (body.ok() && body.remaining() >= 6) {
+        const std::uint16_t template_id = body.u16();
+        const std::uint16_t scope_bytes = body.u16();
+        const std::uint16_t option_bytes = body.u16();
+        Layout layout;
+        layout.scope_bytes = 0;
+        // Scope section: sum the *data* lengths.
+        std::uint16_t consumed = 0;
+        while (consumed < scope_bytes && body.ok()) {
+          body.u16();  // scope type
+          layout.scope_bytes += body.u16();
+          consumed += 4;
+        }
+        consumed = 0;
+        while (consumed < option_bytes && body.ok()) {
+          const std::uint16_t type = body.u16();
+          const std::uint16_t len = body.u16();
+          layout.fields.emplace_back(type, len);
+          consumed += 4;
+        }
+        if (body.ok()) layouts_[{source_id, template_id}] = layout;
+        // Padding (if any) is consumed by the outer slice boundary.
+        if (body.remaining() < 6) break;
+      }
+    } else if (flowset_id >= 256) {
+      const auto it = layouts_.find({source_id, flowset_id});
+      if (it == layouts_.end()) continue;
+      const Layout& layout = it->second;
+      std::size_t record_bytes = layout.scope_bytes;
+      for (const auto& [type, len] : layout.fields) record_bytes += len;
+      if (record_bytes == 0) continue;
+      while (body.ok() && body.remaining() >= record_bytes) {
+        body.skip(layout.scope_bytes);
+        State state;
+        bool got_interval = false;
+        for (const auto& [type, len] : layout.fields) {
+          if (type == kFieldSamplingInterval && len == 4) {
+            state.interval = body.u32();
+            got_interval = true;
+          } else if (type == kFieldSamplingAlgorithm && len == 1) {
+            state.algorithm = static_cast<SamplingAlgorithm>(body.u8());
+          } else {
+            body.skip(len);
+          }
+        }
+        if (body.ok() && got_interval) {
+          state_[source_id] = state;
+          learned = true;
+        }
+      }
+    }
+  }
+  return learned;
+}
+
+std::optional<std::uint32_t> SamplingRegistry::interval_of(
+    std::uint32_t source_id) const {
+  const auto it = state_.find(source_id);
+  if (it == state_.end()) return std::nullopt;
+  return it->second.interval;
+}
+
+std::optional<SamplingAlgorithm> SamplingRegistry::algorithm_of(
+    std::uint32_t source_id) const {
+  const auto it = state_.find(source_id);
+  if (it == state_.end()) return std::nullopt;
+  return it->second.algorithm;
+}
+
+}  // namespace haystack::flow::nf9

@@ -1,0 +1,79 @@
+// NetFlow v9 options data (RFC 3954 §6.1): exporters announce metering
+// metadata — most importantly the packet-sampling interval — via options
+// templates (flowset id 1) and matching options data records.
+//
+// The paper's methodology silently assumes the collector *knows* each
+// router's sampling rate ("a consistent sampling rate across all
+// routers"); in practice that knowledge arrives through exactly this
+// mechanism. The helpers here encode an options announcement and give the
+// collector a side-channel to learn per-source sampling state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/wire.hpp"
+
+namespace haystack::flow::nf9 {
+
+/// Scope/field ids used by the sampling options template.
+inline constexpr std::uint16_t kScopeSystem = 1;
+inline constexpr std::uint16_t kFieldSamplingInterval = 34;   // same IE id
+inline constexpr std::uint16_t kFieldSamplingAlgorithm = 35;
+inline constexpr std::uint16_t kOptionsTemplateId = 512;
+
+/// Sampling algorithms per RFC 3954.
+enum class SamplingAlgorithm : std::uint8_t {
+  kDeterministic = 1,
+  kRandom = 2,
+};
+
+/// One announced sampling configuration.
+struct SamplingAnnouncement {
+  std::uint32_t source_id = 0;
+  std::uint32_t interval = 1;
+  SamplingAlgorithm algorithm = SamplingAlgorithm::kRandom;
+};
+
+/// Encodes a complete v9 export packet containing the options template
+/// (flowset 1) and one options data record announcing `announcement`.
+[[nodiscard]] std::vector<std::uint8_t> encode_sampling_announcement(
+    const SamplingAnnouncement& announcement, std::uint32_t unix_secs,
+    std::uint32_t sequence);
+
+/// Tracks per-source sampling state learned from options data. Feed every
+/// incoming export packet to ingest(); it ignores non-options content and
+/// returns true when it learned or refreshed an announcement.
+class SamplingRegistry {
+ public:
+  bool ingest(std::span<const std::uint8_t> packet);
+
+  /// Last announced interval for a source id, or nullopt.
+  [[nodiscard]] std::optional<std::uint32_t> interval_of(
+      std::uint32_t source_id) const;
+
+  [[nodiscard]] std::optional<SamplingAlgorithm> algorithm_of(
+      std::uint32_t source_id) const;
+
+  [[nodiscard]] std::size_t known_sources() const noexcept {
+    return state_.size();
+  }
+
+ private:
+  struct State {
+    std::uint32_t interval = 1;
+    SamplingAlgorithm algorithm = SamplingAlgorithm::kRandom;
+  };
+  // Learned options-template layouts per (source id, template id).
+  struct Layout {
+    std::uint16_t scope_bytes = 0;
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> fields;
+  };
+  std::map<std::pair<std::uint32_t, std::uint16_t>, Layout> layouts_;
+  std::map<std::uint32_t, State> state_;
+};
+
+}  // namespace haystack::flow::nf9

@@ -1,0 +1,78 @@
+// Flow record and flow key value types.
+//
+// A FlowRecord is the unified in-memory form of one NetFlow v9 / IPFIX data
+// record: the 5-tuple, byte/packet counters, TCP flag union, timestamps,
+// and the sampling interval under which it was exported. Both codecs
+// round-trip this type exactly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "net/ip_address.hpp"
+#include "net/ports.hpp"
+#include "util/hash.hpp"
+
+namespace haystack::flow {
+
+/// TCP flag bits as exported in flow records.
+namespace tcpflags {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcpflags
+
+/// Directionless 5-tuple key used for flow caching and deduplication.
+struct FlowKey {
+  net::IpAddress src;
+  net::IpAddress dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 6;
+
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) noexcept =
+      default;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = util::hash_combine(src.hash(), dst.hash());
+    h = util::hash_combine(h, (std::uint64_t{src_port} << 32) |
+                                  (std::uint64_t{dst_port} << 16) | proto);
+    return h;
+  }
+};
+
+/// One exported flow record.
+struct FlowRecord {
+  FlowKey key;
+  std::uint64_t packets = 0;     ///< sampled packet count as exported
+  std::uint64_t bytes = 0;       ///< sampled byte count as exported
+  std::uint8_t tcp_flags = 0;    ///< union of TCP flags over the flow
+  std::uint64_t start_ms = 0;    ///< flow start, ms on the simulation axis
+  std::uint64_t end_ms = 0;      ///< flow end
+  std::uint32_t sampling = 1;    ///< 1-in-N packet sampling interval
+
+  friend constexpr auto operator<=>(const FlowRecord&,
+                                    const FlowRecord&) noexcept = default;
+
+  /// True when at least one packet carried a payload-bearing (non-SYN/RST/
+  /// FIN-only) segment. The IXP pipeline requires this to guard against
+  /// spoofed traffic: "we require TCP traffic to see at least one packet
+  /// without [control] flags, indicating that a TCP connection was
+  /// successfully established" (Sec. 6.3).
+  [[nodiscard]] constexpr bool shows_established_tcp() const noexcept {
+    if (key.proto != static_cast<std::uint8_t>(net::Proto::kTcp)) return true;
+    return (tcp_flags & tcpflags::kAck) != 0 &&
+           (tcp_flags & tcpflags::kPsh) != 0;
+  }
+};
+
+}  // namespace haystack::flow
+
+template <>
+struct std::hash<haystack::flow::FlowKey> {
+  std::size_t operator()(const haystack::flow::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

@@ -1,0 +1,56 @@
+#include "flow/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace haystack::flow {
+
+std::uint64_t binomial(util::Pcg32& rng, std::uint64_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double mean = static_cast<double>(n) * p;
+  if (n <= 64) {
+    // Exact.
+    std::uint64_t k = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.chance(p)) ++k;
+    }
+    return k;
+  }
+  if (mean < 30.0) {
+    // Poisson approximation (p small, n large); clamp to n.
+    return std::min(n, rng.poisson(mean));
+  }
+  // Gaussian approximation with continuity correction.
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double sample = mean + sd * rng.normal();
+  if (sample <= 0.0) return 0;
+  const auto k = static_cast<std::uint64_t>(std::llround(sample));
+  return std::min(n, k);
+}
+
+std::optional<FlowRecord> thin_flow(const FlowRecord& full,
+                                    std::uint32_t interval,
+                                    util::Pcg32& rng) noexcept {
+  if (interval <= 1) {
+    FlowRecord rec = full;
+    rec.sampling = 1;
+    return rec;
+  }
+  const double p = 1.0 / static_cast<double>(interval);
+  const std::uint64_t sampled = binomial(rng, full.packets, p);
+  if (sampled == 0) return std::nullopt;
+
+  FlowRecord rec = full;
+  rec.packets = sampled;
+  rec.bytes = full.packets == 0
+                  ? 0
+                  : static_cast<std::uint64_t>(
+                        static_cast<double>(full.bytes) *
+                        (static_cast<double>(sampled) /
+                         static_cast<double>(full.packets)));
+  rec.sampling = interval;
+  return rec;
+}
+
+}  // namespace haystack::flow

@@ -1,0 +1,141 @@
+// Bounds-checked big-endian byte stream primitives shared by the NetFlow v9
+// and IPFIX codecs. Network byte order throughout.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace haystack::flow {
+
+/// Append-only big-endian encoder over a growable byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Appends `count` zero bytes (set padding).
+  void pad(std::size_t count) { buf_.insert(buf_.end(), count, 0); }
+
+  /// Overwrites a previously written big-endian u16 at `offset`; used to
+  /// back-patch length fields once a set/flowset is complete.
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked big-endian decoder over a read-only byte span.
+///
+/// Every read reports success via its return value; after any failure the
+/// reader is latched into the failed state (ok() == false) and further
+/// reads return zeros, so decode loops can defer the error check.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_{data} {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  std::uint8_t u8() noexcept {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() noexcept {
+    if (!require(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() noexcept {
+    if (!require(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() noexcept {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+
+  /// Reads exactly `len` bytes into `out`; on short input fails the reader.
+  bool bytes(std::span<std::uint8_t> out) noexcept {
+    if (!require(out.size())) return false;
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+    return true;
+  }
+
+  /// Skips `len` bytes.
+  bool skip(std::size_t len) noexcept {
+    if (!require(len)) return false;
+    pos_ += len;
+    return true;
+  }
+
+  /// Returns a sub-reader over the next `len` bytes and consumes them.
+  ByteReader slice(std::size_t len) noexcept {
+    if (!require(len)) return ByteReader{{}};
+    ByteReader sub{data_.subspan(pos_, len)};
+    pos_ += len;
+    return sub;
+  }
+
+ private:
+  bool require(std::size_t n) noexcept {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace haystack::flow

@@ -1,0 +1,40 @@
+#include "net/asn.hpp"
+
+namespace haystack::net {
+
+void AsnRegistry::add_as(const AsInfo& info) {
+  const auto it = index_.find(info.asn);
+  if (it != index_.end()) {
+    infos_[it->second] = info;
+    return;
+  }
+  index_.emplace(info.asn, infos_.size());
+  infos_.push_back(info);
+}
+
+void AsnRegistry::announce(const Prefix& prefix, Asn asn) {
+  trie_.insert(prefix, asn);
+}
+
+std::optional<Asn> AsnRegistry::origin(const IpAddress& addr) const {
+  return trie_.lookup(addr);
+}
+
+const AsInfo* AsnRegistry::info(Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : &infos_[it->second];
+}
+
+AsRole AsnRegistry::role_of(const IpAddress& addr) const {
+  const auto asn = origin(addr);
+  if (!asn) return AsRole::kTransit;
+  const AsInfo* i = info(*asn);
+  return i ? i->role : AsRole::kTransit;
+}
+
+bool AsnRegistry::is_cloud_or_cdn(const IpAddress& addr) const {
+  const AsRole r = role_of(addr);
+  return r == AsRole::kCloud || r == AsRole::kCdn;
+}
+
+}  // namespace haystack::net

@@ -1,0 +1,75 @@
+// Autonomous-system registry: prefix -> origin AS mapping plus per-AS
+// metadata. The IXP analysis (Sec. 6.3, Figs. 15/16) attributes each
+// detected IP to a member AS and distinguishes eyeball (residential) member
+// ASes from the rest; the ethics pipeline uses the cloud/CDN flag for the
+// server-IP heuristic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/prefix_trie.hpp"
+
+namespace haystack::net {
+
+/// AS number.
+using Asn = std::uint32_t;
+
+/// Coarse AS role taxonomy, enough for the paper's eyeball-vs-rest and
+/// cloud/CDN distinctions.
+enum class AsRole : std::uint8_t {
+  kEyeball,   ///< residential access network
+  kCloud,     ///< cloud/hosting provider (dedicated-IP infrastructure)
+  kCdn,       ///< content delivery network (shared infrastructure)
+  kTransit,   ///< transit/other
+};
+
+/// Per-AS metadata.
+struct AsInfo {
+  Asn asn = 0;
+  std::string name;
+  AsRole role = AsRole::kTransit;
+};
+
+/// Prefix-to-origin registry with longest-prefix-match lookups.
+class AsnRegistry {
+ public:
+  /// Registers an AS. Re-announcing an existing ASN updates its metadata.
+  void add_as(const AsInfo& info);
+
+  /// Announces `prefix` as originated by `asn`. More specific announcements
+  /// win on lookup, as in BGP.
+  void announce(const Prefix& prefix, Asn asn);
+
+  /// Origin AS of `addr`, or nullopt when uncovered.
+  [[nodiscard]] std::optional<Asn> origin(const IpAddress& addr) const;
+
+  /// Metadata for `asn`, or nullptr when unknown.
+  [[nodiscard]] const AsInfo* info(Asn asn) const;
+
+  /// Convenience: role of the AS originating `addr` (kTransit when unknown).
+  [[nodiscard]] AsRole role_of(const IpAddress& addr) const;
+
+  /// True when `addr` originates from a cloud or CDN AS — the second half
+  /// of the paper's server-IP heuristic.
+  [[nodiscard]] bool is_cloud_or_cdn(const IpAddress& addr) const;
+
+  /// All registered ASes in registration order.
+  [[nodiscard]] const std::vector<AsInfo>& all() const noexcept {
+    return infos_;
+  }
+
+  [[nodiscard]] std::size_t prefix_count() const noexcept {
+    return trie_.size();
+  }
+
+ private:
+  PrefixTrie<Asn> trie_;
+  std::vector<AsInfo> infos_;
+  std::unordered_map<Asn, std::size_t> index_;
+};
+
+}  // namespace haystack::net

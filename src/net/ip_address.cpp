@@ -1,0 +1,191 @@
+#include "net/ip_address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace haystack::net {
+
+namespace {
+
+// Parses a decimal octet (0..255) from `text` starting at `pos`. On success
+// advances pos past the digits and returns the value.
+std::optional<std::uint32_t> parse_octet(std::string_view text,
+                                         std::size_t& pos) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+    return std::nullopt;
+  }
+  std::uint32_t value = 0;
+  std::size_t digits = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+    ++pos;
+    if (++digits > 3 || value > 255) return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<IpAddress> parse_v4(std::string_view text) {
+  std::size_t pos = 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    const auto octet = parse_octet(text, pos);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return IpAddress::v4(value);
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  // Split on "::" (at most one), then parse 16-bit hex groups.
+  std::array<std::uint16_t, 8> groups{};
+  std::size_t n_before = 0;
+  std::size_t n_after = 0;
+  std::array<std::uint16_t, 8> before{};
+  std::array<std::uint16_t, 8> after{};
+  bool seen_gap = false;
+
+  std::size_t pos = 0;
+  auto parse_group = [&](std::uint16_t& out) -> bool {
+    std::uint32_t value = 0;
+    std::size_t digits = 0;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      std::uint32_t d;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<std::uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<std::uint32_t>(c - 'A') + 10;
+      } else {
+        break;
+      }
+      value = (value << 4) | d;
+      ++pos;
+      if (++digits > 4) return false;
+    }
+    if (digits == 0) return false;
+    out = static_cast<std::uint16_t>(value);
+    return true;
+  };
+
+  if (text.starts_with("::")) {
+    seen_gap = true;
+    pos = 2;
+  }
+  while (pos < text.size()) {
+    std::uint16_t g = 0;
+    if (!parse_group(g)) return std::nullopt;
+    if (!seen_gap) {
+      if (n_before >= 8) return std::nullopt;
+      before[n_before++] = g;
+    } else {
+      if (n_after >= 8) return std::nullopt;
+      after[n_after++] = g;
+    }
+    if (pos == text.size()) break;
+    if (text[pos] != ':') return std::nullopt;
+    ++pos;
+    if (pos < text.size() && text[pos] == ':') {
+      if (seen_gap) return std::nullopt;  // second "::"
+      seen_gap = true;
+      ++pos;
+      if (pos == text.size()) break;  // trailing "::"
+    } else if (pos == text.size()) {
+      return std::nullopt;  // trailing single ':'
+    }
+  }
+
+  const std::size_t total = n_before + n_after;
+  if (seen_gap) {
+    if (total >= 8) return std::nullopt;
+  } else if (total != 8) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < n_before; ++i) groups[i] = before[i];
+  for (std::size_t i = 0; i < n_after; ++i) {
+    groups[8 - n_after + i] = after[i];
+  }
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<std::size_t>(i)];
+  return IpAddress::v6(hi, lo);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::array<std::uint8_t, 16> IpAddress::bytes() const noexcept {
+  std::array<std::uint8_t, 16> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(hi_ >> (56 - 8 * i));
+    out[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(lo_ >> (56 - 8 * i));
+  }
+  return out;
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    const auto v = v4_value();
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 0xffU,
+                  (v >> 16) & 0xffU, (v >> 8) & 0xffU, v & 0xffU);
+    return buf;
+  }
+  // RFC 5952: compress the leftmost longest run of >=2 zero groups.
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<std::size_t>(i)] =
+        static_cast<std::uint16_t>(hi_ >> (48 - 16 * i));
+    groups[static_cast<std::size_t>(4 + i)] =
+        static_cast<std::uint16_t>(lo_ >> (48 - 16 * i));
+  }
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] == 0) {
+      int j = i;
+      while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_start = i;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  out.reserve(45);
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i >= 8) break;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace haystack::net

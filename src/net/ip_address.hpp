@@ -1,0 +1,124 @@
+// IP address value type covering both IPv4 and IPv6.
+//
+// Stored as a 128-bit big-endian value plus a family tag; IPv4 occupies the
+// low 32 bits. All flow records, hitlists, and tries in the repository key
+// on this type. Parsing and formatting implement the canonical textual
+// forms (dotted quad; RFC 5952 compressed hex for IPv6).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/hash.hpp"
+
+namespace haystack::net {
+
+/// Address family tag.
+enum class Family : std::uint8_t { kIpv4 = 4, kIpv6 = 6 };
+
+/// Immutable IP address (IPv4 or IPv6). Regular value type: copyable,
+/// totally ordered (family first, then numeric value), hashable.
+class IpAddress {
+ public:
+  /// Default-constructs the IPv4 unspecified address 0.0.0.0.
+  constexpr IpAddress() noexcept = default;
+
+  /// Builds an IPv4 address from a host-order 32-bit value,
+  /// e.g. 0x0A000001 == 10.0.0.1.
+  [[nodiscard]] static constexpr IpAddress v4(std::uint32_t host_order) noexcept {
+    IpAddress a;
+    a.family_ = Family::kIpv4;
+    a.hi_ = 0;
+    a.lo_ = host_order;
+    return a;
+  }
+
+  /// Builds an IPv6 address from two host-order 64-bit halves
+  /// (hi = first 8 bytes on the wire, lo = last 8 bytes).
+  [[nodiscard]] static constexpr IpAddress v6(std::uint64_t hi,
+                                              std::uint64_t lo) noexcept {
+    IpAddress a;
+    a.family_ = Family::kIpv6;
+    a.hi_ = hi;
+    a.lo_ = lo;
+    return a;
+  }
+
+  /// Parses a textual address of either family. Returns nullopt on any
+  /// syntax error (no exceptions on the parse path).
+  [[nodiscard]] static std::optional<IpAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Family family() const noexcept { return family_; }
+  [[nodiscard]] constexpr bool is_v4() const noexcept {
+    return family_ == Family::kIpv4;
+  }
+  [[nodiscard]] constexpr bool is_v6() const noexcept {
+    return family_ == Family::kIpv6;
+  }
+
+  /// Host-order IPv4 value. Only meaningful when is_v4().
+  [[nodiscard]] constexpr std::uint32_t v4_value() const noexcept {
+    return static_cast<std::uint32_t>(lo_);
+  }
+
+  /// High/low 64-bit halves of the 128-bit value (IPv4 in the low 32 bits).
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  /// Bit at position `i` counted from the most significant end of the
+  /// address (bit 0 is the top bit). IPv4 addresses have 32 bits, IPv6 128.
+  [[nodiscard]] constexpr bool bit(unsigned i) const noexcept {
+    if (family_ == Family::kIpv4) {
+      return ((lo_ >> (31 - i)) & 1U) != 0;
+    }
+    if (i < 64) return ((hi_ >> (63 - i)) & 1U) != 0;
+    return ((lo_ >> (127 - i)) & 1U) != 0;
+  }
+
+  /// Number of bits in an address of this family (32 or 128).
+  [[nodiscard]] constexpr unsigned bit_width() const noexcept {
+    return family_ == Family::kIpv4 ? 32 : 128;
+  }
+
+  /// The 16-byte network-order representation (IPv4-mapped layout is NOT
+  /// used: a v4 address fills bytes 12..15 with the rest zero, and keeps its
+  /// family tag).
+  [[nodiscard]] std::array<std::uint8_t, 16> bytes() const noexcept;
+
+  /// Canonical text form.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable 64-bit hash (family-sensitive).
+  [[nodiscard]] constexpr std::uint64_t hash() const noexcept {
+    return util::hash_combine(
+        util::hash_combine(util::fnv1a_u64(hi_), util::fnv1a_u64(lo_)),
+        static_cast<std::uint64_t>(family_));
+  }
+
+  friend constexpr auto operator<=>(const IpAddress& a,
+                                    const IpAddress& b) noexcept {
+    if (const auto c = a.family_ <=> b.family_; c != 0) return c;
+    if (const auto c = a.hi_ <=> b.hi_; c != 0) return c;
+    return a.lo_ <=> b.lo_;
+  }
+  friend constexpr bool operator==(const IpAddress&,
+                                   const IpAddress&) noexcept = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+  Family family_ = Family::kIpv4;
+};
+
+}  // namespace haystack::net
+
+template <>
+struct std::hash<haystack::net::IpAddress> {
+  std::size_t operator()(const haystack::net::IpAddress& a) const noexcept {
+    return static_cast<std::size_t>(a.hash());
+  }
+};

@@ -1,0 +1,80 @@
+// Transport port taxonomy used throughout the paper's analysis.
+//
+// The paper groups observable activity into Web services (80, 443, 8080),
+// NTP (123), and everything else (Sec. 3, Fig. 5c), and uses a well-known
+// server-port heuristic to separate user IPs from server IPs for
+// anonymization (Sec. 2.1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace haystack::net {
+
+/// Transport protocol numbers as they appear in flow records.
+enum class Proto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+/// Paper's port classification for Fig. 5(c).
+enum class PortClass : std::uint8_t { kWeb, kNtp, kDns, kOther };
+
+/// Classifies a server-side port.
+[[nodiscard]] constexpr PortClass classify_port(std::uint16_t port) noexcept {
+  switch (port) {
+    case 80:
+    case 443:
+    case 8080:
+      return PortClass::kWeb;
+    case 123:
+      return PortClass::kNtp;
+    case 53:
+      return PortClass::kDns;
+    default:
+      return PortClass::kOther;
+  }
+}
+
+/// Human-readable label for a port class.
+[[nodiscard]] constexpr std::string_view port_class_name(
+    PortClass c) noexcept {
+  switch (c) {
+    case PortClass::kWeb:
+      return "Web";
+    case PortClass::kNtp:
+      return "NTP";
+    case PortClass::kDns:
+      return "DNS";
+    case PortClass::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+/// The server-IP heuristic from the paper's ethics section: an endpoint is
+/// treated as a server when it sends or receives traffic on a well-known
+/// service port. (Membership of the endpoint's AS in a cloud/CDN AS set is
+/// checked separately by the AsnRegistry.)
+[[nodiscard]] constexpr bool is_well_known_server_port(
+    std::uint16_t port) noexcept {
+  switch (port) {
+    case 80:
+    case 443:
+    case 8080:   // web
+    case 123:    // NTP
+    case 53:     // DNS
+    case 22:     // ssh
+    case 25:     // smtp
+    case 465:
+    case 587:    // submission
+    case 993:    // imaps
+    case 995:    // pop3s
+    case 1883:   // MQTT
+    case 8883:   // MQTT over TLS
+    case 5683:   // CoAP
+    case 8443:   // alt https
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace haystack::net

@@ -1,0 +1,75 @@
+#include "net/prefix.hpp"
+
+#include <algorithm>
+
+namespace haystack::net {
+
+namespace {
+
+// Clears all bits of (hi,lo) below the first `length` bits of a 128-bit
+// value laid out as two 64-bit halves.
+void mask_128(std::uint64_t& hi, std::uint64_t& lo, unsigned length) {
+  if (length >= 128) return;
+  if (length >= 64) {
+    const unsigned low_bits = length - 64;
+    lo = low_bits == 0 ? 0 : (lo >> (64 - low_bits)) << (64 - low_bits);
+  } else {
+    lo = 0;
+    hi = length == 0 ? 0 : (hi >> (64 - length)) << (64 - length);
+  }
+}
+
+}  // namespace
+
+Prefix Prefix::of(IpAddress base, unsigned length) noexcept {
+  Prefix p;
+  p.length_ = std::min(length, base.bit_width());
+  if (base.is_v4()) {
+    std::uint32_t v = base.v4_value();
+    v = p.length_ == 0 ? 0 : (v >> (32 - p.length_)) << (32 - p.length_);
+    p.base_ = IpAddress::v4(v);
+  } else {
+    std::uint64_t hi = base.hi();
+    std::uint64_t lo = base.lo();
+    mask_128(hi, lo, p.length_);
+    p.base_ = IpAddress::v6(hi, lo);
+  }
+  return p;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.rfind('/');
+  if (slash == std::string_view::npos || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const auto addr = IpAddress::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  for (const char c : text.substr(slash + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    length = length * 10 + static_cast<unsigned>(c - '0');
+    if (length > 128) return std::nullopt;
+  }
+  if (length > addr->bit_width()) return std::nullopt;
+  return Prefix::of(*addr, length);
+}
+
+bool Prefix::contains(const IpAddress& addr) const noexcept {
+  if (addr.family() != base_.family()) return false;
+  return Prefix::of(addr, length_).base() == base_;
+}
+
+bool Prefix::covers(const Prefix& other) const noexcept {
+  if (other.family() != family() || other.length_ < length_) return false;
+  return contains(other.base_);
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+Prefix aggregate_of(const IpAddress& addr) noexcept {
+  return Prefix::of(addr, addr.is_v4() ? 24 : 56);
+}
+
+}  // namespace haystack::net

@@ -1,0 +1,73 @@
+// CIDR prefix value type (e.g. 192.0.2.0/24, 2001:db8::/32).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip_address.hpp"
+
+namespace haystack::net {
+
+/// Immutable CIDR prefix. The stored base address is always normalized
+/// (host bits cleared), so equal prefixes compare equal regardless of how
+/// they were written.
+class Prefix {
+ public:
+  /// The default prefix is 0.0.0.0/0.
+  constexpr Prefix() noexcept = default;
+
+  /// Builds a prefix, clearing any host bits in `base`. `length` is clamped
+  /// to the family's bit width.
+  [[nodiscard]] static Prefix of(IpAddress base, unsigned length) noexcept;
+
+  /// Parses "addr/len". Returns nullopt on syntax error or out-of-range
+  /// length.
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const IpAddress& base() const noexcept {
+    return base_;
+  }
+  [[nodiscard]] constexpr unsigned length() const noexcept { return length_; }
+  [[nodiscard]] constexpr Family family() const noexcept {
+    return base_.family();
+  }
+
+  /// True when `addr` (same family) falls inside this prefix.
+  [[nodiscard]] bool contains(const IpAddress& addr) const noexcept;
+
+  /// True when `other` is fully covered by this prefix (same family,
+  /// longer-or-equal length, matching leading bits).
+  [[nodiscard]] bool covers(const Prefix& other) const noexcept;
+
+  /// "base/len" textual form.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable hash.
+  [[nodiscard]] constexpr std::uint64_t hash() const noexcept {
+    return util::hash_combine(base_.hash(), length_);
+  }
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept =
+      default;
+
+ private:
+  IpAddress base_{};
+  unsigned length_ = 0;
+};
+
+/// Returns the /24 (IPv4) or /56 (IPv6) aggregate containing `addr`; the
+/// paper's churn analysis (Fig. 13) aggregates subscriber identifiers at the
+/// /24 level to smooth identifier rotation.
+[[nodiscard]] Prefix aggregate_of(const IpAddress& addr) noexcept;
+
+}  // namespace haystack::net
+
+template <>
+struct std::hash<haystack::net::Prefix> {
+  std::size_t operator()(const haystack::net::Prefix& p) const noexcept {
+    return static_cast<std::size_t>(p.hash());
+  }
+};

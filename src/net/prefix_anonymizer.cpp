@@ -1,0 +1,54 @@
+#include "net/prefix_anonymizer.hpp"
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::net {
+
+IpAddress PrefixPreservingAnonymizer::anonymize(
+    const IpAddress& addr) const noexcept {
+  const unsigned width = addr.bit_width();
+  std::uint64_t out_hi = 0;
+  std::uint64_t out_lo = 0;
+  // The PRF input is the *original* prefix consumed so far (the standard
+  // Crypto-PAn formulation), packed into two words.
+  std::uint64_t prefix_hi = 0;
+  std::uint64_t prefix_lo = 0;
+
+  for (unsigned i = 0; i < width; ++i) {
+    const std::uint64_t prf = util::splitmix64(
+        util::hash_combine(util::hash_combine(key_, prefix_hi),
+                           util::hash_combine(prefix_lo, i)));
+    const bool flip = (prf & 1U) != 0;
+    const bool real_bit = addr.bit(i);
+    const bool out_bit = real_bit ^ flip;
+
+    if (i < 64) {
+      if (out_bit) out_hi |= std::uint64_t{1} << (63 - i);
+      if (real_bit) prefix_hi |= std::uint64_t{1} << (63 - i);
+    } else {
+      if (out_bit) out_lo |= std::uint64_t{1} << (127 - i);
+      if (real_bit) prefix_lo |= std::uint64_t{1} << (127 - i);
+    }
+  }
+
+  if (addr.is_v4()) {
+    // v4 bits were consumed from positions 0..31 of the 32-bit value via
+    // IpAddress::bit, which indexes the v4 word directly; out_hi holds
+    // them in its top 32 bits.
+    return IpAddress::v4(static_cast<std::uint32_t>(out_hi >> 32));
+  }
+  return IpAddress::v6(out_hi, out_lo);
+}
+
+unsigned common_prefix_length(const IpAddress& a,
+                              const IpAddress& b) noexcept {
+  if (a.family() != b.family()) return 0;
+  const unsigned width = a.bit_width();
+  for (unsigned i = 0; i < width; ++i) {
+    if (a.bit(i) != b.bit(i)) return i;
+  }
+  return width;
+}
+
+}  // namespace haystack::net

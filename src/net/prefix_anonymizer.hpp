@@ -1,0 +1,45 @@
+// Prefix-preserving address anonymization (Crypto-PAn-style).
+//
+// The paper's ethics sections anonymize user addresses before analysis.
+// A plain keyed hash (telemetry::anonymize) destroys all structure; some
+// analyses — the /24 aggregation of Fig. 13, per-prefix rollups — need an
+// anonymizer that *preserves prefix relationships*: two addresses sharing
+// a k-bit prefix map to outputs sharing exactly a k-bit prefix, and
+// nothing more.
+//
+// Construction (the classic one): walk the address MSB→LSB; at bit i, XOR
+// the real bit with a pseudorandom function of the key and the i-bit
+// prefix already consumed. Same key + same prefix → same flip decisions,
+// which is precisely the prefix-preservation property. The PRF here is the
+// repository's keyed SplitMix/FNV mix — deterministic, seedable, and fast;
+// swap in a keyed AES for cryptographic strength without changing the
+// structure.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ip_address.hpp"
+
+namespace haystack::net {
+
+/// Deterministic prefix-preserving anonymizer.
+class PrefixPreservingAnonymizer {
+ public:
+  explicit PrefixPreservingAnonymizer(std::uint64_t key) noexcept
+      : key_{key} {}
+
+  /// Anonymizes an address within its own family.
+  [[nodiscard]] IpAddress anonymize(const IpAddress& addr) const noexcept;
+
+  [[nodiscard]] std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  std::uint64_t key_;
+};
+
+/// Length of the longest common prefix of two same-family addresses, in
+/// bits. Returns 0 for cross-family pairs.
+[[nodiscard]] unsigned common_prefix_length(const IpAddress& a,
+                                            const IpAddress& b) noexcept;
+
+}  // namespace haystack::net

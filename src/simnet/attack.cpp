@@ -1,0 +1,58 @@
+#include "simnet/attack.hpp"
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::simnet {
+
+BotnetSim::BotnetSim(const Population& population,
+                     const AttackConfig& config)
+    : population_{population}, config_{config} {
+  const Catalog& catalog = population.catalog();
+  const Product* product = catalog.product_by_name(config.product_name);
+  if (product == nullptr) return;
+
+  for (const LineId line : population.lines_with_devices()) {
+    bool owns = false;
+    for (const auto& dev : population.devices_of(line)) {
+      if (dev.product && *dev.product == product->id) {
+        owns = true;
+        break;
+      }
+    }
+    if (!owns) continue;
+    util::Pcg32 rng = util::derive_rng(config_.seed ^ 0xb07, line, 0);
+    if (rng.chance(config_.infection_rate)) infected_.push_back(line);
+  }
+}
+
+void BotnetSim::hour_attack_observations(
+    util::HourBin hour,
+    const std::function<void(const AttackObs&)>& sink) const {
+  const util::DayBin day = util::day_of(hour);
+  const double inv_n = 1.0 / static_cast<double>(config_.sampling);
+  for (const LineId line : infected_) {
+    util::Pcg32 rng = util::derive_rng(config_.seed ^ 0xa77ac4, line, hour);
+    const std::uint64_t sampled =
+        rng.poisson(config_.attack_pkts_per_hour * inv_n);
+    if (sampled == 0) continue;
+    AttackObs obs;
+    obs.line = line;
+    obs.subscriber = population_.address_of(line, day);
+    flow::FlowRecord& rec = obs.flow;
+    rec.key.src = obs.subscriber;
+    rec.key.dst = config_.victim;
+    rec.key.src_port = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+    rec.key.dst_port = config_.victim_port;
+    rec.key.proto = 6;
+    rec.tcp_flags = flow::tcpflags::kSyn;  // SYN flood
+    rec.packets = sampled;
+    rec.bytes = sampled * 40;
+    rec.start_ms = static_cast<std::uint64_t>(hour) * 3'600'000;
+    rec.end_ms = rec.start_ms + 3'599'000;
+    rec.sampling = config_.sampling;
+    sink(obs);
+  }
+}
+
+}  // namespace haystack::simnet

@@ -1,0 +1,68 @@
+// Botnet attack scenario (paper Sec. 7.2 / the Mirai motivation).
+//
+// Infects a fraction of the lines owning one product with attack tooling;
+// during the attack window those lines flood a victim address. The ISP
+// sees the flood in the same sampled NetFlow as everything else. The
+// incident-response loop (examples/incident_response.cpp) then uses the
+// detection evidence to find the device common to the attacking lines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "simnet/population.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::simnet {
+
+/// Attack scenario tunables.
+struct AttackConfig {
+  std::uint64_t seed = 666;
+  /// Product whose firmware is compromised.
+  std::string product_name = "Wansview Cam";
+  /// Fraction of owning lines that are actually infected.
+  double infection_rate = 0.7;
+  /// Flood target.
+  net::IpAddress victim = net::IpAddress::v4(0xC6336401);  // 198.51.100.1
+  std::uint16_t victim_port = 80;
+  /// Unsampled attack packets per infected line per hour.
+  double attack_pkts_per_hour = 50'000.0;
+  /// ISP packet-sampling interval.
+  std::uint32_t sampling = 1000;
+};
+
+/// One sampled attack-flow observation.
+struct AttackObs {
+  LineId line = 0;
+  net::IpAddress subscriber;
+  flow::FlowRecord flow;
+};
+
+/// The compromised-device fleet.
+class BotnetSim {
+ public:
+  BotnetSim(const Population& population, const AttackConfig& config);
+
+  /// Lines participating in the attack.
+  [[nodiscard]] const std::vector<LineId>& infected() const noexcept {
+    return infected_;
+  }
+
+  /// Emits the sampled attack observations for one hour.
+  void hour_attack_observations(
+      util::HourBin hour,
+      const std::function<void(const AttackObs&)>& sink) const;
+
+  [[nodiscard]] const AttackConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  const Population& population_;
+  AttackConfig config_;
+  std::vector<LineId> infected_;
+};
+
+}  // namespace haystack::simnet

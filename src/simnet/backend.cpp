@@ -1,0 +1,299 @@
+#include "simnet/backend.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace haystack::simnet {
+
+namespace {
+
+constexpr std::uint32_t key_of(UnitId unit, unsigned index) {
+  return (static_cast<std::uint32_t>(unit) << 16) | index;
+}
+
+// Address blocks (IPv4, host-order bases).
+constexpr std::uint32_t kCloudBase = 0x34000000;   // 52.0.0.0/11
+constexpr std::uint32_t kCdnBase = 0x17000000;     // 23.0.0.0/12
+constexpr std::uint32_t kVendorBase = 0x8C000000;  // 140.0.0.0/8, /16 each
+constexpr std::uint32_t kGenericBase = 0xC0000200; // 192.0.2.0 region
+constexpr std::uint32_t kIxpSpaceBase = 0x50000000; // 80.0.0.0/8 for members
+
+}  // namespace
+
+Backend::Backend(const Catalog& catalog, const BackendConfig& config)
+    : catalog_{catalog},
+      config_{config},
+      rng_{util::splitmix64(config.seed ^ 0x6261636b656e64ULL), 17} {
+  build_topology();
+  host_unit_domains();
+  host_generic_domains();
+  populate_scan_db();
+}
+
+void Backend::build_topology() {
+  asns_.add_as({topo::kIspAs, "SimISP Residential", net::AsRole::kEyeball});
+  asns_.announce(*net::Prefix::parse("100.64.0.0/10"), topo::kIspAs);
+
+  asns_.add_as({topo::kCloudAs, "SimCloud (EC2-like)", net::AsRole::kCloud});
+  asns_.announce(*net::Prefix::parse("52.0.0.0/11"), topo::kCloudAs);
+
+  asns_.add_as({topo::kCdnAs, "SimCDN (Akamai-like)", net::AsRole::kCdn});
+  asns_.announce(*net::Prefix::parse("23.0.0.0/12"), topo::kCdnAs);
+
+  asns_.add_as({topo::kGenericAs, "Generic Hosting", net::AsRole::kTransit});
+  asns_.announce(*net::Prefix::parse("192.0.0.0/16"), topo::kGenericAs);
+
+  // IXP members: eyeballs first, then transit/content members. Each gets a
+  // /16 out of 80.0.0.0/8.
+  std::uint32_t block = 0;
+  for (unsigned i = 0; i < config_.ixp_eyeball_count; ++i) {
+    const net::Asn asn = topo::kIxpEyeballBase + i;
+    asns_.add_as({asn, "Eyeball member " + std::to_string(i),
+                  net::AsRole::kEyeball});
+    asns_.announce(
+        net::Prefix::of(net::IpAddress::v4(kIxpSpaceBase + (block++ << 16)),
+                        16),
+        asn);
+    ixp_eyeballs_.push_back(asn);
+    ixp_members_.push_back(asn);
+  }
+  for (unsigned i = 0; i < config_.ixp_member_count; ++i) {
+    const net::Asn asn = topo::kIxpMemberBase + i;
+    asns_.add_as(
+        {asn, "IXP member " + std::to_string(i), net::AsRole::kTransit});
+    asns_.announce(
+        net::Prefix::of(net::IpAddress::v4(kIxpSpaceBase + (block++ << 16)),
+                        16),
+        asn);
+    ixp_members_.push_back(asn);
+  }
+
+  // CDN address pool.
+  cdn_pool_.reserve(config_.cdn_pool_size);
+  for (unsigned i = 0; i < config_.cdn_pool_size; ++i) {
+    cdn_pool_.push_back(net::IpAddress::v4(kCdnBase + i));
+  }
+}
+
+net::IpAddress Backend::alloc_dedicated_ip(const DetectionUnit& unit,
+                                           std::uint64_t salt) {
+  (void)salt;
+  if (unit.backend == BackendKind::kDedicatedCloud) {
+    // Exclusive cloud VM address; sequential allocation from the cloud
+    // block (tenants do not share addresses while allocated).
+    return net::IpAddress::v4(kCloudBase + (next_cloud_ip_++));
+  }
+  // Manufacturer-operated infrastructure: one /16 block and one AS per
+  // vendor SLD, addresses allocated sequentially within the block.
+  auto [it, inserted] = vendor_as_.try_emplace(unit.sld, 0);
+  if (inserted) {
+    const std::uint32_t block = next_vendor_block_++;
+    const net::Asn asn = topo::kVendorAsBase + block;
+    it->second = asn;
+    vendor_block_[unit.sld] = block;
+    asns_.add_as({asn, unit.sld, net::AsRole::kTransit});
+    asns_.announce(
+        net::Prefix::of(net::IpAddress::v4(kVendorBase + (block << 16)), 16),
+        asn);
+  }
+  const std::uint32_t block = vendor_block_.at(unit.sld);
+  std::uint32_t& next = vendor_next_ip_[unit.sld];
+  return net::IpAddress::v4(kVendorBase + (block << 16) + (next++));
+}
+
+void Backend::host_unit_domains() {
+  for (const DetectionUnit& unit : catalog_.units()) {
+    const auto domains = catalog_.domains_of(unit.id);
+    for (const UnitDomain* dom : domains) {
+      HostedDomain hosted;
+      hosted.domain = dom;
+      const bool shared_role = dom->role == DomainRole::kSharedObserved ||
+                               unit.backend == BackendKind::kShared;
+      hosted.shared = shared_role;
+      hosted.cloud_vm = !shared_role &&
+                        unit.backend == BackendKind::kDedicatedCloud;
+
+      util::Pcg32 rng = util::derive_rng(config_.seed, dom->fqdn.hash(), 0);
+
+      if (shared_role) {
+        // CDN hosting: CNAME into the CDN namespace; per-day IP set drawn
+        // from the shared pool.
+        hosted.cname =
+            dns::Fqdn{dom->fqdn.str() + ".edgekey.simcdn.net"};
+        for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+          auto& ips = hosted.daily_ips[day];
+          for (unsigned k = 0; k < config_.cdn_ips_per_domain; ++k) {
+            ips.push_back(cdn_pool_[rng.bounded(
+                static_cast<std::uint32_t>(cdn_pool_.size()))]);
+          }
+        }
+      } else {
+        // Dual-stack: about half of the dedicated backends also publish
+        // AAAA records (one stable v6 address under the vendor's /48).
+        util::Pcg32 v6rng =
+            util::derive_rng(config_.seed ^ 0x76d5, dom->fqdn.hash(), 6);
+        if (v6rng.chance(config_.dual_stack_fraction)) {
+          hosted.v6_ips.push_back(net::IpAddress::v6(
+              0x20010db8dead0000ULL, 0x1000ULL + (next_v6_ip_++)));
+        }
+        // Dedicated hosting with daily churn.
+        const unsigned n_ips = 1 + static_cast<unsigned>(
+                                       dom->fqdn.hash() %
+                                       config_.dedicated_ip_spread);
+        if (hosted.cloud_vm) {
+          // The EC2-tenant pattern from Sec. 4.2.1: devA.com ->
+          // devA-vm.ec2compute.cloudsim.net -> a.b.c.d, with the IP
+          // reverse-mapping only to this chain.
+          const std::string stem =
+              dom->fqdn.str().substr(0, dom->fqdn.str().find('.'));
+          hosted.cname = dns::Fqdn{stem + "-vm" +
+                                   std::to_string(dom->fqdn.hash() % 1000) +
+                                   ".ec2compute.cloudsim.net"};
+        }
+        std::vector<net::IpAddress> current;
+        for (unsigned k = 0; k < n_ips; ++k) {
+          current.push_back(alloc_dedicated_ip(unit, k));
+        }
+        for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+          if (day > 0 && rng.chance(config_.daily_remap_probability)) {
+            // Remap a random subset (at least one) to fresh addresses.
+            const unsigned n_change = 1 + rng.bounded(n_ips);
+            for (unsigned c = 0; c < n_change; ++c) {
+              current[rng.bounded(n_ips)] =
+                  alloc_dedicated_ip(unit, day * 100 + c);
+            }
+          }
+          hosted.daily_ips[day] = current;
+        }
+      }
+
+      // Passive-DNS records (honouring the coverage gaps).
+      if (!dom->dnsdb_missing) {
+        const dns::Fqdn* chain_head = &dom->fqdn;
+        if (hosted.cname.valid()) {
+          pdns_.add_cname(dom->fqdn, hosted.cname, 0, util::kStudyDays - 1);
+          chain_head = &hosted.cname;
+        }
+        for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+          for (const auto& ip : hosted.daily_ips[day]) {
+            pdns_.add_a(*chain_head, ip, day, day);
+          }
+        }
+        for (const auto& ip6 : hosted.v6_ips) {
+          pdns_.add_a(*chain_head, ip6, 0, util::kStudyDays - 1);
+        }
+        if (hosted.shared) {
+          // Unrelated tenants on the same CDN IPs, which is what the
+          // exclusivity test trips over.
+          for (const auto& ip : hosted.daily_ips[0]) {
+            const std::uint64_t ip_salt = ip.hash();
+            for (unsigned t = 0; t < config_.cdn_tenants_per_ip; ++t) {
+              const std::string tenant =
+                  "site" + std::to_string(ip_salt % 9973) + "-" +
+                  std::to_string(t) + ".tenant" + std::to_string(t % 37) +
+                  ".com";
+              pdns_.add_a(dns::Fqdn{tenant}, ip, 0, util::kStudyDays - 1);
+            }
+          }
+        }
+      }
+
+      hosted_.emplace(key_of(unit.id, dom->index), std::move(hosted));
+    }
+  }
+}
+
+void Backend::host_generic_domains() {
+  const auto& generics = catalog_.generic_domains();
+  generic_hosting_.resize(generics.size());
+  for (std::size_t i = 0; i < generics.size(); ++i) {
+    util::Pcg32 rng = util::derive_rng(config_.seed, generics[i].hash(), 1);
+    const unsigned n_ips = 2 + rng.bounded(6);
+    std::vector<net::IpAddress> current;
+    for (unsigned k = 0; k < n_ips; ++k) {
+      // Generic services live in the generic block or on the CDN.
+      if (rng.chance(0.4)) {
+        current.push_back(
+            cdn_pool_[rng.bounded(static_cast<std::uint32_t>(cdn_pool_.size()))]);
+      } else {
+        current.push_back(net::IpAddress::v4(
+            kGenericBase + (static_cast<std::uint32_t>(i) << 8) + k));
+      }
+    }
+    for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+      generic_hosting_[i][day] = current;
+    }
+    for (const auto& ip : current) {
+      pdns_.add_a(generics[i], ip, 0, util::kStudyDays - 1);
+    }
+  }
+}
+
+void Backend::populate_scan_db() {
+  for (const auto& [key, hosted] : hosted_) {
+    const UnitDomain& dom = *hosted.domain;
+    if (!dom.https) continue;
+
+    tlscert::Certificate cert;
+    if (hosted.shared) {
+      // CDN certificate: covers the tenant name but carries unrelated SANs
+      // (multi-tenant SNI certificate) — fails the paper's "no other SAN"
+      // requirement.
+      cert.subject_cn = dom.fqdn;
+      cert.sans.emplace_back("shared-edge.simcdn.net");
+      cert.sans.emplace_back("othertenant" +
+                             std::to_string(dom.fqdn.hash() % 997) + ".com");
+      cert.issuer = "SimCDN Multi-Tenant CA";
+    } else {
+      // Dedicated certificate: wildcard at the vendor SLD, no foreign SAN.
+      const dns::Fqdn sld = dom.fqdn.registrable();
+      cert.subject_cn = dns::Fqdn{"*." + sld.str()};
+      cert.sans.push_back(sld);
+      cert.issuer = "SimTrust CA";
+    }
+    const std::uint64_t banner = banner_checksum(dom.fqdn);
+    for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+      for (const auto& ip : hosted.daily_ips[day]) {
+        scans_.add({ip, cert, banner, day, day});
+      }
+    }
+  }
+}
+
+const std::vector<net::IpAddress>& Backend::ips_of(UnitId unit,
+                                                   unsigned domain_index,
+                                                   util::DayBin day) const {
+  const auto it = hosted_.find(key_of(unit, domain_index));
+  assert(it != hosted_.end());
+  return it->second.daily_ips[std::min<util::DayBin>(day,
+                                                     util::kStudyDays - 1)];
+}
+
+const std::vector<net::IpAddress>& Backend::ips6_of(
+    UnitId unit, unsigned domain_index) const {
+  const auto it = hosted_.find(key_of(unit, domain_index));
+  assert(it != hosted_.end());
+  return it->second.v6_ips;
+}
+
+const HostedDomain& Backend::hosting_of(UnitId unit,
+                                        unsigned domain_index) const {
+  const auto it = hosted_.find(key_of(unit, domain_index));
+  assert(it != hosted_.end());
+  return it->second;
+}
+
+const std::vector<net::IpAddress>& Backend::generic_ips_of(
+    std::size_t generic_index, util::DayBin day) const {
+  return generic_hosting_[generic_index]
+                         [std::min<util::DayBin>(day, util::kStudyDays - 1)];
+}
+
+std::uint64_t Backend::banner_checksum(const dns::Fqdn& domain) const {
+  return util::hash_combine(util::fnv1a(domain.str()),
+                            0x62616e6e65720aULL);
+}
+
+}  // namespace haystack::simnet

@@ -1,0 +1,172 @@
+// Backend infrastructure builder.
+//
+// Materializes the Internet-side truth of the simulation: which service IPs
+// host every catalog domain on every study day, with realistic structure:
+//
+//   * dedicated manufacturer infrastructure — a per-vendor address block,
+//     a handful of service IPs per domain, daily DNS churn;
+//   * exclusive cloud VMs — the paper's EC2-tenant case: the domain CNAMEs
+//     into a cloud-provider name, and the IP serves only that chain;
+//   * shared CDN hosting — domains CNAME into the CDN namespace and land
+//     on IPs serving dozens of unrelated tenants;
+//   * generic services (NTP pools, analytics, video CDNs) contacted by the
+//     devices but classified out in Sec. 4.1.
+//
+// From this truth the builder derives the two external datasets the
+// methodology consumes — the passive-DNS database (with the catalog's
+// deliberate coverage gaps) and the certificate-scan database — plus the
+// AS-level topology (ISP eyeball AS, cloud/CDN ASes, manufacturer ASes).
+// The detection pipeline never reads the truth directly; it sees only the
+// databases and the flows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/passive_dns.hpp"
+#include "net/asn.hpp"
+#include "simnet/catalog.hpp"
+#include "tlscert/scan_db.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::simnet {
+
+/// Well-known ASNs of the simulated topology.
+namespace topo {
+inline constexpr net::Asn kIspAs = 64500;     ///< the residential ISP
+inline constexpr net::Asn kCloudAs = 64510;   ///< AWS-like cloud
+inline constexpr net::Asn kCdnAs = 64520;     ///< Akamai-like CDN
+inline constexpr net::Asn kGenericAs = 64530; ///< generic hosting
+/// Manufacturer ASes are assigned from this base upward.
+inline constexpr net::Asn kVendorAsBase = 64600;
+/// IXP eyeball member ASes occupy [kIxpEyeballBase, +count).
+inline constexpr net::Asn kIxpEyeballBase = 65001;
+/// Other (non-eyeball) IXP member ASes.
+inline constexpr net::Asn kIxpMemberBase = 65101;
+}  // namespace topo
+
+/// Tunables for the infrastructure builder.
+struct BackendConfig {
+  std::uint64_t seed = 42;
+  /// Dedicated service IPs per domain: 1 + hash % spread.
+  unsigned dedicated_ip_spread = 5;
+  /// Probability that a dedicated domain remaps to fresh IPs on a new day.
+  double daily_remap_probability = 0.12;
+  /// Fraction of dedicated domains whose backend is dual-stack (AAAA).
+  double dual_stack_fraction = 0.5;
+  /// Size of the shared CDN address pool.
+  unsigned cdn_pool_size = 1500;
+  /// Shared domains resolve to this many CDN IPs per day.
+  unsigned cdn_ips_per_domain = 3;
+  /// Unrelated tenant domains recorded per CDN IP in passive DNS (what
+  /// makes the exclusivity test fail).
+  unsigned cdn_tenants_per_ip = 3;
+  /// Number of IXP eyeball member ASes.
+  unsigned ixp_eyeball_count = 12;
+  /// Number of other IXP member ASes.
+  unsigned ixp_member_count = 300;
+};
+
+/// One hosted catalog domain with its per-day address sets.
+struct HostedDomain {
+  const UnitDomain* domain = nullptr;
+  bool shared = false;      ///< CDN-hosted
+  bool cloud_vm = false;    ///< exclusive cloud-VM hosting
+  dns::Fqdn cname;          ///< intermediate CNAME target ("" when direct)
+  std::array<std::vector<net::IpAddress>, util::kStudyDays> daily_ips;
+  /// IPv6 (AAAA) addresses; non-empty for the ~half of dedicated domains
+  /// whose backends are dual-stack. Stable across the window (v6 renumber
+  /// churn is rare in practice).
+  std::vector<net::IpAddress> v6_ips;
+};
+
+/// The built infrastructure.
+class Backend {
+ public:
+  Backend(const Catalog& catalog, const BackendConfig& config);
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// IPv4 service IPs a unit domain resolves to on `day` (simulation
+  /// truth).
+  [[nodiscard]] const std::vector<net::IpAddress>& ips_of(
+      UnitId unit, unsigned domain_index, util::DayBin day) const;
+
+  /// IPv6 service IPs of a unit domain (empty for v4-only backends).
+  [[nodiscard]] const std::vector<net::IpAddress>& ips6_of(
+      UnitId unit, unsigned domain_index) const;
+
+  /// Hosting record of a unit domain.
+  [[nodiscard]] const HostedDomain& hosting_of(UnitId unit,
+                                               unsigned domain_index) const;
+
+  /// Service IPs of the catalog's i-th generic domain on `day`.
+  [[nodiscard]] const std::vector<net::IpAddress>& generic_ips_of(
+      std::size_t generic_index, util::DayBin day) const;
+
+  /// The passive-DNS view of this infrastructure (with coverage gaps).
+  [[nodiscard]] const dns::PassiveDnsDb& pdns() const noexcept {
+    return pdns_;
+  }
+
+  /// The certificate-scan view (Censys substitute).
+  [[nodiscard]] const tlscert::CertScanDb& scans() const noexcept {
+    return scans_;
+  }
+
+  /// AS topology: infra ASes, vendor ASes, ISP and IXP member ASes.
+  [[nodiscard]] const net::AsnRegistry& asns() const noexcept { return asns_; }
+
+  /// HTTPS banner checksum served for `domain` (what a scanner or the
+  /// ground-truth probe records). Stable per domain.
+  [[nodiscard]] std::uint64_t banner_checksum(const dns::Fqdn& domain) const;
+
+  /// Eyeball IXP member ASNs (used by the IXP traffic model).
+  [[nodiscard]] const std::vector<net::Asn>& ixp_eyeballs() const noexcept {
+    return ixp_eyeballs_;
+  }
+  /// All IXP member ASNs (eyeballs first).
+  [[nodiscard]] const std::vector<net::Asn>& ixp_members() const noexcept {
+    return ixp_members_;
+  }
+
+  [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const BackendConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void build_topology();
+  void host_unit_domains();
+  void host_generic_domains();
+  void populate_scan_db();
+
+  [[nodiscard]] net::IpAddress alloc_dedicated_ip(const DetectionUnit& unit,
+                                                  std::uint64_t salt);
+
+  const Catalog& catalog_;
+  BackendConfig config_;
+  util::Pcg32 rng_;
+
+  std::unordered_map<std::uint32_t, HostedDomain> hosted_;  // key: unit<<16|idx
+  std::vector<std::array<std::vector<net::IpAddress>, util::kStudyDays>>
+      generic_hosting_;
+  std::vector<net::IpAddress> cdn_pool_;
+  dns::PassiveDnsDb pdns_;
+  tlscert::CertScanDb scans_;
+  net::AsnRegistry asns_;
+  std::vector<net::Asn> ixp_eyeballs_;
+  std::vector<net::Asn> ixp_members_;
+  std::unordered_map<std::string, net::Asn> vendor_as_;
+  std::unordered_map<std::string, std::uint32_t> vendor_block_;
+  std::uint32_t next_vendor_block_ = 0;
+  std::uint32_t next_cloud_ip_ = 0;
+  std::uint64_t next_v6_ip_ = 0;
+  std::unordered_map<std::string, std::uint32_t> vendor_next_ip_;
+};
+
+}  // namespace haystack::simnet

@@ -1,0 +1,564 @@
+#include "simnet/catalog.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_map>
+
+namespace haystack::simnet {
+
+std::string_view category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kSurveillance:
+      return "Surveillance";
+    case Category::kSmartHubs:
+      return "Smart Hubs";
+    case Category::kHomeAutomation:
+      return "Home Automation";
+    case Category::kVideo:
+      return "Video";
+    case Category::kAudio:
+      return "Audio";
+    case Category::kAppliances:
+      return "Appliances";
+  }
+  return "?";
+}
+
+std::string_view level_suffix(DetectionLevel l) noexcept {
+  switch (l) {
+    case DetectionLevel::kPlatform:
+      return "Pl.";
+    case DetectionLevel::kManufacturer:
+      return "Man.";
+    case DetectionLevel::kProduct:
+      return "Pr.";
+  }
+  return "?";
+}
+
+std::string_view popularity_name(Popularity p) noexcept {
+  switch (p) {
+    case Popularity::kTop10:
+      return "Top 10";
+    case Popularity::kTop100:
+      return "Top 100";
+    case Popularity::kTop200:
+      return "Top 200";
+    case Popularity::kTop500:
+      return "Top 500";
+    case Popularity::kTop2k:
+      return "Top 2k";
+    case Popularity::kTop10k:
+      return "10k";
+    case Popularity::kNoMarket:
+      return "No Market";
+    case Popularity::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+namespace {
+
+using DL = DetectionLevel;
+using BK = BackendKind;
+using Cat = Category;
+using Pop = Popularity;
+
+struct UnitSpec {
+  const char* name;
+  DL level;
+  BK backend;
+  unsigned primary;       // monitored-candidate primary domains (Fig. 10)
+  unsigned support;       // support domains
+  unsigned shared_obs;    // observed manufacturer domains on shared infra
+  unsigned non_excl;      // dedicated but not IoT-exclusive
+  const char* parent;     // detection hierarchy parent, or nullptr
+  double idle_rate;       // mean packets/hour per domain while idle
+  double active_mult;     // multiplier during active hours
+  double duty;            // fraction of domains contacted per idle hour
+  const char* sld;        // vendor registrable domain
+  double wild_extra;      // wild penetration beyond catalog products
+  double diurnal;         // diurnal strength
+};
+
+// The 37 detectable units of Fig. 10 plus the 7 excluded backends
+// (Apple TV, Google Home, Lefun Cam, LG TV, WeMo Plug, Wink Hub, SwitchBot).
+// Primary-domain counts follow Fig. 10's panel grouping; the Amazon/Samsung
+// hierarchies follow Sec. 4.3.2 (33 additional Amazon domains below the AVS
+// domain; 34 more for Fire TV; 14 Samsung domains with one critical; 16
+// additional for Samsung TV).
+constexpr UnitSpec kUnitSpecs[] = {
+    // --- 1-domain units ------------------------------------------------
+    {"Alexa Enabled", DL::kPlatform, BK::kDedicated, 1, 0, 2, 0, nullptr,
+     320.0, 6.0, 1.0, "amazon.com", 0.0770, 1.0},
+    {"Anova Sousvide", DL::kProduct, BK::kDedicatedCloud, 1, 0, 0, 0, nullptr,
+     22.0, 8.0, 1.0, "anovaculinary.com", 0.0, 0.1},
+    {"iKettle", DL::kPlatform, BK::kDedicated, 1, 0, 0, 0, nullptr, 60.0, 7.0,
+     1.0, "smarter.am", 0.0003, 0.2},
+    {"Insteon Hub", DL::kProduct, BK::kDedicatedCloud, 1, 0, 1, 0, nullptr,
+     2.0, 9.0, 1.0, "insteon.com", 0.0, 0.1},
+    {"Magichome Stripe", DL::kProduct, BK::kDedicatedCloud, 1, 0, 0, 0,
+     nullptr, 1.8, 10.0, 1.0, "magichomewifi.com", 0.0, 0.1},
+    {"Meross Dooropener", DL::kManufacturer, BK::kDedicatedCloud, 1, 0, 0, 0,
+     nullptr, 55.0, 7.0, 1.0, "meross.com", 0.0, 0.1},
+    {"Microseven Cam.", DL::kProduct, BK::kDedicated, 1, 0, 0, 0, nullptr,
+     1.5, 6.0, 1.0, "microseven.com", 0.0, 0.1},
+    {"Netatmo Weather St.", DL::kManufacturer, BK::kDedicated, 1, 1, 0, 0,
+     nullptr, 110.0, 3.0, 1.0, "netatmo.net", 0.0, 0.1},
+    {"Smarter Coffee", DL::kPlatform, BK::kDedicated, 1, 0, 0, 0, nullptr,
+     50.0, 7.0, 1.0, "smarter.am", 0.0002, 0.2},
+    // --- 2-domain units ------------------------------------------------
+    {"AppKettle", DL::kProduct, BK::kDedicatedCloud, 2, 0, 0, 0, nullptr,
+     40.0, 8.0, 0.9, "appkettle.com", 0.0, 0.2},
+    {"Blink Hub & Cam.", DL::kManufacturer, BK::kDedicatedCloud, 2, 0, 3, 0,
+     nullptr, 90.0, 9.0, 0.9, "immedia-semi.com", 0.0, 0.2},
+    {"Flux Bulb", DL::kPlatform, BK::kDedicated, 2, 0, 1, 0, nullptr, 35.0,
+     8.0, 0.9, "fluxsmart.com", 0.0004, 0.2},
+    {"GE Microwave", DL::kManufacturer, BK::kDedicatedCloud, 2, 0, 0, 0,
+     nullptr, 20.0, 6.0, 0.9, "geappliances.com", 0.0, 0.1},
+    {"Icsee Doorbell", DL::kProduct, BK::kDedicated, 2, 0, 0, 0, nullptr, 2.2,
+     12.0, 0.9, "icseecam.com", 0.0, 0.1},
+    {"Lightify Hub", DL::kPlatform, BK::kDedicated, 2, 0, 2, 0, nullptr, 70.0,
+     5.0, 0.9, "lightify.com", 0.0005, 0.2},
+    {"Luohe Cam.", DL::kProduct, BK::kDedicated, 2, 0, 0, 0, nullptr, 2.5,
+     10.0, 0.9, "luohecam.com", 0.0, 0.1},
+    {"Reolink Cam.", DL::kProduct, BK::kDedicated, 2, 0, 0, 0, nullptr, 65.0,
+     10.0, 0.9, "reolink.com", 0.0, 0.2},
+    {"Sengled Dev.", DL::kManufacturer, BK::kDedicated, 2, 1, 3, 0, nullptr,
+     75.0, 6.0, 0.9, "sengled.com", 0.0, 0.2},
+    {"Smartthings Dev.", DL::kManufacturer, BK::kDedicatedCloud, 2, 0, 4, 0,
+     nullptr, 95.0, 6.0, 0.9, "smartthings.com", 0.0, 0.3},
+    {"Wansview Cam.", DL::kManufacturer, BK::kDedicated, 2, 0, 0, 0, nullptr,
+     60.0, 9.0, 0.9, "wansview.com", 0.0, 0.2},
+    // --- 3-domain units ------------------------------------------------
+    {"Honeywell T-stat", DL::kManufacturer, BK::kDedicated, 3, 1, 4, 0,
+     nullptr, 85.0, 4.0, 0.8, "honeywellhome.com", 0.0, 0.2},
+    {"Xiaomi Dev.", DL::kManufacturer, BK::kDedicated, 3, 2, 7, 2, nullptr,
+     100.0, 5.0, 0.8, "xiaomi.com", 0.0, 0.3},
+    // --- 4-domain units ------------------------------------------------
+    {"Nest Device", DL::kManufacturer, BK::kDedicated, 4, 1, 5, 0, nullptr,
+     10.0, 4.0, 0.5, "nest.com", 0.0, 0.2},
+    {"Ring Doorbell", DL::kManufacturer, BK::kDedicatedCloud, 4, 1, 5, 0,
+     nullptr, 95.0, 10.0, 0.7, "ring.com", 0.0, 0.3},
+    {"Smartlife", DL::kPlatform, BK::kDedicated, 4, 0, 2, 0, nullptr, 5.0,
+     9.0, 0.5, "tuya.com", 0.0010, 0.2},
+    {"Ubell Doorbell", DL::kManufacturer, BK::kDedicated, 4, 0, 0, 0, nullptr,
+     55.0, 10.0, 0.7, "ubell.com", 0.0, 0.2},
+    {"Yi Camera", DL::kManufacturer, BK::kDedicated, 4, 2, 4, 0, nullptr,
+     80.0, 8.0, 0.7, "xiaoyi.com", 0.0, 0.2},
+    // --- 5+-domain units -----------------------------------------------
+    {"Amazon Product", DL::kManufacturer, BK::kDedicated, 33, 3, 14, 5,
+     "Alexa Enabled", 130.0, 8.0, 0.45, "amazon.com", 0.0400, 1.0},
+    {"Amcrest Cam.", DL::kManufacturer, BK::kDedicated, 6, 0, 3, 0, nullptr,
+     70.0, 9.0, 0.6, "amcrest.com", 0.0, 0.2},
+    {"Dlink Motion Sens.", DL::kManufacturer, BK::kDedicated, 5, 0, 2, 0,
+     nullptr, 60.0, 7.0, 0.6, "mydlink.com", 0.0, 0.2},
+    {"Fire TV", DL::kProduct, BK::kDedicated, 34, 0, 18, 0, "Amazon Product",
+     150.0, 10.0, 0.45, "amazon.com", 0.0, 1.0},
+    {"Philips Dev.", DL::kManufacturer, BK::kDedicated, 5, 2, 8, 2, nullptr,
+     115.0, 5.0, 0.7, "meethue.com", 0.0, 0.3},
+    {"Roku TV", DL::kProduct, BK::kDedicated, 8, 2, 12, 0, nullptr, 120.0,
+     9.0, 0.6, "roku.com", 0.0, 0.9},
+    {"Samsung IoT", DL::kManufacturer, BK::kDedicated, 14, 2, 8, 6, nullptr,
+     60.0, 6.0, 0.30, "samsung.com", 0.0150, 1.0},
+    {"Samsung TV", DL::kProduct, BK::kDedicated, 16, 0, 16, 0, "Samsung IoT",
+     2.0, 60.0, 0.3, "samsung.com", 0.0, 1.0},
+    {"TP-link Dev.", DL::kManufacturer, BK::kDedicated, 5, 1, 4, 1, nullptr,
+     9.0, 7.0, 0.5, "tplinkcloud.com", 0.0, 0.2},
+    {"ZModo Doorbell", DL::kManufacturer, BK::kDedicated, 6, 0, 2, 0, nullptr,
+     65.0, 9.0, 0.6, "zmodo.com", 0.0, 0.2},
+    // --- excluded backends (shared infrastructure / no data) -----------
+    {"Apple TV", DL::kProduct, BK::kShared, 45, 0, 0, 0, nullptr, 380.0, 4.0,
+     0.5, "apple.com", 0.0, 1.0},
+    {"Google Home", DL::kManufacturer, BK::kShared, 20, 0, 0, 0, nullptr,
+     330.0, 5.0, 0.6, "google.com", 0.0, 1.0},
+    {"Lefun Cam", DL::kManufacturer, BK::kShared, 4, 0, 0, 0, nullptr, 55.0,
+     9.0, 0.8, "mipcm.com", 0.0, 0.2},
+    {"LG TV", DL::kProduct, BK::kDedicated, 4, 0, 0, 0, nullptr, 100.0, 8.0,
+     0.6, "lgtvcommon.com", 0.0, 0.9},
+    {"WeMo Plug", DL::kManufacturer, BK::kDedicated, 2, 0, 0, 0, nullptr,
+     12.0, 8.0, 0.8, "xbcs.net", 0.0, 0.1},
+    {"Wink Hub", DL::kManufacturer, BK::kDedicated, 2, 0, 0, 0, nullptr, 40.0,
+     6.0, 0.8, "winkapp.com", 0.0, 0.1},
+    {"SwitchBot", DL::kManufacturer, BK::kShared, 3, 0, 0, 0, nullptr, 30.0,
+     7.0, 0.8, "switch-bot.com", 0.0, 0.1},
+};
+
+struct ProductSpec {
+  const char* name;
+  const char* vendor;
+  Cat category;
+  const char* unit;  // detection unit name (may be an excluded backend)
+  bool idle_only;
+  unsigned instances;  // 1 or 2 testbed instances
+  Pop popularity;
+  double penetration;  // fraction of ISP subscriber lines in the wild
+};
+
+// Table 1, all 56 unique products (96 instances). `instances == 2` means
+// the product was deployed in both the EU and US testbeds.
+constexpr ProductSpec kProductSpecs[] = {
+    // Surveillance (13)
+    {"Amcrest Cam", "Amcrest", Cat::kSurveillance, "Amcrest Cam.", false, 2,
+     Pop::kTop500, 0.0010},
+    {"Blink Cam", "Blink", Cat::kSurveillance, "Blink Hub & Cam.", false, 2,
+     Pop::kTop100, 0.0030},
+    {"Blink Hub", "Blink", Cat::kSurveillance, "Blink Hub & Cam.", false, 2,
+     Pop::kTop100, 0.0020},
+    {"Icsee Doorbell", "Icsee", Cat::kSurveillance, "Icsee Doorbell", false,
+     1, Pop::kTop10k, 0.0005},
+    {"Lefun Cam", "Lefun", Cat::kSurveillance, "Lefun Cam", false, 1,
+     Pop::kTop10k, 0.0005},
+    {"Luohe Cam", "Luohe", Cat::kSurveillance, "Luohe Cam.", false, 1,
+     Pop::kOther, 0.0002},
+    {"Microseven Cam", "Microseven", Cat::kSurveillance, "Microseven Cam.",
+     false, 1, Pop::kNoMarket, 0.000003},
+    {"Reolink Cam", "Reolink", Cat::kSurveillance, "Reolink Cam.", false, 2,
+     Pop::kTop500, 0.0010},
+    {"Ring Doorbell", "Ring", Cat::kSurveillance, "Ring Doorbell", false, 2,
+     Pop::kTop10, 0.0060},
+    {"Ubell Doorbell", "Ubell", Cat::kSurveillance, "Ubell Doorbell", false,
+     1, Pop::kTop2k, 0.0006},
+    {"Wansview Cam", "Wansview", Cat::kSurveillance, "Wansview Cam.", false,
+     2, Pop::kTop2k, 0.0008},
+    {"Yi Cam", "Yi", Cat::kSurveillance, "Yi Camera", false, 2, Pop::kTop200,
+     0.0020},
+    {"ZModo Doorbell", "ZModo", Cat::kSurveillance, "ZModo Doorbell", false,
+     2, Pop::kTop2k, 0.0008},
+    // Smart Hubs (8)
+    {"Insteon", "Insteon", Cat::kSmartHubs, "Insteon Hub", false, 1,
+     Pop::kTop10k, 0.0004},
+    {"Lightify", "Osram", Cat::kSmartHubs, "Lightify Hub", false, 2,
+     Pop::kTop500, 0.0020},
+    {"Philips Hue", "Philips", Cat::kSmartHubs, "Philips Dev.", false, 2,
+     Pop::kTop10, 0.0090},
+    {"Sengled", "Sengled", Cat::kSmartHubs, "Sengled Dev.", false, 2,
+     Pop::kTop200, 0.0020},
+    {"Smartthings", "Samsung", Cat::kSmartHubs, "Smartthings Dev.", false, 2,
+     Pop::kTop100, 0.0060},
+    {"SwitchBot", "SwitchBot", Cat::kSmartHubs, "SwitchBot", false, 1,
+     Pop::kTop2k, 0.0010},
+    {"Wink 2", "Wink", Cat::kSmartHubs, "Wink Hub", false, 1, Pop::kOther,
+     0.0005},
+    {"Xiaomi", "Xiaomi", Cat::kSmartHubs, "Xiaomi Dev.", false, 2, Pop::kTop10,
+     0.0040},
+    // Home Automation (14)
+    {"D-Link Mov Sensor", "D-Link", Cat::kHomeAutomation,
+     "Dlink Motion Sens.", false, 2, Pop::kTop500, 0.0010},
+    {"Flux Bulb", "Flux", Cat::kHomeAutomation, "Flux Bulb", false, 2,
+     Pop::kTop2k, 0.0010},
+    {"Honeywell T-stat", "Honeywell", Cat::kHomeAutomation,
+     "Honeywell T-stat", false, 2, Pop::kTop200, 0.0020},
+    {"Magichome Strip", "Magichome", Cat::kHomeAutomation, "Magichome Stripe",
+     false, 2, Pop::kTop2k, 0.0007},
+    {"Meross Door Opener", "Meross", Cat::kHomeAutomation,
+     "Meross Dooropener", false, 2, Pop::kTop2k, 0.0006},
+    {"Nest T-stat", "Nest", Cat::kHomeAutomation, "Nest Device", false, 2,
+     Pop::kTop100, 0.0050},
+    {"Philips Bulb", "Philips", Cat::kHomeAutomation, "Philips Dev.", false,
+     2, Pop::kTop10, 0.0040},
+    {"Smartlife Bulb", "Smartlife", Cat::kHomeAutomation, "Smartlife", false,
+     2, Pop::kTop100, 0.0030},
+    {"Smartlife Remote", "Smartlife", Cat::kHomeAutomation, "Smartlife",
+     false, 2, Pop::kTop500, 0.0010},
+    {"TP-Link Bulb", "TP-Link", Cat::kHomeAutomation, "TP-link Dev.", false,
+     2, Pop::kTop10, 0.0040},
+    {"TP-Link Plug", "TP-Link", Cat::kHomeAutomation, "TP-link Dev.", false,
+     2, Pop::kTop10, 0.0060},
+    {"WeMo Plug", "Belkin", Cat::kHomeAutomation, "WeMo Plug", false, 2,
+     Pop::kTop200, 0.0020},
+    {"Xiaomi Strip", "Xiaomi", Cat::kHomeAutomation, "Xiaomi Dev.", false, 2,
+     Pop::kTop100, 0.0020},
+    {"Xiaomi Plug", "Xiaomi", Cat::kHomeAutomation, "Xiaomi Dev.", false, 2,
+     Pop::kTop100, 0.0030},
+    // Video (5)
+    {"Apple TV", "Apple", Cat::kVideo, "Apple TV", false, 2, Pop::kTop10,
+     0.0100},
+    {"Fire TV", "Amazon", Cat::kVideo, "Fire TV", false, 2, Pop::kTop10,
+     0.0220},
+    {"LG TV", "LG", Cat::kVideo, "LG TV", false, 1, Pop::kTop100, 0.0100},
+    {"Roku TV", "Roku", Cat::kVideo, "Roku TV", false, 2, Pop::kTop200,
+     0.0070},
+    {"Samsung TV", "Samsung", Cat::kVideo, "Samsung TV", false, 2,
+     Pop::kTop10, 0.0450},
+    // Audio (6)
+    {"Allure with Alexa", "Allure", Cat::kAudio, "Alexa Enabled", false, 1,
+     Pop::kTop2k, 0.0005},
+    {"Echo Dot", "Amazon", Cat::kAudio, "Amazon Product", false, 2,
+     Pop::kTop10, 0.0300},
+    {"Echo Spot", "Amazon", Cat::kAudio, "Amazon Product", false, 2,
+     Pop::kTop500, 0.0030},
+    {"Echo Plus", "Amazon", Cat::kAudio, "Amazon Product", false, 2,
+     Pop::kTop100, 0.0070},
+    {"Google Home Mini", "Google", Cat::kAudio, "Google Home", false, 2,
+     Pop::kTop10, 0.0200},
+    {"Google Home", "Google", Cat::kAudio, "Google Home", false, 2,
+     Pop::kTop100, 0.0100},
+    // Appliances (10)
+    {"Anova Sousvide", "Anova", Cat::kAppliances, "Anova Sousvide", false, 1,
+     Pop::kTop2k, 0.0004},
+    {"Appkettle", "Appkettle", Cat::kAppliances, "AppKettle", false, 1,
+     Pop::kOther, 0.0002},
+    {"GE Microwave", "GE", Cat::kAppliances, "GE Microwave", false, 1,
+     Pop::kNoMarket, 0.0003},
+    {"Netatmo Weather", "Netatmo", Cat::kAppliances, "Netatmo Weather St.",
+     false, 2, Pop::kTop200, 0.0010},
+    {"Samsung Dryer", "Samsung", Cat::kAppliances, "Samsung IoT", true, 1,
+     Pop::kTop500, 0.0040},
+    {"Samsung Fridge", "Samsung", Cat::kAppliances, "Samsung IoT", true, 1,
+     Pop::kTop500, 0.0050},
+    {"Smarter Brewer", "Smarter", Cat::kAppliances, "iKettle", false, 1,
+     Pop::kOther, 0.0002},
+    {"Smarter Coffee Machine", "Smarter", Cat::kAppliances, "Smarter Coffee",
+     false, 2, Pop::kOther, 0.0002},
+    {"Smarter iKettle", "Smarter", Cat::kAppliances, "iKettle", false, 2,
+     Pop::kOther, 0.0003},
+    {"Xiaomi Rice Cooker", "Xiaomi", Cat::kAppliances, "Xiaomi Dev.", false,
+     2, Pop::kTop2k, 0.0008},
+};
+
+// The eight DNSDB-missing-but-HTTPS domains (recoverable via the scan
+// dataset; Sec. 4.2.2: "8 out of 15 of the domains which belong to 5
+// devices") as (unit name, primary-domain index) pairs.
+struct MissingSpec {
+  const char* unit;
+  unsigned index;
+  bool https;  // false: unresolvable (the remaining 7 of 15)
+};
+constexpr MissingSpec kMissing[] = {
+    {"Reolink Cam.", 1, true},   {"Luohe Cam.", 1, true},
+    {"Icsee Doorbell", 0, true}, {"Icsee Doorbell", 1, true},
+    {"Ubell Doorbell", 2, true}, {"Ubell Doorbell", 3, true},
+    {"Wansview Cam.", 0, true},  {"Wansview Cam.", 1, true},
+    {"LG TV", 1, false},         {"LG TV", 2, false},
+    {"LG TV", 3, false},         {"WeMo Plug", 0, false},
+    {"WeMo Plug", 1, false},     {"Wink Hub", 0, false},
+    {"Wink Hub", 1, false},
+};
+
+// Named generic domains; the rest are generated to reach the paper's 90.
+constexpr const char* kNamedGeneric[] = {
+    "pool.ntp.org",        "time.microsoft.com", "time.google.com",
+    "netflix.com",         "wikipedia.org",      "doubleclick.net",
+    "google-analytics.com", "googleapis.com",    "firebaseio.com",
+    "spotify.com",         "youtube.com",        "facebook.com",
+    "akamaihd.net",        "cloudfront.net",     "windowsupdate.com",
+    "ocsp.digicert.com",   "crashlytics.com",    "adsafeprotected.com",
+};
+constexpr std::size_t kGenericTotal = 90;
+
+std::string stem_of(std::string_view sld) {
+  const auto dot = sld.find('.');
+  return std::string{sld.substr(0, dot)};
+}
+
+constexpr const char* kPrimaryPrefixes[] = {"api",   "device", "mqtt",
+                                            "events", "cloud",  "svc",
+                                            "ota",   "relay",  "sync"};
+
+std::uint16_t port_for(DomainRole role, unsigned index) {
+  if (role == DomainRole::kSharedObserved) return 443;
+  switch (index % 6) {
+    case 1:
+      return 8883;  // MQTT/TLS
+    case 3:
+      return 80;
+    case 5:
+      return 8080;
+    default:
+      return 443;
+  }
+}
+
+}  // namespace
+
+Catalog::Catalog() {
+  std::unordered_map<std::string_view, UnitId> unit_index;
+
+  // Pass 1: create units (parents resolved in pass 2).
+  for (const UnitSpec& spec : kUnitSpecs) {
+    DetectionUnit unit;
+    unit.id = static_cast<UnitId>(units_.size());
+    unit.name = spec.name;
+    unit.level = spec.level;
+    unit.backend = spec.backend;
+    unit.primary_domains = spec.primary;
+    unit.support_domains = spec.support;
+    unit.shared_observed_domains = spec.shared_obs;
+    unit.non_exclusive_domains = spec.non_excl;
+    unit.critical_domain = 0;
+    unit.idle_pkts_per_domain_hour = spec.idle_rate;
+    unit.active_multiplier = spec.active_mult;
+    unit.idle_domain_duty = spec.duty;
+    unit.sld = spec.sld;
+    unit.wild_extra_penetration = spec.wild_extra;
+    unit.diurnal_strength = spec.diurnal;
+    unit_index.emplace(spec.name, unit.id);
+    units_.push_back(std::move(unit));
+  }
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    if (kUnitSpecs[i].parent != nullptr) {
+      units_[i].parent = unit_index.at(kUnitSpecs[i].parent);
+    }
+  }
+
+  // Pass 2: products and instances.
+  for (const ProductSpec& spec : kProductSpecs) {
+    Product p;
+    p.id = static_cast<ProductId>(products_.size());
+    p.name = spec.name;
+    p.vendor = spec.vendor;
+    p.category = spec.category;
+    p.unit = unit_index.at(spec.unit);
+    p.idle_only = spec.idle_only;
+    p.instances = spec.instances;
+    p.popularity = spec.popularity;
+    p.penetration = spec.penetration;
+    for (unsigned i = 0; i < spec.instances; ++i) {
+      Instance inst;
+      inst.id = static_cast<InstanceId>(instances_.size());
+      inst.product = p.id;
+      inst.testbed = i + 1;
+      instances_.push_back(inst);
+    }
+    products_.push_back(std::move(p));
+  }
+
+  // Pass 3: generate unit domains. Names are deterministic functions of
+  // (unit sld, role, index) with a handful of real-world special cases.
+  std::unordered_map<std::string, UnitId> sld_first_unit;
+  for (const DetectionUnit& unit : units_) {
+    const std::string stem = stem_of(unit.sld);
+    // Units sharing a vendor SLD (iKettle and Smarter Coffee both live
+    // under smarter.am) get a distinguishing slug so generated names never
+    // collide. The Amazon/Samsung families are special-cased below.
+    std::string slug;
+    const auto [first_it, first] =
+        sld_first_unit.try_emplace(unit.sld, unit.id);
+    if (!first && unit.sld != "amazon.com" && unit.sld != "samsung.com") {
+      slug = "-u" + std::to_string(unit.id);
+    }
+    unsigned next_index = 0;
+    auto add = [&](DomainRole role, std::string name, std::uint16_t port) {
+      UnitDomain d;
+      d.unit = unit.id;
+      d.index = next_index++;
+      d.fqdn = dns::Fqdn{name};
+      d.role = role;
+      d.port = port;
+      d.https = (port == 443 || port == 8443);
+      domains_.push_back(std::move(d));
+    };
+
+    for (unsigned i = 0; i < unit.primary_domains; ++i) {
+      std::string name;
+      if (unit.name == "Alexa Enabled") {
+        name = "avs-alexa.na.amazon.com";
+      } else if (unit.name == "Samsung IoT" && i == 0) {
+        name = "samsungotn.net";  // firmware-update domain (Sec. 4.3.1)
+      } else if (unit.name == "Amazon Product") {
+        name = std::string{kPrimaryPrefixes[i % 9]} + std::to_string(i) +
+               ".iot.amazon.com";
+      } else if (unit.name == "Fire TV") {
+        name = std::string{kPrimaryPrefixes[i % 9]} + std::to_string(i) +
+               ".firetv.amazon.com";
+      } else if (unit.name == "Samsung TV") {
+        name = std::string{kPrimaryPrefixes[i % 9]} + std::to_string(i) +
+               ".tv.samsung.com";
+      } else {
+        name = std::string{kPrimaryPrefixes[i % 9]} +
+               (i >= 9 ? std::to_string(i) : std::string{}) + slug + "." +
+               unit.sld;
+      }
+      add(DomainRole::kPrimary, std::move(name),
+          port_for(DomainRole::kPrimary, i));
+    }
+    for (unsigned i = 0; i < unit.support_domains; ++i) {
+      static constexpr const char* kPartners[] = {"whisk.com", "voicesvc.net",
+                                                  "weatherdata.io"};
+      add(DomainRole::kSupport,
+          stem + std::to_string(unit.id) + "-support" + std::to_string(i) +
+              "." + kPartners[i % 3],
+          443);
+    }
+    for (unsigned i = 0; i < unit.shared_observed_domains; ++i) {
+      std::string prefix = unit.name == "Fire TV"       ? "firetv-cdn"
+                           : unit.name == "Samsung TV"  ? "tv-cdn"
+                           : unit.name == "Amazon Product" ? "iot-cdn"
+                                                           : "cdn";
+      add(DomainRole::kSharedObserved,
+          prefix + std::to_string(i) + slug + "." + unit.sld, 443);
+    }
+    for (unsigned i = 0; i < unit.non_exclusive_domains; ++i) {
+      add(DomainRole::kNonExclusive,
+          "www" + std::to_string(i) + slug + "." + unit.sld, 443);
+    }
+  }
+
+  // Pass 4: apply the DNSDB-coverage gaps.
+  for (const MissingSpec& m : kMissing) {
+    const UnitId unit = unit_index.at(m.unit);
+    unsigned seen = 0;
+    for (auto& d : domains_) {
+      if (d.unit == unit && d.role == DomainRole::kPrimary) {
+        if (seen == m.index) {
+          d.dnsdb_missing = true;
+          if (m.https) {
+            d.port = 443;
+            d.https = true;
+          } else {
+            d.port = 9001;  // proprietary protocol: no certificate to match
+            d.https = false;
+          }
+          break;
+        }
+        ++seen;
+      }
+    }
+  }
+
+  // Pass 5: generic domains.
+  for (const char* name : kNamedGeneric) {
+    generic_domains_.emplace_back(name);
+  }
+  for (std::size_t i = generic_domains_.size(); i < kGenericTotal; ++i) {
+    generic_domains_.emplace_back("svc" + std::to_string(i) + ".genericweb" +
+                                  std::to_string(i % 7) + ".com");
+  }
+
+  // Pass 6: per-unit domain index. `domains_` is stable from here on.
+  domain_index_.resize(units_.size());
+  for (const auto& d : domains_) domain_index_[d.unit].push_back(&d);
+}
+
+std::size_t Catalog::vendor_count() const {
+  std::set<std::string_view> vendors;
+  for (const auto& p : products_) vendors.insert(p.vendor);
+  return vendors.size();
+}
+
+std::vector<ProductId> Catalog::products_of(UnitId unit) const {
+  std::vector<ProductId> out;
+  for (const auto& p : products_) {
+    if (p.unit && *p.unit == unit) out.push_back(p.id);
+  }
+  return out;
+}
+
+const DetectionUnit* Catalog::unit_by_name(std::string_view name) const {
+  for (const auto& u : units_) {
+    if (u.name == name) return &u;
+  }
+  return nullptr;
+}
+
+const Product* Catalog::product_by_name(std::string_view name) const {
+  for (const auto& p : products_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace haystack::simnet

@@ -1,0 +1,295 @@
+#include "simnet/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::simnet {
+
+namespace {
+
+// The Home-VP address: one address out of the reserved /28 of the
+// ground-truth subscriber line (Sec. 2.1), inside the ISP block.
+constexpr std::uint32_t kHomeVpAddr = 0x64400A02;  // 100.64.10.2
+
+constexpr std::uint16_t kEphemeralBase = 32768;
+
+// Units a product's device talks to: its own unit plus all ancestors
+// (an Echo Dot speaks both the Amazon Product domains and the AVS domain).
+std::vector<const DetectionUnit*> unit_chain(const Catalog& catalog,
+                                             const Product& product) {
+  std::vector<const DetectionUnit*> chain;
+  if (!product.unit) return chain;
+  const DetectionUnit* u = &catalog.units()[*product.unit];
+  for (;;) {
+    chain.push_back(u);
+    if (!u->parent) break;
+    u = &catalog.units()[*u->parent];
+  }
+  return chain;
+}
+
+}  // namespace
+
+GroundTruthSim::GroundTruthSim(const Backend& backend,
+                               const GroundTruthConfig& config)
+    : backend_{backend},
+      config_{config},
+      rates_{backend.catalog(), config.seed, config.domain_rate_sigma},
+      home_vp_ip_{net::IpAddress::v4(kHomeVpAddr)} {
+  const double active_hours =
+      24.0 * (util::kActiveLastDay - util::kActiveFirstDay + 1);
+  const double instances =
+      static_cast<double>(backend_.catalog().instances().size());
+  interactions_per_hour_ =
+      static_cast<double>(config_.total_interactions) /
+      (active_hours * instances);
+}
+
+bool GroundTruthSim::instance_enabled(InstanceId instance) const {
+  if (config_.enabled_products.empty()) return true;
+  const Product& product =
+      backend_.catalog()
+          .products()[backend_.catalog().instances()[instance].product];
+  for (const auto& name : config_.enabled_products) {
+    if (product.name == name) return true;
+  }
+  return false;
+}
+
+bool GroundTruthSim::instance_started(InstanceId instance,
+                                      util::HourBin hour) const {
+  if (!util::in_active_window(hour)) return true;
+  const Instance& inst = backend_.catalog().instances()[instance];
+  // Testbed 2 starts at the window open; testbed 1 half a day later.
+  const util::HourBin start =
+      util::day_start(util::kActiveFirstDay) + (inst.testbed == 1 ? 12 : 0);
+  return hour >= start;
+}
+
+unsigned GroundTruthSim::interactions_in(InstanceId instance,
+                                         util::HourBin hour) const {
+  if (!util::in_active_window(hour) || !instance_started(instance, hour)) {
+    return 0;
+  }
+  const Product& product =
+      backend_.catalog().products()[backend_.catalog()
+                                        .instances()[instance]
+                                        .product];
+  if (product.idle_only) return 0;  // could not be automated (Table 1)
+  util::Pcg32 rng = util::derive_rng(config_.seed ^ 0xac7e, instance, hour);
+  return static_cast<unsigned>(rng.poisson(interactions_per_hour_));
+}
+
+double GroundTruthSim::domain_idle_rate(UnitId unit,
+                                        unsigned domain_index) const {
+  return rates_.idle_rate(unit, domain_index);
+}
+
+void GroundTruthSim::emit_domain_flows(InstanceId instance,
+                                       const DetectionUnit& unit,
+                                       const UnitDomain& dom,
+                                       util::HourBin hour, double rate,
+                                       std::vector<LabeledFlow>& out) const {
+  util::Pcg32 rng = util::derive_rng(
+      config_.seed ^ 0xf10f,
+      util::hash_combine(util::hash_combine(instance, dom.fqdn.hash()),
+                         unit.id),
+      hour);
+  const std::uint64_t packets = rng.poisson(rate);
+  if (packets == 0) return;
+
+  const auto& ips = backend_.ips_of(unit.id, dom.index, util::day_of(hour));
+  if (ips.empty()) return;
+
+  // Devices keep sessions to one resolved address: the destination is
+  // sticky per (instance, domain, day). Different instances land on
+  // different addresses, so the Home-VP still accumulates the domain's
+  // footprint while per-address packet mass stays concentrated — which is
+  // what makes heavy hitters pop out of sampled data (Fig. 6).
+  const std::size_t sticky =
+      util::hash_combine(util::hash_combine(instance, dom.fqdn.hash()),
+                         util::day_of(hour)) %
+      ips.size();
+
+  // Split the hour's packets into flows of ~mean_flow_packets each.
+  const std::uint64_t per_flow =
+      std::max<std::uint64_t>(1, config_.mean_flow_packets / 2 +
+                                     rng.bounded(config_.mean_flow_packets));
+  std::uint64_t remaining = packets;
+  unsigned flow_index = 0;
+  while (remaining > 0) {
+    const std::uint64_t n = std::min(remaining, per_flow);
+    remaining -= n;
+
+    LabeledFlow lf;
+    lf.instance = instance;
+    lf.unit = unit.id;
+    lf.domain_index = dom.index;
+    flow::FlowRecord& rec = lf.flow;
+    rec.key.src = home_vp_ip_;
+    rec.key.dst = ips[sticky];
+    rec.key.src_port =
+        static_cast<std::uint16_t>(kEphemeralBase + rng.bounded(28000));
+    rec.key.dst_port = dom.port;
+    const bool udp = dom.port == 123;
+    rec.key.proto = udp ? 17 : 6;
+    if (!udp) {
+      rec.tcp_flags = flow::tcpflags::kSyn | flow::tcpflags::kAck |
+                      flow::tcpflags::kPsh | flow::tcpflags::kFin;
+    }
+    rec.packets = n;
+    rec.bytes = n * (120 + rng.bounded(1100));
+    rec.start_ms =
+        static_cast<std::uint64_t>(hour) * 3'600'000 + rng.bounded(3'300'000);
+    rec.end_ms = rec.start_ms + 10'000 + rng.bounded(240'000);
+    rec.sampling = 1;
+    out.push_back(std::move(lf));
+    if (++flow_index > 64) break;  // bound records for pathological rates
+  }
+}
+
+void GroundTruthSim::emit_generic_flows(InstanceId instance,
+                                        util::HourBin hour,
+                                        std::vector<LabeledFlow>& out) const {
+  const auto& generics = backend_.catalog().generic_domains();
+  util::Pcg32 pick = util::derive_rng(config_.seed ^ 0x93a1, instance, 0);
+  util::Pcg32 rng = util::derive_rng(config_.seed ^ 0x93a2, instance, hour);
+  for (unsigned g = 0; g < config_.generic_domains_per_instance; ++g) {
+    const std::size_t index = pick.bounded(
+        static_cast<std::uint32_t>(generics.size()));
+    // NTP keep-alive cadence for the first pick, web chatter for the rest.
+    const bool ntp = g == 0;
+    const double rate = ntp ? 100.0 : 60.0;
+    const std::uint64_t packets = rng.poisson(rate);
+    if (packets == 0) continue;
+    const auto& ips = backend_.generic_ips_of(index, util::day_of(hour));
+    const std::size_t sticky =
+        util::hash_combine(util::hash_combine(instance, index),
+                           util::day_of(hour)) %
+        ips.size();
+    LabeledFlow lf;
+    lf.instance = instance;
+    lf.unit = std::nullopt;
+    lf.domain_index = static_cast<unsigned>(index);
+    flow::FlowRecord& rec = lf.flow;
+    rec.key.src = home_vp_ip_;
+    rec.key.dst = ips[sticky];
+    rec.key.src_port =
+        static_cast<std::uint16_t>(kEphemeralBase + rng.bounded(28000));
+    rec.key.dst_port = ntp ? 123 : 443;
+    rec.key.proto = ntp ? 17 : 6;
+    if (!ntp) {
+      rec.tcp_flags = flow::tcpflags::kSyn | flow::tcpflags::kAck |
+                      flow::tcpflags::kPsh;
+    }
+    rec.packets = packets;
+    rec.bytes = packets * (80 + rng.bounded(400));
+    rec.start_ms =
+        static_cast<std::uint64_t>(hour) * 3'600'000 + rng.bounded(3'500'000);
+    rec.end_ms = rec.start_ms + 1'000 + rng.bounded(60'000);
+    rec.sampling = 1;
+    out.push_back(std::move(lf));
+  }
+}
+
+void GroundTruthSim::emit_interaction_fanout(
+    InstanceId instance, util::HourBin hour, unsigned interactions,
+    std::vector<LabeledFlow>& out) const {
+  // Functional interactions trigger one-shot content/analytics fetches:
+  // short flows to ever-different generic and CDN destinations. They
+  // inflate the Home-VP's unique-IP count (the Fig. 5a spikes) while being
+  // nearly invisible under 1-in-1000 sampling.
+  const auto& generics = backend_.catalog().generic_domains();
+  util::Pcg32 rng =
+      util::derive_rng(config_.seed ^ 0xfa4007, instance, hour);
+  const unsigned fetches = interactions * config_.fanout_per_interaction;
+  for (unsigned k = 0; k < fetches; ++k) {
+    const std::size_t index =
+        rng.bounded(static_cast<std::uint32_t>(generics.size()));
+    const auto& ips = backend_.generic_ips_of(index, util::day_of(hour));
+    LabeledFlow lf;
+    lf.instance = instance;
+    lf.unit = std::nullopt;
+    lf.domain_index = static_cast<unsigned>(index);
+    flow::FlowRecord& rec = lf.flow;
+    rec.key.src = home_vp_ip_;
+    rec.key.dst = ips[rng.bounded(static_cast<std::uint32_t>(ips.size()))];
+    rec.key.src_port =
+        static_cast<std::uint16_t>(kEphemeralBase + rng.bounded(28000));
+    rec.key.dst_port = 443;
+    rec.key.proto = 6;
+    rec.tcp_flags = flow::tcpflags::kSyn | flow::tcpflags::kAck |
+                    flow::tcpflags::kPsh | flow::tcpflags::kFin;
+    rec.packets = 1 + rng.bounded(4);
+    rec.bytes = rec.packets * (300 + rng.bounded(900));
+    rec.start_ms =
+        static_cast<std::uint64_t>(hour) * 3'600'000 + rng.bounded(3'500'000);
+    rec.end_ms = rec.start_ms + rng.bounded(5'000);
+    rec.sampling = 1;
+    out.push_back(std::move(lf));
+  }
+}
+
+std::vector<LabeledFlow> GroundTruthSim::hour_flows(
+    util::HourBin hour) const {
+  std::vector<LabeledFlow> out;
+  const bool active_window = util::in_active_window(hour);
+  const bool idle_window = util::in_idle_window(hour);
+  if (!active_window && !idle_window) return out;
+
+  const Catalog& catalog = backend_.catalog();
+  const bool boot_hour =
+      idle_window && hour == util::day_start(util::kIdleFirstDay);
+
+  for (const Instance& inst : catalog.instances()) {
+    if (!instance_enabled(inst.id)) continue;
+    if (!instance_started(inst.id, hour)) continue;
+    const Product& product = catalog.products()[inst.product];
+    const unsigned interactions = interactions_in(inst.id, hour);
+
+    util::Pcg32 duty_rng =
+        util::derive_rng(config_.seed ^ 0xd07f, inst.id, hour);
+
+    for (const DetectionUnit* unit : unit_chain(catalog, product)) {
+      for (const UnitDomain* dom : catalog.domains_of(unit->id)) {
+        const bool primary = dom->role == DomainRole::kPrimary;
+        // Duty cycle: a domain is contacted this hour with the unit's duty
+        // probability. Interactions force the service's primary domains
+        // (control-plane traffic); the boot spike widens duty for all.
+        double duty = unit->idle_domain_duty;
+        const bool forced = interactions > 0 && primary;
+        if (!forced && duty < 1.0 && !duty_rng.chance(duty)) continue;
+
+        double rate = domain_idle_rate(unit->id, dom->index);
+        if (interactions > 0) {
+          // Each interaction contributes a burst of amplified traffic
+          // (Sec. 2.3 power/functional interactions). The burst is
+          // control-plane heavy: a random majority of the primary domains
+          // carry it; the rest see ordinary load.
+          const double burst = primary && duty_rng.chance(0.6)
+                                   ? unit->active_multiplier * 2.5
+                                   : 1.0;
+          rate += domain_idle_rate(unit->id, dom->index) * burst *
+                  interactions;
+        }
+        emit_domain_flows(inst.id, *unit, *dom, hour, rate, out);
+      }
+    }
+    emit_generic_flows(inst.id, hour, out);
+    if (interactions > 0) {
+      emit_interaction_fanout(inst.id, hour, interactions, out);
+    }
+    if (boot_hour) {
+      // Powering on at the idle-window start produces a one-time burst of
+      // one-shot destinations (the Fig. 5a idle spike), not a sustained
+      // rate increase.
+      emit_interaction_fanout(inst.id, hour, 3, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace haystack::simnet

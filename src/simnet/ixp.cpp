@@ -1,0 +1,173 @@
+#include "simnet/ixp.hpp"
+
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::simnet {
+
+namespace {
+
+std::uint64_t sampled_count(util::Pcg32& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 0.05) {
+    return rng.chance(lambda * (1.0 - 0.5 * lambda)) ? 1 : 0;
+  }
+  return rng.poisson(lambda);
+}
+
+// Member address space starts at 80.0.0.0/8; each member owns a /16 block
+// allocated in registration order (mirrors Backend::build_topology).
+constexpr std::uint32_t kIxpSpaceBase = 0x50000000;
+
+}  // namespace
+
+WildIxpSim::WildIxpSim(const Backend& backend, const DomainRateModel& rates,
+                       const IxpConfig& config)
+    : backend_{backend}, rates_{rates}, config_{config} {
+  const auto& units = backend.catalog().units();
+  chains_.resize(units.size());
+  for (const DetectionUnit& u : units) {
+    UnitId cur = u.id;
+    for (;;) {
+      chains_[u.id].push_back(cur);
+      const auto& parent = units[cur].parent;
+      if (!parent) break;
+      cur = *parent;
+    }
+  }
+}
+
+std::uint32_t WildIxpSim::households_of(net::Asn member) const {
+  const auto& eyeballs = backend_.ixp_eyeballs();
+  for (std::size_t i = 0; i < eyeballs.size(); ++i) {
+    if (eyeballs[i] == member) {
+      return static_cast<std::uint32_t>(
+          static_cast<double>(config_.eyeball_households) /
+          std::pow(static_cast<double>(i + 1), config_.eyeball_skew));
+    }
+  }
+  // Non-eyeball members: a handful of devices (office deployments etc.).
+  util::Pcg32 rng = util::derive_rng(config_.seed ^ 0x1c6d, member, 0);
+  return static_cast<std::uint32_t>(
+      rng.poisson(config_.member_device_mean) * 2);
+}
+
+void WildIxpSim::member_observations(net::Asn member,
+                                     std::uint32_t households, bool eyeball,
+                                     util::DayBin day,
+                                     const Sink& sink) const {
+  if (households == 0) return;
+  const Catalog& catalog = backend_.catalog();
+  const double inv_n = 1.0 / static_cast<double>(config_.sampling);
+  const std::uint64_t day_ms =
+      static_cast<std::uint64_t>(day) * 24 * 3'600'000;
+
+  // Member base address: member index within the joint registration order.
+  const auto& members = backend_.ixp_members();
+  std::uint32_t member_index = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == member) {
+      member_index = static_cast<std::uint32_t>(i);
+      break;
+    }
+  }
+  const std::uint32_t base = kIxpSpaceBase + (member_index << 16);
+
+  // Ownership candidates with penetrations, as in the ISP population.
+  IxpObs obs;
+  for (std::uint32_t h = 0; h < households; ++h) {
+    util::Pcg32 own =
+        util::derive_rng(config_.seed ^ 0x07b41e,
+                         util::hash_combine(member, h), 0);
+    util::Pcg32 rng =
+        util::derive_rng(config_.seed ^ 0x5a3c21,
+                         util::hash_combine(member, h), day);
+    const net::IpAddress device_ip =
+        net::IpAddress::v4(base + (h % 0xffffU));
+
+    auto simulate_device = [&](UnitId unit_id) {
+      for (const UnitId uid : chains_[unit_id]) {
+        const DetectionUnit& unit = catalog.units()[uid];
+        // Routing asymmetry: does (member, vendor infra) cross the fabric?
+        util::Pcg32 route = util::derive_rng(
+            config_.seed ^ 0x90a7e5,
+            util::hash_combine(member, util::fnv1a(unit.sld)), 0);
+        if (!route.chance(config_.cross_ixp_probability)) continue;
+
+        for (const UnitDomain* dom : catalog.domains_of(uid)) {
+          // Daily aggregate: duty applies per hour; over 24h the expected
+          // contacted fraction saturates, so use the full-day mean rate.
+          const double daily_rate =
+              rates_.idle_rate(uid, dom->index) * 24.0 *
+              unit.idle_domain_duty;
+          const std::uint64_t sampled =
+              sampled_count(rng, daily_rate * inv_n);
+          if (sampled == 0) continue;
+
+          const bool tcp = dom->port != 123;
+          if (tcp) {
+            // Spoofing guard: require evidence of an established
+            // connection among the sampled packets. A sampled packet is a
+            // bare-handshake segment with probability ~0.1.
+            const double p_all_handshake = std::pow(0.1, double(sampled));
+            if (rng.chance(p_all_handshake)) continue;
+          }
+
+          const auto& ips = backend_.ips_of(uid, dom->index, day);
+          obs.member = member;
+          obs.device_ip = device_ip;
+          obs.unit = uid;
+          obs.domain_index = dom->index;
+          flow::FlowRecord& rec = obs.flow;
+          rec.key.src = device_ip;
+          rec.key.dst =
+              ips[rng.bounded(static_cast<std::uint32_t>(ips.size()))];
+          rec.key.src_port =
+              static_cast<std::uint16_t>(32768 + rng.bounded(28000));
+          rec.key.dst_port = dom->port;
+          rec.key.proto = tcp ? 6 : 17;
+          rec.tcp_flags =
+              tcp ? (flow::tcpflags::kAck | flow::tcpflags::kPsh) : 0;
+          rec.packets = sampled;
+          rec.bytes = sampled * (200 + rng.bounded(900));
+          rec.start_ms = day_ms + rng.bounded(80'000'000);
+          rec.end_ms = rec.start_ms + rng.bounded(600'000);
+          rec.sampling = config_.sampling;
+          sink(obs);
+        }
+      }
+    };
+
+    if (eyeball) {
+      for (const Product& p : catalog.products()) {
+        if (!p.unit || p.penetration <= 0.0) continue;
+        if (own.chance(p.penetration)) simulate_device(*p.unit);
+      }
+      for (const DetectionUnit& u : catalog.units()) {
+        if (u.wild_extra_penetration > 0.0 &&
+            own.chance(u.wild_extra_penetration)) {
+          simulate_device(u.id);
+        }
+      }
+    } else {
+      // Non-eyeball members host individual devices, not whole households:
+      // pick one unit, weighted by overall popularity.
+      const auto& units = catalog.units();
+      simulate_device(
+          units[own.bounded(static_cast<std::uint32_t>(units.size()))].id);
+    }
+  }
+}
+
+void WildIxpSim::day_observations(util::DayBin day, const Sink& sink) const {
+  const auto& eyeballs = backend_.ixp_eyeballs();
+  for (const net::Asn member : backend_.ixp_members()) {
+    const bool eyeball =
+        std::find(eyeballs.begin(), eyeballs.end(), member) != eyeballs.end();
+    member_observations(member, households_of(member), eyeball, day, sink);
+  }
+}
+
+}  // namespace haystack::simnet

@@ -1,0 +1,91 @@
+#include "simnet/manual_analysis.hpp"
+
+#include "core/infra_classifier.hpp"
+
+namespace haystack::simnet {
+
+std::vector<core::ServiceSpec> build_service_specs(const Backend& backend) {
+  const Catalog& catalog = backend.catalog();
+  std::vector<core::ServiceSpec> specs;
+  specs.reserve(catalog.units().size());
+
+  for (const DetectionUnit& unit : catalog.units()) {
+    core::ServiceSpec spec;
+    spec.id = unit.id;
+    spec.name = unit.name;
+    switch (unit.level) {
+      case DetectionLevel::kPlatform:
+        spec.level = core::Level::kPlatform;
+        break;
+      case DetectionLevel::kManufacturer:
+        spec.level = core::Level::kManufacturer;
+        break;
+      case DetectionLevel::kProduct:
+        spec.level = core::Level::kProduct;
+        break;
+    }
+    if (unit.parent) spec.parent = *unit.parent;
+    spec.critical_sufficient = unit.name == "Samsung IoT";
+
+    unsigned primary_seen = 0;
+    for (const UnitDomain* dom : catalog.domains_of(unit.id)) {
+      core::ServiceDomain sd;
+      sd.fqdn = dom->fqdn;
+      sd.port = dom->port;
+      sd.https = dom->https;
+      if (dom->https) sd.banner = backend.banner_checksum(dom->fqdn);
+      sd.support = dom->role == DomainRole::kSupport;
+      sd.iot_exclusive = dom->role != DomainRole::kNonExclusive;
+      if (dom->role == DomainRole::kPrimary) {
+        if (primary_seen == unit.critical_domain) {
+          spec.critical_index = static_cast<unsigned>(spec.domains.size());
+        }
+        ++primary_seen;
+      }
+      spec.domains.push_back(std::move(sd));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+core::DomainKnowledge build_domain_knowledge(const Catalog& catalog) {
+  core::DomainKnowledge knowledge;
+  for (const UnitDomain& dom : catalog.domains()) {
+    const dns::Fqdn sld = dom.fqdn.registrable();
+    if (dom.role == DomainRole::kSupport) {
+      knowledge.support_slds.insert(sld);
+    } else {
+      knowledge.manufacturer_slds.insert(sld);
+    }
+  }
+  for (const dns::Fqdn& generic : catalog.generic_domains()) {
+    knowledge.generic_fqdns.insert(generic);
+    const dns::Fqdn sld = generic.registrable();
+    if (!knowledge.manufacturer_slds.contains(sld)) {
+      knowledge.generic_slds.insert(sld);
+    }
+  }
+  return knowledge;
+}
+
+std::vector<dns::Fqdn> observed_domains(const Catalog& catalog) {
+  std::vector<dns::Fqdn> out;
+  out.reserve(catalog.domains().size() +
+              catalog.generic_domains().size());
+  for (const UnitDomain& dom : catalog.domains()) out.push_back(dom.fqdn);
+  for (const dns::Fqdn& generic : catalog.generic_domains()) {
+    out.push_back(generic);
+  }
+  return out;
+}
+
+core::RuleSet build_ruleset(const Backend& backend,
+                            const core::RuleGenConfig& config) {
+  const core::InfraClassifier classifier{backend.pdns(), backend.scans(),
+                                         config.first_day, config.last_day};
+  return core::generate_rules(build_service_specs(backend), classifier,
+                              config);
+}
+
+}  // namespace haystack::simnet

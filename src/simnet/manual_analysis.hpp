@@ -1,0 +1,47 @@
+// The "manual analysis" bridge (paper Secs. 4.1/4.3.1).
+//
+// In the paper, humans turned testbed captures into structured side
+// information: which domains belong to which IoT service, which domain is
+// critical, how services nest. This adapter performs the same distillation
+// from the simulation's catalog, producing exactly the artifacts the core
+// methodology consumes:
+//
+//   * one core::ServiceSpec per detection unit (ServiceId == UnitId),
+//   * the core::DomainKnowledge side tables for Sec. 4.1 classification,
+//   * the list of every domain observed in ground truth (IoT + generic),
+//     which the Sec. 4.1 statistics run over.
+//
+// core itself never includes simnet headers; the dependency points this
+// way only.
+#pragma once
+
+#include <vector>
+
+#include "core/domain_classifier.hpp"
+#include "core/rules.hpp"
+#include "core/service.hpp"
+#include "simnet/backend.hpp"
+
+namespace haystack::simnet {
+
+/// One ServiceSpec per detection unit, in unit-id order. Banner checksums
+/// come from the backend's ground-truth probe, mirroring how the paper
+/// recorded banners for the Censys query.
+[[nodiscard]] std::vector<core::ServiceSpec> build_service_specs(
+    const Backend& backend);
+
+/// Side tables for the Sec. 4.1 domain classifier.
+[[nodiscard]] core::DomainKnowledge build_domain_knowledge(
+    const Catalog& catalog);
+
+/// Every domain observed in the ground-truth experiments: all unit domains
+/// plus the generic set (524 in the paper).
+[[nodiscard]] std::vector<dns::Fqdn> observed_domains(const Catalog& catalog);
+
+/// Convenience: run classification + rule generation end to end against
+/// the backend's databases over the full study window.
+[[nodiscard]] core::RuleSet build_ruleset(
+    const Backend& backend,
+    const core::RuleGenConfig& config = core::RuleGenConfig{});
+
+}  // namespace haystack::simnet

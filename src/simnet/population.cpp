@@ -1,0 +1,95 @@
+#include "simnet/population.hpp"
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::simnet {
+
+namespace {
+// Subscriber space: 100.64.0.0/10.
+constexpr std::uint32_t kSubscriberBase = 0x64400000;
+// Lines per regional address pool; each pool spans four /24s (1024 addrs).
+constexpr std::uint32_t kLinesPerRegion = 64;
+constexpr std::uint32_t kRegionAddrSpan = 1024;
+}  // namespace
+
+Population::Population(const Catalog& catalog,
+                       const PopulationConfig& config)
+    : catalog_{catalog}, config_{config} {
+  offsets_.reserve(config_.lines + 1);
+  offsets_.push_back(0);
+
+  // Pre-extract the ownership candidates: real products plus virtual
+  // wild-extra devices per unit.
+  struct Candidate {
+    std::optional<ProductId> product;
+    UnitId unit;
+    double penetration;
+  };
+  std::vector<Candidate> candidates;
+  for (const Product& p : catalog.products()) {
+    if (p.unit && p.penetration > 0.0) {
+      candidates.push_back({p.id, *p.unit, p.penetration});
+    }
+  }
+  for (const DetectionUnit& u : catalog.units()) {
+    if (u.wild_extra_penetration > 0.0) {
+      candidates.push_back({std::nullopt, u.id, u.wild_extra_penetration});
+    }
+  }
+
+  for (LineId line = 0; line < config_.lines; ++line) {
+    util::Pcg32 rng = util::derive_rng(config_.seed ^ 0x0cc07a11, line, 0);
+    bool any = false;
+    for (const Candidate& c : candidates) {
+      if (rng.chance(c.penetration)) {
+        devices_.push_back({c.product, c.unit});
+        any = true;
+      }
+    }
+    offsets_.push_back(static_cast<std::uint32_t>(devices_.size()));
+    if (any) active_lines_.push_back(line);
+  }
+}
+
+std::span<const OwnedDevice> Population::devices_of(LineId line) const {
+  return {devices_.data() + offsets_[line],
+          devices_.data() + offsets_[line + 1]};
+}
+
+unsigned Population::epoch_of(LineId line, util::DayBin day) const {
+  unsigned epoch = 0;
+  for (util::DayBin d = 1; d <= day; ++d) {
+    util::Pcg32 rng = util::derive_rng(config_.seed ^ 0x707a7e, line, d);
+    if (rng.chance(config_.daily_rotation_probability)) ++epoch;
+  }
+  return epoch;
+}
+
+net::IpAddress Population::address_of(LineId line, util::DayBin day) const {
+  const std::uint32_t region = line / kLinesPerRegion;
+  const unsigned epoch = epoch_of(line, day);
+  const std::uint32_t slot = static_cast<std::uint32_t>(
+      util::hash_combine(util::fnv1a_u64(line), epoch) % kRegionAddrSpan);
+  return net::IpAddress::v4(kSubscriberBase + region * kRegionAddrSpan +
+                            slot);
+}
+
+bool Population::dual_stack(LineId line) const {
+  util::Pcg32 rng = util::derive_rng(config_.seed ^ 0xd5a15ac, line, 0);
+  return rng.chance(config_.dual_stack_fraction);
+}
+
+net::IpAddress Population::address6_of(LineId line) const {
+  // One /64 per line under the ISP's 2001:db8:6400::/40.
+  return net::IpAddress::v6(0x20010db864000000ULL | line, 1);
+}
+
+double Population::device_penetration() const noexcept {
+  return config_.lines == 0
+             ? 0.0
+             : static_cast<double>(active_lines_.size()) /
+                   static_cast<double>(config_.lines);
+}
+
+}  // namespace haystack::simnet

@@ -1,0 +1,102 @@
+// Wild subscriber population of the ISP (paper Sec. 6.2).
+//
+// Models N broadband subscriber lines. Each line owns a set of IoT devices
+// drawn from the catalog's per-product penetration rates, plus "virtual"
+// devices representing third-party hardware that integrates a platform the
+// testbed covers (the Alexa-in-a-fridge case — DetectionUnit::
+// wild_extra_penetration). Ownership, addressing, and identifier churn are
+// all deterministic functions of (seed, line), so any slice of the
+// population can be regenerated independently.
+//
+// Addressing model: each line lives in a regional pool of four /24s shared
+// with 63 neighbours. Identifier rotation (router reboots, daily
+// re-assignment) moves the line to a different address within its pool,
+// which is exactly the effect Fig. 13 smooths by aggregating at /24 level.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "simnet/catalog.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::simnet {
+
+/// Subscriber line index.
+using LineId = std::uint32_t;
+
+/// One device owned by a line.
+struct OwnedDevice {
+  /// Product, or nullopt for a virtual wild-extra device of `unit`.
+  std::optional<ProductId> product;
+  /// The device's own detection unit (ancestors implied).
+  UnitId unit = 0;
+};
+
+/// Population tunables.
+struct PopulationConfig {
+  std::uint64_t seed = 99;
+  std::uint32_t lines = 200'000;
+  /// Per-day probability that a line's identifier rotates (router reboot,
+  /// re-assignment; the ISP's churn is "pretty low", Sec. 6.2).
+  double daily_rotation_probability = 0.03;
+  /// Fraction of lines with IPv6 connectivity.
+  double dual_stack_fraction = 0.35;
+};
+
+/// The materialized population.
+class Population {
+ public:
+  Population(const Catalog& catalog, const PopulationConfig& config);
+
+  [[nodiscard]] std::uint32_t line_count() const noexcept {
+    return config_.lines;
+  }
+
+  /// Devices owned by a line (possibly empty).
+  [[nodiscard]] std::span<const OwnedDevice> devices_of(LineId line) const;
+
+  /// Lines that own at least one device, ascending.
+  [[nodiscard]] const std::vector<LineId>& lines_with_devices()
+      const noexcept {
+    return active_lines_;
+  }
+
+  /// The subscriber address (identifier) of a line on a given day,
+  /// reflecting identifier rotation.
+  [[nodiscard]] net::IpAddress address_of(LineId line,
+                                          util::DayBin day) const;
+
+  /// True when the line has IPv6 connectivity (dual stack).
+  [[nodiscard]] bool dual_stack(LineId line) const;
+
+  /// The line's IPv6 identifier (a /56-derived address). Valid only for
+  /// dual-stack lines; stable across the window (v6 prefixes rotate far
+  /// less than v4 addresses at real ISPs).
+  [[nodiscard]] net::IpAddress address6_of(LineId line) const;
+
+  /// Number of identifier rotations the line has experienced up to and
+  /// including `day`.
+  [[nodiscard]] unsigned epoch_of(LineId line, util::DayBin day) const;
+
+  [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const PopulationConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Fraction of lines owning at least one catalog or virtual device.
+  [[nodiscard]] double device_penetration() const noexcept;
+
+ private:
+  const Catalog& catalog_;
+  PopulationConfig config_;
+  // CSR layout: devices of line i are devices_[offsets_[i] .. offsets_[i+1]).
+  std::vector<std::uint32_t> offsets_;
+  std::vector<OwnedDevice> devices_;
+  std::vector<LineId> active_lines_;
+};
+
+}  // namespace haystack::simnet

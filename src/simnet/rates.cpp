@@ -1,0 +1,42 @@
+#include "simnet/rates.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::simnet {
+
+DomainRateModel::DomainRateModel(const Catalog& catalog, std::uint64_t seed,
+                                 double sigma)
+    : catalog_{catalog} {
+  unit_offsets_.assign(catalog.units().size() + 1, 0);
+  // catalog.domains() is grouped by unit in unit-id order; record offsets.
+  const auto& domains = catalog.domains();
+  rates_.reserve(domains.size());
+  std::size_t row = 0;
+  for (const DetectionUnit& unit : catalog.units()) {
+    unit_offsets_[unit.id] = static_cast<std::uint32_t>(row);
+    while (row < domains.size() && domains[row].unit == unit.id) {
+      util::Pcg32 rng = util::derive_rng(
+          seed ^ 0xd0337a7e,
+          util::hash_combine(unit.id, domains[row].index), 0);
+      double mult = rng.lognormal(0.0, sigma);
+      // The unit's lead domain (its control-plane endpoint — AVS for Alexa,
+      // samsungotn.net for Samsung) is reliably chatty: clamp its draw so a
+      // single unlucky multiplier cannot silence a whole detection unit.
+      if (domains[row].index == 0) mult = std::clamp(mult, 0.8, 4.0);
+      rates_.push_back(unit.idle_pkts_per_domain_hour * mult);
+      ++row;
+    }
+  }
+  unit_offsets_[catalog.units().size()] = static_cast<std::uint32_t>(row);
+  assert(row == domains.size());
+}
+
+double DomainRateModel::idle_rate(UnitId unit, unsigned domain_index) const {
+  return rates_[unit_offsets_[unit] + domain_index];
+}
+
+}  // namespace haystack::simnet

@@ -1,0 +1,128 @@
+#include "simnet/scenario.hpp"
+
+#include <istream>
+#include <sstream>
+
+namespace haystack::simnet {
+
+namespace {
+
+// Reads a possibly-quoted name token.
+bool read_name(std::istringstream& fields, std::string& out) {
+  fields >> std::ws;
+  if (fields.peek() == '"') {
+    fields.get();
+    std::getline(fields, out, '"');
+    return !out.empty();
+  }
+  return static_cast<bool>(fields >> out);
+}
+
+}  // namespace
+
+PopulationConfig Scenario::apply(PopulationConfig base) const {
+  if (seed) base.seed = *seed;
+  if (lines) base.lines = *lines;
+  if (rotation) base.daily_rotation_probability = *rotation;
+  if (dual_stack) base.dual_stack_fraction = *dual_stack;
+  return base;
+}
+
+WildIspConfig Scenario::apply(WildIspConfig base) const {
+  // Derive an independent stream from the scenario seed.
+  if (seed) base.seed = *seed ^ 0x5c;
+  if (sampling) base.sampling = *sampling;
+  if (base_active_prob) base.base_active_prob = *base_active_prob;
+  return base;
+}
+
+bool Scenario::apply_overrides(Catalog& catalog, std::string* error) const {
+  for (const auto& [name, value] : penetration_overrides) {
+    const Product* product = catalog.product_by_name(name);
+    if (product == nullptr) {
+      if (error != nullptr) *error = "unknown product: " + name;
+      return false;
+    }
+    catalog.set_penetration(product->id, value);
+  }
+  for (const auto& [name, value] : wild_extra_overrides) {
+    const DetectionUnit* unit = catalog.unit_by_name(name);
+    if (unit == nullptr) {
+      if (error != nullptr) *error = "unknown unit: " + name;
+      return false;
+    }
+    catalog.set_wild_extra(unit->id, value);
+  }
+  return true;
+}
+
+std::optional<Scenario> parse_scenario(std::istream& is,
+                                       std::string* error) {
+  Scenario scenario;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    // Strip trailing comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields{line};
+    std::string key;
+    if (!(fields >> key)) continue;  // whitespace-only line
+
+    auto syntax_error = [&](const char* what) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + what;
+      }
+      return std::nullopt;
+    };
+
+    if (key == "seed") {
+      std::uint64_t v = 0;
+      if (!(fields >> v)) return syntax_error("bad seed");
+      scenario.seed = v;
+    } else if (key == "lines") {
+      std::uint32_t v = 0;
+      if (!(fields >> v)) return syntax_error("bad lines");
+      scenario.lines = v;
+    } else if (key == "sampling") {
+      std::uint32_t v = 0;
+      if (!(fields >> v) || v == 0) return syntax_error("bad sampling");
+      scenario.sampling = v;
+    } else if (key == "rotation") {
+      double v = 0;
+      if (!(fields >> v) || v < 0 || v > 1) {
+        return syntax_error("bad rotation");
+      }
+      scenario.rotation = v;
+    } else if (key == "dual_stack") {
+      double v = 0;
+      if (!(fields >> v) || v < 0 || v > 1) {
+        return syntax_error("bad dual_stack");
+      }
+      scenario.dual_stack = v;
+    } else if (key == "base_active_prob") {
+      double v = 0;
+      if (!(fields >> v) || v < 0 || v > 1) {
+        return syntax_error("bad base_active_prob");
+      }
+      scenario.base_active_prob = v;
+    } else if (key == "penetration" || key == "wild_extra") {
+      std::string name;
+      double v = 0;
+      if (!read_name(fields, name) || !(fields >> v) || v < 0 || v > 1) {
+        return syntax_error("bad override");
+      }
+      auto& list = key == "penetration" ? scenario.penetration_overrides
+                                        : scenario.wild_extra_overrides;
+      list.emplace_back(std::move(name), v);
+    } else {
+      return syntax_error("unknown key");
+    }
+  }
+  return scenario;
+}
+
+}  // namespace haystack::simnet

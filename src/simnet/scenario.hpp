@@ -1,0 +1,56 @@
+// Scenario configuration: text-driven overrides for the simulated world,
+// so studies (different penetrations, sampling rates, population sizes)
+// run without recompiling. Line-oriented format, '#' comments:
+//
+//   lines 200000
+//   sampling 1000
+//   rotation 0.03
+//   dual_stack 0.35
+//   base_active_prob 0.09
+//   seed 42
+//   penetration "Echo Dot" 0.05        # override one product
+//   wild_extra "Alexa Enabled" 0.10    # override a unit's extra share
+//
+// Product/unit names are quoted; unknown names are reported as errors so
+// typos fail loudly instead of silently simulating the default.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/catalog.hpp"
+#include "simnet/population.hpp"
+#include "simnet/wild_isp.hpp"
+
+namespace haystack::simnet {
+
+/// Parsed scenario.
+struct Scenario {
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint32_t> lines;
+  std::optional<std::uint32_t> sampling;
+  std::optional<double> rotation;
+  std::optional<double> dual_stack;
+  std::optional<double> base_active_prob;
+  std::vector<std::pair<std::string, double>> penetration_overrides;
+  std::vector<std::pair<std::string, double>> wild_extra_overrides;
+
+  /// Applies the population-level settings over `base`.
+  [[nodiscard]] PopulationConfig apply(PopulationConfig base) const;
+
+  /// Applies the wild-simulation settings over `base`.
+  [[nodiscard]] WildIspConfig apply(WildIspConfig base) const;
+
+  /// Applies penetration/wild-extra overrides to a catalog copy. Returns
+  /// false (with `error`) when a name does not exist.
+  bool apply_overrides(Catalog& catalog, std::string* error = nullptr) const;
+};
+
+/// Parses a scenario file. Returns nullopt on syntax errors, with a
+/// message in `error` when non-null.
+[[nodiscard]] std::optional<Scenario> parse_scenario(
+    std::istream& is, std::string* error = nullptr);
+
+}  // namespace haystack::simnet

@@ -1,0 +1,157 @@
+#include "simnet/wild_isp.hpp"
+
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::simnet {
+
+namespace {
+
+/// Draws a sampled packet count with mean `lambda`, using a one-uniform
+/// Bernoulli fast path for tiny rates (the overwhelmingly common case at
+/// 1-in-1000 sampling).
+std::uint64_t sampled_count(util::Pcg32& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 0.05) {
+    // P(N>=1) = 1-e^-l ~= l - l^2/2; P(N>=2 | N>=1) < l/2, negligible.
+    return rng.chance(lambda * (1.0 - 0.5 * lambda)) ? 1 : 0;
+  }
+  return rng.poisson(lambda);
+}
+
+}  // namespace
+
+WildIspSim::WildIspSim(const Backend& backend, const Population& population,
+                       const DomainRateModel& rates,
+                       const WildIspConfig& config)
+    : backend_{backend},
+      population_{population},
+      rates_{rates},
+      config_{config} {
+  const auto& units = backend.catalog().units();
+  chains_.resize(units.size());
+  for (const DetectionUnit& u : units) {
+    UnitId cur = u.id;
+    for (;;) {
+      chains_[u.id].push_back(cur);
+      const auto& parent = units[cur].parent;
+      if (!parent) break;
+      cur = *parent;
+    }
+  }
+}
+
+bool WildIspSim::device_active(LineId line, std::uint32_t device_index,
+                               util::HourBin hour) const {
+  const auto devices = population_.devices_of(line);
+  if (device_index >= devices.size()) return false;
+  const DetectionUnit& unit =
+      backend_.catalog().units()[devices[device_index].unit];
+  const double diurnal = util::diurnal_weight(util::hour_of_day(hour));
+  // Entertainment-class devices (high diurnal strength) are simply used
+  // more hours per day than sensors and plugs; scale the base probability
+  // accordingly before applying the hour-of-day shape.
+  const double p =
+      config_.base_active_prob * (1.0 + 2.0 * unit.diurnal_strength) *
+      (1.0 + unit.diurnal_strength * (diurnal - 1.0));
+  util::Pcg32 rng = util::derive_rng(
+      config_.seed ^ 0xac71f17e,
+      util::hash_combine(line, device_index), hour);
+  return rng.chance(p);
+}
+
+bool WildIspSim::device_heavy(LineId line, std::uint32_t device_index,
+                              util::HourBin hour) const {
+  const auto devices = population_.devices_of(line);
+  if (device_index >= devices.size()) return false;
+  const DetectionUnit& unit =
+      backend_.catalog().units()[devices[device_index].unit];
+  const double diurnal = util::diurnal_weight(util::hour_of_day(hour));
+  const double p =
+      config_.heavy_session_prob * (1.0 + 2.0 * unit.diurnal_strength) *
+      (1.0 + unit.diurnal_strength * (diurnal - 1.0));
+  util::Pcg32 rng = util::derive_rng(
+      config_.seed ^ 0x6ea57e55,
+      util::hash_combine(line, device_index), hour);
+  return rng.chance(p);
+}
+
+void WildIspSim::hour_observations(util::HourBin hour,
+                                   const Sink& sink) const {
+  const Catalog& catalog = backend_.catalog();
+  const util::DayBin day = util::day_of(hour);
+  const double inv_n = 1.0 / static_cast<double>(config_.sampling);
+  const std::uint64_t hour_ms = static_cast<std::uint64_t>(hour) * 3'600'000;
+
+  WildObs obs;
+  for (const LineId line : population_.lines_with_devices()) {
+    const auto devices = population_.devices_of(line);
+    const net::IpAddress subscriber = population_.address_of(line, day);
+    const bool v6_capable = population_.dual_stack(line);
+    const net::IpAddress subscriber6 =
+        v6_capable ? population_.address6_of(line) : net::IpAddress{};
+
+    for (std::uint32_t di = 0; di < devices.size(); ++di) {
+      const OwnedDevice& dev = devices[di];
+      const bool heavy = device_heavy(line, di, hour);
+      const bool active = heavy || device_active(line, di, hour);
+
+      util::Pcg32 rng = util::derive_rng(
+          config_.seed ^ 0x3f10b5,
+          util::hash_combine(line, di), hour);
+
+      for (const UnitId uid : chains_[dev.unit]) {
+        const DetectionUnit& unit = catalog.units()[uid];
+        double effective_mult = 1.0;
+        if (heavy) {
+          effective_mult =
+              unit.active_multiplier * config_.heavy_session_factor;
+        } else if (active) {
+          effective_mult = unit.active_multiplier;
+        }
+        for (const UnitDomain* dom : catalog.domains_of(uid)) {
+          // Duty cycle: not every domain is contacted every hour.
+          if (unit.idle_domain_duty < 1.0 && !active &&
+              !rng.chance(unit.idle_domain_duty)) {
+            continue;
+          }
+          const double lambda =
+              rates_.idle_rate(uid, dom->index) * effective_mult * inv_n;
+          const std::uint64_t sampled = sampled_count(rng, lambda);
+          if (sampled == 0) continue;
+
+          // Happy eyeballs: dual-stack lines prefer v6 when the backend
+          // publishes AAAA records.
+          const auto& ips6 = backend_.ips6_of(uid, dom->index);
+          const bool use_v6 =
+              v6_capable && !ips6.empty() && rng.chance(0.6);
+          const auto& ips =
+              use_v6 ? ips6 : backend_.ips_of(uid, dom->index, day);
+          obs.line = line;
+          obs.subscriber = subscriber;
+          obs.unit = uid;
+          obs.domain_index = dom->index;
+          flow::FlowRecord& rec = obs.flow;
+          rec.key.src = use_v6 ? subscriber6 : subscriber;
+          rec.key.dst =
+              ips[rng.bounded(static_cast<std::uint32_t>(ips.size()))];
+          rec.key.src_port =
+              static_cast<std::uint16_t>(32768 + rng.bounded(28000));
+          rec.key.dst_port = dom->port;
+          rec.key.proto = dom->port == 123 ? 17 : 6;
+          rec.tcp_flags = flow::tcpflags::kAck | flow::tcpflags::kPsh;
+          rec.packets = sampled;
+          rec.bytes = sampled * (200 + rng.bounded(900));
+          rec.start_ms = hour_ms + rng.bounded(3'500'000);
+          rec.end_ms = rec.start_ms + rng.bounded(60'000);
+          rec.sampling = config_.sampling;
+          sink(obs);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace haystack::simnet

@@ -1,0 +1,70 @@
+// Subscriber anonymization and the server-IP heuristic (paper Sec. 2.1,
+// "Ethical considerations ISP/IXP").
+//
+// User addresses are hashed with a keyed hash before any analysis sees
+// them; server addresses are kept in the clear because the hitlist must
+// match them. An endpoint counts as a server when it talks on a well-known
+// service port or originates from a cloud/CDN AS.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/record.hpp"
+#include "net/asn.hpp"
+#include "net/ports.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::telemetry {
+
+/// Anonymized subscriber identifier.
+using SubscriberId = std::uint64_t;
+
+/// Keyed hash of a user address. The key never leaves the collector.
+[[nodiscard]] inline SubscriberId anonymize(const net::IpAddress& user_ip,
+                                            std::uint64_t key) noexcept {
+  return util::hash_combine(user_ip.hash(), util::splitmix64(key));
+}
+
+/// The paper's server-side heuristic: well-known port, or cloud/CDN origin.
+[[nodiscard]] inline bool is_server_endpoint(const net::IpAddress& ip,
+                                             std::uint16_t port,
+                                             const net::AsnRegistry& asns) {
+  return net::is_well_known_server_port(port) || asns.is_cloud_or_cdn(ip);
+}
+
+/// Splits one flow into (subscriber side, server side). Flows in this
+/// repository are generated subscriber->server, but a real collector sees
+/// both directions; this helper normalizes direction using the heuristic.
+/// Returns false when neither endpoint looks like a server (the flow is
+/// dropped from analysis, as the paper's pipeline drops it).
+struct NormalizedFlow {
+  net::IpAddress subscriber;
+  net::IpAddress server;
+  std::uint16_t server_port = 0;
+};
+
+[[nodiscard]] inline bool normalize_direction(const flow::FlowRecord& rec,
+                                              const net::AsnRegistry& asns,
+                                              NormalizedFlow& out) {
+  const bool dst_server =
+      is_server_endpoint(rec.key.dst, rec.key.dst_port, asns);
+  const bool src_server =
+      is_server_endpoint(rec.key.src, rec.key.src_port, asns);
+  if (dst_server && !src_server) {
+    out = {rec.key.src, rec.key.dst, rec.key.dst_port};
+    return true;
+  }
+  if (src_server && !dst_server) {
+    out = {rec.key.dst, rec.key.src, rec.key.src_port};
+    return true;
+  }
+  if (dst_server && src_server) {
+    // Server-to-server (or ambiguous): keep canonical orientation.
+    out = {rec.key.src, rec.key.dst, rec.key.dst_port};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace haystack::telemetry

@@ -1,0 +1,92 @@
+#include "telemetry/border_fleet.hpp"
+
+#include <cassert>
+
+#include "util/hash.hpp"
+
+namespace haystack::telemetry {
+
+namespace {
+constexpr std::uint32_t kSourceIdBase = 100;
+}
+
+BorderRouterFleet::BorderRouterFleet(const BorderFleetConfig& config)
+    : config_{config} {
+  exporters_.reserve(config.routers);
+  for (unsigned r = 0; r < config.routers; ++r) {
+    exporters_.emplace_back(flow::nf9::ExporterConfig{
+        .source_id = kSourceIdBase + r,
+        .sampling = config.sampling,
+        .max_records_per_packet = 24,
+        .template_refresh_packets = 16,
+    });
+  }
+}
+
+unsigned BorderRouterFleet::router_of(const net::IpAddress& dst) const {
+  return static_cast<unsigned>(dst.hash() % config_.routers);
+}
+
+std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
+    const std::vector<simnet::LabeledFlow>& flows, util::HourBin hour) {
+  const std::uint32_t unix_secs = 1574000000U + hour * 3600U;
+
+  // Periodic options announcements (always in hour 0).
+  if (hour % std::max(1u, config_.announce_every) == 0) {
+    for (unsigned r = 0; r < config_.routers; ++r) {
+      const auto packet = flow::nf9::encode_sampling_announcement(
+          {.source_id = kSourceIdBase + r,
+           .interval = config_.sampling,
+           .algorithm = flow::nf9::SamplingAlgorithm::kRandom},
+          unix_secs, announce_sequence_++);
+      sampling_.ingest(packet);
+    }
+  }
+
+  // Partition by router, sample, keep label order per router.
+  std::vector<std::vector<flow::FlowRecord>> per_router(config_.routers);
+  std::vector<std::vector<const simnet::LabeledFlow*>> labels(
+      config_.routers);
+  for (const auto& lf : flows) {
+    const unsigned r = router_of(lf.flow.key.dst);
+    util::Pcg32 rng = util::derive_rng(
+        config_.seed ^ r, lf.flow.key.hash() ^ lf.flow.start_ms, hour);
+    if (auto thin = flow::thin_flow(lf.flow, config_.sampling, rng)) {
+      // Routers export records without a per-record sampling field when
+      // options announcements carry it; clear the field so the collector
+      // side must rely on the registry (provenance honesty).
+      thin->sampling = 0;
+      per_router[r].push_back(*thin);
+      labels[r].push_back(&lf);
+    }
+  }
+
+  // Export + central ingest, per router.
+  std::vector<simnet::LabeledFlow> merged;
+  for (unsigned r = 0; r < config_.routers; ++r) {
+    if (per_router[r].empty()) continue;
+    std::vector<flow::FlowRecord> decoded;
+    decoded.reserve(per_router[r].size());
+    for (const auto& packet :
+         exporters_[r].export_flows(per_router[r], unix_secs)) {
+      const bool ok = collector_.ingest(packet, decoded);
+      assert(ok);
+      (void)ok;
+      // The sampling registry inspects every packet too (it ignores
+      // non-options flowsets).
+      sampling_.ingest(packet);
+    }
+    assert(decoded.size() == labels[r].size());
+    const auto interval =
+        sampling_.interval_of(kSourceIdBase + r).value_or(1);
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      simnet::LabeledFlow out = *labels[r][i];
+      out.flow = decoded[i];
+      out.flow.sampling = interval;  // provenance: from the announcement
+      merged.push_back(std::move(out));
+    }
+  }
+  return merged;
+}
+
+}  // namespace haystack::telemetry

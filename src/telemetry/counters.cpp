@@ -1,0 +1,49 @@
+#include "telemetry/counters.hpp"
+
+#include "util/stats.hpp"
+
+namespace haystack::telemetry {
+
+void HeavyHitterView::add_reference(const net::IpAddress& ip,
+                                    std::uint64_t bytes) {
+  bytes_[ip] += bytes;
+}
+
+void HeavyHitterView::mark_visible(const net::IpAddress& ip) {
+  visible_.insert(ip);
+}
+
+double HeavyHitterView::visible_fraction_of_top(double fraction) const {
+  if (bytes_.empty()) return 0.0;
+  std::vector<net::IpAddress> ips;
+  std::vector<std::uint64_t> weights;
+  ips.reserve(bytes_.size());
+  weights.reserve(bytes_.size());
+  for (const auto& [ip, b] : bytes_) {
+    ips.push_back(ip);
+    weights.push_back(b);
+  }
+  const auto top = util::top_fraction_indices(weights, fraction);
+  std::size_t seen = 0;
+  for (const std::size_t idx : top) {
+    if (visible_.contains(ips[idx])) ++seen;
+  }
+  return static_cast<double>(seen) / static_cast<double>(top.size());
+}
+
+double HeavyHitterView::visible_fraction() const {
+  if (bytes_.empty()) return 0.0;
+  std::size_t seen = 0;
+  for (const auto& [ip, b] : bytes_) {
+    (void)b;
+    if (visible_.contains(ip)) ++seen;
+  }
+  return static_cast<double>(seen) / static_cast<double>(bytes_.size());
+}
+
+void HeavyHitterView::clear() {
+  bytes_.clear();
+  visible_.clear();
+}
+
+}  // namespace haystack::telemetry

@@ -1,0 +1,83 @@
+// Aggregation utilities used by the evaluation harness: unique-entity
+// counters, hourly series, and the byte-weighted heavy-hitter view that
+// drives the paper's Fig. 6 visibility analysis.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::telemetry {
+
+/// Set-backed unique counter.
+template <typename T>
+class UniqueCounter {
+ public:
+  /// Returns true when the value was new.
+  bool add(const T& value) { return set_.insert(value).second; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return set_.size(); }
+  [[nodiscard]] bool contains(const T& value) const {
+    return set_.contains(value);
+  }
+  void clear() { set_.clear(); }
+
+  [[nodiscard]] const std::unordered_set<T>& values() const noexcept {
+    return set_;
+  }
+
+ private:
+  std::unordered_set<T> set_;
+};
+
+/// Per-IP byte accounting over one time bin; answers "which fraction of the
+/// top-X% of service IPs (by bytes) was visible at the sampled vantage?"
+class HeavyHitterView {
+ public:
+  /// Accounts `bytes` to `ip` as seen at the reference (unsampled) vantage.
+  void add_reference(const net::IpAddress& ip, std::uint64_t bytes);
+
+  /// Marks `ip` as visible at the sampled vantage.
+  void mark_visible(const net::IpAddress& ip);
+
+  /// Fraction of the top-`fraction` reference IPs (by byte count) that were
+  /// marked visible. Returns 0 when the reference set is empty.
+  [[nodiscard]] double visible_fraction_of_top(double fraction) const;
+
+  /// Fraction of all reference IPs marked visible.
+  [[nodiscard]] double visible_fraction() const;
+
+  [[nodiscard]] std::size_t reference_count() const noexcept {
+    return bytes_.size();
+  }
+
+  void clear();
+
+ private:
+  std::unordered_map<net::IpAddress, std::uint64_t> bytes_;
+  std::unordered_set<net::IpAddress> visible_;
+};
+
+/// Fixed-length per-hour series over the study window.
+class HourlySeries {
+ public:
+  HourlySeries() : values_(util::kStudyHours, 0.0) {}
+
+  void set(util::HourBin hour, double v) { values_.at(hour) = v; }
+  void add(util::HourBin hour, double v) { values_.at(hour) += v; }
+  [[nodiscard]] double at(util::HourBin hour) const {
+    return values_.at(hour);
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace haystack::telemetry

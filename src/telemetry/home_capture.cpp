@@ -1,0 +1,67 @@
+#include "telemetry/home_capture.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace haystack::telemetry {
+
+MeteringResult HomePacketPipeline::meter_hour(
+    const std::vector<simnet::LabeledFlow>& flows, util::HourBin hour) {
+  (void)hour;  // the events carry absolute timestamps already
+  MeteringResult result;
+
+  // Materialize packet events, globally time-ordered (flows within an hour
+  // overlap, so per-flow emission order would present the cache with time
+  // running backwards).
+  std::vector<flow::PacketEvent> packets;
+
+  for (const auto& lf : flows) {
+    const flow::FlowRecord& rec = lf.flow;
+    result.packets_in += rec.packets;
+    result.bytes_in += rec.bytes;
+
+    // One event per packet up to the materialization cap; beyond it,
+    // events stand for packet bursts. Bytes are conserved exactly: each
+    // event takes an equal share of what remains, and the final event
+    // absorbs the remainder (events_left == 1 there).
+    const std::uint64_t n = std::max<std::uint64_t>(
+        1, std::min(rec.packets, config_.max_packets_per_flow));
+    const std::uint64_t span =
+        rec.end_ms > rec.start_ms ? rec.end_ms - rec.start_ms : 1;
+    std::uint64_t bytes_left = rec.bytes;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t events_left = n - i;
+      const std::uint64_t bytes_here = bytes_left / events_left;
+      flow::PacketEvent event;
+      event.key = rec.key;
+      event.bytes = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(bytes_here, 0xffffffffULL));
+      event.tcp_flags =
+          i == 0 ? rec.tcp_flags
+                 : static_cast<std::uint8_t>(
+                       rec.tcp_flags & ~flow::tcpflags::kSyn);
+      event.timestamp_ms = rec.start_ms + (span * i) / n;
+      packets.push_back(event);
+      bytes_left -= bytes_here;
+    }
+    result.events_in += n;
+  }
+
+  std::sort(packets.begin(), packets.end(),
+            [](const flow::PacketEvent& a, const flow::PacketEvent& b) {
+              return a.timestamp_ms < b.timestamp_ms;
+            });
+  for (const auto& event : packets) {
+    cache_.add(event, result.flows);
+  }
+  return result;
+}
+
+std::vector<flow::FlowRecord> HomePacketPipeline::drain() {
+  std::vector<flow::FlowRecord> out;
+  cache_.flush_all(out);
+  return out;
+}
+
+}  // namespace haystack::telemetry

@@ -1,0 +1,41 @@
+#include "tlscert/certificate.hpp"
+
+namespace haystack::tlscert {
+
+bool name_covers_at_sld(const dns::Fqdn& name, const dns::Fqdn& domain) {
+  if (!name.valid() || !domain.valid()) return false;
+  if (!domain.matches_pattern(name) && name != domain) return false;
+  // Anchor check: the concrete part of the pattern must sit within the
+  // domain's registrable domain.
+  const dns::Fqdn domain_sld = domain.registrable();
+  dns::Fqdn concrete = name;
+  if (name.str().rfind("*.", 0) == 0) {
+    concrete = dns::Fqdn{name.str().substr(2)};
+  }
+  return concrete == domain_sld || concrete.is_subdomain_of(domain_sld);
+}
+
+bool matches_domain(const Certificate& cert, const dns::Fqdn& domain) {
+  bool any = false;
+  auto check = [&](const dns::Fqdn& name) -> bool {
+    // Every listed name must belong to the same registrable domain;
+    // an unrelated SAN disqualifies the certificate (paper Sec. 4.2.2).
+    const dns::Fqdn domain_sld = domain.registrable();
+    dns::Fqdn concrete = name;
+    if (name.str().rfind("*.", 0) == 0) {
+      concrete = dns::Fqdn{name.str().substr(2)};
+    }
+    const bool related =
+        concrete == domain_sld || concrete.is_subdomain_of(domain_sld);
+    if (!related) return false;
+    if (name_covers_at_sld(name, domain)) any = true;
+    return true;
+  };
+  if (cert.subject_cn.valid() && !check(cert.subject_cn)) return false;
+  for (const auto& san : cert.sans) {
+    if (!check(san)) return false;
+  }
+  return any;
+}
+
+}  // namespace haystack::tlscert

@@ -1,0 +1,45 @@
+// X.509-certificate abstraction — just enough identity surface for the
+// paper's Censys fallback (Sec. 4.2.2): subject common name, subject
+// alternative names, and a fingerprint. The matching rule implemented in
+// matches_domain() is the paper's: the certificate is associated with a
+// domain if its Name matches the domain exactly or via a single-label
+// wildcard at the SLD or higher, and there is no unrelated SAN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/fqdn.hpp"
+#include "util/hash.hpp"
+
+namespace haystack::tlscert {
+
+/// Minimal certificate identity.
+struct Certificate {
+  dns::Fqdn subject_cn;             ///< may be a "*.example.com" pattern
+  std::vector<dns::Fqdn> sans;      ///< additional names (patterns allowed)
+  std::string issuer;
+
+  /// Stable fingerprint over the identity fields (stand-in for the SHA-256
+  /// certificate fingerprint Censys indexes on).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    std::uint64_t h = util::fnv1a(subject_cn.str());
+    for (const auto& san : sans) h = util::hash_combine(h, san.hash());
+    return util::hash_combine(h, util::fnv1a(issuer));
+  }
+};
+
+/// True when `name` (a cert CN/SAN, possibly wildcard) covers `domain` and
+/// the match is anchored at `domain`'s SLD or a deeper label — the paper's
+/// "match at least the SLD or higher" requirement.
+[[nodiscard]] bool name_covers_at_sld(const dns::Fqdn& name,
+                                      const dns::Fqdn& domain);
+
+/// Paper's association rule: every name on the certificate must cover the
+/// domain (no unrelated SAN), and at least one name must match at SLD or
+/// higher.
+[[nodiscard]] bool matches_domain(const Certificate& cert,
+                                  const dns::Fqdn& domain);
+
+}  // namespace haystack::tlscert

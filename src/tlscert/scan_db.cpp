@@ -1,0 +1,56 @@
+#include "tlscert/scan_db.hpp"
+
+#include <algorithm>
+
+namespace haystack::tlscert {
+
+void CertScanDb::add(ScanObservation obs) {
+  const std::size_t index = observations_.size();
+  by_ip_[obs.ip].push_back(index);
+  by_fingerprint_[obs.cert.fingerprint()].push_back(index);
+  observations_.push_back(std::move(obs));
+}
+
+std::optional<ScanObservation> CertScanDb::observation_for(
+    const net::IpAddress& ip, ScanWindow window) const {
+  const auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return std::nullopt;
+  for (const std::size_t index : it->second) {
+    if (overlaps(observations_[index], window)) return observations_[index];
+  }
+  return std::nullopt;
+}
+
+std::vector<net::IpAddress> CertScanDb::ips_serving_domain(
+    const dns::Fqdn& domain, std::uint64_t banner_checksum,
+    ScanWindow window) const {
+  std::vector<net::IpAddress> out;
+  for (const auto& obs : observations_) {
+    if (!overlaps(obs, window) || obs.banner_checksum != banner_checksum) {
+      continue;
+    }
+    if (matches_domain(obs.cert, domain)) out.push_back(obs.ip);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<net::IpAddress> CertScanDb::ips_with_fingerprint(
+    std::uint64_t fingerprint, std::uint64_t banner_checksum,
+    ScanWindow window) const {
+  std::vector<net::IpAddress> out;
+  const auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end()) return out;
+  for (const std::size_t index : it->second) {
+    const auto& obs = observations_[index];
+    if (overlaps(obs, window) && obs.banner_checksum == banner_checksum) {
+      out.push_back(obs.ip);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace haystack::tlscert

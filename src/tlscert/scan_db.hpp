@@ -1,0 +1,76 @@
+// Internet-wide scan dataset — the reproduction's stand-in for Censys.
+//
+// Stores per-IP HTTPS observations (certificate + banner checksum, valid
+// over a day range) and answers the fallback query of Sec. 4.2.2: given a
+// domain whose DNS footprint is unknown, find the certificate presented by
+// the ground-truth host, then find every IP serving the same certificate
+// and banner checksum in the window.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/fqdn.hpp"
+#include "net/ip_address.hpp"
+#include "tlscert/certificate.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::tlscert {
+
+/// One scan observation: `ip` presented `cert` with `banner_checksum` on
+/// every day in [first_day, last_day].
+struct ScanObservation {
+  net::IpAddress ip;
+  Certificate cert;
+  std::uint64_t banner_checksum = 0;
+  util::DayBin first_day = 0;
+  util::DayBin last_day = 0;
+};
+
+/// Day window (inclusive).
+struct ScanWindow {
+  util::DayBin first = 0;
+  util::DayBin last = 0;
+};
+
+/// Queryable scan store.
+class CertScanDb {
+ public:
+  /// Adds one observation.
+  void add(ScanObservation obs);
+
+  /// The certificate+banner presented by `ip` in the window (the first
+  /// observation when several overlap), or nullopt.
+  [[nodiscard]] std::optional<ScanObservation> observation_for(
+      const net::IpAddress& ip, ScanWindow window) const;
+
+  /// Every IP that served a certificate matching `domain` (per the paper's
+  /// SLD-anchored rule) with the given banner checksum in the window.
+  [[nodiscard]] std::vector<net::IpAddress> ips_serving_domain(
+      const dns::Fqdn& domain, std::uint64_t banner_checksum,
+      ScanWindow window) const;
+
+  /// Every IP presenting the certificate with this fingerprint and banner
+  /// checksum in the window.
+  [[nodiscard]] std::vector<net::IpAddress> ips_with_fingerprint(
+      std::uint64_t fingerprint, std::uint64_t banner_checksum,
+      ScanWindow window) const;
+
+  [[nodiscard]] std::size_t observation_count() const noexcept {
+    return observations_.size();
+  }
+
+ private:
+  [[nodiscard]] static bool overlaps(const ScanObservation& obs,
+                                     ScanWindow window) noexcept {
+    return obs.first_day <= window.last && obs.last_day >= window.first;
+  }
+
+  std::vector<ScanObservation> observations_;
+  std::unordered_map<net::IpAddress, std::vector<std::size_t>> by_ip_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_fingerprint_;
+};
+
+}  // namespace haystack::tlscert

@@ -1,0 +1,38 @@
+// Stable, seedable hashing used for anonymization, sharding, and RNG stream
+// derivation. std::hash is implementation-defined, so anything whose value
+// must be reproducible across builds (test expectations, anonymized
+// subscriber ids) goes through these functions instead.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace haystack::util {
+
+/// FNV-1a 64-bit over an arbitrary byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// FNV-1a 64-bit over a 64-bit integer (byte-wise, endian independent).
+[[nodiscard]] constexpr std::uint64_t fnv1a_u64(std::uint64_t v) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Boost-style combine of two 64-bit hashes.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace haystack::util

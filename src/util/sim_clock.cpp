@@ -1,0 +1,51 @@
+#include "util/sim_clock.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace haystack::util {
+
+namespace {
+
+struct CalendarDay {
+  const char* month;
+  unsigned day;
+};
+
+CalendarDay calendar_of(DayBin day) {
+  // Study starts Nov 15. November has 30 days.
+  const unsigned nov = 15 + day;
+  if (nov <= 30) return {"Nov", nov};
+  return {"Dec", nov - 30};
+}
+
+}  // namespace
+
+std::string day_label(DayBin day) {
+  const CalendarDay c = calendar_of(day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s-%02u", c.month, c.day);
+  return buf;
+}
+
+std::string hour_label(HourBin hour) {
+  const CalendarDay c = calendar_of(day_of(hour));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%s-%02u %02u:00", c.month, c.day,
+                hour_of_day(hour));
+  return buf;
+}
+
+double diurnal_weight(unsigned hour_of_day) noexcept {
+  // Piecewise profile normalized to mean 1.0 over 24 hours.
+  // Sum of the raw weights below is 24.0.
+  static constexpr std::array<double, 24> kProfile = {
+      0.55, 0.45, 0.38, 0.35, 0.35, 0.46,  // 00-05: overnight trough
+      0.72, 0.90, 1.10, 1.05, 1.00, 1.00,  // 06-11: morning bump
+      1.02, 1.00, 0.98, 1.00, 1.10, 1.35,  // 12-17: afternoon ramp
+      1.75, 1.90, 1.85, 1.60, 1.25, 0.89,  // 18-23: evening peak
+  };
+  return kProfile[hour_of_day % 24];
+}
+
+}  // namespace haystack::util

@@ -1,0 +1,78 @@
+// Simulation time base.
+//
+// The paper's measurement window is November 15–28 2019 (two weeks). All
+// per-hour and per-day aggregation in the reproduction uses the types here:
+// an HourBin is the number of whole hours since Nov 15 2019 00:00 (study
+// timezone), a DayBin the number of whole days. The ground-truth experiment
+// schedules (active Nov 15–18, idle Nov 23–25) are expressed on the same
+// axis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace haystack::util {
+
+/// Whole hours since the start of the study window (Nov 15 2019, 00:00).
+using HourBin = std::uint32_t;
+
+/// Whole days since the start of the study window (Nov 15 == day 0).
+using DayBin = std::uint32_t;
+
+/// Hours in the full two-week study period (Nov 15 .. Nov 28 inclusive).
+inline constexpr HourBin kStudyHours = 14 * 24;
+
+/// Days in the full study period.
+inline constexpr DayBin kStudyDays = 14;
+
+/// Day-of-study on which the *active* ground-truth experiments ran
+/// (Nov 15–18, paper Sec. 2.3).
+inline constexpr DayBin kActiveFirstDay = 0;   // Nov 15
+inline constexpr DayBin kActiveLastDay = 3;    // Nov 18
+
+/// Day-of-study on which the *idle* ground-truth experiments ran
+/// (Nov 23–25, paper Sec. 2.3).
+inline constexpr DayBin kIdleFirstDay = 8;     // Nov 23
+inline constexpr DayBin kIdleLastDay = 10;     // Nov 25
+
+/// Converts an hour bin to its containing day bin.
+[[nodiscard]] constexpr DayBin day_of(HourBin hour) noexcept {
+  return hour / 24;
+}
+
+/// Hour-of-day (0..23) in the ISP's local timezone.
+[[nodiscard]] constexpr unsigned hour_of_day(HourBin hour) noexcept {
+  return hour % 24;
+}
+
+/// First hour bin of a day.
+[[nodiscard]] constexpr HourBin day_start(DayBin day) noexcept {
+  return day * 24;
+}
+
+/// True when the hour falls inside the active ground-truth experiment window.
+[[nodiscard]] constexpr bool in_active_window(HourBin hour) noexcept {
+  const DayBin d = day_of(hour);
+  return d >= kActiveFirstDay && d <= kActiveLastDay;
+}
+
+/// True when the hour falls inside the idle ground-truth experiment window.
+[[nodiscard]] constexpr bool in_idle_window(HourBin hour) noexcept {
+  const DayBin d = day_of(hour);
+  return d >= kIdleFirstDay && d <= kIdleLastDay;
+}
+
+/// Calendar label for a day bin, e.g. "Nov-15". Days past Nov-30 roll into
+/// December, though the study window never reaches that far.
+[[nodiscard]] std::string day_label(DayBin day);
+
+/// Calendar label for an hour bin, e.g. "Nov-15 13:00".
+[[nodiscard]] std::string hour_label(HourBin hour);
+
+/// Diurnal human-activity weight for an hour of day, normalized so the
+/// daily mean is 1.0. Shape: low overnight trough (03:00–05:00), small
+/// morning bump, evening peak around 18:00–21:00 — matching the usage
+/// pattern the paper reports for entertainment-class devices (Sec. 6.2).
+[[nodiscard]] double diurnal_weight(unsigned hour_of_day) noexcept;
+
+}  // namespace haystack::util

@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace haystack::util {
+
+void Ecdf::freeze() {
+  if (!frozen_) {
+    std::sort(samples_.begin(), samples_.end());
+    frozen_ = true;
+  }
+}
+
+double Ecdf::fraction_at(double x) const {
+  assert(frozen_);
+  if (samples_.empty()) return 0.0;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  assert(frozen_);
+  if (samples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+const std::vector<double>& Ecdf::sorted() const {
+  assert(frozen_);
+  return samples_;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::vector<std::size_t> top_fraction_indices(
+    const std::vector<std::uint64_t>& weights, double fraction) {
+  if (weights.empty()) return {};
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  auto count = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(weights.size())));
+  count = std::max<std::size_t>(count, 1);
+  std::vector<std::size_t> idx(weights.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(count),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return weights[a] > weights[b];
+                    });
+  idx.resize(count);
+  return idx;
+}
+
+}  // namespace haystack::util

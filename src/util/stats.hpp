@@ -1,0 +1,70 @@
+// Small statistics toolkit backing the evaluation harness: ECDFs (Figs. 9
+// and 16), running moments, and percentile/heavy-hitter selection (Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace haystack::util {
+
+/// Empirical cumulative distribution function over double samples.
+///
+/// Build by add()ing samples, then freeze() once; query with fraction_at()
+/// or quantile(). Queries on an unfrozen ECDF are invalid (checked by
+/// assertion in debug builds).
+class Ecdf {
+ public:
+  /// Adds one sample. O(1) amortized.
+  void add(double sample) { samples_.push_back(sample); frozen_ = false; }
+
+  /// Sorts the samples; must be called before queries. Idempotent.
+  void freeze();
+
+  /// Number of samples.
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x. Requires freeze().
+  [[nodiscard]] double fraction_at(double x) const;
+
+  /// Value at quantile q in [0,1] (nearest-rank). Requires freeze().
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Read-only access to the sorted samples. Requires freeze().
+  [[nodiscard]] const std::vector<double>& sorted() const;
+
+ private:
+  std::vector<double> samples_;
+  bool frozen_ = false;
+};
+
+/// Welford running mean/variance plus min/max. Numerically stable; used by
+/// the bench harnesses to summarize per-hour series.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the indices of the top `fraction` of `weights` by weight
+/// (at least one element when weights is non-empty). Used for the paper's
+/// "top 10/20/30 % of service IPs by byte count" visibility analysis.
+[[nodiscard]] std::vector<std::size_t> top_fraction_indices(
+    const std::vector<std::uint64_t>& weights, double fraction);
+
+}  // namespace haystack::util

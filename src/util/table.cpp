@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace haystack::util {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  // Compute column widths across header and all rows.
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) {
+        os << std::string(widths[i] - cells[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const bool needs_quote =
+          cells[i].find_first_of(",\"\n") != std::string::npos;
+      if (needs_quote) {
+        os << '"';
+        for (const char c : cells[i]) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << cells[i];
+      }
+      if (i + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  const std::size_t lead = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += raw[i];
+  }
+  return out;
+}
+
+std::string fmt_percent(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+void print_banner(std::ostream& os, std::string_view title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace haystack::util

@@ -1,0 +1,51 @@
+// Plain-text table rendering for the bench harnesses. Every figure/table
+// reproduction prints its series through this so the output is uniform and
+// machine-greppable (aligned columns plus an optional CSV dump).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace haystack::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so output is stable across runs.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Row width need not match the header; columns are
+  /// sized to the widest cell seen.
+  void row(std::vector<std::string> cells);
+
+  /// Renders with two-space column separation, header underlined.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (comma-separated, minimal quoting).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fraction digits.
+[[nodiscard]] std::string fmt_double(double v, int digits = 2);
+
+/// Formats an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+/// Formats a ratio as a percentage string, e.g. 0.163 -> "16.3%".
+[[nodiscard]] std::string fmt_percent(double ratio, int digits = 1);
+
+/// Prints a section banner used by every bench binary, so that figure output
+/// is self-describing, e.g. "== Figure 6: heavy-hitter visibility ==".
+void print_banner(std::ostream& os, std::string_view title);
+
+}  // namespace haystack::util

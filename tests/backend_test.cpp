@@ -1,0 +1,162 @@
+// Tests for the backend infrastructure builder: hosting invariants that the
+// classification methodology depends on (exclusivity of dedicated IPs,
+// CDN co-tenancy, database coverage gaps, AS topology).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simnet/backend.hpp"
+
+namespace haystack::simnet {
+namespace {
+
+class BackendTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    backend_ = new Backend(*catalog_, BackendConfig{});
+  }
+  static void TearDownTestSuite() {
+    delete backend_;
+    delete catalog_;
+  }
+  static Catalog* catalog_;
+  static Backend* backend_;
+};
+
+Catalog* BackendTest::catalog_ = nullptr;
+Backend* BackendTest::backend_ = nullptr;
+
+TEST_F(BackendTest, DedicatedDomainsNeverShareIpsAcrossUnits) {
+  // An IP hosting a dedicated (non-shared-role) domain must not appear in
+  // any other unit domain's hosting, on any day — otherwise the
+  // exclusivity analysis would be meaningless.
+  std::map<net::IpAddress, std::pair<UnitId, unsigned>> owner;
+  for (const auto& unit : catalog_->units()) {
+    for (const auto* dom : catalog_->domains_of(unit.id)) {
+      const auto& hosting = backend_->hosting_of(unit.id, dom->index);
+      if (hosting.shared) continue;
+      for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+        for (const auto& ip : hosting.daily_ips[day]) {
+          const auto [it, inserted] =
+              owner.try_emplace(ip, unit.id, dom->index);
+          if (!inserted) {
+            EXPECT_EQ(it->second.first, unit.id)
+                << ip.to_string() << " shared across units";
+            EXPECT_EQ(it->second.second, dom->index)
+                << ip.to_string() << " shared across domains";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(BackendTest, SharedDomainsLandOnCdnPool) {
+  const auto* apple = catalog_->unit_by_name("Apple TV");
+  ASSERT_NE(apple, nullptr);
+  const auto& hosting = backend_->hosting_of(apple->id, 0);
+  EXPECT_TRUE(hosting.shared);
+  for (const auto& ip : hosting.daily_ips[0]) {
+    EXPECT_EQ(backend_->asns().role_of(ip), net::AsRole::kCdn);
+  }
+}
+
+TEST_F(BackendTest, CloudUnitsGetCloudAddressesWithVmCname) {
+  const auto* ring = catalog_->unit_by_name("Ring Doorbell");
+  ASSERT_NE(ring, nullptr);
+  const auto& hosting = backend_->hosting_of(ring->id, 0);
+  EXPECT_TRUE(hosting.cloud_vm);
+  EXPECT_TRUE(hosting.cname.valid());
+  EXPECT_NE(hosting.cname.str().find("ec2compute"), std::string::npos);
+  for (const auto& ip : hosting.daily_ips[0]) {
+    EXPECT_EQ(backend_->asns().role_of(ip), net::AsRole::kCloud);
+  }
+}
+
+TEST_F(BackendTest, PdnsOmitsTheMissingDomains) {
+  for (const auto& dom : catalog_->domains()) {
+    const bool has = backend_->pdns().has_records(
+        dom.fqdn, {0, util::kStudyDays - 1});
+    EXPECT_EQ(has, !dom.dnsdb_missing) << dom.fqdn.str();
+  }
+}
+
+TEST_F(BackendTest, ScanDbCoversHttpsDomainsOnly) {
+  // Every https unit domain must be recoverable through its banner.
+  const auto* wansview = catalog_->unit_by_name("Wansview Cam.");
+  ASSERT_NE(wansview, nullptr);
+  const auto* dom = catalog_->domains_of(wansview->id)[0];
+  ASSERT_TRUE(dom->dnsdb_missing);
+  ASSERT_TRUE(dom->https);
+  const auto ips = backend_->scans().ips_serving_domain(
+      dom->fqdn, backend_->banner_checksum(dom->fqdn), {0, 0});
+  EXPECT_FALSE(ips.empty());
+
+  // LG TV's missing domains are non-HTTPS: no scan coverage.
+  const auto* lg = catalog_->unit_by_name("LG TV");
+  const auto* lg_dom = catalog_->domains_of(lg->id)[1];
+  ASSERT_TRUE(lg_dom->dnsdb_missing);
+  ASSERT_FALSE(lg_dom->https);
+  EXPECT_TRUE(backend_->scans()
+                  .ips_serving_domain(
+                      lg_dom->fqdn,
+                      backend_->banner_checksum(lg_dom->fqdn), {0, 0})
+                  .empty());
+}
+
+TEST_F(BackendTest, DailyChurnChangesSomeDedicatedMappings) {
+  std::size_t changed = 0;
+  std::size_t dedicated = 0;
+  for (const auto& unit : catalog_->units()) {
+    for (const auto* dom : catalog_->domains_of(unit.id)) {
+      const auto& hosting = backend_->hosting_of(unit.id, dom->index);
+      if (hosting.shared) continue;
+      ++dedicated;
+      if (hosting.daily_ips[0] != hosting.daily_ips[util::kStudyDays - 1]) {
+        ++changed;
+      }
+    }
+  }
+  // With 12% daily remap probability over 13 day transitions, most
+  // dedicated domains remap at least once across the window.
+  EXPECT_GT(changed, dedicated / 3);
+  EXPECT_LT(changed, dedicated);
+}
+
+TEST_F(BackendTest, TopologyHasExpectedAsRoles) {
+  const auto& asns = backend_->asns();
+  EXPECT_EQ(asns.info(topo::kIspAs)->role, net::AsRole::kEyeball);
+  EXPECT_EQ(asns.info(topo::kCloudAs)->role, net::AsRole::kCloud);
+  EXPECT_EQ(asns.info(topo::kCdnAs)->role, net::AsRole::kCdn);
+  EXPECT_EQ(backend_->ixp_eyeballs().size(), 12u);
+  EXPECT_EQ(backend_->ixp_members().size(), 312u);
+  // Subscribers resolve to the ISP AS.
+  EXPECT_EQ(asns.origin(*net::IpAddress::parse("100.64.10.2")),
+            topo::kIspAs);
+}
+
+TEST_F(BackendTest, GenericDomainsAreHosted) {
+  for (std::size_t i = 0; i < catalog_->generic_domains().size(); ++i) {
+    EXPECT_FALSE(backend_->generic_ips_of(i, 0).empty());
+  }
+}
+
+TEST_F(BackendTest, BannerChecksumStable) {
+  const dns::Fqdn d{"api.ring.com"};
+  EXPECT_EQ(backend_->banner_checksum(d), backend_->banner_checksum(d));
+  EXPECT_NE(backend_->banner_checksum(d),
+            backend_->banner_checksum(dns::Fqdn{"api.nest.com"}));
+}
+
+TEST_F(BackendTest, DeterministicAcrossInstances) {
+  Backend other{*catalog_, BackendConfig{}};
+  const auto* unit = catalog_->unit_by_name("Yi Camera");
+  for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+    EXPECT_EQ(backend_->ips_of(unit->id, 0, day),
+              other.ips_of(unit->id, 0, day));
+  }
+}
+
+}  // namespace
+}  // namespace haystack::simnet

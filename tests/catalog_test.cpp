@@ -1,0 +1,195 @@
+// Catalog invariants: the testbed roster and domain accounting must match
+// the paper's Table 1 and Sec. 4 numbers exactly, because every downstream
+// statistic is phrased against them.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "simnet/catalog.hpp"
+
+namespace haystack::simnet {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, Has56UniqueProducts) {
+  EXPECT_EQ(catalog_.products().size(), 56u);
+}
+
+TEST_F(CatalogTest, Has96Instances) {
+  EXPECT_EQ(catalog_.instances().size(), 96u);
+}
+
+TEST_F(CatalogTest, Has40Vendors) { EXPECT_EQ(catalog_.vendor_count(), 40u); }
+
+TEST_F(CatalogTest, CategoryBreakdownMatchesTable1) {
+  std::map<Category, unsigned> counts;
+  for (const auto& p : catalog_.products()) ++counts[p.category];
+  EXPECT_EQ(counts[Category::kSurveillance], 13u);
+  EXPECT_EQ(counts[Category::kSmartHubs], 8u);
+  EXPECT_EQ(counts[Category::kHomeAutomation], 14u);
+  EXPECT_EQ(counts[Category::kVideo], 5u);
+  EXPECT_EQ(counts[Category::kAudio], 6u);
+  EXPECT_EQ(counts[Category::kAppliances], 10u);
+}
+
+TEST_F(CatalogTest, IoTSpecificDomainTotalIs434) {
+  // Sec. 4.2.1: 434 IoT-specific domains (415 primary + 19 support).
+  EXPECT_EQ(catalog_.domains().size(), 434u);
+}
+
+TEST_F(CatalogTest, SupportDomainsTotal19) {
+  unsigned support = 0;
+  for (const auto& d : catalog_.domains()) {
+    if (d.role == DomainRole::kSupport) ++support;
+  }
+  EXPECT_EQ(support, 19u);
+}
+
+TEST_F(CatalogTest, GenericDomainsTotal90) {
+  // 524 observed - 434 IoT-specific.
+  EXPECT_EQ(catalog_.generic_domains().size(), 90u);
+}
+
+TEST_F(CatalogTest, DnsdbMissingDomainsTotal15With8Recoverable) {
+  unsigned missing = 0;
+  unsigned recoverable = 0;
+  std::set<UnitId> recoverable_units;
+  for (const auto& d : catalog_.domains()) {
+    if (!d.dnsdb_missing) continue;
+    ++missing;
+    if (d.https) {
+      ++recoverable;
+      recoverable_units.insert(d.unit);
+    }
+  }
+  EXPECT_EQ(missing, 15u);
+  EXPECT_EQ(recoverable, 8u);
+  // "8 out of 15 of the domains which belong to 5 devices".
+  EXPECT_EQ(recoverable_units.size(), 5u);
+}
+
+TEST_F(CatalogTest, MonitoredPrimaryCountsFollowFig10) {
+  // Spot-check the Fig. 10 domain counts.
+  const auto* alexa = catalog_.unit_by_name("Alexa Enabled");
+  ASSERT_NE(alexa, nullptr);
+  EXPECT_EQ(alexa->primary_domains, 1u);
+
+  const auto* amazon = catalog_.unit_by_name("Amazon Product");
+  ASSERT_NE(amazon, nullptr);
+  EXPECT_EQ(amazon->primary_domains, 33u);  // 33 beyond the AVS domain
+  ASSERT_TRUE(amazon->parent.has_value());
+  EXPECT_EQ(*amazon->parent, alexa->id);
+
+  const auto* firetv = catalog_.unit_by_name("Fire TV");
+  ASSERT_NE(firetv, nullptr);
+  EXPECT_EQ(firetv->primary_domains, 34u);  // 34 beyond Amazon's
+  ASSERT_TRUE(firetv->parent.has_value());
+  EXPECT_EQ(*firetv->parent, amazon->id);
+
+  const auto* samsung = catalog_.unit_by_name("Samsung IoT");
+  ASSERT_NE(samsung, nullptr);
+  EXPECT_EQ(samsung->primary_domains, 14u);
+
+  const auto* samsung_tv = catalog_.unit_by_name("Samsung TV");
+  ASSERT_NE(samsung_tv, nullptr);
+  EXPECT_EQ(samsung_tv->primary_domains, 16u);
+  ASSERT_TRUE(samsung_tv->parent.has_value());
+  EXPECT_EQ(*samsung_tv->parent, samsung->id);
+}
+
+TEST_F(CatalogTest, DetectableUnitLevelCountsMatchPaper) {
+  // 20 manufacturer rules + 11 product rules + platform rules (Sec. 4.3.2).
+  unsigned platform = 0;
+  unsigned manufacturer = 0;
+  unsigned product = 0;
+  for (const auto& u : catalog_.units()) {
+    if (u.backend == BackendKind::kShared) continue;  // excluded backends
+    if (u.name == "LG TV" || u.name == "WeMo Plug" || u.name == "Wink Hub") {
+      continue;  // excluded for data reasons
+    }
+    switch (u.level) {
+      case DetectionLevel::kPlatform:
+        ++platform;
+        break;
+      case DetectionLevel::kManufacturer:
+        ++manufacturer;
+        break;
+      case DetectionLevel::kProduct:
+        ++product;
+        break;
+    }
+  }
+  EXPECT_EQ(manufacturer, 20u);
+  EXPECT_EQ(product, 11u);
+  EXPECT_EQ(platform, 6u);  // 6 platform-level units over 4 distinct backends
+  EXPECT_EQ(platform + manufacturer + product, 37u);  // Fig. 10 rows
+}
+
+TEST_F(CatalogTest, CriticalDomainsCarryRealNames) {
+  const auto* alexa = catalog_.unit_by_name("Alexa Enabled");
+  const auto& alexa_domains = catalog_.domains_of(alexa->id);
+  EXPECT_EQ(alexa_domains[0]->fqdn.str(), "avs-alexa.na.amazon.com");
+
+  const auto* samsung = catalog_.unit_by_name("Samsung IoT");
+  const auto& samsung_domains = catalog_.domains_of(samsung->id);
+  EXPECT_EQ(samsung_domains[0]->fqdn.str(), "samsungotn.net");
+}
+
+TEST_F(CatalogTest, AllUnitDomainsValidAndUnique) {
+  std::unordered_set<std::string> seen;
+  for (const auto& d : catalog_.domains()) {
+    EXPECT_TRUE(d.fqdn.valid()) << d.fqdn.str();
+    EXPECT_TRUE(seen.insert(d.fqdn.str()).second)
+        << "duplicate domain: " << d.fqdn.str();
+  }
+}
+
+TEST_F(CatalogTest, IdleOnlyProductsAreTheSamsungAppliances) {
+  std::set<std::string> idle_only;
+  for (const auto& p : catalog_.products()) {
+    if (p.idle_only) idle_only.insert(p.name);
+  }
+  EXPECT_EQ(idle_only, (std::set<std::string>{"Samsung Dryer",
+                                              "Samsung Fridge"}));
+}
+
+TEST_F(CatalogTest, ExcludedBackendsMatchPaperList) {
+  // Google Home, Apple TV, Lefun: shared. LG TV: 1/4 usable. WeMo/Wink:
+  // insufficient data. SwitchBot: shared platform (one of the undetected
+  // manufacturers).
+  std::set<std::string> shared_units;
+  for (const auto& u : catalog_.units()) {
+    if (u.backend == BackendKind::kShared) shared_units.insert(u.name);
+  }
+  EXPECT_EQ(shared_units,
+            (std::set<std::string>{"Apple TV", "Google Home", "Lefun Cam",
+                                   "SwitchBot"}));
+}
+
+TEST_F(CatalogTest, EveryProductMapsToAUnit) {
+  for (const auto& p : catalog_.products()) {
+    ASSERT_TRUE(p.unit.has_value()) << p.name;
+    EXPECT_LT(*p.unit, catalog_.units().size());
+  }
+}
+
+TEST_F(CatalogTest, DomainsOfIndexConsistent) {
+  std::size_t total = 0;
+  for (const auto& u : catalog_.units()) {
+    const auto& domains = catalog_.domains_of(u.id);
+    total += domains.size();
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      EXPECT_EQ(domains[i]->unit, u.id);
+      EXPECT_EQ(domains[i]->index, i);
+    }
+  }
+  EXPECT_EQ(total, catalog_.domains().size());
+}
+
+}  // namespace
+}  // namespace haystack::simnet

@@ -1,0 +1,162 @@
+// End-to-end classification statistics (paper Secs. 4.1/4.2): the domain
+// classifier and the dedicated-vs-shared pipeline must reproduce the
+// paper's headline numbers against the simulated DNS/cert databases.
+#include <gtest/gtest.h>
+
+#include "core/domain_classifier.hpp"
+#include "core/infra_classifier.hpp"
+#include "core/rules.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/manual_analysis.hpp"
+
+namespace haystack {
+namespace {
+
+class ClassificationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new simnet::Catalog();
+    backend_ = new simnet::Backend(*catalog_, simnet::BackendConfig{});
+    ruleset_ = new core::RuleSet(simnet::build_ruleset(*backend_));
+  }
+  static void TearDownTestSuite() {
+    delete ruleset_;
+    delete backend_;
+    delete catalog_;
+    ruleset_ = nullptr;
+    backend_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static simnet::Catalog* catalog_;
+  static simnet::Backend* backend_;
+  static core::RuleSet* ruleset_;
+};
+
+simnet::Catalog* ClassificationTest::catalog_ = nullptr;
+simnet::Backend* ClassificationTest::backend_ = nullptr;
+core::RuleSet* ClassificationTest::ruleset_ = nullptr;
+
+TEST_F(ClassificationTest, Sec41DomainClassCounts) {
+  // 524 observed domains -> 415 Primary, 19 Support, 90 Generic.
+  const core::DomainClassifier classifier{
+      simnet::build_domain_knowledge(*catalog_)};
+  const auto stats =
+      classifier.classify_all(simnet::observed_domains(*catalog_));
+  EXPECT_EQ(stats.total, 524u);
+  EXPECT_EQ(stats.primary, 415u);
+  EXPECT_EQ(stats.support, 19u);
+  EXPECT_EQ(stats.generic, 90u);
+}
+
+TEST_F(ClassificationTest, Sec42InfraClassCounts) {
+  // 434 domains -> 217 dedicated, 202 shared, 15 without DNSDB records;
+  // the cert-scan fallback recovers 8 of the 15.
+  const auto& stats = ruleset_->stats;
+  EXPECT_EQ(stats.domains_total, 415u);  // primary domains only (non-support)
+  EXPECT_EQ(stats.dnsdb_missing, 15u);
+  EXPECT_EQ(stats.via_cert_scan, 8u);
+  EXPECT_EQ(stats.unresolved, 7u);
+  // Dedicated via passive DNS; support domains (19, all dedicated) are
+  // accounted separately in the paper's 217.
+  EXPECT_EQ(stats.dedicated + 19u, 217u);
+  EXPECT_EQ(stats.shared, 202u);
+}
+
+TEST_F(ClassificationTest, RuleCountsMatchSec432) {
+  // 37 detectable units: 20 manufacturer + 11 product + 6 platform rows.
+  EXPECT_EQ(ruleset_->rules.size(), 37u);
+  unsigned manufacturer = 0;
+  unsigned product = 0;
+  unsigned platform = 0;
+  for (const auto& r : ruleset_->rules) {
+    switch (r.level) {
+      case core::Level::kPlatform:
+        ++platform;
+        break;
+      case core::Level::kManufacturer:
+        ++manufacturer;
+        break;
+      case core::Level::kProduct:
+        ++product;
+        break;
+    }
+  }
+  EXPECT_EQ(manufacturer, 20u);
+  EXPECT_EQ(product, 11u);
+  EXPECT_EQ(platform, 6u);
+}
+
+TEST_F(ClassificationTest, ExcludedServicesMatchSec423) {
+  // Google Home, Apple TV, Lefun, SwitchBot: shared backends.
+  // LG TV: only 1 of 4 domains resolvable. WeMo, Wink: no data at all.
+  ASSERT_EQ(ruleset_->excluded.size(), 7u);
+  std::map<std::string, core::ExclusionReason> reasons;
+  for (const auto& e : ruleset_->excluded) reasons[e.name] = e.reason;
+
+  EXPECT_EQ(reasons.at("Apple TV"), core::ExclusionReason::kSharedBackend);
+  EXPECT_EQ(reasons.at("Google Home"), core::ExclusionReason::kSharedBackend);
+  EXPECT_EQ(reasons.at("Lefun Cam"), core::ExclusionReason::kSharedBackend);
+  EXPECT_EQ(reasons.at("SwitchBot"), core::ExclusionReason::kSharedBackend);
+  EXPECT_EQ(reasons.at("LG TV"), core::ExclusionReason::kSharedBackend);
+  EXPECT_EQ(reasons.at("WeMo Plug"),
+            core::ExclusionReason::kInsufficientData);
+  EXPECT_EQ(reasons.at("Wink Hub"),
+            core::ExclusionReason::kInsufficientData);
+}
+
+TEST_F(ClassificationTest, LgTvKeptOneOfFourDomains) {
+  for (const auto& e : ruleset_->excluded) {
+    if (e.name == "LG TV") {
+      EXPECT_EQ(e.dedicated_domains, 1u);
+      EXPECT_EQ(e.total_domains, 4u);
+      return;
+    }
+  }
+  FAIL() << "LG TV not in excluded list";
+}
+
+TEST_F(ClassificationTest, MonitoredDomainCountsMatchFig10) {
+  const auto* alexa = ruleset_->rule_by_name("Alexa Enabled");
+  ASSERT_NE(alexa, nullptr);
+  EXPECT_EQ(alexa->monitored_domains, 1u);
+
+  const auto* amazon = ruleset_->rule_by_name("Amazon Product");
+  ASSERT_NE(amazon, nullptr);
+  EXPECT_EQ(amazon->monitored_domains, 33u);
+
+  const auto* firetv = ruleset_->rule_by_name("Fire TV");
+  ASSERT_NE(firetv, nullptr);
+  EXPECT_EQ(firetv->monitored_domains, 34u);
+
+  const auto* samsung = ruleset_->rule_by_name("Samsung IoT");
+  ASSERT_NE(samsung, nullptr);
+  EXPECT_EQ(samsung->monitored_domains, 14u);
+  EXPECT_TRUE(samsung->critical_sufficient);
+  ASSERT_TRUE(samsung->critical_monitored_index.has_value());
+
+  // The cert-scan-recovered devices keep their full Fig. 10 domain counts.
+  const auto* wansview = ruleset_->rule_by_name("Wansview Cam.");
+  ASSERT_NE(wansview, nullptr);
+  EXPECT_EQ(wansview->monitored_domains, 2u);
+}
+
+TEST_F(ClassificationTest, HitlistIsPopulatedAndCollisionFree) {
+  EXPECT_GT(ruleset_->hitlist.total_size(), 1000u);
+  EXPECT_EQ(ruleset_->hitlist.collisions(), 0u);
+}
+
+TEST_F(ClassificationTest, ThresholdArithmeticMatchesPaper) {
+  const auto* amazon = ruleset_->rule_by_name("Amazon Product");
+  ASSERT_NE(amazon, nullptr);
+  // max(1, floor(D*N)).
+  EXPECT_EQ(amazon->required_domains(0.1), 3u);   // floor(3.3)
+  EXPECT_EQ(amazon->required_domains(0.4), 13u);  // floor(13.2)
+  EXPECT_EQ(amazon->required_domains(1.0), 33u);
+  const auto* alexa = ruleset_->rule_by_name("Alexa Enabled");
+  EXPECT_EQ(alexa->required_domains(0.1), 1u);  // max(1, 0)
+  EXPECT_EQ(alexa->required_domains(1.0), 1u);
+}
+
+}  // namespace
+}  // namespace haystack

@@ -1,0 +1,196 @@
+// Unit tests for the streaming detector: threshold arithmetic, evidence
+// accumulation, the critical-domain shortcut, the detection hierarchy, and
+// the usage classifier.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/usage.hpp"
+
+namespace haystack::core {
+namespace {
+
+// Builds a small rule universe:
+//   service 0 "Platform"  — 1 domain, no parent
+//   service 1 "Vendor"    — 5 domains, parent Platform
+//   service 2 "Gadget"    — 10 domains, parent Vendor
+//   service 3 "Firmware"  — 14 domains, critical-sufficient at position 2
+class DetectorTest : public ::testing::Test {
+ protected:
+  DetectorTest() {
+    auto add_rule = [this](ServiceId id, std::string name, unsigned n,
+                           std::optional<ServiceId> parent,
+                           std::optional<std::uint16_t> critical,
+                           bool critical_sufficient) {
+      DetectionRule rule;
+      rule.service = id;
+      rule.name = std::move(name);
+      rule.level = Level::kManufacturer;
+      rule.monitored_domains = n;
+      for (std::uint16_t i = 0; i < n; ++i) {
+        rule.monitored_indices.push_back(i);
+      }
+      rule.parent = parent;
+      rule.critical_monitored_index = critical;
+      rule.critical_sufficient = critical_sufficient;
+      rules_.rules.push_back(std::move(rule));
+    };
+    add_rule(0, "Platform", 1, std::nullopt, 0, false);
+    add_rule(1, "Vendor", 5, 0, std::nullopt, false);
+    add_rule(2, "Gadget", 10, 1, std::nullopt, false);
+    add_rule(3, "Firmware", 14, std::nullopt, 2, true);
+
+    // Hitlist: service s, domain m lives at IP 10.s.0.m port 443, all days.
+    for (const auto& rule : rules_.rules) {
+      for (std::uint16_t m = 0; m < rule.monitored_domains; ++m) {
+        for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+          rules_.hitlist.add(ip_of(rule.service, m), 443, day,
+                             {rule.service, m});
+        }
+      }
+    }
+  }
+
+  static net::IpAddress ip_of(ServiceId s, std::uint16_t m) {
+    return net::IpAddress::v4(0x0A000000U | (std::uint32_t{s} << 16) | m);
+  }
+
+  RuleSet rules_;
+};
+
+TEST_F(DetectorTest, SingleDomainServiceDetectsOnFirstFlow) {
+  Detector det{rules_.hitlist, rules_, {.threshold = 0.4}};
+  EXPECT_FALSE(det.detected(1, 0));
+  const auto hit = det.observe(1, ip_of(0, 0), 443, 3, 5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->service, 0);
+  EXPECT_EQ(det.detection_hour(1, 0), 5u);
+}
+
+TEST_F(DetectorTest, UnknownServerIpIsIgnored) {
+  Detector det{rules_.hitlist, rules_, {}};
+  EXPECT_FALSE(
+      det.observe(1, *net::IpAddress::parse("9.9.9.9"), 443, 1, 0)
+          .has_value());
+  EXPECT_EQ(det.stats().flows, 1u);
+  EXPECT_EQ(det.stats().matched, 0u);
+}
+
+TEST_F(DetectorTest, PortMustMatch) {
+  Detector det{rules_.hitlist, rules_, {}};
+  EXPECT_FALSE(det.observe(1, ip_of(0, 0), 80, 1, 0).has_value());
+}
+
+TEST_F(DetectorTest, ThresholdGatesDetection) {
+  // Vendor: 5 domains, D=0.4 -> requires 2 distinct domains; repeated
+  // flows to one domain must not satisfy it.
+  Detector det{rules_.hitlist, rules_, {.threshold = 0.4}};
+  // Parent platform first so hierarchy does not mask the assertion.
+  det.observe(1, ip_of(0, 0), 443, 1, 0);
+  for (int i = 0; i < 10; ++i) det.observe(1, ip_of(1, 0), 443, 1, 1);
+  EXPECT_FALSE(det.detected(1, 1));
+  det.observe(1, ip_of(1, 3), 443, 1, 7);
+  EXPECT_EQ(det.detection_hour(1, 1), 7u);
+}
+
+TEST_F(DetectorTest, HierarchyRequiresAncestors) {
+  // Gadget (10 domains, D=0.4 -> 4) satisfied, but Vendor/Platform not:
+  // detection must be withheld until the whole chain is satisfied.
+  Detector det{rules_.hitlist, rules_, {.threshold = 0.4}};
+  for (std::uint16_t m = 0; m < 4; ++m) {
+    det.observe(7, ip_of(2, m), 443, 1, 2);
+  }
+  EXPECT_FALSE(det.detected(7, 2));
+  det.observe(7, ip_of(1, 0), 443, 1, 3);
+  det.observe(7, ip_of(1, 1), 443, 1, 4);
+  EXPECT_FALSE(det.detected(7, 2));  // platform still missing
+  det.observe(7, ip_of(0, 0), 443, 1, 9);
+  // Detection hour is when the *last* of the chain was satisfied — for
+  // both Gadget and Vendor that is the platform's hour.
+  EXPECT_EQ(det.detection_hour(7, 2), 9u);
+  EXPECT_EQ(det.detection_hour(7, 1), 9u);
+}
+
+TEST_F(DetectorTest, CriticalDomainAloneSuffices) {
+  // Firmware: 14 domains, D=0.4 would need 5, but seeing the critical
+  // domain (position 2) alone is sufficient (the Samsung rule).
+  Detector det{rules_.hitlist, rules_, {.threshold = 0.4}};
+  det.observe(9, ip_of(3, 2), 443, 1, 11);
+  EXPECT_EQ(det.detection_hour(9, 3), 11u);
+}
+
+TEST_F(DetectorTest, NonCriticalSingleDomainDoesNotSuffice) {
+  Detector det{rules_.hitlist, rules_, {.threshold = 0.4}};
+  det.observe(9, ip_of(3, 1), 443, 1, 11);
+  EXPECT_FALSE(det.detected(9, 3));
+}
+
+TEST_F(DetectorTest, SubscribersAreIndependent) {
+  Detector det{rules_.hitlist, rules_, {}};
+  det.observe(1, ip_of(0, 0), 443, 1, 0);
+  EXPECT_TRUE(det.detected(1, 0));
+  EXPECT_FALSE(det.detected(2, 0));
+}
+
+TEST_F(DetectorTest, EvidenceAccumulatesPackets) {
+  Detector det{rules_.hitlist, rules_, {}};
+  det.observe(1, ip_of(1, 0), 443, 5, 0);
+  det.observe(1, ip_of(1, 1), 443, 7, 1);
+  const Evidence* ev = det.evidence(1, 1);
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->packets, 12u);
+  EXPECT_EQ(ev->distinct, 2u);
+  EXPECT_EQ(ev->first_seen, 0u);
+  EXPECT_TRUE(ev->sees(0));
+  EXPECT_TRUE(ev->sees(1));
+  EXPECT_FALSE(ev->sees(2));
+}
+
+TEST_F(DetectorTest, ClearResetsEvidence) {
+  Detector det{rules_.hitlist, rules_, {}};
+  det.observe(1, ip_of(0, 0), 443, 1, 0);
+  det.clear();
+  EXPECT_FALSE(det.detected(1, 0));
+}
+
+TEST_F(DetectorTest, ForEachEvidenceEnumerates) {
+  Detector det{rules_.hitlist, rules_, {}};
+  det.observe(1, ip_of(0, 0), 443, 1, 0);
+  det.observe(2, ip_of(1, 0), 443, 1, 0);
+  std::size_t count = 0;
+  det.for_each_evidence(
+      [&](SubscriberKey, ServiceId, const Evidence&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(DetectorTest, ThresholdOneRequiresAllDomains) {
+  Detector det{rules_.hitlist, rules_, {.threshold = 1.0}};
+  det.observe(5, ip_of(0, 0), 443, 1, 0);  // platform
+  for (std::uint16_t m = 0; m + 1 < 5; ++m) {
+    det.observe(5, ip_of(1, m), 443, 1, m);
+  }
+  EXPECT_FALSE(det.detected(5, 1));
+  det.observe(5, ip_of(1, 4), 443, 1, 20);
+  EXPECT_EQ(det.detection_hour(5, 1), 20u);
+}
+
+TEST(UsageTest, ThresholdSeparatesActiveFromIdle) {
+  UsageClassifier usage{{.packet_threshold = 10}};
+  usage.observe(1, 0, 6);
+  usage.observe(1, 0, 5);   // total 11 > 10 -> active
+  usage.observe(2, 0, 10);  // exactly the threshold -> idle
+  usage.observe(3, 1, 50);
+  auto active = usage.end_hour();
+  std::sort(active.begin(), active.end(),
+            [](const auto& a, const auto& b) {
+              return a.subscriber < b.subscriber;
+            });
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0].subscriber, 1u);
+  EXPECT_EQ(active[0].packets, 11u);
+  EXPECT_EQ(active[1].subscriber, 3u);
+  // The accumulator resets per hour.
+  EXPECT_TRUE(usage.end_hour().empty());
+}
+
+}  // namespace
+}  // namespace haystack::core

@@ -1,0 +1,129 @@
+// Unit tests for the dns substrate: FQDN normalization, registrable-domain
+// extraction (the paper's "SLD"), wildcard matching, and the passive-DNS
+// database including CNAME chain traversal and the reverse view.
+#include <gtest/gtest.h>
+
+#include "dns/fqdn.hpp"
+#include "dns/passive_dns.hpp"
+
+namespace haystack::dns {
+namespace {
+
+TEST(FqdnTest, NormalizesCaseAndTrailingDot) {
+  EXPECT_EQ(Fqdn{"WWW.Example.COM."}.str(), "www.example.com");
+  EXPECT_TRUE(Fqdn{"a.b"}.valid());
+  EXPECT_FALSE(Fqdn{""}.valid());
+  EXPECT_FALSE(Fqdn{"a..b"}.valid());
+  EXPECT_FALSE(Fqdn{std::string(300, 'a')}.valid());
+}
+
+TEST(FqdnTest, Labels) {
+  const Fqdn f{"avs-alexa.na.amazon.com"};
+  const auto labels = f.labels();
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], "avs-alexa");
+  EXPECT_EQ(labels[3], "com");
+  EXPECT_EQ(f.label_count(), 4u);
+}
+
+TEST(FqdnTest, RegistrableDomain) {
+  EXPECT_EQ(Fqdn{"avs-alexa.na.amazon.com"}.registrable().str(),
+            "amazon.com");
+  EXPECT_EQ(Fqdn{"amazon.com"}.registrable().str(), "amazon.com");
+  EXPECT_EQ(Fqdn{"a.b.example.co.uk"}.registrable().str(), "example.co.uk");
+  EXPECT_EQ(Fqdn{"foo.smarter.am"}.registrable().str(), "smarter.am");
+  // Unknown TLD: fall back to two labels.
+  EXPECT_EQ(Fqdn{"x.y.unknowntld"}.registrable().str(), "y.unknowntld");
+}
+
+TEST(FqdnTest, SubdomainRelation) {
+  const Fqdn parent{"amazon.com"};
+  EXPECT_TRUE(Fqdn{"amazon.com"}.is_subdomain_of(parent));
+  EXPECT_TRUE(Fqdn{"x.amazon.com"}.is_subdomain_of(parent));
+  EXPECT_FALSE(Fqdn{"notamazon.com"}.is_subdomain_of(parent));
+  EXPECT_FALSE(Fqdn{"amazon.com"}.is_subdomain_of(Fqdn{"x.amazon.com"}));
+}
+
+TEST(FqdnTest, WildcardPattern) {
+  const Fqdn pattern{"*.deve.com"};
+  EXPECT_TRUE(Fqdn{"c.deve.com"}.matches_pattern(pattern));
+  EXPECT_FALSE(Fqdn{"deve.com"}.matches_pattern(pattern));
+  EXPECT_FALSE(Fqdn{"a.b.deve.com"}.matches_pattern(pattern));  // one label
+  EXPECT_FALSE(Fqdn{"c.devx.com"}.matches_pattern(pattern));
+  EXPECT_TRUE(Fqdn{"exact.com"}.matches_pattern(Fqdn{"exact.com"}));
+}
+
+TEST(PassiveDnsTest, ResolveFollowsCnameChain) {
+  PassiveDnsDb db;
+  const Fqdn dev{"deva.com"};
+  const Fqdn vm{"deva-vm.ec2compute.cloudsim.net"};
+  const auto ip = *net::IpAddress::parse("52.1.2.3");
+  db.add_cname(dev, vm, 0, 13);
+  db.add_a(vm, ip, 0, 13);
+
+  const auto res = db.resolve(dev, {0, 13});
+  ASSERT_EQ(res.ips.size(), 1u);
+  EXPECT_EQ(res.ips[0], ip);
+  ASSERT_EQ(res.chain.size(), 2u);  // query name + cname target
+}
+
+TEST(PassiveDnsTest, ResolveRespectsWindow) {
+  PassiveDnsDb db;
+  const Fqdn name{"x.example.com"};
+  db.add_a(name, *net::IpAddress::parse("1.1.1.1"), 0, 3);
+  db.add_a(name, *net::IpAddress::parse("2.2.2.2"), 4, 9);
+  EXPECT_EQ(db.resolve(name, {0, 3}).ips.size(), 1u);
+  EXPECT_EQ(db.resolve(name, {0, 9}).ips.size(), 2u);
+  EXPECT_TRUE(db.resolve(name, {10, 13}).ips.empty());
+  EXPECT_TRUE(db.has_records(name, {0, 0}));
+  EXPECT_FALSE(db.has_records(name, {10, 13}));
+  EXPECT_FALSE(db.has_records(Fqdn{"unknown.com"}, {0, 13}));
+}
+
+TEST(PassiveDnsTest, DomainsOnIpIncludesCnameAliases) {
+  PassiveDnsDb db;
+  const auto ip = *net::IpAddress::parse("23.0.0.1");
+  const Fqdn edge{"devb.com.edgekey.simcdn.net"};
+  const Fqdn devb{"devb.com"};
+  const Fqdn other{"anothersite.com"};
+  db.add_a(edge, ip, 0, 13);
+  db.add_cname(devb, edge, 0, 13);
+  db.add_a(other, ip, 0, 13);
+
+  const auto names = db.domains_on(ip, {0, 13});
+  // edge (direct), devb (via reverse CNAME), anothersite (direct).
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(std::find(names.begin(), names.end(), devb) != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), other) != names.end());
+}
+
+TEST(PassiveDnsTest, CoalescesAdjacentObservations) {
+  PassiveDnsDb db;
+  const Fqdn name{"y.example.com"};
+  const auto ip = *net::IpAddress::parse("3.3.3.3");
+  db.add_a(name, ip, 0, 1);
+  db.add_a(name, ip, 2, 3);  // adjacent: coalesce
+  db.add_a(name, ip, 3, 5);  // overlapping: coalesce
+  EXPECT_EQ(db.record_count(), 1u);
+  EXPECT_EQ(db.resolve(name, {4, 4}).ips.size(), 1u);
+}
+
+TEST(PassiveDnsTest, CnameCycleIsSafe) {
+  PassiveDnsDb db;
+  const Fqdn a{"a.example.com"};
+  const Fqdn b{"b.example.com"};
+  db.add_cname(a, b, 0, 13);
+  db.add_cname(b, a, 0, 13);
+  const auto res = db.resolve(a, {0, 13});
+  EXPECT_TRUE(res.ips.empty());
+  EXPECT_EQ(res.chain.size(), 2u);
+}
+
+TEST(PassiveDnsTest, DomainsOnUnknownIpIsEmpty) {
+  PassiveDnsDb db;
+  EXPECT_TRUE(
+      db.domains_on(*net::IpAddress::parse("9.9.9.9"), {0, 13}).empty());
+}
+
+}  // namespace
+}  // namespace haystack::dns

@@ -1,0 +1,154 @@
+// Tests for the DNS message codec and the resolver feed: encode/decode
+// round trips, compression-pointer handling, malformed-input rejection,
+// and the allowlist-scoped feed into PassiveDnsDb.
+#include <gtest/gtest.h>
+
+#include "dns/dns_wire.hpp"
+#include "dns/resolver_feed.hpp"
+
+namespace haystack::dns {
+namespace {
+
+TEST(DnsWireTest, EncodeDecodeRoundtrip) {
+  std::vector<WireRecord> answers;
+  WireRecord cname;
+  cname.name = Fqdn{"api.ring.com"};
+  cname.type = WireType::kCname;
+  cname.ttl = 300;
+  cname.target = Fqdn{"api-vm.ec2compute.cloudsim.net"};
+  answers.push_back(cname);
+  WireRecord a;
+  a.name = Fqdn{"api-vm.ec2compute.cloudsim.net"};
+  a.type = WireType::kA;
+  a.ttl = 60;
+  a.address = *net::IpAddress::parse("52.1.2.3");
+  answers.push_back(a);
+  WireRecord aaaa;
+  aaaa.name = Fqdn{"api.ring.com"};
+  aaaa.type = WireType::kAaaa;
+  aaaa.ttl = 60;
+  aaaa.address = *net::IpAddress::parse("2001:db8::7");
+  answers.push_back(aaaa);
+
+  const auto bytes =
+      encode_response(0x1234, Fqdn{"api.ring.com"}, answers);
+  const auto msg = decode_message(bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->id, 0x1234);
+  EXPECT_TRUE(msg->is_response);
+  ASSERT_TRUE(msg->question.has_value());
+  EXPECT_EQ(msg->question->str(), "api.ring.com");
+  ASSERT_EQ(msg->answers.size(), 3u);
+  EXPECT_EQ(msg->answers[0].type, WireType::kCname);
+  EXPECT_EQ(msg->answers[0].target.str(),
+            "api-vm.ec2compute.cloudsim.net");
+  EXPECT_EQ(msg->answers[1].address, *net::IpAddress::parse("52.1.2.3"));
+  EXPECT_EQ(msg->answers[2].address, *net::IpAddress::parse("2001:db8::7"));
+}
+
+TEST(DnsWireTest, CompressionPointersDecode) {
+  // Hand-build: question "a.example.com", answer name points back to it.
+  std::vector<std::uint8_t> m = {
+      0x00, 0x01,              // id
+      0x80, 0x00,              // response flags
+      0x00, 0x01,              // qdcount
+      0x00, 0x01,              // ancount
+      0x00, 0x00, 0x00, 0x00,  // ns/ar
+      // question: a.example.com
+      1, 'a', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0,
+      0x00, 0x01, 0x00, 0x01,  // qtype A, class IN
+      // answer: pointer to offset 12 (the question name)
+      0xc0, 0x0c,
+      0x00, 0x01, 0x00, 0x01,              // type A, class IN
+      0x00, 0x00, 0x00, 0x3c,              // ttl 60
+      0x00, 0x04, 192, 0, 2, 1,            // rdlength 4, 192.0.2.1
+  };
+  const auto msg = decode_message(m);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->answers.size(), 1u);
+  EXPECT_EQ(msg->answers[0].name.str(), "a.example.com");
+  EXPECT_EQ(msg->answers[0].address, *net::IpAddress::parse("192.0.2.1"));
+}
+
+TEST(DnsWireTest, PointerLoopRejected) {
+  std::vector<std::uint8_t> m = {
+      0x00, 0x01, 0x80, 0x00, 0x00, 0x01, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00,
+      // question name: pointer to itself
+      0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01,
+  };
+  EXPECT_FALSE(decode_message(m).has_value());
+}
+
+TEST(DnsWireTest, TruncationRejected) {
+  const auto full = encode_response(1, Fqdn{"x.example.com"}, {});
+  for (std::size_t cut = 1; cut < 12; ++cut) {
+    std::vector<std::uint8_t> truncated{full.begin(),
+                                        full.begin() + static_cast<long>(cut)};
+    EXPECT_FALSE(decode_message(truncated).has_value()) << cut;
+  }
+}
+
+TEST(DnsWireTest, UnknownAnswerTypesSkipped) {
+  // TXT record (type 16) in the answer section: skipped, not fatal.
+  std::vector<std::uint8_t> m = {
+      0x00, 0x01, 0x80, 0x00, 0x00, 0x00, 0x00, 0x01,
+      0x00, 0x00, 0x00, 0x00,
+      // answer: x.example.com TXT "hi"
+      1, 'x', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0,
+      0x00, 0x10, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3c, 0x00, 0x03, 2, 'h',
+      'i',
+  };
+  const auto msg = decode_message(m);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->answers.empty());
+}
+
+TEST(ResolverFeedTest, FeedsPassiveDnsDb) {
+  PassiveDnsDb db;
+  ResolverFeed feed{db};
+  WireRecord a;
+  a.name = Fqdn{"api.ring.com"};
+  a.type = WireType::kA;
+  a.address = *net::IpAddress::parse("140.1.2.3");
+  const auto msg = encode_response(1, a.name, {a});
+  EXPECT_TRUE(feed.ingest(msg, 3));
+  EXPECT_EQ(feed.stats().answers_kept, 1u);
+  const auto res = db.resolve(Fqdn{"api.ring.com"}, {3, 3});
+  ASSERT_EQ(res.ips.size(), 1u);
+  EXPECT_EQ(res.ips[0], a.address);
+  EXPECT_TRUE(db.resolve(Fqdn{"api.ring.com"}, {0, 2}).ips.empty());
+}
+
+TEST(ResolverFeedTest, AllowlistScopesRetention) {
+  PassiveDnsDb db;
+  ResolverFeed feed{db};
+  feed.allow_sld(Fqdn{"ring.com"});
+
+  WireRecord iot;
+  iot.name = Fqdn{"api.ring.com"};
+  iot.type = WireType::kA;
+  iot.address = *net::IpAddress::parse("140.1.2.3");
+  WireRecord browsing;
+  browsing.name = Fqdn{"private.socialsite.com"};
+  browsing.type = WireType::kA;
+  browsing.address = *net::IpAddress::parse("10.9.9.9");
+
+  feed.ingest(encode_response(1, iot.name, {iot}), 0);
+  feed.ingest(encode_response(2, browsing.name, {browsing}), 0);
+  EXPECT_EQ(feed.stats().answers_kept, 1u);
+  EXPECT_EQ(feed.stats().answers_filtered, 1u);
+  EXPECT_TRUE(db.has_records(Fqdn{"api.ring.com"}, {0, 0}));
+  EXPECT_FALSE(db.has_records(Fqdn{"private.socialsite.com"}, {0, 0}));
+}
+
+TEST(ResolverFeedTest, MalformedCounted) {
+  PassiveDnsDb db;
+  ResolverFeed feed{db};
+  std::vector<std::uint8_t> junk{1, 2, 3};
+  EXPECT_FALSE(feed.ingest(junk, 0));
+  EXPECT_EQ(feed.stats().malformed, 1u);
+}
+
+}  // namespace
+}  // namespace haystack::dns

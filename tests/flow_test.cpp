@@ -1,0 +1,400 @@
+// Unit tests for the flow substrate: byte-stream primitives, the NetFlow v9
+// and IPFIX codecs (round trips, template statefulness, malformed input),
+// samplers (statistical properties), and the flow cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "flow/flow_cache.hpp"
+#include "flow/ipfix.hpp"
+#include "flow/netflow_v9.hpp"
+#include "flow/sampler.hpp"
+#include "flow/wire.hpp"
+
+namespace haystack::flow {
+namespace {
+
+FlowRecord make_record(std::uint32_t salt) {
+  FlowRecord rec;
+  rec.key.src = net::IpAddress::v4(0x64400000 + salt);
+  rec.key.dst = net::IpAddress::v4(0x34000000 + salt * 3);
+  rec.key.src_port = static_cast<std::uint16_t>(40000 + salt);
+  rec.key.dst_port = 443;
+  rec.key.proto = 6;
+  rec.tcp_flags = tcpflags::kSyn | tcpflags::kAck | tcpflags::kPsh;
+  rec.packets = 10 + salt;
+  rec.bytes = 1000 + salt * 7;
+  rec.start_ms = 1000 * salt;
+  rec.end_ms = 1000 * salt + 500;
+  rec.sampling = 1000;
+  return rec;
+}
+
+FlowRecord make_v6_record(std::uint32_t salt) {
+  FlowRecord rec = make_record(salt);
+  rec.key.src = net::IpAddress::v6(0x20010db800000000ULL, salt);
+  rec.key.dst = net::IpAddress::v6(0x20010db800000000ULL, 0x10000ULL + salt);
+  return rec;
+}
+
+TEST(WireTest, WriterReaderRoundtrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefU);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireTest, BigEndianOnTheWire) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[1], 0x02);
+}
+
+TEST(WireTest, ReaderLatchesOnUnderflow) {
+  const std::uint8_t bytes[2] = {1, 2};
+  ByteReader r{bytes};
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // still failed
+}
+
+TEST(WireTest, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u32(42);
+  w.patch_u16(0, 0xbeef);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.u16(), 0xbeef);
+}
+
+TEST(NetFlowV9Test, RoundtripMixedFamilies) {
+  nf9::Exporter exporter{{.source_id = 3, .sampling = 1000}};
+  nf9::Collector collector;
+  std::vector<FlowRecord> input;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    input.push_back(i % 3 == 0 ? make_v6_record(i) : make_record(i));
+  }
+  std::vector<FlowRecord> output;
+  for (const auto& packet : exporter.export_flows(input, 1574000000)) {
+    EXPECT_TRUE(collector.ingest(packet, output));
+  }
+  ASSERT_EQ(output.size(), input.size());
+  // Records arrive family-grouped per packet; compare as multisets.
+  std::sort(input.begin(), input.end());
+  std::sort(output.begin(), output.end());
+  EXPECT_EQ(input, output);
+  EXPECT_EQ(collector.stats().records, 50u);
+  EXPECT_GE(collector.stats().templates_learned, 2u);
+}
+
+TEST(NetFlowV9Test, DataBeforeTemplateIsSkippedNotFatal) {
+  // Packet 2 carries data only; a fresh collector that never saw packet 1
+  // must skip it gracefully and count the unknown flowset.
+  nf9::Exporter exporter{{.max_records_per_packet = 4,
+                          .template_refresh_packets = 100}};
+  std::vector<FlowRecord> input;
+  for (std::uint32_t i = 0; i < 8; ++i) input.push_back(make_record(i));
+  const auto packets = exporter.export_flows(input, 1574000000);
+  ASSERT_GE(packets.size(), 2u);
+
+  nf9::Collector fresh;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(fresh.ingest(packets[1], out));  // no template learned yet
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(fresh.stats().unknown_template_flowsets, 1u);
+
+  // Now learn templates from packet 0, then packet 1 decodes.
+  EXPECT_TRUE(fresh.ingest(packets[0], out));
+  EXPECT_TRUE(fresh.ingest(packets[1], out));
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(NetFlowV9Test, TemplatesAreScopedBySourceId) {
+  nf9::Exporter exporter_a{{.source_id = 1}};
+  nf9::Exporter exporter_b{{.source_id = 2, .template_refresh_packets = 100}};
+  // Learn templates only from source 1...
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  std::vector<FlowRecord> input{make_record(1)};
+  for (const auto& p : exporter_a.export_flows(input, 1)) {
+    collector.ingest(p, out);
+  }
+  out.clear();
+  // ...then source 2's data flowsets must NOT decode with them. Force
+  // exporter_b to skip templates by pre-advancing its packet counter.
+  std::vector<FlowRecord> warmup{make_record(2)};
+  (void)exporter_b.export_flows(warmup, 1);  // packet 0 includes templates
+  const auto packets = exporter_b.export_flows(input, 2);
+  std::uint64_t unknown_before = collector.stats().unknown_template_flowsets;
+  for (const auto& p : packets) collector.ingest(p, out);
+  EXPECT_GT(collector.stats().unknown_template_flowsets, unknown_before);
+}
+
+TEST(NetFlowV9Test, MalformedPacketRejected) {
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  std::vector<std::uint8_t> junk{0, 9, 0, 1};  // truncated header
+  EXPECT_FALSE(collector.ingest(junk, out));
+  EXPECT_EQ(collector.stats().malformed_packets, 1u);
+  // Wrong version.
+  std::vector<std::uint8_t> v5(20, 0);
+  v5[1] = 5;
+  EXPECT_FALSE(collector.ingest(v5, out));
+}
+
+TEST(NetFlowV9Test, EmptyInputStillEmitsTemplatePacket) {
+  nf9::Exporter exporter{{}};
+  const auto packets = exporter.export_flows({}, 1574000000);
+  ASSERT_EQ(packets.size(), 1u);
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(packets[0], out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(collector.stats().templates_learned, 2u);
+}
+
+TEST(IpfixTest, RoundtripMixedFamilies) {
+  ipfix::Exporter exporter{{.observation_domain = 9, .sampling = 10000}};
+  ipfix::Collector collector;
+  std::vector<FlowRecord> input;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    FlowRecord rec = i % 4 == 0 ? make_v6_record(i) : make_record(i);
+    rec.sampling = 10000;
+    rec.start_ms = 0x123456789aULL + i;  // exercise 64-bit timestamps
+    rec.end_ms = rec.start_ms + 100;
+    input.push_back(rec);
+  }
+  std::vector<FlowRecord> output;
+  for (const auto& msg : exporter.export_flows(input, 1574000000)) {
+    EXPECT_TRUE(collector.ingest(msg, output));
+  }
+  ASSERT_EQ(output.size(), input.size());
+  std::sort(input.begin(), input.end());
+  std::sort(output.begin(), output.end());
+  EXPECT_EQ(input, output);
+  EXPECT_EQ(collector.stats().sequence_gaps, 0u);
+}
+
+TEST(IpfixTest, MessageLengthIsValidated) {
+  ipfix::Exporter exporter{{}};
+  std::vector<FlowRecord> input{make_record(1)};
+  auto messages = exporter.export_flows(input, 1);
+  ASSERT_FALSE(messages.empty());
+  auto bad = messages[0];
+  bad[2] ^= 0x40;  // corrupt total length
+  ipfix::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_FALSE(collector.ingest(bad, out));
+  EXPECT_EQ(collector.stats().malformed_messages, 1u);
+}
+
+TEST(IpfixTest, SequenceGapDetected) {
+  ipfix::Exporter exporter{{.max_records_per_message = 2,
+                            .template_refresh_messages = 1000}};
+  std::vector<FlowRecord> input;
+  for (std::uint32_t i = 0; i < 8; ++i) input.push_back(make_record(i));
+  // First export message 0 with templates.
+  auto all = exporter.export_flows(input, 1);
+  ASSERT_GE(all.size(), 3u);
+  ipfix::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(all[0], out));
+  // Drop message 1: the sequence number of message 2 reveals the loss.
+  EXPECT_TRUE(collector.ingest(all[2], out));
+  EXPECT_EQ(collector.stats().sequence_gaps, 1u);
+}
+
+TEST(IpfixTest, VariableLengthAndEnterpriseFieldsSkipped) {
+  // Hand-craft a template with a variable-length field and an
+  // enterprise-numbered field around a sourceIPv4Address.
+  ByteWriter m;
+  m.u16(10);
+  const std::size_t total_off = m.size();
+  m.u16(0);
+  m.u32(1574000000);
+  m.u32(0);
+  m.u32(77);
+  // Template set: id 400, 3 fields: varlen(IE 210, len 65535),
+  // enterprise(IE 100, len 2, PEN 9999), sourceIPv4Address(IE 8, len 4).
+  const std::size_t set_off = m.size() + 2;
+  m.u16(2);
+  m.u16(0);
+  m.u16(400);
+  m.u16(3);
+  m.u16(210);
+  m.u16(0xffff);
+  m.u16(0x8000U | 100);
+  m.u16(2);
+  m.u32(9999);
+  m.u16(8);
+  m.u16(4);
+  m.patch_u16(set_off, static_cast<std::uint16_t>(m.size() - (set_off - 2)));
+  // Data set: one record: varlen len=3 "abc", enterprise 2 bytes, IPv4.
+  const std::size_t data_off = m.size() + 2;
+  m.u16(400);
+  m.u16(0);
+  m.u8(3);
+  m.u8('a');
+  m.u8('b');
+  m.u8('c');
+  m.u16(0xcafe);
+  m.u32(0x01020304);
+  m.patch_u16(data_off,
+              static_cast<std::uint16_t>(m.size() - (data_off - 2)));
+  m.patch_u16(total_off, static_cast<std::uint16_t>(m.size()));
+
+  ipfix::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(m.data(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key.src, net::IpAddress::v4(0x01020304));
+}
+
+TEST(SamplerTest, SystematicSelectsExactFraction) {
+  SystematicSampler sampler{10};
+  int selected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (sampler.sample()) ++selected;
+  }
+  EXPECT_EQ(selected, 100);
+  SystematicSampler all{1};
+  EXPECT_TRUE(all.sample());
+}
+
+TEST(SamplerTest, RandomSamplerApproximatesRate) {
+  RandomSampler sampler{100, util::Pcg32{5, 5}};
+  int selected = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    if (sampler.sample()) ++selected;
+  }
+  EXPECT_NEAR(static_cast<double>(selected) / kN, 0.01, 0.002);
+}
+
+TEST(SamplerTest, BinomialMoments) {
+  util::Pcg32 rng{31, 7};
+  // Small-n exact path.
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    sum += static_cast<double>(binomial(rng, 20, 0.3));
+  }
+  EXPECT_NEAR(sum / 20000, 6.0, 0.15);
+  // Large-n approximation paths.
+  sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    sum += static_cast<double>(binomial(rng, 100000, 0.001));
+  }
+  EXPECT_NEAR(sum / 20000, 100.0, 2.0);
+  EXPECT_EQ(binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(rng, 10, 0.0), 0u);
+  EXPECT_EQ(binomial(rng, 10, 1.0), 10u);
+}
+
+TEST(SamplerTest, ThinFlowVisibilityMatchesTheory) {
+  // P(visible) = 1 - (1-1/N)^packets.
+  util::Pcg32 rng{77, 3};
+  FlowRecord rec = make_record(1);
+  rec.packets = 1000;
+  rec.bytes = 1000 * 600;
+  constexpr std::uint32_t kInterval = 1000;
+  int visible = 0;
+  std::uint64_t sampled_packets = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (const auto thin = thin_flow(rec, kInterval, rng)) {
+      ++visible;
+      sampled_packets += thin->packets;
+      EXPECT_GE(thin->packets, 1u);
+      EXPECT_EQ(thin->sampling, kInterval);
+    }
+  }
+  const double p_visible = 1.0 - std::pow(1.0 - 1.0 / kInterval, 1000.0);
+  EXPECT_NEAR(static_cast<double>(visible) / kTrials, p_visible, 0.02);
+  // Unconditional mean of sampled packets = packets/N.
+  EXPECT_NEAR(static_cast<double>(sampled_packets) / kTrials, 1.0, 0.05);
+}
+
+TEST(SamplerTest, ThinFlowIdentityAtIntervalOne) {
+  util::Pcg32 rng{1, 1};
+  const FlowRecord rec = make_record(5);
+  const auto thin = thin_flow(rec, 1, rng);
+  ASSERT_TRUE(thin.has_value());
+  EXPECT_EQ(thin->packets, rec.packets);
+  EXPECT_EQ(thin->bytes, rec.bytes);
+}
+
+TEST(FlowCacheTest, AggregatesPacketsIntoFlow) {
+  FlowCache cache{{.active_timeout_ms = 60'000, .idle_timeout_ms = 15'000}};
+  std::vector<FlowRecord> out;
+  PacketEvent pkt;
+  pkt.key = make_record(1).key;
+  pkt.bytes = 100;
+  for (int i = 0; i < 5; ++i) {
+    pkt.timestamp_ms = 1000 + static_cast<std::uint64_t>(i) * 10;
+    pkt.tcp_flags = i == 0 ? tcpflags::kSyn : tcpflags::kAck;
+    cache.add(pkt, out);
+  }
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cache.active_flows(), 1u);
+  cache.flush_all(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].packets, 5u);
+  EXPECT_EQ(out[0].bytes, 500u);
+  EXPECT_EQ(out[0].tcp_flags, tcpflags::kSyn | tcpflags::kAck);
+  EXPECT_EQ(out[0].start_ms, 1000u);
+  EXPECT_EQ(out[0].end_ms, 1040u);
+}
+
+TEST(FlowCacheTest, IdleTimeoutExpires) {
+  FlowCache cache{{.active_timeout_ms = 600'000, .idle_timeout_ms = 10'000}};
+  std::vector<FlowRecord> out;
+  PacketEvent a;
+  a.key = make_record(1).key;
+  a.timestamp_ms = 0;
+  a.bytes = 10;
+  cache.add(a, out);
+  PacketEvent b;
+  b.key = make_record(2).key;
+  b.timestamp_ms = 30'000;  // sweeps out flow A
+  b.bytes = 10;
+  cache.add(b, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, a.key);
+}
+
+TEST(FlowCacheTest, ActiveTimeoutSplitsLongFlow) {
+  FlowCache cache{{.active_timeout_ms = 60'000, .idle_timeout_ms = 600'000}};
+  std::vector<FlowRecord> out;
+  PacketEvent pkt;
+  pkt.key = make_record(3).key;
+  pkt.bytes = 1;
+  for (std::uint64_t t = 0; t <= 70'000; t += 1'000) {
+    pkt.timestamp_ms = t;
+    cache.add(pkt, out);
+  }
+  EXPECT_GE(out.size(), 1u);  // at least one active-timeout export
+}
+
+TEST(EstablishedTcpTest, RequiresAckAndPush) {
+  FlowRecord rec = make_record(1);
+  rec.tcp_flags = tcpflags::kSyn;
+  EXPECT_FALSE(rec.shows_established_tcp());
+  rec.tcp_flags = tcpflags::kSyn | tcpflags::kAck | tcpflags::kPsh;
+  EXPECT_TRUE(rec.shows_established_tcp());
+  rec.key.proto = 17;  // UDP always passes
+  rec.tcp_flags = 0;
+  EXPECT_TRUE(rec.shows_established_tcp());
+}
+
+}  // namespace
+}  // namespace haystack::flow

@@ -1,0 +1,264 @@
+// Integration tests over the ground-truth pipeline: testbed generation →
+// ISP sampling → detection. Asserts the paper's Sec. 3/5 shapes with
+// tolerant bounds (exact values are seed-dependent; the *relationships*
+// are what the paper reports).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/detector.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/ground_truth.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/vantage.hpp"
+
+namespace haystack {
+namespace {
+
+class GroundTruthPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new simnet::Catalog();
+    backend_ = new simnet::Backend(*catalog_, simnet::BackendConfig{});
+    gt_ = new simnet::GroundTruthSim(*backend_, simnet::GroundTruthConfig{});
+    ruleset_ = new core::RuleSet(simnet::build_ruleset(*backend_));
+  }
+  static void TearDownTestSuite() {
+    delete ruleset_;
+    delete gt_;
+    delete backend_;
+    delete catalog_;
+  }
+
+  // Runs the sampled-ISP detector over a window; returns detection hours
+  // per service for the single ground-truth subscriber.
+  static std::map<core::ServiceId, util::HourBin> run_window(
+      util::HourBin start, util::HourBin end, double threshold) {
+    telemetry::IspVantage isp{
+        {.sampling = 1000, .wire_roundtrip = false}};
+    core::Detector det{ruleset_->hitlist, *ruleset_,
+                       {.threshold = threshold}};
+    std::map<core::ServiceId, util::HourBin> first_traffic;
+    for (util::HourBin h = start; h < end; ++h) {
+      const auto home = gt_->hour_flows(h);
+      for (const auto& f : home) {
+        if (f.unit && !first_traffic.contains(*f.unit)) {
+          first_traffic[*f.unit] = h;
+        }
+      }
+      for (const auto& f : isp.observe(home, h)) {
+        det.observe(1, f.flow.key.dst, f.flow.key.dst_port, f.flow.packets,
+                    h);
+      }
+    }
+    std::map<core::ServiceId, util::HourBin> latency;
+    for (const auto& rule : ruleset_->rules) {
+      if (const auto dh = det.detection_hour(1, rule.service)) {
+        const util::HourBin t0 = first_traffic.contains(rule.service)
+                                     ? first_traffic[rule.service]
+                                     : start;
+        latency[rule.service] = *dh - t0;
+      }
+    }
+    return latency;
+  }
+
+  static simnet::Catalog* catalog_;
+  static simnet::Backend* backend_;
+  static simnet::GroundTruthSim* gt_;
+  static core::RuleSet* ruleset_;
+};
+
+simnet::Catalog* GroundTruthPipeline::catalog_ = nullptr;
+simnet::Backend* GroundTruthPipeline::backend_ = nullptr;
+simnet::GroundTruthSim* GroundTruthPipeline::gt_ = nullptr;
+core::RuleSet* GroundTruthPipeline::ruleset_ = nullptr;
+
+TEST_F(GroundTruthPipeline, NoTrafficOutsideExperimentWindows) {
+  EXPECT_TRUE(gt_->hour_flows(util::day_start(5)).empty());   // Nov 20
+  EXPECT_TRUE(gt_->hour_flows(util::day_start(12)).empty());  // Nov 27
+  EXPECT_FALSE(gt_->hour_flows(0).empty());
+  EXPECT_FALSE(gt_->hour_flows(util::day_start(8)).empty());
+}
+
+TEST_F(GroundTruthPipeline, Testbed1LagsTestbed2InActiveWindow) {
+  std::set<unsigned> testbeds_hour0;
+  for (const auto& f : gt_->hour_flows(0)) {
+    testbeds_hour0.insert(
+        catalog_->instances()[f.instance].testbed);
+  }
+  EXPECT_EQ(testbeds_hour0, std::set<unsigned>{2});
+  std::set<unsigned> testbeds_hour13;
+  for (const auto& f : gt_->hour_flows(13)) {
+    testbeds_hour13.insert(catalog_->instances()[f.instance].testbed);
+  }
+  EXPECT_EQ(testbeds_hour13, (std::set<unsigned>{1, 2}));
+}
+
+TEST_F(GroundTruthPipeline, HomeVpUniqueServiceIpsInPaperRange) {
+  // Fig. 5(a): 500–1300 unique service IPs per hour during active
+  // experiments (both testbeds running).
+  for (const util::HourBin h : {24u, 48u, 80u}) {
+    std::set<net::IpAddress> ips;
+    for (const auto& f : gt_->hour_flows(h)) ips.insert(f.flow.key.dst);
+    EXPECT_GE(ips.size(), 500u) << "hour " << h;
+    EXPECT_LE(ips.size(), 1600u) << "hour " << h;
+  }
+}
+
+TEST_F(GroundTruthPipeline, SampledIpVisibilityNearPaper) {
+  // Sec. 3: ~16% of service IPs visible per hour at the ISP (idle);
+  // active hours are somewhat more visible in our reproduction.
+  telemetry::IspVantage isp{{.sampling = 1000, .wire_roundtrip = false}};
+  double idle_sum = 0;
+  int idle_hours = 0;
+  for (util::HourBin h = util::day_start(9); h < util::day_start(9) + 12;
+       ++h) {
+    const auto home = gt_->hour_flows(h);
+    const auto sampled = isp.observe(home, h);
+    std::set<net::IpAddress> home_ips;
+    std::set<net::IpAddress> isp_ips;
+    for (const auto& f : home) home_ips.insert(f.flow.key.dst);
+    for (const auto& f : sampled) isp_ips.insert(f.flow.key.dst);
+    idle_sum += static_cast<double>(isp_ips.size()) /
+                static_cast<double>(home_ips.size());
+    ++idle_hours;
+  }
+  const double idle_visibility = idle_sum / idle_hours;
+  EXPECT_GT(idle_visibility, 0.10);
+  EXPECT_LT(idle_visibility, 0.30);
+}
+
+TEST_F(GroundTruthPipeline, DeviceVisibilityNearPaper) {
+  // Sec. 3: 67%/64% of devices visible per hour (active/idle).
+  telemetry::IspVantage isp{{.sampling = 1000, .wire_roundtrip = false}};
+  auto device_visibility = [&](util::HourBin h) {
+    const auto home = gt_->hour_flows(h);
+    const auto sampled = isp.observe(home, h);
+    std::set<simnet::InstanceId> home_dev;
+    std::set<simnet::InstanceId> isp_dev;
+    for (const auto& f : home) home_dev.insert(f.instance);
+    for (const auto& f : sampled) isp_dev.insert(f.instance);
+    return static_cast<double>(isp_dev.size()) /
+           static_cast<double>(home_dev.size());
+  };
+  const double active = device_visibility(40);
+  const double idle = device_visibility(util::day_start(9) + 4);
+  EXPECT_GT(active, 0.5);
+  EXPECT_LT(active, 0.9);
+  EXPECT_GT(idle, 0.4);
+  EXPECT_LT(idle, 0.85);
+}
+
+TEST_F(GroundTruthPipeline, HeavyHittersLargelyVisible) {
+  // Fig. 6: >75% of the top-10% service IPs by bytes are visible.
+  telemetry::IspVantage isp{{.sampling = 1000, .wire_roundtrip = false}};
+  const util::HourBin h = 30;
+  const auto home = gt_->hour_flows(h);
+  const auto sampled = isp.observe(home, h);
+  telemetry::HeavyHitterView hh;
+  for (const auto& f : home) hh.add_reference(f.flow.key.dst, f.flow.bytes);
+  for (const auto& f : sampled) hh.mark_visible(f.flow.key.dst);
+  EXPECT_GT(hh.visible_fraction_of_top(0.1), 0.75);
+  EXPECT_GT(hh.visible_fraction_of_top(0.2),
+            hh.visible_fraction_of_top(0.3));
+  EXPECT_LT(hh.visible_fraction(), hh.visible_fraction_of_top(0.3));
+}
+
+TEST_F(GroundTruthPipeline, ActiveDetectionRatesMatchSec5) {
+  // "72/93/96% of IoT devices detectable at manufacturer or product level
+  // within 1/24/72 hours in the active mode" (D=0.4).
+  const auto latency = run_window(0, util::day_start(4), 0.4);
+  unsigned total = 0;
+  unsigned within1 = 0;
+  unsigned within24 = 0;
+  unsigned within72 = 0;
+  for (const auto& rule : ruleset_->rules) {
+    if (rule.level == core::Level::kPlatform) continue;
+    ++total;
+    const auto it = latency.find(rule.service);
+    if (it == latency.end()) continue;
+    if (it->second <= 1) ++within1;
+    if (it->second <= 24) ++within24;
+    if (it->second <= 72) ++within72;
+  }
+  EXPECT_EQ(total, 31u);
+  EXPECT_NEAR(100.0 * within1 / total, 72.0, 15.0);
+  EXPECT_NEAR(100.0 * within24 / total, 93.0, 10.0);
+  EXPECT_NEAR(100.0 * within72 / total, 96.0, 8.0);
+}
+
+TEST_F(GroundTruthPipeline, IdleDetectionSlowerAndSparser) {
+  // Idle mode: 40/73/76% within 1/24/72h, with several devices never
+  // detected — including Samsung TV, gated on its superclass (Sec. 5).
+  const auto start = util::day_start(util::kIdleFirstDay);
+  const auto latency = run_window(start, start + 72, 0.4);
+  unsigned total = 0;
+  unsigned within1 = 0;
+  unsigned within24 = 0;
+  unsigned within72 = 0;
+  unsigned never = 0;
+  for (const auto& rule : ruleset_->rules) {
+    if (rule.level == core::Level::kPlatform) continue;
+    ++total;
+    const auto it = latency.find(rule.service);
+    if (it == latency.end()) {
+      ++never;
+      continue;
+    }
+    if (it->second <= 1) ++within1;
+    if (it->second <= 24) ++within24;
+    if (it->second <= 72) ++within72;
+  }
+  EXPECT_NEAR(100.0 * within1 / total, 40.0, 20.0);
+  EXPECT_NEAR(100.0 * within24 / total, 73.0, 12.0);
+  EXPECT_NEAR(100.0 * within72 / total, 76.0, 12.0);
+  EXPECT_GE(never, 4u);  // paper: 6 undetectable over the idle window
+
+  const auto* stv = ruleset_->rule_by_name("Samsung TV");
+  ASSERT_NE(stv, nullptr);
+  EXPECT_FALSE(latency.contains(stv->service));
+}
+
+TEST_F(GroundTruthPipeline, HigherThresholdNeverFaster) {
+  // Property: raising D can only delay or lose detections (Fig. 10).
+  const auto low = run_window(0, util::day_start(4), 0.2);
+  const auto high = run_window(0, util::day_start(4), 0.8);
+  for (const auto& [service, t_high] : high) {
+    const auto it = low.find(service);
+    ASSERT_NE(it, low.end()) << "detected at D=0.8 but not D=0.2";
+    EXPECT_LE(it->second, t_high);
+  }
+  EXPECT_LE(high.size(), low.size());
+}
+
+TEST_F(GroundTruthPipeline, InteractionBudgetRoughlyMatches9810) {
+  std::uint64_t total = 0;
+  for (const auto& inst : catalog_->instances()) {
+    for (util::HourBin h = 0; h < util::day_start(4); ++h) {
+      total += gt_->interactions_in(inst.id, h);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(total), 9810.0, 9810.0 * 0.15);
+}
+
+TEST_F(GroundTruthPipeline, WireRoundtripDoesNotChangeResults) {
+  // The NetFlow codec on the path must be lossless: same detections with
+  // and without the wire round trip.
+  telemetry::IspVantage wire{{.sampling = 1000, .wire_roundtrip = true}};
+  telemetry::IspVantage direct{{.sampling = 1000, .wire_roundtrip = false}};
+  const auto home = gt_->hour_flows(24);
+  const auto a = wire.observe(home, 24);
+  const auto b = direct.observe(home, 24);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].flow, b[i].flow);
+  }
+  EXPECT_EQ(wire.wire_stats().malformed_packets, 0u);
+  EXPECT_GT(wire.wire_stats().records, 0u);
+}
+
+}  // namespace
+}  // namespace haystack

@@ -1,0 +1,141 @@
+// Unit tests for the dedicated-vs-shared classifier (Sec. 4.2), driven by
+// hand-built passive-DNS and scan databases so every rule branch is pinned:
+// the exclusive-IP rule, the EC2-CNAME case, the CDN case, churn handling,
+// and the certificate fallback.
+#include <gtest/gtest.h>
+
+#include "core/infra_classifier.hpp"
+
+namespace haystack::core {
+namespace {
+
+ServiceDomain make_domain(const std::string& name, bool https = false,
+                          std::optional<std::uint64_t> banner = {}) {
+  ServiceDomain d;
+  d.fqdn = dns::Fqdn{name};
+  d.port = 443;
+  d.https = https;
+  d.banner = banner;
+  return d;
+}
+
+class InfraClassifierTest : public ::testing::Test {
+ protected:
+  dns::PassiveDnsDb pdns_;
+  tlscert::CertScanDb scans_;
+
+  InfraClassifier classifier() {
+    return InfraClassifier{pdns_, scans_, 0, util::kStudyDays - 1};
+  }
+};
+
+TEST_F(InfraClassifierTest, DirectDedicatedDomain) {
+  const dns::Fqdn name{"api.ring.com"};
+  pdns_.add_a(name, *net::IpAddress::parse("140.1.0.1"), 0,
+              util::kStudyDays - 1);
+  const auto result = classifier().classify(make_domain("api.ring.com"));
+  EXPECT_EQ(result.cls, InfraClass::kDedicated);
+  ASSERT_EQ(result.daily_ips.size(), util::kStudyDays);
+  EXPECT_EQ(result.daily_ips[0].size(), 1u);
+}
+
+TEST_F(InfraClassifierTest, SameSldCoTenancyStaysDedicated) {
+  // api.ring.com and events.ring.com on one IP: same SLD -> exclusive.
+  const auto ip = *net::IpAddress::parse("140.1.0.2");
+  pdns_.add_a(dns::Fqdn{"api.ring.com"}, ip, 0, util::kStudyDays - 1);
+  pdns_.add_a(dns::Fqdn{"events.ring.com"}, ip, 0, util::kStudyDays - 1);
+  EXPECT_EQ(classifier().classify(make_domain("api.ring.com")).cls,
+            InfraClass::kDedicated);
+}
+
+TEST_F(InfraClassifierTest, CloudVmCnameChainIsDedicated) {
+  // The Sec. 4.2.1 EC2 example: devA.com -> devA-VM.ec2compute... -> IP,
+  // and the IP serves only that chain.
+  const dns::Fqdn dev{"deva.com"};
+  const dns::Fqdn vm{"deva-vm.ec2compute.cloudsim.net"};
+  const auto ip = *net::IpAddress::parse("52.0.0.7");
+  pdns_.add_cname(dev, vm, 0, util::kStudyDays - 1);
+  pdns_.add_a(vm, ip, 0, util::kStudyDays - 1);
+  EXPECT_EQ(classifier().classify(make_domain("deva.com")).cls,
+            InfraClass::kDedicated);
+}
+
+TEST_F(InfraClassifierTest, CdnCoTenancyIsShared) {
+  // The Sec. 4.2.1 Akamai example: devB.com -> devB.com.akadns.net -> IP,
+  // and anothersite.com.akadns.net maps to the same IP.
+  const auto ip = *net::IpAddress::parse("23.0.0.9");
+  pdns_.add_cname(dns::Fqdn{"devb.com"}, dns::Fqdn{"devb.com.akadns.net"}, 0,
+                  util::kStudyDays - 1);
+  pdns_.add_a(dns::Fqdn{"devb.com.akadns.net"}, ip, 0, util::kStudyDays - 1);
+  pdns_.add_a(dns::Fqdn{"anothersite.com.akadns.net"}, ip, 0,
+              util::kStudyDays - 1);
+  EXPECT_EQ(classifier().classify(make_domain("devb.com")).cls,
+            InfraClass::kShared);
+}
+
+TEST_F(InfraClassifierTest, SharedOnAnySingleDayIsShared) {
+  // Dedicated for all days requires exclusivity every day: one bad day
+  // (IP re-used by a foreign domain) flips the verdict.
+  const dns::Fqdn name{"api.devc.com"};
+  const auto ip = *net::IpAddress::parse("140.2.0.1");
+  pdns_.add_a(name, ip, 0, util::kStudyDays - 1);
+  pdns_.add_a(dns::Fqdn{"foreign.org"}, ip, 5, 5);
+  EXPECT_EQ(classifier().classify(make_domain("api.devc.com")).cls,
+            InfraClass::kShared);
+}
+
+TEST_F(InfraClassifierTest, ChurnAcrossDaysStaysDedicated) {
+  // Different IPs on different days, each exclusive: still dedicated, and
+  // the daily index reflects the churn.
+  const dns::Fqdn name{"api.devd.com"};
+  pdns_.add_a(name, *net::IpAddress::parse("140.3.0.1"), 0, 6);
+  pdns_.add_a(name, *net::IpAddress::parse("140.3.0.2"), 7,
+              util::kStudyDays - 1);
+  const auto result = classifier().classify(make_domain("api.devd.com"));
+  EXPECT_EQ(result.cls, InfraClass::kDedicated);
+  EXPECT_EQ(result.daily_ips[0][0], *net::IpAddress::parse("140.3.0.1"));
+  EXPECT_EQ(result.daily_ips[13][0], *net::IpAddress::parse("140.3.0.2"));
+}
+
+TEST_F(InfraClassifierTest, NoDnsRecordNoHttpsIsNoData) {
+  EXPECT_EQ(classifier().classify(make_domain("ghost.example.com")).cls,
+            InfraClass::kNoData);
+}
+
+TEST_F(InfraClassifierTest, CertScanFallbackRecoversMissingDomain) {
+  // No passive-DNS record, but the scan dataset has a matching dedicated
+  // certificate + banner on two IPs.
+  tlscert::Certificate cert;
+  cert.subject_cn = dns::Fqdn{"*.deve.com"};
+  cert.sans.emplace_back("deve.com");
+  scans_.add({*net::IpAddress::parse("52.0.1.1"), cert, 42, 0,
+              util::kStudyDays - 1});
+  scans_.add({*net::IpAddress::parse("52.0.1.2"), cert, 42, 0,
+              util::kStudyDays - 1});
+  const auto result =
+      classifier().classify(make_domain("c.deve.com", true, 42));
+  EXPECT_EQ(result.cls, InfraClass::kViaCertScan);
+  ASSERT_EQ(result.daily_ips.size(), util::kStudyDays);
+  EXPECT_EQ(result.daily_ips[3].size(), 2u);
+}
+
+TEST_F(InfraClassifierTest, CertScanNeedsBanner) {
+  tlscert::Certificate cert;
+  cert.subject_cn = dns::Fqdn{"*.devf.com"};
+  scans_.add({*net::IpAddress::parse("52.0.2.1"), cert, 42, 0, 13});
+  // HTTPS but no recorded banner checksum -> no fallback possible.
+  EXPECT_EQ(classifier().classify(make_domain("c.devf.com", true)).cls,
+            InfraClass::kNoData);
+}
+
+TEST_F(InfraClassifierTest, CertScanWrongBannerIsNoData) {
+  tlscert::Certificate cert;
+  cert.subject_cn = dns::Fqdn{"*.devg.com"};
+  cert.sans.emplace_back("devg.com");
+  scans_.add({*net::IpAddress::parse("52.0.3.1"), cert, 42, 0, 13});
+  EXPECT_EQ(classifier().classify(make_domain("c.devg.com", true, 43)).cls,
+            InfraClass::kNoData);
+}
+
+}  // namespace
+}  // namespace haystack::core

@@ -1,0 +1,113 @@
+// Tests for the manual-analysis bridge and the rate model: ServiceSpec
+// construction from the catalog, banner plumbing, critical-domain marking,
+// and rate determinism.
+#include <gtest/gtest.h>
+
+#include "simnet/backend.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "simnet/rates.hpp"
+
+namespace haystack::simnet {
+namespace {
+
+class ManualAnalysisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    backend_ = new Backend(*catalog_, BackendConfig{});
+    specs_ = new std::vector<core::ServiceSpec>(
+        build_service_specs(*backend_));
+  }
+  static void TearDownTestSuite() {
+    delete specs_;
+    delete backend_;
+    delete catalog_;
+  }
+  static Catalog* catalog_;
+  static Backend* backend_;
+  static std::vector<core::ServiceSpec>* specs_;
+};
+
+Catalog* ManualAnalysisTest::catalog_ = nullptr;
+Backend* ManualAnalysisTest::backend_ = nullptr;
+std::vector<core::ServiceSpec>* ManualAnalysisTest::specs_ = nullptr;
+
+TEST_F(ManualAnalysisTest, OneSpecPerUnitWithMatchingIds) {
+  ASSERT_EQ(specs_->size(), catalog_->units().size());
+  for (std::size_t i = 0; i < specs_->size(); ++i) {
+    EXPECT_EQ((*specs_)[i].id, catalog_->units()[i].id);
+    EXPECT_EQ((*specs_)[i].name, catalog_->units()[i].name);
+  }
+}
+
+TEST_F(ManualAnalysisTest, HttpsDomainsCarryBanners) {
+  for (const auto& spec : *specs_) {
+    for (const auto& dom : spec.domains) {
+      EXPECT_EQ(dom.banner.has_value(), dom.https) << dom.fqdn.str();
+      if (dom.banner) {
+        EXPECT_EQ(*dom.banner, backend_->banner_checksum(dom.fqdn));
+      }
+    }
+  }
+}
+
+TEST_F(ManualAnalysisTest, CriticalIndexPointsAtPrimaryDomain) {
+  for (const auto& spec : *specs_) {
+    ASSERT_LT(spec.critical_index, spec.domains.size()) << spec.name;
+    EXPECT_FALSE(spec.domains[spec.critical_index].support) << spec.name;
+  }
+  // Samsung's critical domain is samsungotn.net and is sufficient.
+  const auto* samsung = catalog_->unit_by_name("Samsung IoT");
+  const auto& spec = (*specs_)[samsung->id];
+  EXPECT_TRUE(spec.critical_sufficient);
+  EXPECT_EQ(spec.domains[spec.critical_index].fqdn.str(), "samsungotn.net");
+}
+
+TEST_F(ManualAnalysisTest, NonExclusiveDomainsMarked) {
+  const auto* samsung = catalog_->unit_by_name("Samsung IoT");
+  const auto& spec = (*specs_)[samsung->id];
+  unsigned non_exclusive = 0;
+  for (const auto& dom : spec.domains) {
+    if (!dom.iot_exclusive) ++non_exclusive;
+  }
+  EXPECT_EQ(non_exclusive, samsung->non_exclusive_domains);
+}
+
+TEST_F(ManualAnalysisTest, HierarchyMirrorsCatalog) {
+  const auto* firetv = catalog_->unit_by_name("Fire TV");
+  const auto& spec = (*specs_)[firetv->id];
+  ASSERT_TRUE(spec.parent.has_value());
+  EXPECT_EQ(*spec.parent, *firetv->parent);
+}
+
+TEST(RateModelTest, DeterministicAndPositive) {
+  Catalog catalog;
+  const DomainRateModel a{catalog, 7};
+  const DomainRateModel b{catalog, 7};
+  const DomainRateModel other{catalog, 8};
+  int diverged = 0;
+  for (const auto& unit : catalog.units()) {
+    for (const auto* dom : catalog.domains_of(unit.id)) {
+      const double rate = a.idle_rate(unit.id, dom->index);
+      EXPECT_GT(rate, 0.0);
+      EXPECT_EQ(rate, b.idle_rate(unit.id, dom->index));
+      if (rate != other.idle_rate(unit.id, dom->index)) ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 100);
+}
+
+TEST(RateModelTest, LeadDomainClampKeepsUnitsAlive) {
+  // The lead (index-0) domain of every unit is clamped to [0.8, 4] times
+  // the unit mean, so no unit can be silenced by one unlucky draw.
+  Catalog catalog;
+  const DomainRateModel rates{catalog, 7};
+  for (const auto& unit : catalog.units()) {
+    const double rate = rates.idle_rate(unit.id, 0);
+    EXPECT_GE(rate, unit.idle_pkts_per_domain_hour * 0.8 - 1e-9) << unit.name;
+    EXPECT_LE(rate, unit.idle_pkts_per_domain_hour * 4.0 + 1e-9) << unit.name;
+  }
+}
+
+}  // namespace
+}  // namespace haystack::simnet

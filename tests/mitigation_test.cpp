@@ -1,0 +1,136 @@
+// Tests for mitigation planning and incident forensics (Sec. 7.2):
+// block/redirect plans compiled from the hitlist, and the common-device
+// ranking over a simulated botnet.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/detector.hpp"
+#include "core/forensics.hpp"
+#include "core/mitigation.hpp"
+#include "simnet/attack.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "simnet/population.hpp"
+#include "simnet/wild_isp.hpp"
+
+namespace haystack {
+namespace {
+
+class MitigationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new simnet::Catalog();
+    backend_ = new simnet::Backend(*catalog_, simnet::BackendConfig{});
+    rules_ = new core::RuleSet(simnet::build_ruleset(*backend_));
+  }
+  static void TearDownTestSuite() {
+    delete rules_;
+    delete backend_;
+    delete catalog_;
+  }
+  static simnet::Catalog* catalog_;
+  static simnet::Backend* backend_;
+  static core::RuleSet* rules_;
+};
+
+simnet::Catalog* MitigationTest::catalog_ = nullptr;
+simnet::Backend* MitigationTest::backend_ = nullptr;
+core::RuleSet* MitigationTest::rules_ = nullptr;
+
+TEST_F(MitigationTest, BlockPlanCoversServiceInfrastructure) {
+  core::MitigationPlanner planner{*rules_,
+                                  *net::IpAddress::parse("192.0.2.254")};
+  ASSERT_TRUE(planner.request("Yi Camera", core::MitigationAction::kBlock));
+  const auto plan = planner.compile(0);
+  ASSERT_FALSE(plan.entries().empty());
+
+  // Every day-0 service IP of Yi Camera must be covered.
+  const auto* yi = rules_->rule_by_name("Yi Camera");
+  std::size_t covered = 0;
+  rules_->hitlist.for_each([&](util::DayBin day, const net::IpAddress& ip,
+                               std::uint16_t port, const core::Hit& hit) {
+    if (day != 0 || hit.service != yi->service) return;
+    const auto* entry = plan.match(ip, port);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->action, core::MitigationAction::kBlock);
+    ++covered;
+  });
+  EXPECT_GT(covered, 0u);
+  EXPECT_EQ(plan.entries().size(), covered);
+}
+
+TEST_F(MitigationTest, RedirectCarriesSinkhole) {
+  const auto sinkhole = *net::IpAddress::parse("192.0.2.254");
+  core::MitigationPlanner planner{*rules_, sinkhole};
+  ASSERT_TRUE(
+      planner.request("Ring Doorbell", core::MitigationAction::kRedirect));
+  const auto plan = planner.compile(2);
+  ASSERT_FALSE(plan.entries().empty());
+  for (const auto& entry : plan.entries()) {
+    EXPECT_EQ(entry.action, core::MitigationAction::kRedirect);
+    EXPECT_EQ(entry.redirect_to, sinkhole);
+  }
+}
+
+TEST_F(MitigationTest, UnrelatedTrafficUnmatched) {
+  core::MitigationPlanner planner{*rules_,
+                                  *net::IpAddress::parse("192.0.2.254")};
+  planner.request("Yi Camera", core::MitigationAction::kBlock);
+  const auto plan = planner.compile(0);
+  EXPECT_EQ(plan.match(*net::IpAddress::parse("8.8.8.8"), 443), nullptr);
+  // Another service's infrastructure is not touched.
+  const auto* ring = rules_->rule_by_name("Ring Doorbell");
+  rules_->hitlist.for_each([&](util::DayBin day, const net::IpAddress& ip,
+                               std::uint16_t port, const core::Hit& hit) {
+    if (day != 0 || hit.service != ring->service) return;
+    EXPECT_EQ(plan.match(ip, port), nullptr);
+  });
+}
+
+TEST_F(MitigationTest, UnknownServiceRequestRejected) {
+  core::MitigationPlanner planner{*rules_,
+                                  *net::IpAddress::parse("192.0.2.254")};
+  EXPECT_FALSE(planner.request("No Such Device",
+                               core::MitigationAction::kBlock));
+}
+
+TEST(ForensicsTest, BotnetSourceDeviceIdentified) {
+  simnet::Catalog catalog;
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+  const core::RuleSet rules = simnet::build_ruleset(backend);
+  simnet::Population population{catalog, {.lines = 40'000}};
+  simnet::DomainRateModel rates{catalog, 7};
+  simnet::WildIspSim wild{backend, population, rates,
+                          simnet::WildIspConfig{}};
+  simnet::AttackConfig attack_config;
+  attack_config.product_name = "Yi Cam";
+  simnet::BotnetSim botnet{population, attack_config};
+  ASSERT_GT(botnet.infected().size(), 10u);
+
+  // The ISP's view: detection evidence over a day, plus the set of lines
+  // sourcing suspicious (flood) traffic.
+  core::Detector detector{rules.hitlist, rules, {.threshold = 0.4}};
+  std::unordered_set<core::SubscriberKey> suspicious;
+  for (util::HourBin h = 0; h < 24; ++h) {
+    wild.hour_observations(h, [&](const simnet::WildObs& o) {
+      detector.observe(o.line, o.flow.key.dst, o.flow.key.dst_port,
+                       o.flow.packets, h);
+    });
+    botnet.hour_attack_observations(h, [&](const simnet::AttackObs& o) {
+      // A flood source is suspicious once its sampled volume stands out.
+      if (o.flow.packets >= 10) suspicious.insert(o.line);
+    });
+  }
+  ASSERT_GT(suspicious.size(), 10u);
+
+  const auto ranking = core::rank_common_services(detector, suspicious);
+  ASSERT_FALSE(ranking.empty());
+  // The compromised product's unit tops the lift ranking.
+  EXPECT_EQ(ranking.front().name, "Yi Camera");
+  EXPECT_GT(ranking.front().lift, 5.0);
+  EXPECT_GT(ranking.front().suspicious_share, 0.5);
+}
+
+}  // namespace
+}  // namespace haystack

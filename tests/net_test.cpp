@@ -1,0 +1,253 @@
+// Unit tests for the net substrate: address parsing/formatting, prefixes,
+// longest-prefix-match trie, port taxonomy, and the AS registry.
+#include <gtest/gtest.h>
+
+#include "net/asn.hpp"
+#include "net/ip_address.hpp"
+#include "net/ports.hpp"
+#include "net/prefix.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::net {
+namespace {
+
+TEST(IpAddressTest, V4ParseFormatRoundtrip) {
+  for (const char* text : {"0.0.0.0", "127.0.0.1", "255.255.255.255",
+                           "192.0.2.1", "10.11.12.13"}) {
+    const auto addr = IpAddress::parse(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(addr->to_string(), text);
+    EXPECT_TRUE(addr->is_v4());
+  }
+}
+
+TEST(IpAddressTest, V4RejectsMalformed) {
+  for (const char* text :
+       {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.-4", "a.b.c.d",
+        "1..2.3", "1.2.3.4 ", "01.2.3.4567"}) {
+    EXPECT_FALSE(IpAddress::parse(text).has_value()) << text;
+  }
+}
+
+TEST(IpAddressTest, V6ParseFormatRoundtrip) {
+  // Canonical RFC 5952 forms survive a round trip.
+  for (const char* text :
+       {"::", "::1", "2001:db8::1", "fe80::1:2:3", "2001:db8:1:2:3:4:5:6",
+        "ff02::2"}) {
+    const auto addr = IpAddress::parse(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(addr->to_string(), text);
+    EXPECT_TRUE(addr->is_v6());
+  }
+}
+
+TEST(IpAddressTest, V6CompressionIsCanonical) {
+  EXPECT_EQ(IpAddress::parse("2001:0db8:0:0:0:0:0:1")->to_string(),
+            "2001:db8::1");
+  EXPECT_EQ(IpAddress::parse("0:0:0:0:0:0:0:0")->to_string(), "::");
+}
+
+TEST(IpAddressTest, V6RejectsMalformed) {
+  for (const char* text :
+       {":", ":::", "1::2::3", "2001:db8", "12345::", "g::1",
+        "1:2:3:4:5:6:7:8:9"}) {
+    EXPECT_FALSE(IpAddress::parse(text).has_value()) << text;
+  }
+}
+
+TEST(IpAddressTest, OrderingAndHashing) {
+  const auto a = IpAddress::v4(1);
+  const auto b = IpAddress::v4(2);
+  EXPECT_LT(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+  // Family separates equal numeric values.
+  EXPECT_NE(IpAddress::v4(5), IpAddress::v6(0, 5));
+}
+
+TEST(IpAddressTest, BitAccess) {
+  const auto addr = *IpAddress::parse("128.0.0.1");
+  EXPECT_TRUE(addr.bit(0));
+  EXPECT_FALSE(addr.bit(1));
+  EXPECT_TRUE(addr.bit(31));
+  const auto v6 = IpAddress::v6(0x8000000000000000ULL, 1);
+  EXPECT_TRUE(v6.bit(0));
+  EXPECT_TRUE(v6.bit(127));
+  EXPECT_FALSE(v6.bit(64));
+}
+
+TEST(IpAddressTest, BytesLayout) {
+  const auto addr = *IpAddress::parse("1.2.3.4");
+  const auto bytes = addr.bytes();
+  EXPECT_EQ(bytes[12], 1);
+  EXPECT_EQ(bytes[13], 2);
+  EXPECT_EQ(bytes[14], 3);
+  EXPECT_EQ(bytes[15], 4);
+}
+
+TEST(PrefixTest, NormalizesHostBits) {
+  const auto p = Prefix::of(*IpAddress::parse("192.0.2.99"), 24);
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(p, *Prefix::parse("192.0.2.0/24"));
+}
+
+TEST(PrefixTest, Contains) {
+  const auto p = *Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(*IpAddress::parse("10.255.0.1")));
+  EXPECT_FALSE(p.contains(*IpAddress::parse("11.0.0.1")));
+  EXPECT_FALSE(p.contains(IpAddress::v6(0, 0)));  // family mismatch
+  const auto all = *Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(*IpAddress::parse("200.1.2.3")));
+}
+
+TEST(PrefixTest, CoversAndV6) {
+  EXPECT_TRUE(Prefix::parse("10.0.0.0/8")->covers(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_FALSE(
+      Prefix::parse("10.1.0.0/16")->covers(*Prefix::parse("10.0.0.0/8")));
+  const auto p6 = *Prefix::parse("2001:db8::/32");
+  EXPECT_TRUE(p6.contains(*IpAddress::parse("2001:db8:ffff::1")));
+  EXPECT_FALSE(p6.contains(*IpAddress::parse("2001:db9::1")));
+  // Masking across the 64-bit boundary.
+  const auto p96 = *Prefix::parse("2001:db8::1:0:0/96");
+  EXPECT_TRUE(p96.contains(*IpAddress::parse("2001:db8::1:0:5")));
+  EXPECT_FALSE(p96.contains(*IpAddress::parse("2001:db8::2:0:5")));
+}
+
+TEST(PrefixTest, ParseRejectsBadInput) {
+  for (const char* text : {"10.0.0.0", "10.0.0.0/33", "10.0.0.0/x",
+                           "2001:db8::/129", "/24", "10.0.0.0/"}) {
+    EXPECT_FALSE(Prefix::parse(text).has_value()) << text;
+  }
+}
+
+TEST(AggregateTest, V4Is24V6Is56) {
+  EXPECT_EQ(aggregate_of(*IpAddress::parse("198.51.100.77")).to_string(),
+            "198.51.100.0/24");
+  EXPECT_EQ(aggregate_of(*IpAddress::parse("2001:db8:1:230::1")).length(),
+            56u);
+}
+
+TEST(PrefixTrieTest, LongestPrefixMatchWins) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 2);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 3);
+  EXPECT_EQ(trie.lookup(*IpAddress::parse("10.1.2.3")), 3);
+  EXPECT_EQ(trie.lookup(*IpAddress::parse("10.1.9.9")), 2);
+  EXPECT_EQ(trie.lookup(*IpAddress::parse("10.9.9.9")), 1);
+  EXPECT_EQ(trie.lookup(*IpAddress::parse("11.0.0.1")), std::nullopt);
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(PrefixTrieTest, ExactMatchAndOverwrite) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 7);
+  EXPECT_EQ(trie.exact(*Prefix::parse("10.0.0.0/8")), 7);
+  EXPECT_EQ(trie.exact(*Prefix::parse("10.0.0.0/9")), std::nullopt);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrieTest, FamiliesAreSegregated) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("0.0.0.0/0"), 4);
+  trie.insert(*Prefix::parse("::/0"), 6);
+  EXPECT_EQ(trie.lookup(*IpAddress::parse("8.8.8.8")), 4);
+  EXPECT_EQ(trie.lookup(*IpAddress::parse("2001:db8::1")), 6);
+}
+
+TEST(PrefixTrieTest, ForEachVisitsEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("192.168.0.0/16"), 2);
+  trie.insert(*Prefix::parse("2001:db8::/32"), 3);
+  int sum = 0;
+  std::size_t count = 0;
+  trie.for_each([&](const Prefix& p, int v) {
+    sum += v;
+    ++count;
+    EXPECT_EQ(trie.exact(p), v);
+  });
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(PrefixTrieTest, RandomizedAgainstLinearScan) {
+  // Property: trie lookup == brute-force longest-prefix scan.
+  PrefixTrie<std::uint32_t> trie;
+  std::vector<Prefix> prefixes;
+  util::Pcg32 rng{2024, 9};
+  for (int i = 0; i < 300; ++i) {
+    const auto base = IpAddress::v4(rng());
+    const unsigned length = rng.bounded(25) + 8;
+    const auto prefix = Prefix::of(base, length);
+    trie.insert(prefix, static_cast<std::uint32_t>(prefixes.size()));
+    prefixes.push_back(prefix);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const auto addr = IpAddress::v4(rng());
+    bool found = false;
+    unsigned best_len = 0;
+    for (const Prefix& p : prefixes) {
+      if (p.contains(addr)) {
+        found = true;
+        best_len = std::max(best_len, p.length());
+      }
+    }
+    const auto result = trie.lookup(addr);
+    ASSERT_EQ(result.has_value(), found);
+    if (result) {
+      // The matched value indexes some prefix of the winning length
+      // (duplicate prefixes overwrite, so compare lengths, not indices).
+      EXPECT_EQ(prefixes[*result].length(), best_len);
+    }
+  }
+}
+
+TEST(PortsTest, Classification) {
+  EXPECT_EQ(classify_port(443), PortClass::kWeb);
+  EXPECT_EQ(classify_port(80), PortClass::kWeb);
+  EXPECT_EQ(classify_port(8080), PortClass::kWeb);
+  EXPECT_EQ(classify_port(123), PortClass::kNtp);
+  EXPECT_EQ(classify_port(53), PortClass::kDns);
+  EXPECT_EQ(classify_port(8883), PortClass::kOther);
+  EXPECT_EQ(port_class_name(PortClass::kWeb), "Web");
+}
+
+TEST(PortsTest, ServerHeuristic) {
+  EXPECT_TRUE(is_well_known_server_port(443));
+  EXPECT_TRUE(is_well_known_server_port(8883));
+  EXPECT_FALSE(is_well_known_server_port(34567));
+}
+
+TEST(AsnRegistryTest, OriginAndRoles) {
+  AsnRegistry registry;
+  registry.add_as({64500, "Eyeball", AsRole::kEyeball});
+  registry.add_as({64510, "Cloud", AsRole::kCloud});
+  registry.announce(*Prefix::parse("100.64.0.0/10"), 64500);
+  registry.announce(*Prefix::parse("52.0.0.0/11"), 64510);
+  registry.announce(*Prefix::parse("52.16.0.0/16"), 64510);
+
+  EXPECT_EQ(registry.origin(*IpAddress::parse("100.64.1.2")), 64500u);
+  EXPECT_EQ(registry.origin(*IpAddress::parse("52.16.3.4")), 64510u);
+  EXPECT_EQ(registry.origin(*IpAddress::parse("9.9.9.9")), std::nullopt);
+  EXPECT_EQ(registry.role_of(*IpAddress::parse("100.64.1.2")),
+            AsRole::kEyeball);
+  EXPECT_TRUE(registry.is_cloud_or_cdn(*IpAddress::parse("52.1.1.1")));
+  EXPECT_FALSE(registry.is_cloud_or_cdn(*IpAddress::parse("100.64.1.1")));
+  ASSERT_NE(registry.info(64500), nullptr);
+  EXPECT_EQ(registry.info(64500)->name, "Eyeball");
+  EXPECT_EQ(registry.info(1), nullptr);
+}
+
+TEST(AsnRegistryTest, ReannounceUpdatesMetadata) {
+  AsnRegistry registry;
+  registry.add_as({64500, "Old", AsRole::kTransit});
+  registry.add_as({64500, "New", AsRole::kCdn});
+  EXPECT_EQ(registry.all().size(), 1u);
+  EXPECT_EQ(registry.info(64500)->name, "New");
+  EXPECT_EQ(registry.info(64500)->role, AsRole::kCdn);
+}
+
+}  // namespace
+}  // namespace haystack::net

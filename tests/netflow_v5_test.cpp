@@ -1,0 +1,101 @@
+// Tests for the NetFlow v5 codec: fixed-format round trip, header sampling
+// propagation, IPv6 rejection, sequence tracking, malformed input.
+#include <gtest/gtest.h>
+
+#include "flow/netflow_v5.hpp"
+
+namespace haystack::flow::nf5 {
+namespace {
+
+FlowRecord make_record(std::uint32_t salt) {
+  FlowRecord rec;
+  rec.key.src = net::IpAddress::v4(0x64400000 + salt);
+  rec.key.dst = net::IpAddress::v4(0x8C000000 + salt);
+  rec.key.src_port = static_cast<std::uint16_t>(40000 + salt);
+  rec.key.dst_port = 443;
+  rec.key.proto = 6;
+  rec.tcp_flags = 0x1b;
+  rec.packets = 5 + salt;
+  rec.bytes = 500 + salt;
+  rec.start_ms = salt * 100;
+  rec.end_ms = salt * 100 + 50;
+  rec.sampling = 1000;
+  return rec;
+}
+
+TEST(NetFlowV5Test, RoundtripWithSampling) {
+  Exporter exporter{{.engine_id = 3, .sampling = 1000}};
+  Collector collector;
+  std::vector<FlowRecord> input;
+  for (std::uint32_t i = 0; i < 75; ++i) input.push_back(make_record(i));
+
+  std::vector<FlowRecord> output;
+  const auto packets = exporter.export_flows(input, 1574000000);
+  // 75 records at 30/packet = 3 packets.
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].size(), kHeaderBytes + 30 * kRecordBytes);
+  for (const auto& packet : packets) {
+    EXPECT_TRUE(collector.ingest(packet, output));
+  }
+  ASSERT_EQ(output.size(), input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_EQ(output[i].key, input[i].key);
+    EXPECT_EQ(output[i].packets, input[i].packets);
+    EXPECT_EQ(output[i].bytes, input[i].bytes);
+    EXPECT_EQ(output[i].tcp_flags, input[i].tcp_flags);
+    // The per-record sampling comes from the header.
+    EXPECT_EQ(output[i].sampling, 1000u);
+  }
+  EXPECT_EQ(collector.stats().sequence_gaps, 0u);
+}
+
+TEST(NetFlowV5Test, Ipv6RecordsAreSkippedAndCounted) {
+  Exporter exporter{{}};
+  FlowRecord v6 = make_record(1);
+  v6.key.src = net::IpAddress::v6(1, 2);
+  const auto packets = exporter.export_flows(std::vector{v6}, 1);
+  EXPECT_TRUE(packets.empty());
+  EXPECT_EQ(exporter.skipped_ipv6(), 1u);
+}
+
+TEST(NetFlowV5Test, SequenceGapDetected) {
+  Exporter exporter{{}};
+  std::vector<FlowRecord> input;
+  for (std::uint32_t i = 0; i < 90; ++i) input.push_back(make_record(i));
+  const auto packets = exporter.export_flows(input, 1);
+  ASSERT_EQ(packets.size(), 3u);
+  Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(packets[0], out));
+  EXPECT_TRUE(collector.ingest(packets[2], out));  // packet 1 lost
+  EXPECT_EQ(collector.stats().sequence_gaps, 1u);
+}
+
+TEST(NetFlowV5Test, MalformedRejected) {
+  Collector collector;
+  std::vector<FlowRecord> out;
+  // Truncated header.
+  std::vector<std::uint8_t> junk(10, 0);
+  EXPECT_FALSE(collector.ingest(junk, out));
+  // Count/size mismatch.
+  std::vector<std::uint8_t> bad(kHeaderBytes + kRecordBytes, 0);
+  bad[1] = 5;   // version
+  bad[3] = 7;   // claims 7 records but carries 1
+  EXPECT_FALSE(collector.ingest(bad, out));
+  EXPECT_EQ(collector.stats().malformed_packets, 2u);
+}
+
+TEST(NetFlowV5Test, UnsampledHeaderYieldsIntervalOne) {
+  Exporter exporter{{.engine_id = 1, .sampling = 1}};
+  Collector collector;
+  std::vector<FlowRecord> out;
+  std::vector<FlowRecord> input{make_record(0)};
+  for (const auto& p : exporter.export_flows(input, 1)) {
+    collector.ingest(p, out);
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sampling, 1u);
+}
+
+}  // namespace
+}  // namespace haystack::flow::nf5

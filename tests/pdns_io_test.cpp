@@ -1,0 +1,76 @@
+// Tests for passive-DNS serialization: round trips (including against the
+// full simulated database) and error reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dns/pdns_io.hpp"
+#include "simnet/backend.hpp"
+
+namespace haystack::dns {
+namespace {
+
+TEST(PdnsIoTest, SmallRoundtrip) {
+  PassiveDnsDb db;
+  db.add_a(Fqdn{"api.ring.com"}, *net::IpAddress::parse("140.1.2.3"), 0, 5);
+  db.add_a(Fqdn{"v6.ring.com"}, *net::IpAddress::parse("2001:db8::9"), 2,
+           2);
+  db.add_cname(Fqdn{"alias.ring.com"}, Fqdn{"api.ring.com"}, 0, 13);
+
+  std::stringstream stream;
+  export_pdns(db, stream);
+  std::string error;
+  const auto imported = import_pdns(stream, &error);
+  ASSERT_TRUE(imported.has_value()) << error;
+  EXPECT_EQ(imported->record_count(), db.record_count());
+  EXPECT_EQ(imported->resolve(Fqdn{"alias.ring.com"}, {0, 13}).ips.size(),
+            1u);
+  EXPECT_EQ(imported->resolve(Fqdn{"v6.ring.com"}, {2, 2}).ips[0],
+            *net::IpAddress::parse("2001:db8::9"));
+  EXPECT_TRUE(imported->resolve(Fqdn{"v6.ring.com"}, {3, 13}).ips.empty());
+}
+
+TEST(PdnsIoTest, FullSimulatedDatabaseRoundtrip) {
+  simnet::Catalog catalog;
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+  const PassiveDnsDb& original = backend.pdns();
+
+  std::stringstream stream;
+  export_pdns(original, stream);
+  const auto imported = import_pdns(stream);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->record_count(), original.record_count());
+
+  // Spot-check query equivalence on a sample of catalog domains.
+  std::size_t checked = 0;
+  for (const auto& dom : catalog.domains()) {
+    if (++checked % 7 != 0 || dom.dnsdb_missing) continue;
+    const auto a = original.resolve(dom.fqdn, {0, util::kStudyDays - 1});
+    const auto b = imported->resolve(dom.fqdn, {0, util::kStudyDays - 1});
+    EXPECT_EQ(a.ips, b.ips) << dom.fqdn.str();
+    EXPECT_EQ(a.chain, b.chain) << dom.fqdn.str();
+  }
+}
+
+TEST(PdnsIoTest, ErrorsReported) {
+  const auto expect_error = [](const std::string& text) {
+    std::istringstream is{text};
+    std::string error;
+    EXPECT_FALSE(import_pdns(is, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty());
+  };
+  expect_error("a api.ring.com not-an-ip 0 3\n");
+  expect_error("a api.ring.com 1.2.3.4 5 3\n");   // last < first
+  expect_error("mx api.ring.com x 0 3\n");        // unknown kind
+  expect_error("cname api.ring.com \n");          // truncated
+}
+
+TEST(PdnsIoTest, CommentsIgnored) {
+  std::istringstream is{"# header\n\na\tx.example.com\t1.2.3.4\t0\t1\n"};
+  const auto imported = import_pdns(is);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->record_count(), 1u);
+}
+
+}  // namespace
+}  // namespace haystack::dns

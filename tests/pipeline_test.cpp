@@ -1,0 +1,143 @@
+// Tests for the deployment-grade pipelines: the multi-router border fleet
+// (sampling provenance via options announcements) and the packet-level
+// home capture / metering path (conservation through the flow cache).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/detector.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/ground_truth.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "telemetry/border_fleet.hpp"
+#include "telemetry/home_capture.hpp"
+
+namespace haystack {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new simnet::Catalog();
+    backend_ = new simnet::Backend(*catalog_, simnet::BackendConfig{});
+    gt_ = new simnet::GroundTruthSim(*backend_, simnet::GroundTruthConfig{});
+    rules_ = new core::RuleSet(simnet::build_ruleset(*backend_));
+  }
+  static void TearDownTestSuite() {
+    delete rules_;
+    delete gt_;
+    delete backend_;
+    delete catalog_;
+  }
+  static simnet::Catalog* catalog_;
+  static simnet::Backend* backend_;
+  static simnet::GroundTruthSim* gt_;
+  static core::RuleSet* rules_;
+};
+
+simnet::Catalog* PipelineTest::catalog_ = nullptr;
+simnet::Backend* PipelineTest::backend_ = nullptr;
+simnet::GroundTruthSim* PipelineTest::gt_ = nullptr;
+core::RuleSet* PipelineTest::rules_ = nullptr;
+
+TEST_F(PipelineTest, FleetLearnsSamplingFromAnnouncements) {
+  telemetry::BorderRouterFleet fleet{{.routers = 4, .sampling = 1000}};
+  const auto out = fleet.observe(gt_->hour_flows(24), 24);
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(fleet.sampling().known_sources(), 4u);
+  for (unsigned r = 0; r < 4; ++r) {
+    EXPECT_EQ(fleet.sampling().interval_of(100 + r), 1000u);
+  }
+  // Every decoded record carries the announced interval, not a per-record
+  // field (the exporters zeroed it).
+  for (const auto& lf : out) {
+    EXPECT_EQ(lf.flow.sampling, 1000u);
+  }
+  EXPECT_EQ(fleet.collector_stats().malformed_packets, 0u);
+}
+
+TEST_F(PipelineTest, FleetRoutesByDestinationConsistently) {
+  telemetry::BorderRouterFleet fleet{{.routers = 4, .sampling = 1000}};
+  const auto flows = gt_->hour_flows(30);
+  std::map<net::IpAddress, unsigned> seen;
+  for (const auto& lf : flows) {
+    const unsigned r = fleet.router_of(lf.flow.key.dst);
+    const auto [it, inserted] = seen.emplace(lf.flow.key.dst, r);
+    EXPECT_EQ(it->second, r) << "destination flapped between routers";
+  }
+  // All routers get work.
+  std::set<unsigned> used;
+  for (const auto& [ip, r] : seen) used.insert(r);
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST_F(PipelineTest, FleetDetectionMatchesSingleVantageStatistically) {
+  // The fleet pipeline must not bias detection: over the active window the
+  // per-service detection outcomes should agree with the single-exporter
+  // vantage for the strong (fast-detected) services.
+  telemetry::BorderRouterFleet fleet{{.routers = 4, .sampling = 1000}};
+  core::Detector det{rules_->hitlist, *rules_, {.threshold = 0.4}};
+  for (util::HourBin h = 0; h < 48; ++h) {
+    for (const auto& lf : fleet.observe(gt_->hour_flows(h), h)) {
+      det.observe(1, lf.flow.key.dst, lf.flow.key.dst_port,
+                  lf.flow.packets, h);
+    }
+  }
+  for (const char* name : {"Alexa Enabled", "Amazon Product", "Fire TV",
+                           "Philips Dev.", "Yi Camera"}) {
+    const auto* rule = rules_->rule_by_name(name);
+    ASSERT_NE(rule, nullptr);
+    EXPECT_TRUE(det.detected(1, rule->service)) << name;
+  }
+}
+
+TEST_F(PipelineTest, HomeCaptureConservesEventsAndBytes) {
+  telemetry::HomePacketPipeline pipeline{{}};
+  const auto flows = gt_->hour_flows(26);
+  auto result = pipeline.meter_hour(flows, 26);
+  auto rest = pipeline.drain();
+  result.flows.insert(result.flows.end(), rest.begin(), rest.end());
+
+  std::uint64_t pkts_out = 0;
+  std::uint64_t bytes_out = 0;
+  for (const auto& rec : result.flows) {
+    pkts_out += rec.packets;
+    bytes_out += rec.bytes;
+  }
+  EXPECT_EQ(pkts_out, result.events_in);
+  EXPECT_EQ(bytes_out, result.bytes_in);
+  // Under the default cap almost all flows materialize 1 event per packet.
+  EXPECT_GE(result.events_in, result.packets_in * 95 / 100);
+}
+
+TEST_F(PipelineTest, HomeCapturePreservesKeyUniverse) {
+  telemetry::HomePacketPipeline pipeline{{}};
+  const auto flows = gt_->hour_flows(27);
+  auto result = pipeline.meter_hour(flows, 27);
+  auto rest = pipeline.drain();
+  result.flows.insert(result.flows.end(), rest.begin(), rest.end());
+
+  std::set<flow::FlowKey> in_keys;
+  std::set<flow::FlowKey> out_keys;
+  for (const auto& lf : flows) in_keys.insert(lf.flow.key);
+  for (const auto& rec : result.flows) out_keys.insert(rec.key);
+  EXPECT_EQ(in_keys, out_keys);
+}
+
+TEST_F(PipelineTest, HomeCaptureCapBoundsMemoryNotTotals) {
+  telemetry::HomeCaptureConfig config;
+  config.max_packets_per_flow = 8;
+  telemetry::HomePacketPipeline pipeline{config};
+  const auto flows = gt_->hour_flows(28);
+  auto result = pipeline.meter_hour(flows, 28);
+  auto rest = pipeline.drain();
+  result.flows.insert(result.flows.end(), rest.begin(), rest.end());
+  std::uint64_t bytes_out = 0;
+  for (const auto& rec : result.flows) bytes_out += rec.bytes;
+  EXPECT_EQ(bytes_out, result.bytes_in);  // bytes exact even when capped
+  EXPECT_LE(result.events_in, flows.size() * 8);
+}
+
+}  // namespace
+}  // namespace haystack

@@ -1,0 +1,142 @@
+// Tests for the wild population model: ownership statistics, determinism,
+// addressing, and identifier churn (the Fig. 13 mechanics).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/prefix.hpp"
+#include "simnet/population.hpp"
+
+namespace haystack::simnet {
+namespace {
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    population_ = new Population(*catalog_, {.lines = 50'000});
+  }
+  static void TearDownTestSuite() {
+    delete population_;
+    delete catalog_;
+  }
+  static Catalog* catalog_;
+  static Population* population_;
+};
+
+Catalog* PopulationTest::catalog_ = nullptr;
+Population* PopulationTest::population_ = nullptr;
+
+TEST_F(PopulationTest, PenetrationNearConfiguredRates) {
+  // ~20% of lines own at least one device in the paper; with the virtual
+  // wild-extra devices our ownership lands around 30%.
+  EXPECT_GT(population_->device_penetration(), 0.20);
+  EXPECT_LT(population_->device_penetration(), 0.45);
+}
+
+TEST_F(PopulationTest, PerProductOwnershipMatchesPenetration) {
+  const Product* echo = catalog_->product_by_name("Echo Dot");
+  ASSERT_NE(echo, nullptr);
+  std::size_t owners = 0;
+  for (LineId line = 0; line < population_->line_count(); ++line) {
+    for (const auto& dev : population_->devices_of(line)) {
+      if (dev.product && *dev.product == echo->id) ++owners;
+    }
+  }
+  const double rate =
+      static_cast<double>(owners) / population_->line_count();
+  EXPECT_NEAR(rate, echo->penetration, echo->penetration * 0.15);
+}
+
+TEST_F(PopulationTest, VirtualWildExtraDevicesExist) {
+  std::size_t virtual_devices = 0;
+  for (const LineId line : population_->lines_with_devices()) {
+    for (const auto& dev : population_->devices_of(line)) {
+      if (!dev.product) ++virtual_devices;
+    }
+  }
+  // Alexa-extra alone is 7.7% of lines.
+  EXPECT_GT(virtual_devices, population_->line_count() / 20);
+}
+
+TEST_F(PopulationTest, DevicesOfIsDeterministic) {
+  Population other{*catalog_, {.lines = 50'000}};
+  for (LineId line = 0; line < 1000; ++line) {
+    const auto a = population_->devices_of(line);
+    const auto b = other.devices_of(line);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].unit, b[i].unit);
+      EXPECT_EQ(a[i].product, b[i].product);
+    }
+  }
+}
+
+TEST_F(PopulationTest, AddressesStayInIspSpace) {
+  const auto isp_space = *net::Prefix::parse("100.64.0.0/10");
+  for (LineId line = 0; line < 2000; line += 37) {
+    for (util::DayBin day = 0; day < util::kStudyDays; day += 3) {
+      EXPECT_TRUE(isp_space.contains(population_->address_of(line, day)));
+    }
+  }
+}
+
+TEST_F(PopulationTest, RotationChangesAddressWithinRegionalPool) {
+  // When the epoch changes, the address changes but stays within the
+  // line's four-/24 regional pool.
+  std::size_t rotated = 0;
+  for (LineId line = 0; line < 5000; ++line) {
+    const auto first = population_->address_of(line, 0);
+    const auto last =
+        population_->address_of(line, util::kStudyDays - 1);
+    if (population_->epoch_of(line, util::kStudyDays - 1) > 0) {
+      ++rotated;
+      // Same 1024-address pool: same /22-aligned region.
+      EXPECT_EQ(first.v4_value() / 1024, last.v4_value() / 1024);
+    } else {
+      EXPECT_EQ(first, last);
+    }
+  }
+  // 3%/day over 13 transitions: ~33% of lines rotate at least once.
+  EXPECT_NEAR(static_cast<double>(rotated) / 5000.0, 0.33, 0.05);
+}
+
+TEST_F(PopulationTest, EpochIsMonotone) {
+  for (LineId line = 0; line < 200; ++line) {
+    unsigned prev = 0;
+    for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+      const unsigned e = population_->epoch_of(line, day);
+      EXPECT_GE(e, prev);
+      EXPECT_LE(e - prev, 1u);
+      prev = e;
+    }
+  }
+}
+
+TEST_F(PopulationTest, CumulativeAddressesGrowFasterThanSlash24s) {
+  // The Fig. 13 effect: cumulative unique addresses keep growing through
+  // identifier rotation while /24 aggregates saturate.
+  std::set<net::IpAddress> addresses;
+  std::set<net::Prefix> slash24s;
+  std::vector<std::size_t> addr_curve;
+  std::vector<std::size_t> s24_curve;
+  for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
+    for (const LineId line : population_->lines_with_devices()) {
+      const auto addr = population_->address_of(line, day);
+      addresses.insert(addr);
+      slash24s.insert(net::aggregate_of(addr));
+    }
+    addr_curve.push_back(addresses.size());
+    s24_curve.push_back(slash24s.size());
+  }
+  const double addr_growth =
+      static_cast<double>(addr_curve.back()) / addr_curve.front();
+  const double s24_growth =
+      static_cast<double>(s24_curve.back()) / s24_curve.front();
+  EXPECT_GT(addr_growth, 1.15);
+  EXPECT_LT(s24_growth, addr_growth);
+  EXPECT_LT(s24_growth, 1.05);  // /24 view saturates almost immediately
+}
+
+}  // namespace
+}  // namespace haystack::simnet

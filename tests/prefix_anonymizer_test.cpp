@@ -1,0 +1,126 @@
+// Property tests for prefix-preserving anonymization: the defining
+// invariant is that the longest common prefix of any two addresses is
+// preserved EXACTLY (not just at least) by anonymization.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/prefix_anonymizer.hpp"
+#include "util/rng.hpp"
+
+namespace haystack::net {
+namespace {
+
+class AnonymizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnonymizerProperty, PreservesCommonPrefixExactlyV4) {
+  const PrefixPreservingAnonymizer anon{GetParam()};
+  util::Pcg32 rng{GetParam(), 3};
+  for (int i = 0; i < 500; ++i) {
+    const auto a = IpAddress::v4(rng());
+    // Derive b sharing a random-length prefix with a.
+    const unsigned shared = rng.bounded(33);
+    std::uint32_t b_val = a.v4_value();
+    if (shared < 32) {
+      // Flip the bit right after the shared prefix, randomize the rest.
+      b_val ^= 1U << (31 - shared);
+      const std::uint32_t tail_mask =
+          shared + 1 >= 32 ? 0 : ((1U << (31 - shared)) - 1);
+      b_val = (b_val & ~tail_mask) | (rng() & tail_mask);
+    }
+    const auto b = IpAddress::v4(b_val);
+    ASSERT_EQ(common_prefix_length(a, b), std::min(shared, 32u));
+
+    const auto anon_a = anon.anonymize(a);
+    const auto anon_b = anon.anonymize(b);
+    EXPECT_EQ(common_prefix_length(anon_a, anon_b),
+              common_prefix_length(a, b))
+        << a.to_string() << " / " << b.to_string();
+  }
+}
+
+TEST_P(AnonymizerProperty, PreservesCommonPrefixExactlyV6) {
+  const PrefixPreservingAnonymizer anon{GetParam()};
+  util::Pcg32 rng{GetParam(), 9};
+  for (int i = 0; i < 200; ++i) {
+    const auto a = IpAddress::v6(
+        (std::uint64_t{rng()} << 32) | rng(),
+        (std::uint64_t{rng()} << 32) | rng());
+    const unsigned shared = rng.bounded(129);
+    // Build b: copy a, flip bit `shared` (if any), randomize the tail.
+    std::uint64_t hi = a.hi();
+    std::uint64_t lo = a.lo();
+    for (unsigned bit = shared; bit < 128; ++bit) {
+      const bool value = bit == shared ? !a.bit(bit) : rng.chance(0.5);
+      if (bit < 64) {
+        const std::uint64_t mask = std::uint64_t{1} << (63 - bit);
+        hi = value ? (hi | mask) : (hi & ~mask);
+      } else {
+        const std::uint64_t mask = std::uint64_t{1} << (127 - bit);
+        lo = value ? (lo | mask) : (lo & ~mask);
+      }
+    }
+    const auto b = IpAddress::v6(hi, lo);
+    const auto anon_a = anon.anonymize(a);
+    const auto anon_b = anon.anonymize(b);
+    EXPECT_EQ(common_prefix_length(anon_a, anon_b),
+              common_prefix_length(a, b));
+  }
+}
+
+TEST_P(AnonymizerProperty, DeterministicAndInjective) {
+  const PrefixPreservingAnonymizer anon{GetParam()};
+  util::Pcg32 rng{GetParam(), 11};
+  std::set<IpAddress> outputs;
+  std::set<IpAddress> inputs;
+  for (int i = 0; i < 2000; ++i) {
+    const auto addr = IpAddress::v4(rng());
+    if (!inputs.insert(addr).second) continue;
+    const auto once = anon.anonymize(addr);
+    EXPECT_EQ(once, anon.anonymize(addr));
+    // Prefix preservation forces injectivity (distinct inputs differ at
+    // some bit i; outputs then differ at bit i too).
+    EXPECT_TRUE(outputs.insert(once).second);
+  }
+}
+
+TEST_P(AnonymizerProperty, DifferentKeysDiverge) {
+  const PrefixPreservingAnonymizer a{GetParam()};
+  const PrefixPreservingAnonymizer b{GetParam() + 1};
+  util::Pcg32 rng{GetParam(), 13};
+  int equal = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto addr = IpAddress::v4(rng());
+    if (a.anonymize(addr) == b.anonymize(addr)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, AnonymizerProperty,
+                         ::testing::Values(1u, 42u, 0xdeadbeefu,
+                                           0xffffffffffffffffull));
+
+TEST(AnonymizerTest, ActuallyChangesAddresses) {
+  const PrefixPreservingAnonymizer anon{7};
+  int changed = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const auto addr = IpAddress::v4(0x64400000 + i * 977);
+    if (anon.anonymize(addr) != addr) ++changed;
+  }
+  EXPECT_GT(changed, 95);
+}
+
+TEST(AnonymizerTest, CommonPrefixLengthBasics) {
+  EXPECT_EQ(common_prefix_length(IpAddress::v4(0), IpAddress::v4(0)), 32u);
+  EXPECT_EQ(common_prefix_length(IpAddress::v4(0),
+                                 IpAddress::v4(0x80000000U)),
+            0u);
+  EXPECT_EQ(common_prefix_length(IpAddress::v4(0), IpAddress::v6(0, 0)),
+            0u);
+  EXPECT_EQ(common_prefix_length(*IpAddress::parse("10.0.0.1"),
+                                 *IpAddress::parse("10.0.0.2")),
+            30u);
+}
+
+}  // namespace
+}  // namespace haystack::net

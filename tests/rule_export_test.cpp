@@ -1,0 +1,83 @@
+// Tests for rule-set serialization: full round trip against the generated
+// rule set, plus syntax-error reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/rule_export.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/manual_analysis.hpp"
+
+namespace haystack::core {
+namespace {
+
+TEST(RuleExportTest, FullRoundtrip) {
+  simnet::Catalog catalog;
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+  const RuleSet original = simnet::build_ruleset(backend);
+
+  std::stringstream stream;
+  export_rules(original, stream);
+  std::string error;
+  const auto imported = import_rules(stream, &error);
+  ASSERT_TRUE(imported.has_value()) << error;
+
+  ASSERT_EQ(imported->rules.size(), original.rules.size());
+  for (std::size_t i = 0; i < original.rules.size(); ++i) {
+    const auto& a = original.rules[i];
+    const auto& b = imported->rules[i];
+    EXPECT_EQ(a.service, b.service);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.monitored_domains, b.monitored_domains);
+    EXPECT_EQ(a.monitored_indices, b.monitored_indices);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.critical_monitored_index, b.critical_monitored_index);
+    EXPECT_EQ(a.critical_sufficient, b.critical_sufficient);
+  }
+  EXPECT_EQ(imported->excluded.size(), original.excluded.size());
+  EXPECT_EQ(imported->hitlist.total_size(), original.hitlist.total_size());
+
+  // Spot-check hitlist equivalence via lookups.
+  std::size_t checked = 0;
+  original.hitlist.for_each([&](util::DayBin day, const net::IpAddress& ip,
+                                std::uint16_t port, const Hit& hit) {
+    if (++checked % 17 != 0) return;
+    const auto found = imported->hitlist.lookup(ip, port, day);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->service, hit.service);
+    EXPECT_EQ(found->domain_index, hit.domain_index);
+  });
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(RuleExportTest, SyntaxErrorsReported) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment) {
+    std::istringstream is{text};
+    std::string error;
+    EXPECT_FALSE(import_rules(is, &error).has_value()) << text;
+    EXPECT_NE(error.find(fragment), std::string::npos) << error;
+  };
+  expect_error("bogus\t1\n", "unknown record");
+  expect_error("rule\t1\tnonsense\t3\t-\t-\t0\tX\n", "bad level");
+  expect_error("mon\t1\t0\t0\n", "mon before rule");
+  expect_error("hit\t99\t1.2.3.4\t443\t0\t0\n", "bad hit address/day");
+  expect_error("hit\t0\tnot-an-ip\t443\t0\t0\n", "bad hit address/day");
+}
+
+TEST(RuleExportTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream is{
+      "# comment\n\nrule\t3\tproduct\t2\t-\t0\t1\tSome Device\n"
+      "mon\t3\t0\t4\nmon\t3\t1\t9\n"};
+  const auto imported = import_rules(is);
+  ASSERT_TRUE(imported.has_value());
+  ASSERT_EQ(imported->rules.size(), 1u);
+  EXPECT_EQ(imported->rules[0].name, "Some Device");
+  EXPECT_EQ(imported->rules[0].monitored_indices,
+            (std::vector<std::uint16_t>{4, 9}));
+  EXPECT_TRUE(imported->rules[0].critical_sufficient);
+}
+
+}  // namespace
+}  // namespace haystack::core

@@ -1,0 +1,146 @@
+// Tests for the telemetry layer: counters, heavy-hitter views, direction
+// normalization / anonymization, and the IXP vantage's established-TCP
+// guard.
+#include <gtest/gtest.h>
+
+#include "net/asn.hpp"
+#include "telemetry/anonymize.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/vantage.hpp"
+
+namespace haystack::telemetry {
+namespace {
+
+TEST(UniqueCounterTest, CountsDistinct) {
+  UniqueCounter<int> counter;
+  EXPECT_TRUE(counter.add(1));
+  EXPECT_FALSE(counter.add(1));
+  EXPECT_TRUE(counter.add(2));
+  EXPECT_EQ(counter.count(), 2u);
+  EXPECT_TRUE(counter.contains(1));
+  counter.clear();
+  EXPECT_EQ(counter.count(), 0u);
+}
+
+TEST(HeavyHitterTest, TopFractionByBytes) {
+  HeavyHitterView hh;
+  // Ten IPs, weights 10..1.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    hh.add_reference(net::IpAddress::v4(i), (10 - i) * 100);
+  }
+  // Mark the top-3 and one light IP visible.
+  hh.mark_visible(net::IpAddress::v4(0));
+  hh.mark_visible(net::IpAddress::v4(1));
+  hh.mark_visible(net::IpAddress::v4(2));
+  hh.mark_visible(net::IpAddress::v4(9));
+  EXPECT_DOUBLE_EQ(hh.visible_fraction_of_top(0.1), 1.0);   // top-1
+  EXPECT_DOUBLE_EQ(hh.visible_fraction_of_top(0.3), 1.0);   // top-3
+  EXPECT_DOUBLE_EQ(hh.visible_fraction_of_top(0.5), 0.6);   // 3 of top-5
+  EXPECT_DOUBLE_EQ(hh.visible_fraction(), 0.4);
+  EXPECT_EQ(hh.reference_count(), 10u);
+}
+
+TEST(HourlySeriesTest, BoundsAndAccumulation) {
+  HourlySeries series;
+  series.add(0, 2.0);
+  series.add(0, 3.0);
+  series.set(10, 7.0);
+  EXPECT_DOUBLE_EQ(series.at(0), 5.0);
+  EXPECT_DOUBLE_EQ(series.at(10), 7.0);
+  EXPECT_DOUBLE_EQ(series.at(1), 0.0);
+  EXPECT_EQ(series.values().size(), util::kStudyHours);
+  EXPECT_THROW(series.at(util::kStudyHours), std::out_of_range);
+}
+
+TEST(AnonymizeTest, KeyedAndStable) {
+  const auto ip = *net::IpAddress::parse("100.64.1.2");
+  EXPECT_EQ(anonymize(ip, 7), anonymize(ip, 7));
+  EXPECT_NE(anonymize(ip, 7), anonymize(ip, 8));
+  EXPECT_NE(anonymize(ip, 7),
+            anonymize(*net::IpAddress::parse("100.64.1.3"), 7));
+}
+
+class DirectionTest : public ::testing::Test {
+ protected:
+  DirectionTest() {
+    asns_.add_as({64520, "CDN", net::AsRole::kCdn});
+    asns_.announce(*net::Prefix::parse("23.0.0.0/12"), 64520);
+  }
+  net::AsnRegistry asns_;
+};
+
+TEST_F(DirectionTest, SubscriberToServerKept) {
+  flow::FlowRecord rec;
+  rec.key.src = *net::IpAddress::parse("100.64.1.2");
+  rec.key.src_port = 50000;
+  rec.key.dst = *net::IpAddress::parse("140.1.0.1");
+  rec.key.dst_port = 443;
+  NormalizedFlow norm;
+  ASSERT_TRUE(normalize_direction(rec, asns_, norm));
+  EXPECT_EQ(norm.subscriber, rec.key.src);
+  EXPECT_EQ(norm.server, rec.key.dst);
+  EXPECT_EQ(norm.server_port, 443);
+}
+
+TEST_F(DirectionTest, ReverseDirectionFlipped) {
+  flow::FlowRecord rec;
+  rec.key.src = *net::IpAddress::parse("140.1.0.1");
+  rec.key.src_port = 443;
+  rec.key.dst = *net::IpAddress::parse("100.64.1.2");
+  rec.key.dst_port = 50000;
+  NormalizedFlow norm;
+  ASSERT_TRUE(normalize_direction(rec, asns_, norm));
+  EXPECT_EQ(norm.subscriber, rec.key.dst);
+  EXPECT_EQ(norm.server, rec.key.src);
+  EXPECT_EQ(norm.server_port, 443);
+}
+
+TEST_F(DirectionTest, CdnOriginCountsAsServerRegardlessOfPort) {
+  flow::FlowRecord rec;
+  rec.key.src = *net::IpAddress::parse("100.64.1.2");
+  rec.key.src_port = 50000;
+  rec.key.dst = *net::IpAddress::parse("23.0.0.9");
+  rec.key.dst_port = 12345;  // odd port, but CDN AS
+  NormalizedFlow norm;
+  ASSERT_TRUE(normalize_direction(rec, asns_, norm));
+  EXPECT_EQ(norm.server, rec.key.dst);
+}
+
+TEST_F(DirectionTest, PeerToPeerDropped) {
+  flow::FlowRecord rec;
+  rec.key.src = *net::IpAddress::parse("100.64.1.2");
+  rec.key.src_port = 50000;
+  rec.key.dst = *net::IpAddress::parse("100.64.1.9");
+  rec.key.dst_port = 51000;
+  NormalizedFlow norm;
+  EXPECT_FALSE(normalize_direction(rec, asns_, norm));
+}
+
+TEST(IxpVantageTest, EstablishedTcpGuardDropsSynOnly) {
+  IxpVantage vantage{{.sampling = 1, .wire_roundtrip = false,
+                      .require_established_tcp = true}};
+  simnet::LabeledFlow syn_only;
+  syn_only.flow.key.src = net::IpAddress::v4(1);
+  syn_only.flow.key.dst = net::IpAddress::v4(2);
+  syn_only.flow.key.proto = 6;
+  syn_only.flow.tcp_flags = flow::tcpflags::kSyn;
+  syn_only.flow.packets = 10;
+
+  simnet::LabeledFlow established = syn_only;
+  established.flow.tcp_flags =
+      flow::tcpflags::kSyn | flow::tcpflags::kAck | flow::tcpflags::kPsh;
+
+  simnet::LabeledFlow udp = syn_only;
+  udp.flow.key.proto = 17;
+  udp.flow.tcp_flags = 0;
+
+  const auto out =
+      vantage.observe({syn_only, established, udp}, 0);
+  // SYN-only is dropped; the established TCP flow and UDP pass.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].flow.shows_established_tcp());
+  EXPECT_TRUE(out[1].flow.shows_established_tcp());
+}
+
+}  // namespace
+}  // namespace haystack::telemetry

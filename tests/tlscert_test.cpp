@@ -1,0 +1,128 @@
+// Unit tests for the tlscert substrate: the paper's certificate-matching
+// rule (SLD-anchored, no unrelated SAN) and the scan database queries.
+#include <gtest/gtest.h>
+
+#include "tlscert/certificate.hpp"
+#include "tlscert/scan_db.hpp"
+
+namespace haystack::tlscert {
+namespace {
+
+Certificate dedicated_cert(const std::string& sld) {
+  Certificate cert;
+  cert.subject_cn = dns::Fqdn{"*." + sld};
+  cert.sans.emplace_back(sld);
+  cert.issuer = "SimTrust CA";
+  return cert;
+}
+
+TEST(CertMatchTest, WildcardAtSldMatches) {
+  const auto cert = dedicated_cert("deve.com");
+  EXPECT_TRUE(matches_domain(cert, dns::Fqdn{"c.deve.com"}));
+  EXPECT_TRUE(matches_domain(cert, dns::Fqdn{"api.deve.com"}));
+}
+
+TEST(CertMatchTest, UnrelatedSanDisqualifies) {
+  Certificate cert = dedicated_cert("deve.com");
+  cert.sans.emplace_back("othertenant.com");
+  EXPECT_FALSE(matches_domain(cert, dns::Fqdn{"c.deve.com"}));
+}
+
+TEST(CertMatchTest, WrongSldDoesNotMatch) {
+  const auto cert = dedicated_cert("deve.com");
+  EXPECT_FALSE(matches_domain(cert, dns::Fqdn{"c.devx.com"}));
+}
+
+TEST(CertMatchTest, DeepWildcardDoesNotCoverTwoLabels) {
+  // "*.deve.com" covers one label only; an exact SAN is needed deeper.
+  const auto cert = dedicated_cert("deve.com");
+  EXPECT_FALSE(matches_domain(cert, dns::Fqdn{"a.b.deve.com"}));
+  Certificate deep = cert;
+  deep.sans.emplace_back("a.b.deve.com");
+  EXPECT_TRUE(matches_domain(deep, dns::Fqdn{"a.b.deve.com"}));
+}
+
+TEST(CertMatchTest, NameCoversAtSld) {
+  EXPECT_TRUE(
+      name_covers_at_sld(dns::Fqdn{"*.deve.com"}, dns::Fqdn{"c.deve.com"}));
+  EXPECT_TRUE(
+      name_covers_at_sld(dns::Fqdn{"c.deve.com"}, dns::Fqdn{"c.deve.com"}));
+  EXPECT_FALSE(
+      name_covers_at_sld(dns::Fqdn{"*.devx.com"}, dns::Fqdn{"c.deve.com"}));
+}
+
+TEST(CertMatchTest, FingerprintStableAndIdentitySensitive) {
+  const auto a = dedicated_cert("deve.com");
+  const auto b = dedicated_cert("deve.com");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  const auto c = dedicated_cert("other.com");
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+class ScanDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScanObservation obs;
+    obs.ip = *net::IpAddress::parse("52.0.0.1");
+    obs.cert = dedicated_cert("deve.com");
+    obs.banner_checksum = 777;
+    obs.first_day = 0;
+    obs.last_day = 13;
+    db_.add(obs);
+    obs.ip = *net::IpAddress::parse("52.0.0.2");
+    db_.add(obs);
+    // Different banner on a third IP: must not be returned.
+    obs.ip = *net::IpAddress::parse("52.0.0.3");
+    obs.banner_checksum = 888;
+    db_.add(obs);
+  }
+  CertScanDb db_;
+};
+
+TEST_F(ScanDbTest, FindsAllIpsServingDomainWithBanner) {
+  const auto ips =
+      db_.ips_serving_domain(dns::Fqdn{"c.deve.com"}, 777, {0, 13});
+  ASSERT_EQ(ips.size(), 2u);
+  EXPECT_EQ(ips[0], *net::IpAddress::parse("52.0.0.1"));
+  EXPECT_EQ(ips[1], *net::IpAddress::parse("52.0.0.2"));
+}
+
+TEST_F(ScanDbTest, BannerChecksumFilters) {
+  EXPECT_TRUE(
+      db_.ips_serving_domain(dns::Fqdn{"c.deve.com"}, 999, {0, 13}).empty());
+}
+
+TEST_F(ScanDbTest, WindowFilters) {
+  ScanObservation late;
+  late.ip = *net::IpAddress::parse("52.0.0.9");
+  late.cert = dedicated_cert("late.com");
+  late.banner_checksum = 1;
+  late.first_day = 10;
+  late.last_day = 13;
+  db_.add(late);
+  EXPECT_TRUE(
+      db_.ips_serving_domain(dns::Fqdn{"x.late.com"}, 1, {0, 5}).empty());
+  EXPECT_EQ(
+      db_.ips_serving_domain(dns::Fqdn{"x.late.com"}, 1, {10, 10}).size(),
+      1u);
+}
+
+TEST_F(ScanDbTest, ObservationForIp) {
+  const auto obs =
+      db_.observation_for(*net::IpAddress::parse("52.0.0.1"), {0, 13});
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_EQ(obs->banner_checksum, 777u);
+  EXPECT_FALSE(
+      db_.observation_for(*net::IpAddress::parse("52.9.9.9"), {0, 13})
+          .has_value());
+}
+
+TEST_F(ScanDbTest, FingerprintQuery) {
+  const auto fp = dedicated_cert("deve.com").fingerprint();
+  EXPECT_EQ(db_.ips_with_fingerprint(fp, 777, {0, 13}).size(), 2u);
+  EXPECT_EQ(db_.ips_with_fingerprint(fp, 888, {0, 13}).size(), 1u);
+  EXPECT_TRUE(db_.ips_with_fingerprint(12345, 777, {0, 13}).empty());
+}
+
+}  // namespace
+}  // namespace haystack::tlscert

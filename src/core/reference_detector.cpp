@@ -1,0 +1,86 @@
+#include "core/reference_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace haystack::core {
+
+const DetectionRule* ReferenceDetector::find_rule(ServiceId service) const {
+  for (const auto& rule : rules_.rules) {
+    if (rule.service == service) return &rule;
+  }
+  return nullptr;
+}
+
+void ReferenceDetector::replay() const {
+  if (!dirty_) return;
+  replayed_.clear();
+  for (const Observation& obs : log_) {
+    const auto hit =
+        hitlist_.lookup(obs.server, obs.port, util::day_of(obs.hour));
+    if (!hit) continue;
+    const DetectionRule* rule = find_rule(hit->service);
+    if (rule == nullptr) continue;
+
+    auto [it, inserted] =
+        replayed_.try_emplace({obs.subscriber, hit->service});
+    ReferenceEvidence& ev = it->second;
+    if (inserted) ev.first_seen = obs.hour;
+    ev.packets += obs.packets;
+    if (hit->domain_index < 128) ev.seen.insert(hit->domain_index);
+
+    if (!ev.satisfied_hour) {
+      // Independent statement of the Sec. 4.3.2 requirement: max(1,
+      // floor(D*N)) distinct monitored domains, or the critical domain
+      // alone when the rule says that suffices.
+      const auto floor_dn = static_cast<unsigned>(std::floor(
+          config_.threshold * static_cast<double>(rule->monitored_domains)));
+      const unsigned required = std::max(1U, floor_dn);
+      const bool critical_ok =
+          rule->critical_sufficient &&
+          rule->critical_monitored_index.has_value() &&
+          ev.seen.count(*rule->critical_monitored_index) > 0;
+      if (critical_ok || ev.seen.size() >= required) {
+        ev.satisfied_hour = obs.hour;
+      }
+    }
+  }
+  dirty_ = false;
+}
+
+std::optional<ReferenceEvidence> ReferenceDetector::evidence(
+    SubscriberKey subscriber, ServiceId service) const {
+  replay();
+  const auto it = replayed_.find({subscriber, service});
+  if (it == replayed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<util::HourBin> ReferenceDetector::detection_hour(
+    SubscriberKey subscriber, ServiceId service) const {
+  replay();
+  util::HourBin latest = 0;
+  std::optional<ServiceId> current = service;
+  while (current) {
+    const DetectionRule* rule = find_rule(*current);
+    if (rule == nullptr) return std::nullopt;
+    const auto it = replayed_.find({subscriber, *current});
+    if (it == replayed_.end() || !it->second.satisfied_hour) {
+      return std::nullopt;
+    }
+    latest = std::max(latest, *it->second.satisfied_hour);
+    current = rule->parent;
+  }
+  return latest;
+}
+
+std::vector<std::pair<SubscriberKey, ServiceId>>
+ReferenceDetector::evidence_keys() const {
+  replay();
+  std::vector<std::pair<SubscriberKey, ServiceId>> keys;
+  keys.reserve(replayed_.size());
+  for (const auto& [key, ev] : replayed_) keys.push_back(key);
+  return keys;  // std::map iteration order is already sorted
+}
+
+}  // namespace haystack::core

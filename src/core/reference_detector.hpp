@@ -1,0 +1,114 @@
+// Deliberately naive reference model of the streaming detector.
+//
+// This is the oracle side of the differential tests (tests/
+// differential_test.cpp): it replays the same Observation stream as
+// Detector / ShardedDetector, but with the most obvious data structures
+// and control flow available — an append-only observation log, a
+// std::map keyed by (subscriber, service), a std::set of seen domain
+// positions instead of a bitmask, and a linear scan over the rule list
+// instead of the O(1) dispatch table. Every derived quantity (evidence,
+// satisfaction hour, hierarchy-aware detection hour) is recomputed from
+// the log on demand, so an incremental-update bug in the optimized
+// detectors cannot be mirrored here.
+//
+// Semantics intentionally duplicated from the spec (paper Secs. 4.3/5),
+// not from detector.cpp:
+//   - a (subscriber, service) pair's evidence is the set of distinct
+//     monitored-domain positions observed via hitlist matches, with
+//     positions >= 128 contributing packets but never coverage (the
+//     optimized detector's bitmask contract; the catalog maximum is 34);
+//   - the service is satisfied at the hour of the first observation that
+//     brings coverage to max(1, floor(D*N)) distinct domains, or that
+//     shows the critical domain when it alone is sufficient;
+//   - a service is detected once it and all hierarchy ancestors are
+//     satisfied; the detection hour is the latest satisfaction hour on
+//     the chain.
+//
+// Single-threaded, unoptimized, and proud of it. Do not use outside
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/sharded_detector.hpp"
+
+namespace haystack::core {
+
+/// Naively recomputed per-(subscriber, service) evidence.
+struct ReferenceEvidence {
+  std::set<std::uint16_t> seen;  ///< distinct monitored positions (< 128)
+  std::uint64_t packets = 0;
+  util::HourBin first_seen = 0;
+  std::optional<util::HourBin> satisfied_hour;
+};
+
+/// The reference model. Same constructor contract as Detector: `hitlist`
+/// and `rules` must outlive the model.
+class ReferenceDetector {
+ public:
+  ReferenceDetector(const Hitlist& hitlist, const RuleSet& rules,
+                    const DetectorConfig& config)
+      : hitlist_{hitlist}, rules_{rules}, config_{config} {}
+
+  /// Appends one observation to the log. Nothing is computed here.
+  void observe(const Observation& obs) {
+    log_.push_back(obs);
+    dirty_ = true;
+  }
+
+  /// Convenience overload mirroring Detector::observe's signature.
+  void observe(SubscriberKey subscriber, const net::IpAddress& server,
+               std::uint16_t port, std::uint64_t packets,
+               util::HourBin hour) {
+    observe(Observation{subscriber, server, port, packets, hour});
+  }
+
+  /// Evidence recomputed from the log, or nullopt when the pair never
+  /// matched the hitlist.
+  [[nodiscard]] std::optional<ReferenceEvidence> evidence(
+      SubscriberKey subscriber, ServiceId service) const;
+
+  /// Hierarchy-aware detection hour (see file comment), or nullopt.
+  [[nodiscard]] std::optional<util::HourBin> detection_hour(
+      SubscriberKey subscriber, ServiceId service) const;
+
+  [[nodiscard]] bool detected(SubscriberKey subscriber,
+                              ServiceId service) const {
+    return detection_hour(subscriber, service).has_value();
+  }
+
+  /// All (subscriber, service) pairs with any evidence, sorted.
+  [[nodiscard]] std::vector<std::pair<SubscriberKey, ServiceId>>
+  evidence_keys() const;
+
+  void clear() {
+    log_.clear();
+    dirty_ = true;
+  }
+
+  [[nodiscard]] std::size_t log_size() const noexcept { return log_.size(); }
+
+ private:
+  /// Finds the rule for a service by linear scan (no dispatch table).
+  [[nodiscard]] const DetectionRule* find_rule(ServiceId service) const;
+
+  /// Replays the whole log into the evidence map.
+  void replay() const;
+
+  const Hitlist& hitlist_;
+  const RuleSet& rules_;
+  DetectorConfig config_;
+  std::vector<Observation> log_;
+
+  // Lazily recomputed cache of the full replay; invalidated by observe().
+  mutable bool dirty_ = true;
+  mutable std::map<std::pair<SubscriberKey, ServiceId>, ReferenceEvidence>
+      replayed_;
+};
+
+}  // namespace haystack::core

@@ -140,6 +140,13 @@ std::optional<WireMessage> decode_message(
   msg.rcode = flags & 0x0fU;
   const std::uint16_t qdcount = read_u16(data, 4);
   const std::uint16_t ancount = read_u16(data, 6);
+  // Section counts the message cannot possibly hold are corruption, not
+  // truncation: every question occupies >= 5 bytes (root name + type +
+  // class) and every answer >= 11 (root name + fixed RR part).
+  if (12 + std::size_t{qdcount} * 5 + std::size_t{ancount} * 11 >
+      data.size()) {
+    return std::nullopt;
+  }
 
   std::size_t pos = 12;
   for (std::uint16_t q = 0; q < qdcount; ++q) {

@@ -249,6 +249,10 @@ bool Collector::decode_template_set(ByteReader& r, std::uint32_t domain) {
     const std::uint16_t template_id = r.u16();
     const std::uint16_t field_count = r.u16();
     if (template_id < 256) return false;
+    // Each field spec is at least 4 bytes (8 with an enterprise number); a
+    // count the set body cannot hold is a corrupted length field, rejected
+    // before reserve() turns it into an allocation.
+    if (std::size_t{field_count} * 4 > r.remaining()) return false;
     Template tmpl;
     tmpl.reserve(field_count);
     for (std::uint16_t i = 0; i < field_count; ++i) {
@@ -275,6 +279,7 @@ bool Collector::decode_options_template_set(ByteReader& r,
     const std::uint16_t field_count = r.u16();
     const std::uint16_t scope_count = r.u16();
     if (template_id < 256 || scope_count > field_count) return false;
+    if (std::size_t{field_count} * 4 > r.remaining()) return false;
     OptionsTemplate tmpl;
     for (std::uint16_t i = 0; i < field_count; ++i) {
       std::uint16_t id = r.u16();
@@ -366,49 +371,68 @@ bool Collector::decode_data_set(ByteReader& r, std::uint16_t set_id,
         r.skip(length);
         continue;
       }
+      // As in the NetFlow v9 decoder: the template's declared length
+      // defines record framing, so a known IE with an unsupported declared
+      // length is skipped at that length rather than decoded at the
+      // "expected" size (which would desync every following field).
+      const auto fixed = [&](std::uint16_t want) {
+        if (length == want) return true;
+        r.skip(length);
+        return false;
+      };
       switch (static_cast<Ie>(f.id)) {
         case Ie::kSourceIpv4Address:
-          rec.key.src = net::IpAddress::v4(r.u32());
+          if (fixed(4)) rec.key.src = net::IpAddress::v4(r.u32());
           break;
         case Ie::kDestinationIpv4Address:
-          rec.key.dst = net::IpAddress::v4(r.u32());
+          if (fixed(4)) rec.key.dst = net::IpAddress::v4(r.u32());
           break;
-        case Ie::kSourceIpv6Address: {
-          const std::uint64_t hi = r.u64();
-          rec.key.src = net::IpAddress::v6(hi, r.u64());
+        case Ie::kSourceIpv6Address:
+          if (fixed(16)) {
+            const std::uint64_t hi = r.u64();
+            rec.key.src = net::IpAddress::v6(hi, r.u64());
+          }
           break;
-        }
-        case Ie::kDestinationIpv6Address: {
-          const std::uint64_t hi = r.u64();
-          rec.key.dst = net::IpAddress::v6(hi, r.u64());
+        case Ie::kDestinationIpv6Address:
+          if (fixed(16)) {
+            const std::uint64_t hi = r.u64();
+            rec.key.dst = net::IpAddress::v6(hi, r.u64());
+          }
           break;
-        }
         case Ie::kSourceTransportPort:
-          rec.key.src_port = r.u16();
+          if (fixed(2)) rec.key.src_port = r.u16();
           break;
         case Ie::kDestinationTransportPort:
-          rec.key.dst_port = r.u16();
+          if (fixed(2)) rec.key.dst_port = r.u16();
           break;
         case Ie::kProtocolIdentifier:
-          rec.key.proto = r.u8();
+          if (fixed(1)) rec.key.proto = r.u8();
           break;
         case Ie::kTcpControlBits:
-          rec.tcp_flags = r.u8();
+          if (fixed(1)) rec.tcp_flags = r.u8();
           break;
         case Ie::kPacketDeltaCount:
-          rec.packets = f.length == 8 ? r.u64() : r.u32();
+          if (length == 8 || length == 4) {
+            rec.packets = length == 8 ? r.u64() : r.u32();
+          } else {
+            r.skip(length);
+          }
           break;
         case Ie::kOctetDeltaCount:
-          rec.bytes = f.length == 8 ? r.u64() : r.u32();
+          if (length == 8 || length == 4) {
+            rec.bytes = length == 8 ? r.u64() : r.u32();
+          } else {
+            r.skip(length);
+          }
           break;
         case Ie::kFlowStartMilliseconds:
-          rec.start_ms = r.u64();
+          if (fixed(8)) rec.start_ms = r.u64();
           break;
         case Ie::kFlowEndMilliseconds:
-          rec.end_ms = r.u64();
+          if (fixed(8)) rec.end_ms = r.u64();
           break;
         case Ie::kSamplingInterval:
-          rec.sampling = r.u32();
+          if (fixed(4)) rec.sampling = r.u32();
           break;
         default:
           r.skip(length);

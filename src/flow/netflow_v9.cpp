@@ -195,6 +195,10 @@ bool Collector::decode_template_flowset(ByteReader& r,
     const std::uint16_t template_id = r.u16();
     const std::uint16_t field_count = r.u16();
     if (template_id < 256) return false;
+    // Each field spec is 4 bytes; a count the body cannot hold is a
+    // corrupted length field, not a template (and must be rejected before
+    // reserve() turns it into an allocation).
+    if (std::size_t{field_count} * 4 > r.remaining()) return false;
     Template tmpl;
     tmpl.reserve(field_count);
     for (std::uint16_t i = 0; i < field_count; ++i) {
@@ -226,52 +230,72 @@ bool Collector::decode_data_flowset(ByteReader& r, std::uint16_t flowset_id,
     FlowRecord rec;
     bool v6_src = false;
     for (const auto& f : tmpl) {
+      // Record framing is defined by the template's *declared* lengths. A
+      // known field type whose declared length is not a supported encoding
+      // must be skipped at the declared length — decoding it at the
+      // "expected" size would shift every subsequent field of every record
+      // in the flowset, silently producing garbage records.
+      const auto fixed = [&](std::uint16_t want) {
+        if (f.length == want) return true;
+        r.skip(f.length);
+        return false;
+      };
       switch (static_cast<FieldType>(f.type)) {
         case FieldType::kIpv4SrcAddr:
-          rec.key.src = net::IpAddress::v4(r.u32());
+          if (fixed(4)) rec.key.src = net::IpAddress::v4(r.u32());
           break;
         case FieldType::kIpv4DstAddr:
-          rec.key.dst = net::IpAddress::v4(r.u32());
+          if (fixed(4)) rec.key.dst = net::IpAddress::v4(r.u32());
           break;
-        case FieldType::kIpv6SrcAddr: {
-          const std::uint64_t hi = r.u64();
-          const std::uint64_t lo = r.u64();
-          rec.key.src = net::IpAddress::v6(hi, lo);
-          v6_src = true;
+        case FieldType::kIpv6SrcAddr:
+          if (fixed(16)) {
+            const std::uint64_t hi = r.u64();
+            const std::uint64_t lo = r.u64();
+            rec.key.src = net::IpAddress::v6(hi, lo);
+            v6_src = true;
+          }
           break;
-        }
-        case FieldType::kIpv6DstAddr: {
-          const std::uint64_t hi = r.u64();
-          const std::uint64_t lo = r.u64();
-          rec.key.dst = net::IpAddress::v6(hi, lo);
+        case FieldType::kIpv6DstAddr:
+          if (fixed(16)) {
+            const std::uint64_t hi = r.u64();
+            const std::uint64_t lo = r.u64();
+            rec.key.dst = net::IpAddress::v6(hi, lo);
+          }
           break;
-        }
         case FieldType::kL4SrcPort:
-          rec.key.src_port = r.u16();
+          if (fixed(2)) rec.key.src_port = r.u16();
           break;
         case FieldType::kL4DstPort:
-          rec.key.dst_port = r.u16();
+          if (fixed(2)) rec.key.dst_port = r.u16();
           break;
         case FieldType::kProtocol:
-          rec.key.proto = r.u8();
+          if (fixed(1)) rec.key.proto = r.u8();
           break;
         case FieldType::kTcpFlags:
-          rec.tcp_flags = r.u8();
+          if (fixed(1)) rec.tcp_flags = r.u8();
           break;
         case FieldType::kInPkts:
-          rec.packets = f.length == 8 ? r.u64() : r.u32();
+          if (f.length == 8 || f.length == 4) {
+            rec.packets = f.length == 8 ? r.u64() : r.u32();
+          } else {
+            r.skip(f.length);
+          }
           break;
         case FieldType::kInBytes:
-          rec.bytes = f.length == 8 ? r.u64() : r.u32();
+          if (f.length == 8 || f.length == 4) {
+            rec.bytes = f.length == 8 ? r.u64() : r.u32();
+          } else {
+            r.skip(f.length);
+          }
           break;
         case FieldType::kFirstSwitched:
-          rec.start_ms = r.u32();
+          if (fixed(4)) rec.start_ms = r.u32();
           break;
         case FieldType::kLastSwitched:
-          rec.end_ms = r.u32();
+          if (fixed(4)) rec.end_ms = r.u32();
           break;
         case FieldType::kSamplingInterval:
-          rec.sampling = r.u32();
+          if (fixed(4)) rec.sampling = r.u32();
           break;
         default:
           r.skip(f.length);

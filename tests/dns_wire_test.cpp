@@ -89,6 +89,70 @@ TEST(DnsWireTest, TruncationRejected) {
   }
 }
 
+TEST(DnsWireTest, SectionCountsExceedingMessageRejected) {
+  // A 17-byte message claiming 65535 answers can never satisfy its own
+  // header (each answer needs at least 11 bytes); the decoder must reject
+  // it up front instead of grinding through the claimed count.
+  std::vector<std::uint8_t> m = {
+      0x00, 0x01, 0x80, 0x00,
+      0x00, 0x00,              // qdcount 0
+      0xff, 0xff,              // ancount 65535
+      0x00, 0x00, 0x00, 0x00,
+      1, 'x', 0, 0x00, 0x01,   // stray bytes, nowhere near 65535 answers
+  };
+  EXPECT_FALSE(decode_message(m).has_value());
+  // Same for an impossible question count.
+  m[4] = 0xff;
+  m[5] = 0xff;
+  m[6] = 0;
+  m[7] = 0;
+  EXPECT_FALSE(decode_message(m).has_value());
+}
+
+TEST(DnsWireTest, EveryPrefixOfFullResponseRejected) {
+  // The header states the section counts, so every strict prefix of a
+  // valid response must fail to decode — no partial-answer acceptance.
+  WireRecord a;
+  a.name = Fqdn{"camera.tplinkcloud.com"};
+  a.type = WireType::kA;
+  a.ttl = 60;
+  a.address = *net::IpAddress::parse("198.51.100.7");
+  WireRecord cname;
+  cname.name = Fqdn{"dev.tplinkcloud.com"};
+  cname.type = WireType::kCname;
+  cname.target = Fqdn{"camera.tplinkcloud.com"};
+  const auto full =
+      encode_response(9, Fqdn{"dev.tplinkcloud.com"}, {cname, a});
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix{
+        full.begin(), full.begin() + static_cast<long>(cut)};
+    EXPECT_FALSE(decode_message(prefix).has_value()) << "prefix " << cut;
+  }
+  EXPECT_TRUE(decode_message(full).has_value());
+}
+
+TEST(DnsWireTest, ForwardPointerRejected) {
+  // Compression pointers must point strictly backward (RFC 1035 prior
+  // occurrence); a forward pointer is malformed even if in bounds.
+  std::vector<std::uint8_t> m = {
+      0x00, 0x01, 0x80, 0x00, 0x00, 0x01, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00,
+      0xc0, 0x10,  // question name: pointer to offset 16 (ahead of here)
+      0x00, 0x01, 1, 'a', 0, 0x00,
+  };
+  EXPECT_FALSE(decode_message(m).has_value());
+}
+
+TEST(DnsWireTest, LabelLengthOverrunRejected) {
+  // Label length byte larger than the remaining message.
+  std::vector<std::uint8_t> m = {
+      0x00, 0x01, 0x80, 0x00, 0x00, 0x01, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00,
+      40, 'a', 'b', 'c',  // claims 40 octets, 3 present
+  };
+  EXPECT_FALSE(decode_message(m).has_value());
+}
+
 TEST(DnsWireTest, UnknownAnswerTypesSkipped) {
   // TXT record (type 16) in the answer section: skipped, not fatal.
   std::vector<std::uint8_t> m = {

@@ -152,6 +152,65 @@ TEST(NetFlowV9Test, MalformedPacketRejected) {
   EXPECT_FALSE(collector.ingest(v5, out));
 }
 
+TEST(NetFlowV9Test, TemplateFieldLengthMismatchDoesNotDesync) {
+  // A template that declares PROTOCOL with length 2 (RFC encoding is 1
+  // byte). The decoder must skip the field at its *declared* length so the
+  // following fields stay aligned, instead of silently mis-reading the
+  // record with a one-byte shift.
+  ByteWriter p;
+  p.u16(9);          // version
+  p.u16(2);          // count: template + data
+  p.u32(1000);       // uptime
+  p.u32(1574000000); // export secs
+  p.u32(0);          // sequence
+  p.u32(1);          // source id
+  // Template flowset: id 300, 3 fields.
+  p.u16(0);
+  p.u16(4 + 4 + 3 * 4);  // flowset length
+  p.u16(300);
+  p.u16(3);
+  p.u16(static_cast<std::uint16_t>(nf9::FieldType::kProtocol));
+  p.u16(2);  // wrong: wire encoding is 1 byte
+  p.u16(static_cast<std::uint16_t>(nf9::FieldType::kIpv4SrcAddr));
+  p.u16(4);
+  p.u16(static_cast<std::uint16_t>(nf9::FieldType::kL4DstPort));
+  p.u16(2);
+  // Data flowset: one record: proto (2 bytes), src, dst port.
+  p.u16(300);
+  p.u16(4 + 2 + 4 + 2);
+  p.u16(0x1100);  // would decode as 17 if misread at 1 byte
+  p.u32(0x0a010203);
+  p.u16(8883);
+
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(p.data(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key.proto, 6);  // skipped: FlowKey default, not 17
+  EXPECT_EQ(out[0].key.src, net::IpAddress::v4(0x0a010203));
+  EXPECT_EQ(out[0].key.dst_port, 8883);
+}
+
+TEST(NetFlowV9Test, TemplateFieldCountExceedingBodyRejected) {
+  // A template flowset claiming 0xffff fields in a 12-byte body must be
+  // rejected before any allocation sized from the count.
+  ByteWriter p;
+  p.u16(9);
+  p.u16(1);
+  p.u32(1000);
+  p.u32(1574000000);
+  p.u32(0);
+  p.u32(1);
+  p.u16(0);    // template flowset
+  p.u16(12);   // flowset length: header + tid + count only
+  p.u16(300);
+  p.u16(0xffff);  // absurd field count, no specs follow
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_FALSE(collector.ingest(p.data(), out));
+  EXPECT_EQ(collector.stats().malformed_packets, 1u);
+}
+
 TEST(NetFlowV9Test, EmptyInputStillEmitsTemplatePacket) {
   nf9::Exporter exporter{{}};
   const auto packets = exporter.export_flows({}, 1574000000);
@@ -258,6 +317,60 @@ TEST(IpfixTest, VariableLengthAndEnterpriseFieldsSkipped) {
   EXPECT_TRUE(collector.ingest(m.data(), out));
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].key.src, net::IpAddress::v4(0x01020304));
+}
+
+TEST(IpfixTest, TemplateFieldLengthMismatchDoesNotDesync) {
+  // destinationTransportPort declared 4 bytes (RFC encoding is 2): the
+  // decoder must skip it at the declared length and keep the following
+  // sourceIPv4Address aligned.
+  ByteWriter m;
+  m.u16(10);
+  const std::size_t total_off = m.size();
+  m.u16(0);
+  m.u32(1574000000);
+  m.u32(0);
+  m.u32(42);
+  // Template set: id 500, 2 fields.
+  m.u16(2);
+  m.u16(4 + 4 + 2 * 4);
+  m.u16(500);
+  m.u16(2);
+  m.u16(11);  // destinationTransportPort
+  m.u16(4);   // wrong width
+  m.u16(8);   // sourceIPv4Address
+  m.u16(4);
+  // Data set: one record.
+  m.u16(500);
+  m.u16(4 + 4 + 4);
+  m.u32(0x1bb30000);  // would misdecode as port 7091 + shifted address
+  m.u32(0x0a090807);
+  m.patch_u16(total_off, static_cast<std::uint16_t>(m.size()));
+
+  ipfix::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(m.data(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key.dst_port, 0);  // skipped, not misdecoded
+  EXPECT_EQ(out[0].key.src, net::IpAddress::v4(0x0a090807));
+}
+
+TEST(IpfixTest, TemplateFieldCountExceedingBodyRejected) {
+  ByteWriter m;
+  m.u16(10);
+  const std::size_t total_off = m.size();
+  m.u16(0);
+  m.u32(1574000000);
+  m.u32(0);
+  m.u32(42);
+  m.u16(2);       // template set
+  m.u16(8);       // set length: id + count only, no specs
+  m.u16(500);
+  m.u16(0xffff);  // absurd field count
+  m.patch_u16(total_off, static_cast<std::uint16_t>(m.size()));
+  ipfix::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_FALSE(collector.ingest(m.data(), out));
+  EXPECT_EQ(collector.stats().malformed_messages, 1u);
 }
 
 TEST(SamplerTest, SystematicSelectsExactFraction) {

@@ -1,0 +1,148 @@
+// Structure-aware fuzzer for the DNS message decoder.
+//
+// Corpus: valid responses produced by encode_response (A / AAAA / CNAME
+// chains, multiple answers) plus one hand-built message using compression
+// pointers. Structure-aware mutations target the places DNS parsers
+// historically die: label length bytes (0, 63, 64, 0xc0), compression
+// pointer injection (self-pointers, forward pointers, pointer chains),
+// section count corruption, and rdlength corruption.
+//
+// Properties: decode_message() either returns a message or nullopt — never
+// crashes or reads out of bounds (sanitizers enforce) — and any returned
+// message respects its own invariants (every answer is one of the three
+// supported RR types; names are bounded by the RFC 1035 255-octet limit).
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dns/dns_wire.hpp"
+#include "fuzz_harness.hpp"
+
+namespace {
+
+using haystack::fuzz::Bytes;
+using namespace haystack::dns;
+
+std::vector<Bytes> build_corpus() {
+  std::vector<Bytes> corpus;
+
+  {  // CNAME chain + addresses, the resolver-feed shape.
+    std::vector<WireRecord> answers;
+    WireRecord cname;
+    cname.name = Fqdn{"api.ring.com"};
+    cname.type = WireType::kCname;
+    cname.ttl = 300;
+    cname.target = Fqdn{"api-vm.ec2compute.cloudsim.net"};
+    answers.push_back(cname);
+    WireRecord a;
+    a.name = Fqdn{"api-vm.ec2compute.cloudsim.net"};
+    a.type = WireType::kA;
+    a.ttl = 60;
+    a.address = *haystack::net::IpAddress::parse("52.1.2.3");
+    answers.push_back(a);
+    WireRecord aaaa;
+    aaaa.name = Fqdn{"api.ring.com"};
+    aaaa.type = WireType::kAaaa;
+    aaaa.ttl = 60;
+    aaaa.address = *haystack::net::IpAddress::parse("2001:db8::7");
+    answers.push_back(aaaa);
+    corpus.push_back(
+        encode_response(0x1234, Fqdn{"api.ring.com"}, answers));
+  }
+
+  {  // Minimal response, no answers.
+    corpus.push_back(encode_response(7, Fqdn{"x.example.com"}, {}));
+  }
+
+  {  // Hand-built message whose answer name is a compression pointer.
+    Bytes m = {
+        0x00, 0x01, 0x80, 0x00, 0x00, 0x01, 0x00, 0x01,
+        0x00, 0x00, 0x00, 0x00,
+        1, 'a', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0,
+        0x00, 0x01, 0x00, 0x01,
+        0xc0, 0x0c,                       // pointer to offset 12
+        0x00, 0x01, 0x00, 0x01,           // type A, class IN
+        0x00, 0x00, 0x00, 0x3c,           // ttl
+        0x00, 0x04, 192, 0, 2, 1,         // rdata
+    };
+    corpus.push_back(std::move(m));
+  }
+  return corpus;
+}
+
+void structure_mutate(Bytes& data, haystack::util::Pcg32& rng) {
+  if (data.size() < 14) return;
+  const auto body_pos = [&] {
+    return 12 + rng.bounded(static_cast<std::uint32_t>(data.size() - 13));
+  };
+  switch (rng.bounded(5)) {
+    case 0: {  // corrupt a section count (qd/an/ns/ar)
+      const std::size_t pos = 4 + 2 * rng.bounded(4);
+      data[pos] = static_cast<std::uint8_t>(rng.bounded(256));
+      data[pos + 1] = static_cast<std::uint8_t>(rng.bounded(256));
+      break;
+    }
+    case 1: {  // inject a compression pointer: self, forward, or random
+      const std::size_t pos = body_pos();
+      if (pos + 1 >= data.size()) break;
+      const std::uint16_t target =
+          rng.chance(0.4) ? static_cast<std::uint16_t>(pos)      // self
+          : rng.chance(0.5)
+              ? static_cast<std::uint16_t>(data.size() - 1)      // forward
+              : static_cast<std::uint16_t>(rng.bounded(0x4000));  // random
+      data[pos] = static_cast<std::uint8_t>(0xc0U | (target >> 8));
+      data[pos + 1] = static_cast<std::uint8_t>(target);
+      break;
+    }
+    case 2: {  // label length corruption: 0, max, over-max, reserved bits
+      constexpr std::uint8_t kLens[] = {0, 1, 62, 63, 64, 0x80, 0xbf};
+      data[body_pos()] = kLens[rng.bounded(7)];
+      break;
+    }
+    case 3: {  // rdlength-style u16 corruption near the tail
+      const std::size_t pos =
+          data.size() - 2 -
+          rng.bounded(static_cast<std::uint32_t>(
+              std::min<std::size_t>(data.size() - 13, 12)));
+      data[pos] = static_cast<std::uint8_t>(rng.bounded(256));
+      data[pos + 1] = 0xff;
+      break;
+    }
+    default:  // truncate inside the body
+      data.resize(12 + rng.bounded(
+                           static_cast<std::uint32_t>(data.size() - 12)));
+      break;
+  }
+}
+
+bool check(std::span<const std::uint8_t> input) {
+  const auto msg = decode_message(input);
+  if (!msg) return true;  // clean rejection
+  for (const auto& rr : msg->answers) {
+    if (rr.type != WireType::kA && rr.type != WireType::kAaaa &&
+        rr.type != WireType::kCname) {
+      return false;
+    }
+    if (rr.name.str().size() > 255 || rr.target.str().size() > 255) {
+      return false;
+    }
+  }
+  if (msg->question && msg->question->str().size() > 255) return false;
+  return true;
+}
+
+}  // namespace
+
+#ifdef HAYSTACK_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)check({data, size});
+  return 0;
+}
+#else
+int main(int argc, char** argv) {
+  const auto config = haystack::fuzz::parse_args(argc, argv);
+  return haystack::fuzz::run_fuzz("fuzz_dns_wire", config, build_corpus(),
+                                  structure_mutate, check);
+}
+#endif

@@ -1,0 +1,157 @@
+#include "fuzz_harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace haystack::fuzz {
+
+namespace {
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iterations N] [--seed S] [--only-iteration K]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* argv0, const char* text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') usage_and_exit(argv0);
+  return v;
+}
+
+}  // namespace
+
+FuzzConfig parse_args(int argc, char** argv) {
+  FuzzConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--iterations") == 0 && has_value) {
+      config.iterations = parse_u64(argv[0], argv[++i]);
+    } else if (std::strcmp(arg, "--seed") == 0 && has_value) {
+      config.seed = parse_u64(argv[0], argv[++i]);
+    } else if (std::strcmp(arg, "--only-iteration") == 0 && has_value) {
+      config.only_iteration =
+          static_cast<std::int64_t>(parse_u64(argv[0], argv[++i]));
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  return config;
+}
+
+void mutate(Bytes& data, util::Pcg32& rng) {
+  const std::uint32_t edits = 1 + rng.bounded(4);
+  for (std::uint32_t e = 0; e < edits; ++e) {
+    if (data.empty()) {
+      data.push_back(static_cast<std::uint8_t>(rng.bounded(256)));
+      continue;
+    }
+    const auto at = [&] { return rng.bounded(
+        static_cast<std::uint32_t>(data.size())); };
+    switch (rng.bounded(8)) {
+      case 0:  // bit flip
+        data[at()] ^= static_cast<std::uint8_t>(1U << rng.bounded(8));
+        break;
+      case 1:  // byte store
+        data[at()] = static_cast<std::uint8_t>(rng.bounded(256));
+        break;
+      case 2: {  // 16-bit big-endian field corruption (length fields,
+                 // counts, ids all live in u16s on these wires)
+        const std::size_t pos = at();
+        if (pos + 1 >= data.size()) break;
+        // Interesting boundary values dominate random ones.
+        constexpr std::uint16_t kBoundary[] = {0,      1,      3,     4,
+                                               0x00ff, 0x0100, 0x7fff,
+                                               0x8000, 0xfffe, 0xffff};
+        const std::uint16_t v = rng.chance(0.6)
+                                    ? kBoundary[rng.bounded(10)]
+                                    : static_cast<std::uint16_t>(
+                                          rng.bounded(0x10000));
+        data[pos] = static_cast<std::uint8_t>(v >> 8);
+        data[pos + 1] = static_cast<std::uint8_t>(v);
+        break;
+      }
+      case 3:  // truncate tail
+        data.resize(at());
+        break;
+      case 4: {  // extend with random bytes
+        const std::uint32_t extra = 1 + rng.bounded(16);
+        for (std::uint32_t i = 0; i < extra; ++i) {
+          data.push_back(static_cast<std::uint8_t>(rng.bounded(256)));
+        }
+        break;
+      }
+      case 5: {  // duplicate a region onto another position
+        const std::size_t from = at();
+        const std::size_t to = at();
+        const std::size_t len = std::min<std::size_t>(
+            1 + rng.bounded(8),
+            data.size() - std::max(from, to));
+        std::memmove(data.data() + to, data.data() + from, len);
+        break;
+      }
+      case 6: {  // swap two bytes
+        const std::size_t a = at();
+        const std::size_t b = at();
+        std::swap(data[a], data[b]);
+        break;
+      }
+      default: {  // zero a short region
+        const std::size_t pos = at();
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.bounded(8), data.size() - pos);
+        std::memset(data.data() + pos, 0, len);
+        break;
+      }
+    }
+  }
+}
+
+int run_fuzz(const std::string& name, const FuzzConfig& config,
+             const std::vector<Bytes>& corpus,
+             const std::function<void(Bytes&, util::Pcg32&)>& structure_mutate,
+             const std::function<bool(std::span<const std::uint8_t>)>& check) {
+  if (corpus.empty()) {
+    std::fprintf(stderr, "%s: empty corpus\n", name.c_str());
+    return 2;
+  }
+  const std::uint64_t first =
+      config.only_iteration >= 0
+          ? static_cast<std::uint64_t>(config.only_iteration)
+          : 0;
+  const std::uint64_t last =
+      config.only_iteration >= 0
+          ? static_cast<std::uint64_t>(config.only_iteration) + 1
+          : config.iterations;
+
+  for (std::uint64_t iter = first; iter < last; ++iter) {
+    // One independent generator per iteration: --only-iteration replays
+    // the identical input without running the preceding iterations.
+    util::Pcg32 rng = util::derive_rng(config.seed, iter, 0xf022);
+    Bytes input = corpus[rng.bounded(
+        static_cast<std::uint32_t>(corpus.size()))];
+    const bool structural = structure_mutate && rng.chance(0.5);
+    if (structural) structure_mutate(input, rng);
+    if (!structural || rng.chance(0.5)) mutate(input, rng);
+    if (!check(input)) {
+      std::fprintf(stderr,
+                   "%s: property violated at iteration %llu\n"
+                   "reproduce with: %s --seed %llu --only-iteration %llu\n",
+                   name.c_str(), static_cast<unsigned long long>(iter),
+                   name.c_str(),
+                   static_cast<unsigned long long>(config.seed),
+                   static_cast<unsigned long long>(iter));
+      return 1;
+    }
+  }
+  std::printf("%s: %llu iterations, 0 failures (seed %llu)\n", name.c_str(),
+              static_cast<unsigned long long>(last - first),
+              static_cast<unsigned long long>(config.seed));
+  return 0;
+}
+
+}  // namespace haystack::fuzz

@@ -1,0 +1,67 @@
+// Deterministic in-tree fuzz driver for the wire codecs (ISSUE 1).
+//
+// Each fuzz target (fuzz_netflow_v9, fuzz_ipfix, fuzz_dns_wire) supplies a
+// corpus of *valid* encoded packets, an optional structure-aware mutation
+// (length-field corruption at real offsets, template-ID swaps, compression
+// pointer injection, ...), and a `check` callback that feeds the bytes to
+// the decoder under test and returns false when a correctness property is
+// violated. The harness derives one Pcg32 per iteration from (seed,
+// iteration), so any failure reproduces from the printed command line
+// alone:
+//
+//     fuzz_netflow_v9 --seed 42 --only-iteration 1234
+//
+// replays exactly the failing input. Crashes and out-of-bounds reads are
+// the sanitizers' department: the same binaries run unchanged under
+// HAYSTACK_SANITIZE=address,undefined (tests/run_sanitizers.sh).
+//
+// When HAYSTACK_FUZZ=ON and the compiler is Clang, the targets are also
+// built as libFuzzer binaries (fuzz_*_libfuzzer) whose entry point feeds
+// arbitrary coverage-guided input into the same `check`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace haystack::fuzz {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Command-line configuration for a fuzz run.
+struct FuzzConfig {
+  std::uint64_t iterations = 10'000;
+  std::uint64_t seed = 1;
+  /// When >= 0, run exactly this one iteration (failure reproduction).
+  std::int64_t only_iteration = -1;
+};
+
+/// Parses --iterations N, --seed S, --only-iteration K. Unknown arguments
+/// abort with usage, so a typo cannot silently shrink coverage.
+[[nodiscard]] FuzzConfig parse_args(int argc, char** argv);
+
+/// Structure-blind mutation: applies 1..4 random edits (bit flips, byte
+/// stores, 16-bit big-endian field corruption, truncation, extension,
+/// region duplication, byte swaps) to `data` in place.
+void mutate(Bytes& data, util::Pcg32& rng);
+
+/// Runs the fuzz loop. Per iteration: pick a corpus entry, apply the
+/// target's structure-aware mutation and/or the generic mutator, call
+/// `check`. Returns the process exit code (0 on success); on failure
+/// prints the reproduction command line for the failing iteration.
+///
+/// `structure_mutate` may be empty; `check` must return true when the
+/// decoder behaved correctly (clean accept or clean reject — never a
+/// crash, which the harness cannot catch and the sanitizers turn into an
+/// abort with a report).
+[[nodiscard]] int run_fuzz(
+    const std::string& name, const FuzzConfig& config,
+    const std::vector<Bytes>& corpus,
+    const std::function<void(Bytes&, util::Pcg32&)>& structure_mutate,
+    const std::function<bool(std::span<const std::uint8_t>)>& check);
+
+}  // namespace haystack::fuzz

@@ -1,0 +1,146 @@
+// Structure-aware fuzzer for the NetFlow v9 collector.
+//
+// Corpus: real Exporter output (template + data packets, both families,
+// several record counts). Structure-aware mutations target the v9 framing:
+// flowset length fields, template ids (0 / 1 / 255 / 256 / 257), template
+// field counts, and truncation at flowset boundaries.
+//
+// Properties checked per input:
+//   - ingest() returns (no crash, no OOB — sanitizers enforce the latter);
+//   - decoded record count is bounded by the packet size (every record
+//     consumes at least one body byte);
+//   - a malformed verdict increments the malformed_packets counter;
+//   - the collector remains usable afterwards: a pristine template+data
+//     packet still decodes to the expected records.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flow/netflow_v9.hpp"
+#include "fuzz_harness.hpp"
+
+namespace {
+
+using haystack::fuzz::Bytes;
+using namespace haystack::flow;
+
+FlowRecord sample_record(std::uint32_t salt, bool v6) {
+  FlowRecord rec;
+  if (v6) {
+    rec.key.src = haystack::net::IpAddress::v6(0x20010db8ULL << 32, salt);
+    rec.key.dst = haystack::net::IpAddress::v6(0x20010db8ULL << 32,
+                                               0x10000ULL + salt);
+  } else {
+    rec.key.src = haystack::net::IpAddress::v4(0x0a000000U + salt);
+    rec.key.dst = haystack::net::IpAddress::v4(0x34000000U + salt * 7);
+  }
+  rec.key.src_port = static_cast<std::uint16_t>(30000 + salt);
+  rec.key.dst_port = 443;
+  rec.key.proto = 6;
+  rec.tcp_flags = 0x1b;
+  rec.packets = 1 + salt;
+  rec.bytes = 100 + salt * 11;
+  rec.start_ms = salt * 1000;
+  rec.end_ms = salt * 1000 + 400;
+  rec.sampling = 1000;
+  return rec;
+}
+
+std::vector<Bytes> build_corpus() {
+  std::vector<Bytes> corpus;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                              std::size_t{40}}) {
+    nf9::Exporter exporter{{.source_id = 7, .sampling = 1000,
+                            .max_records_per_packet = 24,
+                            .template_refresh_packets = 1}};
+    std::vector<FlowRecord> records;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      records.push_back(sample_record(i, i % 3 == 0));
+    }
+    for (auto& packet : exporter.export_flows(records, 1574000000)) {
+      corpus.push_back(std::move(packet));
+    }
+  }
+  return corpus;
+}
+
+// v9 framing offsets: 20-byte header, then flowsets at (id u16, length
+// u16) boundaries.
+void structure_mutate(Bytes& data, haystack::util::Pcg32& rng) {
+  if (data.size() < 24) return;
+  switch (rng.bounded(4)) {
+    case 0: {  // corrupt the first flowset's length field
+      const std::uint16_t v = static_cast<std::uint16_t>(rng.bounded(0x10000));
+      data[22] = static_cast<std::uint8_t>(v >> 8);
+      data[23] = static_cast<std::uint8_t>(v);
+      break;
+    }
+    case 1: {  // swap/poison a template id somewhere in the body
+      constexpr std::uint16_t kIds[] = {0, 1, 255, 256, 257, 0x8000};
+      const std::uint16_t id = kIds[rng.bounded(6)];
+      const std::size_t pos =
+          20 + rng.bounded(static_cast<std::uint32_t>(data.size() - 21));
+      data[pos] = static_cast<std::uint8_t>(id >> 8);
+      data[pos + 1] = static_cast<std::uint8_t>(id);
+      break;
+    }
+    case 2: {  // template field-count corruption (offset 26 in a
+               // template-first packet: header 20 + id 2 + len 2 + tid 2)
+      if (data.size() < 28) break;
+      const std::uint16_t v = rng.chance(0.5)
+                                  ? static_cast<std::uint16_t>(rng.bounded(64))
+                                  : static_cast<std::uint16_t>(
+                                        0xff00 | rng.bounded(256));
+      data[26] = static_cast<std::uint8_t>(v >> 8);
+      data[27] = static_cast<std::uint8_t>(v);
+      break;
+    }
+    default:  // truncate at a pseudo-flowset boundary (4-byte aligned)
+      data.resize(20 + 4 * rng.bounded(
+                           static_cast<std::uint32_t>(data.size() / 4)));
+      break;
+  }
+}
+
+bool check(std::span<const std::uint8_t> input) {
+  static nf9::Collector persistent;  // stateful across iterations
+  nf9::Collector fresh;
+  for (nf9::Collector* collector : {&persistent, &fresh}) {
+    std::vector<FlowRecord> out;
+    const std::uint64_t malformed_before =
+        collector->stats().malformed_packets;
+    const bool accepted = collector->ingest(input, out);
+    if (out.size() > input.size()) return false;  // record-per-byte bound
+    if (!accepted &&
+        collector->stats().malformed_packets == malformed_before) {
+      return false;  // rejection must be accounted
+    }
+  }
+  // The persistent collector must still decode pristine traffic: a fuzzed
+  // packet may legitimately poison templates (that is protocol-valid), so
+  // re-announce templates the way a real exporter would and round-trip.
+  nf9::Exporter exporter{{.source_id = 991, .template_refresh_packets = 1}};
+  std::vector<FlowRecord> records{sample_record(3, false),
+                                  sample_record(4, true)};
+  std::vector<FlowRecord> decoded;
+  for (const auto& packet : exporter.export_flows(records, 1574000000)) {
+    if (!persistent.ingest(packet, decoded)) return false;
+  }
+  return decoded.size() == records.size();
+}
+
+}  // namespace
+
+#ifdef HAYSTACK_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)check({data, size});
+  return 0;
+}
+#else
+int main(int argc, char** argv) {
+  const auto config = haystack::fuzz::parse_args(argc, argv);
+  return haystack::fuzz::run_fuzz("fuzz_netflow_v9", config, build_corpus(),
+                                  structure_mutate, check);
+}
+#endif

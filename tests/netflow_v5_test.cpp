@@ -2,7 +2,10 @@
 // propagation, IPv6 rejection, sequence tracking, malformed input.
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "flow/netflow_v5.hpp"
+#include "util/rng.hpp"
 
 namespace haystack::flow::nf5 {
 namespace {
@@ -83,6 +86,44 @@ TEST(NetFlowV5Test, MalformedRejected) {
   bad[3] = 7;   // claims 7 records but carries 1
   EXPECT_FALSE(collector.ingest(bad, out));
   EXPECT_EQ(collector.stats().malformed_packets, 2u);
+}
+
+TEST(NetFlowV5Test, EveryPrefixTruncationRejected) {
+  // v5 is fixed-format: the header's record count must match the byte count
+  // exactly, so every strict prefix of a valid packet is malformed.
+  Exporter exporter{{.engine_id = 2, .sampling = 100}};
+  std::vector<FlowRecord> input{make_record(0), make_record(1),
+                                make_record(2)};
+  const auto packets = exporter.export_flows(input, 1574000000);
+  ASSERT_EQ(packets.size(), 1u);
+  const auto& full = packets[0];
+  Collector collector;
+  std::vector<FlowRecord> out;
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix{full.data(), cut};
+    EXPECT_FALSE(collector.ingest(prefix, out)) << "prefix length " << cut;
+    EXPECT_TRUE(out.empty());
+  }
+  EXPECT_EQ(collector.stats().malformed_packets, full.size());
+  // The untruncated packet still decodes on the same collector.
+  EXPECT_TRUE(collector.ingest(full, out));
+  EXPECT_EQ(out.size(), input.size());
+}
+
+TEST(NetFlowV5Test, DeterministicGarbageRejected) {
+  // Random byte blobs (fixed seed) must be rejected cleanly and accounted.
+  Collector collector;
+  std::vector<FlowRecord> out;
+  util::Pcg32 rng{0x5eed, 5};
+  std::uint64_t rejected = 0;
+  for (std::uint32_t size = 0; size < 160; size += 7) {
+    std::vector<std::uint8_t> blob(size);
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng.bounded(256));
+    if (!collector.ingest(blob, out)) ++rejected;
+    out.clear();
+  }
+  EXPECT_EQ(collector.stats().malformed_packets, rejected);
+  EXPECT_GT(rejected, 0u);
 }
 
 TEST(NetFlowV5Test, UnsampledHeaderYieldsIntervalOne) {

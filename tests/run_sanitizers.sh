@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under the sanitizers (ISSUE 1).
+#
+#   tests/run_sanitizers.sh            # ASan+UBSan full suite, then TSan
+#   tests/run_sanitizers.sh asan       # ASan+UBSan only
+#   tests/run_sanitizers.sh tsan       # TSan only
+#
+# ASan+UBSan runs the entire suite (unit + differential + fuzz smoke); the
+# fuzz targets additionally get a longer 10k-iteration pass per codec. TSan
+# runs the threaded workloads: the differential sweep (whose per-scenario
+# shard sweep hammers ShardedDetector worker threads) and the sharded
+# detector unit tests.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc)"
+
+run_asan() {
+  echo "== ASan+UBSan =="
+  cmake -B build-asan -S . -DHAYSTACK_SANITIZE=address,undefined
+  cmake --build build-asan -j "${jobs}"
+  (cd build-asan && ctest --output-on-failure -j "${jobs}")
+  for codec in netflow_v9 ipfix dns_wire; do
+    "./build-asan/tests/fuzz/fuzz_${codec}" --iterations 10000 --seed 1
+  done
+}
+
+run_tsan() {
+  echo "== TSan =="
+  cmake -B build-tsan -S . -DHAYSTACK_SANITIZE=thread
+  cmake --build build-tsan -j "${jobs}"
+  (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L differential)
+  (cd build-tsan && ctest --output-on-failure -j "${jobs}" -R Sharded)
+}
+
+case "${mode}" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)  run_asan; run_tsan ;;
+  *)    echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+esac
+echo "sanitizer runs passed"

@@ -3,6 +3,10 @@
 // processing under concurrency.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
 #include "core/sharded_detector.hpp"
 #include "simnet/backend.hpp"
 #include "simnet/manual_analysis.hpp"
@@ -77,6 +81,59 @@ TEST_F(ShardedDetectorTest, ParallelMatchesSequential) {
   eight.for_each_evidence(
       [&](SubscriberKey, ServiceId, const Evidence&) { ++count_eight; });
   EXPECT_EQ(count_one, count_eight);
+}
+
+// Full per-subscriber evidence state as a sortable value, so two detectors
+// can be compared bit for bit rather than through sampled queries.
+using EvidenceRow =
+    std::tuple<SubscriberKey, ServiceId, std::uint64_t, std::uint64_t,
+               std::uint16_t, std::uint64_t, util::HourBin, util::HourBin>;
+
+std::vector<EvidenceRow> snapshot(const ShardedDetector& det) {
+  std::vector<EvidenceRow> rows;
+  det.for_each_evidence(
+      [&](SubscriberKey s, ServiceId sv, const Evidence& ev) {
+        rows.emplace_back(s, sv, ev.mask[0], ev.mask[1], ev.distinct,
+                          ev.packets, ev.first_seen, ev.satisfied_hour);
+      });
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST_F(ShardedDetectorTest, ObserveMatchesProcessBatch) {
+  // Streaming observations one at a time and processing them as one batch
+  // must land in the identical evidence state.
+  ShardedDetector streamed{rules_->hitlist, *rules_, {.threshold = 0.4}, 4};
+  ShardedDetector batched{rules_->hitlist, *rules_, {.threshold = 0.4}, 4};
+  for (const auto& obs : *batch_) streamed.observe(obs);
+  batched.process_batch(*batch_);
+
+  EXPECT_EQ(streamed.stats().flows, batched.stats().flows);
+  EXPECT_EQ(streamed.stats().matched, batched.stats().matched);
+  const auto a = snapshot(streamed);
+  const auto b = snapshot(batched);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ShardedDetectorTest, DeterministicAcrossShardCounts) {
+  // The shard count is a throughput knob, never an accuracy knob: every
+  // shard count must produce the same evidence bits, and repeated runs at
+  // the same count must be byte-identical (thread scheduling invisible).
+  ShardedDetector baseline{rules_->hitlist, *rules_, {.threshold = 0.4}, 1};
+  baseline.process_batch(*batch_);
+  const auto expected = snapshot(baseline);
+  ASSERT_FALSE(expected.empty());
+
+  for (const unsigned shards : {2u, 4u, 8u, 16u}) {
+    ShardedDetector det{rules_->hitlist, *rules_, {.threshold = 0.4},
+                        shards};
+    det.process_batch(*batch_);
+    EXPECT_EQ(snapshot(det), expected) << "shards=" << shards;
+  }
+  ShardedDetector again{rules_->hitlist, *rules_, {.threshold = 0.4}, 8};
+  again.process_batch(*batch_);
+  EXPECT_EQ(snapshot(again), expected);
 }
 
 TEST_F(ShardedDetectorTest, SingleObservePathWorks) {

@@ -1,0 +1,146 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <tuple>
+
+#include "flow/wire.hpp"
+
+namespace haystack::core {
+
+namespace {
+
+struct Entry {
+  SubscriberKey subscriber;
+  ServiceId service;
+  Evidence evidence;
+};
+
+template <typename DetectorT>
+std::vector<std::uint8_t> save_impl(const DetectorT& detector,
+                                    double threshold,
+                                    const Detector::Stats& stats) {
+  std::vector<Entry> entries;
+  detector.for_each_evidence(
+      [&entries](SubscriberKey sub, ServiceId svc, const Evidence& ev) {
+        entries.push_back({sub, svc, ev});
+      });
+  // Hash-map iteration order is not deterministic across runs; sorting
+  // makes identical state produce identical checkpoint bytes.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return std::tie(a.subscriber, a.service) <
+                     std::tie(b.subscriber, b.service);
+            });
+
+  flow::ByteWriter w;
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointVersion);
+  w.u64(std::bit_cast<std::uint64_t>(threshold));
+  w.u64(stats.flows);
+  w.u64(stats.matched);
+  w.u64(entries.size());
+  for (const auto& e : entries) {
+    w.u64(e.subscriber);
+    w.u16(e.service);
+    w.u64(e.evidence.mask[0]);
+    w.u64(e.evidence.mask[1]);
+    w.u16(e.evidence.distinct);
+    w.u64(e.evidence.packets);
+    w.u32(e.evidence.first_seen);
+    w.u32(e.evidence.satisfied_hour);
+  }
+  return w.take();
+}
+
+struct Parsed {
+  Detector::Stats stats;
+  std::vector<Entry> entries;
+};
+
+bool parse_impl(std::span<const std::uint8_t> blob, double threshold,
+                Parsed& out, std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  flow::ByteReader r{blob};
+  if (r.u32() != kCheckpointMagic) return fail("bad checkpoint magic");
+  const std::uint32_t version = r.u32();
+  if (!r.ok()) return fail("truncated checkpoint header");
+  if (version != kCheckpointVersion) {
+    return fail("unsupported checkpoint version");
+  }
+  const std::uint64_t threshold_bits = r.u64();
+  if (threshold_bits != std::bit_cast<std::uint64_t>(threshold)) {
+    return fail("checkpoint written under a different threshold");
+  }
+  out.stats.flows = r.u64();
+  out.stats.matched = r.u64();
+  const std::uint64_t count = r.u64();
+  if (!r.ok()) return fail("truncated checkpoint header");
+  // Each entry is 42 bytes; reject counts the blob cannot hold before
+  // reserve() turns them into an allocation.
+  constexpr std::size_t kEntryBytes = 8 + 2 + 8 + 8 + 2 + 8 + 4 + 4;
+  if (count > r.remaining() / kEntryBytes) {
+    return fail("truncated checkpoint body");
+  }
+  if (count * kEntryBytes != r.remaining()) {
+    return fail("trailing bytes after checkpoint body");
+  }
+  out.entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry e{};
+    e.subscriber = r.u64();
+    e.service = r.u16();
+    e.evidence.mask[0] = r.u64();
+    e.evidence.mask[1] = r.u64();
+    e.evidence.distinct = r.u16();
+    e.evidence.packets = r.u64();
+    e.evidence.first_seen = r.u32();
+    e.evidence.satisfied_hour = r.u32();
+    out.entries.push_back(e);
+  }
+  if (!r.ok() || r.remaining() != 0) return fail("malformed checkpoint body");
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save_checkpoint(const Detector& detector) {
+  return save_impl(detector, detector.config().threshold, detector.stats());
+}
+
+std::vector<std::uint8_t> save_checkpoint(const ShardedDetector& detector) {
+  return save_impl(detector, detector.config().threshold, detector.stats());
+}
+
+bool restore_checkpoint(std::span<const std::uint8_t> blob,
+                        Detector& detector, std::string* error) {
+  Parsed parsed;
+  if (!parse_impl(blob, detector.config().threshold, parsed, error)) {
+    return false;
+  }
+  detector.clear();
+  detector.restore_stats(parsed.stats);
+  for (const auto& e : parsed.entries) {
+    detector.restore_evidence(e.subscriber, e.service, e.evidence);
+  }
+  return true;
+}
+
+bool restore_checkpoint(std::span<const std::uint8_t> blob,
+                        ShardedDetector& detector, std::string* error) {
+  Parsed parsed;
+  if (!parse_impl(blob, detector.config().threshold, parsed, error)) {
+    return false;
+  }
+  detector.clear();
+  detector.restore_stats(parsed.stats);
+  for (const auto& e : parsed.entries) {
+    detector.restore_evidence(e.subscriber, e.service, e.evidence);
+  }
+  return true;
+}
+
+}  // namespace haystack::core

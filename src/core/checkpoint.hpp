@@ -1,0 +1,61 @@
+// Versioned detector checkpoint/restore (ISSUE 2).
+//
+// A collector that crashes or restarts must not re-observe weeks of flow
+// history to get back to its detection state: the entire per-(subscriber,
+// service) evidence map — bitmasks, distinct counts, packet totals, first
+// seen and satisfied hours — serializes into a compact binary checkpoint
+// and restores bit-for-bit. The differential suite verifies that a
+// mid-run save → restore → continue produces exactly the evidence masks
+// and detection hours of an uninterrupted run.
+//
+// Format (big-endian, via flow::ByteWriter):
+//
+//   u32  magic   "HSCK" (0x4853434b)
+//   u32  version (kCheckpointVersion)
+//   u64  threshold, IEEE-754 bit pattern of DetectorConfig::threshold
+//   u64  stats.flows
+//   u64  stats.matched
+//   u64  entry count
+//   entries, sorted by (subscriber, service) for deterministic bytes:
+//     u64 subscriber, u16 service,
+//     u64 mask[0], u64 mask[1], u16 distinct, u64 packets,
+//     u32 first_seen, u32 satisfied_hour
+//
+// Versioning rule: any change to the byte layout or to the meaning of a
+// field bumps kCheckpointVersion; restore rejects any other version (no
+// silent migration — an operator restores with the binary that wrote the
+// checkpoint, or replays). The threshold is embedded because evidence
+// satisfied under one threshold must not seed a detector running another.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/sharded_detector.hpp"
+
+namespace haystack::core {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4853434bU;  // "HSCK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Serializes the full evidence state + throughput counters.
+[[nodiscard]] std::vector<std::uint8_t> save_checkpoint(
+    const Detector& detector);
+[[nodiscard]] std::vector<std::uint8_t> save_checkpoint(
+    const ShardedDetector& detector);
+
+/// Restores a checkpoint into `detector`, replacing its evidence state.
+/// Returns false — leaving the detector untouched — when the blob has a
+/// wrong magic/version, was written under a different threshold, is
+/// truncated, or carries trailing bytes. `error`, when non-null, receives
+/// a human-readable reason.
+bool restore_checkpoint(std::span<const std::uint8_t> blob,
+                        Detector& detector, std::string* error = nullptr);
+bool restore_checkpoint(std::span<const std::uint8_t> blob,
+                        ShardedDetector& detector,
+                        std::string* error = nullptr);
+
+}  // namespace haystack::core

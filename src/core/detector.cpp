@@ -69,6 +69,49 @@ std::optional<util::HourBin> Detector::detection_hour(
   return latest;
 }
 
+void Detector::set_observed_loss(double fraction) noexcept {
+  observed_loss_ = std::clamp(fraction, 0.0, 1.0);
+}
+
+Verdict Detector::verdict(SubscriberKey subscriber, ServiceId service) const {
+  if (const auto hour = detection_hour(subscriber, service)) {
+    return {true, Confidence::kHigh, hour};
+  }
+  if (!degraded()) return {false, Confidence::kHigh, std::nullopt};
+
+  // Degraded channel: an estimated fraction `observed_loss_` of the
+  // export stream never reached us, so scale the evidence requirement
+  // down proportionally (never below one domain) and re-evaluate the
+  // hierarchy chain on current evidence. Whatever the answer, it is
+  // low-confidence.
+  std::optional<ServiceId> current = service;
+  while (current) {
+    const DetectionRule* rule =
+        *current < rule_of_.size() ? rule_of_[*current] : nullptr;
+    if (rule == nullptr) return {false, Confidence::kLow, std::nullopt};
+    const auto it = evidence_.find({subscriber, *current});
+    if (it == evidence_.end()) return {false, Confidence::kLow, std::nullopt};
+    const Evidence& ev = it->second;
+    const bool critical_ok =
+        rule->critical_sufficient && rule->critical_monitored_index &&
+        ev.sees(*rule->critical_monitored_index);
+    const unsigned required = rule->required_domains(config_.threshold);
+    const auto relaxed = std::max<unsigned>(
+        1, static_cast<unsigned>(static_cast<double>(required) *
+                                 (1.0 - observed_loss_)));
+    if (!critical_ok && ev.distinct < relaxed) {
+      return {false, Confidence::kLow, std::nullopt};
+    }
+    current = rule->parent;
+  }
+  return {true, Confidence::kLow, std::nullopt};
+}
+
+void Detector::restore_evidence(SubscriberKey subscriber, ServiceId service,
+                                const Evidence& evidence) {
+  evidence_[{subscriber, service}] = evidence;
+}
+
 const Evidence* Detector::evidence(SubscriberKey subscriber,
                                    ServiceId service) const {
   const auto it = evidence_.find({subscriber, service});

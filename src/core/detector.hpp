@@ -35,6 +35,29 @@ struct DetectorConfig {
   /// Domain-coverage threshold D (Sec. 4.3.2; the paper's conservative
   /// default is 0.4).
   double threshold = 0.4;
+  /// Estimated observation-channel loss fraction above which the detector
+  /// runs in degraded mode: verdicts become low-confidence, and the
+  /// evidence requirement is relaxed in proportion to the loss (ISSUE 2).
+  double loss_tolerance = 0.05;
+};
+
+/// Confidence qualifier for loss-aware verdicts.
+enum class Confidence : std::uint8_t {
+  kHigh,  ///< full evidence requirement met on a healthy channel
+  kLow,   ///< verdict rendered under a degraded observation channel
+};
+
+/// A loss-aware detection verdict (ISSUE 2). On a healthy channel this is
+/// just detection_hour() with kHigh confidence. When the estimated loss
+/// exceeds the tolerance, missing evidence may be the channel's fault:
+/// services satisfying a loss-relaxed requirement are reported detected at
+/// kLow confidence (with no hour, since the full requirement never fired),
+/// and negative verdicts are themselves flagged kLow.
+struct Verdict {
+  bool detected = false;
+  Confidence confidence = Confidence::kHigh;
+  /// Detection hour; set only for full-evidence (kHigh) detections.
+  std::optional<util::HourBin> hour;
 };
 
 /// Per-(subscriber, service) evidence state.
@@ -78,6 +101,22 @@ class Detector {
     return detection_hour(subscriber, service).has_value();
   }
 
+  /// Loss-aware verdict (see Verdict). Uses the loss set through
+  /// set_observed_loss() against config().loss_tolerance.
+  [[nodiscard]] Verdict verdict(SubscriberKey subscriber,
+                                ServiceId service) const;
+
+  /// Feeds the current estimated loss fraction of the observation channel
+  /// (e.g. flow::nf9::Collector::estimated_loss()). Clamped to [0, 1].
+  void set_observed_loss(double fraction) noexcept;
+  [[nodiscard]] double observed_loss() const noexcept {
+    return observed_loss_;
+  }
+  /// True when the channel loss exceeds the configured tolerance.
+  [[nodiscard]] bool degraded() const noexcept {
+    return observed_loss_ > config_.loss_tolerance;
+  }
+
   /// Raw evidence for diagnostics/tests; nullptr when none.
   [[nodiscard]] const Evidence* evidence(SubscriberKey subscriber,
                                          ServiceId service) const;
@@ -96,6 +135,13 @@ class Detector {
     std::uint64_t matched = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Checkpoint support (core/checkpoint.hpp): installs one evidence row /
+  /// the saved throughput counters verbatim. Restored state is bit-for-bit
+  /// what for_each_evidence()/stats() produced at save time.
+  void restore_evidence(SubscriberKey subscriber, ServiceId service,
+                        const Evidence& evidence);
+  void restore_stats(const Stats& stats) noexcept { stats_ = stats; }
 
   [[nodiscard]] const DetectorConfig& config() const noexcept {
     return config_;
@@ -122,6 +168,7 @@ class Detector {
   std::vector<const DetectionRule*> rule_of_;
   std::unordered_map<Key, Evidence, KeyHash> evidence_;
   Stats stats_;
+  double observed_loss_ = 0.0;
 };
 
 }  // namespace haystack::core

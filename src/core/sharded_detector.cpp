@@ -57,6 +57,29 @@ std::optional<util::HourBin> ShardedDetector::detection_hour(
   return shards_[shard_of(subscriber)]->detection_hour(subscriber, service);
 }
 
+Verdict ShardedDetector::verdict(SubscriberKey subscriber,
+                                 ServiceId service) const {
+  return shards_[shard_of(subscriber)]->verdict(subscriber, service);
+}
+
+void ShardedDetector::set_observed_loss(double fraction) noexcept {
+  for (const auto& shard : shards_) shard->set_observed_loss(fraction);
+}
+
+void ShardedDetector::restore_evidence(SubscriberKey subscriber,
+                                       ServiceId service,
+                                       const Evidence& evidence) {
+  shards_[shard_of(subscriber)]->restore_evidence(subscriber, service,
+                                                  evidence);
+}
+
+void ShardedDetector::restore_stats(const Detector::Stats& stats) {
+  shards_[0]->restore_stats(stats);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    shards_[s]->restore_stats({});
+  }
+}
+
 void ShardedDetector::for_each_evidence(
     const std::function<void(SubscriberKey, ServiceId, const Evidence&)>& fn)
     const {

@@ -49,6 +49,19 @@ class ShardedDetector {
   [[nodiscard]] std::optional<util::HourBin> detection_hour(
       SubscriberKey subscriber, ServiceId service) const;
 
+  /// Loss-aware verdict (delegates to the owning shard).
+  [[nodiscard]] Verdict verdict(SubscriberKey subscriber,
+                                ServiceId service) const;
+
+  /// Propagates the estimated channel loss to every shard.
+  void set_observed_loss(double fraction) noexcept;
+
+  /// Checkpoint support: routes the evidence row to its owning shard /
+  /// installs the saved totals (in shard 0, so stats() reproduces them).
+  void restore_evidence(SubscriberKey subscriber, ServiceId service,
+                        const Evidence& evidence);
+  void restore_stats(const Detector::Stats& stats);
+
   /// Visits evidence across all shards (single-threaded).
   void for_each_evidence(
       const std::function<void(SubscriberKey, ServiceId, const Evidence&)>&
@@ -60,6 +73,10 @@ class ShardedDetector {
     return static_cast<unsigned>(shards_.size());
   }
   [[nodiscard]] Detector::Stats stats() const;
+  /// Shared per-shard configuration.
+  [[nodiscard]] const DetectorConfig& config() const noexcept {
+    return shards_[0]->config();
+  }
 
  private:
   [[nodiscard]] std::size_t shard_of(SubscriberKey subscriber) const {

@@ -1,0 +1,181 @@
+// Shared export-stream sequence tracking (ISSUE 2).
+//
+// All three codecs carry a 32-bit sequence counter in their packet headers
+// — v5 counts flows, v9 counts packets, IPFIX counts data records — and all
+// three previously grew their own ad-hoc gap detection. This header unifies
+// them behind one tracker that classifies every observed sequence number
+// with correct 32-bit wraparound semantics:
+//
+//   * kInOrder  — exactly the expected value;
+//   * kGap      — ahead of expectation: the in-between units are presumed
+//                 lost (until a late replay credits them back);
+//   * kReplay   — behind expectation but within the reorder window: a
+//                 delayed or duplicated datagram, not a restart;
+//   * kRestart  — behind expectation by more than the reorder window: the
+//                 exporter process restarted and its counter reset.
+//
+// The forward/backward decision uses the signed difference of unsigned
+// 32-bit values, so a stream wrapping from 0xffffffff to 0 is "forward by
+// one", not a 4-billion-unit gap.
+//
+// DatagramDeduper is the companion UDP-level duplicate suppressor: a small
+// ring of datagram hashes. Export headers embed monotonic sequence numbers
+// and timestamps, so byte-identical datagrams within the window are
+// genuine network duplicates, not distinct exports.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace haystack::flow {
+
+/// Classification of one observed sequence number.
+enum class SequenceEvent : std::uint8_t {
+  kFirst,    ///< first datagram of the stream
+  kInOrder,  ///< matches expectation exactly
+  kGap,      ///< ahead of expectation; units in between presumed lost
+  kReplay,   ///< behind expectation, within the reorder window
+  kRestart,  ///< behind expectation beyond the window: counter reset
+};
+
+/// Result of classifying a sequence number.
+struct SequenceOutcome {
+  SequenceEvent event = SequenceEvent::kFirst;
+  /// Units (flows/packets/records, per codec) presumed lost; kGap only.
+  std::uint32_t lost_units = 0;
+};
+
+/// Per-stream sequence tracker with wraparound-correct gap accounting.
+///
+/// Usage is two-phase so callers can act on the classification (clear
+/// template state on kRestart, count a gap event) before committing:
+///
+///   const auto outcome = tracker.classify(seq);
+///   ...react...
+///   tracker.commit(seq, units_in_this_datagram, outcome);
+class SequenceTracker {
+ public:
+  SequenceTracker() = default;
+  explicit SequenceTracker(std::uint32_t reorder_window) noexcept
+      : reorder_window_{reorder_window} {}
+
+  [[nodiscard]] SequenceOutcome classify(std::uint32_t seq) const noexcept {
+    if (!have_) return {SequenceEvent::kFirst, 0};
+    const auto delta = static_cast<std::int32_t>(seq - expected_);
+    if (delta == 0) return {SequenceEvent::kInOrder, 0};
+    if (delta > 0) {
+      return {SequenceEvent::kGap, static_cast<std::uint32_t>(delta)};
+    }
+    if (static_cast<std::uint32_t>(-delta) <= reorder_window_) {
+      return {SequenceEvent::kReplay, 0};
+    }
+    return {SequenceEvent::kRestart, 0};
+  }
+
+  /// Advances the tracker past a datagram carrying `units` units whose
+  /// classification was `outcome`.
+  void commit(std::uint32_t seq, std::uint32_t units,
+              const SequenceOutcome& outcome) noexcept {
+    have_ = true;
+    received_ += units;
+    switch (outcome.event) {
+      case SequenceEvent::kReplay:
+        // A datagram previously presumed lost arrived after all; credit
+        // its units back. Expectation is unchanged: the stream head has
+        // already moved past this datagram.
+        lost_ -= std::min<std::uint64_t>(lost_, units);
+        break;
+      case SequenceEvent::kGap:
+        lost_ += outcome.lost_units;
+        expected_ = seq + units;
+        break;
+      default:
+        expected_ = seq + units;
+        break;
+    }
+  }
+
+  /// Credits units that were received but only became decodable later
+  /// (template-loss recovery) into the received total.
+  void credit_recovered(std::uint64_t units) noexcept { received_ += units; }
+
+  /// Jumps the expectation forward to `seq_end` when that is ahead of it.
+  /// Used after template-loss recovery: the recovered records occupy the
+  /// sequence space up to `seq_end`, and without the jump the next
+  /// datagram would re-report that space as a gap (phantom loss).
+  void advance_past(std::uint32_t seq_end) noexcept {
+    if (have_ && static_cast<std::int32_t>(seq_end - expected_) > 0) {
+      expected_ = seq_end;
+    }
+  }
+
+  /// Forgets stream state (after a restart was handled by the caller).
+  void reset() noexcept {
+    have_ = false;
+    expected_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t lost() const noexcept { return lost_; }
+
+  /// Estimated loss fraction of this stream: lost / (lost + received).
+  [[nodiscard]] double loss_fraction() const noexcept {
+    const std::uint64_t total = received_ + lost_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(lost_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  std::uint32_t reorder_window_ = 64;
+  bool have_ = false;
+  std::uint32_t expected_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+/// Health summary of one export stream, for telemetry surfacing.
+struct SourceHealth {
+  std::uint64_t received_units = 0;  ///< units seen (flows/packets/records)
+  std::uint64_t lost_units = 0;      ///< units presumed lost to the network
+  std::uint32_t restarts = 0;        ///< exporter restarts detected
+
+  [[nodiscard]] double loss_fraction() const noexcept {
+    const std::uint64_t total = received_units + lost_units;
+    return total == 0 ? 0.0
+                      : static_cast<double>(lost_units) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Suppresses byte-identical datagrams within a sliding window. A window
+/// of 0 disables suppression (the default for bare collectors, so replayed
+/// captures and prefix-truncation tests behave as plain decoders).
+class DatagramDeduper {
+ public:
+  DatagramDeduper() = default;
+  explicit DatagramDeduper(std::size_t window) : ring_(window, 0) {}
+
+  /// Returns true when `datagram` hashes equal to one of the last
+  /// `window` datagrams; otherwise records it and returns false.
+  [[nodiscard]] bool seen_before(std::span<const std::uint8_t> datagram) {
+    if (ring_.empty()) return false;
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the bytes
+    for (const std::uint8_t b : datagram) {
+      h = (h ^ b) * 0x100000001b3ULL;
+    }
+    if (h == 0) h = 1;  // 0 marks an empty slot
+    if (std::find(ring_.begin(), ring_.end(), h) != ring_.end()) return true;
+    ring_[next_] = h;
+    next_ = (next_ + 1) % ring_.size();
+    return false;
+  }
+
+ private:
+  std::vector<std::uint64_t> ring_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace haystack::flow

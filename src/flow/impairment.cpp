@@ -1,0 +1,56 @@
+#include "flow/impairment.hpp"
+
+namespace haystack::flow {
+
+std::vector<std::vector<std::uint8_t>> ImpairedLink::transmit(
+    std::vector<std::uint8_t> datagram) {
+  ++stats_.datagrams_in;
+
+  if (rng_.chance(config_.drop)) {
+    ++stats_.dropped;
+    return {};
+  }
+
+  if (rng_.chance(config_.reorder) && held_.size() < config_.reorder_hold) {
+    // Hold this datagram back; it will be released behind datagrams that
+    // entered the link after it.
+    ++stats_.reordered;
+    held_.push_back(std::move(datagram));
+    return {};
+  }
+
+  if (rng_.chance(config_.truncate) && datagram.size() > 1) {
+    // Cut somewhere strictly inside the datagram (a zero-length datagram
+    // is indistinguishable from a drop and accounted as such above).
+    datagram.resize(1 + rng_.bounded(
+                            static_cast<std::uint32_t>(datagram.size() - 1)));
+    ++stats_.truncated;
+  }
+
+  std::vector<std::vector<std::uint8_t>> out;
+  if (rng_.chance(config_.duplicate)) {
+    ++stats_.duplicated;
+    out.push_back(datagram);
+  }
+  out.push_back(std::move(datagram));
+  // Anything held for reordering now leaves the link *after* the current
+  // datagram, which is what makes it reordered.
+  while (!held_.empty()) {
+    out.push_back(std::move(held_.front()));
+    held_.pop_front();
+  }
+  stats_.delivered += out.size();
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> ImpairedLink::flush() {
+  std::vector<std::vector<std::uint8_t>> out;
+  while (!held_.empty()) {
+    out.push_back(std::move(held_.front()));
+    held_.pop_front();
+  }
+  stats_.delivered += out.size();
+  return out;
+}
+
+}  // namespace haystack::flow

@@ -1,0 +1,84 @@
+// Deterministic UDP export-path impairment injection (ISSUE 2).
+//
+// NetFlow/IPFIX export rides plain UDP: datagrams get dropped, duplicated,
+// reordered, and truncated between the border router and the collector,
+// and none of it is reported by the transport. The paper's methodology
+// ingests such streams at ISP scale, so the repository needs every one of
+// those failure modes on demand — reproducibly. ImpairedLink models the
+// exporter→collector path: each configured impairment fires from a seeded
+// PRNG, so a (seed, traffic) pair replays the exact same fault schedule
+// every run, which is what makes the `fault` test matrix and the loss
+// ablation bench deterministic.
+//
+// Reordering is modeled as bounded delay: a chosen datagram is held back
+// and released after later datagrams have passed it (flush() drains
+// whatever is still held). The invariant
+//
+//   datagrams_in + duplicated == delivered + dropped + held()
+//
+// holds at every point, so tests can account for every datagram.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace haystack::flow {
+
+/// Impairment probabilities and knobs. All probabilities are independent
+/// per datagram; 0 disables the corresponding impairment.
+struct ImpairmentConfig {
+  std::uint64_t seed = 1;   ///< PRNG seed: same seed => same fault schedule
+  double drop = 0.0;        ///< datagram silently lost
+  double duplicate = 0.0;   ///< datagram delivered twice back-to-back
+  double reorder = 0.0;     ///< datagram delayed behind later ones
+  double truncate = 0.0;    ///< datagram delivered with its tail cut off
+  std::size_t reorder_hold = 3;  ///< max datagrams held back at once
+};
+
+/// Datagram accounting. `delivered` counts datagrams that exited the link
+/// (including duplicates and truncated ones).
+struct ImpairmentStats {
+  std::uint64_t datagrams_in = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t truncated = 0;
+};
+
+/// One impaired exporter→collector UDP path.
+class ImpairedLink {
+ public:
+  ImpairedLink() : ImpairedLink(ImpairmentConfig{}) {}
+  explicit ImpairedLink(const ImpairmentConfig& config)
+      : config_{config}, rng_{util::splitmix64(config.seed ^ 0x1a7a17ULL),
+                              config.seed} {}
+
+  /// Passes one datagram through the link; returns the datagrams that come
+  /// out the far end right now (possibly none, possibly several).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> transmit(
+      std::vector<std::uint8_t> datagram);
+
+  /// Releases any datagrams still held for reordering.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> flush();
+
+  [[nodiscard]] const ImpairmentStats& stats() const noexcept {
+    return stats_;
+  }
+  /// Datagrams currently held back for reordering.
+  [[nodiscard]] std::size_t held() const noexcept { return held_.size(); }
+  [[nodiscard]] const ImpairmentConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ImpairmentConfig config_;
+  util::Pcg32 rng_;
+  std::deque<std::vector<std::uint8_t>> held_;
+  ImpairmentStats stats_;
+};
+
+}  // namespace haystack::flow

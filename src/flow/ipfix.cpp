@@ -196,15 +196,36 @@ bool Collector::ingest(std::span<const std::uint8_t> message,
     ++stats_.malformed_messages;
     return false;
   }
-  ++stats_.messages;
 
-  // Sequence-gap detection per observation domain.
-  if (const auto it = expected_sequence_.find(domain);
-      it != expected_sequence_.end() && it->second != sequence) {
-    ++stats_.sequence_gaps;
+  if (config_.dedup_window > 0 && deduper_.seen_before(message)) {
+    ++stats_.duplicate_messages;
+    return true;
   }
 
-  std::uint64_t records_before = stats_.records;
+  // Sequence classification per observation domain. The IPFIX sequence
+  // counts data records, so a forward jump after a message whose data set
+  // could not be decoded (template still missing) is a *resync* over the
+  // parked records, not loss.
+  PerDomain& state = domains_[domain];
+  auto outcome = state.tracker.classify(sequence);
+  if (outcome.event == SequenceEvent::kRestart) {
+    handle_restart(domain, state);
+    outcome = state.tracker.classify(sequence);  // now kFirst
+  }
+  if (outcome.event == SequenceEvent::kGap) {
+    if (state.sequence_indeterminate) {
+      outcome = {SequenceEvent::kInOrder, 0};  // resync past parked records
+    } else {
+      ++stats_.sequence_gaps;
+      stats_.estimated_lost_records += outcome.lost_units;
+    }
+  } else if (outcome.event == SequenceEvent::kReplay) {
+    ++stats_.reordered_messages;
+  }
+
+  const std::uint64_t records_before = stats_.records;
+  const std::uint64_t recovered_before = stats_.recovered_records;
+  const std::uint64_t buffered_before = stats_.buffered_sets;
   while (whole.ok() && whole.remaining() >= 4) {
     const std::uint16_t set_id = whole.u16();
     const std::uint16_t set_length = whole.u16();
@@ -214,7 +235,7 @@ bool Collector::ingest(std::span<const std::uint8_t> message,
     }
     ByteReader body = whole.slice(set_length - 4U);
     if (set_id == kTemplateSetId) {
-      if (!decode_template_set(body, domain)) {
+      if (!decode_template_set(body, domain, out)) {
         ++stats_.malformed_messages;
         return false;
       }
@@ -229,9 +250,15 @@ bool Collector::ingest(std::span<const std::uint8_t> message,
           ++stats_.malformed_messages;
           return false;
         }
-      } else if (!decode_data_set(body, set_id, domain, out)) {
-        ++stats_.malformed_messages;
-        return false;
+      } else {
+        const auto it = templates_.find({domain, set_id});
+        if (it == templates_.end()) {
+          ++stats_.unknown_template_sets;
+          park_set(domain, set_id, sequence, body);
+        } else if (!decode_data_set(body, it->second, out)) {
+          ++stats_.malformed_messages;
+          return false;
+        }
       }
     }
   }
@@ -239,12 +266,115 @@ bool Collector::ingest(std::span<const std::uint8_t> message,
     ++stats_.malformed_messages;
     return false;
   }
-  expected_sequence_[domain] =
-      sequence + static_cast<std::uint32_t>(stats_.records - records_before);
+  // A malformed message returns above without committing: its records then
+  // surface as a sequence gap (loss) on the next message, which is exactly
+  // what happened to them. Recovered records were credited separately.
+  const auto units = static_cast<std::uint32_t>(
+      (stats_.records - records_before) -
+      (stats_.recovered_records - recovered_before));
+  state.tracker.commit(sequence, units, outcome);
+  state.sequence_indeterminate = stats_.buffered_sets != buffered_before;
+  ++stats_.messages;
   return true;
 }
 
-bool Collector::decode_template_set(ByteReader& r, std::uint32_t domain) {
+void Collector::handle_restart(std::uint32_t domain, PerDomain& state) {
+  ++stats_.exporter_restarts;
+  ++state.restarts;
+  state.tracker.reset();
+  state.sequence_indeterminate = false;
+  templates_.erase(templates_.lower_bound({domain, 0}),
+                   templates_.upper_bound({domain, 0xffffU}));
+  options_templates_.erase(options_templates_.lower_bound({domain, 0}),
+                           options_templates_.upper_bound({domain, 0xffffU}));
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->domain == domain) {
+      ++stats_.evicted_sets;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Collector::park_set(std::uint32_t domain, std::uint16_t template_id,
+                         std::uint32_t sequence, ByteReader& body) {
+  if (config_.max_pending_sets == 0) return;
+  if (pending_.size() >= config_.max_pending_sets) {
+    ++stats_.evicted_sets;
+    pending_.pop_front();
+  }
+  PendingSet parked;
+  parked.domain = domain;
+  parked.template_id = template_id;
+  parked.sequence = sequence;
+  parked.body.resize(body.remaining());
+  body.bytes(parked.body);
+  pending_.push_back(std::move(parked));
+  ++stats_.buffered_sets;
+}
+
+void Collector::recover_pending(std::uint32_t domain,
+                                std::uint16_t template_id,
+                                std::vector<FlowRecord>& out) {
+  const auto it_tmpl = templates_.find({domain, template_id});
+  if (it_tmpl == templates_.end()) return;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->domain != domain || it->template_id != template_id) {
+      ++it;
+      continue;
+    }
+    ByteReader body{it->body};
+    const std::uint64_t before = stats_.records;
+    if (decode_data_set(body, it_tmpl->second, out)) {
+      const std::uint64_t recovered = stats_.records - before;
+      ++stats_.recovered_sets;
+      stats_.recovered_records += recovered;
+      // These records were skipped by the sequence resync when they were
+      // parked; they are received after all, and they occupy the record-
+      // sequence space [parked.sequence, parked.sequence + recovered), so
+      // jump the expectation past it or the next message would re-report
+      // that space as a phantom gap. (A message whose sets park under
+      // *different* templates still undercounts the jump by the smaller
+      // set — the loss estimate stays conservative there.)
+      auto& tracker = domains_[domain].tracker;
+      tracker.credit_recovered(recovered);
+      tracker.advance_past(it->sequence +
+                           static_cast<std::uint32_t>(recovered));
+    } else {
+      ++stats_.evicted_sets;
+    }
+    it = pending_.erase(it);
+  }
+}
+
+SourceHealth Collector::health(std::uint32_t observation_domain) const {
+  const auto it = domains_.find(observation_domain);
+  if (it == domains_.end()) return {};
+  return {it->second.tracker.received(), it->second.tracker.lost(),
+          it->second.restarts};
+}
+
+double Collector::estimated_loss() const {
+  std::uint64_t received = 0;
+  std::uint64_t lost = 0;
+  for (const auto& [id, state] : domains_) {
+    received += state.tracker.received();
+    lost += state.tracker.lost();
+  }
+  const std::uint64_t total = received + lost;
+  return total == 0 ? 0.0
+                    : static_cast<double>(lost) / static_cast<double>(total);
+}
+
+std::size_t Collector::pending_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& p : pending_) bytes += p.body.size();
+  return bytes;
+}
+
+bool Collector::decode_template_set(ByteReader& r, std::uint32_t domain,
+                                    std::vector<FlowRecord>& out) {
   while (r.ok() && r.remaining() >= 4) {
     const std::uint16_t template_id = r.u16();
     const std::uint16_t field_count = r.u16();
@@ -268,6 +398,7 @@ bool Collector::decode_template_set(ByteReader& r, std::uint32_t domain) {
     }
     templates_[{domain, template_id}] = std::move(tmpl);
     ++stats_.templates_learned;
+    recover_pending(domain, template_id, out);
   }
   return r.ok();
 }
@@ -326,7 +457,15 @@ bool Collector::decode_options_data(ByteReader& r, std::uint16_t set_id,
       }
     }
     if (!r.ok()) return false;
-    if (interval) announced_sampling_[domain] = *interval;
+    if (interval) {
+      // A zero announced interval would divide-by-zero every upscaling
+      // consumer; clamp to 1 (no sampling) and count the anomaly.
+      if (*interval == 0) {
+        *interval = 1;
+        ++stats_.zero_sampling_announcements;
+      }
+      announced_sampling_[domain] = *interval;
+    }
   }
   return r.ok();
 }
@@ -338,16 +477,8 @@ std::optional<std::uint32_t> Collector::announced_sampling(
   return it->second;
 }
 
-bool Collector::decode_data_set(ByteReader& r, std::uint16_t set_id,
-                                std::uint32_t domain,
+bool Collector::decode_data_set(ByteReader& r, const Template& tmpl,
                                 std::vector<FlowRecord>& out) {
-  const auto it = templates_.find({domain, set_id});
-  if (it == templates_.end()) {
-    ++stats_.unknown_template_sets;
-    return true;
-  }
-  const Template& tmpl = it->second;
-
   // Minimum fixed size of one record; variable-length fields contribute
   // their 1-byte length prefix.
   std::size_t min_len = 0;

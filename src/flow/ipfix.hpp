@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "flow/gap_tracker.hpp"
 #include "flow/record.hpp"
 #include "flow/wire.hpp"
 
@@ -87,20 +89,47 @@ class Exporter {
   std::uint32_t records_sent_ = 0;
 };
 
-/// Decoder statistics.
+/// Collector resilience knobs (ISSUE 2), mirroring the NetFlow v9 ones.
+/// The IPFIX sequence counts *data records*, so the reorder window is in
+/// record units.
+struct CollectorConfig {
+  /// Bound on parked data sets awaiting their template. 0 disables.
+  std::size_t max_pending_sets = 64;
+  /// Backward sequence distance (records) still treated as reordering.
+  std::uint32_t reorder_window = 2048;
+  /// Duplicate-datagram suppression window (datagrams); 0 disables.
+  std::size_t dedup_window = 0;
+};
+
+/// Decoder statistics. Every ingested datagram lands in exactly one of
+/// {messages, malformed_messages, duplicate_messages}.
 struct CollectorStats {
-  std::uint64_t messages = 0;
+  std::uint64_t messages = 0;  ///< messages fully decoded
   std::uint64_t records = 0;
   std::uint64_t templates_learned = 0;
   std::uint64_t options_templates_learned = 0;
   std::uint64_t unknown_template_sets = 0;
   std::uint64_t malformed_messages = 0;
-  std::uint64_t sequence_gaps = 0;  ///< detected lost data records
+  std::uint64_t sequence_gaps = 0;  ///< gap events observed
+  std::uint64_t estimated_lost_records = 0;  ///< records presumed lost
+  std::uint64_t duplicate_messages = 0;      ///< suppressed UDP duplicates
+  std::uint64_t reordered_messages = 0;      ///< late (replayed) messages
+  std::uint64_t exporter_restarts = 0;       ///< sequence resets detected
+  std::uint64_t buffered_sets = 0;           ///< data sets ever parked
+  std::uint64_t recovered_sets = 0;          ///< parked, then decoded
+  std::uint64_t recovered_records = 0;       ///< records from recovery
+  std::uint64_t evicted_sets = 0;            ///< parked, then discarded
+  std::uint64_t zero_sampling_announcements = 0;  ///< clamped to 1
 };
 
-/// Stateful IPFIX collector with sequence-gap tracking.
+/// Stateful IPFIX collector with template-loss recovery, duplicate
+/// suppression, restart detection, and record-level loss estimation.
 class Collector {
  public:
+  Collector() : Collector(CollectorConfig{}) {}
+  explicit Collector(const CollectorConfig& config)
+      : config_{config}, deduper_{config.dedup_window} {}
+
   /// Decodes one IPFIX message, appending records to `out`. Returns false
   /// on malformed input.
   bool ingest(std::span<const std::uint8_t> message,
@@ -109,9 +138,21 @@ class Collector {
   [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
 
   /// Sampling interval announced by an observation domain via options data,
-  /// or nullopt when none was seen.
+  /// or nullopt when none was seen. A zero announcement is clamped to 1
+  /// and counted in zero_sampling_announcements.
   [[nodiscard]] std::optional<std::uint32_t> announced_sampling(
       std::uint32_t observation_domain) const;
+
+  /// Per-domain stream health (record-level loss estimate, restarts).
+  [[nodiscard]] SourceHealth health(std::uint32_t observation_domain) const;
+
+  /// Aggregate estimated data-record loss fraction across all domains.
+  [[nodiscard]] double estimated_loss() const;
+
+  [[nodiscard]] std::size_t pending_sets() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept;
 
  private:
   struct TemplateField {
@@ -121,22 +162,49 @@ class Collector {
   };
   using Template = std::vector<TemplateField>;
 
-  bool decode_template_set(ByteReader& r, std::uint32_t domain);
+  struct PendingSet {
+    std::uint32_t domain = 0;
+    std::uint16_t template_id = 0;
+    /// Sequence of the message that carried the set: the records inside
+    /// start at this position in the domain's record-sequence space.
+    std::uint32_t sequence = 0;
+    std::vector<std::uint8_t> body;
+  };
+
+  struct PerDomain {
+    SequenceTracker tracker;
+    std::uint32_t restarts = 0;
+    /// True when the previous message parked an undecodable data set, so
+    /// its record count is unknown and the next forward sequence jump is
+    /// a resync (parked records), not loss.
+    bool sequence_indeterminate = false;
+  };
+
+  bool decode_template_set(ByteReader& r, std::uint32_t domain,
+                           std::vector<FlowRecord>& out);
   bool decode_options_template_set(ByteReader& r, std::uint32_t domain);
-  bool decode_data_set(ByteReader& r, std::uint16_t set_id,
-                       std::uint32_t domain, std::vector<FlowRecord>& out);
+  bool decode_data_set(ByteReader& r, const Template& tmpl,
+                       std::vector<FlowRecord>& out);
   bool decode_options_data(ByteReader& r, std::uint16_t set_id,
                            std::uint32_t domain);
+  void park_set(std::uint32_t domain, std::uint16_t template_id,
+                std::uint32_t sequence, ByteReader& body);
+  void recover_pending(std::uint32_t domain, std::uint16_t template_id,
+                       std::vector<FlowRecord>& out);
+  void handle_restart(std::uint32_t domain, PerDomain& state);
 
   struct OptionsTemplate {
     std::uint16_t scope_bytes = 0;
     std::vector<TemplateField> fields;
   };
+  CollectorConfig config_;
   std::map<std::pair<std::uint32_t, std::uint16_t>, Template> templates_;
   std::map<std::pair<std::uint32_t, std::uint16_t>, OptionsTemplate>
       options_templates_;
   std::map<std::uint32_t, std::uint32_t> announced_sampling_;
-  std::map<std::uint32_t, std::uint32_t> expected_sequence_;
+  std::map<std::uint32_t, PerDomain> domains_;
+  std::deque<PendingSet> pending_;
+  DatagramDeduper deduper_;
   CollectorStats stats_;
 };
 

@@ -84,9 +84,25 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
     return false;
   }
   ++stats_.packets;
-  if (have_sequence_ && sequence != expected_sequence_) {
-    ++stats_.sequence_gaps;
+  auto outcome = tracker_.classify(sequence);
+  switch (outcome.event) {
+    case SequenceEvent::kGap:
+      ++stats_.sequence_gaps;
+      stats_.estimated_lost_flows += outcome.lost_units;
+      break;
+    case SequenceEvent::kReplay:
+      ++stats_.reordered_packets;
+      break;
+    case SequenceEvent::kRestart:
+      ++stats_.exporter_restarts;
+      ++restarts_;
+      tracker_.reset();
+      outcome = tracker_.classify(sequence);  // now kFirst
+      break;
+    default:
+      break;
   }
+  tracker_.commit(sequence, count, outcome);
 
   const std::uint16_t mode = sampling_field >> 14;
   const std::uint32_t interval =
@@ -122,8 +138,6 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
     out.push_back(rec);
     ++stats_.records;
   }
-  have_sequence_ = true;
-  expected_sequence_ = sequence + count;
   return true;
 }
 

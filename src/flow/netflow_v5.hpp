@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "flow/gap_tracker.hpp"
 #include "flow/record.hpp"
 #include "flow/wire.hpp"
 
@@ -55,10 +56,15 @@ struct CollectorStats {
   std::uint64_t packets = 0;
   std::uint64_t records = 0;
   std::uint64_t malformed_packets = 0;
-  std::uint64_t sequence_gaps = 0;
+  std::uint64_t sequence_gaps = 0;           ///< gap events observed
+  std::uint64_t estimated_lost_flows = 0;    ///< flows presumed lost
+  std::uint64_t reordered_packets = 0;       ///< late (replayed) datagrams
+  std::uint64_t exporter_restarts = 0;       ///< sequence resets detected
 };
 
 /// v5 collector. Applies the header's sampling interval to every record.
+/// Sequence tracking (the v5 sequence counts *flows*) runs on the shared
+/// wraparound-correct SequenceTracker.
 class Collector {
  public:
   bool ingest(std::span<const std::uint8_t> packet,
@@ -68,10 +74,17 @@ class Collector {
     return stats_;
   }
 
+  /// Stream health: flow-level loss estimate and restarts.
+  [[nodiscard]] SourceHealth health() const {
+    return {tracker_.received(), tracker_.lost(), restarts_};
+  }
+
  private:
   CollectorStats stats_;
-  bool have_sequence_ = false;
-  std::uint32_t expected_sequence_ = 0;
+  // Reordering by a few datagrams spans at most a few hundred flows
+  // (30 flows per packet); anything further back is a restarted exporter.
+  SequenceTracker tracker_{256};
+  std::uint32_t restarts_ = 0;
 };
 
 }  // namespace haystack::flow::nf5

@@ -94,7 +94,7 @@ std::vector<std::vector<std::uint8_t>> Exporter::export_flows(
     w.u16(9);
     const std::size_t count_offset = w.size();
     w.u16(0);
-    w.u32(unix_secs * 1000U);  // sysUptime: synthetic, ms since boot
+    w.u32((unix_secs - config_.boot_unix_secs) * 1000U);  // sysUptime (ms)
     w.u32(unix_secs);
     w.u32(packets_sent_);  // sequence = packets sent so far (RFC 3954)
     w.u32(config_.source_id);
@@ -147,15 +147,50 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
   ByteReader r{packet};
   const std::uint16_t version = r.u16();
   const std::uint16_t count = r.u16();
-  r.u32();  // sysUptime
+  const std::uint32_t uptime = r.u32();
   r.u32();  // unix secs
-  r.u32();  // sequence
+  const std::uint32_t sequence = r.u32();
   const std::uint32_t source_id = r.u32();
   if (!r.ok() || version != 9) {
     ++stats_.malformed_packets;
     return false;
   }
-  ++stats_.packets;
+
+  if (config_.dedup_window > 0 && deduper_.seen_before(packet)) {
+    ++stats_.duplicate_packets;
+    return true;
+  }
+
+  // Exporter-restart and loss detection. Two independent restart signals:
+  // a sequence number far behind expectation, and a sysUptime regression
+  // (a rebooted exporter's uptime restarts near zero even when its new
+  // sequence happens to land inside the reorder window).
+  PerSource& source = sources_[source_id];
+  auto outcome = source.tracker.classify(sequence);
+  const bool uptime_restarted =
+      source.have_uptime &&
+      static_cast<std::int32_t>(uptime - source.last_uptime) <
+          -static_cast<std::int64_t>(config_.uptime_restart_slack_ms);
+  if (outcome.event == SequenceEvent::kRestart || uptime_restarted) {
+    handle_restart(source_id, source);
+    outcome = source.tracker.classify(sequence);  // now kFirst
+  }
+  switch (outcome.event) {
+    case SequenceEvent::kGap:
+      ++stats_.sequence_gaps;
+      stats_.estimated_lost_packets += outcome.lost_units;
+      break;
+    case SequenceEvent::kReplay:
+      ++stats_.reordered_packets;
+      break;
+    default:
+      break;
+  }
+  source.tracker.commit(sequence, 1, outcome);
+  if (outcome.event != SequenceEvent::kReplay) {
+    source.have_uptime = true;
+    source.last_uptime = uptime;
+  }
 
   // `count` in v9 counts *records plus templates*; implementations disagree,
   // so we use it only as a sanity bound and otherwise walk flowsets until
@@ -170,12 +205,18 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
     }
     ByteReader body = r.slice(length - 4U);
     if (flowset_id == 0) {
-      if (!decode_template_flowset(body, source_id)) {
+      if (!decode_template_flowset(body, source_id, out)) {
         ++stats_.malformed_packets;
         return false;
       }
     } else if (flowset_id >= 256) {
-      if (!decode_data_flowset(body, flowset_id, source_id, out)) {
+      const auto it = templates_.find({source_id, flowset_id});
+      if (it == templates_.end()) {
+        // Not an error: the template may arrive later. Park the flowset
+        // body so it can be decoded retroactively.
+        ++stats_.unknown_template_flowsets;
+        park_flowset(source_id, flowset_id, body);
+      } else if (!decode_data_flowset(body, it->second, out)) {
         ++stats_.malformed_packets;
         return false;
       }
@@ -186,11 +227,97 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
     ++stats_.malformed_packets;
     return false;
   }
+  ++stats_.packets;
   return true;
 }
 
+void Collector::handle_restart(std::uint32_t source_id, PerSource& source) {
+  ++stats_.exporter_restarts;
+  ++source.restarts;
+  source.tracker.reset();
+  source.have_uptime = false;
+  // The old incarnation's templates no longer describe the new stream.
+  templates_.erase(
+      templates_.lower_bound({source_id, 0}),
+      templates_.upper_bound({source_id, 0xffffU}));
+  // Parked flowsets from the dead incarnation can never be decoded.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->source_id == source_id) {
+      ++stats_.evicted_flowsets;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Collector::park_flowset(std::uint32_t source_id,
+                             std::uint16_t template_id, ByteReader& body) {
+  if (config_.max_pending_flowsets == 0) return;
+  if (pending_.size() >= config_.max_pending_flowsets) {
+    ++stats_.evicted_flowsets;
+    pending_.pop_front();
+  }
+  PendingFlowset parked;
+  parked.source_id = source_id;
+  parked.template_id = template_id;
+  parked.body.resize(body.remaining());
+  body.bytes(parked.body);
+  pending_.push_back(std::move(parked));
+  ++stats_.buffered_flowsets;
+}
+
+void Collector::recover_pending(std::uint32_t source_id,
+                                std::uint16_t template_id,
+                                std::vector<FlowRecord>& out) {
+  const auto it_tmpl = templates_.find({source_id, template_id});
+  if (it_tmpl == templates_.end()) return;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->source_id != source_id || it->template_id != template_id) {
+      ++it;
+      continue;
+    }
+    ByteReader body{it->body};
+    const std::uint64_t before = stats_.records;
+    if (decode_data_flowset(body, it_tmpl->second, out)) {
+      ++stats_.recovered_flowsets;
+      stats_.recovered_records += stats_.records - before;
+    } else {
+      // The parked bytes do not parse under the learned template.
+      ++stats_.evicted_flowsets;
+    }
+    it = pending_.erase(it);
+  }
+}
+
+SourceHealth Collector::health(std::uint32_t source_id) const {
+  const auto it = sources_.find(source_id);
+  if (it == sources_.end()) return {};
+  return {it->second.tracker.received(), it->second.tracker.lost(),
+          it->second.restarts};
+}
+
+double Collector::estimated_loss() const {
+  std::uint64_t received = 0;
+  std::uint64_t lost = 0;
+  for (const auto& [id, source] : sources_) {
+    received += source.tracker.received();
+    lost += source.tracker.lost();
+  }
+  const std::uint64_t total = received + lost;
+  return total == 0 ? 0.0
+                    : static_cast<double>(lost) / static_cast<double>(total);
+}
+
+std::size_t Collector::pending_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& p : pending_) bytes += p.body.size();
+  return bytes;
+}
+
 bool Collector::decode_template_flowset(ByteReader& r,
-                                        std::uint32_t source_id) {
+                                        std::uint32_t source_id,
+                                        std::vector<FlowRecord>& out) {
   while (r.ok() && r.remaining() >= 4) {
     const std::uint16_t template_id = r.u16();
     const std::uint16_t field_count = r.u16();
@@ -209,19 +336,13 @@ bool Collector::decode_template_flowset(ByteReader& r,
     }
     templates_[{source_id, template_id}] = std::move(tmpl);
     ++stats_.templates_learned;
+    recover_pending(source_id, template_id, out);
   }
   return r.ok();
 }
 
-bool Collector::decode_data_flowset(ByteReader& r, std::uint16_t flowset_id,
-                                    std::uint32_t source_id,
+bool Collector::decode_data_flowset(ByteReader& r, const Template& tmpl,
                                     std::vector<FlowRecord>& out) {
-  const auto it = templates_.find({source_id, flowset_id});
-  if (it == templates_.end()) {
-    ++stats_.unknown_template_flowsets;
-    return true;  // not an error: template may arrive later
-  }
-  const Template& tmpl = it->second;
   std::size_t rec_len = 0;
   for (const auto& f : tmpl) rec_len += f.length;
   if (rec_len == 0) return false;

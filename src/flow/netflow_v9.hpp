@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <span>
 #include <vector>
 
+#include "flow/gap_tracker.hpp"
 #include "flow/record.hpp"
 #include "flow/wire.hpp"
 
@@ -53,6 +55,11 @@ struct ExporterConfig {
   /// Emit template flowsets every `template_refresh_packets` packets
   /// (and always in the first packet), as real exporters do.
   std::uint32_t template_refresh_packets = 20;
+  /// Unix time the exporter process booted; sysUptime in the packet
+  /// header is `(unix_secs - boot_unix_secs) * 1000`. A restarted
+  /// exporter gets a recent boot time, so its uptime regresses toward
+  /// zero — the second restart signal collectors key on.
+  std::uint32_t boot_unix_secs = 0;
 };
 
 /// Stateful NetFlow v9 exporter: turns FlowRecords into export packets.
@@ -78,18 +85,54 @@ class Exporter {
   std::uint32_t packets_sent_ = 0;
 };
 
-/// Decoder statistics, exposed for monitoring and tests.
+/// Collector resilience knobs (ISSUE 2). The defaults keep a bare
+/// collector byte-compatible with a plain decoder except that data
+/// flowsets arriving before their template are parked and recovered.
+struct CollectorConfig {
+  /// Bound on parked data flowsets awaiting their template; the oldest is
+  /// evicted (and counted) when the bound is hit. 0 disables buffering.
+  std::size_t max_pending_flowsets = 64;
+  /// Backward sequence distance (in packets) still treated as a reordered
+  /// or replayed datagram; anything further back is an exporter restart.
+  std::uint32_t reorder_window = 64;
+  /// Duplicate-datagram suppression window (datagrams); 0 disables.
+  std::size_t dedup_window = 0;
+  /// sysUptime regression (ms) beyond which the exporter is considered
+  /// restarted even when the sequence number happens to line up.
+  std::uint32_t uptime_restart_slack_ms = 60'000;
+};
+
+/// Decoder statistics, exposed for monitoring and tests. Every ingested
+/// datagram lands in exactly one of {packets, malformed_packets,
+/// duplicate_packets}.
 struct CollectorStats {
-  std::uint64_t packets = 0;
+  std::uint64_t packets = 0;          ///< datagrams fully decoded
   std::uint64_t records = 0;
   std::uint64_t templates_learned = 0;
   std::uint64_t unknown_template_flowsets = 0;
   std::uint64_t malformed_packets = 0;
+  std::uint64_t duplicate_packets = 0;     ///< suppressed UDP duplicates
+  std::uint64_t sequence_gaps = 0;         ///< gap events observed
+  std::uint64_t estimated_lost_packets = 0;  ///< packets presumed lost
+  std::uint64_t reordered_packets = 0;     ///< late (replayed) datagrams
+  std::uint64_t exporter_restarts = 0;     ///< sequence/uptime resets seen
+  std::uint64_t buffered_flowsets = 0;     ///< data flowsets ever parked
+  std::uint64_t recovered_flowsets = 0;    ///< parked, then decoded
+  std::uint64_t recovered_records = 0;     ///< records from recovery
+  std::uint64_t evicted_flowsets = 0;      ///< parked, then discarded
 };
 
-/// Stateful NetFlow v9 collector: learns templates, decodes data flowsets.
+/// Stateful NetFlow v9 collector: learns templates, decodes data flowsets,
+/// and tolerates the UDP failure modes of real export paths — data before
+/// template (parked + recovered), duplicates (suppressed), reordering and
+/// loss (classified via the sequence), and exporter restarts (template
+/// state reset).
 class Collector {
  public:
+  Collector() : Collector(CollectorConfig{}) {}
+  explicit Collector(const CollectorConfig& config)
+      : config_{config}, deduper_{config.dedup_window} {}
+
   /// Decodes one export packet, appending decoded records to `out`.
   /// Returns false when the packet was malformed (partial decode results
   /// may still have been appended).
@@ -98,6 +141,21 @@ class Collector {
 
   [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
 
+  /// Per-source stream health (loss estimate, restarts). Zeroes when the
+  /// source was never seen.
+  [[nodiscard]] SourceHealth health(std::uint32_t source_id) const;
+
+  /// Aggregate estimated datagram loss fraction across all sources.
+  [[nodiscard]] double estimated_loss() const;
+
+  /// Data flowsets currently parked awaiting their template, and the bytes
+  /// they hold (each parked record body byte can release at most one
+  /// record later — the fuzzers use this as a decode bound).
+  [[nodiscard]] std::size_t pending_flowsets() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept;
+
  private:
   struct TemplateField {
     std::uint16_t type;
@@ -105,13 +163,35 @@ class Collector {
   };
   using Template = std::vector<TemplateField>;
 
-  bool decode_template_flowset(ByteReader& r, std::uint32_t source_id);
-  bool decode_data_flowset(ByteReader& r, std::uint16_t flowset_id,
-                           std::uint32_t source_id,
-                           std::vector<FlowRecord>& out);
+  struct PendingFlowset {
+    std::uint32_t source_id = 0;
+    std::uint16_t template_id = 0;
+    std::vector<std::uint8_t> body;
+  };
 
+  struct PerSource {
+    SequenceTracker tracker;
+    bool have_uptime = false;
+    std::uint32_t last_uptime = 0;
+    std::uint32_t restarts = 0;
+  };
+
+  bool decode_template_flowset(ByteReader& r, std::uint32_t source_id,
+                               std::vector<FlowRecord>& out);
+  bool decode_data_flowset(ByteReader& r, const Template& tmpl,
+                           std::vector<FlowRecord>& out);
+  void park_flowset(std::uint32_t source_id, std::uint16_t template_id,
+                    ByteReader& body);
+  void recover_pending(std::uint32_t source_id, std::uint16_t template_id,
+                       std::vector<FlowRecord>& out);
+  void handle_restart(std::uint32_t source_id, PerSource& source);
+
+  CollectorConfig config_;
   // Templates are scoped by (source id, template id) per RFC 3954 §5.
   std::map<std::pair<std::uint32_t, std::uint16_t>, Template> templates_;
+  std::map<std::uint32_t, PerSource> sources_;
+  std::deque<PendingFlowset> pending_;
+  DatagramDeduper deduper_;
   CollectorStats stats_;
 };
 

@@ -118,6 +118,12 @@ bool SamplingRegistry::ingest(std::span<const std::uint8_t> packet) {
           }
         }
         if (body.ok() && got_interval) {
+          if (state.interval == 0) {
+            // Zero would divide-by-zero every upscaling consumer; treat
+            // as "no sampling" and account for the broken announcement.
+            state.interval = 1;
+            ++zero_interval_announcements_;
+          }
           state_[source_id] = state;
           learned = true;
         }

@@ -62,6 +62,14 @@ class SamplingRegistry {
     return state_.size();
   }
 
+  /// Announcements carrying a zero/absent sampling interval. Such an
+  /// announcement would divide-by-zero every upscaling consumer, so the
+  /// registry clamps the learned interval to 1 and counts the anomaly
+  /// here instead of propagating it.
+  [[nodiscard]] std::uint64_t zero_interval_announcements() const noexcept {
+    return zero_interval_announcements_;
+  }
+
  private:
   struct State {
     std::uint32_t interval = 1;
@@ -74,6 +82,7 @@ class SamplingRegistry {
   };
   std::map<std::pair<std::uint32_t, std::uint16_t>, Layout> layouts_;
   std::map<std::uint32_t, State> state_;
+  std::uint64_t zero_interval_announcements_ = 0;
 };
 
 }  // namespace haystack::flow::nf9

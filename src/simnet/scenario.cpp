@@ -36,6 +36,20 @@ WildIspConfig Scenario::apply(WildIspConfig base) const {
   return base;
 }
 
+std::optional<flow::ImpairmentConfig> Scenario::impairment() const {
+  if (!impair_drop && !impair_duplicate && !impair_reorder &&
+      !impair_truncate && !impair_seed) {
+    return std::nullopt;
+  }
+  flow::ImpairmentConfig config;
+  config.seed = impair_seed.value_or(seed.value_or(1));
+  config.drop = impair_drop.value_or(0.0);
+  config.duplicate = impair_duplicate.value_or(0.0);
+  config.reorder = impair_reorder.value_or(0.0);
+  config.truncate = impair_truncate.value_or(0.0);
+  return config;
+}
+
 bool Scenario::apply_overrides(Catalog& catalog, std::string* error) const {
   for (const auto& [name, value] : penetration_overrides) {
     const Product* product = catalog.product_by_name(name);
@@ -109,6 +123,20 @@ std::optional<Scenario> parse_scenario(std::istream& is,
         return syntax_error("bad base_active_prob");
       }
       scenario.base_active_prob = v;
+    } else if (key == "impair_drop" || key == "impair_duplicate" ||
+               key == "impair_reorder" || key == "impair_truncate") {
+      double v = 0;
+      if (!(fields >> v) || v < 0 || v > 1) {
+        return syntax_error("bad impairment probability");
+      }
+      if (key == "impair_drop") scenario.impair_drop = v;
+      else if (key == "impair_duplicate") scenario.impair_duplicate = v;
+      else if (key == "impair_reorder") scenario.impair_reorder = v;
+      else scenario.impair_truncate = v;
+    } else if (key == "impair_seed") {
+      std::uint64_t v = 0;
+      if (!(fields >> v)) return syntax_error("bad impair_seed");
+      scenario.impair_seed = v;
     } else if (key == "penetration" || key == "wild_extra") {
       std::string name;
       double v = 0;

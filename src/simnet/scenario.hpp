@@ -10,6 +10,11 @@
 //   seed 42
 //   penetration "Echo Dot" 0.05        # override one product
 //   wild_extra "Alexa Enabled" 0.10    # override a unit's extra share
+//   impair_drop 0.05                   # export-path fault injection
+//   impair_duplicate 0.02
+//   impair_reorder 0.02
+//   impair_truncate 0.01
+//   impair_seed 7
 //
 // Product/unit names are quoted; unknown names are reported as errors so
 // typos fail loudly instead of silently simulating the default.
@@ -20,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "flow/impairment.hpp"
 #include "simnet/catalog.hpp"
 #include "simnet/population.hpp"
 #include "simnet/wild_isp.hpp"
@@ -36,6 +42,11 @@ struct Scenario {
   std::optional<double> base_active_prob;
   std::vector<std::pair<std::string, double>> penetration_overrides;
   std::vector<std::pair<std::string, double>> wild_extra_overrides;
+  std::optional<double> impair_drop;
+  std::optional<double> impair_duplicate;
+  std::optional<double> impair_reorder;
+  std::optional<double> impair_truncate;
+  std::optional<std::uint64_t> impair_seed;
 
   /// Applies the population-level settings over `base`.
   [[nodiscard]] PopulationConfig apply(PopulationConfig base) const;
@@ -46,6 +57,10 @@ struct Scenario {
   /// Applies penetration/wild-extra overrides to a catalog copy. Returns
   /// false (with `error`) when a name does not exist.
   bool apply_overrides(Catalog& catalog, std::string* error = nullptr) const;
+
+  /// Export-path impairment, when any impair_* key was given. nullopt
+  /// means a pristine (lossless) export path.
+  [[nodiscard]] std::optional<flow::ImpairmentConfig> impairment() const;
 };
 
 /// Parses a scenario file. Returns nullopt on syntax errors, with a

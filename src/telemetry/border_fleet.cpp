@@ -1,25 +1,44 @@
 #include "telemetry/border_fleet.hpp"
 
-#include <cassert>
+#include <unordered_map>
+#include <utility>
 
 #include "util/hash.hpp"
 
 namespace haystack::telemetry {
 
 namespace {
+
 constexpr std::uint32_t kSourceIdBase = 100;
+
+flow::nf9::ExporterConfig exporter_config(const BorderFleetConfig& config,
+                                          unsigned router,
+                                          std::uint32_t boot_unix_secs) {
+  return {
+      .source_id = kSourceIdBase + router,
+      .sampling = config.sampling,
+      .max_records_per_packet = 24,
+      .template_refresh_packets = 16,
+      .boot_unix_secs = boot_unix_secs,
+  };
 }
 
+}  // namespace
+
 BorderRouterFleet::BorderRouterFleet(const BorderFleetConfig& config)
-    : config_{config} {
+    : config_{config},
+      // The export path is UDP: duplicates are a fact of life, so the
+      // central collector always runs duplicate suppression. The window
+      // covers one hour's fan-in from the whole fleet.
+      collector_{flow::nf9::CollectorConfig{.dedup_window = 64}} {
   exporters_.reserve(config.routers);
   for (unsigned r = 0; r < config.routers; ++r) {
-    exporters_.emplace_back(flow::nf9::ExporterConfig{
-        .source_id = kSourceIdBase + r,
-        .sampling = config.sampling,
-        .max_records_per_packet = 24,
-        .template_refresh_packets = 16,
-    });
+    exporters_.emplace_back(exporter_config(config, r, 0));
+    if (config.impairment) {
+      flow::ImpairmentConfig link = *config.impairment;
+      link.seed = util::splitmix64(link.seed ^ (0x9e3779b97f4a7c15ULL * r));
+      links_.emplace_back(link);
+    }
   }
 }
 
@@ -27,11 +46,38 @@ unsigned BorderRouterFleet::router_of(const net::IpAddress& dst) const {
   return static_cast<unsigned>(dst.hash() % config_.routers);
 }
 
+flow::ImpairmentStats BorderRouterFleet::impairment_stats() const {
+  flow::ImpairmentStats total;
+  for (const auto& link : links_) {
+    const auto& s = link.stats();
+    total.datagrams_in += s.datagrams_in;
+    total.delivered += s.delivered;
+    total.dropped += s.dropped;
+    total.duplicated += s.duplicated;
+    total.reordered += s.reordered;
+    total.truncated += s.truncated;
+  }
+  return total;
+}
+
 std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
     const std::vector<simnet::LabeledFlow>& flows, util::HourBin hour) {
   const std::uint32_t unix_secs = 1574000000U + hour * 3600U;
 
-  // Periodic options announcements (always in hour 0).
+  // Scheduled exporter crash: the router's export process restarts with a
+  // fresh sequence counter, a recent boot time, and no memory of having
+  // announced templates.
+  if (config_.restart_router && *config_.restart_router < exporters_.size() &&
+      hour == config_.restart_hour && restarts_performed_ == 0) {
+    const unsigned r = *config_.restart_router;
+    exporters_[r] =
+        flow::nf9::Exporter{exporter_config(config_, r, unix_secs)};
+    ++restarts_performed_;
+  }
+
+  // Periodic options announcements (always in hour 0). Announcements ride
+  // the same UDP path conceptually, but are retransmitted every cycle, so
+  // the model delivers them directly to the registry.
   if (hour % std::max(1u, config_.announce_every) == 0) {
     for (unsigned r = 0; r < config_.routers; ++r) {
       const auto packet = flow::nf9::encode_sampling_announcement(
@@ -43,7 +89,7 @@ std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
     }
   }
 
-  // Partition by router, sample, keep label order per router.
+  // Partition by router and sample.
   std::vector<std::vector<flow::FlowRecord>> per_router(config_.routers);
   std::vector<std::vector<const simnet::LabeledFlow*>> labels(
       config_.routers);
@@ -61,30 +107,58 @@ std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
     }
   }
 
-  // Export + central ingest, per router.
+  // Export → (impaired) link → central ingest, per router. With an
+  // impaired path, datagrams can be dropped, duplicated, reordered or
+  // truncated, so decoded records are matched back to their labels by
+  // flow key instead of by position.
   std::vector<simnet::LabeledFlow> merged;
   for (unsigned r = 0; r < config_.routers; ++r) {
     if (per_router[r].empty()) continue;
     std::vector<flow::FlowRecord> decoded;
     decoded.reserve(per_router[r].size());
-    for (const auto& packet :
-         exporters_[r].export_flows(per_router[r], unix_secs)) {
-      const bool ok = collector_.ingest(packet, decoded);
-      assert(ok);
-      (void)ok;
+    const auto deliver = [&](std::span<const std::uint8_t> datagram) {
+      // Malformed (e.g. truncated) datagrams are the collector's problem:
+      // it rejects them and accounts the loss via the sequence tracker.
+      (void)collector_.ingest(datagram, decoded);
       // The sampling registry inspects every packet too (it ignores
-      // non-options flowsets).
-      sampling_.ingest(packet);
+      // non-options flowsets and tolerates malformed input).
+      sampling_.ingest(datagram);
+    };
+    for (auto& packet : exporters_[r].export_flows(per_router[r], unix_secs)) {
+      if (links_.empty()) {
+        deliver(packet);
+      } else {
+        for (const auto& datagram : links_[r].transmit(std::move(packet))) {
+          deliver(datagram);
+        }
+      }
     }
-    assert(decoded.size() == labels[r].size());
+    if (!links_.empty()) {
+      // Hour boundary: anything still held for reordering arrives now.
+      for (const auto& datagram : links_[r].flush()) deliver(datagram);
+    }
+
     const auto interval =
         sampling_.interval_of(kSourceIdBase + r).value_or(1);
-    for (std::size_t i = 0; i < decoded.size(); ++i) {
-      simnet::LabeledFlow out = *labels[r][i];
-      out.flow = decoded[i];
+    std::unordered_multimap<flow::FlowKey, const simnet::LabeledFlow*>
+        by_key;
+    by_key.reserve(labels[r].size());
+    for (const auto* lf : labels[r]) by_key.emplace(lf->flow.key, lf);
+    for (const auto& rec : decoded) {
+      const auto it = by_key.find(rec.key);
+      if (it == by_key.end()) {
+        ++unlabeled_records_;
+        continue;
+      }
+      simnet::LabeledFlow out = *it->second;
+      by_key.erase(it);
+      out.flow = rec;
       out.flow.sampling = interval;  // provenance: from the announcement
       merged.push_back(std::move(out));
     }
+  }
+  if (hour < util::kStudyHours) {
+    loss_series_.set(hour, collector_.estimated_loss());
   }
   return merged;
 }

@@ -10,16 +10,27 @@
 // learns per-source sampling from the announcements, and stamps decoded
 // records accordingly — the real provenance chain for the sampling rate
 // the methodology depends on.
+//
+// The export path is UDP, so the fleet optionally runs every router's
+// stream through a seeded flow::ImpairedLink (drop/duplicate/reorder/
+// truncate) and can kill-and-restart one exporter mid-study (ISSUE 2).
+// The collector side absorbs all of it: duplicates are suppressed,
+// reordered datagrams decode via buffered templates, restarts reset
+// template state, and per-source loss estimates surface through the
+// hourly loss series.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "flow/impairment.hpp"
 #include "flow/netflow_v9.hpp"
 #include "flow/options.hpp"
 #include "flow/sampler.hpp"
 #include "simnet/ground_truth.hpp"
+#include "telemetry/counters.hpp"
 #include "util/rng.hpp"
 
 namespace haystack::telemetry {
@@ -32,6 +43,14 @@ struct BorderFleetConfig {
   std::uint32_t sampling = 1000;
   /// Announce sampling via options data every `announce_every` hours.
   unsigned announce_every = 4;
+  /// When set, every router's export path runs through an ImpairedLink
+  /// seeded from (impairment->seed, router index).
+  std::optional<flow::ImpairmentConfig> impairment;
+  /// When set, this router's exporter process is killed and restarted at
+  /// the start of `restart_hour`: its sequence counter resets and its
+  /// templates are re-announced, exactly like a rebooted border router.
+  std::optional<unsigned> restart_router;
+  util::HourBin restart_hour = 0;
 };
 
 /// The fleet plus its central collector.
@@ -41,8 +60,9 @@ class BorderRouterFleet {
 
   /// Processes one hour of traffic: routes each flow to its border router,
   /// samples, exports NetFlow v9 (with periodic options announcements),
+  /// passes the datagrams through the (possibly impaired) export path,
   /// ingests everything at the central collector, and returns the decoded
-  /// surviving flows with labels preserved.
+  /// surviving flows with labels re-attached by flow key.
   [[nodiscard]] std::vector<simnet::LabeledFlow> observe(
       const std::vector<simnet::LabeledFlow>& flows, util::HourBin hour);
 
@@ -58,6 +78,36 @@ class BorderRouterFleet {
     return collector_.stats();
   }
 
+  /// The central collector (per-source health, pending buffers).
+  [[nodiscard]] const flow::nf9::Collector& collector() const noexcept {
+    return collector_;
+  }
+
+  /// Aggregate datagram impairment accounting across all router links.
+  /// Zeroes when no impairment is configured.
+  [[nodiscard]] flow::ImpairmentStats impairment_stats() const;
+
+  /// Collector-side estimated export-datagram loss fraction.
+  [[nodiscard]] double estimated_loss() const {
+    return collector_.estimated_loss();
+  }
+
+  /// Estimated loss per observed hour (telemetry series, ISSUE 2).
+  [[nodiscard]] const HourlySeries& loss_series() const noexcept {
+    return loss_series_;
+  }
+
+  /// Decoded records that matched no pending label by flow key (possible
+  /// under heavy duplication beyond the suppression window).
+  [[nodiscard]] std::uint64_t unlabeled_records() const noexcept {
+    return unlabeled_records_;
+  }
+
+  /// Exporter restarts performed (0 or 1 per configuration).
+  [[nodiscard]] unsigned restarts_performed() const noexcept {
+    return restarts_performed_;
+  }
+
   /// Router a destination address is handled by.
   [[nodiscard]] unsigned router_of(const net::IpAddress& dst) const;
 
@@ -68,9 +118,13 @@ class BorderRouterFleet {
  private:
   BorderFleetConfig config_;
   std::vector<flow::nf9::Exporter> exporters_;
+  std::vector<flow::ImpairedLink> links_;  ///< empty without impairment
   flow::nf9::Collector collector_;
   flow::nf9::SamplingRegistry sampling_;
+  HourlySeries loss_series_;
   std::uint32_t announce_sequence_ = 0;
+  std::uint64_t unlabeled_records_ = 0;
+  unsigned restarts_performed_ = 0;
 };
 
 }  // namespace haystack::telemetry

@@ -30,6 +30,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/reference_detector.hpp"
 #include "core/sharded_detector.hpp"
 #include "util/rng.hpp"
@@ -224,6 +225,127 @@ TEST_P(DifferentialTest, AllEnginesAgreeBitForBit) {
 // seed), comfortably past the issue's 20-scenario floor.
 INSTANTIATE_TEST_SUITE_P(Scenarios, DifferentialTest,
                          ::testing::Range<std::uint64_t>(0, 24));
+
+// Checkpoint/restore differential (ISSUE 2): a mid-run save → restore →
+// continue must reproduce the uninterrupted run's evidence masks and
+// detection hours bit-for-bit, across engines and shard counts.
+TEST_P(DifferentialTest, CheckpointRestoreMatchesUninterruptedRun) {
+  const Scenario sc = make_scenario(GetParam());
+
+  Detector uninterrupted{sc.rules.hitlist, sc.rules, sc.config};
+  for (const auto& obs : sc.stream) uninterrupted.observe(obs.subscriber,
+                                                          obs.server,
+                                                          obs.port,
+                                                          obs.packets,
+                                                          obs.hour);
+  const auto expected_rows = snapshot(uninterrupted);
+  const auto expected_verdicts = detection_map(uninterrupted, sc);
+
+  // Crash mid-stream, checkpoint, restore into a *fresh* detector, replay
+  // only the tail.
+  const std::size_t cut = sc.stream.size() / 2;
+  Detector first_half{sc.rules.hitlist, sc.rules, sc.config};
+  for (std::size_t i = 0; i < cut; ++i) {
+    const auto& obs = sc.stream[i];
+    first_half.observe(obs.subscriber, obs.server, obs.port, obs.packets,
+                       obs.hour);
+  }
+  const auto blob = save_checkpoint(first_half);
+  // Same state serializes to identical bytes (hash-map order must not
+  // leak into the checkpoint).
+  ASSERT_EQ(save_checkpoint(first_half), blob);
+
+  Detector resumed{sc.rules.hitlist, sc.rules, sc.config};
+  ASSERT_TRUE(restore_checkpoint(blob, resumed));
+  for (std::size_t i = cut; i < sc.stream.size(); ++i) {
+    const auto& obs = sc.stream[i];
+    resumed.observe(obs.subscriber, obs.server, obs.port, obs.packets,
+                    obs.hour);
+  }
+  EXPECT_EQ(snapshot(resumed), expected_rows);
+  EXPECT_EQ(detection_map(resumed, sc), expected_verdicts);
+  EXPECT_EQ(resumed.stats().flows, uninterrupted.stats().flows);
+  EXPECT_EQ(resumed.stats().matched, uninterrupted.stats().matched);
+
+  // Cross-engine: the same checkpoint restores into a ShardedDetector
+  // (different shard counts re-partition the restored evidence).
+  for (const unsigned shards : {1u, 4u}) {
+    ShardedDetector sharded{sc.rules.hitlist, sc.rules, sc.config, shards};
+    ASSERT_TRUE(restore_checkpoint(blob, sharded));
+    for (std::size_t i = cut; i < sc.stream.size(); ++i) {
+      sharded.observe(sc.stream[i]);
+    }
+    EXPECT_EQ(snapshot(sharded), expected_rows) << "shards=" << shards;
+    EXPECT_EQ(detection_map(sharded, sc), expected_verdicts)
+        << "shards=" << shards;
+    // And a sharded detector's own checkpoint bytes equal the flat
+    // detector's for identical state.
+    EXPECT_EQ(save_checkpoint(sharded), save_checkpoint(resumed))
+        << "shards=" << shards;
+  }
+}
+
+TEST(CheckpointTest, RejectsCorruptAndMismatchedBlobs) {
+  const Scenario sc = make_scenario(1);
+  Detector det{sc.rules.hitlist, sc.rules, sc.config};
+  for (const auto& obs : sc.stream) {
+    det.observe(obs.subscriber, obs.server, obs.port, obs.packets, obs.hour);
+  }
+  const auto blob = save_checkpoint(det);
+  const auto rows = snapshot(det);
+
+  const auto expect_rejected = [&](std::vector<std::uint8_t> bad,
+                                   const char* what) {
+    Detector victim{sc.rules.hitlist, sc.rules, sc.config};
+    victim.observe(sc.stream[0].subscriber, sc.stream[0].server,
+                   sc.stream[0].port, sc.stream[0].packets,
+                   sc.stream[0].hour);
+    const auto before = snapshot(victim);
+    std::string error;
+    EXPECT_FALSE(restore_checkpoint(bad, victim, &error)) << what;
+    EXPECT_FALSE(error.empty()) << what;
+    // A failed restore must leave the detector untouched.
+    EXPECT_EQ(snapshot(victim), before) << what;
+  };
+
+  {
+    auto bad = blob;
+    bad[0] ^= 0xff;
+    expect_rejected(std::move(bad), "magic");
+  }
+  {
+    auto bad = blob;
+    bad[7] ^= 0x01;  // version low byte
+    expect_rejected(std::move(bad), "version");
+  }
+  {
+    auto bad = blob;
+    bad[8] ^= 0x80;  // threshold bits
+    expect_rejected(std::move(bad), "threshold");
+  }
+  {
+    auto bad = blob;
+    bad.resize(bad.size() - 1);
+    expect_rejected(std::move(bad), "truncated");
+  }
+  {
+    auto bad = blob;
+    bad.push_back(0);
+    expect_rejected(std::move(bad), "trailing");
+  }
+  expect_rejected({}, "empty");
+
+  // A detector configured with a different threshold refuses the blob.
+  DetectorConfig other = sc.config;
+  other.threshold = sc.config.threshold == 0.25 ? 0.4 : 0.25;
+  Detector mismatched{sc.rules.hitlist, sc.rules, other};
+  EXPECT_FALSE(restore_checkpoint(blob, mismatched));
+
+  // And the good blob still round-trips.
+  Detector clean{sc.rules.hitlist, sc.rules, sc.config};
+  ASSERT_TRUE(restore_checkpoint(blob, clean));
+  EXPECT_EQ(snapshot(clean), rows);
+}
 
 // A larger, repeated workload aimed at TSan: many batches, many threads,
 // interleaved queries between batches. Under HAYSTACK_SANITIZE=thread this

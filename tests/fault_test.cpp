@@ -1,0 +1,601 @@
+// Fault-injection matrix (ISSUE 2, ctest label `fault`).
+//
+// Every UDP failure mode the export path can produce — drop, duplicate,
+// reorder, truncate, exporter restart — is injected deterministically
+// (flow::ImpairedLink) into both stateful codecs (NetFlow v9, IPFIX) and
+// checked against the pristine run of the same traffic:
+//
+//   - duplicates and reordering are *lossless*: the decoded record
+//     multiset matches the pristine run bit-for-bit, and the net
+//     per-source loss estimate returns to zero;
+//   - drops degrade to a *subset* of the pristine records, with the loss
+//     estimate accounting exactly for what the link swallowed;
+//   - truncation never crashes or desyncs, and every delivered datagram
+//     lands in exactly one of {decoded, malformed, duplicate};
+//   - a mid-stream exporter restart is detected, stale templates are
+//     discarded, and the new incarnation's records decode cleanly.
+//
+// The final test drives the whole BorderRouterFleet pipeline under a
+// seeded compound impairment (>=5% drop + duplication + reordering +
+// truncation + one exporter restart) and checks the end-to-end accounting
+// identities. Under ASan/UBSan (tests/run_sanitizers.sh) this is the
+// acceptance run the issue requires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "flow/impairment.hpp"
+#include "flow/ipfix.hpp"
+#include "flow/netflow_v9.hpp"
+#include "simnet/ground_truth.hpp"
+#include "telemetry/border_fleet.hpp"
+
+namespace haystack {
+namespace {
+
+using flow::FlowRecord;
+
+FlowRecord make_record(std::uint32_t salt) {
+  FlowRecord rec;
+  if (salt % 4 == 0) {
+    rec.key.src = net::IpAddress::v6(0x20010db8ULL << 32, salt);
+    rec.key.dst = net::IpAddress::v6(0x20010db8ULL << 32, 0x9000ULL + salt);
+  } else {
+    rec.key.src = net::IpAddress::v4(0x0a000000U + salt);
+    rec.key.dst = net::IpAddress::v4(0x34000000U + salt * 3);
+  }
+  rec.key.src_port = static_cast<std::uint16_t>(30000 + salt % 20000);
+  rec.key.dst_port = 443;
+  rec.key.proto = 6;
+  rec.tcp_flags = 0x1b;
+  rec.packets = 1 + salt % 90;
+  rec.bytes = 100 + salt * 17 % 100000;
+  rec.start_ms = salt * 977ULL;
+  rec.end_ms = salt * 977ULL + 400;
+  rec.sampling = 1000;
+  return rec;
+}
+
+std::vector<FlowRecord> make_records(std::uint32_t n,
+                                     std::uint32_t salt0 = 0) {
+  std::vector<FlowRecord> records;
+  records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    records.push_back(make_record(salt0 + i));
+  }
+  return records;
+}
+
+// Single-family records => exactly one data set per IPFIX message, which
+// keeps the record-sequence resync after template recovery exact (mixed
+// families split a message across sets, where the loss estimate is
+// deliberately conservative).
+std::vector<FlowRecord> make_records_v4(std::uint32_t n) {
+  std::vector<FlowRecord> records;
+  records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    records.push_back(make_record(1 + i * 4));  // salt % 4 != 0: always v4
+  }
+  return records;
+}
+
+std::vector<FlowRecord> sorted(std::vector<FlowRecord> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// decoded must be a sub-multiset of baseline (degradation, never garbage).
+bool sub_multiset(std::vector<FlowRecord> decoded,
+                  std::vector<FlowRecord> baseline) {
+  std::sort(decoded.begin(), decoded.end());
+  std::sort(baseline.begin(), baseline.end());
+  return std::includes(baseline.begin(), baseline.end(), decoded.begin(),
+                       decoded.end());
+}
+
+TEST(ImpairedLinkTest, AccountingInvariantHoldsInEveryMode) {
+  const flow::ImpairmentConfig configs[] = {
+      {.seed = 11, .drop = 0.3},
+      {.seed = 12, .duplicate = 0.4},
+      {.seed = 13, .reorder = 0.4},
+      {.seed = 14, .truncate = 0.4},
+      {.seed = 15, .drop = 0.1, .duplicate = 0.1, .reorder = 0.1,
+       .truncate = 0.1},
+  };
+  for (const auto& config : configs) {
+    flow::ImpairedLink link{config};
+    std::uint64_t out_count = 0;
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      std::vector<std::uint8_t> datagram(20 + i % 100, 0xab);
+      out_count += link.transmit(std::move(datagram)).size();
+      const auto& s = link.stats();
+      ASSERT_EQ(s.datagrams_in + s.duplicated,
+                s.delivered + s.dropped + link.held());
+    }
+    out_count += link.flush().size();
+    const auto& s = link.stats();
+    EXPECT_EQ(link.held(), 0u);
+    EXPECT_EQ(out_count, s.delivered);
+    EXPECT_EQ(s.datagrams_in, 500u);
+    EXPECT_EQ(s.datagrams_in + s.duplicated, s.delivered + s.dropped);
+    if (config.drop > 0) {
+      EXPECT_GT(s.dropped, 0u);
+    }
+    if (config.duplicate > 0) {
+      EXPECT_GT(s.duplicated, 0u);
+    }
+    if (config.reorder > 0) {
+      EXPECT_GT(s.reordered, 0u);
+    }
+    if (config.truncate > 0) {
+      EXPECT_GT(s.truncated, 0u);
+    }
+  }
+}
+
+TEST(ImpairedLinkTest, SameSeedReplaysSameFaultSchedule) {
+  const flow::ImpairmentConfig config{.seed = 99, .drop = 0.2,
+                                      .duplicate = 0.2, .reorder = 0.2,
+                                      .truncate = 0.2};
+  flow::ImpairedLink a{config};
+  flow::ImpairedLink b{config};
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> datagram(24 + i % 64,
+                                       static_cast<std::uint8_t>(i));
+    auto out_a = a.transmit(datagram);
+    auto out_b = b.transmit(std::move(datagram));
+    ASSERT_EQ(out_a, out_b) << "diverged at datagram " << i;
+  }
+  EXPECT_EQ(a.flush(), b.flush());
+}
+
+// ---------------------------------------------------------------------------
+// v9 matrix
+
+struct V9Run {
+  flow::nf9::Collector collector;
+  std::vector<FlowRecord> decoded;
+  flow::ImpairmentStats link_stats;
+};
+
+// Pipes `records` through a v9 exporter and an impaired link into a fresh
+// collector. With `prime`, one pristine packet is delivered out-of-band
+// first, so a drop of the impaired stream's first packet is still visible
+// as a gap; a pristine sentinel packet closes the stream so trailing
+// drops are visible too. Neither bypass packet counts in link stats.
+V9Run run_v9(const std::vector<FlowRecord>& records,
+             const flow::ImpairmentConfig& impairment,
+             std::uint32_t template_refresh, bool prime = false) {
+  V9Run run{flow::nf9::Collector{flow::nf9::CollectorConfig{
+                .dedup_window = 4096}},
+            {}, {}};
+  flow::nf9::Exporter exporter{{.source_id = 31,
+                                .max_records_per_packet = 4,
+                                .template_refresh_packets =
+                                    template_refresh}};
+  if (prime) {
+    std::vector<FlowRecord> primer{make_record(0xeeeee)};
+    for (const auto& packet : exporter.export_flows(primer, 1573996400)) {
+      EXPECT_TRUE(run.collector.ingest(packet, run.decoded));
+    }
+  }
+  flow::ImpairedLink link{impairment};
+  for (auto& packet : exporter.export_flows(records, 1574000000)) {
+    for (const auto& datagram : link.transmit(std::move(packet))) {
+      (void)run.collector.ingest(datagram, run.decoded);
+    }
+  }
+  for (const auto& datagram : link.flush()) {
+    (void)run.collector.ingest(datagram, run.decoded);
+  }
+  run.link_stats = link.stats();
+  std::vector<FlowRecord> sentinel{make_record(0xfffff)};
+  for (const auto& packet : exporter.export_flows(sentinel, 1574003600)) {
+    EXPECT_TRUE(run.collector.ingest(packet, run.decoded));
+  }
+  return run;
+}
+
+std::vector<FlowRecord> v9_baseline(const std::vector<FlowRecord>& records,
+                                    std::uint32_t template_refresh,
+                                    bool prime = false) {
+  flow::nf9::Exporter exporter{{.source_id = 31,
+                                .max_records_per_packet = 4,
+                                .template_refresh_packets =
+                                    template_refresh}};
+  flow::nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  if (prime) {
+    std::vector<FlowRecord> primer{make_record(0xeeeee)};
+    for (const auto& packet : exporter.export_flows(primer, 1573996400)) {
+      EXPECT_TRUE(collector.ingest(packet, out));
+    }
+  }
+  for (const auto& packet : exporter.export_flows(records, 1574000000)) {
+    EXPECT_TRUE(collector.ingest(packet, out));
+  }
+  std::vector<FlowRecord> sentinel{make_record(0xfffff)};
+  for (const auto& packet : exporter.export_flows(sentinel, 1574003600)) {
+    EXPECT_TRUE(collector.ingest(packet, out));
+  }
+  return out;
+}
+
+TEST(FaultMatrixV9, DropIsAccountedExactly) {
+  const auto records = make_records(300);
+  // Every packet carries templates, so drops cost records but never park.
+  auto run = run_v9(records, {.seed = 5, .drop = 0.15}, 1, /*prime=*/true);
+  const auto baseline = v9_baseline(records, 1, /*prime=*/true);
+  EXPECT_GT(run.link_stats.dropped, 0u);
+  EXPECT_TRUE(sub_multiset(run.decoded, baseline));
+  // Net per-source loss equals exactly what the link swallowed (the v9
+  // sequence counts packets).
+  EXPECT_EQ(run.collector.health(31).lost_units, run.link_stats.dropped);
+  EXPECT_GT(run.collector.estimated_loss(), 0.0);
+  // +2: the out-of-band primer and sentinel packets.
+  EXPECT_EQ(run.collector.stats().packets, run.link_stats.delivered + 2);
+}
+
+TEST(FaultMatrixV9, DuplicationIsLossless) {
+  const auto records = make_records(300);
+  auto run = run_v9(records, {.seed = 6, .duplicate = 0.35}, 5);
+  EXPECT_GT(run.link_stats.duplicated, 0u);
+  EXPECT_EQ(sorted(run.decoded), sorted(v9_baseline(records, 5)));
+  EXPECT_EQ(run.collector.stats().duplicate_packets,
+            run.link_stats.duplicated);
+  EXPECT_EQ(run.collector.health(31).lost_units, 0u);
+}
+
+TEST(FaultMatrixV9, ReorderingIsLosslessViaTemplateBuffering) {
+  const auto records = make_records(300);
+  // Sparse template announcements: held-back template packets force data
+  // flowsets through the park-and-recover path.
+  auto run = run_v9(records, {.seed = 7, .reorder = 0.35}, 5);
+  EXPECT_GT(run.link_stats.reordered, 0u);
+  EXPECT_EQ(sorted(run.decoded), sorted(v9_baseline(records, 5)));
+  EXPECT_EQ(run.collector.health(31).lost_units, 0u);
+  EXPECT_EQ(run.collector.stats().evicted_flowsets, 0u);
+}
+
+TEST(FaultMatrixV9, TruncationNeverDesyncsAndIsFullyAccounted) {
+  const auto records = make_records(300);
+  auto run = run_v9(records, {.seed = 8, .truncate = 0.3}, 1);
+  EXPECT_GT(run.link_stats.truncated, 0u);
+  EXPECT_GT(run.collector.stats().malformed_packets, 0u);
+  EXPECT_TRUE(sub_multiset(run.decoded, v9_baseline(records, 1)));
+  // Every delivered datagram is exactly one of {ok, malformed, duplicate}.
+  const auto& s = run.collector.stats();
+  EXPECT_EQ(s.packets + s.malformed_packets + s.duplicate_packets,
+            run.link_stats.delivered + 1);  // +1 sentinel
+}
+
+TEST(FaultMatrixV9, CompoundImpairmentKeepsAccountingIdentity) {
+  const auto records = make_records(400);
+  auto run = run_v9(records,
+                    {.seed = 9, .drop = 0.08, .duplicate = 0.05,
+                     .reorder = 0.05, .truncate = 0.04},
+                    5);
+  EXPECT_TRUE(sub_multiset(run.decoded, v9_baseline(records, 5)));
+  const auto& s = run.collector.stats();
+  EXPECT_EQ(s.packets + s.malformed_packets + s.duplicate_packets,
+            run.link_stats.delivered + 1);
+  EXPECT_GT(run.collector.estimated_loss(), 0.0);
+}
+
+TEST(FaultMatrixV9, MidStreamExporterRestartRecovers) {
+  const auto first_half = make_records(300);
+  const auto second_half = make_records(100, 1000);
+  flow::nf9::Collector collector;
+  std::vector<FlowRecord> decoded;
+  flow::nf9::Exporter first{{.source_id = 31, .max_records_per_packet = 4,
+                             .template_refresh_packets = 5}};
+  for (const auto& p : first.export_flows(first_half, 1574000000)) {
+    EXPECT_TRUE(collector.ingest(p, decoded));
+  }
+  // Crash: the replacement resets its sequence and boot time.
+  flow::nf9::Exporter second{{.source_id = 31, .max_records_per_packet = 4,
+                              .template_refresh_packets = 5,
+                              .boot_unix_secs = 1574007200}};
+  for (const auto& p : second.export_flows(second_half, 1574007200)) {
+    EXPECT_TRUE(collector.ingest(p, decoded));
+  }
+  EXPECT_EQ(collector.stats().exporter_restarts, 1u);
+  EXPECT_EQ(collector.health(31).restarts, 1u);
+  std::vector<FlowRecord> all = first_half;
+  all.insert(all.end(), second_half.begin(), second_half.end());
+  EXPECT_EQ(sorted(decoded), sorted(all));
+}
+
+// ---------------------------------------------------------------------------
+// IPFIX matrix
+
+struct IpfixRun {
+  flow::ipfix::Collector collector;
+  std::vector<FlowRecord> decoded;
+  flow::ImpairmentStats link_stats;
+};
+
+IpfixRun run_ipfix(const std::vector<FlowRecord>& records,
+                   const flow::ImpairmentConfig& impairment,
+                   std::uint32_t template_refresh, bool prime = false) {
+  IpfixRun run{flow::ipfix::Collector{flow::ipfix::CollectorConfig{
+                   .dedup_window = 4096}},
+               {}, {}};
+  flow::ipfix::Exporter exporter{{.observation_domain = 62,
+                                  .max_records_per_message = 5,
+                                  .template_refresh_messages =
+                                      template_refresh}};
+  if (prime) {
+    std::vector<FlowRecord> primer{make_record(0xeeeee)};
+    for (const auto& m : exporter.export_flows(primer, 1573996400)) {
+      EXPECT_TRUE(run.collector.ingest(m, run.decoded));
+    }
+  }
+  flow::ImpairedLink link{impairment};
+  for (auto& message : exporter.export_flows(records, 1574000000)) {
+    for (const auto& datagram : link.transmit(std::move(message))) {
+      (void)run.collector.ingest(datagram, run.decoded);
+    }
+  }
+  for (const auto& datagram : link.flush()) {
+    (void)run.collector.ingest(datagram, run.decoded);
+  }
+  run.link_stats = link.stats();
+  std::vector<FlowRecord> sentinel{make_record(0xfffff)};
+  for (const auto& message : exporter.export_flows(sentinel, 1574003600)) {
+    EXPECT_TRUE(run.collector.ingest(message, run.decoded));
+  }
+  return run;
+}
+
+std::vector<FlowRecord> ipfix_baseline(
+    const std::vector<FlowRecord>& records, std::uint32_t template_refresh,
+    bool prime = false) {
+  flow::ipfix::Exporter exporter{{.observation_domain = 62,
+                                  .max_records_per_message = 5,
+                                  .template_refresh_messages =
+                                      template_refresh}};
+  flow::ipfix::Collector collector;
+  std::vector<FlowRecord> out;
+  if (prime) {
+    std::vector<FlowRecord> primer{make_record(0xeeeee)};
+    for (const auto& m : exporter.export_flows(primer, 1573996400)) {
+      EXPECT_TRUE(collector.ingest(m, out));
+    }
+  }
+  for (const auto& message : exporter.export_flows(records, 1574000000)) {
+    EXPECT_TRUE(collector.ingest(message, out));
+  }
+  std::vector<FlowRecord> sentinel{make_record(0xfffff)};
+  for (const auto& message : exporter.export_flows(sentinel, 1574003600)) {
+    EXPECT_TRUE(collector.ingest(message, out));
+  }
+  return out;
+}
+
+TEST(FaultMatrixIpfix, DropIsAccountedInRecords) {
+  const auto records = make_records(300);
+  auto run =
+      run_ipfix(records, {.seed = 25, .drop = 0.15}, 1, /*prime=*/true);
+  EXPECT_GT(run.link_stats.dropped, 0u);
+  const auto baseline = ipfix_baseline(records, 1, /*prime=*/true);
+  EXPECT_TRUE(sub_multiset(run.decoded, baseline));
+  // The IPFIX sequence counts *records*: the estimated loss must equal
+  // exactly the records that were in the dropped messages.
+  EXPECT_EQ(run.collector.health(62).lost_units,
+            baseline.size() - run.decoded.size());
+  EXPECT_GT(run.collector.estimated_loss(), 0.0);
+}
+
+TEST(FaultMatrixIpfix, DuplicationIsLossless) {
+  const auto records = make_records(300);
+  auto run = run_ipfix(records, {.seed = 26, .duplicate = 0.35}, 5);
+  EXPECT_GT(run.link_stats.duplicated, 0u);
+  EXPECT_EQ(sorted(run.decoded), sorted(ipfix_baseline(records, 5)));
+  EXPECT_EQ(run.collector.stats().duplicate_messages,
+            run.link_stats.duplicated);
+  EXPECT_EQ(run.collector.health(62).lost_units, 0u);
+}
+
+TEST(FaultMatrixIpfix, ReorderingIsLosslessViaTemplateBuffering) {
+  // Single-family records: one data set per message, so the post-recovery
+  // sequence resync is exact and no phantom gap is reported.
+  const auto records = make_records_v4(300);
+  auto run = run_ipfix(records, {.seed = 27, .reorder = 0.35}, 5);
+  EXPECT_GT(run.link_stats.reordered, 0u);
+  EXPECT_EQ(sorted(run.decoded), sorted(ipfix_baseline(records, 5)));
+  EXPECT_EQ(run.collector.health(62).lost_units, 0u);
+  EXPECT_EQ(run.collector.stats().evicted_sets, 0u);
+}
+
+TEST(FaultMatrixIpfix, TruncationNeverDesyncsAndIsFullyAccounted) {
+  const auto records = make_records(300);
+  auto run = run_ipfix(records, {.seed = 28, .truncate = 0.3}, 1);
+  EXPECT_GT(run.link_stats.truncated, 0u);
+  EXPECT_GT(run.collector.stats().malformed_messages, 0u);
+  EXPECT_TRUE(sub_multiset(run.decoded, ipfix_baseline(records, 1)));
+  const auto& s = run.collector.stats();
+  EXPECT_EQ(s.messages + s.malformed_messages + s.duplicate_messages,
+            run.link_stats.delivered + 1);  // +1 sentinel
+}
+
+TEST(FaultMatrixIpfix, MidStreamExporterRestartRecovers) {
+  // Push the first incarnation past the 2048-record reorder window so the
+  // replacement's sequence reset is unambiguous.
+  const auto first_half = make_records(2200);
+  const auto second_half = make_records(100, 5000);
+  flow::ipfix::Collector collector;
+  std::vector<FlowRecord> decoded;
+  flow::ipfix::Exporter first{{.observation_domain = 62,
+                               .max_records_per_message = 20,
+                               .template_refresh_messages = 5}};
+  for (const auto& m : first.export_flows(first_half, 1574000000)) {
+    EXPECT_TRUE(collector.ingest(m, decoded));
+  }
+  flow::ipfix::Exporter second{{.observation_domain = 62,
+                                .max_records_per_message = 20,
+                                .template_refresh_messages = 5}};
+  for (const auto& m : second.export_flows(second_half, 1574007200)) {
+    EXPECT_TRUE(collector.ingest(m, decoded));
+  }
+  EXPECT_EQ(collector.stats().exporter_restarts, 1u);
+  std::vector<FlowRecord> all = first_half;
+  all.insert(all.end(), second_half.begin(), second_half.end());
+  EXPECT_EQ(sorted(decoded), sorted(all));
+}
+
+// ---------------------------------------------------------------------------
+// Loss-aware verdicts
+
+core::RuleSet four_domain_rules() {
+  core::RuleSet rules;
+  core::DetectionRule rule;
+  rule.service = 1;
+  rule.name = "svc";
+  rule.monitored_domains = 4;
+  rule.monitored_indices = {0, 1, 2, 3};
+  rules.rules.push_back(std::move(rule));
+  for (std::uint16_t m = 0; m < 4; ++m) {
+    for (util::DayBin day = 0; day < 3; ++day) {
+      rules.hitlist.add(net::IpAddress::v4(0x0a010000U + m), 443, day,
+                        {1, m});
+    }
+  }
+  return rules;
+}
+
+TEST(LossAwareVerdictTest, LowConfidenceDetectionUnderLoss) {
+  const auto rules = four_domain_rules();
+  // Threshold 1.0: all four domains required for a clean detection.
+  core::Detector det{rules.hitlist, rules, {.threshold = 1.0}};
+  for (std::uint16_t m = 0; m < 3; ++m) {  // only 3 of 4 observed
+    det.observe(7, net::IpAddress::v4(0x0a010000U + m), 443, 5, 1);
+  }
+  // Pristine channel: not detected, and confidently so.
+  auto v = det.verdict(7, 1);
+  EXPECT_FALSE(v.detected);
+  EXPECT_EQ(v.confidence, core::Confidence::kHigh);
+
+  // 30% estimated loss (beyond the default 5% tolerance): the requirement
+  // relaxes to floor(4 * 0.7) = 2 domains, so the three observed domains
+  // flag a low-confidence detection.
+  det.set_observed_loss(0.30);
+  EXPECT_TRUE(det.degraded());
+  v = det.verdict(7, 1);
+  EXPECT_TRUE(v.detected);
+  EXPECT_EQ(v.confidence, core::Confidence::kLow);
+  EXPECT_FALSE(v.hour.has_value());  // never cleanly satisfied
+
+  // Loss within tolerance: no relaxation, verdict back to high-confidence
+  // negative.
+  det.set_observed_loss(0.02);
+  EXPECT_FALSE(det.degraded());
+  v = det.verdict(7, 1);
+  EXPECT_FALSE(v.detected);
+  EXPECT_EQ(v.confidence, core::Confidence::kHigh);
+
+  // Full evidence yields a high-confidence detection even under loss.
+  det.observe(7, net::IpAddress::v4(0x0a010003U), 443, 5, 2);
+  det.set_observed_loss(0.30);
+  v = det.verdict(7, 1);
+  EXPECT_TRUE(v.detected);
+  EXPECT_EQ(v.confidence, core::Confidence::kHigh);
+  ASSERT_TRUE(v.hour.has_value());
+  EXPECT_EQ(*v.hour, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet acceptance run (the issue's seeded impairment scenario)
+
+std::vector<simnet::LabeledFlow> synth_hour(std::uint32_t hour,
+                                            std::uint32_t flows) {
+  std::vector<simnet::LabeledFlow> out;
+  out.reserve(flows);
+  for (std::uint32_t i = 0; i < flows; ++i) {
+    simnet::LabeledFlow lf;
+    lf.instance = 1 + i % 40;
+    lf.domain_index = i % 6;
+    lf.flow = make_record(hour * 100003U + i);
+    lf.flow.sampling = 1;
+    out.push_back(std::move(lf));
+  }
+  return out;
+}
+
+TEST(FleetFaultInjection, SeededImpairmentRunStaysFullyAccounted) {
+  telemetry::BorderFleetConfig config;
+  config.routers = 3;
+  config.sampling = 1;  // keep every flow: accounting must be exact
+  config.impairment = flow::ImpairmentConfig{.seed = 77,
+                                             .drop = 0.08,
+                                             .duplicate = 0.05,
+                                             .reorder = 0.05,
+                                             .truncate = 0.03};
+  config.restart_router = 1;
+  config.restart_hour = 6;
+  telemetry::BorderRouterFleet fleet{config};
+
+  std::uint64_t merged_total = 0;
+  for (std::uint32_t hour = 0; hour < 12; ++hour) {
+    const auto flows = synth_hour(hour, 300);
+    const auto merged = fleet.observe(flows, hour);
+    merged_total += merged.size();
+    EXPECT_LE(merged.size(), flows.size());
+    for (const auto& lf : merged) {
+      EXPECT_EQ(lf.flow.sampling, config.sampling);
+    }
+  }
+
+  // One restart, detected by the collector.
+  EXPECT_EQ(fleet.restarts_performed(), 1u);
+  EXPECT_GE(fleet.collector_stats().exporter_restarts, 1u);
+
+  // Link-level accounting closes.
+  const auto link = fleet.impairment_stats();
+  EXPECT_GT(link.dropped, 0u);
+  EXPECT_GT(link.duplicated, 0u);
+  EXPECT_GT(link.truncated, 0u);
+  EXPECT_EQ(link.datagrams_in + link.duplicated,
+            link.delivered + link.dropped);
+
+  // Collector-level accounting closes: every delivered datagram is exactly
+  // one of {decoded, malformed, duplicate}.
+  const auto& s = fleet.collector_stats();
+  EXPECT_EQ(s.packets + s.malformed_packets + s.duplicate_packets,
+            link.delivered);
+
+  // Record-level accounting closes: every decoded record either matched a
+  // label or was explicitly counted as unlabeled (late duplicates beyond
+  // the suppression window).
+  EXPECT_EQ(merged_total + fleet.unlabeled_records(), s.records);
+
+  // Loss surfaced through telemetry.
+  EXPECT_GT(fleet.estimated_loss(), 0.0);
+  EXPECT_GT(fleet.loss_series().at(11), 0.0);
+
+  // And it plugs into the detector's degradation signal.
+  const auto rules = four_domain_rules();
+  core::Detector det{rules.hitlist, rules, {.threshold = 1.0}};
+  det.set_observed_loss(fleet.estimated_loss());
+  EXPECT_TRUE(det.degraded());  // ~8% drop rate > 5% tolerance
+}
+
+TEST(FleetFaultInjection, PristineFleetIsUnimpaired) {
+  telemetry::BorderFleetConfig config;
+  config.routers = 3;
+  config.sampling = 1;
+  telemetry::BorderRouterFleet fleet{config};
+  std::uint64_t merged_total = 0;
+  for (std::uint32_t hour = 0; hour < 4; ++hour) {
+    merged_total += fleet.observe(synth_hour(hour, 200), hour).size();
+  }
+  EXPECT_EQ(merged_total, 4u * 200u);
+  EXPECT_EQ(fleet.estimated_loss(), 0.0);
+  EXPECT_EQ(fleet.unlabeled_records(), 0u);
+  EXPECT_EQ(fleet.impairment_stats().datagrams_in, 0u);
+}
+
+}  // namespace
+}  // namespace haystack

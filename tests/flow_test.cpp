@@ -7,8 +7,11 @@
 #include <numeric>
 
 #include "flow/flow_cache.hpp"
+#include "flow/gap_tracker.hpp"
 #include "flow/ipfix.hpp"
+#include "flow/netflow_v5.hpp"
 #include "flow/netflow_v9.hpp"
+#include "flow/options.hpp"
 #include "flow/sampler.hpp"
 #include "flow/wire.hpp"
 
@@ -97,9 +100,9 @@ TEST(NetFlowV9Test, RoundtripMixedFamilies) {
   EXPECT_GE(collector.stats().templates_learned, 2u);
 }
 
-TEST(NetFlowV9Test, DataBeforeTemplateIsSkippedNotFatal) {
+TEST(NetFlowV9Test, DataBeforeTemplateIsBufferedAndRecovered) {
   // Packet 2 carries data only; a fresh collector that never saw packet 1
-  // must skip it gracefully and count the unknown flowset.
+  // parks the flowset, and decodes it the moment the template arrives.
   nf9::Exporter exporter{{.max_records_per_packet = 4,
                           .template_refresh_packets = 100}};
   std::vector<FlowRecord> input;
@@ -112,11 +115,21 @@ TEST(NetFlowV9Test, DataBeforeTemplateIsSkippedNotFatal) {
   EXPECT_TRUE(fresh.ingest(packets[1], out));  // no template learned yet
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(fresh.stats().unknown_template_flowsets, 1u);
+  EXPECT_EQ(fresh.stats().buffered_flowsets, 1u);
+  EXPECT_EQ(fresh.pending_flowsets(), 1u);
 
-  // Now learn templates from packet 0, then packet 1 decodes.
+  // Learning the template from packet 0 recovers the parked flowset, so
+  // this single ingest yields packet 1's 4 records plus packet 0's own 4.
   EXPECT_TRUE(fresh.ingest(packets[0], out));
-  EXPECT_TRUE(fresh.ingest(packets[1], out));
   EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(fresh.stats().recovered_flowsets, 1u);
+  EXPECT_EQ(fresh.stats().recovered_records, 4u);
+  EXPECT_EQ(fresh.pending_flowsets(), 0u);
+  EXPECT_EQ(fresh.stats().records, 8u);
+
+  // Re-ingesting packet 1 now decodes directly (dedup is off by default).
+  EXPECT_TRUE(fresh.ingest(packets[1], out));
+  EXPECT_EQ(out.size(), 12u);
 }
 
 TEST(NetFlowV9Test, TemplatesAreScopedBySourceId) {
@@ -371,6 +384,241 @@ TEST(IpfixTest, TemplateFieldCountExceedingBodyRejected) {
   std::vector<FlowRecord> out;
   EXPECT_FALSE(collector.ingest(m.data(), out));
   EXPECT_EQ(collector.stats().malformed_messages, 1u);
+}
+
+// The shared sequence tracker behind the v5/v9/IPFIX collectors: 32-bit
+// wraparound arithmetic, gap/replay/restart classification, multi-unit
+// commits (IPFIX counts records, v5 counts flows, v9 counts packets).
+TEST(GapTrackerTest, InOrderAndGapCounting) {
+  SequenceTracker t{64};
+  auto o = t.classify(100);
+  EXPECT_EQ(o.event, SequenceEvent::kFirst);
+  t.commit(100, 1, o);
+  o = t.classify(101);
+  EXPECT_EQ(o.event, SequenceEvent::kInOrder);
+  t.commit(101, 1, o);
+  o = t.classify(105);  // 102..104 lost
+  EXPECT_EQ(o.event, SequenceEvent::kGap);
+  EXPECT_EQ(o.lost_units, 3u);
+  t.commit(105, 1, o);
+  EXPECT_EQ(t.lost(), 3u);
+  EXPECT_EQ(t.received(), 3u);
+  EXPECT_DOUBLE_EQ(t.loss_fraction(), 0.5);
+}
+
+TEST(GapTrackerTest, ReplayCreditsLossBack) {
+  SequenceTracker t{64};
+  auto o = t.classify(0);
+  t.commit(0, 1, o);
+  o = t.classify(2);  // packet 1 presumed lost
+  EXPECT_EQ(o.event, SequenceEvent::kGap);
+  t.commit(2, 1, o);
+  EXPECT_EQ(t.lost(), 1u);
+  o = t.classify(1);  // ...but it was only reordered
+  EXPECT_EQ(o.event, SequenceEvent::kReplay);
+  t.commit(1, 1, o);
+  EXPECT_EQ(t.lost(), 0u);
+  EXPECT_EQ(t.received(), 3u);
+  // The replay does not move the expectation backwards.
+  o = t.classify(3);
+  EXPECT_EQ(o.event, SequenceEvent::kInOrder);
+}
+
+TEST(GapTrackerTest, WraparoundIsSeamless) {
+  SequenceTracker t{64};
+  auto o = t.classify(0xffffffffU);
+  t.commit(0xffffffffU, 1, o);
+  o = t.classify(0);  // 0xffffffff + 1 wraps to 0
+  EXPECT_EQ(o.event, SequenceEvent::kInOrder);
+  t.commit(0, 1, o);
+  o = t.classify(5);  // gap of 5 straddling nothing special
+  EXPECT_EQ(o.event, SequenceEvent::kGap);
+  EXPECT_EQ(o.lost_units, 4u);
+  t.commit(5, 1, o);
+  o = t.classify(0xfffffffeU);  // far backwards across the wrap => replay
+  EXPECT_EQ(o.event, SequenceEvent::kReplay);
+}
+
+TEST(GapTrackerTest, MultiUnitWraparound) {
+  // v5-style: sequence counts flows, packets carry up to 30 each.
+  SequenceTracker t{256};
+  auto o = t.classify(0xfffffff0U);
+  t.commit(0xfffffff0U, 30, o);  // next expected: 0xe mod 2^32
+  o = t.classify(0x0000000eU);
+  EXPECT_EQ(o.event, SequenceEvent::kInOrder);
+  t.commit(0x0000000eU, 30, o);
+  o = t.classify(0x0000004aU);  // 30 flows lost after the boundary run
+  EXPECT_EQ(o.event, SequenceEvent::kGap);
+  EXPECT_EQ(o.lost_units, 30u);
+}
+
+TEST(GapTrackerTest, FarBackwardJumpIsRestart) {
+  SequenceTracker t{64};
+  auto o = t.classify(10'000);
+  t.commit(10'000, 1, o);
+  o = t.classify(3);  // 9998 behind: beyond any reorder window
+  EXPECT_EQ(o.event, SequenceEvent::kRestart);
+  t.reset();
+  o = t.classify(3);
+  EXPECT_EQ(o.event, SequenceEvent::kFirst);
+  // reset() forgets the stream position only: the health counters are
+  // cumulative across restarts, so the loss estimate spans incarnations.
+  EXPECT_EQ(t.lost(), 0u);
+  EXPECT_EQ(t.received(), 1u);
+}
+
+TEST(GapTrackerTest, RecoveryCreditsAndResync) {
+  // A parked-set recovery: the records were received all along, they just
+  // decoded late. They count as received, and the expectation jumps past
+  // the sequence space they occupy so the next datagram reports no
+  // phantom gap.
+  SequenceTracker t{64};
+  auto o = t.classify(0);
+  t.commit(0, 10, o);
+  EXPECT_EQ(t.received(), 10u);
+  t.credit_recovered(4);  // 4 records decoded late from a parked set
+  EXPECT_EQ(t.received(), 14u);
+  t.advance_past(14);  // ...occupying sequence space 10..13
+  o = t.classify(14);
+  EXPECT_EQ(o.event, SequenceEvent::kInOrder);
+  t.advance_past(5);  // backwards jump is ignored
+  o = t.classify(14);
+  EXPECT_EQ(o.event, SequenceEvent::kInOrder);
+}
+
+TEST(DeduperTest, SuppressesWithinWindowOnly) {
+  DatagramDeduper dedup{2};
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{4, 5, 6};
+  const std::vector<std::uint8_t> c{7, 8, 9};
+  EXPECT_FALSE(dedup.seen_before(a));
+  EXPECT_TRUE(dedup.seen_before(a));
+  EXPECT_FALSE(dedup.seen_before(b));
+  EXPECT_FALSE(dedup.seen_before(c));  // evicts a from the 2-deep ring
+  EXPECT_FALSE(dedup.seen_before(a));  // a forgotten => passes again
+}
+
+TEST(DeduperTest, WindowZeroDisables) {
+  DatagramDeduper dedup{0};
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  EXPECT_FALSE(dedup.seen_before(a));
+  EXPECT_FALSE(dedup.seen_before(a));
+}
+
+TEST(NetFlowV9Test, DuplicateDatagramSuppressed) {
+  nf9::Exporter exporter{{.source_id = 5}};
+  std::vector<FlowRecord> input{make_record(1), make_record(2)};
+  const auto packets = exporter.export_flows(input, 1574000000);
+  nf9::Collector collector{nf9::CollectorConfig{.dedup_window = 16}};
+  std::vector<FlowRecord> out;
+  for (const auto& p : packets) EXPECT_TRUE(collector.ingest(p, out));
+  const auto records_before = collector.stats().records;
+  for (const auto& p : packets) EXPECT_TRUE(collector.ingest(p, out));
+  EXPECT_EQ(collector.stats().records, records_before);  // no double count
+  EXPECT_EQ(collector.stats().duplicate_packets, packets.size());
+}
+
+TEST(NetFlowV9Test, SequenceGapAndLossEstimate) {
+  nf9::Exporter exporter{{.max_records_per_packet = 1,
+                          .template_refresh_packets = 1}};
+  std::vector<FlowRecord> input;
+  for (std::uint32_t i = 0; i < 5; ++i) input.push_back(make_record(i));
+  const auto packets = exporter.export_flows(input, 1574000000);
+  ASSERT_EQ(packets.size(), 5u);
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(packets[0], out));
+  EXPECT_TRUE(collector.ingest(packets[3], out));  // 1 and 2 lost
+  EXPECT_TRUE(collector.ingest(packets[4], out));
+  EXPECT_EQ(collector.stats().sequence_gaps, 1u);
+  EXPECT_EQ(collector.stats().estimated_lost_packets, 2u);
+  const auto health = collector.health(1);  // default source id
+  EXPECT_EQ(health.lost_units, 2u);
+  EXPECT_EQ(health.received_units, 3u);
+  EXPECT_GT(collector.estimated_loss(), 0.0);
+}
+
+TEST(NetFlowV9Test, ExporterRestartResetsTemplateState) {
+  // Exporter A announces templates, then "crashes". Its replacement (same
+  // source id, sequence reset, fresh boot time) re-announces; the
+  // collector must detect the restart, drop the stale templates, and
+  // decode the new stream.
+  nf9::Exporter first{{.source_id = 9, .template_refresh_packets = 1}};
+  std::vector<FlowRecord> input{make_record(1), make_record(2)};
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  // Advance the first incarnation past the reorder window so the restart
+  // is visible from the sequence alone.
+  for (int i = 0; i < 70; ++i) {
+    for (const auto& p : first.export_flows(input, 1574000000 + i)) {
+      EXPECT_TRUE(collector.ingest(p, out));
+    }
+  }
+  nf9::Exporter second{{.source_id = 9, .template_refresh_packets = 1,
+                        .boot_unix_secs = 1574010000}};
+  out.clear();
+  for (const auto& p : second.export_flows(input, 1574010000)) {
+    EXPECT_TRUE(collector.ingest(p, out));
+  }
+  EXPECT_EQ(collector.stats().exporter_restarts, 1u);
+  EXPECT_EQ(out.size(), input.size());  // new stream decodes cleanly
+  EXPECT_EQ(collector.health(9).restarts, 1u);
+}
+
+TEST(NetFlowV9Test, UptimeRegressionDetectsRestartInsideReorderWindow) {
+  // Only a handful of packets before the crash: the new sequence lands
+  // inside the reorder window, so the sysUptime regression is the only
+  // restart signal.
+  nf9::Exporter first{{.source_id = 9, .template_refresh_packets = 1}};
+  std::vector<FlowRecord> input{make_record(1)};
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  for (const auto& p : first.export_flows(input, 1574000000)) {
+    EXPECT_TRUE(collector.ingest(p, out));
+  }
+  nf9::Exporter second{{.source_id = 9, .template_refresh_packets = 1,
+                        .boot_unix_secs = 1574003600}};
+  for (const auto& p : second.export_flows(input, 1574003600)) {
+    EXPECT_TRUE(collector.ingest(p, out));
+  }
+  EXPECT_EQ(collector.stats().exporter_restarts, 1u);
+}
+
+TEST(NetFlowV5Test, SequenceRestartDetected) {
+  nf5::Exporter first{{}};
+  std::vector<FlowRecord> input;
+  for (std::uint32_t i = 0; i < 40; ++i) input.push_back(make_record(i));
+  nf5::Collector collector;
+  std::vector<FlowRecord> out;
+  // Push the flow sequence far past the v5 reorder window (256 flows).
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& p : first.export_flows(input, 1574000000 + round)) {
+      EXPECT_TRUE(collector.ingest(p, out));
+    }
+  }
+  nf5::Exporter second{{}};  // fresh process: sequence restarts at 0
+  for (const auto& p : second.export_flows(input, 1574001000)) {
+    EXPECT_TRUE(collector.ingest(p, out));
+  }
+  EXPECT_EQ(collector.stats().exporter_restarts, 1u);
+  EXPECT_EQ(collector.health().restarts, 1u);
+}
+
+TEST(OptionsTest, ZeroSamplingIntervalClampedAndCounted) {
+  nf9::SamplingRegistry registry;
+  registry.ingest(nf9::encode_sampling_announcement(
+      {.source_id = 44, .interval = 0}, 1574000000, 0));
+  ASSERT_TRUE(registry.interval_of(44).has_value());
+  EXPECT_EQ(*registry.interval_of(44), 1u);  // clamped, not taken literally
+  EXPECT_EQ(registry.zero_interval_announcements(), 1u);
+
+  ipfix::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(
+      ipfix::encode_sampling_options(77, 0, 1574000000, 0), out));
+  ASSERT_TRUE(collector.announced_sampling(77).has_value());
+  EXPECT_EQ(*collector.announced_sampling(77), 1u);
+  EXPECT_EQ(collector.stats().zero_sampling_announcements, 1u);
 }
 
 TEST(SamplerTest, SystematicSelectsExactFraction) {

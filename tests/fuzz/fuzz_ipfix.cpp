@@ -108,8 +108,11 @@ bool check(std::span<const std::uint8_t> input) {
     std::vector<FlowRecord> out;
     const std::uint64_t malformed_before =
         collector->stats().malformed_messages;
+    // A template in this message can release sets parked by earlier
+    // iterations, so the record-per-byte bound covers those bytes too.
+    const std::size_t budget = input.size() + collector->pending_bytes();
     const bool accepted = collector->ingest(input, out);
-    if (out.size() > input.size()) return false;
+    if (out.size() > budget) return false;
     if (!accepted &&
         collector->stats().malformed_messages == malformed_before) {
       return false;

@@ -109,8 +109,11 @@ bool check(std::span<const std::uint8_t> input) {
     std::vector<FlowRecord> out;
     const std::uint64_t malformed_before =
         collector->stats().malformed_packets;
+    // A template in this packet can release flowsets parked by earlier
+    // iterations, so the record-per-byte bound covers those bytes too.
+    const std::size_t budget = input.size() + collector->pending_bytes();
     const bool accepted = collector->ingest(input, out);
-    if (out.size() > input.size()) return false;  // record-per-byte bound
+    if (out.size() > budget) return false;  // record-per-byte bound
     if (!accepted &&
         collector->stats().malformed_packets == malformed_before) {
       return false;  // rejection must be accounted

@@ -42,7 +42,10 @@ simnet::GroundTruthSim* PipelineTest::gt_ = nullptr;
 core::RuleSet* PipelineTest::rules_ = nullptr;
 
 TEST_F(PipelineTest, FleetLearnsSamplingFromAnnouncements) {
-  telemetry::BorderRouterFleet fleet{{.routers = 4, .sampling = 1000}};
+  telemetry::BorderFleetConfig fleet_config;
+  fleet_config.routers = 4;
+  fleet_config.sampling = 1000;
+  telemetry::BorderRouterFleet fleet{fleet_config};
   const auto out = fleet.observe(gt_->hour_flows(24), 24);
   EXPECT_FALSE(out.empty());
   EXPECT_EQ(fleet.sampling().known_sources(), 4u);
@@ -58,7 +61,10 @@ TEST_F(PipelineTest, FleetLearnsSamplingFromAnnouncements) {
 }
 
 TEST_F(PipelineTest, FleetRoutesByDestinationConsistently) {
-  telemetry::BorderRouterFleet fleet{{.routers = 4, .sampling = 1000}};
+  telemetry::BorderFleetConfig fleet_config;
+  fleet_config.routers = 4;
+  fleet_config.sampling = 1000;
+  telemetry::BorderRouterFleet fleet{fleet_config};
   const auto flows = gt_->hour_flows(30);
   std::map<net::IpAddress, unsigned> seen;
   for (const auto& lf : flows) {
@@ -76,7 +82,10 @@ TEST_F(PipelineTest, FleetDetectionMatchesSingleVantageStatistically) {
   // The fleet pipeline must not bias detection: over the active window the
   // per-service detection outcomes should agree with the single-exporter
   // vantage for the strong (fast-detected) services.
-  telemetry::BorderRouterFleet fleet{{.routers = 4, .sampling = 1000}};
+  telemetry::BorderFleetConfig fleet_config;
+  fleet_config.routers = 4;
+  fleet_config.sampling = 1000;
+  telemetry::BorderRouterFleet fleet{fleet_config};
   core::Detector det{rules_->hitlist, *rules_, {.threshold = 0.4}};
   for (util::HourBin h = 0; h < 48; ++h) {
     for (const auto& lf : fleet.observe(gt_->hour_flows(h), h)) {

@@ -5,11 +5,14 @@
 #   tests/run_sanitizers.sh asan       # ASan+UBSan only
 #   tests/run_sanitizers.sh tsan       # TSan only
 #
-# ASan+UBSan runs the entire suite (unit + differential + fuzz smoke); the
-# fuzz targets additionally get a longer 10k-iteration pass per codec. TSan
-# runs the threaded workloads: the differential sweep (whose per-scenario
-# shard sweep hammers ShardedDetector worker threads) and the sharded
-# detector unit tests.
+# ASan+UBSan runs the entire suite (unit + differential + fuzz smoke +
+# fault matrix); the fuzz targets additionally get a longer 10k-iteration
+# pass per codec, and the fault-injection matrix (ctest label `fault`,
+# which includes the issue's seeded compound-impairment fleet run) gets an
+# explicit second pass so the acceptance workload is visible in the log
+# even when the full suite is trimmed. TSan runs the threaded workloads:
+# the differential sweep (whose per-scenario shard sweep hammers
+# ShardedDetector worker threads) and the sharded detector unit tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +24,7 @@ run_asan() {
   cmake -B build-asan -S . -DHAYSTACK_SANITIZE=address,undefined
   cmake --build build-asan -j "${jobs}"
   (cd build-asan && ctest --output-on-failure -j "${jobs}")
+  (cd build-asan && ctest --output-on-failure -j "${jobs}" -L fault)
   for codec in netflow_v9 ipfix dns_wire; do
     "./build-asan/tests/fuzz/fuzz_${codec}" --iterations 10000 --seed 1
   done

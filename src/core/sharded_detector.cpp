@@ -1,79 +1,104 @@
 #include "core/sharded_detector.hpp"
 
 #include <algorithm>
-#include <thread>
 
 namespace haystack::core {
 
 ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
                                  const DetectorConfig& config,
-                                 unsigned shards) {
-  shards_.reserve(std::max(1u, shards));
-  for (unsigned s = 0; s < std::max(1u, shards); ++s) {
+                                 unsigned shards,
+                                 std::size_t queue_capacity) {
+  const unsigned n = std::max(1u, shards);
+  shards_.reserve(n);
+  for (unsigned s = 0; s < n; ++s) {
     shards_.push_back(std::make_unique<Detector>(hitlist, rules, config));
   }
+  // Persistent workers: one long-lived thread per shard, consuming that
+  // shard's chunk queue. The handler runs on worker s and touches only
+  // shards_[s], so the hot path stays lock-free on evidence state.
+  pool_ = std::make_unique<pipeline::ShardPool<Chunk>>(
+      pipeline::ShardPoolConfig{.shards = n,
+                                .queue_capacity = queue_capacity,
+                                .max_wave = 64},
+      [this](unsigned s, std::vector<Chunk>& wave) {
+        Detector& det = *shards_[s];
+        for (const Chunk& chunk : wave) {
+          for (const Observation& obs : chunk) {
+            det.observe(obs.subscriber, obs.server, obs.port, obs.packets,
+                        obs.hour);
+          }
+        }
+      });
 }
 
+ShardedDetector::~ShardedDetector() { pool_->stop(); }
+
 void ShardedDetector::observe(const Observation& obs) {
-  shards_[shard_of(obs.subscriber)]->observe(obs.subscriber, obs.server,
-                                             obs.port, obs.packets,
-                                             obs.hour);
+  pool_->submit(static_cast<unsigned>(shard_of(obs.subscriber)),
+                Chunk{obs});
+}
+
+void ShardedDetector::enqueue_batch(std::span<const Observation> batch) {
+  if (batch.empty()) return;
+  const std::size_t n = shards_.size();
+  if (n == 1) {
+    pool_->submit(0, Chunk{batch.begin(), batch.end()});
+    return;
+  }
+  // Partition preserving per-subscriber order; one chunk per shard keeps
+  // queue traffic proportional to shards, not observations.
+  std::vector<Chunk> parts(n);
+  for (auto& p : parts) p.reserve(batch.size() / n + 1);
+  for (const auto& obs : batch) {
+    parts[shard_of(obs.subscriber)].push_back(obs);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!parts[s].empty()) {
+      pool_->submit(static_cast<unsigned>(s), std::move(parts[s]));
+    }
+  }
 }
 
 void ShardedDetector::process_batch(std::span<const Observation> batch) {
-  if (shards_.size() == 1) {
-    for (const auto& obs : batch) observe(obs);
-    return;
-  }
-  // Partition preserving per-subscriber order.
-  std::vector<std::vector<const Observation*>> partitions(shards_.size());
-  for (auto& p : partitions) {
-    p.reserve(batch.size() / shards_.size() + 1);
-  }
-  for (const auto& obs : batch) {
-    partitions[shard_of(obs.subscriber)].push_back(&obs);
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    workers.emplace_back([this, s, &partitions] {
-      Detector& det = *shards_[s];
-      for (const Observation* obs : partitions[s]) {
-        det.observe(obs->subscriber, obs->server, obs->port, obs->packets,
-                    obs->hour);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
+  enqueue_batch(batch);
+  pool_->drain();
 }
+
+void ShardedDetector::drain() const { pool_->drain(); }
 
 bool ShardedDetector::detected(SubscriberKey subscriber,
                                ServiceId service) const {
+  drain();
   return shards_[shard_of(subscriber)]->detected(subscriber, service);
 }
 
 std::optional<util::HourBin> ShardedDetector::detection_hour(
     SubscriberKey subscriber, ServiceId service) const {
+  drain();
   return shards_[shard_of(subscriber)]->detection_hour(subscriber, service);
 }
 
 Verdict ShardedDetector::verdict(SubscriberKey subscriber,
                                  ServiceId service) const {
+  drain();
   return shards_[shard_of(subscriber)]->verdict(subscriber, service);
 }
 
 void ShardedDetector::set_observed_loss(double fraction) noexcept {
+  drain();
   for (const auto& shard : shards_) shard->set_observed_loss(fraction);
 }
 
 void ShardedDetector::restore_evidence(SubscriberKey subscriber,
                                        ServiceId service,
                                        const Evidence& evidence) {
+  drain();
   shards_[shard_of(subscriber)]->restore_evidence(subscriber, service,
                                                   evidence);
 }
 
 void ShardedDetector::restore_stats(const Detector::Stats& stats) {
+  drain();
   shards_[0]->restore_stats(stats);
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     shards_[s]->restore_stats({});
@@ -83,20 +108,28 @@ void ShardedDetector::restore_stats(const Detector::Stats& stats) {
 void ShardedDetector::for_each_evidence(
     const std::function<void(SubscriberKey, ServiceId, const Evidence&)>& fn)
     const {
+  drain();
   for (const auto& shard : shards_) shard->for_each_evidence(fn);
 }
 
 void ShardedDetector::clear() {
+  drain();
   for (const auto& shard : shards_) shard->clear();
 }
 
 Detector::Stats ShardedDetector::stats() const {
+  drain();
   Detector::Stats total;
   for (const auto& shard : shards_) {
     total.flows += shard->stats().flows;
     total.matched += shard->stats().matched;
   }
   return total;
+}
+
+telemetry::StageStats ShardedDetector::shard_queue_stats(
+    unsigned shard) const {
+  return pool_->stats(shard);
 }
 
 }  // namespace haystack::core

@@ -1,12 +1,26 @@
-// Sharded, thread-parallel detector.
+// Sharded, thread-parallel detector with a persistent worker pool.
 //
 // The per-flow work is one hash lookup plus a bitset update, so a single
 // core already absorbs an ISP's sampled flow volume (see bench/
 // perf_pipeline). For headroom — or for replaying weeks of archived flows
 // "within minutes" — the detector shards by subscriber: evidence for one
 // subscriber lives in exactly one shard, shards share the immutable
-// hitlist and rules, and a batch of observations is partitioned and
-// processed by one thread per shard with no locks on the hot path.
+// hitlist and rules, and each shard owns a long-lived worker thread
+// consuming its own bounded queue of observation chunks
+// (pipeline::ShardPool). Batches stream through persistent workers
+// instead of spawning threads per batch, enqueue_batch() lets an upstream
+// pipeline stage keep feeding without a barrier, and blocking
+// backpressure bounds memory when producers outrun the shards.
+//
+// Ordering contract: observations for one subscriber always route to the
+// same shard queue (FIFO, single consumer), so per-subscriber relative
+// order — and therefore the evidence bits — is identical to a sequential
+// replay, for any shard count, queue capacity, or batching.
+//
+// Read APIs first wait for quiescence (drain()), so anything observed or
+// batched before a read is visible to it — the synchronous contract is
+// unchanged. observe() and enqueue_batch() are safe to call concurrently
+// from multiple threads (including concurrently with process_batch).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +29,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "pipeline/shard_pool.hpp"
 
 namespace haystack::core {
 
@@ -30,18 +45,35 @@ struct Observation {
 /// Detector sharded by subscriber key.
 class ShardedDetector {
  public:
-  /// `shards` worker partitions (>= 1). Shares `hitlist`/`rules` which must
-  /// outlive the detector.
+  /// `shards` worker partitions (>= 1), each with its own bounded chunk
+  /// queue of `queue_capacity` entries. Shares `hitlist`/`rules` which
+  /// must outlive the detector.
   ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
-                  const DetectorConfig& config, unsigned shards);
+                  const DetectorConfig& config, unsigned shards,
+                  std::size_t queue_capacity = 1024);
+  ~ShardedDetector();
 
-  /// Processes a batch: partitions by subscriber shard, then runs every
-  /// shard's partition on its own thread. Observations for one subscriber
-  /// keep their relative order.
+  ShardedDetector(const ShardedDetector&) = delete;
+  ShardedDetector& operator=(const ShardedDetector&) = delete;
+
+  /// Processes a batch synchronously: partitions by subscriber shard,
+  /// enqueues one chunk per shard, and waits for quiescence. Observations
+  /// for one subscriber keep their relative order.
   void process_batch(std::span<const Observation> batch);
 
-  /// Single-observation path (runs inline on the calling thread).
+  /// Streaming path: like process_batch but without the barrier — the
+  /// caller may keep enqueueing while shard workers consume. Blocks only
+  /// when a shard queue is full (backpressure).
+  void enqueue_batch(std::span<const Observation> batch);
+
+  /// Single-observation path, routed through the owning shard's queue —
+  /// safe to call concurrently with process_batch/enqueue_batch from any
+  /// thread. Applied by the time any read API returns.
   void observe(const Observation& obs);
+
+  /// Quiescence barrier: returns once everything enqueued before the call
+  /// has been applied. All read APIs call this implicitly.
+  void drain() const;
 
   /// Hierarchy-aware detection (delegates to the owning shard).
   [[nodiscard]] bool detected(SubscriberKey subscriber,
@@ -58,6 +90,7 @@ class ShardedDetector {
 
   /// Checkpoint support: routes the evidence row to its owning shard /
   /// installs the saved totals (in shard 0, so stats() reproduces them).
+  /// Not safe concurrently with producers (restore is a cold path).
   void restore_evidence(SubscriberKey subscriber, ServiceId service,
                         const Evidence& evidence);
   void restore_stats(const Detector::Stats& stats);
@@ -78,12 +111,21 @@ class ShardedDetector {
     return shards_[0]->config();
   }
 
+  /// Per-shard ingest-queue telemetry (depth/throughput/stalls).
+  [[nodiscard]] telemetry::StageStats shard_queue_stats(
+      unsigned shard) const;
+
  private:
+  using Chunk = std::vector<Observation>;
+
   [[nodiscard]] std::size_t shard_of(SubscriberKey subscriber) const {
     return util::fnv1a_u64(subscriber) % shards_.size();
   }
 
   std::vector<std::unique_ptr<Detector>> shards_;
+  // mutable: drain() is logically const — it completes writes that the
+  // API contract already promised were visible.
+  mutable std::unique_ptr<pipeline::ShardPool<Chunk>> pool_;
 };
 
 }  // namespace haystack::core

@@ -1,0 +1,221 @@
+#include "pipeline/ingest.hpp"
+
+#include <utility>
+
+#include "telemetry/anonymize.hpp"
+
+namespace haystack::pipeline {
+
+Normalizer default_normalizer(std::uint64_t anonymization_key) {
+  return [anonymization_key](const flow::FlowRecord& rec, util::HourBin hour)
+             -> std::optional<core::Observation> {
+    return core::Observation{
+        .subscriber = telemetry::anonymize(rec.key.src, anonymization_key),
+        .server = rec.key.dst,
+        .port = rec.key.dst_port,
+        .packets = rec.packets,
+        .hour = hour,
+    };
+  };
+}
+
+namespace {
+
+// Export version word (first two bytes, network order): 5 = NetFlow v5,
+// 9 = NetFlow v9, 10 = IPFIX.
+[[nodiscard]] std::uint16_t sniff_version(
+    const std::vector<std::uint8_t>& bytes) noexcept {
+  if (bytes.size() < 2) return 0;
+  return static_cast<std::uint16_t>((bytes[0] << 8) | bytes[1]);
+}
+
+}  // namespace
+
+IngestPipeline::IngestPipeline(const core::Hitlist& hitlist,
+                               const core::RuleSet& rules,
+                               const IngestConfig& config,
+                               Normalizer normalizer)
+    : config_{config},
+      normalizer_{normalizer ? std::move(normalizer)
+                             : default_normalizer(config.anonymization_key)},
+      detector_{hitlist, rules, config.detector, std::max(1u, config.shards),
+                config.queue_capacity},
+      nf9_{flow::nf9::CollectorConfig{.dedup_window = config.dedup_window}},
+      ipfix_{
+          flow::ipfix::CollectorConfig{.dedup_window = config.dedup_window}},
+      cache_{config.metering} {
+  const ShardPoolConfig stage{.shards = 1,
+                              .queue_capacity = config_.queue_capacity,
+                              .max_wave = config_.max_wave};
+  normalize_ = std::make_unique<ShardPool<FlowBatch>>(
+      stage, [this](unsigned, std::vector<FlowBatch>& wave) {
+        normalize_wave(wave);
+      });
+  decode_ = std::make_unique<ShardPool<Datagram>>(
+      stage,
+      [this](unsigned, std::vector<Datagram>& wave) { decode_wave(wave); });
+  metering_ = std::make_unique<ShardPool<MeterItem>>(
+      stage, [this](unsigned, std::vector<MeterItem>& wave) {
+        meter_wave(wave);
+      });
+}
+
+IngestPipeline::~IngestPipeline() { shutdown(); }
+
+bool IngestPipeline::push_datagram(std::vector<std::uint8_t> bytes,
+                                   util::HourBin hour) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  if (!decode_->submit(0, Datagram{hour, std::move(bytes)})) return false;
+  datagrams_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool IngestPipeline::push_packet(const flow::PacketEvent& packet,
+                                 util::HourBin hour) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  if (!metering_->submit(0, MeterItem{hour, packet})) return false;
+  packets_metered_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool IngestPipeline::push_flows(std::vector<flow::FlowRecord> flows,
+                                util::HourBin hour) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  const std::uint64_t n = flows.size();
+  if (!normalize_->submit(0, FlowBatch{hour, std::move(flows)})) return false;
+  flows_in_.fetch_add(n, std::memory_order_relaxed);
+  return true;
+}
+
+bool IngestPipeline::push_observations(std::vector<core::Observation> chunk) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  observations_.fetch_add(chunk.size(), std::memory_order_relaxed);
+  detector_.enqueue_batch(chunk);
+  return true;
+}
+
+void IngestPipeline::drain() {
+  // Topological order: each stage's drain happens-before the next stage's
+  // submitted-counter snapshot, so anything a stage forwarded downstream
+  // is covered by the downstream barrier.
+  if (metering_ && metering_->running()) metering_->drain();
+  if (decode_ && decode_->running()) decode_->drain();
+  if (normalize_ && normalize_->running()) normalize_->drain();
+  detector_.drain();
+}
+
+void IngestPipeline::shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  closed_.store(true, std::memory_order_release);
+  // Stop in dependency order: each stage's consumers downstream are still
+  // alive while it drains, so nothing deadlocks on a full queue.
+  metering_->stop();
+  // The metering worker is gone; flush the cache remnants on this thread.
+  std::vector<flow::FlowRecord> rest;
+  cache_.flush_all(rest);
+  cache_depth_.store(cache_.active_flows(), std::memory_order_relaxed);
+  emit_metered(std::move(rest),
+               last_meter_hour_.load(std::memory_order_relaxed));
+  decode_->stop();
+  normalize_->stop();
+  detector_.drain();  // detect stage stays alive for reads
+}
+
+void IngestPipeline::meter_wave(std::vector<MeterItem>& wave) {
+  std::vector<flow::FlowRecord> expired;
+  for (const MeterItem& item : wave) {
+    last_meter_hour_.store(item.hour, std::memory_order_relaxed);
+    expired.clear();
+    cache_.add(item.packet, expired);
+    const std::size_t depth = cache_.active_flows();
+    cache_depth_.store(depth, std::memory_order_relaxed);
+    if (depth > cache_high_water_.load(std::memory_order_relaxed)) {
+      cache_high_water_.store(depth, std::memory_order_relaxed);
+    }
+    emit_metered(std::move(expired), item.hour);
+  }
+}
+
+void IngestPipeline::emit_metered(std::vector<flow::FlowRecord> records,
+                                  util::HourBin hour) {
+  if (records.empty()) return;
+  metered_flows_.fetch_add(records.size(), std::memory_order_relaxed);
+  std::uint64_t packets = 0;
+  for (const auto& rec : records) packets += rec.packets;
+  metered_packets_out_.fetch_add(packets, std::memory_order_relaxed);
+  normalize_->submit(0, FlowBatch{hour, std::move(records)});
+}
+
+void IngestPipeline::decode_wave(std::vector<Datagram>& wave) {
+  std::vector<flow::FlowRecord> records;
+  for (const Datagram& dgram : wave) {
+    records.clear();
+    bool ok = false;
+    switch (sniff_version(dgram.bytes)) {
+      case 5:
+        ok = nf5_.ingest(dgram.bytes, records);
+        break;
+      case 9:
+        ok = nf9_.ingest(dgram.bytes, records);
+        break;
+      case 10:
+        ok = ipfix_.ingest(dgram.bytes, records);
+        break;
+      default:
+        unknown_version_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+    }
+    if (!ok) malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (records.empty()) continue;
+    flows_decoded_.fetch_add(records.size(), std::memory_order_relaxed);
+    normalize_->submit(0, FlowBatch{dgram.hour, std::move(records)});
+  }
+}
+
+void IngestPipeline::normalize_wave(std::vector<FlowBatch>& wave) {
+  std::vector<core::Observation> chunk;
+  for (const FlowBatch& batch : wave) {
+    chunk.clear();
+    chunk.reserve(batch.flows.size());
+    for (const flow::FlowRecord& rec : batch.flows) {
+      if (auto obs = normalizer_(rec, batch.hour)) {
+        chunk.push_back(*obs);
+      } else {
+        dropped_direction_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (chunk.empty()) continue;
+    observations_.fetch_add(chunk.size(), std::memory_order_relaxed);
+    detector_.enqueue_batch(chunk);
+  }
+}
+
+IngestPipeline::Stats IngestPipeline::stats() const {
+  Stats out;
+  out.metering = metering_->stats_total();
+  out.decode = decode_->stats_total();
+  out.normalize = normalize_->stats_total();
+  out.detect_shards.reserve(detector_.shard_count());
+  for (unsigned s = 0; s < detector_.shard_count(); ++s) {
+    out.detect_shards.push_back(detector_.shard_queue_stats(s));
+    out.detect += out.detect_shards.back();
+  }
+  out.datagrams = datagrams_.load(std::memory_order_relaxed);
+  out.malformed_datagrams = malformed_.load(std::memory_order_relaxed);
+  out.unknown_version = unknown_version_.load(std::memory_order_relaxed);
+  out.packets_metered = packets_metered_.load(std::memory_order_relaxed);
+  out.metered_flows = metered_flows_.load(std::memory_order_relaxed);
+  out.metered_packets_out =
+      metered_packets_out_.load(std::memory_order_relaxed);
+  out.flows_decoded = flows_decoded_.load(std::memory_order_relaxed);
+  out.flows_in = flows_in_.load(std::memory_order_relaxed);
+  out.observations = observations_.load(std::memory_order_relaxed);
+  out.dropped_direction = dropped_direction_.load(std::memory_order_relaxed);
+  out.metering_depth = cache_depth_.load(std::memory_order_relaxed);
+  out.metering_high_water =
+      cache_high_water_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace haystack::pipeline

@@ -1,0 +1,196 @@
+// Streaming ingest pipeline (the paper's deployment shape).
+//
+// The scalability claim — "identify millions of IoT devices within
+// minutes" from sampled NetFlow/IPFIX at a 15M-subscriber ISP (Sec. 6) —
+// rests on sustained ingest throughput, so detection runs as a streaming
+// service: concurrent stages connected by bounded queues with blocking
+// backpressure, not a batch replay.
+//
+//   push_packet ──▶ [metering] ──┐            (FlowCache, router-side)
+//   push_datagram ─▶ [decode] ───┼─▶ [normalize] ─▶ [detect × shards]
+//   push_flows ──────────────────┘
+//   push_observations ──────────────────────────▶ (straight to shards)
+//
+// Each bracketed stage is one worker thread over a BoundedQueue (the
+// detect stage is the ShardedDetector's persistent per-shard pool); a
+// full queue blocks the producer, so overload propagates back to the
+// datagram source instead of growing memory. The decode stage speaks all
+// three wire formats (NetFlow v5/v9, IPFIX), sniffed per datagram by the
+// version word. drain() is a topological quiescence barrier; shutdown()
+// closes intake, flushes the metering cache, and drains every stage in
+// dependency order. Per-stage depth/throughput/stall counters surface as
+// telemetry::StageStats.
+//
+// Determinism: datagrams decode in push order, flows normalize in decode
+// order, and per-subscriber observation order is preserved through the
+// shard queues — so the final evidence map is bit-for-bit identical to a
+// synchronous replay (asserted by tests/differential_test.cpp for any
+// shard count and queue capacity).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/sharded_detector.hpp"
+#include "flow/flow_cache.hpp"
+#include "flow/ipfix.hpp"
+#include "flow/netflow_v5.hpp"
+#include "flow/netflow_v9.hpp"
+#include "pipeline/shard_pool.hpp"
+
+namespace haystack::pipeline {
+
+/// Maps a decoded flow record to a direction-normalized observation;
+/// nullopt drops the flow from analysis (e.g. no server-looking side).
+using Normalizer = std::function<std::optional<core::Observation>(
+    const flow::FlowRecord&, util::HourBin)>;
+
+/// Canonical-orientation normalizer: flows arrive subscriber→server (the
+/// repo's generators and any pre-normalized feed); the subscriber address
+/// is anonymized with a keyed hash before it becomes the evidence key.
+[[nodiscard]] Normalizer default_normalizer(std::uint64_t anonymization_key);
+
+struct IngestConfig {
+  unsigned shards = 4;
+  /// Per-stage queue capacity, in items (datagrams / flow batches /
+  /// observation chunks respectively).
+  std::size_t queue_capacity = 1024;
+  /// Adaptive-batching bound per consumer wake-up.
+  std::size_t max_wave = 64;
+  core::DetectorConfig detector{};
+  /// Metering stage (packet intake) flow cache.
+  flow::FlowCacheConfig metering{};
+  /// Decode-stage duplicate-suppression window (datagrams per source).
+  std::size_t dedup_window = 64;
+  /// Key for default_normalizer when no normalizer is supplied.
+  std::uint64_t anonymization_key = 0x68617973;  // "hays"
+};
+
+/// The streaming service. One instance owns all stage threads.
+class IngestPipeline {
+ public:
+  IngestPipeline(const core::Hitlist& hitlist, const core::RuleSet& rules,
+                 const IngestConfig& config, Normalizer normalizer = {});
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Raw export datagram (NetFlow v5/v9 or IPFIX, sniffed by version).
+  /// Blocks when the decode queue is full. False after shutdown().
+  bool push_datagram(std::vector<std::uint8_t> bytes, util::HourBin hour);
+
+  /// Router-side packet intake: metered through the FlowCache into flow
+  /// records (active/idle/emergency expiry), then normalized and
+  /// detected. False after shutdown().
+  bool push_packet(const flow::PacketEvent& packet, util::HourBin hour);
+
+  /// Already-decoded flow records (enter at the normalize stage).
+  bool push_flows(std::vector<flow::FlowRecord> flows, util::HourBin hour);
+
+  /// Already-normalized observations (enter at the detect stage).
+  bool push_observations(std::vector<core::Observation> chunk);
+
+  /// Topological quiescence barrier: once it returns, every input pushed
+  /// before the call has flowed through all stages into the evidence map.
+  /// The metering cache keeps its resident (unexpired) flows.
+  void drain();
+
+  /// Drain-then-stop: refuses new input, flushes the metering cache,
+  /// drains and joins every stage in dependency order. Idempotent; the
+  /// detector stays readable afterwards.
+  void shutdown();
+
+  /// The detect stage. Reads are safe any time (they drain the shard
+  /// queues internally); prefer calling drain() first so upstream stages
+  /// are also settled.
+  [[nodiscard]] core::ShardedDetector& detector() noexcept {
+    return detector_;
+  }
+  [[nodiscard]] const core::ShardedDetector& detector() const noexcept {
+    return detector_;
+  }
+
+  struct Stats {
+    telemetry::StageStats metering;   ///< packet queue
+    telemetry::StageStats decode;     ///< datagram queue
+    telemetry::StageStats normalize;  ///< flow-batch queue
+    telemetry::StageStats detect;     ///< all shard queues aggregated
+    std::vector<telemetry::StageStats> detect_shards;
+    std::uint64_t datagrams = 0;           ///< accepted by push_datagram
+    std::uint64_t malformed_datagrams = 0; ///< rejected by the codecs
+    std::uint64_t unknown_version = 0;     ///< unsniffable version word
+    std::uint64_t packets_metered = 0;     ///< accepted by push_packet
+    std::uint64_t metered_flows = 0;       ///< records the cache expired
+    std::uint64_t metered_packets_out = 0; ///< packet conservation check
+    std::uint64_t flows_decoded = 0;       ///< records out of the codecs
+    std::uint64_t flows_in = 0;            ///< accepted by push_flows
+    std::uint64_t observations = 0;        ///< entered the detect stage
+    std::uint64_t dropped_direction = 0;   ///< normalizer returned nullopt
+    std::size_t metering_depth = 0;        ///< resident cache flows
+    std::size_t metering_high_water = 0;   ///< max resident cache flows
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct MeterItem {
+    util::HourBin hour = 0;
+    flow::PacketEvent packet;
+  };
+  struct Datagram {
+    util::HourBin hour = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  struct FlowBatch {
+    util::HourBin hour = 0;
+    std::vector<flow::FlowRecord> flows;
+  };
+
+  void meter_wave(std::vector<MeterItem>& wave);
+  void decode_wave(std::vector<Datagram>& wave);
+  void normalize_wave(std::vector<FlowBatch>& wave);
+  void emit_metered(std::vector<flow::FlowRecord> records,
+                    util::HourBin hour);
+
+  IngestConfig config_;
+  Normalizer normalizer_;
+
+  // Declaration order is reverse-topological so default destruction (after
+  // shutdown()) tears down consumers last-to-first.
+  core::ShardedDetector detector_;
+  std::unique_ptr<ShardPool<FlowBatch>> normalize_;
+  std::unique_ptr<ShardPool<Datagram>> decode_;
+  std::unique_ptr<ShardPool<MeterItem>> metering_;
+
+  // Decode-stage codec state (touched only by the decode worker).
+  flow::nf9::Collector nf9_;
+  flow::ipfix::Collector ipfix_;
+  flow::nf5::Collector nf5_;
+
+  // Metering-stage state (touched only by the metering worker, except the
+  // post-stop flush in shutdown()).
+  flow::FlowCache cache_;
+  std::atomic<std::uint32_t> last_meter_hour_{0};
+  std::atomic<std::size_t> cache_depth_{0};
+  std::atomic<std::size_t> cache_high_water_{0};
+
+  std::atomic<bool> closed_{false};
+  bool shutdown_done_ = false;
+
+  std::atomic<std::uint64_t> datagrams_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> unknown_version_{0};
+  std::atomic<std::uint64_t> packets_metered_{0};
+  std::atomic<std::uint64_t> metered_flows_{0};
+  std::atomic<std::uint64_t> metered_packets_out_{0};
+  std::atomic<std::uint64_t> flows_decoded_{0};
+  std::atomic<std::uint64_t> flows_in_{0};
+  std::atomic<std::uint64_t> observations_{0};
+  std::atomic<std::uint64_t> dropped_direction_{0};
+};
+
+}  // namespace haystack::pipeline

@@ -1,0 +1,90 @@
+#include "pipeline/scenario_runner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "simnet/backend.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "simnet/population.hpp"
+#include "simnet/wild_isp.hpp"
+#include "telemetry/border_fleet.hpp"
+
+namespace haystack::pipeline {
+
+std::optional<StreamingReplayResult> replay_scenario_streaming(
+    const simnet::Scenario& scenario, const StreamingReplayConfig& config,
+    std::string* error) {
+  simnet::Catalog catalog;
+  if (!scenario.apply_overrides(catalog, error)) return std::nullopt;
+
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+  const core::RuleSet rules = simnet::build_ruleset(backend);
+  simnet::Population population{catalog,
+                                scenario.apply(simnet::PopulationConfig{})};
+  simnet::DomainRateModel rates{catalog, 7};
+  simnet::WildIspSim wild{backend, population, rates,
+                          scenario.apply(simnet::WildIspConfig{})};
+
+  // WildIspSim already applies the scenario's packet sampling, so the
+  // fleet exports at 1:1 — its job here is the wire: v9 encoding, options
+  // announcements, and whatever impairment the scenario configures.
+  telemetry::BorderFleetConfig fcfg;
+  fcfg.seed = scenario.seed.value_or(2022);
+  fcfg.routers = std::max(1u, config.routers);
+  fcfg.sampling = 1;
+  fcfg.impairment = scenario.impairment();
+  telemetry::BorderRouterFleet fleet{fcfg};
+
+  IngestConfig icfg;
+  icfg.shards = scenario.pipeline_shards.value_or(config.shards);
+  icfg.queue_capacity =
+      scenario.pipeline_queue.value_or(config.queue_capacity);
+  icfg.max_wave = scenario.pipeline_wave.value_or(config.max_wave);
+  icfg.detector.threshold = config.threshold;
+  icfg.anonymization_key = config.anonymization_key;
+  IngestPipeline pipe{rules.hitlist, rules, icfg};
+
+  std::vector<flow::FlowRecord> records;
+  for (util::HourBin h = config.start_hour;
+       h < config.start_hour + config.hours; ++h) {
+    records.clear();
+    wild.hour_observations(
+        h, [&](const simnet::WildObs& obs) { records.push_back(obs.flow); });
+    for (auto& datagram : fleet.export_hour(records, h)) {
+      pipe.push_datagram(std::move(datagram), h);
+    }
+  }
+  pipe.shutdown();
+
+  StreamingReplayResult result;
+  result.stats = pipe.stats();
+  result.datagrams = result.stats.datagrams;
+  result.observations = result.stats.observations;
+
+  std::map<core::ServiceId, std::size_t> per_service;
+  std::unordered_set<core::SubscriberKey> any;
+  const auto& det = pipe.detector();
+  det.for_each_evidence([&](core::SubscriberKey subscriber,
+                            core::ServiceId service, const core::Evidence&) {
+    if (det.detected(subscriber, service)) {
+      ++per_service[service];
+      any.insert(subscriber);
+    }
+  });
+  result.subscribers_detected = any.size();
+  for (const auto& rule : rules.rules) {
+    const auto it = per_service.find(rule.service);
+    if (it != per_service.end() && it->second > 0) {
+      result.per_service.emplace_back(rule.name, it->second);
+    }
+  }
+  std::sort(result.per_service.begin(), result.per_service.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  return result;
+}
+
+}  // namespace haystack::pipeline

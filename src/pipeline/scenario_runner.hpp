@@ -1,0 +1,52 @@
+// End-to-end ISP scenario replay through the streaming pipeline.
+//
+// Glues the simulated world (simnet::Scenario → WildIspSim) to the wire
+// (telemetry::BorderRouterFleet::export_hour) to the streaming collector
+// (IngestPipeline): every hour of wild traffic is exported as real
+// NetFlow v9 datagrams — options announcements, impaired links, exporter
+// restarts and all — and pushed into the pipeline's datagram intake, the
+// deployment shape of the paper's ISP vantage point. Scenario files can
+// shape the pipeline itself (pipeline_shards / pipeline_queue /
+// pipeline_wave keys).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipeline/ingest.hpp"
+#include "simnet/scenario.hpp"
+
+namespace haystack::pipeline {
+
+struct StreamingReplayConfig {
+  util::HourBin start_hour = 0;
+  unsigned hours = 24;
+  unsigned routers = 4;
+  /// Pipeline shape; the scenario's pipeline_* keys override these.
+  unsigned shards = 4;
+  std::size_t queue_capacity = 1024;
+  std::size_t max_wave = 64;
+  double threshold = 0.4;
+  std::uint64_t anonymization_key = 0x68617973;
+};
+
+struct StreamingReplayResult {
+  std::uint64_t datagrams = 0;     ///< export datagrams pushed
+  std::uint64_t observations = 0;  ///< observations reaching the shards
+  std::size_t subscribers_detected = 0;  ///< any service
+  /// (service name, subscribers detected), descending by count.
+  std::vector<std::pair<std::string, std::size_t>> per_service;
+  IngestPipeline::Stats stats;  ///< post-shutdown stage telemetry
+};
+
+/// Replays `config.hours` hours of the scenario's wild ISP through the
+/// export fleet into a streaming pipeline. Returns nullopt (with `error`)
+/// when the scenario references unknown catalog names.
+[[nodiscard]] std::optional<StreamingReplayResult> replay_scenario_streaming(
+    const simnet::Scenario& scenario, const StreamingReplayConfig& config,
+    std::string* error = nullptr);
+
+}  // namespace haystack::pipeline

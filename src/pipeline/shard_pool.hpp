@@ -1,0 +1,158 @@
+// Persistent worker pool over bounded per-shard queues.
+//
+// One long-lived consumer thread per shard, each draining its own
+// BoundedQueue in adaptive waves — submissions only ever contend with
+// their shard's consumer, never with other shards. Because a shard is one
+// queue consumed by one thread, per-producer FIFO order is preserved per
+// shard; that ordering contract is what the sharded detector's bit-for-bit
+// determinism rests on.
+//
+// Lifecycle protocol:
+//   drain()  quiescence barrier — returns once every item submitted
+//            before the call has been fully handled. Cheap when idle.
+//   stop()   drain-then-stop — closes the queues (pending items are still
+//            consumed), joins the workers.
+//   start()  restart-after-drain — reopens the queues, respawns workers.
+// start()/stop() are owned by one controlling thread; submit()/drain()
+// may be called from any number of threads concurrently. Handlers must
+// not call drain() (a worker waiting on itself would deadlock).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pipeline/bounded_queue.hpp"
+
+namespace haystack::pipeline {
+
+struct ShardPoolConfig {
+  unsigned shards = 1;
+  std::size_t queue_capacity = 1024;
+  /// Adaptive-batching bound: max items a worker claims per wake-up.
+  std::size_t max_wave = 64;
+};
+
+template <typename Item>
+class ShardPool {
+ public:
+  /// Called on the shard's worker thread with a claimed wave of items.
+  using Handler = std::function<void(unsigned shard,
+                                     std::vector<Item>& wave)>;
+
+  ShardPool(const ShardPoolConfig& config, Handler handler)
+      : config_{config}, handler_{std::move(handler)} {
+    config_.shards = std::max(1u, config_.shards);
+    config_.max_wave = std::max<std::size_t>(1, config_.max_wave);
+    state_ = std::make_unique<ShardState[]>(config_.shards);
+    queues_.reserve(config_.shards);
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      queues_.push_back(
+          std::make_unique<BoundedQueue<Item>>(config_.queue_capacity));
+    }
+    start();
+  }
+
+  ~ShardPool() { stop(); }
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Blocking submit with backpressure. Returns false when the pool is
+  /// stopped (the item is dropped).
+  bool submit(unsigned shard, Item item) {
+    ShardState& st = state_[shard];
+    st.submitted.fetch_add(1, std::memory_order_relaxed);
+    if (queues_[shard]->push(std::move(item))) return true;
+    st.submitted.fetch_sub(1, std::memory_order_relaxed);  // refused
+    return false;
+  }
+
+  /// Quiescence barrier: returns once every item submitted before this
+  /// call has been handled. Safe from multiple threads; cheap when idle.
+  void drain() {
+    std::vector<std::uint64_t> targets(config_.shards);
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      targets[s] = state_[s].submitted.load(std::memory_order_relaxed);
+    }
+    std::unique_lock lock{drain_mu_};
+    drain_cv_.wait(lock, [&] {
+      for (unsigned s = 0; s < config_.shards; ++s) {
+        if (state_[s].completed.load(std::memory_order_acquire) <
+            targets[s]) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
+  /// Drain-then-stop: pending items are still consumed before workers
+  /// exit. Idempotent.
+  void stop() {
+    if (workers_.empty()) return;
+    for (auto& q : queues_) q->close();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  /// Restart after stop(). Idempotent while running.
+  void start() {
+    if (!workers_.empty()) return;
+    for (auto& q : queues_) q->reopen();
+    workers_.reserve(config_.shards);
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      workers_.emplace_back([this, s] { run(s); });
+    }
+  }
+
+  [[nodiscard]] bool running() const noexcept { return !workers_.empty(); }
+  [[nodiscard]] unsigned shards() const noexcept { return config_.shards; }
+
+  [[nodiscard]] telemetry::StageStats stats(unsigned shard) const {
+    return queues_[shard]->stats();
+  }
+
+  [[nodiscard]] telemetry::StageStats stats_total() const {
+    telemetry::StageStats total;
+    for (unsigned s = 0; s < config_.shards; ++s) total += stats(s);
+    return total;
+  }
+
+ private:
+  struct ShardState {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+  };
+
+  void run(unsigned shard) {
+    std::vector<Item> wave;
+    wave.reserve(config_.max_wave);
+    for (;;) {
+      wave.clear();
+      const std::size_t n = queues_[shard]->pop_wave(wave, config_.max_wave);
+      if (n == 0) break;  // closed and drained
+      handler_(shard, wave);
+      state_[shard].completed.fetch_add(n, std::memory_order_release);
+      // Empty critical section pairs the notify with the waiter's
+      // predicate check so no drain() wakeup is lost.
+      { std::lock_guard lock{drain_mu_}; }
+      drain_cv_.notify_all();
+    }
+  }
+
+  ShardPoolConfig config_;
+  Handler handler_;
+  std::unique_ptr<ShardState[]> state_;
+  std::vector<std::unique_ptr<BoundedQueue<Item>>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace haystack::pipeline

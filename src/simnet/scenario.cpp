@@ -133,6 +133,15 @@ std::optional<Scenario> parse_scenario(std::istream& is,
       else if (key == "impair_duplicate") scenario.impair_duplicate = v;
       else if (key == "impair_reorder") scenario.impair_reorder = v;
       else scenario.impair_truncate = v;
+    } else if (key == "pipeline_shards" || key == "pipeline_queue" ||
+               key == "pipeline_wave") {
+      std::uint32_t v = 0;
+      if (!(fields >> v) || v == 0) {
+        return syntax_error("bad pipeline setting");
+      }
+      if (key == "pipeline_shards") scenario.pipeline_shards = v;
+      else if (key == "pipeline_queue") scenario.pipeline_queue = v;
+      else scenario.pipeline_wave = v;
     } else if (key == "impair_seed") {
       std::uint64_t v = 0;
       if (!(fields >> v)) return syntax_error("bad impair_seed");

@@ -15,6 +15,9 @@
 //   impair_reorder 0.02
 //   impair_truncate 0.01
 //   impair_seed 7
+//   pipeline_shards 8                   # streaming-pipeline shape
+//   pipeline_queue 1024
+//   pipeline_wave 64
 //
 // Product/unit names are quoted; unknown names are reported as errors so
 // typos fail loudly instead of silently simulating the default.
@@ -47,6 +50,11 @@ struct Scenario {
   std::optional<double> impair_reorder;
   std::optional<double> impair_truncate;
   std::optional<std::uint64_t> impair_seed;
+  // Streaming-pipeline shape (pipeline::IngestPipeline): detector shards,
+  // per-stage queue capacity, adaptive-batch wave bound. All >= 1.
+  std::optional<std::uint32_t> pipeline_shards;
+  std::optional<std::uint32_t> pipeline_queue;
+  std::optional<std::uint32_t> pipeline_wave;
 
   /// Applies the population-level settings over `base`.
   [[nodiscard]] PopulationConfig apply(PopulationConfig base) const;

@@ -60,10 +60,8 @@ flow::ImpairmentStats BorderRouterFleet::impairment_stats() const {
   return total;
 }
 
-std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
-    const std::vector<simnet::LabeledFlow>& flows, util::HourBin hour) {
-  const std::uint32_t unix_secs = 1574000000U + hour * 3600U;
-
+void BorderRouterFleet::maybe_restart(util::HourBin hour,
+                                      std::uint32_t unix_secs) {
   // Scheduled exporter crash: the router's export process restarts with a
   // fresh sequence counter, a recent boot time, and no memory of having
   // announced templates.
@@ -74,19 +72,58 @@ std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
         flow::nf9::Exporter{exporter_config(config_, r, unix_secs)};
     ++restarts_performed_;
   }
+}
 
-  // Periodic options announcements (always in hour 0). Announcements ride
-  // the same UDP path conceptually, but are retransmitted every cycle, so
-  // the model delivers them directly to the registry.
+std::vector<std::vector<std::uint8_t>> BorderRouterFleet::announcements(
+    util::HourBin hour, std::uint32_t unix_secs) {
+  std::vector<std::vector<std::uint8_t>> packets;
+  // Periodic options announcements (always in hour 0).
   if (hour % std::max(1u, config_.announce_every) == 0) {
+    packets.reserve(config_.routers);
     for (unsigned r = 0; r < config_.routers; ++r) {
-      const auto packet = flow::nf9::encode_sampling_announcement(
+      packets.push_back(flow::nf9::encode_sampling_announcement(
           {.source_id = kSourceIdBase + r,
            .interval = config_.sampling,
            .algorithm = flow::nf9::SamplingAlgorithm::kRandom},
-          unix_secs, announce_sequence_++);
-      sampling_.ingest(packet);
+          unix_secs, announce_sequence_++));
     }
+  }
+  return packets;
+}
+
+std::vector<std::vector<std::uint8_t>> BorderRouterFleet::export_router(
+    unsigned router, const std::vector<flow::FlowRecord>& records,
+    std::uint32_t unix_secs) {
+  std::vector<std::vector<std::uint8_t>> delivered;
+  for (auto& packet : exporters_[router].export_flows(records, unix_secs)) {
+    if (links_.empty()) {
+      delivered.push_back(std::move(packet));
+    } else {
+      for (auto& datagram : links_[router].transmit(std::move(packet))) {
+        delivered.push_back(std::move(datagram));
+      }
+    }
+  }
+  if (!links_.empty()) {
+    // Hour boundary: anything still held for reordering arrives now.
+    for (auto& datagram : links_[router].flush()) {
+      delivered.push_back(std::move(datagram));
+    }
+  }
+  return delivered;
+}
+
+std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
+    const std::vector<simnet::LabeledFlow>& flows, util::HourBin hour) {
+  const std::uint32_t unix_secs = 1574000000U + hour * 3600U;
+
+  maybe_restart(hour, unix_secs);
+
+  // Announcements ride the same UDP path conceptually, but are
+  // retransmitted every cycle, so the model delivers them directly to the
+  // registry.
+  for (const auto& packet : announcements(hour, unix_secs)) {
+    sampling_.ingest(packet);
   }
 
   // Partition by router and sample.
@@ -124,18 +161,8 @@ std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
       // non-options flowsets and tolerates malformed input).
       sampling_.ingest(datagram);
     };
-    for (auto& packet : exporters_[r].export_flows(per_router[r], unix_secs)) {
-      if (links_.empty()) {
-        deliver(packet);
-      } else {
-        for (const auto& datagram : links_[r].transmit(std::move(packet))) {
-          deliver(datagram);
-        }
-      }
-    }
-    if (!links_.empty()) {
-      // Hour boundary: anything still held for reordering arrives now.
-      for (const auto& datagram : links_[r].flush()) deliver(datagram);
+    for (const auto& datagram : export_router(r, per_router[r], unix_secs)) {
+      deliver(datagram);
     }
 
     const auto interval =
@@ -161,6 +188,39 @@ std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
     loss_series_.set(hour, collector_.estimated_loss());
   }
   return merged;
+}
+
+std::vector<std::vector<std::uint8_t>> BorderRouterFleet::export_hour(
+    const std::vector<flow::FlowRecord>& records, util::HourBin hour) {
+  const std::uint32_t unix_secs = 1574000000U + hour * 3600U;
+
+  maybe_restart(hour, unix_secs);
+
+  // On the wire the announcements are datagrams like any other; the fleet's
+  // own registry still learns them so sampling() keeps reporting.
+  std::vector<std::vector<std::uint8_t>> out =
+      announcements(hour, unix_secs);
+  for (const auto& packet : out) sampling_.ingest(packet);
+
+  // Partition by router and sample, exactly as observe() does.
+  std::vector<std::vector<flow::FlowRecord>> per_router(config_.routers);
+  for (const auto& rec : records) {
+    const unsigned r = router_of(rec.key.dst);
+    util::Pcg32 rng = util::derive_rng(config_.seed ^ r,
+                                       rec.key.hash() ^ rec.start_ms, hour);
+    if (auto thin = flow::thin_flow(rec, config_.sampling, rng)) {
+      thin->sampling = 0;  // carried by the announcements, not the record
+      per_router[r].push_back(*thin);
+    }
+  }
+
+  for (unsigned r = 0; r < config_.routers; ++r) {
+    if (per_router[r].empty()) continue;
+    for (auto& datagram : export_router(r, per_router[r], unix_secs)) {
+      out.push_back(std::move(datagram));
+    }
+  }
+  return out;
 }
 
 }  // namespace haystack::telemetry

@@ -66,6 +66,18 @@ class BorderRouterFleet {
   [[nodiscard]] std::vector<simnet::LabeledFlow> observe(
       const std::vector<simnet::LabeledFlow>& flows, util::HourBin hour);
 
+  /// Wire-side twin of observe() for the streaming pipeline: routes,
+  /// samples, and exports one hour of flow records, returning the raw
+  /// NetFlow v9 datagrams in delivery order (options announcements first,
+  /// then per-router data, post-impairment) instead of ingesting them at
+  /// the fleet's own collector. Feed the result to an external collector
+  /// such as pipeline::IngestPipeline::push_datagram. Restart scheduling,
+  /// announcement cadence, sampling, and impairment behave exactly as in
+  /// observe(); don't interleave the two entry points on one instance —
+  /// they share exporter sequence state.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> export_hour(
+      const std::vector<flow::FlowRecord>& records, util::HourBin hour);
+
   /// Sampling state the collector learned from options announcements.
   [[nodiscard]] const flow::nf9::SamplingRegistry& sampling()
       const noexcept {
@@ -116,6 +128,15 @@ class BorderRouterFleet {
   }
 
  private:
+  void maybe_restart(util::HourBin hour, std::uint32_t unix_secs);
+  /// Options packets due this hour (empty off-cadence).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> announcements(
+      util::HourBin hour, std::uint32_t unix_secs);
+  /// Export → (impaired) link for one router; datagrams in delivery order.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> export_router(
+      unsigned router, const std::vector<flow::FlowRecord>& records,
+      std::uint32_t unix_secs);
+
   BorderFleetConfig config_;
   std::vector<flow::nf9::Exporter> exporters_;
   std::vector<flow::ImpairedLink> links_;  ///< empty without impairment

@@ -3,6 +3,7 @@
 // drives the paper's Fig. 6 visibility analysis.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +13,34 @@
 #include "util/sim_clock.hpp"
 
 namespace haystack::telemetry {
+
+/// Snapshot of one streaming-pipeline stage queue (pipeline::BoundedQueue):
+/// depth, throughput, and how often each side stalled — the numbers that
+/// show where a deployment is bottlenecked and whether backpressure is
+/// engaging (producer_stalls) or the stage is starved (consumer_stalls).
+struct StageStats {
+  std::uint64_t enqueued = 0;         ///< items accepted into the queue
+  std::uint64_t dequeued = 0;         ///< items handed to the consumer
+  std::uint64_t producer_stalls = 0;  ///< pushes that blocked on a full queue
+  std::uint64_t consumer_stalls = 0;  ///< pops that blocked on an empty queue
+  std::uint64_t waves = 0;            ///< consumer wake-ups (adaptive batches)
+  std::size_t depth = 0;              ///< items queued at snapshot time
+  std::size_t max_depth = 0;          ///< high-water mark
+  std::size_t capacity = 0;
+
+  /// Aggregates shard queues of one stage into a stage-level view.
+  StageStats& operator+=(const StageStats& other) {
+    enqueued += other.enqueued;
+    dequeued += other.dequeued;
+    producer_stalls += other.producer_stalls;
+    consumer_stalls += other.consumer_stalls;
+    waves += other.waves;
+    depth += other.depth;
+    max_depth = std::max(max_depth, other.max_depth);
+    capacity += other.capacity;
+    return *this;
+  }
+};
 
 /// Set-backed unique counter.
 template <typename T>

@@ -33,6 +33,7 @@
 #include "core/checkpoint.hpp"
 #include "core/reference_detector.hpp"
 #include "core/sharded_detector.hpp"
+#include "pipeline/ingest.hpp"
 #include "util/rng.hpp"
 
 namespace haystack::core {
@@ -225,6 +226,67 @@ TEST_P(DifferentialTest, AllEnginesAgreeBitForBit) {
 // seed), comfortably past the issue's 20-scenario floor.
 INSTANTIATE_TEST_SUITE_P(Scenarios, DifferentialTest,
                          ::testing::Range<std::uint64_t>(0, 24));
+
+// Streaming-pipeline equivalence (ISSUE 3): observations flowing through
+// the asynchronous staged pipeline — bounded queues, adaptive waves,
+// persistent shard workers — must land in evidence state bit-for-bit
+// identical to the synchronous engines, for any shard count, any queue
+// capacity (including the pathological capacity 1), and any producer
+// chunking. Determinism is structural (per-subscriber FIFO through a
+// single-consumer shard queue), not schedule luck, so this holds on every
+// run.
+TEST_P(DifferentialTest, StreamingPipelineMatchesSynchronousEngines) {
+  const Scenario sc = make_scenario(GetParam());
+
+  Detector baseline{sc.rules.hitlist, sc.rules, sc.config};
+  for (const auto& obs : sc.stream) {
+    baseline.observe(obs.subscriber, obs.server, obs.port, obs.packets,
+                     obs.hour);
+  }
+  const auto baseline_rows = snapshot(baseline);
+  const auto baseline_verdicts = detection_map(baseline, sc);
+
+  ReferenceDetector reference{sc.rules.hitlist, sc.rules, sc.config};
+  for (const auto& obs : sc.stream) reference.observe(obs);
+  ASSERT_EQ(detection_map(reference, sc), baseline_verdicts);
+
+  const std::size_t capacities[] = {1, 2, 64, 4096};
+  const std::size_t chunk_sizes[] = {1, 17, 256};
+  for (const unsigned shards : {1u, 4u, 16u}) {
+    pipeline::IngestConfig cfg;
+    cfg.shards = shards;
+    cfg.queue_capacity =
+        capacities[(GetParam() + shards) % std::size(capacities)];
+    cfg.max_wave = 1 + GetParam() % 64;
+    cfg.detector = sc.config;
+    pipeline::IngestPipeline pipe{sc.rules.hitlist, sc.rules, cfg};
+
+    const std::size_t chunk =
+        chunk_sizes[(GetParam() + shards) % std::size(chunk_sizes)];
+    for (std::size_t off = 0; off < sc.stream.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, sc.stream.size() - off);
+      ASSERT_TRUE(pipe.push_observations(
+          {sc.stream.begin() + static_cast<std::ptrdiff_t>(off),
+           sc.stream.begin() + static_cast<std::ptrdiff_t>(off + n)}));
+    }
+    pipe.drain();
+    EXPECT_EQ(snapshot(pipe.detector()), baseline_rows)
+        << "shards=" << shards << " capacity=" << cfg.queue_capacity;
+    EXPECT_EQ(detection_map(pipe.detector(), sc), baseline_verdicts)
+        << "shards=" << shards;
+    EXPECT_EQ(pipe.detector().stats().flows, sc.stream.size());
+
+    // Synchronous ShardedDetector on the same stream, same shard count.
+    ShardedDetector sharded{sc.rules.hitlist, sc.rules, sc.config, shards};
+    sharded.process_batch(sc.stream);
+    EXPECT_EQ(snapshot(pipe.detector()), snapshot(sharded))
+        << "shards=" << shards;
+
+    // Shutdown keeps the evidence readable and unchanged.
+    pipe.shutdown();
+    EXPECT_EQ(snapshot(pipe.detector()), baseline_rows);
+  }
+}
 
 // Checkpoint/restore differential (ISSUE 2): a mid-run save → restore →
 // continue must reproduce the uninterrupted run's evidence masks and

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <set>
 
 #include "flow/flow_cache.hpp"
 #include "flow/gap_tracker.hpp"
@@ -744,6 +745,47 @@ TEST(FlowCacheTest, ActiveTimeoutSplitsLongFlow) {
     cache.add(pkt, out);
   }
   EXPECT_GE(out.size(), 1u);  // at least one active-timeout export
+}
+
+TEST(FlowCacheTest, MaxEntriesEmergencyExpiryBoundsResidency) {
+  // Under key churn the cache must stay within max_entries (emergency
+  // expiry, as routers evict under table pressure) while conserving every
+  // packet and byte across the records it exports.
+  constexpr std::size_t kMaxEntries = 16;
+  FlowCache cache{{.active_timeout_ms = 600'000,
+                   .idle_timeout_ms = 600'000,  // only the bound can expire
+                   .max_entries = kMaxEntries}};
+  std::vector<FlowRecord> out;
+  constexpr std::uint64_t kPackets = 500;
+  std::uint64_t bytes_in = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    PacketEvent pkt;
+    pkt.key = make_record(1).key;
+    pkt.key.src_port = static_cast<std::uint16_t>(i);  // distinct keys
+    pkt.bytes = 40 + static_cast<std::uint32_t>(i % 7);
+    pkt.timestamp_ms = 1000 + i;
+    bytes_in += pkt.bytes;
+    cache.add(pkt, out);
+    EXPECT_LE(cache.active_flows(), kMaxEntries) << "packet " << i;
+  }
+  EXPECT_GE(out.size(), kPackets - kMaxEntries);  // churn forced exports
+  cache.flush_all(out);
+  EXPECT_EQ(cache.active_flows(), 0u);
+
+  // Conservation: every packet and byte surfaces in exactly one record,
+  // and no key is exported twice without an intervening re-insert.
+  std::uint64_t packets_out = 0;
+  std::uint64_t bytes_out = 0;
+  std::set<std::uint16_t> ports;
+  for (const auto& rec : out) {
+    packets_out += rec.packets;
+    bytes_out += rec.bytes;
+    EXPECT_TRUE(ports.insert(rec.key.src_port).second)
+        << "duplicate export for port " << rec.key.src_port;
+  }
+  EXPECT_EQ(packets_out, kPackets);
+  EXPECT_EQ(bytes_out, bytes_in);
+  EXPECT_EQ(ports.size(), kPackets);  // one record per distinct key
 }
 
 TEST(EstablishedTcpTest, RequiresAckAndPush) {

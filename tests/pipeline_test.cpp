@@ -3,10 +3,14 @@
 // home capture / metering path (conservation through the flow cache).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
+#include <vector>
 
 #include "core/detector.hpp"
+#include "pipeline/ingest.hpp"
 #include "simnet/backend.hpp"
 #include "simnet/ground_truth.hpp"
 #include "simnet/manual_analysis.hpp"
@@ -146,6 +150,118 @@ TEST_F(PipelineTest, HomeCaptureCapBoundsMemoryNotTotals) {
   for (const auto& rec : result.flows) bytes_out += rec.bytes;
   EXPECT_EQ(bytes_out, result.bytes_in);  // bytes exact even when capped
   EXPECT_LE(result.events_in, flows.size() * 8);
+}
+
+using EvidenceRow =
+    std::tuple<core::SubscriberKey, core::ServiceId, std::uint64_t,
+               std::uint64_t, std::uint16_t, std::uint64_t, util::HourBin,
+               util::HourBin>;
+
+template <typename DetectorT>
+std::vector<EvidenceRow> evidence_snapshot(const DetectorT& det) {
+  std::vector<EvidenceRow> rows;
+  det.for_each_evidence([&](core::SubscriberKey s, core::ServiceId sv,
+                            const core::Evidence& ev) {
+    rows.emplace_back(s, sv, ev.mask[0], ev.mask[1], ev.distinct, ev.packets,
+                      ev.first_seen, ev.satisfied_hour);
+  });
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST_F(PipelineTest, StreamingDatagramPathMatchesSynchronousCollector) {
+  // End-to-end wire differential: two identical fleets export the same
+  // hours (export_hour is deterministic, asserted datagram-for-datagram);
+  // one stream feeds the staged IngestPipeline, the other a synchronous
+  // collector + normalizer + detector on the calling thread. Evidence
+  // must agree bit for bit.
+  constexpr std::uint64_t kKey = 0x5eed;
+  telemetry::BorderFleetConfig fcfg;
+  fcfg.routers = 3;
+  fcfg.sampling = 200;
+  telemetry::BorderRouterFleet fleet_a{fcfg};
+  telemetry::BorderRouterFleet fleet_b{fcfg};
+
+  pipeline::IngestConfig icfg;
+  icfg.shards = 4;
+  icfg.queue_capacity = 8;  // small queues: stages genuinely overlap
+  icfg.anonymization_key = kKey;
+  pipeline::IngestPipeline pipe{rules_->hitlist, *rules_, icfg};
+
+  flow::nf9::Collector sync_collector{
+      flow::nf9::CollectorConfig{.dedup_window = icfg.dedup_window}};
+  core::Detector sync_det{rules_->hitlist, *rules_, icfg.detector};
+  const auto normalize = pipeline::default_normalizer(kKey);
+
+  std::uint64_t datagrams = 0;
+  for (util::HourBin h = 0; h < 6; ++h) {
+    std::vector<flow::FlowRecord> records;
+    for (const auto& lf : gt_->hour_flows(h)) records.push_back(lf.flow);
+    auto wire_a = fleet_a.export_hour(records, h);
+    const auto wire_b = fleet_b.export_hour(records, h);
+    ASSERT_EQ(wire_a, wire_b) << "export_hour not deterministic, hour " << h;
+    for (const auto& datagram : wire_b) {
+      std::vector<flow::FlowRecord> decoded;
+      (void)sync_collector.ingest(datagram, decoded);
+      for (const auto& rec : decoded) {
+        if (const auto obs = normalize(rec, h)) {
+          sync_det.observe(obs->subscriber, obs->server, obs->port,
+                           obs->packets, obs->hour);
+        }
+      }
+    }
+    for (auto& datagram : wire_a) {
+      ASSERT_TRUE(pipe.push_datagram(std::move(datagram), h));
+      ++datagrams;
+    }
+  }
+  pipe.shutdown();
+
+  const auto stats = pipe.stats();
+  EXPECT_EQ(stats.datagrams, datagrams);
+  EXPECT_EQ(stats.malformed_datagrams, 0u);
+  EXPECT_EQ(stats.unknown_version, 0u);
+  EXPECT_GT(stats.flows_decoded, 0u);
+  // The default normalizer never drops a flow.
+  EXPECT_EQ(stats.observations, stats.flows_decoded);
+  EXPECT_EQ(pipe.detector().stats().flows, sync_det.stats().flows);
+  EXPECT_EQ(evidence_snapshot(pipe.detector()), evidence_snapshot(sync_det));
+}
+
+TEST_F(PipelineTest, MeteringStageEnforcesCacheBound) {
+  // FlowCache::max_entries driven from the streaming metering stage: the
+  // resident-flow high-water mark must respect the bound while every
+  // packet is conserved into exactly one exported flow.
+  pipeline::IngestConfig cfg;
+  cfg.shards = 2;
+  cfg.metering.max_entries = 64;
+  cfg.metering.active_timeout_ms = 3'600'000;  // only the bound can expire
+  cfg.metering.idle_timeout_ms = 3'600'000;
+  pipeline::IngestPipeline pipe{rules_->hitlist, *rules_, cfg};
+
+  constexpr std::uint64_t kPackets = 5000;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    flow::PacketEvent pkt;
+    pkt.key.src = net::IpAddress::v4(0x0a000001u);
+    pkt.key.dst =
+        net::IpAddress::v4(0xC0A80000u + static_cast<std::uint32_t>(i % 97));
+    pkt.key.src_port = static_cast<std::uint16_t>(i);  // distinct keys
+    pkt.key.dst_port = 443;
+    pkt.bytes = 64;
+    pkt.timestamp_ms = 1000 + i;
+    ASSERT_TRUE(pipe.push_packet(pkt, /*hour=*/0));
+  }
+  pipe.shutdown();
+
+  const auto stats = pipe.stats();
+  EXPECT_EQ(stats.packets_metered, kPackets);
+  EXPECT_GT(stats.metering_high_water, 0u);
+  EXPECT_LE(stats.metering_high_water, cfg.metering.max_entries);
+  EXPECT_EQ(stats.metered_flows, kPackets);        // one flow per key
+  EXPECT_EQ(stats.metered_packets_out, kPackets);  // conservation
+  EXPECT_EQ(stats.metering_depth, 0u);             // flushed at shutdown
+  EXPECT_EQ(stats.observations, kPackets);
+  EXPECT_EQ(pipe.detector().stats().flows, kPackets);
 }
 
 }  // namespace

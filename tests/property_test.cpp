@@ -4,8 +4,10 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "core/detector.hpp"
+#include "pipeline/bounded_queue.hpp"
 #include "dns/fqdn.hpp"
 #include "flow/ipfix.hpp"
 #include "flow/netflow_v5.hpp"
@@ -282,6 +284,83 @@ TEST_P(ThresholdProperty, RequiredDomainsFormulaAndMonotonicity) {
 INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdProperty,
                          ::testing::Values(0.05, 0.1, 0.25, 0.4, 0.5, 0.75,
                                            1.0));
+
+// ---------------------------------------------------------------------------
+// Bounded-queue delivery properties (ISSUE 3): across randomized
+// capacities and producer counts, the queue must deliver every item
+// exactly once — no drops, no duplicates — and preserve each producer's
+// submission order (per-producer FIFO), the invariant the streaming
+// pipeline's determinism rests on.
+
+struct QueueCase {
+  std::size_t capacity;
+  unsigned producers;
+  bool waves;  ///< consume via pop_wave instead of pop
+};
+
+class QueueProperty : public ::testing::TestWithParam<QueueCase> {};
+
+TEST_P(QueueProperty, ExactlyOnceInPerProducerOrder) {
+  const QueueCase c = GetParam();
+  constexpr std::uint64_t kPerProducer = 1500;
+  // Items are (producer, seq) packed into one word.
+  pipeline::BoundedQueue<std::uint64_t> queue{c.capacity};
+
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < c.producers; ++p) {
+    producers.emplace_back([&queue, p] {
+      // Jittered pacing (seeded per producer) varies the interleavings.
+      util::Pcg32 rng{0x9e37u, p};
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push((std::uint64_t{p} << 32) | i));
+        if (rng.chance(0.05)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next_seq(c.producers, 0);
+  std::uint64_t received = 0;
+  std::vector<std::uint64_t> wave;
+  const auto check = [&](std::uint64_t item) {
+    const auto p = static_cast<unsigned>(item >> 32);
+    const std::uint64_t seq = item & 0xffffffffu;
+    ASSERT_LT(p, c.producers);
+    // Strictly sequential per producer: any drop, duplicate, or
+    // reordering shows up as a seq mismatch here.
+    ASSERT_EQ(seq, next_seq[p]) << "producer " << p;
+    ++next_seq[p];
+    ++received;
+  };
+  while (received < c.producers * kPerProducer) {
+    if (c.waves) {
+      wave.clear();
+      const std::size_t n = queue.pop_wave(wave, 7);
+      ASSERT_GT(n, 0u);
+      for (const auto item : wave) check(item);
+    } else {
+      const auto item = queue.pop();
+      ASSERT_TRUE(item.has_value());
+      check(*item);
+    }
+  }
+  for (auto& t : producers) t.join();
+
+  for (unsigned p = 0; p < c.producers; ++p) {
+    EXPECT_EQ(next_seq[p], kPerProducer) << "producer " << p;
+  }
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.enqueued, c.producers * kPerProducer);
+  EXPECT_EQ(stats.dequeued, c.producers * kPerProducer);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queues, QueueProperty,
+    ::testing::Values(QueueCase{1, 1, false}, QueueCase{1, 4, true},
+                      QueueCase{2, 2, false}, QueueCase{7, 4, true},
+                      QueueCase{7, 8, false}, QueueCase{64, 4, false},
+                      QueueCase{64, 8, true}, QueueCase{1024, 2, true},
+                      QueueCase{1024, 8, false}));
 
 }  // namespace
 }  // namespace haystack

@@ -12,7 +12,10 @@
 # explicit second pass so the acceptance workload is visible in the log
 # even when the full suite is trimmed. TSan runs the threaded workloads:
 # the differential sweep (whose per-scenario shard sweep hammers
-# ShardedDetector worker threads) and the sharded detector unit tests.
+# ShardedDetector worker threads and the streaming IngestPipeline), the
+# concurrency stress/soak suite (ctest label `stress`: backpressure,
+# shutdown mid-stream, restart-after-drain), and the sharded detector and
+# streaming-pipeline unit tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,7 +38,9 @@ run_tsan() {
   cmake -B build-tsan -S . -DHAYSTACK_SANITIZE=thread
   cmake --build build-tsan -j "${jobs}"
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L differential)
-  (cd build-tsan && ctest --output-on-failure -j "${jobs}" -R Sharded)
+  (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L stress)
+  (cd build-tsan && ctest --output-on-failure -j "${jobs}" \
+    -R "Sharded|Queue|Ingest|Streaming")
 }
 
 case "${mode}" in

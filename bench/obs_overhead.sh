@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Instrumentation-overhead measurement (ISSUE 5).
+#
+# Builds bench/perf_pipeline twice — observability live (the default) and
+# compiled out (-DHAYSTACK_OBS_STRIPPED=ON) — runs the streaming-pipeline
+# benchmark plus the obs hot-path microbenchmark in both, and merges the
+# results into BENCH_obs.json with a per-shard-count overhead summary.
+#
+#   bench/obs_overhead.sh                 # full run, writes BENCH_obs.json
+#   BENCH_REPS=5 bench/obs_overhead.sh    # more repetitions
+#
+# Acceptance (EXPERIMENTS.md): instrumented throughput within 3% of the
+# stripped build on BM_StreamingPipeline at 8 shards.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+jobs="$(nproc)"
+reps="${BENCH_REPS:-3}"
+filter='BM_StreamingPipeline|BM_ObsHotPath'
+
+build_and_run() {
+  local dir="$1"
+  shift
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
+  cmake --build "${dir}" -j "${jobs}" --target perf_pipeline >/dev/null
+  "./${dir}/bench/perf_pipeline" \
+    --benchmark_filter="${filter}" \
+    --benchmark_repetitions="${reps}" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out_format=json \
+    --benchmark_out="${dir}/bench_obs.json" \
+    --benchmark_min_warmup_time=0.2
+}
+
+echo "== instrumented (default build) =="
+build_and_run build-bench-obs
+echo "== stripped (-DHAYSTACK_OBS_STRIPPED=ON) =="
+build_and_run build-bench-obs-stripped -DHAYSTACK_OBS_STRIPPED=ON
+
+python3 - <<'PY'
+import json
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+def medians(doc):
+    out = {}
+    for b in doc["benchmarks"]:
+        if b.get("aggregate_name") == "median":
+            out[b["run_name"]] = b["real_time"]
+    return out
+
+inst_doc = load("build-bench-obs/bench_obs.json")
+strip_doc = load("build-bench-obs-stripped/bench_obs.json")
+inst, strip = medians(inst_doc), medians(strip_doc)
+
+summary = []
+for name in sorted(inst):
+    if name not in strip or strip[name] == 0:
+        continue
+    overhead = (inst[name] - strip[name]) / strip[name]
+    summary.append({
+        "benchmark": name,
+        "instrumented_real_time": inst[name],
+        "stripped_real_time": strip[name],
+        "overhead_fraction": round(overhead, 4),
+    })
+    print(f"{name}: instrumented {inst[name]:.3f} vs stripped "
+          f"{strip[name]:.3f} -> overhead {overhead * 100:+.2f}%")
+
+with open("BENCH_obs.json", "w") as f:
+    json.dump({
+        "summary": summary,
+        "instrumented": inst_doc,
+        "stripped": strip_doc,
+    }, f, indent=2)
+print("wrote BENCH_obs.json")
+
+gate = [s for s in summary
+        if s["benchmark"].startswith("BM_StreamingPipeline/8")]
+for s in gate:
+    if s["overhead_fraction"] > 0.03:
+        raise SystemExit(
+            f"FAIL: {s['benchmark']} overhead "
+            f"{s['overhead_fraction'] * 100:.2f}% exceeds the 3% budget")
+print("overhead within the 3% budget at 8 shards")
+PY

@@ -13,6 +13,7 @@
 #include "flow/ipfix.hpp"
 #include "flow/netflow_v9.hpp"
 #include "flow/sampler.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/ingest.hpp"
 
 namespace {
@@ -241,6 +242,24 @@ void BM_StreamingPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamingPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Observability hot path in isolation (ISSUE 5): one relaxed counter add
+// plus one histogram record — the marginal cost an instrumented pipeline
+// pays per counted event. Under -DHAYSTACK_OBS_STRIPPED=ON the histogram
+// record compiles out and this measures the residual counter cost, so
+// bench/obs_overhead.sh can price the instrumentation delta exactly.
+void BM_ObsHotPath(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  auto counter = registry.counter("bench_events_total");
+  auto hist = registry.histogram("bench_latency_ns");
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    counter->add(1);
+    hist->record(v++ & 0xffff);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHotPath);
 
 }  // namespace
 

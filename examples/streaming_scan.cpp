@@ -5,15 +5,21 @@
 // normalize / detect stages over bounded backpressured queues — then the
 // per-stage telemetry and detection table are printed.
 //
-// Usage: streaming_scan <scenario-file> [hours]
+// Usage: streaming_scan <scenario-file> [hours] [--metrics] [--flight N]
+//
+//   --metrics    print the full Prometheus scrape of the run's registry
+//   --flight N   print the last N flight-recorder events (default 10)
 //
 // Scenario keys shaping the pipeline itself:
 //   pipeline_shards 8
 //   pipeline_queue 1024
 //   pipeline_wave 64
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include "obs/flight_recorder.hpp"
 #include "pipeline/scenario_runner.hpp"
 #include "util/table.hpp"
 
@@ -36,7 +42,20 @@ int main(int argc, char** argv) {
   }
 
   pipeline::StreamingReplayConfig config;
-  if (argc > 2) config.hours = static_cast<unsigned>(std::atoi(argv[2]));
+  bool show_metrics = false;
+  std::size_t flight_tail = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      show_metrics = true;
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      flight_tail = 10;
+      if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
+        flight_tail = static_cast<std::size_t>(std::atoi(argv[++i]));
+      }
+    } else if (std::atoi(argv[i]) > 0) {
+      config.hours = static_cast<unsigned>(std::atoi(argv[i]));
+    }
+  }
   const auto result =
       pipeline::replay_scenario_streaming(*scenario, config, &error);
   if (!result) {
@@ -80,5 +99,25 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nSubscribers with any IoT activity: "
             << util::fmt_count(result->subscribers_detected) << "\n";
-  return 0;
+
+  if (!result->self_check.ok) {
+    std::cerr << "\nSELF-CHECK FAILED: " << result->self_check.detail << "\n";
+  }
+  if (flight_tail > 0) {
+    const auto& events = result->flight_events;
+    const std::size_t n = std::min(flight_tail, events.size());
+    std::cout << "\nFlight recorder (last " << n << " of " << events.size()
+              << " events):\n";
+    for (std::size_t i = events.size() - n; i < events.size(); ++i) {
+      const auto& e = events[i];
+      std::cout << "  #" << e.seq << " h" << e.hour << " "
+                << obs::event_name(e.kind) << " source=" << e.source
+                << " a=" << e.a << " b=" << e.b << "\n";
+    }
+  }
+  if (show_metrics) {
+    std::cout << "\n# Prometheus scrape of the run\n"
+              << result->metrics_prometheus;
+  }
+  return result->self_check.ok ? 0 : 1;
 }

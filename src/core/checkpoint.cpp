@@ -105,42 +105,65 @@ bool parse_impl(std::span<const std::uint8_t> blob, double threshold,
   return true;
 }
 
+template <typename DetectorT>
+std::vector<std::uint8_t> save_with_event(const DetectorT& detector,
+                                          obs::FlightRecorder* recorder) {
+  auto blob =
+      save_impl(detector, detector.config().threshold, detector.stats());
+  if (recorder != nullptr) {
+    constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 8;
+    constexpr std::size_t kEntryBytes = 8 + 2 + 8 + 8 + 2 + 8 + 4 + 4;
+    recorder->record(obs::EventKind::kCheckpointSave, 0,
+                     (blob.size() - kHeaderBytes) / kEntryBytes, blob.size());
+  }
+  return blob;
+}
+
+template <typename DetectorT>
+bool restore_with_event(std::span<const std::uint8_t> blob,
+                        DetectorT& detector, std::string* error,
+                        obs::FlightRecorder* recorder) {
+  Parsed parsed;
+  if (!parse_impl(blob, detector.config().threshold, parsed, error)) {
+    if (recorder != nullptr) {
+      recorder->record(obs::EventKind::kCheckpointRejected, 0, blob.size());
+    }
+    return false;
+  }
+  detector.clear();
+  detector.restore_stats(parsed.stats);
+  for (const auto& e : parsed.entries) {
+    detector.restore_evidence(e.subscriber, e.service, e.evidence);
+  }
+  if (recorder != nullptr) {
+    recorder->record(obs::EventKind::kCheckpointRestore, 0,
+                     parsed.entries.size(), blob.size());
+  }
+  return true;
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> save_checkpoint(const Detector& detector) {
-  return save_impl(detector, detector.config().threshold, detector.stats());
+std::vector<std::uint8_t> save_checkpoint(const Detector& detector,
+                                          obs::FlightRecorder* recorder) {
+  return save_with_event(detector, recorder);
 }
 
-std::vector<std::uint8_t> save_checkpoint(const ShardedDetector& detector) {
-  return save_impl(detector, detector.config().threshold, detector.stats());
-}
-
-bool restore_checkpoint(std::span<const std::uint8_t> blob,
-                        Detector& detector, std::string* error) {
-  Parsed parsed;
-  if (!parse_impl(blob, detector.config().threshold, parsed, error)) {
-    return false;
-  }
-  detector.clear();
-  detector.restore_stats(parsed.stats);
-  for (const auto& e : parsed.entries) {
-    detector.restore_evidence(e.subscriber, e.service, e.evidence);
-  }
-  return true;
+std::vector<std::uint8_t> save_checkpoint(const ShardedDetector& detector,
+                                          obs::FlightRecorder* recorder) {
+  return save_with_event(detector, recorder);
 }
 
 bool restore_checkpoint(std::span<const std::uint8_t> blob,
-                        ShardedDetector& detector, std::string* error) {
-  Parsed parsed;
-  if (!parse_impl(blob, detector.config().threshold, parsed, error)) {
-    return false;
-  }
-  detector.clear();
-  detector.restore_stats(parsed.stats);
-  for (const auto& e : parsed.entries) {
-    detector.restore_evidence(e.subscriber, e.service, e.evidence);
-  }
-  return true;
+                        Detector& detector, std::string* error,
+                        obs::FlightRecorder* recorder) {
+  return restore_with_event(blob, detector, error, recorder);
+}
+
+bool restore_checkpoint(std::span<const std::uint8_t> blob,
+                        ShardedDetector& detector, std::string* error,
+                        obs::FlightRecorder* recorder) {
+  return restore_with_event(blob, detector, error, recorder);
 }
 
 }  // namespace haystack::core

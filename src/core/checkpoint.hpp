@@ -41,21 +41,26 @@ namespace haystack::core {
 inline constexpr std::uint32_t kCheckpointMagic = 0x4853434bU;  // "HSCK"
 inline constexpr std::uint32_t kCheckpointVersion = 1;
 
-/// Serializes the full evidence state + throughput counters.
+/// Serializes the full evidence state + throughput counters. A non-null
+/// `recorder` gets a kCheckpointSave event (a = entries, b = bytes).
 [[nodiscard]] std::vector<std::uint8_t> save_checkpoint(
-    const Detector& detector);
+    const Detector& detector, obs::FlightRecorder* recorder = nullptr);
 [[nodiscard]] std::vector<std::uint8_t> save_checkpoint(
-    const ShardedDetector& detector);
+    const ShardedDetector& detector, obs::FlightRecorder* recorder = nullptr);
 
 /// Restores a checkpoint into `detector`, replacing its evidence state.
 /// Returns false — leaving the detector untouched — when the blob has a
 /// wrong magic/version, was written under a different threshold, is
 /// truncated, or carries trailing bytes. `error`, when non-null, receives
-/// a human-readable reason.
+/// a human-readable reason. A non-null `recorder` gets kCheckpointRestore
+/// (a = entries, b = bytes) on success, kCheckpointRejected (a = bytes)
+/// on refusal.
 bool restore_checkpoint(std::span<const std::uint8_t> blob,
-                        Detector& detector, std::string* error = nullptr);
+                        Detector& detector, std::string* error = nullptr,
+                        obs::FlightRecorder* recorder = nullptr);
 bool restore_checkpoint(std::span<const std::uint8_t> blob,
                         ShardedDetector& detector,
-                        std::string* error = nullptr);
+                        std::string* error = nullptr,
+                        obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace haystack::core

@@ -19,9 +19,11 @@ std::optional<Hit> Detector::observe(SubscriberKey subscriber,
                                      std::uint64_t packets,
                                      util::HourBin hour) {
   ++stats_.flows;
+  if (instruments_.flows) instruments_.flows->add(1);
   const auto hit = hitlist_.lookup(server, port, util::day_of(hour));
   if (!hit) return std::nullopt;
   ++stats_.matched;
+  if (instruments_.matched) instruments_.matched->add(1);
 
   const DetectionRule* rule =
       hit->service < rule_of_.size() ? rule_of_[hit->service] : nullptr;
@@ -29,7 +31,13 @@ std::optional<Hit> Detector::observe(SubscriberKey subscriber,
 
   auto [it, inserted] = evidence_.try_emplace({subscriber, hit->service});
   Evidence& ev = it->second;
-  if (inserted) ev.first_seen = hour;
+  if (inserted) {
+    ev.first_seen = hour;
+    if (instruments_.evidence_entries) {
+      instruments_.evidence_entries->set(
+          static_cast<std::int64_t>(evidence_.size()));
+    }
+  }
   ev.packets += packets;
 
   const std::uint16_t pos = hit->domain_index;
@@ -45,6 +53,10 @@ std::optional<Hit> Detector::observe(SubscriberKey subscriber,
     if (critical_ok ||
         ev.distinct >= rule->required_domains(config_.threshold)) {
       ev.satisfied_hour = hour;
+      if (instruments_.rules_satisfied) instruments_.rules_satisfied->add(1);
+      if (instruments_.time_to_detection_hours) {
+        instruments_.time_to_detection_hours->record(hour - ev.first_seen);
+      }
     }
   }
   return hit;
@@ -70,7 +82,14 @@ std::optional<util::HourBin> Detector::detection_hour(
 }
 
 void Detector::set_observed_loss(double fraction) noexcept {
+  const bool was_degraded = degraded();
   observed_loss_ = std::clamp(fraction, 0.0, 1.0);
+  if (instruments_.recorder != nullptr && degraded() != was_degraded) {
+    const auto ppm = static_cast<std::uint64_t>(observed_loss_ * 1e6);
+    instruments_.recorder->record(degraded() ? obs::EventKind::kDegradedEnter
+                                             : obs::EventKind::kDegradedExit,
+                                  instruments_.source, ppm);
+  }
 }
 
 Verdict Detector::verdict(SubscriberKey subscriber, ServiceId service) const {
@@ -110,6 +129,10 @@ Verdict Detector::verdict(SubscriberKey subscriber, ServiceId service) const {
 void Detector::restore_evidence(SubscriberKey subscriber, ServiceId service,
                                 const Evidence& evidence) {
   evidence_[{subscriber, service}] = evidence;
+  if (instruments_.evidence_entries) {
+    instruments_.evidence_entries->set(
+        static_cast<std::int64_t>(evidence_.size()));
+  }
 }
 
 const Evidence* Detector::evidence(SubscriberKey subscriber,
@@ -126,6 +149,9 @@ void Detector::for_each_evidence(
   }
 }
 
-void Detector::clear() { evidence_.clear(); }
+void Detector::clear() {
+  evidence_.clear();
+  if (instruments_.evidence_entries) instruments_.evidence_entries->set(0);
+}
 
 }  // namespace haystack::core

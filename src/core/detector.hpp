@@ -16,12 +16,15 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/hitlist.hpp"
 #include "core/rules.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "util/sim_clock.hpp"
 
 namespace haystack::core {
@@ -76,6 +79,24 @@ struct Evidence {
   [[nodiscard]] bool sees(std::uint16_t position) const noexcept {
     return (mask[position >> 6] >> (position & 63U)) & 1U;
   }
+};
+
+/// Registry handles one detector instance bumps as it observes (ISSUE 5).
+/// Null handles disable each hook. ShardedDetector wires one set per shard
+/// (labels {{"shard", N}}), so hot counters never share a cache line
+/// across shards; the time-to-detection histogram may be shared because
+/// detection transitions are rare.
+struct DetectorInstruments {
+  std::shared_ptr<obs::Counter> flows;            ///< observations fed
+  std::shared_ptr<obs::Counter> matched;          ///< hitlist matches
+  std::shared_ptr<obs::Counter> rules_satisfied;  ///< coverage-met events
+  std::shared_ptr<obs::Gauge> evidence_entries;   ///< evidence-map size
+  /// Hours from first evidence to rule satisfaction, per transition.
+  std::shared_ptr<obs::Histogram> time_to_detection_hours;
+  /// kDegradedEnter/kDegradedExit events on loss-tolerance crossings
+  /// (source = `source`, a = loss in ppm).
+  obs::FlightRecorder* recorder = nullptr;
+  std::uint32_t source = 0;
 };
 
 /// The streaming detector.
@@ -148,6 +169,15 @@ class Detector {
   }
   [[nodiscard]] const RuleSet& rules() const noexcept { return rules_; }
 
+  /// Attaches registry instrumentation (ISSUE 5). Call at wiring time,
+  /// before observations flow.
+  void set_instruments(DetectorInstruments instruments) {
+    instruments_ = std::move(instruments);
+  }
+  [[nodiscard]] const DetectorInstruments& instruments() const noexcept {
+    return instruments_;
+  }
+
  private:
   struct Key {
     SubscriberKey subscriber;
@@ -169,6 +199,7 @@ class Detector {
   std::unordered_map<Key, Evidence, KeyHash> evidence_;
   Stats stats_;
   double observed_loss_ = 0.0;
+  DetectorInstruments instruments_;
 };
 
 }  // namespace haystack::core

@@ -7,19 +7,63 @@ namespace haystack::core {
 ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
                                  const DetectorConfig& config,
                                  unsigned shards,
-                                 std::size_t queue_capacity) {
+                                 std::size_t queue_capacity,
+                                 obs::Observability* obs) {
   const unsigned n = std::max(1u, shards);
   shards_.reserve(n);
   for (unsigned s = 0; s < n; ++s) {
     shards_.push_back(std::make_unique<Detector>(hitlist, rules, config));
+    if (obs != nullptr) {
+      // Per-shard counter/gauge series so hot increments never share a
+      // cache line across shards; the time-to-detection histogram is one
+      // series (detection transitions are rare).
+      const obs::Labels shard_labels{{"shard", std::to_string(s)}};
+      DetectorInstruments inst;
+      inst.flows = obs->registry.counter("detector_flows_total", shard_labels);
+      inst.matched =
+          obs->registry.counter("detector_matched_total", shard_labels);
+      inst.rules_satisfied =
+          obs->registry.counter("detector_rules_satisfied_total", shard_labels);
+      inst.evidence_entries =
+          obs->registry.gauge("detector_evidence_entries", shard_labels);
+      inst.time_to_detection_hours =
+          obs->registry.histogram("detector_time_to_detection_hours");
+      inst.recorder = &obs->recorder;
+      inst.source = s;
+      shards_.back()->set_instruments(std::move(inst));
+    }
   }
   // Persistent workers: one long-lived thread per shard, consuming that
   // shard's chunk queue. The handler runs on worker s and touches only
   // shards_[s], so the hot path stays lock-free on evidence state.
+  pipeline::ShardPoolConfig pool_config{.shards = n,
+                                        .queue_capacity = queue_capacity,
+                                        .max_wave = 64};
+  if (obs != nullptr) {
+    // One wave-span series per shard: wave records happen on every worker
+    // wake-up, so a single shared histogram would put all workers on the
+    // same atomic cache lines — measured at >15% streaming-bench overhead
+    // at 8 shards versus ~1% with per-shard series.
+    detect_wave_ns_.reserve(n);
+    detect_wave_items_.reserve(n);
+    pool_config.wave_ns_by_shard.reserve(n);
+    pool_config.wave_items_by_shard.reserve(n);
+    for (unsigned s = 0; s < n; ++s) {
+      const obs::Labels stage{{"shard", std::to_string(s)},
+                              {"stage", obs::stage_name(obs::kStageDetect)}};
+      detect_wave_ns_.push_back(
+          obs->registry.histogram("stage_wave_ns", stage));
+      detect_wave_items_.push_back(
+          obs->registry.histogram("stage_wave_items", stage));
+      pool_config.wave_ns_by_shard.push_back(detect_wave_ns_.back().get());
+      pool_config.wave_items_by_shard.push_back(
+          detect_wave_items_.back().get());
+    }
+    pool_config.recorder = &obs->recorder;
+    pool_config.stage_tag = obs::kStageDetect;
+  }
   pool_ = std::make_unique<pipeline::ShardPool<Chunk>>(
-      pipeline::ShardPoolConfig{.shards = n,
-                                .queue_capacity = queue_capacity,
-                                .max_wave = 64},
+      pool_config,
       [this](unsigned s, std::vector<Chunk>& wave) {
         Detector& det = *shards_[s];
         for (const Chunk& chunk : wave) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "obs/observability.hpp"
 #include "pipeline/shard_pool.hpp"
 
 namespace haystack::core {
@@ -47,10 +48,14 @@ class ShardedDetector {
  public:
   /// `shards` worker partitions (>= 1), each with its own bounded chunk
   /// queue of `queue_capacity` entries. Shares `hitlist`/`rules` which
-  /// must outlive the detector.
+  /// must outlive the detector. When `obs` is non-null, each shard gets
+  /// per-shard registry instruments (labels {{"shard", N}}) including its
+  /// own detect-stage wave histograms, and the shard pool records
+  /// backpressure/slow-wave flight events.
   ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
                   const DetectorConfig& config, unsigned shards,
-                  std::size_t queue_capacity = 1024);
+                  std::size_t queue_capacity = 1024,
+                  obs::Observability* obs = nullptr);
   ~ShardedDetector();
 
   ShardedDetector(const ShardedDetector&) = delete;
@@ -123,6 +128,10 @@ class ShardedDetector {
   }
 
   std::vector<std::unique_ptr<Detector>> shards_;
+  // Keep the per-shard detect-stage wave histograms alive for the pool's
+  // lifetime (the pool config holds raw pointers into them).
+  std::vector<std::shared_ptr<obs::Histogram>> detect_wave_ns_;
+  std::vector<std::shared_ptr<obs::Histogram>> detect_wave_items_;
   // mutable: drain() is logically const — it completes writes that the
   // API contract already promised were visible.
   mutable std::unique_ptr<pipeline::ShardPool<Chunk>> pool_;

@@ -20,6 +20,7 @@ void FlowCache::add(const PacketEvent& packet, std::vector<FlowRecord>& out) {
       FlowKey kept_key = it->first;
       cache_.erase(it);
       flush_all(out);
+      ++emergency_expiries_;
       it = cache_.try_emplace(kept_key, kept).first;
     }
     FlowRecord& fresh = it->second.record;

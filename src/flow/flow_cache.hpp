@@ -54,6 +54,14 @@ class FlowCache {
     return cache_.size();
   }
 
+  /// Times the cache hit max_entries and flushed wholesale. A nonzero
+  /// value means max_entries is undersized for the traffic mix (ISSUE 5:
+  /// surfaced as a metric and a kCacheEmergencyExpiry flight event by the
+  /// ingest pipeline).
+  [[nodiscard]] std::uint64_t emergency_expiries() const noexcept {
+    return emergency_expiries_;
+  }
+
  private:
   struct Entry {
     FlowRecord record;
@@ -62,6 +70,7 @@ class FlowCache {
   FlowCacheConfig config_;
   std::unordered_map<FlowKey, Entry> cache_;
   std::uint64_t last_sweep_ms_ = 0;
+  std::uint64_t emergency_expiries_ = 0;
 };
 
 }  // namespace haystack::flow

@@ -218,9 +218,16 @@ bool Collector::ingest(std::span<const std::uint8_t> message,
     } else {
       ++stats_.sequence_gaps;
       stats_.estimated_lost_records += outcome.lost_units;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kSequenceGap, domain,
+                                 outcome.lost_units);
+      }
     }
   } else if (outcome.event == SequenceEvent::kReplay) {
     ++stats_.reordered_messages;
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(obs::EventKind::kSequenceReplay, domain, 1);
+    }
   }
 
   const std::uint64_t records_before = stats_.records;
@@ -281,6 +288,10 @@ bool Collector::ingest(std::span<const std::uint8_t> message,
 void Collector::handle_restart(std::uint32_t domain, PerDomain& state) {
   ++stats_.exporter_restarts;
   ++state.restarts;
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(obs::EventKind::kExporterRestart, domain,
+                             state.restarts);
+  }
   state.tracker.reset();
   state.sequence_indeterminate = false;
   templates_.erase(templates_.lower_bound({domain, 0}),
@@ -290,6 +301,10 @@ void Collector::handle_restart(std::uint32_t domain, PerDomain& state) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->domain == domain) {
       ++stats_.evicted_sets;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kTemplateEvicted, domain,
+                                 it->template_id);
+      }
       it = pending_.erase(it);
     } else {
       ++it;
@@ -302,6 +317,11 @@ void Collector::park_set(std::uint32_t domain, std::uint16_t template_id,
   if (config_.max_pending_sets == 0) return;
   if (pending_.size() >= config_.max_pending_sets) {
     ++stats_.evicted_sets;
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(obs::EventKind::kTemplateEvicted,
+                               pending_.front().domain,
+                               pending_.front().template_id);
+    }
     pending_.pop_front();
   }
   PendingSet parked;
@@ -312,6 +332,10 @@ void Collector::park_set(std::uint32_t domain, std::uint16_t template_id,
   body.bytes(parked.body);
   pending_.push_back(std::move(parked));
   ++stats_.buffered_sets;
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(obs::EventKind::kTemplateParked, domain,
+                             template_id);
+  }
 }
 
 void Collector::recover_pending(std::uint32_t domain,
@@ -341,8 +365,16 @@ void Collector::recover_pending(std::uint32_t domain,
       tracker.credit_recovered(recovered);
       tracker.advance_past(it->sequence +
                            static_cast<std::uint32_t>(recovered));
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kTemplateRecovered, domain,
+                                 recovered);
+      }
     } else {
       ++stats_.evicted_sets;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kTemplateEvicted, domain,
+                                 template_id);
+      }
     }
     it = pending_.erase(it);
   }

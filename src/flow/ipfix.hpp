@@ -20,6 +20,7 @@
 #include "flow/gap_tracker.hpp"
 #include "flow/record.hpp"
 #include "flow/wire.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace haystack::flow::ipfix {
 
@@ -99,6 +100,9 @@ struct CollectorConfig {
   std::uint32_t reorder_window = 2048;
   /// Duplicate-datagram suppression window (datagrams); 0 disables.
   std::size_t dedup_window = 0;
+  /// Optional flight recorder: restart/gap/replay/park/recover/evict
+  /// events are recorded with source = the observation domain (ISSUE 5).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Decoder statistics. Every ingested datagram lands in exactly one of

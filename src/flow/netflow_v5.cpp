@@ -89,13 +89,23 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
     case SequenceEvent::kGap:
       ++stats_.sequence_gaps;
       stats_.estimated_lost_flows += outcome.lost_units;
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::EventKind::kSequenceGap, 0,
+                          outcome.lost_units);
+      }
       break;
     case SequenceEvent::kReplay:
       ++stats_.reordered_packets;
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::EventKind::kSequenceReplay, 0, 1);
+      }
       break;
     case SequenceEvent::kRestart:
       ++stats_.exporter_restarts;
       ++restarts_;
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::EventKind::kExporterRestart, 0, restarts_);
+      }
       tracker_.reset();
       outcome = tracker_.classify(sequence);  // now kFirst
       break;

@@ -15,6 +15,7 @@
 #include "flow/gap_tracker.hpp"
 #include "flow/record.hpp"
 #include "flow/wire.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace haystack::flow::nf5 {
 
@@ -79,7 +80,14 @@ class Collector {
     return {tracker_.received(), tracker_.lost(), restarts_};
   }
 
+  /// Optional flight recorder for restart/gap/replay events (ISSUE 5);
+  /// v5 has no config struct, so the recorder is attached post-hoc.
+  void set_recorder(obs::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
+  obs::FlightRecorder* recorder_ = nullptr;
   CollectorStats stats_;
   // Reordering by a few datagrams spans at most a few hundred flows
   // (30 flows per packet); anything further back is a restarted exporter.

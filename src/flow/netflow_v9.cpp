@@ -179,9 +179,17 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
     case SequenceEvent::kGap:
       ++stats_.sequence_gaps;
       stats_.estimated_lost_packets += outcome.lost_units;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kSequenceGap, source_id,
+                                 outcome.lost_units);
+      }
       break;
     case SequenceEvent::kReplay:
       ++stats_.reordered_packets;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kSequenceReplay, source_id,
+                                 1);
+      }
       break;
     default:
       break;
@@ -234,6 +242,10 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
 void Collector::handle_restart(std::uint32_t source_id, PerSource& source) {
   ++stats_.exporter_restarts;
   ++source.restarts;
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(obs::EventKind::kExporterRestart, source_id,
+                             source.restarts);
+  }
   source.tracker.reset();
   source.have_uptime = false;
   // The old incarnation's templates no longer describe the new stream.
@@ -244,6 +256,10 @@ void Collector::handle_restart(std::uint32_t source_id, PerSource& source) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->source_id == source_id) {
       ++stats_.evicted_flowsets;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kTemplateEvicted, source_id,
+                                 it->template_id);
+      }
       it = pending_.erase(it);
     } else {
       ++it;
@@ -256,6 +272,11 @@ void Collector::park_flowset(std::uint32_t source_id,
   if (config_.max_pending_flowsets == 0) return;
   if (pending_.size() >= config_.max_pending_flowsets) {
     ++stats_.evicted_flowsets;
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(obs::EventKind::kTemplateEvicted,
+                               pending_.front().source_id,
+                               pending_.front().template_id);
+    }
     pending_.pop_front();
   }
   PendingFlowset parked;
@@ -265,6 +286,10 @@ void Collector::park_flowset(std::uint32_t source_id,
   body.bytes(parked.body);
   pending_.push_back(std::move(parked));
   ++stats_.buffered_flowsets;
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(obs::EventKind::kTemplateParked, source_id,
+                             template_id);
+  }
 }
 
 void Collector::recover_pending(std::uint32_t source_id,
@@ -282,9 +307,17 @@ void Collector::recover_pending(std::uint32_t source_id,
     if (decode_data_flowset(body, it_tmpl->second, out)) {
       ++stats_.recovered_flowsets;
       stats_.recovered_records += stats_.records - before;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kTemplateRecovered,
+                                 source_id, stats_.records - before);
+      }
     } else {
       // The parked bytes do not parse under the learned template.
       ++stats_.evicted_flowsets;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::EventKind::kTemplateEvicted, source_id,
+                                 template_id);
+      }
     }
     it = pending_.erase(it);
   }

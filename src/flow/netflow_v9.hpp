@@ -23,6 +23,7 @@
 #include "flow/gap_tracker.hpp"
 #include "flow/record.hpp"
 #include "flow/wire.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace haystack::flow::nf9 {
 
@@ -100,6 +101,9 @@ struct CollectorConfig {
   /// sysUptime regression (ms) beyond which the exporter is considered
   /// restarted even when the sequence number happens to line up.
   std::uint32_t uptime_restart_slack_ms = 60'000;
+  /// Optional flight recorder: restart/gap/replay/park/recover/evict
+  /// events are recorded with source = the export source id (ISSUE 5).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Decoder statistics, exposed for monitoring and tests. Every ingested

@@ -1,0 +1,422 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+
+namespace haystack::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+void append_label_set(std::string& out, const Labels& labels,
+                      const std::string* extra_key = nullptr,
+                      const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped(out, v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += *extra_key;
+    out += "=\"";
+    append_escaped(out, *extra_value);
+    out += '"';
+  }
+  out += '}';
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const std::string kLe = "le";
+
+}  // namespace
+
+std::string to_prometheus(const MetricRegistry& registry) {
+  std::string out;
+  for (const auto& s : registry.snapshot()) {
+    out += "# TYPE ";
+    out += s.name;
+    out += ' ';
+    out += kind_name(s.kind);
+    out += '\n';
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += s.name;
+        append_label_set(out, s.labels);
+        out += ' ' + std::to_string(s.counter) + '\n';
+        break;
+      case MetricKind::kGauge:
+        out += s.name;
+        append_label_set(out, s.labels);
+        out += ' ' + std::to_string(s.gauge) + '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+          if (s.hist.buckets[b] == 0) continue;
+          cumulative += s.hist.buckets[b];
+          const std::string le =
+              std::to_string(Histogram::upper_bound(b));
+          out += s.name + "_bucket";
+          append_label_set(out, s.labels, &kLe, &le);
+          out += ' ' + std::to_string(cumulative) + '\n';
+        }
+        const std::string inf = "+Inf";
+        out += s.name + "_bucket";
+        append_label_set(out, s.labels, &kLe, &inf);
+        out += ' ' + std::to_string(s.hist.count) + '\n';
+        out += s.name + "_sum";
+        append_label_set(out, s.labels);
+        out += ' ' + std::to_string(s.hist.sum) + '\n';
+        out += s.name + "_count";
+        append_label_set(out, s.labels);
+        out += ' ' + std::to_string(s.hist.count) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const MetricRegistry& registry) {
+  std::string out = "{\"metrics\":[";
+  bool first_metric = true;
+  for (const auto& s : registry.snapshot()) {
+    if (!first_metric) out += ',';
+    first_metric = false;
+    out += "{\"name\":\"";
+    append_escaped(out, s.name);
+    out += "\",\"kind\":\"";
+    out += kind_name(s.kind);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      append_escaped(out, k);
+      out += "\":\"";
+      append_escaped(out, v);
+      out += '"';
+    }
+    out += '}';
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + std::to_string(s.counter);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + std::to_string(s.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"count\":" + std::to_string(s.hist.count);
+        out += ",\"sum\":" + std::to_string(s.hist.sum);
+        out += ",\"buckets\":{";
+        bool first_bucket = true;
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+          if (s.hist.buckets[b] == 0) continue;
+          if (!first_bucket) out += ',';
+          first_bucket = false;
+          out += '"' + std::to_string(Histogram::upper_bound(b)) + "\":" +
+                 std::to_string(s.hist.buckets[b]);
+        }
+        out += '}';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsers. They accept exactly the grammar the emitters above produce.
+
+namespace {
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+bool parse_label_block(std::string_view line, std::size_t& pos,
+                       std::map<std::string, std::string>& labels,
+                       std::string* error) {
+  ++pos;  // consume '{'
+  while (pos < line.size() && line[pos] != '}') {
+    std::size_t eq = line.find('=', pos);
+    if (eq == std::string_view::npos) {
+      return fail(error, "label without '='");
+    }
+    const std::string key{line.substr(pos, eq - pos)};
+    pos = eq + 1;
+    if (pos >= line.size() || line[pos] != '"') {
+      return fail(error, "label value not quoted");
+    }
+    ++pos;
+    std::string value;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\' && pos + 1 < line.size()) {
+        ++pos;
+        value += line[pos] == 'n' ? '\n' : line[pos];
+      } else {
+        value += line[pos];
+      }
+      ++pos;
+    }
+    if (pos >= line.size()) return fail(error, "unterminated label value");
+    ++pos;  // closing quote
+    labels.emplace(key, value);
+    if (pos < line.size() && line[pos] == ',') ++pos;
+  }
+  if (pos >= line.size()) return fail(error, "unterminated label block");
+  ++pos;  // consume '}'
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<ParsedSample>> parse_prometheus(
+    std::string_view text, std::string* error) {
+  std::vector<ParsedSample> out;
+  std::size_t line_start = 0;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    const std::string_view line =
+        text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    ParsedSample sample;
+    std::size_t pos = 0;
+    while (pos < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[pos])) != 0 ||
+            line[pos] == '_' || line[pos] == ':')) {
+      ++pos;
+    }
+    if (pos == 0) {
+      fail(error, "line does not start with a metric name");
+      return std::nullopt;
+    }
+    sample.name = std::string{line.substr(0, pos)};
+    if (pos < line.size() && line[pos] == '{') {
+      if (!parse_label_block(line, pos, sample.labels, error)) {
+        return std::nullopt;
+      }
+    }
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) {
+      fail(error, "missing value on line for " + sample.name);
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    const std::string value_text{line.substr(pos)};
+    sample.value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      fail(error, "unparseable value for " + sample.name);
+      return std::nullopt;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+// Minimal JSON reader for the snapshot grammar emitted by to_json().
+namespace {
+
+struct JsonReader {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string err;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      err = std::string{"expected '"} + c + "'";
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool read_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        ++pos;
+        out += text[pos] == 'n' ? '\n' : text[pos];
+      } else {
+        out += text[pos];
+      }
+      ++pos;
+    }
+    if (pos >= text.size()) {
+      err = "unterminated string";
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+  bool read_number(double& out) {
+    skip_ws();
+    const std::string slice{text.substr(pos, 32)};
+    char* end = nullptr;
+    out = std::strtod(slice.c_str(), &end);
+    if (end == slice.c_str()) {
+      err = "expected a number";
+      return false;
+    }
+    pos += static_cast<std::size_t>(end - slice.c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<ParsedSample>> parse_json(std::string_view text,
+                                                    std::string* error) {
+  JsonReader r;
+  r.text = text;
+  const auto bail = [&]() -> std::optional<std::vector<ParsedSample>> {
+    if (error != nullptr) *error = r.err.empty() ? "parse error" : r.err;
+    return std::nullopt;
+  };
+
+  std::vector<ParsedSample> out;
+  std::string key;
+  if (!r.expect('{') || !r.read_string(key) || key != "metrics" ||
+      !r.expect(':') || !r.expect('[')) {
+    return bail();
+  }
+  while (!r.peek(']')) {
+    if (!r.expect('{')) return bail();
+    std::string name;
+    std::string kind;
+    std::map<std::string, std::string> labels;
+    double value = 0.0;
+    double count = 0.0;
+    double sum = 0.0;
+    std::vector<std::pair<std::string, double>> buckets;
+    while (!r.peek('}')) {
+      if (!r.read_string(key) || !r.expect(':')) return bail();
+      if (key == "name") {
+        if (!r.read_string(name)) return bail();
+      } else if (key == "kind") {
+        if (!r.read_string(kind)) return bail();
+      } else if (key == "labels") {
+        if (!r.expect('{')) return bail();
+        while (!r.peek('}')) {
+          std::string lk;
+          std::string lv;
+          if (!r.read_string(lk) || !r.expect(':') || !r.read_string(lv)) {
+            return bail();
+          }
+          labels.emplace(std::move(lk), std::move(lv));
+          if (r.peek(',')) r.expect(',');
+        }
+        if (!r.expect('}')) return bail();
+      } else if (key == "value") {
+        if (!r.read_number(value)) return bail();
+      } else if (key == "count") {
+        if (!r.read_number(count)) return bail();
+      } else if (key == "sum") {
+        if (!r.read_number(sum)) return bail();
+      } else if (key == "buckets") {
+        if (!r.expect('{')) return bail();
+        while (!r.peek('}')) {
+          std::string upper;
+          double bucket_count = 0.0;
+          if (!r.read_string(upper) || !r.expect(':') ||
+              !r.read_number(bucket_count)) {
+            return bail();
+          }
+          buckets.emplace_back(std::move(upper), bucket_count);
+          if (r.peek(',')) r.expect(',');
+        }
+        if (!r.expect('}')) return bail();
+      } else {
+        r.err = "unknown key '" + key + "'";
+        return bail();
+      }
+      if (r.peek(',')) r.expect(',');
+    }
+    if (!r.expect('}')) return bail();
+    if (r.peek(',')) r.expect(',');
+
+    if (kind == "histogram") {
+      // Flatten to the same cumulative series the Prometheus parser yields.
+      double cumulative = 0.0;
+      for (const auto& [upper, bucket_count] : buckets) {
+        cumulative += bucket_count;
+        ParsedSample s;
+        s.name = name + "_bucket";
+        s.labels = labels;
+        s.labels.emplace("le", upper);
+        s.value = cumulative;
+        out.push_back(std::move(s));
+      }
+      ParsedSample inf;
+      inf.name = name + "_bucket";
+      inf.labels = labels;
+      inf.labels.emplace("le", "+Inf");
+      inf.value = count;
+      out.push_back(std::move(inf));
+      ParsedSample s_sum;
+      s_sum.name = name + "_sum";
+      s_sum.labels = labels;
+      s_sum.value = sum;
+      out.push_back(std::move(s_sum));
+      ParsedSample s_count;
+      s_count.name = name + "_count";
+      s_count.labels = labels;
+      s_count.value = count;
+      out.push_back(std::move(s_count));
+    } else {
+      ParsedSample s;
+      s.name = std::move(name);
+      s.labels = std::move(labels);
+      s.value = value;
+      out.push_back(std::move(s));
+    }
+  }
+  if (!r.expect(']') || !r.expect('}')) return bail();
+  return out;
+}
+
+}  // namespace haystack::obs

@@ -1,0 +1,94 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace haystack::obs {
+
+const char* event_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kExporterRestart: return "exporter_restart";
+    case EventKind::kSequenceGap: return "sequence_gap";
+    case EventKind::kSequenceReplay: return "sequence_replay";
+    case EventKind::kTemplateParked: return "template_parked";
+    case EventKind::kTemplateRecovered: return "template_recovered";
+    case EventKind::kTemplateEvicted: return "template_evicted";
+    case EventKind::kBackpressureStall: return "backpressure_stall";
+    case EventKind::kSlowWave: return "slow_wave";
+    case EventKind::kCacheEmergencyExpiry: return "cache_emergency_expiry";
+    case EventKind::kCheckpointSave: return "checkpoint_save";
+    case EventKind::kCheckpointRestore: return "checkpoint_restore";
+    case EventKind::kCheckpointRejected: return "checkpoint_rejected";
+    case EventKind::kDegradedEnter: return "degraded_enter";
+    case EventKind::kDegradedExit: return "degraded_exit";
+    case EventKind::kPipelineShutdown: return "pipeline_shutdown";
+    case EventKind::kSelfCheckFailed: return "self_check_failed";
+    case EventKind::kScrape: return "scrape";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_{std::max<std::size_t>(1, capacity)} {
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::record(EventKind kind, std::uint32_t source,
+                            std::uint64_t a, std::uint64_t b) {
+  const util::HourBin hour = hour_.load(std::memory_order_relaxed);
+  std::lock_guard lock{mu_};
+  Event& slot = ring_[next_seq_ % capacity_];
+  slot.seq = next_seq_++;
+  slot.kind = kind;
+  slot.hour = hour;
+  slot.source = source;
+  slot.a = a;
+  slot.b = b;
+}
+
+std::vector<Event> FlightRecorder::dump() const {
+  std::lock_guard lock{mu_};
+  std::vector<Event> out;
+  const std::uint64_t n = std::min<std::uint64_t>(next_seq_, capacity_);
+  out.reserve(n);
+  for (std::uint64_t seq = next_seq_ - n; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard lock{mu_};
+  return next_seq_;
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  std::lock_guard lock{mu_};
+  return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard lock{mu_};
+  next_seq_ = 0;
+}
+
+std::string FlightRecorder::to_json() const {
+  const auto events = dump();
+  std::string out = "[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":" + std::to_string(e.seq);
+    out += ",\"event\":\"";
+    out += event_name(e.kind);
+    out += "\",\"hour\":" + std::to_string(e.hour);
+    out += ",\"source\":" + std::to_string(e.source);
+    out += ",\"a\":" + std::to_string(e.a);
+    out += ",\"b\":" + std::to_string(e.b);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace haystack::obs

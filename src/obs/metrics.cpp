@@ -1,0 +1,127 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace haystack::obs {
+
+std::uint64_t histogram_quantile(const Histogram::Snapshot& snapshot,
+                                 double q) noexcept {
+  if (snapshot.count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(snapshot.count));
+  std::uint64_t cumulative = 0;
+  for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+    cumulative += snapshot.buckets[b];
+    if (cumulative > target || cumulative == snapshot.count) {
+      return Histogram::upper_bound(b);
+    }
+  }
+  return Histogram::upper_bound(Histogram::kBuckets - 1);
+}
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += "=\"";
+    key += v;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+MetricRegistry::Entry& MetricRegistry::find_or_create(const std::string& name,
+                                                      const Labels& labels,
+                                                      MetricKind kind,
+                                                      bool& kind_mismatch) {
+  const std::string key = series_key(name, labels);
+  const auto [it, inserted] = metrics_.try_emplace(key);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.name = name;
+    entry.labels = labels;
+    entry.kind = kind;
+  }
+  kind_mismatch = entry.kind != kind;
+  return entry;
+}
+
+std::shared_ptr<Counter> MetricRegistry::counter(const std::string& name,
+                                                 const Labels& labels) {
+  std::lock_guard lock{mu_};
+  bool mismatch = false;
+  Entry& entry = find_or_create(name, labels, MetricKind::kCounter, mismatch);
+  if (mismatch) return std::make_shared<Counter>();  // detached, unexported
+  if (!entry.counter) entry.counter = std::make_shared<Counter>();
+  return entry.counter;
+}
+
+std::shared_ptr<Gauge> MetricRegistry::gauge(const std::string& name,
+                                             const Labels& labels) {
+  std::lock_guard lock{mu_};
+  bool mismatch = false;
+  Entry& entry = find_or_create(name, labels, MetricKind::kGauge, mismatch);
+  if (mismatch) return std::make_shared<Gauge>();
+  if (!entry.gauge) entry.gauge = std::make_shared<Gauge>();
+  return entry.gauge;
+}
+
+std::shared_ptr<Histogram> MetricRegistry::histogram(const std::string& name,
+                                                     const Labels& labels) {
+  std::lock_guard lock{mu_};
+  bool mismatch = false;
+  Entry& entry =
+      find_or_create(name, labels, MetricKind::kHistogram, mismatch);
+  if (mismatch) return std::make_shared<Histogram>();
+  if (!entry.histogram) entry.histogram = std::make_shared<Histogram>();
+  return entry.histogram;
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
+  std::lock_guard lock{mu_};
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, entry] : metrics_) {
+    Sample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        s.counter = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.hist = entry.histogram->snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t MetricRegistry::size() const {
+  std::lock_guard lock{mu_};
+  return metrics_.size();
+}
+
+void MetricRegistry::clear() {
+  std::lock_guard lock{mu_};
+  metrics_.clear();
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace haystack::obs

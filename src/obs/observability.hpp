@@ -1,0 +1,45 @@
+// Bundle of the two observability primitives a component needs wired in:
+// the metric registry (numbers) and the flight recorder (events). The
+// pipeline owns one Observability per instance by default so tests stay
+// hermetic; long-lived daemons can share Observability::global().
+#pragma once
+
+#include <cstdint>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace haystack::obs {
+
+/// Stage tags used as the `source` of pipeline-stage flight events
+/// (kBackpressureStall, kSlowWave) and as the {"stage", ...} label text.
+enum StageTag : std::uint32_t {
+  kStageMeter = 1,
+  kStageDecode = 2,
+  kStageNormalize = 3,
+  kStageDetect = 4,
+};
+
+[[nodiscard]] constexpr const char* stage_name(std::uint32_t tag) noexcept {
+  switch (tag) {
+    case kStageMeter: return "meter";
+    case kStageDecode: return "decode";
+    case kStageNormalize: return "normalize";
+    case kStageDetect: return "detect";
+    default: return "unknown";
+  }
+}
+
+struct Observability {
+  MetricRegistry registry;
+  FlightRecorder recorder{1024};
+
+  /// Process-wide instance (leaked, never destroyed — safe to touch from
+  /// static teardown paths).
+  static Observability& global() {
+    static Observability* g = new Observability();
+    return *g;
+  }
+};
+
+}  // namespace haystack::obs

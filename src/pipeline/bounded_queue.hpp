@@ -10,7 +10,10 @@
 //
 // Every queue keeps its own telemetry::StageStats (depth, throughput,
 // producer/consumer stalls, adaptive-batch waves) so a deployment can see
-// exactly which stage is the bottleneck.
+// exactly which stage is the bottleneck. A queue may additionally carry an
+// obs::FlightRecorder: each producer stall then lands as a
+// kBackpressureStall event (source = stage tag, a = depth at stall), so a
+// post-mortem dump shows *which* stage pushed back and when.
 #pragma once
 
 #include <algorithm>
@@ -21,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "telemetry/counters.hpp"
 
 namespace haystack::pipeline {
@@ -28,8 +32,12 @@ namespace haystack::pipeline {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity)
-      : capacity_{std::max<std::size_t>(1, capacity)} {}
+  explicit BoundedQueue(std::size_t capacity,
+                        obs::FlightRecorder* recorder = nullptr,
+                        std::uint32_t stage_tag = 0)
+      : capacity_{std::max<std::size_t>(1, capacity)},
+        recorder_{recorder},
+        stage_tag_{stage_tag} {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -40,6 +48,10 @@ class BoundedQueue {
     std::unique_lock lock{mu_};
     if (items_.size() >= capacity_ && !closed_) {
       ++stats_.producer_stalls;
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::EventKind::kBackpressureStall, stage_tag_,
+                          items_.size());
+      }
       not_full_.wait(lock,
                      [&] { return items_.size() < capacity_ || closed_; });
     }
@@ -122,11 +134,16 @@ class BoundedQueue {
     telemetry::StageStats s = stats_;
     s.depth = items_.size();
     s.capacity = capacity_;
+    // Per-queue the summed high-water IS the high-water; aggregation via
+    // operator+= then keeps the sum and the max as distinct quantities.
+    s.high_water_sum = s.max_depth;
     return s;
   }
 
  private:
   const std::size_t capacity_;
+  obs::FlightRecorder* const recorder_;
+  const std::uint32_t stage_tag_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

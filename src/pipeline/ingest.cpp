@@ -1,5 +1,6 @@
 #include "pipeline/ingest.hpp"
 
+#include <string>
 #include <utility>
 
 #include "telemetry/anonymize.hpp"
@@ -38,26 +39,76 @@ IngestPipeline::IngestPipeline(const core::Hitlist& hitlist,
     : config_{config},
       normalizer_{normalizer ? std::move(normalizer)
                              : default_normalizer(config.anonymization_key)},
-      detector_{hitlist, rules, config.detector, std::max(1u, config.shards),
-                config.queue_capacity},
-      nf9_{flow::nf9::CollectorConfig{.dedup_window = config.dedup_window}},
-      ipfix_{
-          flow::ipfix::CollectorConfig{.dedup_window = config.dedup_window}},
-      cache_{config.metering} {
-  const ShardPoolConfig stage{.shards = 1,
-                              .queue_capacity = config_.queue_capacity,
-                              .max_wave = config_.max_wave};
+      owned_obs_{config.obs != nullptr
+                     ? nullptr
+                     : std::make_unique<obs::Observability>()},
+      obs_{config.obs != nullptr ? config.obs : owned_obs_.get()},
+      detector_{hitlist,
+                rules,
+                config.detector,
+                std::max(1u, config.shards),
+                config.queue_capacity,
+                obs_},
+      nf9_{flow::nf9::CollectorConfig{.dedup_window = config.dedup_window,
+                                      .recorder = &obs_->recorder}},
+      ipfix_{flow::ipfix::CollectorConfig{.dedup_window = config.dedup_window,
+                                          .recorder = &obs_->recorder}},
+      cache_{config.metering},
+      datagrams_{obs_->registry.counter("pipeline_datagrams_total")},
+      malformed_{obs_->registry.counter("pipeline_malformed_datagrams_total")},
+      unknown_version_{
+          obs_->registry.counter("pipeline_unknown_version_total")},
+      packets_metered_{
+          obs_->registry.counter("pipeline_packets_metered_total")},
+      metered_flows_{obs_->registry.counter("pipeline_metered_flows_total")},
+      metered_packets_out_{
+          obs_->registry.counter("pipeline_metered_packets_out_total")},
+      flows_decoded_{obs_->registry.counter("pipeline_flows_decoded_total")},
+      flows_in_{obs_->registry.counter("pipeline_flows_in_total")},
+      observations_{obs_->registry.counter("pipeline_observations_total")},
+      observations_direct_{
+          obs_->registry.counter("pipeline_observations_direct_total")},
+      dropped_direction_{
+          obs_->registry.counter("pipeline_dropped_direction_total")},
+      emergency_expiries_{
+          obs_->registry.counter("metering_emergency_expiries_total")},
+      self_check_failures_{
+          obs_->registry.counter("pipeline_self_check_failures_total")},
+      cache_depth_{obs_->registry.gauge("metering_cache_depth")},
+      cache_high_water_{obs_->registry.gauge("metering_cache_high_water")} {
+  nf5_.set_recorder(&obs_->recorder);
+  auto make_stage = [this](std::uint32_t tag) {
+    const obs::Labels labels{{"stage", obs::stage_name(tag)}};
+    StageInstruments inst;
+    inst.wave_ns = obs_->registry.histogram("stage_wave_ns", labels);
+    inst.wave_items = obs_->registry.histogram("stage_wave_items", labels);
+    return inst;
+  };
+  meter_obs_ = make_stage(obs::kStageMeter);
+  decode_obs_ = make_stage(obs::kStageDecode);
+  normalize_obs_ = make_stage(obs::kStageNormalize);
+  auto stage_config = [this](const StageInstruments& inst, std::uint32_t tag) {
+    ShardPoolConfig stage{.shards = 1,
+                         .queue_capacity = config_.queue_capacity,
+                         .max_wave = config_.max_wave};
+    stage.wave_ns = inst.wave_ns.get();
+    stage.wave_items = inst.wave_items.get();
+    stage.recorder = &obs_->recorder;
+    stage.stage_tag = tag;
+    stage.slow_wave_ns = config_.slow_wave_ns;
+    return stage;
+  };
   normalize_ = std::make_unique<ShardPool<FlowBatch>>(
-      stage, [this](unsigned, std::vector<FlowBatch>& wave) {
+      stage_config(normalize_obs_, obs::kStageNormalize),
+      [this](unsigned, std::vector<FlowBatch>& wave) {
         normalize_wave(wave);
       });
   decode_ = std::make_unique<ShardPool<Datagram>>(
-      stage,
+      stage_config(decode_obs_, obs::kStageDecode),
       [this](unsigned, std::vector<Datagram>& wave) { decode_wave(wave); });
   metering_ = std::make_unique<ShardPool<MeterItem>>(
-      stage, [this](unsigned, std::vector<MeterItem>& wave) {
-        meter_wave(wave);
-      });
+      stage_config(meter_obs_, obs::kStageMeter),
+      [this](unsigned, std::vector<MeterItem>& wave) { meter_wave(wave); });
 }
 
 IngestPipeline::~IngestPipeline() { shutdown(); }
@@ -65,31 +116,36 @@ IngestPipeline::~IngestPipeline() { shutdown(); }
 bool IngestPipeline::push_datagram(std::vector<std::uint8_t> bytes,
                                    util::HourBin hour) {
   if (closed_.load(std::memory_order_acquire)) return false;
+  obs_->recorder.set_hour(hour);
   if (!decode_->submit(0, Datagram{hour, std::move(bytes)})) return false;
-  datagrams_.fetch_add(1, std::memory_order_relaxed);
+  datagrams_->add(1);
   return true;
 }
 
 bool IngestPipeline::push_packet(const flow::PacketEvent& packet,
                                  util::HourBin hour) {
   if (closed_.load(std::memory_order_acquire)) return false;
+  obs_->recorder.set_hour(hour);
   if (!metering_->submit(0, MeterItem{hour, packet})) return false;
-  packets_metered_.fetch_add(1, std::memory_order_relaxed);
+  packets_metered_->add(1);
   return true;
 }
 
 bool IngestPipeline::push_flows(std::vector<flow::FlowRecord> flows,
                                 util::HourBin hour) {
   if (closed_.load(std::memory_order_acquire)) return false;
+  obs_->recorder.set_hour(hour);
   const std::uint64_t n = flows.size();
   if (!normalize_->submit(0, FlowBatch{hour, std::move(flows)})) return false;
-  flows_in_.fetch_add(n, std::memory_order_relaxed);
+  flows_in_->add(n);
   return true;
 }
 
 bool IngestPipeline::push_observations(std::vector<core::Observation> chunk) {
   if (closed_.load(std::memory_order_acquire)) return false;
-  observations_.fetch_add(chunk.size(), std::memory_order_relaxed);
+  if (!chunk.empty()) obs_->recorder.set_hour(chunk.back().hour);
+  observations_->add(chunk.size());
+  observations_direct_->add(chunk.size());
   detector_.enqueue_batch(chunk);
   return true;
 }
@@ -114,12 +170,14 @@ void IngestPipeline::shutdown() {
   // The metering worker is gone; flush the cache remnants on this thread.
   std::vector<flow::FlowRecord> rest;
   cache_.flush_all(rest);
-  cache_depth_.store(cache_.active_flows(), std::memory_order_relaxed);
+  cache_depth_->set(cache_.active_flows());
   emit_metered(std::move(rest),
                last_meter_hour_.load(std::memory_order_relaxed));
   decode_->stop();
   normalize_->stop();
   detector_.drain();  // detect stage stays alive for reads
+  obs_->recorder.record(obs::EventKind::kPipelineShutdown, 0,
+                        observations_->value(), datagrams_->value());
 }
 
 void IngestPipeline::meter_wave(std::vector<MeterItem>& wave) {
@@ -128,11 +186,17 @@ void IngestPipeline::meter_wave(std::vector<MeterItem>& wave) {
     last_meter_hour_.store(item.hour, std::memory_order_relaxed);
     expired.clear();
     cache_.add(item.packet, expired);
-    const std::size_t depth = cache_.active_flows();
-    cache_depth_.store(depth, std::memory_order_relaxed);
-    if (depth > cache_high_water_.load(std::memory_order_relaxed)) {
-      cache_high_water_.store(depth, std::memory_order_relaxed);
+    const std::uint64_t panics = cache_.emergency_expiries();
+    if (panics != last_emergency_expiries_) {
+      emergency_expiries_->add(panics - last_emergency_expiries_);
+      obs_->recorder.record(obs::EventKind::kCacheEmergencyExpiry,
+                            obs::kStageMeter, expired.size(),
+                            panics - last_emergency_expiries_);
+      last_emergency_expiries_ = panics;
     }
+    const std::size_t depth = cache_.active_flows();
+    cache_depth_->set(depth);
+    cache_high_water_->max_of(depth);
     emit_metered(std::move(expired), item.hour);
   }
 }
@@ -140,10 +204,10 @@ void IngestPipeline::meter_wave(std::vector<MeterItem>& wave) {
 void IngestPipeline::emit_metered(std::vector<flow::FlowRecord> records,
                                   util::HourBin hour) {
   if (records.empty()) return;
-  metered_flows_.fetch_add(records.size(), std::memory_order_relaxed);
+  metered_flows_->add(records.size());
   std::uint64_t packets = 0;
   for (const auto& rec : records) packets += rec.packets;
-  metered_packets_out_.fetch_add(packets, std::memory_order_relaxed);
+  metered_packets_out_->add(packets);
   normalize_->submit(0, FlowBatch{hour, std::move(records)});
 }
 
@@ -163,12 +227,12 @@ void IngestPipeline::decode_wave(std::vector<Datagram>& wave) {
         ok = ipfix_.ingest(dgram.bytes, records);
         break;
       default:
-        unknown_version_.fetch_add(1, std::memory_order_relaxed);
+        unknown_version_->add(1);
         continue;
     }
-    if (!ok) malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) malformed_->add(1);
     if (records.empty()) continue;
-    flows_decoded_.fetch_add(records.size(), std::memory_order_relaxed);
+    flows_decoded_->add(records.size());
     normalize_->submit(0, FlowBatch{dgram.hour, std::move(records)});
   }
 }
@@ -182,11 +246,11 @@ void IngestPipeline::normalize_wave(std::vector<FlowBatch>& wave) {
       if (auto obs = normalizer_(rec, batch.hour)) {
         chunk.push_back(*obs);
       } else {
-        dropped_direction_.fetch_add(1, std::memory_order_relaxed);
+        dropped_direction_->add(1);
       }
     }
     if (chunk.empty()) continue;
-    observations_.fetch_add(chunk.size(), std::memory_order_relaxed);
+    observations_->add(chunk.size());
     detector_.enqueue_batch(chunk);
   }
 }
@@ -201,20 +265,75 @@ IngestPipeline::Stats IngestPipeline::stats() const {
     out.detect_shards.push_back(detector_.shard_queue_stats(s));
     out.detect += out.detect_shards.back();
   }
-  out.datagrams = datagrams_.load(std::memory_order_relaxed);
-  out.malformed_datagrams = malformed_.load(std::memory_order_relaxed);
-  out.unknown_version = unknown_version_.load(std::memory_order_relaxed);
-  out.packets_metered = packets_metered_.load(std::memory_order_relaxed);
-  out.metered_flows = metered_flows_.load(std::memory_order_relaxed);
-  out.metered_packets_out =
-      metered_packets_out_.load(std::memory_order_relaxed);
-  out.flows_decoded = flows_decoded_.load(std::memory_order_relaxed);
-  out.flows_in = flows_in_.load(std::memory_order_relaxed);
-  out.observations = observations_.load(std::memory_order_relaxed);
-  out.dropped_direction = dropped_direction_.load(std::memory_order_relaxed);
-  out.metering_depth = cache_depth_.load(std::memory_order_relaxed);
+  out.datagrams = datagrams_->value();
+  out.malformed_datagrams = malformed_->value();
+  out.unknown_version = unknown_version_->value();
+  out.packets_metered = packets_metered_->value();
+  out.metered_flows = metered_flows_->value();
+  out.metered_packets_out = metered_packets_out_->value();
+  out.flows_decoded = flows_decoded_->value();
+  out.flows_in = flows_in_->value();
+  out.observations = observations_->value();
+  out.observations_direct = observations_direct_->value();
+  out.dropped_direction = dropped_direction_->value();
+  out.emergency_expiries = emergency_expiries_->value();
+  out.self_check_failures = self_check_failures_->value();
+  out.metering_depth = static_cast<std::size_t>(cache_depth_->value());
   out.metering_high_water =
-      cache_high_water_.load(std::memory_order_relaxed);
+      static_cast<std::size_t>(cache_high_water_->value());
+  return out;
+}
+
+IngestPipeline::SelfCheck IngestPipeline::self_check() {
+  drain();
+  const Stats s = stats();
+  SelfCheck out;
+  auto fail = [&](std::string detail) {
+    out.ok = false;
+    if (!out.detail.empty()) out.detail += "; ";
+    out.detail += detail;
+  };
+  // Flow conservation: every record that reached the normalize stage —
+  // from the metering cache, the decoders, or push_flows — became exactly
+  // one observation or one direction-drop. Direct observations bypass
+  // normalize, so they are subtracted from the observation total.
+  const std::uint64_t normalized = s.observations - s.observations_direct;
+  const std::uint64_t entered =
+      s.metered_flows + s.flows_decoded + s.flows_in;
+  if (normalized + s.dropped_direction != entered) {
+    fail("flow conservation: " + std::to_string(normalized) +
+         " normalized + " + std::to_string(s.dropped_direction) +
+         " dropped != " + std::to_string(entered) + " entered");
+  }
+  // Packet conservation through the metering cache: once the cache is
+  // empty (after shutdown()'s flush), every metered packet must have left
+  // inside an expired flow record.
+  if (s.metering_depth == 0 &&
+      s.packets_metered != s.metered_packets_out) {
+    fail("packet conservation: " + std::to_string(s.packets_metered) +
+         " metered != " + std::to_string(s.metered_packets_out) +
+         " emitted with empty cache");
+  }
+  // Queue sanity: no stage may report consuming more than was produced.
+  const struct {
+    const char* name;
+    const telemetry::StageStats& st;
+  } stages[] = {{"metering", s.metering},
+                {"decode", s.decode},
+                {"normalize", s.normalize},
+                {"detect", s.detect}};
+  for (const auto& stage : stages) {
+    if (stage.st.dequeued > stage.st.enqueued) {
+      fail(std::string(stage.name) + " queue: dequeued " +
+           std::to_string(stage.st.dequeued) + " > enqueued " +
+           std::to_string(stage.st.enqueued));
+    }
+  }
+  if (!out.ok) {
+    self_check_failures_->add(1);
+    obs_->recorder.record(obs::EventKind::kSelfCheckFailed, 0,
+                          self_check_failures_->value(), 0);
+  }
   return out;
 }
 

@@ -40,6 +40,7 @@
 #include "flow/ipfix.hpp"
 #include "flow/netflow_v5.hpp"
 #include "flow/netflow_v9.hpp"
+#include "obs/observability.hpp"
 #include "pipeline/shard_pool.hpp"
 
 namespace haystack::pipeline {
@@ -68,6 +69,14 @@ struct IngestConfig {
   std::size_t dedup_window = 64;
   /// Key for default_normalizer when no normalizer is supplied.
   std::uint64_t anonymization_key = 0x68617973;  // "hays"
+  /// Observability sink (ISSUE 5). When null, the pipeline owns a private
+  /// obs::Observability — tests stay hermetic; a daemon embedding several
+  /// pipelines passes one shared instance (e.g. &obs::Observability::
+  /// global()) so a single scrape covers them all.
+  obs::Observability* obs = nullptr;
+  /// Stage-wave duration above which a kSlowWave flight event is recorded;
+  /// 0 disables (the default keeps fault dumps free of timing noise).
+  std::uint64_t slow_wave_ns = 0;
 };
 
 /// The streaming service. One instance owns all stage threads.
@@ -115,6 +124,9 @@ class IngestPipeline {
     return detector_;
   }
 
+  /// Thin facade over the metric registry (ISSUE 5): every counter below
+  /// reads the registry series of the same quantity, so this struct and a
+  /// scrape can never disagree.
   struct Stats {
     telemetry::StageStats metering;   ///< packet queue
     telemetry::StageStats decode;     ///< datagram queue
@@ -130,11 +142,34 @@ class IngestPipeline {
     std::uint64_t flows_decoded = 0;       ///< records out of the codecs
     std::uint64_t flows_in = 0;            ///< accepted by push_flows
     std::uint64_t observations = 0;        ///< entered the detect stage
+    std::uint64_t observations_direct = 0; ///< via push_observations
     std::uint64_t dropped_direction = 0;   ///< normalizer returned nullopt
+    std::uint64_t emergency_expiries = 0;  ///< metering cache panics
+    std::uint64_t self_check_failures = 0; ///< conservation violations
     std::size_t metering_depth = 0;        ///< resident cache flows
     std::size_t metering_high_water = 0;   ///< max resident cache flows
   };
   [[nodiscard]] Stats stats() const;
+
+  /// The pipeline's observability bundle (its own, or the one injected via
+  /// IngestConfig::obs): scrape `observability().registry`, dump
+  /// `observability().recorder`.
+  [[nodiscard]] obs::Observability& observability() noexcept { return *obs_; }
+  [[nodiscard]] const obs::Observability& observability() const noexcept {
+    return *obs_;
+  }
+
+  /// Conservation self-check (ISSUE 5). Call after drain(): verifies that
+  /// every flow that entered any intake left through exactly one of
+  /// {observation, direction-drop}, and — once shutdown() has flushed the
+  /// metering cache — that metered packets are conserved through the
+  /// cache. A violation bumps pipeline_self_check_failures_total, records
+  /// a kSelfCheckFailed flight event, and is returned with a reason.
+  struct SelfCheck {
+    bool ok = true;
+    std::string detail;  ///< empty when ok
+  };
+  SelfCheck self_check();
 
  private:
   struct MeterItem {
@@ -159,6 +194,18 @@ class IngestPipeline {
   IngestConfig config_;
   Normalizer normalizer_;
 
+  // Observability must precede detector_: the member-init-list hands obs_
+  // to the ShardedDetector (and the stage pools) at construction.
+  std::unique_ptr<obs::Observability> owned_obs_;
+  obs::Observability* obs_;  // never null
+  struct StageInstruments {
+    std::shared_ptr<obs::Histogram> wave_ns;
+    std::shared_ptr<obs::Histogram> wave_items;
+  };
+  StageInstruments meter_obs_;
+  StageInstruments decode_obs_;
+  StageInstruments normalize_obs_;
+
   // Declaration order is reverse-topological so default destruction (after
   // shutdown()) tears down consumers last-to-first.
   core::ShardedDetector detector_;
@@ -175,22 +222,30 @@ class IngestPipeline {
   // post-stop flush in shutdown()).
   flow::FlowCache cache_;
   std::atomic<std::uint32_t> last_meter_hour_{0};
-  std::atomic<std::size_t> cache_depth_{0};
-  std::atomic<std::size_t> cache_high_water_{0};
+  std::uint64_t last_emergency_expiries_ = 0;  // metering worker only
 
   std::atomic<bool> closed_{false};
   bool shutdown_done_ = false;
 
-  std::atomic<std::uint64_t> datagrams_{0};
-  std::atomic<std::uint64_t> malformed_{0};
-  std::atomic<std::uint64_t> unknown_version_{0};
-  std::atomic<std::uint64_t> packets_metered_{0};
-  std::atomic<std::uint64_t> metered_flows_{0};
-  std::atomic<std::uint64_t> metered_packets_out_{0};
-  std::atomic<std::uint64_t> flows_decoded_{0};
-  std::atomic<std::uint64_t> flows_in_{0};
-  std::atomic<std::uint64_t> observations_{0};
-  std::atomic<std::uint64_t> dropped_direction_{0};
+  // Registry-backed counters (ISSUE 5): these *are* the pipeline's
+  // throughput state — the Stats facade and the exporters read the same
+  // atomics. Handles are resolved once at construction; the hot path is
+  // one relaxed fetch_add, same as the ad-hoc atomics they replaced.
+  std::shared_ptr<obs::Counter> datagrams_;
+  std::shared_ptr<obs::Counter> malformed_;
+  std::shared_ptr<obs::Counter> unknown_version_;
+  std::shared_ptr<obs::Counter> packets_metered_;
+  std::shared_ptr<obs::Counter> metered_flows_;
+  std::shared_ptr<obs::Counter> metered_packets_out_;
+  std::shared_ptr<obs::Counter> flows_decoded_;
+  std::shared_ptr<obs::Counter> flows_in_;
+  std::shared_ptr<obs::Counter> observations_;
+  std::shared_ptr<obs::Counter> observations_direct_;
+  std::shared_ptr<obs::Counter> dropped_direction_;
+  std::shared_ptr<obs::Counter> emergency_expiries_;
+  std::shared_ptr<obs::Counter> self_check_failures_;
+  std::shared_ptr<obs::Gauge> cache_depth_;
+  std::shared_ptr<obs::Gauge> cache_high_water_;
 };
 
 }  // namespace haystack::pipeline

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "obs/export.hpp"
 #include "simnet/backend.hpp"
 #include "simnet/manual_analysis.hpp"
 #include "simnet/population.hpp"
@@ -29,11 +30,17 @@ std::optional<StreamingReplayResult> replay_scenario_streaming(
   // WildIspSim already applies the scenario's packet sampling, so the
   // fleet exports at 1:1 — its job here is the wire: v9 encoding, options
   // announcements, and whatever impairment the scenario configures.
+  // One Observability for the whole run: fleet wire events and pipeline
+  // stage metrics land in the same registry/recorder, so the final scrape
+  // tells the full story from exporter to evidence map.
+  obs::Observability observability;
+
   telemetry::BorderFleetConfig fcfg;
   fcfg.seed = scenario.seed.value_or(2022);
   fcfg.routers = std::max(1u, config.routers);
   fcfg.sampling = 1;
   fcfg.impairment = scenario.impairment();
+  fcfg.obs = &observability;
   telemetry::BorderRouterFleet fleet{fcfg};
 
   IngestConfig icfg;
@@ -43,6 +50,7 @@ std::optional<StreamingReplayResult> replay_scenario_streaming(
   icfg.max_wave = scenario.pipeline_wave.value_or(config.max_wave);
   icfg.detector.threshold = config.threshold;
   icfg.anonymization_key = config.anonymization_key;
+  icfg.obs = &observability;
   IngestPipeline pipe{rules.hitlist, rules, icfg};
 
   std::vector<flow::FlowRecord> records;
@@ -55,10 +63,14 @@ std::optional<StreamingReplayResult> replay_scenario_streaming(
       pipe.push_datagram(std::move(datagram), h);
     }
   }
-  pipe.shutdown();
-
   StreamingReplayResult result;
+  result.self_check = pipe.self_check();  // before shutdown seals the cache
+  pipe.shutdown();
   result.stats = pipe.stats();
+  if (config.capture_observability) {
+    result.metrics_prometheus = obs::to_prometheus(observability.registry);
+    result.flight_events = observability.recorder.dump();
+  }
   result.datagrams = result.stats.datagrams;
   result.observations = result.stats.observations;
 

@@ -31,6 +31,9 @@ struct StreamingReplayConfig {
   std::size_t max_wave = 64;
   double threshold = 0.4;
   std::uint64_t anonymization_key = 0x68617973;
+  /// When true the result carries the full metric scrape and flight-event
+  /// tail of the run (ISSUE 5).
+  bool capture_observability = true;
 };
 
 struct StreamingReplayResult {
@@ -40,6 +43,13 @@ struct StreamingReplayResult {
   /// (service name, subscribers detected), descending by count.
   std::vector<std::pair<std::string, std::size_t>> per_service;
   IngestPipeline::Stats stats;  ///< post-shutdown stage telemetry
+  /// Prometheus text scrape of the pipeline + fleet registry, taken after
+  /// shutdown; empty when capture_observability is off.
+  std::string metrics_prometheus;
+  /// Flight-recorder contents (oldest → newest) at the end of the run.
+  std::vector<obs::Event> flight_events;
+  /// Post-drain conservation self-check outcome.
+  IngestPipeline::SelfCheck self_check;
 };
 
 /// Replays `config.hours` hours of the scenario's wild ISP through the

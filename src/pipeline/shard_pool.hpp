@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "pipeline/bounded_queue.hpp"
 
 namespace haystack::pipeline {
@@ -36,6 +37,26 @@ struct ShardPoolConfig {
   std::size_t queue_capacity = 1024;
   /// Adaptive-batching bound: max items a worker claims per wake-up.
   std::size_t max_wave = 64;
+
+  // Observability (all optional; null/zero disables each hook).
+  /// Per-wave handler latency histogram (fallback shared across shards).
+  obs::Histogram* wave_ns = nullptr;
+  /// Per-wave claimed-item-count histogram (adaptive batching behaviour).
+  obs::Histogram* wave_items = nullptr;
+  /// Per-shard overrides (index = shard). When a slot exists and is
+  /// non-null it replaces the shared pointer for that shard's worker —
+  /// multi-shard pools should use these so every worker records into its
+  /// own series instead of all workers contending on one histogram's
+  /// cache lines every wave.
+  std::vector<obs::Histogram*> wave_ns_by_shard;
+  std::vector<obs::Histogram*> wave_items_by_shard;
+  /// Flight recorder for kBackpressureStall (from the shard queues) and
+  /// kSlowWave (handler over slow_wave_ns) events.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Identifies this pool's stage in recorded events (obs stage tag).
+  std::uint32_t stage_tag = 0;
+  /// Slow-wave threshold in nanoseconds; 0 disables kSlowWave events.
+  std::uint64_t slow_wave_ns = 0;
 };
 
 template <typename Item>
@@ -52,8 +73,8 @@ class ShardPool {
     state_ = std::make_unique<ShardState[]>(config_.shards);
     queues_.reserve(config_.shards);
     for (unsigned s = 0; s < config_.shards; ++s) {
-      queues_.push_back(
-          std::make_unique<BoundedQueue<Item>>(config_.queue_capacity));
+      queues_.push_back(std::make_unique<BoundedQueue<Item>>(
+          config_.queue_capacity, config_.recorder, config_.stage_tag));
     }
     start();
   }
@@ -131,13 +152,27 @@ class ShardPool {
   };
 
   void run(unsigned shard) {
+    obs::Histogram* wave_ns = shard < config_.wave_ns_by_shard.size() &&
+                                      config_.wave_ns_by_shard[shard]
+                                  ? config_.wave_ns_by_shard[shard]
+                                  : config_.wave_ns;
+    obs::Histogram* wave_items =
+        shard < config_.wave_items_by_shard.size() &&
+                config_.wave_items_by_shard[shard]
+            ? config_.wave_items_by_shard[shard]
+            : config_.wave_items;
     std::vector<Item> wave;
     wave.reserve(config_.max_wave);
     for (;;) {
       wave.clear();
       const std::size_t n = queues_[shard]->pop_wave(wave, config_.max_wave);
       if (n == 0) break;  // closed and drained
-      handler_(shard, wave);
+      if (wave_items != nullptr) wave_items->record(n);
+      {
+        obs::SpanTimer span{wave_ns, config_.recorder,
+                            config_.slow_wave_ns, config_.stage_tag, n};
+        handler_(shard, wave);
+      }
       state_[shard].completed.fetch_add(n, std::memory_order_release);
       // Empty critical section pairs the notify with the waiter's
       // predicate check so no drain() wakeup is lost.

@@ -30,7 +30,17 @@ BorderRouterFleet::BorderRouterFleet(const BorderFleetConfig& config)
       // The export path is UDP: duplicates are a fact of life, so the
       // central collector always runs duplicate suppression. The window
       // covers one hour's fan-in from the whole fleet.
-      collector_{flow::nf9::CollectorConfig{.dedup_window = 64}} {
+      collector_{flow::nf9::CollectorConfig{
+          .dedup_window = 64,
+          .recorder =
+              config.obs != nullptr ? &config.obs->recorder : nullptr}} {
+  if (config.obs != nullptr) {
+    auto& reg = config.obs->registry;
+    exported_datagrams_ = reg.counter("fleet_exported_datagrams_total");
+    unlabeled_metric_ = reg.counter("fleet_unlabeled_records_total");
+    restarts_metric_ = reg.counter("fleet_restarts_total");
+    loss_ppm_ = reg.gauge("fleet_estimated_loss_ppm");
+  }
   exporters_.reserve(config.routers);
   for (unsigned r = 0; r < config.routers; ++r) {
     exporters_.emplace_back(exporter_config(config, r, 0));
@@ -71,6 +81,23 @@ void BorderRouterFleet::maybe_restart(util::HourBin hour,
     exporters_[r] =
         flow::nf9::Exporter{exporter_config(config_, r, unix_secs)};
     ++restarts_performed_;
+    if (restarts_metric_) restarts_metric_->add(1);
+    if (config_.obs != nullptr) {
+      // Fleet-side view of the restart (the collector records its own
+      // kExporterRestart when it detects the sequence reset on ingest).
+      config_.obs->recorder.set_hour(hour);
+      config_.obs->recorder.record(obs::EventKind::kExporterRestart,
+                                   kSourceIdBase + r, restarts_performed_,
+                                   /*b=*/1);
+    }
+  }
+}
+
+void BorderRouterFleet::note_loss(util::HourBin hour) {
+  const double loss = collector_.estimated_loss();
+  if (hour < util::kStudyHours) loss_series_.set(hour, loss);
+  if (loss_ppm_) {
+    loss_ppm_->set(static_cast<std::int64_t>(loss * 1'000'000.0));
   }
 }
 
@@ -110,6 +137,7 @@ std::vector<std::vector<std::uint8_t>> BorderRouterFleet::export_router(
       delivered.push_back(std::move(datagram));
     }
   }
+  if (exported_datagrams_) exported_datagrams_->add(delivered.size());
   return delivered;
 }
 
@@ -184,9 +212,11 @@ std::vector<simnet::LabeledFlow> BorderRouterFleet::observe(
       merged.push_back(std::move(out));
     }
   }
-  if (hour < util::kStudyHours) {
-    loss_series_.set(hour, collector_.estimated_loss());
+  if (unlabeled_metric_ &&
+      unlabeled_records_ > unlabeled_metric_->value()) {
+    unlabeled_metric_->add(unlabeled_records_ - unlabeled_metric_->value());
   }
+  note_loss(hour);
   return merged;
 }
 

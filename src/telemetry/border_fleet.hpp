@@ -29,6 +29,7 @@
 #include "flow/netflow_v9.hpp"
 #include "flow/options.hpp"
 #include "flow/sampler.hpp"
+#include "obs/observability.hpp"
 #include "simnet/ground_truth.hpp"
 #include "telemetry/counters.hpp"
 #include "util/rng.hpp"
@@ -51,6 +52,12 @@ struct BorderFleetConfig {
   /// templates are re-announced, exactly like a rebooted border router.
   std::optional<unsigned> restart_router;
   util::HourBin restart_hour = 0;
+  /// Observability sink (ISSUE 5). When set, the central collector records
+  /// restart/gap/replay/park/recover flight events, the fleet records its
+  /// own scheduled restarts, and the registry carries fleet loss/delivery
+  /// accounting (fleet_estimated_loss_ppm, fleet_exported_datagrams_total,
+  /// fleet_unlabeled_records_total, fleet_restarts_total).
+  obs::Observability* obs = nullptr;
 };
 
 /// The fleet plus its central collector.
@@ -137,6 +144,9 @@ class BorderRouterFleet {
       unsigned router, const std::vector<flow::FlowRecord>& records,
       std::uint32_t unix_secs);
 
+  /// Mirrors an hour's loss estimate into the registry gauge (ppm).
+  void note_loss(util::HourBin hour);
+
   BorderFleetConfig config_;
   std::vector<flow::nf9::Exporter> exporters_;
   std::vector<flow::ImpairedLink> links_;  ///< empty without impairment
@@ -146,6 +156,11 @@ class BorderRouterFleet {
   std::uint32_t announce_sequence_ = 0;
   std::uint64_t unlabeled_records_ = 0;
   unsigned restarts_performed_ = 0;
+  // Registry handles; null when no Observability was configured.
+  std::shared_ptr<obs::Counter> exported_datagrams_;
+  std::shared_ptr<obs::Counter> unlabeled_metric_;
+  std::shared_ptr<obs::Counter> restarts_metric_;
+  std::shared_ptr<obs::Gauge> loss_ppm_;
 };
 
 }  // namespace haystack::telemetry

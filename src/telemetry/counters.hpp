@@ -25,10 +25,19 @@ struct StageStats {
   std::uint64_t consumer_stalls = 0;  ///< pops that blocked on an empty queue
   std::uint64_t waves = 0;            ///< consumer wake-ups (adaptive batches)
   std::size_t depth = 0;              ///< items queued at snapshot time
-  std::size_t max_depth = 0;          ///< high-water mark
+  std::size_t max_depth = 0;          ///< high-water mark (max across shards)
+  /// Sum of per-shard high-water marks. For a single queue this equals
+  /// max_depth; across an aggregate it bounds the stage's worst-case
+  /// simultaneous buffering, which the max alone understates — a stage
+  /// whose 8 shard queues each peaked at 900 held up to 7200 items, not
+  /// 900. Kept as its own field so operator+= can sum it while max_depth
+  /// stays a true max (the two were conflated before ISSUE 5).
+  std::size_t high_water_sum = 0;
   std::size_t capacity = 0;
 
   /// Aggregates shard queues of one stage into a stage-level view.
+  /// max-like fields take the max, sum-like fields add — mixing the two
+  /// (e.g. summing max_depth) would fabricate a depth no queue ever saw.
   StageStats& operator+=(const StageStats& other) {
     enqueued += other.enqueued;
     dequeued += other.dequeued;
@@ -37,6 +46,7 @@ struct StageStats {
     waves += other.waves;
     depth += other.depth;
     max_depth = std::max(max_depth, other.max_depth);
+    high_water_sum += other.high_water_sum;
     capacity += other.capacity;
     return *this;
   }

@@ -14,8 +14,9 @@
 # the differential sweep (whose per-scenario shard sweep hammers
 # ShardedDetector worker threads and the streaming IngestPipeline), the
 # concurrency stress/soak suite (ctest label `stress`: backpressure,
-# shutdown mid-stream, restart-after-drain), and the sharded detector and
-# streaming-pipeline unit tests.
+# shutdown mid-stream, restart-after-drain), the observability suite
+# (ctest label `obs`: concurrent scrape-while-ingesting under load,
+# ISSUE 5), and the sharded detector and streaming-pipeline unit tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +40,7 @@ run_tsan() {
   cmake --build build-tsan -j "${jobs}"
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L differential)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L stress)
+  (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L obs)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" \
     -R "Sharded|Queue|Ingest|Streaming")
 }

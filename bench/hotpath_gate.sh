@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Hot-path throughput regression gate (ISSUE 6).
+#
+# Builds bench/perf_pipeline at -O2, runs the streaming-pipeline benchmark
+# at 1 / 4 / 8 shards, and compares per-shard-count flows/sec against the
+# committed baseline in BENCH_hotpath.json. Any shard count regressing by
+# more than 5% fails the gate — the same pattern bench/obs_overhead.sh
+# uses for the instrumentation budget.
+#
+#   bench/hotpath_gate.sh                 # gate against committed baseline
+#   BENCH_UPDATE=1 bench/hotpath_gate.sh  # re-measure, rewrite baseline
+#   BENCH_REPS=5 bench/hotpath_gate.sh    # more repetitions
+#
+# The committed BENCH_hotpath.json also records the pre-PR (seed-era
+# record-at-a-time) throughput measured with this same harness on the same
+# container, so the speedup claim in EXPERIMENTS.md stays reproducible.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+jobs="$(nproc)"
+reps="${BENCH_REPS:-3}"
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j "${jobs}" --target perf_pipeline >/dev/null
+./build-bench/bench/perf_pipeline \
+  --benchmark_filter='BM_StreamingPipeline/(1|4|8)/' \
+  --benchmark_repetitions="${reps}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out=build-bench/bench_hotpath.json \
+  --benchmark_min_warmup_time=0.2 \
+  --benchmark_min_time=1
+
+BENCH_UPDATE="${BENCH_UPDATE:-0}" python3 - <<'PY'
+import json
+import os
+
+with open("build-bench/bench_hotpath.json") as f:
+    doc = json.load(f)
+
+fresh = {}
+for b in doc["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    shard = b["run_name"].split("/")[1]  # BM_StreamingPipeline/8/real_time
+    fresh[shard] = b["items_per_second"]
+if not fresh:
+    raise SystemExit("FAIL: no BM_StreamingPipeline medians in bench output")
+
+# Seed-era (pre-PR) hot path measured with this harness on this container:
+# record-at-a-time decode, per-observation hitlist map lookups, unordered
+# evidence map, per-chunk shard submission.
+PRE_PR = {"1": 11.83e6, "4": 9.41e6, "8": 7.74e6}
+
+for shard in sorted(fresh, key=int):
+    line = f"BM_StreamingPipeline/{shard}: {fresh[shard] / 1e6:.2f} M flows/s"
+    if shard in PRE_PR:
+        line += (f"  (pre-PR {PRE_PR[shard] / 1e6:.2f} M, "
+                 f"{fresh[shard] / PRE_PR[shard]:.2f}x)")
+    print(line)
+
+path = "BENCH_hotpath.json"
+update = os.environ.get("BENCH_UPDATE", "0") == "1"
+baseline = None
+if os.path.exists(path):
+    with open(path) as f:
+        baseline = json.load(f).get("flows_per_sec")
+
+failures = []
+if baseline and not update:
+    for shard, base in baseline.items():
+        cur = fresh.get(shard)
+        if cur is None or base == 0:
+            continue
+        delta = (cur - base) / base
+        print(f"  vs committed baseline /{shard}: {delta * 100:+.2f}%")
+        if delta < -0.05:
+            failures.append(
+                f"BM_StreamingPipeline/{shard}: {cur / 1e6:.2f} M flows/s is "
+                f"{-delta * 100:.2f}% below the committed "
+                f"{base / 1e6:.2f} M flows/s")
+
+if update or baseline is None:
+    out = {
+        "schema": "haystack-hotpath-bench-v1",
+        "benchmark": "BM_StreamingPipeline",
+        "metric": (f"items_per_second (flows/s), median of "
+                   f"{os.environ.get('BENCH_REPS', '3')} repetitions at -O2"),
+        "flows_per_sec": fresh,
+        "pre_pr_flows_per_sec": PRE_PR,
+        "speedup_vs_pre_pr": {
+            s: round(fresh[s] / PRE_PR[s], 3) for s in fresh if s in PRE_PR
+        },
+        "note": ("Measured on a single-core container: producer decode/"
+                 "intern and shard workers time-slice one CPU, so shard "
+                 "counts cannot scale throughput and the per-observation "
+                 "serial floor bounds the achievable speedup."),
+    }
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {path}")
+
+if failures:
+    raise SystemExit("FAIL: " + "; ".join(failures))
+print("hot-path throughput within 5% of the committed baseline")
+PY

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <charconv>
+#include <string>
 #include <tuple>
 
+#include "core/intern.hpp"
 #include "flow/wire.hpp"
 
 namespace haystack::core {
@@ -16,10 +19,11 @@ struct Entry {
   Evidence evidence;
 };
 
+constexpr std::size_t kEntryBytesV1 = 8 + 2 + 8 + 8 + 2 + 8 + 4 + 4;
+constexpr std::size_t kEntryBytesV2 = 8 + 4 + 8 + 8 + 2 + 8 + 4 + 4;
+
 template <typename DetectorT>
-std::vector<std::uint8_t> save_impl(const DetectorT& detector,
-                                    double threshold,
-                                    const Detector::Stats& stats) {
+std::vector<Entry> collect_entries(const DetectorT& detector) {
   std::vector<Entry> entries;
   detector.for_each_evidence(
       [&entries](SubscriberKey sub, ServiceId svc, const Evidence& ev) {
@@ -32,23 +36,70 @@ std::vector<std::uint8_t> save_impl(const DetectorT& detector,
               return std::tie(a.subscriber, a.service) <
                      std::tie(b.subscriber, b.service);
             });
+  return entries;
+}
 
-  flow::ByteWriter w;
+void encode_header(flow::ByteWriter& w, std::uint32_t version,
+                   double threshold, const Detector::Stats& stats) {
   w.u32(kCheckpointMagic);
-  w.u32(kCheckpointVersion);
+  w.u32(version);
   w.u64(std::bit_cast<std::uint64_t>(threshold));
   w.u64(stats.flows);
   w.u64(stats.matched);
+}
+
+void encode_evidence(flow::ByteWriter& w, const Evidence& ev) {
+  w.u64(ev.mask[0]);
+  w.u64(ev.mask[1]);
+  w.u16(ev.distinct);
+  w.u64(ev.packets);
+  w.u32(ev.first_seen);
+  w.u32(ev.satisfied_hour);
+}
+
+std::vector<std::uint8_t> encode_v1(const std::vector<Entry>& entries,
+                                    double threshold,
+                                    const Detector::Stats& stats) {
+  flow::ByteWriter w;
+  encode_header(w, kCheckpointVersion, threshold, stats);
   w.u64(entries.size());
   for (const auto& e : entries) {
     w.u64(e.subscriber);
     w.u16(e.service);
-    w.u64(e.evidence.mask[0]);
-    w.u64(e.evidence.mask[1]);
-    w.u16(e.evidence.distinct);
-    w.u64(e.evidence.packets);
-    w.u32(e.evidence.first_seen);
-    w.u32(e.evidence.satisfied_hour);
+    encode_evidence(w, e.evidence);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_v2(const std::vector<Entry>& entries,
+                                    const RuleSet& rules, double threshold,
+                                    const Detector::Stats& stats) {
+  // Rule names first, in rule order, matching the handle layout the live
+  // SignatureIndex build produces; "svc/<id>" labels for ruleless rows
+  // follow. The blob is self-contained either way — restore resolves
+  // handles through the embedded table, never the live one.
+  InternTable table;
+  for (const auto& r : rules.rules) table.intern(r.name);
+  std::vector<std::uint32_t> handles;
+  handles.reserve(entries.size());
+  for (const auto& e : entries) {
+    const DetectionRule* rule = rules.rule_for(e.service);
+    handles.push_back(rule != nullptr
+                          ? table.intern(rule->name)
+                          : table.intern("svc/" +
+                                         std::to_string(e.service)));
+  }
+
+  flow::ByteWriter w;
+  encode_header(w, kCheckpointVersionInterned, threshold, stats);
+  std::vector<std::uint8_t> table_bytes;
+  table.serialize(table_bytes);
+  w.bytes(table_bytes);
+  w.u64(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    w.u64(entries[i].subscriber);
+    w.u32(handles[i]);
+    encode_evidence(w, entries[i].evidence);
   }
   return w.take();
 }
@@ -58,8 +109,39 @@ struct Parsed {
   std::vector<Entry> entries;
 };
 
+void parse_evidence(flow::ByteReader& r, Evidence& ev) {
+  ev.mask[0] = r.u64();
+  ev.mask[1] = r.u64();
+  ev.distinct = r.u16();
+  ev.packets = r.u64();
+  ev.first_seen = r.u32();
+  ev.satisfied_hour = r.u32();
+}
+
+/// Resolves an interned label back to a service id via the restoring
+/// detector's rule set ("svc/<id>" labels carry the id directly).
+bool service_of_label(std::string_view label, const RuleSet& rules,
+                      ServiceId& out) {
+  if (label.starts_with("svc/")) {
+    const std::string_view digits = label.substr(4);
+    unsigned value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size() ||
+        value > 0xffffU) {
+      return false;
+    }
+    out = static_cast<ServiceId>(value);
+    return true;
+  }
+  const DetectionRule* rule = rules.rule_by_name(label);
+  if (rule == nullptr) return false;
+  out = rule->service;
+  return true;
+}
+
 bool parse_impl(std::span<const std::uint8_t> blob, double threshold,
-                Parsed& out, std::string* error) {
+                const RuleSet& rules, Parsed& out, std::string* error) {
   const auto fail = [error](const char* why) {
     if (error != nullptr) *error = why;
     return false;
@@ -68,7 +150,8 @@ bool parse_impl(std::span<const std::uint8_t> blob, double threshold,
   if (r.u32() != kCheckpointMagic) return fail("bad checkpoint magic");
   const std::uint32_t version = r.u32();
   if (!r.ok()) return fail("truncated checkpoint header");
-  if (version != kCheckpointVersion) {
+  if (version != kCheckpointVersion &&
+      version != kCheckpointVersionInterned) {
     return fail("unsupported checkpoint version");
   }
   const std::uint64_t threshold_bits = r.u64();
@@ -77,28 +160,45 @@ bool parse_impl(std::span<const std::uint8_t> blob, double threshold,
   }
   out.stats.flows = r.u64();
   out.stats.matched = r.u64();
+  if (!r.ok()) return fail("truncated checkpoint header");
+
+  InternTable table;
+  if (version == kCheckpointVersionInterned) {
+    std::size_t consumed = 0;
+    if (!table.restore(r.rest(), consumed)) {
+      return fail("malformed checkpoint intern table");
+    }
+    r.skip(consumed);
+  }
+
   const std::uint64_t count = r.u64();
   if (!r.ok()) return fail("truncated checkpoint header");
-  // Each entry is 42 bytes; reject counts the blob cannot hold before
-  // reserve() turns them into an allocation.
-  constexpr std::size_t kEntryBytes = 8 + 2 + 8 + 8 + 2 + 8 + 4 + 4;
-  if (count > r.remaining() / kEntryBytes) {
+  const std::size_t entry_bytes =
+      version == kCheckpointVersion ? kEntryBytesV1 : kEntryBytesV2;
+  // Reject counts the blob cannot hold before reserve() turns them into
+  // an allocation.
+  if (count > r.remaining() / entry_bytes) {
     return fail("truncated checkpoint body");
   }
-  if (count * kEntryBytes != r.remaining()) {
+  if (count * entry_bytes != r.remaining()) {
     return fail("trailing bytes after checkpoint body");
   }
   out.entries.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     Entry e{};
     e.subscriber = r.u64();
-    e.service = r.u16();
-    e.evidence.mask[0] = r.u64();
-    e.evidence.mask[1] = r.u64();
-    e.evidence.distinct = r.u16();
-    e.evidence.packets = r.u64();
-    e.evidence.first_seen = r.u32();
-    e.evidence.satisfied_hour = r.u32();
+    if (version == kCheckpointVersion) {
+      e.service = r.u16();
+    } else {
+      const std::uint32_t handle = r.u32();
+      if (handle >= table.size()) {
+        return fail("checkpoint references an unknown intern handle");
+      }
+      if (!service_of_label(table.name(handle), rules, e.service)) {
+        return fail("checkpoint references an unknown rule name");
+      }
+    }
+    parse_evidence(r, e.evidence);
     out.entries.push_back(e);
   }
   if (!r.ok() || r.remaining() != 0) return fail("malformed checkpoint body");
@@ -107,14 +207,17 @@ bool parse_impl(std::span<const std::uint8_t> blob, double threshold,
 
 template <typename DetectorT>
 std::vector<std::uint8_t> save_with_event(const DetectorT& detector,
-                                          obs::FlightRecorder* recorder) {
-  auto blob =
-      save_impl(detector, detector.config().threshold, detector.stats());
+                                          obs::FlightRecorder* recorder,
+                                          bool interned) {
+  const auto entries = collect_entries(detector);
+  auto blob = interned
+                  ? encode_v2(entries, detector.rules(),
+                              detector.config().threshold, detector.stats())
+                  : encode_v1(entries, detector.config().threshold,
+                              detector.stats());
   if (recorder != nullptr) {
-    constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 8;
-    constexpr std::size_t kEntryBytes = 8 + 2 + 8 + 8 + 2 + 8 + 4 + 4;
-    recorder->record(obs::EventKind::kCheckpointSave, 0,
-                     (blob.size() - kHeaderBytes) / kEntryBytes, blob.size());
+    recorder->record(obs::EventKind::kCheckpointSave, 0, entries.size(),
+                     blob.size());
   }
   return blob;
 }
@@ -124,7 +227,8 @@ bool restore_with_event(std::span<const std::uint8_t> blob,
                         DetectorT& detector, std::string* error,
                         obs::FlightRecorder* recorder) {
   Parsed parsed;
-  if (!parse_impl(blob, detector.config().threshold, parsed, error)) {
+  if (!parse_impl(blob, detector.config().threshold, detector.rules(),
+                  parsed, error)) {
     if (recorder != nullptr) {
       recorder->record(obs::EventKind::kCheckpointRejected, 0, blob.size());
     }
@@ -146,12 +250,22 @@ bool restore_with_event(std::span<const std::uint8_t> blob,
 
 std::vector<std::uint8_t> save_checkpoint(const Detector& detector,
                                           obs::FlightRecorder* recorder) {
-  return save_with_event(detector, recorder);
+  return save_with_event(detector, recorder, false);
 }
 
 std::vector<std::uint8_t> save_checkpoint(const ShardedDetector& detector,
                                           obs::FlightRecorder* recorder) {
-  return save_with_event(detector, recorder);
+  return save_with_event(detector, recorder, false);
+}
+
+std::vector<std::uint8_t> save_checkpoint_interned(
+    const Detector& detector, obs::FlightRecorder* recorder) {
+  return save_with_event(detector, recorder, true);
+}
+
+std::vector<std::uint8_t> save_checkpoint_interned(
+    const ShardedDetector& detector, obs::FlightRecorder* recorder) {
+  return save_with_event(detector, recorder, true);
 }
 
 bool restore_checkpoint(std::span<const std::uint8_t> blob,

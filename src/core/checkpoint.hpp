@@ -21,11 +21,30 @@
 //     u64 mask[0], u64 mask[1], u16 distinct, u64 packets,
 //     u32 first_seen, u32 satisfied_hour
 //
+// Version 2 (ISSUE 6, "interned" checkpoints) inserts a self-contained
+// intern-table section between the entry count's predecessor (stats) and
+// the entries, and keys each evidence row by an interned rule-name handle
+// (u32) instead of the raw u16 service id:
+//
+//   ... header through stats.matched as v1 ...
+//   intern table (core/intern.hpp serialize(): u32 count, then per name
+//     u16 length + raw bytes, in handle order) — rule names in rule
+//     order, plus "svc/<id>" labels for evidence rows whose service has
+//     no rule
+//   u64  entry count
+//   entries, sorted by (subscriber, service):
+//     u64 subscriber, u32 rule handle, then evidence fields as v1
+//
+// Restore resolves each handle back to a service id through the restoring
+// detector's own rule set (by rule name), so v2 blobs survive service-id
+// renumbering as long as rule names are stable.
+//
 // Versioning rule: any change to the byte layout or to the meaning of a
-// field bumps kCheckpointVersion; restore rejects any other version (no
-// silent migration — an operator restores with the binary that wrote the
-// checkpoint, or replays). The threshold is embedded because evidence
-// satisfied under one threshold must not seed a detector running another.
+// field bumps the version; restore accepts exactly versions 1 and 2 and
+// rejects anything else (no silent migration — an operator restores with
+// the binary that wrote the checkpoint, or replays). The threshold is
+// embedded because evidence satisfied under one threshold must not seed a
+// detector running another.
 #pragma once
 
 #include <cstdint>
@@ -40,21 +59,31 @@ namespace haystack::core {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4853434bU;  // "HSCK"
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersionInterned = 2;
 
-/// Serializes the full evidence state + throughput counters. A non-null
-/// `recorder` gets a kCheckpointSave event (a = entries, b = bytes).
+/// Serializes the full evidence state + throughput counters in the v1
+/// (raw service-id) layout. A non-null `recorder` gets a kCheckpointSave
+/// event (a = entries, b = bytes).
 [[nodiscard]] std::vector<std::uint8_t> save_checkpoint(
     const Detector& detector, obs::FlightRecorder* recorder = nullptr);
 [[nodiscard]] std::vector<std::uint8_t> save_checkpoint(
     const ShardedDetector& detector, obs::FlightRecorder* recorder = nullptr);
 
-/// Restores a checkpoint into `detector`, replacing its evidence state.
-/// Returns false — leaving the detector untouched — when the blob has a
-/// wrong magic/version, was written under a different threshold, is
-/// truncated, or carries trailing bytes. `error`, when non-null, receives
-/// a human-readable reason. A non-null `recorder` gets kCheckpointRestore
-/// (a = entries, b = bytes) on success, kCheckpointRejected (a = bytes)
-/// on refusal.
+/// Serializes in the v2 layout: evidence rows keyed by interned rule-name
+/// handles, with the intern table embedded in the blob (ISSUE 6).
+[[nodiscard]] std::vector<std::uint8_t> save_checkpoint_interned(
+    const Detector& detector, obs::FlightRecorder* recorder = nullptr);
+[[nodiscard]] std::vector<std::uint8_t> save_checkpoint_interned(
+    const ShardedDetector& detector, obs::FlightRecorder* recorder = nullptr);
+
+/// Restores a checkpoint (v1 or v2) into `detector`, replacing its
+/// evidence state. Returns false — leaving the detector untouched — when
+/// the blob has a wrong magic/version, was written under a different
+/// threshold, is truncated, carries trailing bytes, or (v2) references a
+/// rule name the restoring detector's rule set does not know. `error`,
+/// when non-null, receives a human-readable reason. A non-null `recorder`
+/// gets kCheckpointRestore (a = entries, b = bytes) on success,
+/// kCheckpointRejected (a = bytes) on refusal.
 bool restore_checkpoint(std::span<const std::uint8_t> blob,
                         Detector& detector, std::string* error = nullptr,
                         obs::FlightRecorder* recorder = nullptr);

@@ -11,6 +11,60 @@ Detector::Detector(const Hitlist& hitlist, const RuleSet& rules,
   for (const auto& r : rules.rules) max_id = std::max(max_id, r.service);
   rule_of_.assign(max_id + 1U, nullptr);
   for (const auto& r : rules.rules) rule_of_[r.service] = &r;
+
+  // Precompile the per-service fast data (ISSUE 6): the threshold is
+  // fixed for the detector's lifetime, so required_domains() and the
+  // critical-domain mask are constants the interned path can use without
+  // touching the rule.
+  fast_rules_.assign(rule_of_.size(), RuleFast{});
+  for (std::size_t s = 0; s < rule_of_.size(); ++s) {
+    const DetectionRule* rule = rule_of_[s];
+    if (rule == nullptr) continue;
+    RuleFast& fast = fast_rules_[s];
+    fast.has_rule = true;
+    fast.required = static_cast<std::uint16_t>(std::min(
+        rule->required_domains(config_.threshold), 0xffffU));
+    if (rule->critical_sufficient && rule->critical_monitored_index &&
+        *rule->critical_monitored_index < 128) {
+      const std::uint16_t idx = *rule->critical_monitored_index;
+      fast.critical_mask[idx >> 6] |= std::uint64_t{1} << (idx & 63U);
+    }
+  }
+}
+
+void Detector::apply_match(SubscriberKey subscriber, ServiceId service,
+                           std::uint16_t pos, const RuleFast& fast,
+                           std::uint64_t packets, util::HourBin hour) {
+  bool inserted = false;
+  Evidence& ev = evidence_.find_or_insert(subscriber, service, inserted);
+  if (inserted) {
+    ev.first_seen = hour;
+    if (instruments_.evidence_entries) {
+      instruments_.evidence_entries->set(
+          static_cast<std::int64_t>(evidence_.size()));
+    }
+  }
+  ev.packets += packets;
+
+  if (pos < 128 && !ev.sees(pos)) {
+    ev.mask[pos >> 6] |= std::uint64_t{1} << (pos & 63U);
+    ++ev.distinct;
+  }
+
+  if (ev.satisfied_hour == Evidence::kNever) {
+    // critical_mask is nonzero only when the rule's critical domain alone
+    // is sufficient; the AND tests sees(critical index) in one bit op.
+    const bool critical_ok =
+        ((ev.mask[0] & fast.critical_mask[0]) |
+         (ev.mask[1] & fast.critical_mask[1])) != 0;
+    if (critical_ok || ev.distinct >= fast.required) {
+      ev.satisfied_hour = hour;
+      if (instruments_.rules_satisfied) instruments_.rules_satisfied->add(1);
+      if (instruments_.time_to_detection_hours) {
+        instruments_.time_to_detection_hours->record(hour - ev.first_seen);
+      }
+    }
+  }
 }
 
 std::optional<Hit> Detector::observe(SubscriberKey subscriber,
@@ -29,37 +83,46 @@ std::optional<Hit> Detector::observe(SubscriberKey subscriber,
       hit->service < rule_of_.size() ? rule_of_[hit->service] : nullptr;
   if (rule == nullptr) return hit;
 
-  auto [it, inserted] = evidence_.try_emplace({subscriber, hit->service});
-  Evidence& ev = it->second;
-  if (inserted) {
-    ev.first_seen = hour;
-    if (instruments_.evidence_entries) {
-      instruments_.evidence_entries->set(
-          static_cast<std::int64_t>(evidence_.size()));
-    }
-  }
-  ev.packets += packets;
-
-  const std::uint16_t pos = hit->domain_index;
-  if (pos < 128 && !ev.sees(pos)) {
-    ev.mask[pos >> 6] |= std::uint64_t{1} << (pos & 63U);
-    ++ev.distinct;
-  }
-
-  if (ev.satisfied_hour == Evidence::kNever) {
-    const bool critical_ok =
-        rule->critical_sufficient && rule->critical_monitored_index &&
-        ev.sees(*rule->critical_monitored_index);
-    if (critical_ok ||
-        ev.distinct >= rule->required_domains(config_.threshold)) {
-      ev.satisfied_hour = hour;
-      if (instruments_.rules_satisfied) instruments_.rules_satisfied->add(1);
-      if (instruments_.time_to_detection_hours) {
-        instruments_.time_to_detection_hours->record(hour - ev.first_seen);
-      }
-    }
-  }
+  apply_match(subscriber, hit->service, hit->domain_index,
+              fast_rules_[hit->service], packets, hour);
   return hit;
+}
+
+void Detector::observe_interned(SubscriberKey subscriber, Signature sig,
+                                std::uint64_t packets, util::HourBin hour) {
+  ++stats_.flows;
+  if (instruments_.flows) instruments_.flows->add(1);
+  if (sig == kNoSig) return;
+  ++stats_.matched;
+  if (instruments_.matched) instruments_.matched->add(1);
+
+  const ServiceId service = sig_service(sig);
+  if (service >= fast_rules_.size() || !fast_rules_[service].has_rule) return;
+  apply_match(subscriber, service, sig_domain_index(sig),
+              fast_rules_[service], packets, hour);
+}
+
+bool Detector::observe_interned_uncounted(SubscriberKey subscriber,
+                                          Signature sig,
+                                          std::uint64_t packets,
+                                          util::HourBin hour) {
+  if (sig == kNoSig) return false;
+  const ServiceId service = sig_service(sig);
+  if (service < fast_rules_.size() && fast_rules_[service].has_rule) {
+    apply_match(subscriber, service, sig_domain_index(sig),
+                fast_rules_[service], packets, hour);
+  }
+  return true;
+}
+
+void Detector::add_observation_counts(std::uint64_t flows,
+                                      std::uint64_t matched) {
+  stats_.flows += flows;
+  stats_.matched += matched;
+  if (instruments_.flows && flows != 0) instruments_.flows->add(flows);
+  if (instruments_.matched && matched != 0) {
+    instruments_.matched->add(matched);
+  }
 }
 
 std::optional<util::HourBin> Detector::detection_hour(
@@ -70,12 +133,11 @@ std::optional<util::HourBin> Detector::detection_hour(
     const DetectionRule* rule =
         *current < rule_of_.size() ? rule_of_[*current] : nullptr;
     if (rule == nullptr) return std::nullopt;
-    const auto it = evidence_.find({subscriber, *current});
-    if (it == evidence_.end() ||
-        it->second.satisfied_hour == Evidence::kNever) {
+    const Evidence* ev = evidence_.find(subscriber, *current);
+    if (ev == nullptr || ev->satisfied_hour == Evidence::kNever) {
       return std::nullopt;
     }
-    latest = std::max(latest, it->second.satisfied_hour);
+    latest = std::max(latest, ev->satisfied_hour);
     current = rule->parent;
   }
   return latest;
@@ -108,9 +170,9 @@ Verdict Detector::verdict(SubscriberKey subscriber, ServiceId service) const {
     const DetectionRule* rule =
         *current < rule_of_.size() ? rule_of_[*current] : nullptr;
     if (rule == nullptr) return {false, Confidence::kLow, std::nullopt};
-    const auto it = evidence_.find({subscriber, *current});
-    if (it == evidence_.end()) return {false, Confidence::kLow, std::nullopt};
-    const Evidence& ev = it->second;
+    const Evidence* found = evidence_.find(subscriber, *current);
+    if (found == nullptr) return {false, Confidence::kLow, std::nullopt};
+    const Evidence& ev = *found;
     const bool critical_ok =
         rule->critical_sufficient && rule->critical_monitored_index &&
         ev.sees(*rule->critical_monitored_index);
@@ -128,7 +190,8 @@ Verdict Detector::verdict(SubscriberKey subscriber, ServiceId service) const {
 
 void Detector::restore_evidence(SubscriberKey subscriber, ServiceId service,
                                 const Evidence& evidence) {
-  evidence_[{subscriber, service}] = evidence;
+  bool inserted = false;
+  evidence_.find_or_insert(subscriber, service, inserted) = evidence;
   if (instruments_.evidence_entries) {
     instruments_.evidence_entries->set(
         static_cast<std::int64_t>(evidence_.size()));
@@ -137,16 +200,14 @@ void Detector::restore_evidence(SubscriberKey subscriber, ServiceId service,
 
 const Evidence* Detector::evidence(SubscriberKey subscriber,
                                    ServiceId service) const {
-  const auto it = evidence_.find({subscriber, service});
-  return it == evidence_.end() ? nullptr : &it->second;
+  return evidence_.find(subscriber, service);
 }
 
 void Detector::for_each_evidence(
     const std::function<void(SubscriberKey, ServiceId, const Evidence&)>& fn)
     const {
-  for (const auto& [key, ev] : evidence_) {
-    fn(key.subscriber, key.service, ev);
-  }
+  evidence_.for_each([&](SubscriberKey subscriber, ServiceId service,
+                         const Evidence& ev) { fn(subscriber, service, ev); });
 }
 
 void Detector::clear() {

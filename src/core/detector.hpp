@@ -18,11 +18,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/evidence_map.hpp"
 #include "core/hitlist.hpp"
 #include "core/rules.hpp"
+#include "core/signature_index.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "util/sim_clock.hpp"
@@ -112,6 +113,35 @@ class Detector {
                              const net::IpAddress& server, std::uint16_t port,
                              std::uint64_t packets, util::HourBin hour);
 
+  /// Interned fast path (ISSUE 6): feeds one observation whose hitlist
+  /// lookup was already resolved to a packed signature at the enqueue
+  /// boundary (`SignatureIndex::sig_of`). `sig == kNoSig` counts the
+  /// flow and returns, exactly like a hitlist miss in observe(). For any
+  /// observation stream, produces bit-identical evidence, stats, and
+  /// instrument bumps to observe() — the differential tier pins this.
+  void observe_interned(SubscriberKey subscriber, Signature sig,
+                        std::uint64_t packets, util::HourBin hour);
+
+  /// Wave-batched variant for the sharded worker loop: applies the
+  /// evidence update for one observation but defers flow/match counting
+  /// to a single add_observation_counts() call per wave (two counter
+  /// updates per wave instead of two per observation). Returns whether
+  /// the signature matched. Final stats and instrument totals are
+  /// bit-identical to the per-observation path.
+  bool observe_interned_uncounted(SubscriberKey subscriber, Signature sig,
+                                  std::uint64_t packets, util::HourBin hour);
+
+  /// Folds wave totals from observe_interned_uncounted() into stats_ and
+  /// the flow/match instruments.
+  void add_observation_counts(std::uint64_t flows, std::uint64_t matched);
+
+  /// Prefetches the evidence slot a future observation will touch (no-op
+  /// for misses). Purely a cache hint — never changes state.
+  void prefetch_evidence(SubscriberKey subscriber, Signature sig) const {
+    if (sig == kNoSig) return;
+    evidence_.prefetch(subscriber, sig_service(sig));
+  }
+
   /// Hierarchy-aware detection: the hour at which the service and all of
   /// its ancestors were satisfied for this subscriber, or nullopt.
   [[nodiscard]] std::optional<util::HourBin> detection_hour(
@@ -179,24 +209,31 @@ class Detector {
   }
 
  private:
-  struct Key {
-    SubscriberKey subscriber;
-    ServiceId service;
-    bool operator==(const Key&) const = default;
+  /// Per-service data precompiled at construction so the interned path
+  /// never dereferences a DetectionRule: the evidence requirement under
+  /// config_.threshold and the critical-domain bitset (nonzero only when
+  /// the critical domain alone is sufficient).
+  struct RuleFast {
+    std::array<std::uint64_t, 2> critical_mask{0, 0};
+    std::uint16_t required = 1;
+    bool has_rule = false;
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      return static_cast<std::size_t>(
-          util::hash_combine(k.subscriber, k.service));
-    }
-  };
+
+  /// Evidence update shared by observe() and observe_interned(); both
+  /// paths must stay bit-identical (differential tier).
+  void apply_match(SubscriberKey subscriber, ServiceId service,
+                   std::uint16_t pos, const RuleFast& fast,
+                   std::uint64_t packets, util::HourBin hour);
 
   const Hitlist& hitlist_;
   const RuleSet& rules_;
   DetectorConfig config_;
   // Rule pointer per service id for O(1) dispatch.
   std::vector<const DetectionRule*> rule_of_;
-  std::unordered_map<Key, Evidence, KeyHash> evidence_;
+  std::vector<RuleFast> fast_rules_;  ///< parallel to rule_of_
+  /// Flat open-addressing table: one cache line per probe on the hot
+  /// path (see core/evidence_map.hpp).
+  FlatEvidenceMap<Evidence> evidence_;
   Stats stats_;
   double observed_loss_ = 0.0;
   DetectorInstruments instruments_;

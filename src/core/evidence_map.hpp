@@ -1,0 +1,132 @@
+// Flat open-addressing evidence map (ISSUE 6 tentpole).
+//
+// The per-(subscriber, service) evidence table is the single hottest data
+// structure in the detector: one probe per hitlist match. A node-based
+// unordered_map costs an allocation per insert and at least two dependent
+// cache misses per lookup (bucket array, then node). This map stores the
+// key and the Evidence payload inline in one slot array, so the common
+// case — find or insert of a warm entry — touches exactly one cache line,
+// and clear() between analysis bins reuses capacity without freeing.
+//
+// Not a general map: no erase (the detector never removes evidence), keys
+// are (u64 subscriber, u16 service), and iteration order is unspecified —
+// every consumer (checkpoints, differential snapshots) sorts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace haystack::core {
+
+template <typename EvidenceT>
+class FlatEvidenceMap {
+ public:
+  FlatEvidenceMap() { rehash(kInitialSlots); }
+
+  /// Returns the entry for (subscriber, service), default-constructing it
+  /// if absent; `inserted` reports which happened.
+  EvidenceT& find_or_insert(std::uint64_t subscriber, std::uint16_t service,
+                            bool& inserted) {
+    if ((size_ + 1) * 2 > entries_.size()) rehash(entries_.size() * 2);
+    Entry& e = *probe(subscriber, service);
+    inserted = e.service_plus1 == 0;
+    if (inserted) {
+      e.subscriber = subscriber;
+      e.service_plus1 = std::uint32_t{service} + 1;
+      e.ev = EvidenceT{};
+      ++size_;
+    }
+    return e.ev;
+  }
+
+  /// Hints the cache to load the home slot of (subscriber, service); the
+  /// sharded worker issues this a few items ahead of the apply loop so
+  /// the (usually cold) evidence line is in flight by the time
+  /// find_or_insert probes it.
+  void prefetch(std::uint64_t subscriber, std::uint16_t service) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::uint64_t h =
+        util::hash_combine(subscriber, service) * 0x9E3779B97F4A7C15ULL;
+    __builtin_prefetch(&entries_[static_cast<std::size_t>(h >> shift_)]);
+#else
+    (void)subscriber;
+    (void)service;
+#endif
+  }
+
+  [[nodiscard]] const EvidenceT* find(std::uint64_t subscriber,
+                                      std::uint16_t service) const {
+    const Entry& e = *const_cast<FlatEvidenceMap*>(this)->probe(subscriber,
+                                                                service);
+    return e.service_plus1 == 0 ? nullptr : &e.ev;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Drops every entry; slot capacity is retained for reuse.
+  void clear() {
+    for (Entry& e : entries_) e.service_plus1 = 0;
+    size_ = 0;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      if (e.service_plus1 != 0) {
+        fn(e.subscriber,
+           static_cast<std::uint16_t>(e.service_plus1 - 1), e.ev);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1024;  // power of two
+
+  struct Entry {
+    std::uint64_t subscriber = 0;
+    std::uint32_t service_plus1 = 0;  ///< service + 1; 0 marks an empty slot
+    EvidenceT ev{};
+  };
+
+  /// First slot that either holds (subscriber, service) or is empty.
+  [[nodiscard]] Entry* probe(std::uint64_t subscriber,
+                             std::uint16_t service) {
+    // Fibonacci finalizer: hash_combine is a boost-style mix whose low
+    // bits alone are not uniform enough for power-of-two masking.
+    const std::uint64_t h =
+        util::hash_combine(subscriber, service) * 0x9E3779B97F4A7C15ULL;
+    std::size_t slot = static_cast<std::size_t>(h >> shift_);
+    for (;;) {
+      Entry& e = entries_[slot];
+      if (e.service_plus1 == 0 ||
+          (e.subscriber == subscriber &&
+           e.service_plus1 == std::uint32_t{service} + 1)) {
+        return &e;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  void rehash(std::size_t slots) {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(slots, Entry{});
+    mask_ = slots - 1;
+    shift_ = 64U;
+    while ((std::size_t{1} << (64U - shift_)) < slots) --shift_;
+    for (Entry& e : old) {
+      if (e.service_plus1 == 0) continue;
+      *probe(e.subscriber,
+             static_cast<std::uint16_t>(e.service_plus1 - 1)) = e;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace haystack::core

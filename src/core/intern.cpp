@@ -1,0 +1,96 @@
+#include "core/intern.hpp"
+
+#include <mutex>
+
+namespace haystack::core {
+
+std::uint32_t InternTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  // Re-check: another thread may have interned it between the locks.
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const auto handle = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view{names_.back()}, handle);
+  return handle;
+}
+
+std::uint32_t InternTable::find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = index_.find(name);
+  return it == index_.end() ? kInvalid : it->second;
+}
+
+std::string_view InternTable::name(std::uint32_t handle) const {
+  std::shared_lock lock(mutex_);
+  return names_[handle];
+}
+
+std::size_t InternTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+void InternTable::clear() {
+  std::unique_lock lock(mutex_);
+  index_.clear();
+  names_.clear();
+}
+
+void InternTable::serialize(std::vector<std::uint8_t>& out) const {
+  std::shared_lock lock(mutex_);
+  const auto count = static_cast<std::uint32_t>(names_.size());
+  out.push_back(static_cast<std::uint8_t>(count >> 24));
+  out.push_back(static_cast<std::uint8_t>(count >> 16));
+  out.push_back(static_cast<std::uint8_t>(count >> 8));
+  out.push_back(static_cast<std::uint8_t>(count));
+  for (const auto& n : names_) {
+    const auto len = static_cast<std::uint16_t>(n.size());
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.push_back(static_cast<std::uint8_t>(len));
+    out.insert(out.end(), n.begin(), n.end());
+  }
+}
+
+bool InternTable::restore(std::span<const std::uint8_t> data,
+                          std::size_t& offset) {
+  clear();
+  if (offset > data.size() || data.size() - offset < 4) return false;
+  std::uint32_t count = 0;
+  for (int i = 0; i < 4; ++i) count = (count << 8) | data[offset++];
+  bool ok = true;
+  {
+    std::unique_lock lock(mutex_);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (data.size() - offset < 2) {
+        ok = false;
+        break;
+      }
+      std::uint16_t len = static_cast<std::uint16_t>(
+          (std::uint16_t{data[offset]} << 8) | data[offset + 1]);
+      offset += 2;
+      if (data.size() - offset < len) {
+        ok = false;
+        break;
+      }
+      names_.emplace_back(
+          reinterpret_cast<const char*>(data.data()) + offset, len);
+      offset += len;
+      // Duplicate names in the image would silently alias handles; reject.
+      if (!index_.emplace(std::string_view{names_.back()}, i).second) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  // Never leave the table half-populated: a failed restore clears.
+  if (!ok) clear();
+  return ok;
+}
+
+}  // namespace haystack::core

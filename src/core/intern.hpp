@@ -1,0 +1,77 @@
+// String interning (ISSUE 6 tentpole): maps domain / rule-name strings to
+// dense u32 handles at the decode boundary, so nothing past decode
+// touches a string.
+//
+// Contract (see DESIGN.md §9):
+//   - Handles are dense, assigned in first-intern order, and *stable for
+//     the lifetime of the table*: growth/rehash never changes an existing
+//     handle, and name(h) stays valid (backing storage is a deque of
+//     immutable strings — rehashing moves only string_view keys).
+//   - intern() and find()/name() may race from different threads;
+//     readers take a shared lock, the insert path an exclusive one.
+//   - Handles round-trip through HSCK checkpoints: serialize() writes
+//     names in handle order, and restoring them into an empty table via
+//     intern() reproduces every handle exactly.
+//
+// The table is small (rule names + monitored-domain labels in production,
+// millions of entries in the property tests) and off the hot path: the
+// hot path carries only the u32 handles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace haystack::core {
+
+class InternTable {
+ public:
+  /// Returned by find() when the string was never interned. intern()
+  /// never returns it (the table is capped below 2^32 - 1 entries).
+  static constexpr std::uint32_t kInvalid = 0xffffffffU;
+
+  InternTable() = default;
+  InternTable(const InternTable&) = delete;
+  InternTable& operator=(const InternTable&) = delete;
+
+  /// Returns the handle for `name`, interning it first if needed.
+  std::uint32_t intern(std::string_view name);
+
+  /// Returns the handle for `name`, or kInvalid when absent.
+  [[nodiscard]] std::uint32_t find(std::string_view name) const;
+
+  /// The string behind a handle. The returned view stays valid for the
+  /// table's lifetime (entries are never removed or moved). `handle`
+  /// must be < size().
+  [[nodiscard]] std::string_view name(std::uint32_t handle) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every entry (handles restart at 0).
+  void clear();
+
+  /// Appends the table to `out` as: u32 count, then per entry u16 length
+  /// + raw bytes, in handle order. Restoring via restore() into an empty
+  /// table reproduces every handle.
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Restores from a serialize() image, replacing current contents.
+  /// Returns false (leaving the table cleared) on a truncated or
+  /// malformed image. `data`/`offset` advance past the consumed section.
+  bool restore(std::span<const std::uint8_t> data, std::size_t& offset);
+
+ private:
+  mutable std::shared_mutex mutex_;
+  /// Backing storage. A deque never relocates existing elements on
+  /// push_back, which is what makes handles and name() views stable
+  /// across growth.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace haystack::core

@@ -9,7 +9,21 @@ ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
                                  unsigned shards,
                                  std::size_t queue_capacity,
                                  obs::Observability* obs) {
+  // Compile the boundary signature index (and the rule-name intern table)
+  // once; every producer path resolves hitlist lookups through it.
+  sig_index_.build(hitlist, rules, &intern_);
+  if (obs != nullptr) {
+    sig_lookups_ = obs->registry.counter("signature_lookups_total");
+    sig_hits_ = obs->registry.counter("signature_hits_total");
+    obs->registry.gauge("intern_table_size")
+        ->set(static_cast<std::int64_t>(intern_.size()));
+    obs->registry.gauge("signature_endpoints")
+        ->set(static_cast<std::int64_t>(sig_index_.endpoint_count()));
+  }
+
   const unsigned n = std::max(1u, shards);
+  missed_ = std::make_unique<PaddedCount[]>(n);
+  pending_.resize(n);
   shards_.reserve(n);
   for (unsigned s = 0; s < n; ++s) {
     shards_.push_back(std::make_unique<Detector>(hitlist, rules, config));
@@ -66,49 +80,144 @@ ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
       pool_config,
       [this](unsigned s, std::vector<Chunk>& wave) {
         Detector& det = *shards_[s];
+        std::uint64_t flows = 0;
+        std::uint64_t matched = 0;
+        // Evidence slots for distinct subscribers are effectively random
+        // lines in a table far larger than cache, so the apply loop is
+        // memory-latency-bound; prefetching a few items ahead overlaps
+        // those misses.
+        constexpr std::size_t kAhead = 8;
         for (const Chunk& chunk : wave) {
-          for (const Observation& obs : chunk) {
-            det.observe(obs.subscriber, obs.server, obs.port, obs.packets,
-                        obs.hour);
+          flows += chunk.size();
+          const std::size_t count = chunk.size();
+          for (std::size_t i = 0; i < count; ++i) {
+            if (i + kAhead < count) {
+              const InternedObs& ahead = chunk[i + kAhead];
+              det.prefetch_evidence(ahead.subscriber, ahead.sig);
+            }
+            const InternedObs& o = chunk[i];
+            matched += det.observe_interned_uncounted(o.subscriber, o.sig,
+                                                      o.packets, o.hour)
+                           ? 1U
+                           : 0U;
           }
         }
+        det.add_observation_counts(flows, matched);
       });
 }
 
-ShardedDetector::~ShardedDetector() { pool_->stop(); }
+ShardedDetector::~ShardedDetector() {
+  flush_pending();
+  pool_->stop();
+}
+
+void ShardedDetector::flush_pending() const {
+  std::lock_guard lock{pending_mu_};
+  for (std::size_t s = 0; s < pending_.size(); ++s) {
+    if (pending_[s].empty()) continue;
+    Chunk chunk = std::move(pending_[s]);
+    pending_[s] = Chunk{};
+    pool_->submit(static_cast<unsigned>(s), std::move(chunk));
+  }
+}
 
 void ShardedDetector::observe(const Observation& obs) {
-  pool_->submit(static_cast<unsigned>(shard_of(obs.subscriber)),
-                Chunk{obs});
+  std::uint64_t hits = 0;
+  const InternedObs interned = intern_obs(obs, hits);
+  bump_sig_counters(1, hits);
+  const auto s = shard_of(obs.subscriber);
+  if (interned.sig == kNoSig) {
+    // Boundary miss filter: a miss only ever bumps the flow counter, so
+    // fold it into the shard's miss tally instead of waking its worker.
+    count_misses(s, 1);
+    return;
+  }
+  std::lock_guard lock{pending_mu_};
+  pending_[s].push_back(interned);
+  if (pending_[s].size() >= kCoalesceItems) {
+    Chunk full = std::move(pending_[s]);
+    pending_[s] = Chunk{};
+    pending_[s].reserve(kCoalesceItems);
+    // Submit under the mutex: every shard-queue submission happens with
+    // pending_mu_ held, so submissions occur in append order and a
+    // concurrent flush_pending() can never overtake a full-chunk submit
+    // for the same subscriber. Workers never take pending_mu_, so a
+    // backpressure block here still makes progress.
+    pool_->submit(static_cast<unsigned>(s), std::move(full));
+  }
 }
 
 void ShardedDetector::enqueue_batch(std::span<const Observation> batch) {
   if (batch.empty()) return;
   const std::size_t n = shards_.size();
-  if (n == 1) {
-    pool_->submit(0, Chunk{batch.begin(), batch.end()});
-    return;
-  }
-  // Partition preserving per-subscriber order; one chunk per shard keeps
-  // queue traffic proportional to shards, not observations.
-  std::vector<Chunk> parts(n);
-  for (auto& p : parts) p.reserve(batch.size() / n + 1);
-  for (const auto& obs : batch) {
-    parts[shard_of(obs.subscriber)].push_back(obs);
-  }
-  for (std::size_t s = 0; s < n; ++s) {
-    if (!parts[s].empty()) {
-      pool_->submit(static_cast<unsigned>(s), std::move(parts[s]));
+  std::uint64_t hits = 0;
+  std::vector<std::uint64_t> misses(n, 0);
+  // Partition preserving per-subscriber order, filtering misses at the
+  // boundary (they carry no evidence — only a flow count) and coalescing
+  // the matching minority into the per-shard pending chunks. Queue
+  // traffic is then proportional to kCoalesceItems flushes, not to
+  // producer chunk boundaries, and on wild traffic — where roughly half
+  // the flows miss the hitlist — the shard queues carry only matches.
+  {
+    std::lock_guard lock{pending_mu_};
+    for (const auto& obs : batch) {
+      const InternedObs interned = intern_obs(obs, hits);
+      const auto s = shard_of(obs.subscriber);
+      if (interned.sig == kNoSig) {
+        ++misses[s];
+        continue;
+      }
+      pending_[s].push_back(interned);
+      if (pending_[s].size() >= kCoalesceItems) {
+        Chunk full = std::move(pending_[s]);
+        pending_[s] = Chunk{};
+        pending_[s].reserve(kCoalesceItems);
+        // Under the mutex (see observe()): submissions stay in append
+        // order relative to concurrent producers and flush_pending().
+        pool_->submit(static_cast<unsigned>(s), std::move(full));
+      }
     }
   }
+  bump_sig_counters(batch.size(), hits);
+  for (std::size_t s = 0; s < n; ++s) count_misses(s, misses[s]);
+}
+
+void ShardedDetector::enqueue_interned(std::span<const InternedObs> batch) {
+  if (batch.empty()) return;
+  const std::size_t n = shards_.size();
+  std::uint64_t hits = 0;
+  std::vector<std::uint64_t> misses(n, 0);
+  {
+    std::lock_guard lock{pending_mu_};
+    for (const auto& o : batch) {
+      const auto s = shard_of(o.subscriber);
+      if (o.sig == kNoSig) {
+        ++misses[s];
+        continue;
+      }
+      hits += 1;
+      pending_[s].push_back(o);
+      if (pending_[s].size() >= kCoalesceItems) {
+        Chunk full = std::move(pending_[s]);
+        pending_[s] = Chunk{};
+        pending_[s].reserve(kCoalesceItems);
+        pool_->submit(static_cast<unsigned>(s), std::move(full));
+      }
+    }
+  }
+  bump_sig_counters(batch.size(), hits);
+  for (std::size_t s = 0; s < n; ++s) count_misses(s, misses[s]);
 }
 
 void ShardedDetector::process_batch(std::span<const Observation> batch) {
   enqueue_batch(batch);
-  pool_->drain();
+  drain();
 }
 
-void ShardedDetector::drain() const { pool_->drain(); }
+void ShardedDetector::drain() const {
+  flush_pending();
+  pool_->drain();
+}
 
 bool ShardedDetector::detected(SubscriberKey subscriber,
                                ServiceId service) const {
@@ -147,6 +256,10 @@ void ShardedDetector::restore_stats(const Detector::Stats& stats) {
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     shards_[s]->restore_stats({});
   }
+  // The restored totals already include any boundary-filtered misses.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    missed_[s].v.store(0, std::memory_order_relaxed);
+  }
 }
 
 void ShardedDetector::for_each_evidence(
@@ -164,9 +277,10 @@ void ShardedDetector::clear() {
 Detector::Stats ShardedDetector::stats() const {
   drain();
   Detector::Stats total;
-  for (const auto& shard : shards_) {
-    total.flows += shard->stats().flows;
-    total.matched += shard->stats().matched;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    total.flows += shards_[s]->stats().flows +
+                   missed_[s].v.load(std::memory_order_relaxed);
+    total.matched += shards_[s]->stats().matched;
   }
   return total;
 }

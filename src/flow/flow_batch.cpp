@@ -1,0 +1,144 @@
+#include "flow/flow_batch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace haystack::flow {
+
+void FlowBatch::clear() {
+  src.clear();
+  dst.clear();
+  src_port.clear();
+  dst_port.clear();
+  proto.clear();
+  tcp_flags.clear();
+  packets.clear();
+  bytes.clear();
+  start_ms.clear();
+  end_ms.clear();
+  sampling.clear();
+}
+
+void FlowBatch::reserve(std::size_t rows) {
+  src.reserve(rows);
+  dst.reserve(rows);
+  src_port.reserve(rows);
+  dst_port.reserve(rows);
+  proto.reserve(rows);
+  tcp_flags.reserve(rows);
+  packets.reserve(rows);
+  bytes.reserve(rows);
+  start_ms.reserve(rows);
+  end_ms.reserve(rows);
+  sampling.reserve(rows);
+}
+
+std::size_t FlowBatch::append_defaults() {
+  const std::size_t row = src.size();
+  src.emplace_back();
+  dst.emplace_back();
+  src_port.push_back(0);
+  dst_port.push_back(0);
+  proto.push_back(6);
+  tcp_flags.push_back(0);
+  packets.push_back(0);
+  bytes.push_back(0);
+  start_ms.push_back(0);
+  end_ms.push_back(0);
+  sampling.push_back(1);
+  return row;
+}
+
+void FlowBatch::push(const FlowRecord& rec) {
+  src.push_back(rec.key.src);
+  dst.push_back(rec.key.dst);
+  src_port.push_back(rec.key.src_port);
+  dst_port.push_back(rec.key.dst_port);
+  proto.push_back(rec.key.proto);
+  tcp_flags.push_back(rec.tcp_flags);
+  packets.push_back(rec.packets);
+  bytes.push_back(rec.bytes);
+  start_ms.push_back(rec.start_ms);
+  end_ms.push_back(rec.end_ms);
+  sampling.push_back(rec.sampling);
+}
+
+FlowRecord FlowBatch::record(std::size_t i) const {
+  FlowRecord rec;
+  rec.key.src = src[i];
+  rec.key.dst = dst[i];
+  rec.key.src_port = src_port[i];
+  rec.key.dst_port = dst_port[i];
+  rec.key.proto = proto[i];
+  rec.tcp_flags = tcp_flags[i];
+  rec.packets = packets[i];
+  rec.bytes = bytes[i];
+  rec.start_ms = start_ms[i];
+  rec.end_ms = end_ms[i];
+  rec.sampling = sampling[i];
+  return rec;
+}
+
+std::size_t FlowBatch::capacity_rows() const {
+  // src/dst dominate per-row bytes, but any column may have been grown
+  // independently by reserve(); take the max.
+  std::size_t rows = std::max(src.capacity(), dst.capacity());
+  rows = std::max(rows, packets.capacity());
+  rows = std::max(rows, bytes.capacity());
+  rows = std::max(rows, start_ms.capacity());
+  rows = std::max(rows, end_ms.capacity());
+  rows = std::max(rows, sampling.capacity());
+  rows = std::max({rows, src_port.capacity(), dst_port.capacity(),
+                   proto.capacity(), tcp_flags.capacity()});
+  return rows;
+}
+
+void FlowBatch::shrink_to_fit() {
+  // swap-with-empty releases capacity deterministically (shrink_to_fit
+  // is only a request).
+  FlowBatch empty;
+  *this = std::move(empty);
+}
+
+void BatchArena::Releaser::operator()(FlowBatch* batch) const {
+  if (batch == nullptr) return;
+  if (arena_ == nullptr) {
+    delete batch;
+    return;
+  }
+  arena_->release(batch);
+}
+
+BatchArena::Lease BatchArena::acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++acquired_;
+  if (!free_.empty()) {
+    ++reused_;
+    FlowBatch* batch = free_.back().release();
+    free_.pop_back();
+    return Lease(batch, Releaser(this));
+  }
+  return Lease(new FlowBatch(), Releaser(this));
+}
+
+void BatchArena::release(FlowBatch* batch) {
+  std::unique_ptr<FlowBatch> owned(batch);
+  owned->clear();
+  bool trimmed = false;
+  if (owned->capacity_rows() > config_.trim_rows) {
+    owned->shrink_to_fit();
+    trimmed = true;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (trimmed) ++trimmed_;
+  if (free_.size() < config_.max_pool) {
+    free_.push_back(std::move(owned));
+  }
+}
+
+BatchArena::Stats BatchArena::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{acquired_, reused_, trimmed_, free_.size()};
+}
+
+}  // namespace haystack::flow

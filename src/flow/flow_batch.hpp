@@ -1,0 +1,142 @@
+// Structure-of-arrays flow batches and the per-wave arena behind them
+// (ISSUE 6 tentpole).
+//
+// A `FlowBatch` holds the decoded fields of N flow records as parallel
+// columns instead of a vector of fat `FlowRecord` structs. Batch decode
+// (`Collector::ingest_batch`) appends straight off the datagram into the
+// columns via a compiled per-template field-offset plan, and the pipeline
+// normalizer reads only the columns it needs (dst IP, dst port, packets),
+// never materializing a `FlowRecord` on the fast path.
+//
+// Column defaults reproduce `FlowRecord`'s member initializers exactly
+// (proto = 6, sampling = 1, everything else zero / unspecified address),
+// so a batch row round-trips bit-for-bit through `record(i)` against the
+// record-at-a-time reference decoder. The differential tier enforces this.
+//
+// `BatchArena` recycles batch buffers across waves: a stage acquires a
+// `Lease` (a unique_ptr whose deleter returns the batch to the pool),
+// fills it, and hands it downstream through the bounded queues. The arena
+// trims column capacity on release once it exceeds `trim_rows`, so a
+// one-off burst — e.g. a FlowCache emergency expiry flushing the whole
+// cache into one batch — cannot pin megabytes in the pool forever
+// (ISSUE 6 satellite 5).
+//
+// Lifetime contract: a lease must not outlive its arena. IngestPipeline
+// declares the arena before the stage pools, so the pools (and any lease
+// still queued) are destroyed first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "net/ip_address.hpp"
+
+namespace haystack::flow {
+
+/// Decoded flow records in structure-of-arrays layout. All columns have
+/// identical length (`size()`); row `i` across the columns reconstructs
+/// one `FlowRecord`.
+class FlowBatch {
+ public:
+  // Columns are public by design: decode plans and the pipeline
+  // normalizer index them directly.
+  std::vector<net::IpAddress> src;
+  std::vector<net::IpAddress> dst;
+  std::vector<std::uint16_t> src_port;
+  std::vector<std::uint16_t> dst_port;
+  std::vector<std::uint8_t> proto;
+  std::vector<std::uint8_t> tcp_flags;
+  std::vector<std::uint64_t> packets;
+  std::vector<std::uint64_t> bytes;
+  std::vector<std::uint64_t> start_ms;
+  std::vector<std::uint64_t> end_ms;
+  std::vector<std::uint32_t> sampling;
+
+  [[nodiscard]] std::size_t size() const { return src.size(); }
+  [[nodiscard]] bool empty() const { return src.empty(); }
+
+  /// Clears all columns; capacity is retained for reuse.
+  void clear();
+
+  /// Reserves room for `rows` records in every column.
+  void reserve(std::size_t rows);
+
+  /// Appends one row with `FlowRecord` defaults (proto 6, sampling 1,
+  /// zeros elsewhere) and returns its index. Decode plans fill in the
+  /// fields the template actually carries.
+  std::size_t append_defaults();
+
+  /// Appends a fully materialized record (slow-path / test convenience).
+  void push(const FlowRecord& rec);
+
+  /// Reconstructs row `i` as a `FlowRecord`. Bit-identical to what the
+  /// record-at-a-time reference decoder would have produced.
+  [[nodiscard]] FlowRecord record(std::size_t i) const;
+
+  /// Largest column capacity, in rows — the arena's trim criterion.
+  [[nodiscard]] std::size_t capacity_rows() const;
+
+  /// Releases excess capacity in every column (used by the arena trim).
+  void shrink_to_fit();
+};
+
+/// Pool of reusable `FlowBatch` buffers. Thread-safe; leases may be
+/// acquired and released from different stage workers concurrently.
+class BatchArena {
+ public:
+  struct Config {
+    /// Max batches kept in the free list; extra releases deallocate.
+    std::size_t max_pool = 32;
+    /// Column capacity (rows) above which a released batch is trimmed
+    /// back before pooling, bounding post-burst memory.
+    std::size_t trim_rows = 4096;
+  };
+
+  struct Stats {
+    std::uint64_t acquired = 0;  ///< total leases handed out
+    std::uint64_t reused = 0;    ///< leases served from the pool
+    std::uint64_t trimmed = 0;   ///< releases that triggered a capacity trim
+    std::size_t pooled = 0;      ///< batches currently in the free list
+  };
+
+  class Releaser {
+   public:
+    Releaser() = default;
+    explicit Releaser(BatchArena* arena) : arena_(arena) {}
+    void operator()(FlowBatch* batch) const;
+
+   private:
+    BatchArena* arena_ = nullptr;
+  };
+
+  /// Owning handle to a pooled batch; returns it to the arena on
+  /// destruction (or deletes it if the pool is full).
+  using Lease = std::unique_ptr<FlowBatch, Releaser>;
+
+  BatchArena() = default;
+  explicit BatchArena(Config config) : config_(config) {}
+  BatchArena(const BatchArena&) = delete;
+  BatchArena& operator=(const BatchArena&) = delete;
+
+  /// Returns an empty batch, reusing pooled capacity when available.
+  [[nodiscard]] Lease acquire();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  friend class Releaser;
+  void release(FlowBatch* batch);
+
+  Config config_{};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<FlowBatch>> free_;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t trimmed_ = 0;
+};
+
+}  // namespace haystack::flow

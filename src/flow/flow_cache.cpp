@@ -4,10 +4,21 @@
 
 namespace haystack::flow {
 
-void FlowCache::add(const PacketEvent& packet, std::vector<FlowRecord>& out) {
+namespace {
+
+inline void append(std::vector<FlowRecord>& out, const FlowRecord& rec) {
+  out.push_back(rec);
+}
+
+inline void append(FlowBatch& out, const FlowRecord& rec) { out.push(rec); }
+
+}  // namespace
+
+template <typename Out>
+void FlowCache::add_impl(const PacketEvent& packet, Out& out) {
   // Opportunistic sweep at most once per idle timeout to bound cost.
   if (packet.timestamp_ms >= last_sweep_ms_ + config_.idle_timeout_ms) {
-    flush_expired(packet.timestamp_ms, out);
+    flush_expired_impl(packet.timestamp_ms, out);
     last_sweep_ms_ = packet.timestamp_ms;
   }
 
@@ -16,10 +27,12 @@ void FlowCache::add(const PacketEvent& packet, std::vector<FlowRecord>& out) {
     if (cache_.size() > config_.max_entries) {
       // Emergency expiry: flush everything but the new entry. Real routers
       // evict aggressively under pressure; total order is unimportant here.
+      // The kept entry is copied out *before* the wholesale flush so the
+      // re-emplace below never reads freed cache memory.
       Entry kept = it->second;
       FlowKey kept_key = it->first;
       cache_.erase(it);
-      flush_all(out);
+      flush_all_impl(out);
       ++emergency_expiries_;
       it = cache_.try_emplace(kept_key, kept).first;
     }
@@ -35,13 +48,13 @@ void FlowCache::add(const PacketEvent& packet, std::vector<FlowRecord>& out) {
 
   // Active timeout: export the flow if it has lived too long.
   if (cur.end_ms - cur.start_ms >= config_.active_timeout_ms) {
-    out.push_back(cur);
+    append(out, cur);
     cache_.erase(it);
   }
 }
 
-void FlowCache::flush_expired(std::uint64_t now_ms,
-                              std::vector<FlowRecord>& out) {
+template <typename Out>
+void FlowCache::flush_expired_impl(std::uint64_t now_ms, Out& out) {
   for (auto it = cache_.begin(); it != cache_.end();) {
     const FlowRecord& rec = it->second.record;
     const bool idle_expired =
@@ -49,7 +62,7 @@ void FlowCache::flush_expired(std::uint64_t now_ms,
     const bool active_expired =
         rec.end_ms - rec.start_ms >= config_.active_timeout_ms;
     if (idle_expired || active_expired) {
-      out.push_back(rec);
+      append(out, rec);
       it = cache_.erase(it);
     } else {
       ++it;
@@ -57,9 +70,33 @@ void FlowCache::flush_expired(std::uint64_t now_ms,
   }
 }
 
-void FlowCache::flush_all(std::vector<FlowRecord>& out) {
-  for (auto& [key, entry] : cache_) out.push_back(entry.record);
+template <typename Out>
+void FlowCache::flush_all_impl(Out& out) {
+  for (auto& [key, entry] : cache_) append(out, entry.record);
   cache_.clear();
 }
+
+void FlowCache::add(const PacketEvent& packet, std::vector<FlowRecord>& out) {
+  add_impl(packet, out);
+}
+
+void FlowCache::flush_expired(std::uint64_t now_ms,
+                              std::vector<FlowRecord>& out) {
+  flush_expired_impl(now_ms, out);
+}
+
+void FlowCache::flush_all(std::vector<FlowRecord>& out) {
+  flush_all_impl(out);
+}
+
+void FlowCache::add(const PacketEvent& packet, FlowBatch& out) {
+  add_impl(packet, out);
+}
+
+void FlowCache::flush_expired(std::uint64_t now_ms, FlowBatch& out) {
+  flush_expired_impl(now_ms, out);
+}
+
+void FlowCache::flush_all(FlowBatch& out) { flush_all_impl(out); }
 
 }  // namespace haystack::flow

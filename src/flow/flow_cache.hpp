@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flow/flow_batch.hpp"
 #include "flow/record.hpp"
 
 namespace haystack::flow {
@@ -50,6 +51,17 @@ class FlowCache {
   /// Expires everything unconditionally.
   void flush_all(std::vector<FlowRecord>& out);
 
+  // FlowBatch-sink overloads (ISSUE 6): identical expiry semantics, but
+  // expired records append into SoA columns. Records are copied by value
+  // into the batch, so an arena-recycled batch never references cache
+  // memory (and vice versa) — the emergency-expiry lifetime contract the
+  // stress tier pins down. An emergency expiry can flush up to
+  // max_entries records into one batch; BatchArena trims that capacity
+  // when the lease is released.
+  void add(const PacketEvent& packet, FlowBatch& out);
+  void flush_expired(std::uint64_t now_ms, FlowBatch& out);
+  void flush_all(FlowBatch& out);
+
   [[nodiscard]] std::size_t active_flows() const noexcept {
     return cache_.size();
   }
@@ -66,6 +78,14 @@ class FlowCache {
   struct Entry {
     FlowRecord record;
   };
+
+  // Shared implementation over the two sink shapes; defined in the .cpp.
+  template <typename Out>
+  void add_impl(const PacketEvent& packet, Out& out);
+  template <typename Out>
+  void flush_expired_impl(std::uint64_t now_ms, Out& out);
+  template <typename Out>
+  void flush_all_impl(Out& out);
 
   FlowCacheConfig config_;
   std::unordered_map<FlowKey, Entry> cache_;

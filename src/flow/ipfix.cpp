@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <type_traits>
 
 namespace haystack::flow::ipfix {
 
@@ -60,6 +61,15 @@ void write_record(ByteWriter& w, const FlowRecord& rec) {
   w.u64(rec.end_ms);
   w.u32(rec.sampling);
 }
+
+// Record sinks for the shared decode implementation (see netflow_v9.cpp).
+struct RecordSink {
+  std::vector<FlowRecord>* out;
+};
+
+struct BatchSink {
+  FlowBatch* out;
+};
 
 }  // namespace
 
@@ -185,6 +195,19 @@ std::vector<std::vector<std::uint8_t>> Exporter::export_flows(
 
 bool Collector::ingest(std::span<const std::uint8_t> message,
                        std::vector<FlowRecord>& out) {
+  RecordSink sink{&out};
+  return ingest_impl(message, sink);
+}
+
+bool Collector::ingest_batch(std::span<const std::uint8_t> message,
+                             FlowBatch& out) {
+  BatchSink sink{&out};
+  return ingest_impl(message, sink);
+}
+
+template <typename Sink>
+bool Collector::ingest_impl(std::span<const std::uint8_t> message,
+                            Sink& sink) {
   ByteReader whole{message};
   const std::uint16_t version = whole.u16();
   const std::uint16_t total_length = whole.u16();
@@ -242,7 +265,7 @@ bool Collector::ingest(std::span<const std::uint8_t> message,
     }
     ByteReader body = whole.slice(set_length - 4U);
     if (set_id == kTemplateSetId) {
-      if (!decode_template_set(body, domain, out)) {
+      if (!decode_template_set(body, domain, sink)) {
         ++stats_.malformed_messages;
         return false;
       }
@@ -262,7 +285,7 @@ bool Collector::ingest(std::span<const std::uint8_t> message,
         if (it == templates_.end()) {
           ++stats_.unknown_template_sets;
           park_set(domain, set_id, sequence, body);
-        } else if (!decode_data_set(body, it->second, out)) {
+        } else if (!decode_data(body, it->second, sink)) {
           ++stats_.malformed_messages;
           return false;
         }
@@ -338,9 +361,9 @@ void Collector::park_set(std::uint32_t domain, std::uint16_t template_id,
   }
 }
 
+template <typename Sink>
 void Collector::recover_pending(std::uint32_t domain,
-                                std::uint16_t template_id,
-                                std::vector<FlowRecord>& out) {
+                                std::uint16_t template_id, Sink& sink) {
   const auto it_tmpl = templates_.find({domain, template_id});
   if (it_tmpl == templates_.end()) return;
   for (auto it = pending_.begin(); it != pending_.end();) {
@@ -350,7 +373,7 @@ void Collector::recover_pending(std::uint32_t domain,
     }
     ByteReader body{it->body};
     const std::uint64_t before = stats_.records;
-    if (decode_data_set(body, it_tmpl->second, out)) {
+    if (decode_data(body, it_tmpl->second, sink)) {
       const std::uint64_t recovered = stats_.records - before;
       ++stats_.recovered_sets;
       stats_.recovered_records += recovered;
@@ -405,8 +428,9 @@ std::size_t Collector::pending_bytes() const noexcept {
   return bytes;
 }
 
+template <typename Sink>
 bool Collector::decode_template_set(ByteReader& r, std::uint32_t domain,
-                                    std::vector<FlowRecord>& out) {
+                                    Sink& sink) {
   while (r.ok() && r.remaining() >= 4) {
     const std::uint16_t template_id = r.u16();
     const std::uint16_t field_count = r.u16();
@@ -415,8 +439,8 @@ bool Collector::decode_template_set(ByteReader& r, std::uint32_t domain,
     // count the set body cannot hold is a corrupted length field, rejected
     // before reserve() turns it into an allocation.
     if (std::size_t{field_count} * 4 > r.remaining()) return false;
-    Template tmpl;
-    tmpl.reserve(field_count);
+    TemplateEntry entry;
+    entry.fields.reserve(field_count);
     for (std::uint16_t i = 0; i < field_count; ++i) {
       std::uint16_t id = r.u16();
       const std::uint16_t length = r.u16();
@@ -426,13 +450,41 @@ bool Collector::decode_template_set(ByteReader& r, std::uint32_t domain,
       field.length = length;
       if (field.enterprise) r.u32();  // enterprise number, skipped
       if (!r.ok()) return false;
-      tmpl.push_back(field);
+      entry.fields.push_back(field);
     }
-    templates_[{domain, template_id}] = std::move(tmpl);
+    // Compile the decode plan once per (re)announcement; variable-length
+    // templates compile to a non-fast plan and use the reference walk.
+    std::vector<plan::WireField> wire;
+    wire.reserve(entry.fields.size());
+    for (const auto& f : entry.fields) {
+      wire.push_back({f.id, f.length, f.enterprise});
+    }
+    entry.plan = plan::compile_ipfix(wire);
+    templates_[{domain, template_id}] = std::move(entry);
     ++stats_.templates_learned;
-    recover_pending(domain, template_id, out);
+    recover_pending(domain, template_id, sink);
   }
   return r.ok();
+}
+
+template <typename Sink>
+bool Collector::decode_data(ByteReader& r, const TemplateEntry& entry,
+                            Sink& sink) {
+  if constexpr (std::is_same_v<Sink, BatchSink>) {
+    if (entry.plan.fast) {
+      if (entry.plan.record_len == 0) return false;  // as the reference
+      stats_.records += plan::execute(entry.plan, r.rest(), *sink.out);
+      return true;
+    }
+    // Variable-length template: reference walk through a scratch vector,
+    // preserving partial-decode behavior on malformed var-length framing.
+    std::vector<FlowRecord> scratch;
+    const bool ok = decode_data_set(r, entry.fields, scratch);
+    for (const auto& rec : scratch) sink.out->push(rec);
+    return ok;
+  } else {
+    return decode_data_set(r, entry.fields, *sink.out);
+  }
 }
 
 bool Collector::decode_options_template_set(ByteReader& r,

@@ -17,8 +17,10 @@
 #include <span>
 #include <vector>
 
+#include "flow/flow_batch.hpp"
 #include "flow/gap_tracker.hpp"
 #include "flow/record.hpp"
+#include "flow/template_plan.hpp"
 #include "flow/wire.hpp"
 #include "obs/flight_recorder.hpp"
 
@@ -135,9 +137,17 @@ class Collector {
       : config_{config}, deduper_{config.dedup_window} {}
 
   /// Decodes one IPFIX message, appending records to `out`. Returns false
-  /// on malformed input.
+  /// on malformed input. This is the record-at-a-time reference walk the
+  /// differential tier pins `ingest_batch` against.
   bool ingest(std::span<const std::uint8_t> message,
               std::vector<FlowRecord>& out);
+
+  /// Batch decode: identical protocol handling and statistics to
+  /// `ingest`, but fixed-layout data sets decode via the template's
+  /// compiled field-offset plan straight into `out`'s columns (ISSUE 6).
+  /// Templates with variable-length fields fall back to the reference
+  /// walk internally; output is bit-identical either way.
+  bool ingest_batch(std::span<const std::uint8_t> message, FlowBatch& out);
 
   [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
 
@@ -166,6 +176,13 @@ class Collector {
   };
   using Template = std::vector<TemplateField>;
 
+  /// A learned template plus its decode plan, compiled at learn time.
+  /// `plan.fast` is false for templates with variable-length fields.
+  struct TemplateEntry {
+    Template fields;
+    plan::CompiledPlan plan;
+  };
+
   struct PendingSet {
     std::uint32_t domain = 0;
     std::uint16_t template_id = 0;
@@ -184,8 +201,18 @@ class Collector {
     bool sequence_indeterminate = false;
   };
 
-  bool decode_template_set(ByteReader& r, std::uint32_t domain,
-                           std::vector<FlowRecord>& out);
+  // `ingest` and `ingest_batch` share one protocol implementation,
+  // parameterized over the record sink (see netflow_v9). Defined in the
+  // .cpp; both instantiations live there.
+  template <typename Sink>
+  bool ingest_impl(std::span<const std::uint8_t> message, Sink& sink);
+  template <typename Sink>
+  bool decode_template_set(ByteReader& r, std::uint32_t domain, Sink& sink);
+  template <typename Sink>
+  bool decode_data(ByteReader& r, const TemplateEntry& entry, Sink& sink);
+  template <typename Sink>
+  void recover_pending(std::uint32_t domain, std::uint16_t template_id,
+                       Sink& sink);
   bool decode_options_template_set(ByteReader& r, std::uint32_t domain);
   bool decode_data_set(ByteReader& r, const Template& tmpl,
                        std::vector<FlowRecord>& out);
@@ -193,8 +220,6 @@ class Collector {
                            std::uint32_t domain);
   void park_set(std::uint32_t domain, std::uint16_t template_id,
                 std::uint32_t sequence, ByteReader& body);
-  void recover_pending(std::uint32_t domain, std::uint16_t template_id,
-                       std::vector<FlowRecord>& out);
   void handle_restart(std::uint32_t domain, PerDomain& state);
 
   struct OptionsTemplate {
@@ -202,7 +227,8 @@ class Collector {
     std::vector<TemplateField> fields;
   };
   CollectorConfig config_;
-  std::map<std::pair<std::uint32_t, std::uint16_t>, Template> templates_;
+  std::map<std::pair<std::uint32_t, std::uint16_t>, TemplateEntry>
+      templates_;
   std::map<std::pair<std::uint32_t, std::uint16_t>, OptionsTemplate>
       options_templates_;
   std::map<std::uint32_t, std::uint32_t> announced_sampling_;

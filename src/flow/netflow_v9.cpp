@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <type_traits>
 
 namespace haystack::flow::nf9 {
 
@@ -62,6 +63,18 @@ void write_record(ByteWriter& w, const FlowRecord& rec) {
   w.u32(static_cast<std::uint32_t>(rec.end_ms));
   w.u32(rec.sampling);
 }
+
+// Record sinks for the shared decode implementation. The reference sink
+// appends FlowRecords via the per-field template walk; the batch sink
+// executes the compiled plan into SoA columns, falling back to the walk
+// (through a scratch vector) when the plan is not fast.
+struct RecordSink {
+  std::vector<FlowRecord>* out;
+};
+
+struct BatchSink {
+  FlowBatch* out;
+};
 
 }  // namespace
 
@@ -144,6 +157,19 @@ std::vector<std::vector<std::uint8_t>> Exporter::export_flows(
 
 bool Collector::ingest(std::span<const std::uint8_t> packet,
                        std::vector<FlowRecord>& out) {
+  RecordSink sink{&out};
+  return ingest_impl(packet, sink);
+}
+
+bool Collector::ingest_batch(std::span<const std::uint8_t> packet,
+                             FlowBatch& out) {
+  BatchSink sink{&out};
+  return ingest_impl(packet, sink);
+}
+
+template <typename Sink>
+bool Collector::ingest_impl(std::span<const std::uint8_t> packet,
+                            Sink& sink) {
   ByteReader r{packet};
   const std::uint16_t version = r.u16();
   const std::uint16_t count = r.u16();
@@ -213,7 +239,7 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
     }
     ByteReader body = r.slice(length - 4U);
     if (flowset_id == 0) {
-      if (!decode_template_flowset(body, source_id, out)) {
+      if (!decode_template_flowset(body, source_id, sink)) {
         ++stats_.malformed_packets;
         return false;
       }
@@ -224,7 +250,7 @@ bool Collector::ingest(std::span<const std::uint8_t> packet,
         // body so it can be decoded retroactively.
         ++stats_.unknown_template_flowsets;
         park_flowset(source_id, flowset_id, body);
-      } else if (!decode_data_flowset(body, it->second, out)) {
+      } else if (!decode_data(body, it->second, sink)) {
         ++stats_.malformed_packets;
         return false;
       }
@@ -292,9 +318,9 @@ void Collector::park_flowset(std::uint32_t source_id,
   }
 }
 
+template <typename Sink>
 void Collector::recover_pending(std::uint32_t source_id,
-                                std::uint16_t template_id,
-                                std::vector<FlowRecord>& out) {
+                                std::uint16_t template_id, Sink& sink) {
   const auto it_tmpl = templates_.find({source_id, template_id});
   if (it_tmpl == templates_.end()) return;
   for (auto it = pending_.begin(); it != pending_.end();) {
@@ -304,7 +330,7 @@ void Collector::recover_pending(std::uint32_t source_id,
     }
     ByteReader body{it->body};
     const std::uint64_t before = stats_.records;
-    if (decode_data_flowset(body, it_tmpl->second, out)) {
+    if (decode_data(body, it_tmpl->second, sink)) {
       ++stats_.recovered_flowsets;
       stats_.recovered_records += stats_.records - before;
       if (config_.recorder != nullptr) {
@@ -348,9 +374,10 @@ std::size_t Collector::pending_bytes() const noexcept {
   return bytes;
 }
 
+template <typename Sink>
 bool Collector::decode_template_flowset(ByteReader& r,
                                         std::uint32_t source_id,
-                                        std::vector<FlowRecord>& out) {
+                                        Sink& sink) {
   while (r.ok() && r.remaining() >= 4) {
     const std::uint16_t template_id = r.u16();
     const std::uint16_t field_count = r.u16();
@@ -359,19 +386,48 @@ bool Collector::decode_template_flowset(ByteReader& r,
     // corrupted length field, not a template (and must be rejected before
     // reserve() turns it into an allocation).
     if (std::size_t{field_count} * 4 > r.remaining()) return false;
-    Template tmpl;
-    tmpl.reserve(field_count);
+    TemplateEntry entry;
+    entry.fields.reserve(field_count);
     for (std::uint16_t i = 0; i < field_count; ++i) {
       const std::uint16_t type = r.u16();
       const std::uint16_t length = r.u16();
       if (!r.ok()) return false;
-      tmpl.push_back({type, length});
+      entry.fields.push_back({type, length});
     }
-    templates_[{source_id, template_id}] = std::move(tmpl);
+    // Compile the decode plan once per (re)announcement: a redefined
+    // template id gets a fresh plan along with its fresh field list.
+    std::vector<plan::WireField> wire;
+    wire.reserve(entry.fields.size());
+    for (const auto& f : entry.fields) {
+      wire.push_back({f.type, f.length, false});
+    }
+    entry.plan = plan::compile_netflow_v9(wire);
+    templates_[{source_id, template_id}] = std::move(entry);
     ++stats_.templates_learned;
-    recover_pending(source_id, template_id, out);
+    recover_pending(source_id, template_id, sink);
   }
   return r.ok();
+}
+
+template <typename Sink>
+bool Collector::decode_data(ByteReader& r, const TemplateEntry& entry,
+                            Sink& sink) {
+  if constexpr (std::is_same_v<Sink, BatchSink>) {
+    if (entry.plan.fast) {
+      if (entry.plan.record_len == 0) return false;  // as the reference
+      stats_.records += plan::execute(entry.plan, r.rest(), *sink.out);
+      return true;
+    }
+    // Plan cannot represent the template (never for v9 in practice, but
+    // kept for symmetry with IPFIX): reference walk through a scratch
+    // vector, preserving partial-decode behavior.
+    std::vector<FlowRecord> scratch;
+    const bool ok = decode_data_flowset(r, entry.fields, scratch);
+    for (const auto& rec : scratch) sink.out->push(rec);
+    return ok;
+  } else {
+    return decode_data_flowset(r, entry.fields, *sink.out);
+  }
 }
 
 bool Collector::decode_data_flowset(ByteReader& r, const Template& tmpl,

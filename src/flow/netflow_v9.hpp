@@ -20,8 +20,10 @@
 #include <span>
 #include <vector>
 
+#include "flow/flow_batch.hpp"
 #include "flow/gap_tracker.hpp"
 #include "flow/record.hpp"
+#include "flow/template_plan.hpp"
 #include "flow/wire.hpp"
 #include "obs/flight_recorder.hpp"
 
@@ -139,9 +141,17 @@ class Collector {
 
   /// Decodes one export packet, appending decoded records to `out`.
   /// Returns false when the packet was malformed (partial decode results
-  /// may still have been appended).
+  /// may still have been appended). This is the record-at-a-time
+  /// reference walk the differential tier pins `ingest_batch` against.
   bool ingest(std::span<const std::uint8_t> packet,
               std::vector<FlowRecord>& out);
+
+  /// Batch decode: identical protocol handling and statistics to
+  /// `ingest`, but data flowsets decode via the template's compiled
+  /// field-offset plan straight into `out`'s columns (ISSUE 6). For any
+  /// packet and collector state, appends exactly the rows `ingest` would
+  /// have appended, bit for bit.
+  bool ingest_batch(std::span<const std::uint8_t> packet, FlowBatch& out);
 
   [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
 
@@ -167,6 +177,13 @@ class Collector {
   };
   using Template = std::vector<TemplateField>;
 
+  /// A learned template plus its decode plan, compiled once at learn time
+  /// (templates are learned off the hot path; data flowsets are not).
+  struct TemplateEntry {
+    Template fields;
+    plan::CompiledPlan plan;
+  };
+
   struct PendingFlowset {
     std::uint32_t source_id = 0;
     std::uint16_t template_id = 0;
@@ -180,19 +197,31 @@ class Collector {
     std::uint32_t restarts = 0;
   };
 
+  // `ingest` and `ingest_batch` share one protocol implementation,
+  // parameterized over the record sink (RecordSink appends FlowRecords
+  // via the reference walk; BatchSink executes the compiled plan into
+  // FlowBatch columns). Defined in the .cpp; both instantiations live
+  // there.
+  template <typename Sink>
+  bool ingest_impl(std::span<const std::uint8_t> packet, Sink& sink);
+  template <typename Sink>
   bool decode_template_flowset(ByteReader& r, std::uint32_t source_id,
-                               std::vector<FlowRecord>& out);
+                               Sink& sink);
+  template <typename Sink>
+  bool decode_data(ByteReader& r, const TemplateEntry& entry, Sink& sink);
+  template <typename Sink>
+  void recover_pending(std::uint32_t source_id, std::uint16_t template_id,
+                       Sink& sink);
   bool decode_data_flowset(ByteReader& r, const Template& tmpl,
                            std::vector<FlowRecord>& out);
   void park_flowset(std::uint32_t source_id, std::uint16_t template_id,
                     ByteReader& body);
-  void recover_pending(std::uint32_t source_id, std::uint16_t template_id,
-                       std::vector<FlowRecord>& out);
   void handle_restart(std::uint32_t source_id, PerSource& source);
 
   CollectorConfig config_;
   // Templates are scoped by (source id, template id) per RFC 3954 §5.
-  std::map<std::pair<std::uint32_t, std::uint16_t>, Template> templates_;
+  std::map<std::pair<std::uint32_t, std::uint16_t>, TemplateEntry>
+      templates_;
   std::map<std::uint32_t, PerSource> sources_;
   std::deque<PendingFlowset> pending_;
   DatagramDeduper deduper_;

@@ -104,8 +104,13 @@ class ByteReader {
   /// Reads exactly `len` bytes into `out`; on short input fails the reader.
   bool bytes(std::span<std::uint8_t> out) noexcept {
     if (!require(out.size())) return false;
-    std::memcpy(out.data(), data_.data() + pos_, out.size());
-    pos_ += out.size();
+    // An empty span's data() may be null, and memcpy's pointer arguments
+    // are nonnull-annotated even for size 0 (UBSan finding: parking a
+    // zero-length flowset body).
+    if (!out.empty()) {
+      std::memcpy(out.data(), data_.data() + pos_, out.size());
+      pos_ += out.size();
+    }
     return true;
   }
 
@@ -114,6 +119,12 @@ class ByteReader {
     if (!require(len)) return false;
     pos_ += len;
     return true;
+  }
+
+  /// Remaining unread bytes as a span, without consuming them. Empty once
+  /// the reader has failed. Batch decode plans execute directly over this.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return ok_ ? data_.subspan(pos_) : std::span<const std::uint8_t>{};
   }
 
   /// Returns a sub-reader over the next `len` bytes and consumes them.

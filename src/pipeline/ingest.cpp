@@ -1,5 +1,6 @@
 #include "pipeline/ingest.hpp"
 
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -37,6 +38,7 @@ IngestPipeline::IngestPipeline(const core::Hitlist& hitlist,
                                const IngestConfig& config,
                                Normalizer normalizer)
     : config_{config},
+      fast_normalize_{!normalizer},
       normalizer_{normalizer ? std::move(normalizer)
                              : default_normalizer(config.anonymization_key)},
       owned_obs_{config.obs != nullptr
@@ -75,7 +77,12 @@ IngestPipeline::IngestPipeline(const core::Hitlist& hitlist,
       self_check_failures_{
           obs_->registry.counter("pipeline_self_check_failures_total")},
       cache_depth_{obs_->registry.gauge("metering_cache_depth")},
-      cache_high_water_{obs_->registry.gauge("metering_cache_high_water")} {
+      cache_high_water_{obs_->registry.gauge("metering_cache_high_water")},
+      decode_ns_per_record_{
+          obs_->registry.histogram("decode_batch_ns_per_record")},
+      decode_recovered_{
+          obs_->registry.gauge("decode_recovered_records")},
+      decode_parked_{obs_->registry.gauge("decode_parked_flowsets")} {
   nf5_.set_recorder(&obs_->recorder);
   auto make_stage = [this](std::uint32_t tag) {
     const obs::Labels labels{{"stage", obs::stage_name(tag)}};
@@ -98,9 +105,9 @@ IngestPipeline::IngestPipeline(const core::Hitlist& hitlist,
     stage.slow_wave_ns = config_.slow_wave_ns;
     return stage;
   };
-  normalize_ = std::make_unique<ShardPool<FlowBatch>>(
+  normalize_ = std::make_unique<ShardPool<DecodedBatch>>(
       stage_config(normalize_obs_, obs::kStageNormalize),
-      [this](unsigned, std::vector<FlowBatch>& wave) {
+      [this](unsigned, std::vector<DecodedBatch>& wave) {
         normalize_wave(wave);
       });
   decode_ = std::make_unique<ShardPool<Datagram>>(
@@ -136,7 +143,12 @@ bool IngestPipeline::push_flows(std::vector<flow::FlowRecord> flows,
   if (closed_.load(std::memory_order_acquire)) return false;
   obs_->recorder.set_hour(hour);
   const std::uint64_t n = flows.size();
-  if (!normalize_->submit(0, FlowBatch{hour, std::move(flows)})) return false;
+  auto rows = arena_.acquire();
+  rows->reserve(n);
+  for (const auto& rec : flows) rows->push(rec);
+  if (!normalize_->submit(0, DecodedBatch{hour, std::move(rows)})) {
+    return false;
+  }
   flows_in_->add(n);
   return true;
 }
@@ -167,11 +179,12 @@ void IngestPipeline::shutdown() {
   // Stop in dependency order: each stage's consumers downstream are still
   // alive while it drains, so nothing deadlocks on a full queue.
   metering_->stop();
-  // The metering worker is gone; flush the cache remnants on this thread.
-  std::vector<flow::FlowRecord> rest;
-  cache_.flush_all(rest);
+  // The metering worker is gone; flush the cache remnants on this thread
+  // (reusing its scratch lease, which the stopped worker no longer owns).
+  if (!meter_rows_) meter_rows_ = arena_.acquire();
+  cache_.flush_all(*meter_rows_);
   cache_depth_->set(cache_.active_flows());
-  emit_metered(std::move(rest),
+  emit_metered(std::move(meter_rows_),
                last_meter_hour_.load(std::memory_order_relaxed));
   decode_->stop();
   normalize_->stop();
@@ -181,69 +194,118 @@ void IngestPipeline::shutdown() {
 }
 
 void IngestPipeline::meter_wave(std::vector<MeterItem>& wave) {
-  std::vector<flow::FlowRecord> expired;
   for (const MeterItem& item : wave) {
     last_meter_hour_.store(item.hour, std::memory_order_relaxed);
-    expired.clear();
-    cache_.add(item.packet, expired);
+    if (!meter_rows_) meter_rows_ = arena_.acquire();
+    cache_.add(item.packet, *meter_rows_);
     const std::uint64_t panics = cache_.emergency_expiries();
     if (panics != last_emergency_expiries_) {
       emergency_expiries_->add(panics - last_emergency_expiries_);
       obs_->recorder.record(obs::EventKind::kCacheEmergencyExpiry,
-                            obs::kStageMeter, expired.size(),
+                            obs::kStageMeter, meter_rows_->size(),
                             panics - last_emergency_expiries_);
       last_emergency_expiries_ = panics;
     }
     const std::size_t depth = cache_.active_flows();
     cache_depth_->set(depth);
     cache_high_water_->max_of(depth);
-    emit_metered(std::move(expired), item.hour);
+    if (!meter_rows_->empty()) {
+      emit_metered(std::move(meter_rows_), item.hour);
+    }
   }
 }
 
-void IngestPipeline::emit_metered(std::vector<flow::FlowRecord> records,
+void IngestPipeline::emit_metered(flow::BatchArena::Lease rows,
                                   util::HourBin hour) {
-  if (records.empty()) return;
-  metered_flows_->add(records.size());
+  if (!rows || rows->empty()) return;
+  metered_flows_->add(rows->size());
   std::uint64_t packets = 0;
-  for (const auto& rec : records) packets += rec.packets;
+  for (const std::uint64_t p : rows->packets) packets += p;
   metered_packets_out_->add(packets);
-  normalize_->submit(0, FlowBatch{hour, std::move(records)});
+  normalize_->submit(0, DecodedBatch{hour, std::move(rows)});
 }
 
 void IngestPipeline::decode_wave(std::vector<Datagram>& wave) {
-  std::vector<flow::FlowRecord> records;
+  std::vector<flow::FlowRecord> v5_scratch;
+  [[maybe_unused]] std::uint64_t wave_ns = 0;
+  [[maybe_unused]] std::uint64_t wave_rows = 0;
   for (const Datagram& dgram : wave) {
-    records.clear();
+    auto rows = arena_.acquire();
     bool ok = false;
+    [[maybe_unused]] std::chrono::steady_clock::time_point t0;
+    if constexpr (!obs::kStripped) t0 = std::chrono::steady_clock::now();
     switch (sniff_version(dgram.bytes)) {
       case 5:
-        ok = nf5_.ingest(dgram.bytes, records);
+        // v5 is a fixed self-describing layout with no template state;
+        // decode through the record path and copy into the batch.
+        v5_scratch.clear();
+        ok = nf5_.ingest(dgram.bytes, v5_scratch);
+        for (const auto& rec : v5_scratch) rows->push(rec);
         break;
       case 9:
-        ok = nf9_.ingest(dgram.bytes, records);
+        ok = nf9_.ingest_batch(dgram.bytes, *rows);
         break;
       case 10:
-        ok = ipfix_.ingest(dgram.bytes, records);
+        ok = ipfix_.ingest_batch(dgram.bytes, *rows);
         break;
       default:
         unknown_version_->add(1);
         continue;
     }
+    if constexpr (!obs::kStripped) {
+      wave_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      wave_rows += rows->size();
+    }
     if (!ok) malformed_->add(1);
-    if (records.empty()) continue;
-    flows_decoded_->add(records.size());
-    normalize_->submit(0, FlowBatch{dgram.hour, std::move(records)});
+    if (rows->empty()) continue;
+    flows_decoded_->add(rows->size());
+    normalize_->submit(0, DecodedBatch{dgram.hour, std::move(rows)});
   }
+  if constexpr (!obs::kStripped) {
+    if (wave_rows != 0) decode_ns_per_record_->record(wave_ns / wave_rows);
+  }
+  decode_recovered_->set(static_cast<std::int64_t>(
+      nf9_.stats().recovered_records + ipfix_.stats().recovered_records));
+  decode_parked_->set(static_cast<std::int64_t>(
+      nf9_.stats().buffered_flowsets + ipfix_.stats().buffered_sets));
 }
 
-void IngestPipeline::normalize_wave(std::vector<FlowBatch>& wave) {
+void IngestPipeline::normalize_wave(std::vector<DecodedBatch>& wave) {
+  if (fast_normalize_) {
+    // Stock-normalizer fast path: read SoA columns straight into interned
+    // observations — no FlowRecord, no core::Observation, no second
+    // hitlist hash downstream. Exactly equivalent to the generic path
+    // below under default_normalizer (which never drops a flow).
+    std::vector<core::InternedObs> chunk;
+    const auto& sig_index = detector_.signature_index();
+    const std::uint64_t key = config_.anonymization_key;
+    for (const DecodedBatch& batch : wave) {
+      const flow::FlowBatch& rows = *batch.rows;
+      const util::DayBin day = util::day_of(batch.hour);
+      chunk.clear();
+      chunk.reserve(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        chunk.push_back(core::InternedObs{
+            telemetry::anonymize(rows.src[i], key), rows.packets[i],
+            sig_index.sig_of(rows.dst[i], rows.dst_port[i], day),
+            batch.hour});
+      }
+      if (chunk.empty()) continue;
+      observations_->add(chunk.size());
+      detector_.enqueue_interned(chunk);
+    }
+    return;
+  }
   std::vector<core::Observation> chunk;
-  for (const FlowBatch& batch : wave) {
+  for (const DecodedBatch& batch : wave) {
+    const flow::FlowBatch& rows = *batch.rows;
     chunk.clear();
-    chunk.reserve(batch.flows.size());
-    for (const flow::FlowRecord& rec : batch.flows) {
-      if (auto obs = normalizer_(rec, batch.hour)) {
+    chunk.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (auto obs = normalizer_(rows.record(i), batch.hour)) {
         chunk.push_back(*obs);
       } else {
         dropped_direction_->add(1);
@@ -281,6 +343,10 @@ IngestPipeline::Stats IngestPipeline::stats() const {
   out.metering_depth = static_cast<std::size_t>(cache_depth_->value());
   out.metering_high_water =
       static_cast<std::size_t>(cache_high_water_->value());
+  out.decode_recovered_records =
+      static_cast<std::uint64_t>(decode_recovered_->value());
+  out.decode_parked_flowsets =
+      static_cast<std::uint64_t>(decode_parked_->value());
   return out;
 }
 

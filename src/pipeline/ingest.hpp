@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/sharded_detector.hpp"
+#include "flow/flow_batch.hpp"
 #include "flow/flow_cache.hpp"
 #include "flow/ipfix.hpp"
 #include "flow/netflow_v5.hpp"
@@ -148,6 +149,11 @@ class IngestPipeline {
     std::uint64_t self_check_failures = 0; ///< conservation violations
     std::size_t metering_depth = 0;        ///< resident cache flows
     std::size_t metering_high_water = 0;   ///< max resident cache flows
+    /// Decode-stage template-recovery telemetry (nf9 + IPFIX summed),
+    /// exact after drain(): records decoded out of parked flowsets/sets,
+    /// and flowsets/sets ever parked awaiting a template.
+    std::uint64_t decode_recovered_records = 0;
+    std::uint64_t decode_parked_flowsets = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -180,18 +186,25 @@ class IngestPipeline {
     util::HourBin hour = 0;
     std::vector<std::uint8_t> bytes;
   };
-  struct FlowBatch {
+  /// Normalize-queue item (ISSUE 6): an arena-leased SoA batch. The lease
+  /// is released (batch returns to arena_'s pool) when the item is
+  /// consumed, so rows never outlive a wave.
+  struct DecodedBatch {
     util::HourBin hour = 0;
-    std::vector<flow::FlowRecord> flows;
+    flow::BatchArena::Lease rows;
   };
 
   void meter_wave(std::vector<MeterItem>& wave);
   void decode_wave(std::vector<Datagram>& wave);
-  void normalize_wave(std::vector<FlowBatch>& wave);
-  void emit_metered(std::vector<flow::FlowRecord> records,
-                    util::HourBin hour);
+  void normalize_wave(std::vector<DecodedBatch>& wave);
+  void emit_metered(flow::BatchArena::Lease rows, util::HourBin hour);
 
   IngestConfig config_;
+  /// True when running the stock normalizer: normalize reads SoA columns
+  /// straight into interned observations, never materializing FlowRecord
+  /// or core::Observation. Must be declared before normalizer_ (it is
+  /// initialized from the constructor parameter before the move).
+  bool fast_normalize_ = false;
   Normalizer normalizer_;
 
   // Observability must precede detector_: the member-init-list hands obs_
@@ -206,10 +219,16 @@ class IngestPipeline {
   StageInstruments decode_obs_;
   StageInstruments normalize_obs_;
 
+  // Wave-batch arena. Declared before every stage pool (and the scratch
+  // lease below) so leases held in queue items or stage state are
+  // destroyed before the arena — the lifetime contract of
+  // flow::BatchArena (DESIGN.md §9).
+  flow::BatchArena arena_;
+
   // Declaration order is reverse-topological so default destruction (after
   // shutdown()) tears down consumers last-to-first.
   core::ShardedDetector detector_;
-  std::unique_ptr<ShardPool<FlowBatch>> normalize_;
+  std::unique_ptr<ShardPool<DecodedBatch>> normalize_;
   std::unique_ptr<ShardPool<Datagram>> decode_;
   std::unique_ptr<ShardPool<MeterItem>> metering_;
 
@@ -219,8 +238,10 @@ class IngestPipeline {
   flow::nf5::Collector nf5_;
 
   // Metering-stage state (touched only by the metering worker, except the
-  // post-stop flush in shutdown()).
+  // post-stop flush in shutdown()). meter_rows_ is the lazily-acquired
+  // scratch lease expired flows accumulate into between emissions.
   flow::FlowCache cache_;
+  flow::BatchArena::Lease meter_rows_;
   std::atomic<std::uint32_t> last_meter_hour_{0};
   std::uint64_t last_emergency_expiries_ = 0;  // metering worker only
 
@@ -246,6 +267,11 @@ class IngestPipeline {
   std::shared_ptr<obs::Counter> self_check_failures_;
   std::shared_ptr<obs::Gauge> cache_depth_;
   std::shared_ptr<obs::Gauge> cache_high_water_;
+  /// ISSUE 6 series: per-wave batch-decode cost and template-recovery
+  /// snapshots (set by the decode worker, read by scrapes and stats()).
+  std::shared_ptr<obs::Histogram> decode_ns_per_record_;
+  std::shared_ptr<obs::Gauge> decode_recovered_;
+  std::shared_ptr<obs::Gauge> decode_parked_;
 };
 
 }  // namespace haystack::pipeline

@@ -101,16 +101,23 @@ class ShardPool {
     for (unsigned s = 0; s < config_.shards; ++s) {
       targets[s] = state_[s].submitted.load(std::memory_order_relaxed);
     }
-    std::unique_lock lock{drain_mu_};
-    drain_cv_.wait(lock, [&] {
-      for (unsigned s = 0; s < config_.shards; ++s) {
-        if (state_[s].completed.load(std::memory_order_acquire) <
-            targets[s]) {
-          return false;
+    // Announce the waiter before the predicate check so a worker that
+    // completes a wave after this store either sees the waiter (and
+    // notifies) or its completion is already visible to the predicate.
+    drain_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock lock{drain_mu_};
+      drain_cv_.wait(lock, [&] {
+        for (unsigned s = 0; s < config_.shards; ++s) {
+          if (state_[s].completed.load(std::memory_order_seq_cst) <
+              targets[s]) {
+            return false;
+          }
         }
-      }
-      return true;
-    });
+        return true;
+      });
+    }
+    drain_waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   /// Drain-then-stop: pending items are still consumed before workers
@@ -173,11 +180,19 @@ class ShardPool {
                             config_.slow_wave_ns, config_.stage_tag, n};
         handler_(shard, wave);
       }
-      state_[shard].completed.fetch_add(n, std::memory_order_release);
-      // Empty critical section pairs the notify with the waiter's
-      // predicate check so no drain() wakeup is lost.
-      { std::lock_guard lock{drain_mu_}; }
-      drain_cv_.notify_all();
+      state_[shard].completed.fetch_add(n, std::memory_order_seq_cst);
+      // Notify only when a drain() is actually parked (ISSUE 6): on the
+      // streaming hot path no one is waiting, and the shared-mutex
+      // lock/notify per wave was measurable contention across workers.
+      // The seq_cst completed-store / waiters-load here pairs with the
+      // waiter's seq_cst announce-then-check: either we see the waiter,
+      // or the waiter's predicate sees our completion.
+      if (drain_waiters_.load(std::memory_order_seq_cst) != 0) {
+        // Empty critical section pairs the notify with the waiter's
+        // predicate check so no drain() wakeup is lost.
+        { std::lock_guard lock{drain_mu_}; }
+        drain_cv_.notify_all();
+      }
     }
   }
 
@@ -188,6 +203,7 @@ class ShardPool {
   std::vector<std::thread> workers_;
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
+  std::atomic<int> drain_waiters_{0};
 };
 
 }  // namespace haystack::pipeline

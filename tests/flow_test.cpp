@@ -133,6 +133,36 @@ TEST(NetFlowV9Test, DataBeforeTemplateIsBufferedAndRecovered) {
   EXPECT_EQ(out.size(), 12u);
 }
 
+TEST(NetFlowV9Test, ZeroLengthUnknownFlowsetParksEmptyBody) {
+  // Regression (UBSan finding via fuzz_netflow_v9): a data flowset of
+  // declared length 4 — header only, zero body bytes — for an unknown
+  // template id parks an *empty* body. Copying that body handed memcpy a
+  // null destination pointer (an empty span's data() may be null).
+  ByteWriter w;
+  w.u16(9);            // version
+  w.u16(0);            // record count
+  w.u32(12345);        // sysUptime
+  w.u32(1574000000);   // unix secs
+  w.u32(1);            // sequence
+  w.u32(7);            // source id
+  w.u16(999);          // data flowset id, never announced
+  w.u16(4);            // declared length: flowset header only
+
+  nf9::Collector collector;
+  std::vector<FlowRecord> out;
+  EXPECT_TRUE(collector.ingest(w.data(), out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(collector.stats().unknown_template_flowsets, 1u);
+  EXPECT_EQ(collector.stats().buffered_flowsets, 1u);
+  EXPECT_EQ(collector.pending_flowsets(), 1u);
+
+  nf9::Collector batch_collector;
+  FlowBatch batch;
+  EXPECT_TRUE(batch_collector.ingest_batch(w.data(), batch));
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_EQ(batch_collector.stats().buffered_flowsets, 1u);
+}
+
 TEST(NetFlowV9Test, TemplatesAreScopedBySourceId) {
   nf9::Exporter exporter_a{{.source_id = 1}};
   nf9::Exporter exporter_b{{.source_id = 2, .template_refresh_packets = 100}};

@@ -64,14 +64,16 @@ std::vector<Bytes> build_corpus() {
 }
 
 // IPFIX framing: 16-byte header (version, length, export time, sequence,
-// domain), then sets at (id u16, length u16) boundaries.
+// domain), then sets at (id u16, length u16) boundaries. In a
+// template-first message the field-spec list (type u16, length u16
+// pairs) starts at offset 24.
 void structure_mutate(Bytes& data, haystack::util::Pcg32& rng) {
   if (data.size() < 20) return;
   const auto put_u16 = [&](std::size_t pos, std::uint16_t v) {
     data[pos] = static_cast<std::uint8_t>(v >> 8);
     data[pos + 1] = static_cast<std::uint8_t>(v);
   };
-  switch (rng.bounded(5)) {
+  switch (rng.bounded(7)) {
     case 0:  // total-length corruption (the header's own length field)
       put_u16(2, static_cast<std::uint16_t>(rng.bounded(0x10000)));
       break;
@@ -93,6 +95,24 @@ void structure_mutate(Bytes& data, haystack::util::Pcg32& rng) {
                        : 0xffffU);
       break;
     }
+    case 4: {  // declared-length lie: a template field's length slot set
+               // to 0 / tiny / enormous, so the compiled plan's record
+               // length disagrees with the data sets that follow
+      constexpr std::uint16_t kLies[] = {0, 1, 3, 5, 0x00ff, 0xfffe};
+      const std::size_t pos = 26 + 4 * rng.bounded(8);
+      if (pos + 1 >= data.size()) break;
+      put_u16(pos, kLies[rng.bounded(6)]);
+      break;
+    }
+    case 5: {  // template redefinition mid-stream: flip a field *type*,
+               // so the persistent collector sees this template id
+               // re-announced with a different layout and must recompile
+               // its plan (offsets shift for every later field)
+      const std::size_t pos = 24 + 4 * rng.bounded(8);
+      if (pos + 1 >= data.size()) break;
+      put_u16(pos, static_cast<std::uint16_t>(rng.bounded(512)));
+      break;
+    }
     default:  // truncate mid-set, keeping the header length plausible
       data.resize(16 + rng.bounded(
                            static_cast<std::uint32_t>(data.size() - 16)));
@@ -102,37 +122,76 @@ void structure_mutate(Bytes& data, haystack::util::Pcg32& rng) {
 }
 
 bool check(std::span<const std::uint8_t> input) {
+  // Each reference collector is mirrored by a batch collector fed the
+  // identical input sequence: ingest() (record-at-a-time walk) and
+  // ingest_batch() (compiled-plan zero-copy decode) must agree on the
+  // verdict, the statistics, and every decoded row — bit for bit — for
+  // ARBITRARY bytes, not just well-formed exporter output. This is the
+  // fuzz-shaped form of the differential tier at the decode entry point.
   static ipfix::Collector persistent;
+  static ipfix::Collector persistent_batch;
   ipfix::Collector fresh;
-  for (ipfix::Collector* collector : {&persistent, &fresh}) {
+  ipfix::Collector fresh_batch;
+  struct Pair {
+    ipfix::Collector* ref;
+    ipfix::Collector* batch;
+  };
+  for (const Pair p : {Pair{&persistent, &persistent_batch},
+                       Pair{&fresh, &fresh_batch}}) {
     std::vector<FlowRecord> out;
     const std::uint64_t malformed_before =
-        collector->stats().malformed_messages;
+        p.ref->stats().malformed_messages;
     // A template in this message can release sets parked by earlier
     // iterations, so the record-per-byte bound covers those bytes too.
-    const std::size_t budget = input.size() + collector->pending_bytes();
-    const bool accepted = collector->ingest(input, out);
+    const std::size_t budget = input.size() + p.ref->pending_bytes();
+    const bool accepted = p.ref->ingest(input, out);
     if (out.size() > budget) return false;
     if (!accepted &&
-        collector->stats().malformed_messages == malformed_before) {
+        p.ref->stats().malformed_messages == malformed_before) {
+      return false;
+    }
+
+    FlowBatch batch;
+    if (p.batch->ingest_batch(input, batch) != accepted) return false;
+    if (batch.size() != out.size()) return false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (batch.record(i) != out[i]) return false;
+    }
+    if (p.batch->stats().malformed_messages !=
+            p.ref->stats().malformed_messages ||
+        p.batch->stats().records != p.ref->stats().records ||
+        p.batch->stats().recovered_records !=
+            p.ref->stats().recovered_records) {
       return false;
     }
   }
-  // Liveness after arbitrary input. The persistent collector must keep
+  // Liveness after arbitrary input. The persistent collectors must keep
   // *returning* on pristine traffic (a fuzzed message may legitimately
   // have registered an options template that shadows this domain's data
   // template id, so the record count is not asserted there); a collector
-  // that only ever sees valid messages must keep round-tripping exactly.
+  // that only ever sees valid messages must keep round-tripping exactly
+  // through both decode paths.
   static ipfix::Collector pristine_only;
+  static ipfix::Collector pristine_only_batch;
   ipfix::Exporter exporter{{.observation_domain = 991,
                             .template_refresh_messages = 1}};
   std::vector<FlowRecord> records{sample_record(1, false),
                                   sample_record(2, true)};
   std::vector<FlowRecord> decoded;
   std::vector<FlowRecord> ignored;
+  FlowBatch decoded_batch;
+  FlowBatch ignored_batch;
   for (const auto& message : exporter.export_flows(records, 1574000000)) {
     (void)persistent.ingest(message, ignored);
+    (void)persistent_batch.ingest_batch(message, ignored_batch);
     if (!pristine_only.ingest(message, decoded)) return false;
+    if (!pristine_only_batch.ingest_batch(message, decoded_batch)) {
+      return false;
+    }
+  }
+  if (decoded_batch.size() != decoded.size()) return false;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (decoded_batch.record(i) != decoded[i]) return false;
   }
   return decoded.size() == records.size();
 }

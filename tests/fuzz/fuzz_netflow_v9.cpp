@@ -65,10 +65,11 @@ std::vector<Bytes> build_corpus() {
 }
 
 // v9 framing offsets: 20-byte header, then flowsets at (id u16, length
-// u16) boundaries.
+// u16) boundaries. In a template-first packet the field-spec list (type
+// u16, length u16 pairs) starts at offset 28.
 void structure_mutate(Bytes& data, haystack::util::Pcg32& rng) {
   if (data.size() < 24) return;
-  switch (rng.bounded(4)) {
+  switch (rng.bounded(6)) {
     case 0: {  // corrupt the first flowset's length field
       const std::uint16_t v = static_cast<std::uint16_t>(rng.bounded(0x10000));
       data[22] = static_cast<std::uint8_t>(v >> 8);
@@ -95,6 +96,28 @@ void structure_mutate(Bytes& data, haystack::util::Pcg32& rng) {
       data[27] = static_cast<std::uint8_t>(v);
       break;
     }
+    case 3: {  // declared-length lie: a template field's length slot set
+               // to 0 / tiny / enormous, so the compiled plan's record
+               // length disagrees with what the data flowset carries
+      constexpr std::uint16_t kLies[] = {0, 1, 3, 5, 0x00ff, 0xffff};
+      const std::size_t pos = 30 + 4 * rng.bounded(8);
+      if (pos + 1 >= data.size()) break;
+      const std::uint16_t v = kLies[rng.bounded(6)];
+      data[pos] = static_cast<std::uint8_t>(v >> 8);
+      data[pos + 1] = static_cast<std::uint8_t>(v);
+      break;
+    }
+    case 4: {  // template redefinition mid-stream: flip a field *type*,
+               // so the persistent collector sees the same template id
+               // re-announced with a different layout and must recompile
+               // its plan (offsets shift for every later field)
+      const std::size_t pos = 28 + 4 * rng.bounded(8);
+      if (pos + 1 >= data.size()) break;
+      const std::uint16_t v = static_cast<std::uint16_t>(rng.bounded(512));
+      data[pos] = static_cast<std::uint8_t>(v >> 8);
+      data[pos + 1] = static_cast<std::uint8_t>(v);
+      break;
+    }
     default:  // truncate at a pseudo-flowset boundary (4-byte aligned)
       data.resize(20 + 4 * rng.bounded(
                            static_cast<std::uint32_t>(data.size() / 4)));
@@ -103,32 +126,62 @@ void structure_mutate(Bytes& data, haystack::util::Pcg32& rng) {
 }
 
 bool check(std::span<const std::uint8_t> input) {
+  // Each reference collector is mirrored by a batch collector fed the
+  // identical input sequence: ingest() (record-at-a-time walk) and
+  // ingest_batch() (compiled-plan zero-copy decode) must agree on the
+  // verdict, the statistics, and every decoded row — bit for bit — for
+  // ARBITRARY bytes, not just well-formed exporter output. This is the
+  // fuzz-shaped form of the differential tier at the decode entry point.
   static nf9::Collector persistent;  // stateful across iterations
+  static nf9::Collector persistent_batch;
   nf9::Collector fresh;
-  for (nf9::Collector* collector : {&persistent, &fresh}) {
+  nf9::Collector fresh_batch;
+  struct Pair {
+    nf9::Collector* ref;
+    nf9::Collector* batch;
+  };
+  for (const Pair p : {Pair{&persistent, &persistent_batch},
+                       Pair{&fresh, &fresh_batch}}) {
     std::vector<FlowRecord> out;
-    const std::uint64_t malformed_before =
-        collector->stats().malformed_packets;
+    const std::uint64_t malformed_before = p.ref->stats().malformed_packets;
     // A template in this packet can release flowsets parked by earlier
     // iterations, so the record-per-byte bound covers those bytes too.
-    const std::size_t budget = input.size() + collector->pending_bytes();
-    const bool accepted = collector->ingest(input, out);
+    const std::size_t budget = input.size() + p.ref->pending_bytes();
+    const bool accepted = p.ref->ingest(input, out);
     if (out.size() > budget) return false;  // record-per-byte bound
     if (!accepted &&
-        collector->stats().malformed_packets == malformed_before) {
+        p.ref->stats().malformed_packets == malformed_before) {
       return false;  // rejection must be accounted
     }
+
+    FlowBatch batch;
+    if (p.batch->ingest_batch(input, batch) != accepted) return false;
+    if (batch.size() != out.size()) return false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (batch.record(i) != out[i]) return false;
+    }
+    if (p.batch->stats().malformed_packets !=
+            p.ref->stats().malformed_packets ||
+        p.batch->stats().records != p.ref->stats().records ||
+        p.batch->stats().recovered_records !=
+            p.ref->stats().recovered_records) {
+      return false;
+    }
   }
-  // The persistent collector must still decode pristine traffic: a fuzzed
-  // packet may legitimately poison templates (that is protocol-valid), so
-  // re-announce templates the way a real exporter would and round-trip.
+  // The persistent collectors must still decode pristine traffic: a
+  // fuzzed packet may legitimately poison templates (that is
+  // protocol-valid), so re-announce templates the way a real exporter
+  // would and round-trip — through both decode paths.
   nf9::Exporter exporter{{.source_id = 991, .template_refresh_packets = 1}};
   std::vector<FlowRecord> records{sample_record(3, false),
                                   sample_record(4, true)};
   std::vector<FlowRecord> decoded;
+  FlowBatch decoded_batch;
   for (const auto& packet : exporter.export_flows(records, 1574000000)) {
     if (!persistent.ingest(packet, decoded)) return false;
+    if (!persistent_batch.ingest_batch(packet, decoded_batch)) return false;
   }
+  if (decoded_batch.size() != decoded.size()) return false;
   return decoded.size() == records.size();
 }
 

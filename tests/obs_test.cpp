@@ -568,6 +568,13 @@ TEST(PipelineObsTest, ScrapeWhileIngestingIsRaceFree) {
   }
   for (auto& p : producers) p.join();
   pipe.drain();
+  // The coalesced pipeline can drain this whole workload inside one
+  // reporter period; give the background thread a bounded window to
+  // complete a scrape before stopping so the assertion is not a race
+  // against ingest speed.
+  for (int spin = 0; spin < 2000 && reporter.scrapes() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
   reporter.stop();
 
   EXPECT_GE(reporter.scrapes(), 1u);

@@ -341,5 +341,177 @@ TEST_F(PipelineStressTest, TinyCapacityDatagramSoak) {
             0u);
 }
 
+// ---------------------------------------------------------------------------
+// ISSUE 6 satellite 2: intern-table concurrency. intern() and
+// find()/name() may race from any number of threads; handles handed out
+// must be dense, stable, and agreed-on by every thread. Under
+// HAYSTACK_SANITIZE=thread this is the designated intern-vs-lookup
+// workload.
+TEST(InternTableStress, ConcurrentInternAndLookupAgree) {
+  core::InternTable table;
+  constexpr unsigned kThreads = 4;
+  // Prime, so every per-thread odd stride below is coprime with it and
+  // each thread visits the full name universe.
+  constexpr std::uint32_t kNames = 2999;
+
+  const auto name_of = [](std::uint32_t i) {
+    return "domain-" + std::to_string(i) + ".example";
+  };
+
+  // Each thread interns the same universe in a different order while also
+  // looking up names other threads may be mid-intern on; every thread
+  // records the handle it observed for each name.
+  std::vector<std::vector<std::uint32_t>> seen(
+      kThreads, std::vector<std::uint32_t>(kNames, core::InternTable::kInvalid));
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint32_t i = 0; i < kNames; ++i) {
+        // Stride by a per-thread odd step so threads collide on names
+        // mid-intern rather than marching in lockstep.
+        const std::uint32_t idx =
+            (i * (2 * t + 3) + t * 101) % kNames;
+        const std::string n = name_of(idx);
+        const std::uint32_t h = table.intern(n);
+        seen[t][idx] = h;
+        // Lookup of a possibly-concurrent intern: either absent or the
+        // same handle every other thread gets; name() must round-trip.
+        const std::uint32_t found = table.find(name_of((idx + 1) % kNames));
+        if (found != core::InternTable::kInvalid) {
+          EXPECT_EQ(table.name(found), name_of((idx + 1) % kNames));
+        }
+        EXPECT_EQ(table.name(h), n);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ASSERT_EQ(table.size(), kNames);
+  for (std::uint32_t i = 0; i < kNames; ++i) {
+    const std::uint32_t h = table.find(name_of(i));
+    ASSERT_NE(h, core::InternTable::kInvalid);
+    ASSERT_LT(h, kNames);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][i], h) << "thread " << t << " name " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ISSUE 6 satellite 5: FlowCache emergency expiry × arena-backed batches.
+// An emergency expiry dumps the whole cache into the currently leased
+// batch; the rows must be value copies (no references into cache memory —
+// ASan would flag a dangling read below), and the arena must trim the
+// ballooned capacity on release instead of pooling it forever.
+TEST(FlowCacheArenaStress, EmergencyExpiryRowsOutliveCacheAndArenaTrims) {
+  flow::BatchArena arena{{.max_pool = 4, .trim_rows = 64}};
+  constexpr std::size_t kMaxEntries = 128;
+
+  flow::BatchArena::Lease burst = arena.acquire();
+  {
+    flow::FlowCache cache{{.active_timeout_ms = 60'000,
+                           .idle_timeout_ms = 15'000,
+                           .max_entries = kMaxEntries}};
+    // Distinct keys, same timestamp: nothing times out, so the cache
+    // grows until the emergency bound flushes it wholesale.
+    for (std::uint32_t i = 0; i < 4 * kMaxEntries; ++i) {
+      flow::PacketEvent ev;
+      ev.key.src = net::IpAddress::v4(0x0A000000U + i);
+      ev.key.dst = net::IpAddress::v4(0x22000000U + i);
+      ev.key.src_port = static_cast<std::uint16_t>(1024 + (i % 50000));
+      ev.key.dst_port = 443;
+      ev.key.proto = 6;
+      ev.bytes = 100 + i;
+      ev.timestamp_ms = 1000;
+      cache.add(ev, *burst);
+    }
+    EXPECT_GT(cache.emergency_expiries(), 0u);
+    EXPECT_GT(burst->size(), kMaxEntries);
+    // The cache dies here; the batch rows must remain fully readable.
+  }
+  std::uint64_t total_bytes = 0;
+  for (std::size_t i = 0; i < burst->size(); ++i) {
+    total_bytes += burst->record(i).bytes;
+  }
+  EXPECT_GT(total_bytes, 0u);
+
+  const std::size_t burst_capacity = burst->capacity_rows();
+  EXPECT_GT(burst_capacity, 64u);
+  burst.reset();  // release: capacity above trim_rows must be trimmed
+
+  EXPECT_GT(arena.stats().trimmed, 0u);
+  flow::BatchArena::Lease reused = arena.acquire();
+  EXPECT_GT(arena.stats().reused, 0u);
+  EXPECT_LE(reused->capacity_rows(), 64u);
+}
+
+// Pipeline-level soak of the same interaction (stress label, TSan/ASan):
+// a tiny metering cache forces emergency expiries while concurrent
+// producers keep pushing packets; packet conservation through the cache
+// must survive the burst flushes, and every expired row must flow through
+// the normalize stage without referencing freed cache state.
+TEST(FlowCacheArenaStress, PipelineEmergencyExpirySoakConservesPackets) {
+  IngestConfig cfg;
+  cfg.shards = 2;
+  cfg.queue_capacity = 8;
+  cfg.metering.max_entries = 64;
+  cfg.metering.active_timeout_ms = 5'000;
+  cfg.metering.idle_timeout_ms = 1'000;
+  const auto rules = [] {
+    core::RuleSet rs;
+    core::DetectionRule rule;
+    rule.service = 0;
+    rule.name = "svc";
+    rule.level = core::Level::kManufacturer;
+    rule.monitored_domains = 4;
+    for (std::uint16_t m = 0; m < 4; ++m) {
+      rule.monitored_indices.push_back(m);
+      for (util::DayBin d = 0; d < 3; ++d) {
+        rs.hitlist.add(net::IpAddress::v4(0x22000000U + m), 443, d,
+                       {0, m});
+      }
+    }
+    rs.rules.push_back(std::move(rule));
+    return rs;
+  }();
+  IngestPipeline pipe{rules.hitlist, rules, cfg};
+
+  constexpr unsigned kProducers = 3;
+  constexpr std::uint32_t kPacketsPerProducer = 3000;
+  std::vector<std::thread> producers;
+  for (unsigned t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&pipe, t] {
+      for (std::uint32_t i = 0; i < kPacketsPerProducer; ++i) {
+        flow::PacketEvent ev;
+        // Mostly-distinct keys keep the tiny cache at its emergency
+        // bound; a sliver of hitlist-bound traffic exercises detection
+        // on the expired rows.
+        ev.key.src = net::IpAddress::v4(0x0A000000U + t * 1'000'000 + i);
+        ev.key.dst = i % 16 == 0
+                         ? net::IpAddress::v4(0x22000000U + (i % 4))
+                         : net::IpAddress::v4(0x33000000U + i);
+        ev.key.src_port = 40000;
+        ev.key.dst_port = 443;
+        ev.key.proto = 6;
+        ev.bytes = 64;
+        ev.timestamp_ms = 1000 + i;
+        if (!pipe.push_packet(ev, 1)) break;
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  pipe.drain();
+  pipe.shutdown();
+
+  const auto stats = pipe.stats();
+  EXPECT_EQ(stats.packets_metered, kProducers * kPacketsPerProducer);
+  EXPECT_GT(stats.emergency_expiries, 0u);
+  // Conservation: after shutdown's cache flush, every metered packet is
+  // accounted for in the expired flows.
+  EXPECT_EQ(stats.metered_packets_out, stats.packets_metered);
+  const auto check = pipe.self_check();
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
 }  // namespace
 }  // namespace haystack::pipeline

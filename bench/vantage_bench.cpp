@@ -1,0 +1,299 @@
+// Multi-vantage fleet benchmark (ISSUE 7): aggregator merge throughput
+// and delta-channel volume at 2/4/8 collectors.
+//
+// Two measurements per fleet size:
+//
+//   merge: the wild-ISP scenario is replayed once to pre-seal every
+//   collector's per-hour delta datagrams, then a fresh aggregator folds
+//   the whole stream while the clock runs — isolating offer()+seal from
+//   simulation cost. Reported as rows merged per second (best of
+//   BENCH_REPS runs, default 3).
+//
+//   channel: total delta bytes the fleet hands to the channel divided by
+//   study hours — the per-aggregator-link bandwidth a deployment budgets
+//   for (the paper's collectors ship compact evidence deltas, not flows).
+//
+// Writes a JSON summary (default BENCH_vantage.json, argv[1] overrides):
+//
+//   bench/vantage_bench [out.json]
+//   HAYSTACK_LINES=40000 BENCH_REPS=5 bench/vantage_bench
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "pipeline/ingest.hpp"
+#include "pipeline/scenario_runner.hpp"
+#include "simnet/scenario.hpp"
+#include "vantage/aggregator.hpp"
+#include "vantage/collector.hpp"
+#include "vantage/fleet.hpp"
+
+namespace {
+
+using namespace haystack;
+
+constexpr unsigned kHours = 48;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct FleetResult {
+  unsigned collectors = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t datagrams = 0;
+  std::uint64_t rows_merged = 0;
+  std::uint64_t delta_bytes = 0;
+  double merge_seconds = 0.0;
+  double merge_rows_per_sec = 0.0;
+  double delta_bytes_per_hour = 0.0;
+};
+
+FleetResult run_fleet(const core::RuleSet& rules, simnet::WildIspSim& wild,
+                      unsigned collectors, unsigned reps) {
+  FleetResult out;
+  out.collectors = collectors;
+
+  // Phase 1: replay the study once, sealing every collector's per-hour
+  // delta in arrival order. This is the exact byte stream a clean channel
+  // would deliver.
+  const core::DetectorConfig detector{};
+  std::vector<std::unique_ptr<vantage::Collector>> fleet;
+  for (unsigned i = 0; i < collectors; ++i) {
+    fleet.push_back(std::make_unique<vantage::Collector>(
+        rules.hitlist, rules,
+        vantage::CollectorConfig{.id = i, .detector = detector}));
+  }
+  const pipeline::Normalizer normalize = pipeline::default_normalizer(1);
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  for (util::HourBin h = 0; h < kHours; ++h) {
+    wild.hour_observations(h, [&](const simnet::WildObs& obs) {
+      if (auto normalized = normalize(obs.flow, h)) {
+        ++out.observations;
+        fleet[normalized->server.hash() % collectors]->ingest(*normalized);
+      }
+    });
+    for (auto& collector : fleet) {
+      datagrams.push_back(collector->seal_epoch(h));
+    }
+  }
+  out.datagrams = datagrams.size();
+
+  // Phase 2: fold the pre-sealed stream into a fresh aggregator, timed.
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    vantage::Aggregator agg{rules.hitlist, rules,
+                            vantage::AggregatorConfig{.detector = detector}};
+    for (unsigned i = 0; i < collectors; ++i) agg.add_collector(i, 0);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& datagram : datagrams) {
+      const auto result = agg.offer(datagram);
+      if (!result.accepted) {
+        std::fprintf(stderr, "vantage_bench: rejected delta: %s\n",
+                     result.detail.c_str());
+        std::exit(1);
+      }
+    }
+    const double elapsed = seconds_since(start);
+    const auto counters = agg.counters();
+    if (rep == 0 || elapsed < out.merge_seconds) {
+      out.merge_seconds = elapsed;
+      out.rows_merged = counters.rows_merged;
+      out.delta_bytes = counters.delta_bytes;
+    }
+  }
+  out.merge_rows_per_sec =
+      out.merge_seconds > 0.0
+          ? static_cast<double>(out.rows_merged) / out.merge_seconds
+          : 0.0;
+  out.delta_bytes_per_hour = static_cast<double>(out.delta_bytes) / kHours;
+  return out;
+}
+
+// Delta-loss sweep: the merged evidence map is bit-for-bit invariant
+// under channel loss (the differential suite proves it), so what loss
+// actually costs is aggregator LATENCY — an epoch cannot seal until every
+// collector's delta for it survives the channel, so dropped deltas push
+// sealing into later hours via retransmission. Seal lag for epoch e is
+// (process hour at which e merged) - e; epochs that only seal in the
+// final drain are charged the end-of-study lag.
+struct LossResult {
+  double drop = 0.0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t delta_bytes = 0;
+  double mean_seal_lag_hours = 0.0;
+  double max_seal_lag_hours = 0.0;
+  unsigned sealed_in_drain = 0;
+};
+
+LossResult run_loss(const core::RuleSet& rules, simnet::WildIspSim& wild,
+                    double drop, std::uint64_t seed) {
+  LossResult out;
+  out.drop = drop;
+  vantage::FleetConfig fcfg;
+  fcfg.collectors = 4;
+  fcfg.seed = seed;
+  if (drop > 0.0) {
+    fcfg.delta_impairment =
+        flow::ImpairmentConfig{.seed = seed, .drop = drop};
+  }
+  vantage::Fleet fleet{rules.hitlist, rules, fcfg};
+  const pipeline::Normalizer normalize = pipeline::default_normalizer(1);
+  std::vector<core::Observation> hour_obs;
+  std::vector<double> lags;
+  util::HourBin sealed_through = 0;  // count of sealed epochs
+  for (util::HourBin h = 0; h < kHours; ++h) {
+    hour_obs.clear();
+    wild.hour_observations(h, [&](const simnet::WildObs& obs) {
+      if (auto normalized = normalize(obs.flow, h)) {
+        hour_obs.push_back(*normalized);
+      }
+    });
+    fleet.process_hour(h, hour_obs);
+    const auto merged = fleet.aggregator().merged_through();
+    const util::HourBin now = merged ? *merged + 1 : 0;
+    for (util::HourBin e = sealed_through; e < now; ++e) {
+      lags.push_back(static_cast<double>(h - e));
+    }
+    sealed_through = now;
+  }
+  if (!fleet.finish()) {
+    std::fprintf(stderr, "vantage_bench: fleet failed to drain\n");
+    std::exit(1);
+  }
+  out.sealed_in_drain = kHours - sealed_through;
+  for (util::HourBin e = sealed_through; e < kHours; ++e) {
+    lags.push_back(static_cast<double>(kHours - e));
+  }
+  for (const double lag : lags) {
+    out.mean_seal_lag_hours += lag;
+    out.max_seal_lag_hours = std::max(out.max_seal_lag_hours, lag);
+  }
+  out.mean_seal_lag_hours /= static_cast<double>(lags.size());
+  out.retransmissions = fleet.total_retransmissions();
+  out.delta_bytes = fleet.bytes_sent();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_vantage.json";
+  const auto lines = bench::env_u64("HAYSTACK_LINES", 20000);
+  const auto seed = bench::env_u64("HAYSTACK_SEED", 7);
+  const auto reps =
+      static_cast<unsigned>(bench::env_u64("BENCH_REPS", 3));
+
+  std::ostringstream text;
+  text << "lines " << lines << "\nseed " << seed << "\n";
+  std::istringstream stream{text.str()};
+  const auto scenario = simnet::parse_scenario(stream);
+  if (!scenario) {
+    std::fprintf(stderr, "vantage_bench: scenario parse failed\n");
+    return 1;
+  }
+
+  simnet::Catalog catalog;
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+  const core::RuleSet rules = simnet::build_ruleset(backend);
+  simnet::Population population{catalog,
+                                scenario->apply(simnet::PopulationConfig{})};
+  simnet::DomainRateModel rates{catalog, 7};
+
+  std::vector<FleetResult> results;
+  for (const unsigned collectors : {2U, 4U, 8U}) {
+    // A fresh sim per fleet size keeps the observation stream identical
+    // across runs (WildIspSim generation is seed-deterministic).
+    simnet::WildIspSim wild{backend, population, rates,
+                            scenario->apply(simnet::WildIspConfig{})};
+    const FleetResult r = run_fleet(rules, wild, collectors, reps);
+    std::printf(
+        "collectors=%u obs=%llu datagrams=%llu rows=%llu "
+        "merge=%.1f Mrows/s channel=%.1f KiB/h\n",
+        r.collectors, static_cast<unsigned long long>(r.observations),
+        static_cast<unsigned long long>(r.datagrams),
+        static_cast<unsigned long long>(r.rows_merged),
+        r.merge_rows_per_sec / 1e6, r.delta_bytes_per_hour / 1024.0);
+    results.push_back(r);
+  }
+
+  std::vector<LossResult> losses;
+  for (const double drop : {0.0, 0.05, 0.15, 0.30, 0.50}) {
+    simnet::WildIspSim wild{backend, population, rates,
+                            scenario->apply(simnet::WildIspConfig{})};
+    const LossResult r = run_loss(rules, wild, drop, seed);
+    std::printf(
+        "drop=%.2f retransmissions=%llu mean_lag=%.2fh max_lag=%.0fh "
+        "drain_sealed=%u channel=%.1f KiB/h\n",
+        r.drop, static_cast<unsigned long long>(r.retransmissions),
+        r.mean_seal_lag_hours, r.max_seal_lag_hours, r.sealed_in_drain,
+        static_cast<double>(r.delta_bytes) / kHours / 1024.0);
+    losses.push_back(r);
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "vantage_bench: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"vantage_fleet\",\n"
+               "  \"lines\": %llu,\n"
+               "  \"hours\": %u,\n"
+               "  \"seed\": %llu,\n"
+               "  \"reps\": %u,\n"
+               "  \"fleets\": [\n",
+               static_cast<unsigned long long>(lines), kHours,
+               static_cast<unsigned long long>(seed), reps);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FleetResult& r = results[i];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"collectors\": %u,\n"
+                 "      \"observations\": %llu,\n"
+                 "      \"datagrams\": %llu,\n"
+                 "      \"rows_merged\": %llu,\n"
+                 "      \"delta_bytes\": %llu,\n"
+                 "      \"merge_seconds\": %.6f,\n"
+                 "      \"merge_rows_per_sec\": %.1f,\n"
+                 "      \"delta_bytes_per_hour\": %.1f\n"
+                 "    }%s\n",
+                 r.collectors,
+                 static_cast<unsigned long long>(r.observations),
+                 static_cast<unsigned long long>(r.datagrams),
+                 static_cast<unsigned long long>(r.rows_merged),
+                 static_cast<unsigned long long>(r.delta_bytes),
+                 r.merge_seconds, r.merge_rows_per_sec,
+                 r.delta_bytes_per_hour,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"loss_sweep\": [\n");
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const LossResult& r = losses[i];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"delta_drop\": %.2f,\n"
+                 "      \"retransmissions\": %llu,\n"
+                 "      \"delta_bytes\": %llu,\n"
+                 "      \"mean_seal_lag_hours\": %.3f,\n"
+                 "      \"max_seal_lag_hours\": %.1f,\n"
+                 "      \"epochs_sealed_in_drain\": %u\n"
+                 "    }%s\n",
+                 r.drop, static_cast<unsigned long long>(r.retransmissions),
+                 static_cast<unsigned long long>(r.delta_bytes),
+                 r.mean_seal_lag_hours, r.max_seal_lag_hours,
+                 r.sealed_in_drain, i + 1 < losses.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -11,6 +11,26 @@
 
 namespace haystack::core {
 
+bool resolve_service_label(std::string_view label, const RuleSet& rules,
+                           ServiceId& out) {
+  if (label.starts_with("svc/")) {
+    const std::string_view digits = label.substr(4);
+    unsigned value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size() ||
+        value > 0xffffU) {
+      return false;
+    }
+    out = static_cast<ServiceId>(value);
+    return true;
+  }
+  const DetectionRule* rule = rules.rule_by_name(label);
+  if (rule == nullptr) return false;
+  out = rule->service;
+  return true;
+}
+
 namespace {
 
 struct Entry {
@@ -118,28 +138,6 @@ void parse_evidence(flow::ByteReader& r, Evidence& ev) {
   ev.satisfied_hour = r.u32();
 }
 
-/// Resolves an interned label back to a service id via the restoring
-/// detector's rule set ("svc/<id>" labels carry the id directly).
-bool service_of_label(std::string_view label, const RuleSet& rules,
-                      ServiceId& out) {
-  if (label.starts_with("svc/")) {
-    const std::string_view digits = label.substr(4);
-    unsigned value = 0;
-    const auto [ptr, ec] = std::from_chars(
-        digits.data(), digits.data() + digits.size(), value);
-    if (ec != std::errc{} || ptr != digits.data() + digits.size() ||
-        value > 0xffffU) {
-      return false;
-    }
-    out = static_cast<ServiceId>(value);
-    return true;
-  }
-  const DetectionRule* rule = rules.rule_by_name(label);
-  if (rule == nullptr) return false;
-  out = rule->service;
-  return true;
-}
-
 bool parse_impl(std::span<const std::uint8_t> blob, double threshold,
                 const RuleSet& rules, Parsed& out, std::string* error) {
   const auto fail = [error](const char* why) {
@@ -194,7 +192,7 @@ bool parse_impl(std::span<const std::uint8_t> blob, double threshold,
       if (handle >= table.size()) {
         return fail("checkpoint references an unknown intern handle");
       }
-      if (!service_of_label(table.name(handle), rules, e.service)) {
+      if (!resolve_service_label(table.name(handle), rules, e.service)) {
         return fail("checkpoint references an unknown rule name");
       }
     }

@@ -50,12 +50,21 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "core/sharded_detector.hpp"
 
 namespace haystack::core {
+
+/// Resolves an interned evidence label back to a service id via `rules`
+/// ("svc/<id>" labels carry the id directly; anything else is a rule
+/// name). Returns false for labels the rule set does not know. Shared by
+/// v2 checkpoint restore and the vantage delta merge (src/vantage/), which
+/// must remap evidence keyed by another process's label strings.
+[[nodiscard]] bool resolve_service_label(std::string_view label,
+                                         const RuleSet& rules, ServiceId& out);
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4853434bU;  // "HSCK"
 inline constexpr std::uint32_t kCheckpointVersion = 1;

@@ -1,0 +1,87 @@
+// Commutative/idempotent evidence-merge algebra for the multi-vantage
+// tier (src/vantage/, ISSUE 7).
+//
+// Each vantage collector observes a disjoint slice of the subscriber
+// traffic and accumulates ordinary Detector evidence. To fuse slices that
+// arrive over an unreliable delta channel, per-collector rows are treated
+// as elements of a join-semilattice and combined with merge_evidence():
+//
+//   mask        -> bitwise OR   (set union of seen domain positions)
+//   packets     -> max          (values are per-collector CUMULATIVE
+//                                counters, so the larger value subsumes
+//                                the smaller; never sum two snapshots of
+//                                the same counter)
+//   first_seen  -> min          (earliest sighting wins)
+//   satisfied_hour -> min       (kNever is the largest u32, so "never"
+//                                is the identity)
+//   distinct    -> recomputed as popcount(mask); apply_match() maintains
+//                  the invariant distinct == popcount(mask) exactly
+//                  (bits are only set for positions < 128 and distinct
+//                  only increments on a fresh bit)
+//
+// Join properties — merge(a,b) == merge(b,a), merge(a,a) == a,
+// merge(merge(a,b),c) == merge(a,merge(b,c)) — are what make dropped,
+// duplicated, and reordered deltas harmless: replaying any subset of
+// deltas in any order converges to the same row. The property suite in
+// tests/vantage_test.cpp checks these over randomized masks/thresholds.
+//
+// evidence_satisfies() reproduces the satisfaction predicate of
+// Detector::apply_match() bit-for-bit so the aggregator can stamp
+// satisfied_hour itself when it seals an epoch (the collector never ships
+// satisfied_hour: whether a rule fired depends on the *global* mask, which
+// no single vantage sees).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "core/detector.hpp"
+#include "core/rules.hpp"
+
+namespace haystack::core {
+
+/// Joins `from` into `into` (see file comment for the per-field lattice).
+inline void merge_evidence(Evidence& into, const Evidence& from) noexcept {
+  into.mask[0] |= from.mask[0];
+  into.mask[1] |= from.mask[1];
+  into.distinct = static_cast<std::uint16_t>(std::popcount(into.mask[0]) +
+                                             std::popcount(into.mask[1]));
+  into.packets = std::max(into.packets, from.packets);
+  into.first_seen = std::min(into.first_seen, from.first_seen);
+  into.satisfied_hour = std::min(into.satisfied_hour, from.satisfied_hour);
+}
+
+/// The satisfaction predicate of one rule under a fixed threshold,
+/// precompiled exactly like Detector's internal RuleFast (required clamped
+/// to u16; critical mask nonzero only when the critical domain alone is
+/// sufficient and its position fits the 128-bit mask).
+struct SatisfyRule {
+  std::array<std::uint64_t, 2> critical_mask{0, 0};
+  std::uint16_t required = 1;
+};
+
+[[nodiscard]] inline SatisfyRule compile_satisfy_rule(
+    const DetectionRule& rule, double threshold) noexcept {
+  SatisfyRule fast;
+  fast.required = static_cast<std::uint16_t>(
+      std::min(rule.required_domains(threshold), 0xffffU));
+  if (rule.critical_sufficient && rule.critical_monitored_index &&
+      *rule.critical_monitored_index < 128) {
+    const std::uint16_t idx = *rule.critical_monitored_index;
+    fast.critical_mask[idx >> 6] |= std::uint64_t{1} << (idx & 63U);
+  }
+  return fast;
+}
+
+/// Mirrors the `critical_ok || distinct >= required` test in
+/// Detector::apply_match().
+[[nodiscard]] inline bool evidence_satisfies(
+    const Evidence& ev, const SatisfyRule& rule) noexcept {
+  const bool critical_ok = ((ev.mask[0] & rule.critical_mask[0]) |
+                            (ev.mask[1] & rule.critical_mask[1])) != 0;
+  return critical_ok || ev.distinct >= rule.required;
+}
+
+}  // namespace haystack::core

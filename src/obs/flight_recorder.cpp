@@ -23,6 +23,9 @@ const char* event_name(EventKind kind) noexcept {
     case EventKind::kPipelineShutdown: return "pipeline_shutdown";
     case EventKind::kSelfCheckFailed: return "self_check_failed";
     case EventKind::kScrape: return "scrape";
+    case EventKind::kDeltaMerged: return "delta_merged";
+    case EventKind::kDeltaRejected: return "delta_rejected";
+    case EventKind::kCollectorResync: return "collector_resync";
   }
   return "unknown";
 }

@@ -48,6 +48,12 @@ enum class EventKind : std::uint8_t {
   kPipelineShutdown,     ///< IngestPipeline::shutdown() ran
   kSelfCheckFailed,      ///< conservation invariant violated (a = count)
   kScrape,               ///< Reporter scraped the registry (a = scrape #)
+  kDeltaMerged,          ///< vantage epoch sealed into the global map
+                         ///< (source = epoch, a = collectors, b = rows)
+  kDeltaRejected,        ///< malformed/mismatched delta refused
+                         ///< (source = collector, a = bytes)
+  kCollectorResync,      ///< collector resynced from an aggregator
+                         ///< snapshot (source = collector, a = epoch)
 };
 
 [[nodiscard]] const char* event_name(EventKind kind) noexcept;

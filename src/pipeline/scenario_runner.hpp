@@ -18,6 +18,7 @@
 
 #include "pipeline/ingest.hpp"
 #include "simnet/scenario.hpp"
+#include "vantage/fleet.hpp"
 
 namespace haystack::pipeline {
 
@@ -57,6 +58,42 @@ struct StreamingReplayResult {
 /// when the scenario references unknown catalog names.
 [[nodiscard]] std::optional<StreamingReplayResult> replay_scenario_streaming(
     const simnet::Scenario& scenario, const StreamingReplayConfig& config,
+    std::string* error = nullptr);
+
+struct VantageReplayConfig {
+  util::HourBin start_hour = 0;
+  unsigned hours = 24;
+  /// Fleet size; the scenario's vantage_collectors key overrides it.
+  unsigned collectors = 4;
+  double threshold = 0.4;
+  std::uint64_t anonymization_key = 0x68617973;
+  bool capture_observability = true;
+};
+
+struct VantageReplayResult {
+  std::uint64_t observations = 0;  ///< normalized observations routed
+  std::uint64_t datagrams = 0;     ///< deltas handed to the channel
+  std::uint64_t delta_bytes = 0;   ///< bytes handed to the channel
+  std::uint64_t retransmissions = 0;
+  bool drained = false;  ///< finish() converged within its tick budget
+  std::optional<util::HourBin> merged_through;
+  vantage::Aggregator::Counters counters;
+  std::size_t subscribers_detected = 0;  ///< any service, merged map
+  /// (service name, subscribers detected), descending by count.
+  std::vector<std::pair<std::string, std::size_t>> per_service;
+  std::string metrics_prometheus;
+  std::vector<obs::Event> flight_events;
+};
+
+/// Replays `config.hours` hours of the scenario's wild ISP through a
+/// multi-vantage collector fleet (vantage::Fleet): observations are
+/// normalized exactly as the streaming pipeline would, routed to
+/// collectors by vantage slice, shipped as evidence deltas over the
+/// scenario's delta-channel impairment, and merged by the aggregator.
+/// The scenario's vantage_* / delta_* / ack_loss keys shape the fleet.
+/// Returns nullopt (with `error`) on unknown catalog names.
+[[nodiscard]] std::optional<VantageReplayResult> replay_scenario_vantage(
+    const simnet::Scenario& scenario, const VantageReplayConfig& config,
     std::string* error = nullptr);
 
 }  // namespace haystack::pipeline

@@ -36,6 +36,20 @@ WildIspConfig Scenario::apply(WildIspConfig base) const {
   return base;
 }
 
+std::optional<flow::ImpairmentConfig> Scenario::delta_impairment() const {
+  if (!delta_drop && !delta_duplicate && !delta_reorder && !delta_truncate &&
+      !delta_seed) {
+    return std::nullopt;
+  }
+  flow::ImpairmentConfig config;
+  config.seed = delta_seed.value_or(seed.value_or(1));
+  config.drop = delta_drop.value_or(0.0);
+  config.duplicate = delta_duplicate.value_or(0.0);
+  config.reorder = delta_reorder.value_or(0.0);
+  config.truncate = delta_truncate.value_or(0.0);
+  return config;
+}
+
 std::optional<flow::ImpairmentConfig> Scenario::impairment() const {
   if (!impair_drop && !impair_duplicate && !impair_reorder &&
       !impair_truncate && !impair_seed) {
@@ -146,6 +160,39 @@ std::optional<Scenario> parse_scenario(std::istream& is,
       std::uint64_t v = 0;
       if (!(fields >> v)) return syntax_error("bad impair_seed");
       scenario.impair_seed = v;
+    } else if (key == "delta_drop" || key == "delta_duplicate" ||
+               key == "delta_reorder" || key == "delta_truncate" ||
+               key == "ack_loss") {
+      double v = 0;
+      if (!(fields >> v) || v < 0 || v > 1) {
+        return syntax_error("bad delta-channel probability");
+      }
+      if (key == "delta_drop") scenario.delta_drop = v;
+      else if (key == "delta_duplicate") scenario.delta_duplicate = v;
+      else if (key == "delta_reorder") scenario.delta_reorder = v;
+      else if (key == "delta_truncate") scenario.delta_truncate = v;
+      else scenario.ack_loss = v;
+    } else if (key == "delta_seed") {
+      std::uint64_t v = 0;
+      if (!(fields >> v)) return syntax_error("bad delta_seed");
+      scenario.delta_seed = v;
+    } else if (key == "vantage_collectors") {
+      std::uint32_t v = 0;
+      if (!(fields >> v) || v == 0) {
+        return syntax_error("bad vantage_collectors");
+      }
+      scenario.vantage_collectors = v;
+    } else if (key == "vantage_kill_collector" ||
+               key == "vantage_kill_hour" || key == "vantage_restart_hour") {
+      std::uint32_t v = 0;
+      if (!(fields >> v)) return syntax_error("bad vantage setting");
+      if (key == "vantage_kill_collector") {
+        scenario.vantage_kill_collector = v;
+      } else if (key == "vantage_kill_hour") {
+        scenario.vantage_kill_hour = v;
+      } else {
+        scenario.vantage_restart_hour = v;
+      }
     } else if (key == "penetration" || key == "wild_extra") {
       std::string name;
       double v = 0;

@@ -18,6 +18,16 @@
 //   pipeline_shards 8                   # streaming-pipeline shape
 //   pipeline_queue 1024
 //   pipeline_wave 64
+//   vantage_collectors 4                # multi-vantage fleet shape
+//   delta_drop 0.05                     # delta-channel fault injection
+//   delta_duplicate 0.02
+//   delta_reorder 0.02
+//   delta_truncate 0.01
+//   delta_seed 7
+//   ack_loss 0.1
+//   vantage_kill_collector 1            # scripted mid-study crash
+//   vantage_kill_hour 3
+//   vantage_restart_hour 6
 //
 // Product/unit names are quoted; unknown names are reported as errors so
 // typos fail loudly instead of silently simulating the default.
@@ -55,6 +65,19 @@ struct Scenario {
   std::optional<std::uint32_t> pipeline_shards;
   std::optional<std::uint32_t> pipeline_queue;
   std::optional<std::uint32_t> pipeline_wave;
+  // Multi-vantage fleet shape (vantage::Fleet, ISSUE 7): collector count,
+  // delta-channel impairment, ack loss, and the scripted mid-study
+  // collector kill/restart.
+  std::optional<std::uint32_t> vantage_collectors;
+  std::optional<double> delta_drop;
+  std::optional<double> delta_duplicate;
+  std::optional<double> delta_reorder;
+  std::optional<double> delta_truncate;
+  std::optional<std::uint64_t> delta_seed;
+  std::optional<double> ack_loss;
+  std::optional<std::uint32_t> vantage_kill_collector;
+  std::optional<std::uint32_t> vantage_kill_hour;
+  std::optional<std::uint32_t> vantage_restart_hour;
 
   /// Applies the population-level settings over `base`.
   [[nodiscard]] PopulationConfig apply(PopulationConfig base) const;
@@ -69,6 +92,11 @@ struct Scenario {
   /// Export-path impairment, when any impair_* key was given. nullopt
   /// means a pristine (lossless) export path.
   [[nodiscard]] std::optional<flow::ImpairmentConfig> impairment() const;
+
+  /// Delta-channel impairment (collector → aggregator), when any delta_*
+  /// key was given. nullopt means a pristine delta channel.
+  [[nodiscard]] std::optional<flow::ImpairmentConfig> delta_impairment()
+      const;
 };
 
 /// Parses a scenario file. Returns nullopt on syntax errors, with a

@@ -1,0 +1,648 @@
+#include "vantage/aggregator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <tuple>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "flow/wire.hpp"
+
+namespace haystack::vantage {
+
+namespace {
+
+/// One resolved, sortable staged row.
+struct ResolvedRow {
+  flow::DeltaRow row;
+  core::ServiceId service = 0;
+};
+
+core::Evidence evidence_of(const flow::DeltaRow& row) noexcept {
+  core::Evidence ev;
+  ev.mask[0] = row.mask0;
+  ev.mask[1] = row.mask1;
+  ev.distinct = static_cast<std::uint16_t>(std::popcount(row.mask0) +
+                                           std::popcount(row.mask1));
+  ev.packets = row.packets;
+  ev.first_seen = row.first_seen;
+  return ev;
+}
+
+void join_row(flow::DeltaRow& into, const flow::DeltaRow& from) noexcept {
+  into.mask0 |= from.mask0;
+  into.mask1 |= from.mask1;
+  into.packets = std::max(into.packets, from.packets);
+  into.first_seen = std::min(into.first_seen, from.first_seen);
+}
+
+}  // namespace
+
+Aggregator::Aggregator(const core::Hitlist& hitlist,
+                       const core::RuleSet& rules,
+                       const AggregatorConfig& config, obs::Observability* obs)
+    : rules_{rules},
+      config_{config},
+      obs_{obs},
+      global_{hitlist, rules, config.detector} {
+  core::ServiceId max_id = 0;
+  for (const auto& r : rules.rules) max_id = std::max(max_id, r.service);
+  satisfy_.assign(static_cast<std::size_t>(max_id) + 1, std::nullopt);
+  for (const auto& r : rules.rules) {
+    satisfy_[r.service] =
+        core::compile_satisfy_rule(r, config.detector.threshold);
+  }
+  if (obs_ != nullptr) {
+    auto& reg = obs_->registry;
+    m_offered_ = reg.counter("vantage_deltas_offered_total");
+    m_rejected_ = reg.counter("vantage_deltas_rejected_total");
+    m_stale_ = reg.counter("vantage_deltas_stale_total");
+    m_duplicates_ = reg.counter("vantage_delta_duplicates_total");
+    m_sealed_ = reg.counter("vantage_epochs_sealed_total");
+    m_rows_ = reg.counter("vantage_rows_merged_total");
+    m_bytes_ = reg.counter("vantage_delta_bytes_total");
+    m_merged_epoch_ = reg.gauge("vantage_merged_epoch");
+    m_staged_depth_ = reg.gauge("vantage_staged_epochs");
+  }
+}
+
+void Aggregator::add_collector(std::uint32_t id, util::HourBin first_epoch) {
+  std::lock_guard lock{mu_};
+  auto [it, inserted] =
+      collectors_.try_emplace(id, std::make_unique<CollectorState>());
+  if (!inserted) return;  // restart keeps its registration
+  CollectorState& st = *it->second;
+  st.first_epoch = first_epoch;
+  st.seq = flow::SequenceTracker{config_.reorder_window};
+  if (obs_ != nullptr) {
+    m_healthy_[id] = obs_->registry.gauge(
+        "vantage_collector_healthy", {{"collector", std::to_string(id)}});
+    m_healthy_[id]->set(1);
+  }
+}
+
+OfferResult Aggregator::reject(std::uint32_t collector, std::size_t bytes,
+                               std::string reason) {
+  ++counters_.rejected;
+  if (m_rejected_) m_rejected_->add(1);
+  if (obs_ != nullptr) {
+    obs_->recorder.record(obs::EventKind::kDeltaRejected, collector, bytes);
+  }
+  return {false, 0, std::move(reason)};
+}
+
+OfferResult Aggregator::offer(std::span<const std::uint8_t> datagram) {
+  std::lock_guard lock{mu_};
+  ++counters_.offered;
+  if (m_offered_) m_offered_->add(1);
+
+  flow::EvidenceDelta delta;
+  std::string derr;
+  if (!flow::decode_delta(datagram, delta, &derr)) {
+    return reject(0, datagram.size(), std::move(derr));
+  }
+  if (delta.kind != flow::DeltaKind::kDelta) {
+    return reject(delta.collector, datagram.size(),
+                  "snapshot offered to aggregator");
+  }
+  if (delta.threshold_bits !=
+      std::bit_cast<std::uint64_t>(config_.detector.threshold)) {
+    return reject(delta.collector, datagram.size(),
+                  "delta built under a different threshold");
+  }
+  const auto cit = collectors_.find(delta.collector);
+  if (cit == collectors_.end()) {
+    return reject(delta.collector, datagram.size(), "unknown collector");
+  }
+  CollectorState& st = *cit->second;
+
+  // Resolve every label before touching any state: one unknown name
+  // rejects the whole delta (satellite: intern handles are process-local,
+  // so rows travel as strings and are remapped here).
+  std::vector<ResolvedRow> rows;
+  rows.reserve(delta.rows.size());
+  for (const flow::DeltaRow& row : delta.rows) {
+    core::ServiceId service = 0;
+    if (!core::resolve_service_label(delta.labels[row.label], rules_,
+                                     service)) {
+      return reject(delta.collector, datagram.size(),
+                    "delta references an unknown rule name");
+    }
+    rows.push_back({row, service});
+  }
+  // Canonical order + in-datagram dedup, so staging never depends on how
+  // the emitter (or an adversarial peer) arranged its rows.
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.row.subscriber, a.service) <
+           std::tie(b.row.subscriber, b.service);
+  });
+
+  const auto outcome = st.seq.classify(delta.seq);
+  switch (outcome.event) {
+    case flow::SequenceEvent::kRestart:
+      ++st.restarts;
+      ++counters_.restarts;
+      st.seq.reset();
+      if (obs_ != nullptr) {
+        obs_->recorder.record(obs::EventKind::kExporterRestart,
+                              vantage_source(delta.collector), st.restarts);
+      }
+      st.seq.commit(delta.seq, 1, st.seq.classify(delta.seq));
+      break;
+    case flow::SequenceEvent::kGap:
+      if (obs_ != nullptr) {
+        obs_->recorder.record(obs::EventKind::kSequenceGap,
+                              vantage_source(delta.collector),
+                              outcome.lost_units);
+      }
+      st.seq.commit(delta.seq, 1, outcome);
+      break;
+    case flow::SequenceEvent::kReplay:
+      ++counters_.duplicates;
+      if (m_duplicates_) m_duplicates_->add(1);
+      if (obs_ != nullptr) {
+        obs_->recorder.record(obs::EventKind::kSequenceReplay,
+                              vantage_source(delta.collector));
+      }
+      st.seq.commit(delta.seq, 1, outcome);
+      break;
+    default:
+      st.seq.commit(delta.seq, 1, outcome);
+      break;
+  }
+
+  counters_.delta_bytes += datagram.size();
+  if (m_bytes_) m_bytes_->add(datagram.size());
+
+  // Retransmission of an epoch already folded globally: the cumulative
+  // state it carries is subsumed by st.cum — dropping it IS the
+  // idempotent merge.
+  if ((st.merged_through && delta.epoch <= *st.merged_through) ||
+      delta.epoch < st.first_epoch) {
+    ++counters_.stale;
+    if (m_stale_) m_stale_->add(1);
+    refresh_health();
+    return {true, 0, "stale"};
+  }
+
+  auto [sit, fresh] = st.staged.try_emplace(delta.epoch);
+  Staged& staged = sit->second;
+  if (fresh) {
+    staged.rows.reserve(rows.size());
+    for (const ResolvedRow& rr : rows) {
+      if (!staged.rows.empty() &&
+          staged.rows.back().subscriber == rr.row.subscriber &&
+          staged.services.back() == rr.service) {
+        join_row(staged.rows.back(), rr.row);
+        continue;
+      }
+      staged.rows.push_back(rr.row);
+      staged.services.push_back(rr.service);
+    }
+    staged.stats = {delta.flows, delta.matched};
+  } else {
+    // Duplicate/reordered offer of a staged epoch: join row-by-row (a
+    // faithful retransmission joins to a no-op).
+    std::size_t i = 0;
+    for (const ResolvedRow& rr : rows) {
+      const auto key = std::tie(rr.row.subscriber, rr.service);
+      while (i < staged.rows.size() &&
+             std::tie(staged.rows[i].subscriber, staged.services[i]) < key) {
+        ++i;
+      }
+      if (i < staged.rows.size() &&
+          std::tie(staged.rows[i].subscriber, staged.services[i]) == key) {
+        join_row(staged.rows[i], rr.row);
+      } else {
+        staged.rows.insert(staged.rows.begin() + static_cast<std::ptrdiff_t>(i),
+                           rr.row);
+        staged.services.insert(
+            staged.services.begin() + static_cast<std::ptrdiff_t>(i),
+            rr.service);
+      }
+    }
+    staged.stats.flows = std::max(staged.stats.flows, delta.flows);
+    staged.stats.matched = std::max(staged.stats.matched, delta.matched);
+  }
+
+  const unsigned sealed = try_seal();
+  refresh_health();
+  return {true, sealed, ""};
+}
+
+unsigned Aggregator::try_seal() {
+  unsigned sealed = 0;
+  for (;;) {
+    util::HourBin epoch = 0;
+    if (last_sealed_) {
+      epoch = *last_sealed_ + 1;
+    } else {
+      bool have = false;
+      for (const auto& [id, st] : collectors_) {
+        epoch = have ? std::min(epoch, st->first_epoch) : st->first_epoch;
+        have = true;
+      }
+      if (!have) break;
+    }
+    bool any = false;
+    bool ready = true;
+    for (const auto& [id, st] : collectors_) {
+      if (st->first_epoch > epoch) continue;
+      any = true;
+      if (st->staged.find(epoch) == st->staged.end()) {
+        ready = false;
+        break;
+      }
+    }
+    if (!any || !ready) break;
+    seal_epoch(epoch);
+    ++sealed;
+    ++counters_.epochs_sealed;
+    if (m_sealed_) m_sealed_->add(1);
+    last_sealed_ = epoch;
+  }
+  return sealed;
+}
+
+void Aggregator::seal_epoch(util::HourBin epoch) {
+  std::vector<std::pair<core::SubscriberKey, core::ServiceId>> touched;
+  unsigned participants = 0;
+  std::uint64_t folded_rows = 0;
+  core::Detector::Stats gstats = global_.stats();
+
+  for (auto& [id, stp] : collectors_) {
+    CollectorState& st = *stp;
+    const auto sit = st.staged.find(epoch);
+    if (sit == st.staged.end()) continue;
+    ++participants;
+    Staged& staged = sit->second;
+
+    for (std::size_t i = 0; i < staged.rows.size(); ++i) {
+      const flow::DeltaRow& row = staged.rows[i];
+      const core::ServiceId service = staged.services[i];
+      const core::Evidence incoming = evidence_of(row);
+
+      bool inserted = false;
+      core::Evidence& cum =
+          st.cum.find_or_insert(row.subscriber, service, inserted);
+      const std::uint64_t prev_packets = inserted ? 0 : cum.packets;
+      if (inserted) {
+        cum = incoming;
+      } else {
+        core::merge_evidence(cum, incoming);
+      }
+      // Cumulative counters are max-joined, so this advance is the exact
+      // number of packets the collector sampled for this row since its
+      // last merged epoch — added to the global sum exactly once.
+      const std::uint64_t packet_delta = cum.packets - prev_packets;
+
+      const core::Evidence* g = global_.evidence(row.subscriber, service);
+      core::Evidence merged = g != nullptr ? *g : core::Evidence{};
+      if (g == nullptr) merged.first_seen = incoming.first_seen;
+      merged.mask[0] |= incoming.mask[0];
+      merged.mask[1] |= incoming.mask[1];
+      merged.distinct = static_cast<std::uint16_t>(
+          std::popcount(merged.mask[0]) + std::popcount(merged.mask[1]));
+      merged.packets += packet_delta;
+      merged.first_seen = std::min(merged.first_seen, incoming.first_seen);
+      global_.restore_evidence(row.subscriber, service, merged);
+      touched.emplace_back(row.subscriber, service);
+      ++folded_rows;
+    }
+
+    if (staged.stats.flows > st.cum_stats.flows) {
+      gstats.flows += staged.stats.flows - st.cum_stats.flows;
+      st.cum_stats.flows = staged.stats.flows;
+    }
+    if (staged.stats.matched > st.cum_stats.matched) {
+      gstats.matched += staged.stats.matched - st.cum_stats.matched;
+      st.cum_stats.matched = staged.stats.matched;
+    }
+    st.merged_through = epoch;
+    st.staged.erase(sit);
+  }
+  global_.restore_stats(gstats);
+  counters_.rows_merged += folded_rows;
+  if (m_rows_) m_rows_->add(folded_rows);
+
+  // Satisfaction pass — only after every collector's slice of this epoch
+  // is folded is the hour-`epoch` global mask complete; a mid-fold check
+  // could stamp an hour a single-process detector never saw.
+  for (const auto& [subscriber, service] : touched) {
+    const core::Evidence* g = global_.evidence(subscriber, service);
+    if (g == nullptr || g->satisfied_hour != core::Evidence::kNever) continue;
+    if (service < satisfy_.size() && satisfy_[service] &&
+        core::evidence_satisfies(*g, *satisfy_[service])) {
+      core::Evidence updated = *g;
+      updated.satisfied_hour = epoch;
+      global_.restore_evidence(subscriber, service, updated);
+    }
+  }
+
+  if (obs_ != nullptr) {
+    obs_->recorder.record(obs::EventKind::kDeltaMerged, epoch, participants,
+                          folded_rows);
+  }
+  if (m_merged_epoch_) m_merged_epoch_->set(epoch);
+}
+
+void Aggregator::refresh_health() {
+  util::HourBin fleet_max = 0;
+  bool have = false;
+  const auto progress_of = [](const CollectorState& st) {
+    util::HourBin progress = st.merged_through.value_or(
+        st.first_epoch == 0 ? 0 : st.first_epoch - 1);
+    if (!st.staged.empty()) {
+      progress = std::max(progress, st.staged.rbegin()->first);
+    }
+    return progress;
+  };
+  for (const auto& [id, st] : collectors_) {
+    const util::HourBin p = progress_of(*st);
+    fleet_max = have ? std::max(fleet_max, p) : p;
+    have = true;
+  }
+  std::size_t staged_depth = 0;
+  for (const auto& [id, st] : collectors_) {
+    staged_depth += st->staged.size();
+    if (obs_ != nullptr) {
+      const auto it = m_healthy_.find(id);
+      if (it != m_healthy_.end()) {
+        const bool ok =
+            progress_of(*st) + config_.stale_after >= fleet_max;
+        it->second->set(ok ? 1 : 0);
+      }
+    }
+  }
+  if (m_staged_depth_) {
+    m_staged_depth_->set(static_cast<std::int64_t>(staged_depth));
+  }
+}
+
+bool Aggregator::healthy(std::uint32_t id) const {
+  std::lock_guard lock{mu_};
+  const auto it = collectors_.find(id);
+  if (it == collectors_.end()) return false;
+  const auto progress_of = [](const CollectorState& st) {
+    util::HourBin progress = st.merged_through.value_or(
+        st.first_epoch == 0 ? 0 : st.first_epoch - 1);
+    if (!st.staged.empty()) {
+      progress = std::max(progress, st.staged.rbegin()->first);
+    }
+    return progress;
+  };
+  util::HourBin fleet_max = 0;
+  for (const auto& [cid, st] : collectors_) {
+    fleet_max = std::max(fleet_max, progress_of(*st));
+  }
+  return progress_of(*it->second) + config_.stale_after >= fleet_max;
+}
+
+std::optional<util::HourBin> Aggregator::acked_through(
+    std::uint32_t id) const {
+  std::lock_guard lock{mu_};
+  const auto it = collectors_.find(id);
+  if (it == collectors_.end()) return std::nullopt;
+  return it->second->merged_through;
+}
+
+std::vector<std::uint8_t> Aggregator::encode_snapshot(
+    const CollectorState& st, std::uint32_t id) const {
+  flow::EvidenceDelta snap;
+  snap.collector = id;
+  snap.seq = 0;
+  snap.epoch = st.merged_through.value_or(0);
+  snap.kind = flow::DeltaKind::kSnapshot;
+  snap.threshold_bits =
+      std::bit_cast<std::uint64_t>(config_.detector.threshold);
+  snap.flows = st.cum_stats.flows;
+  snap.matched = st.cum_stats.matched;
+
+  struct Row {
+    core::SubscriberKey subscriber;
+    core::ServiceId service;
+    core::Evidence ev;
+  };
+  std::vector<Row> rows;
+  st.cum.for_each([&rows](core::SubscriberKey sub, core::ServiceId svc,
+                          const core::Evidence& ev) {
+    rows.push_back({sub, svc, ev});
+  });
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(a.subscriber, a.service) <
+           std::tie(b.subscriber, b.service);
+  });
+  std::map<std::string, std::uint32_t> label_index;
+  for (const Row& row : rows) {
+    const core::DetectionRule* rule = rules_.rule_for(row.service);
+    const std::string label = rule != nullptr
+                                  ? rule->name
+                                  : "svc/" + std::to_string(row.service);
+    const auto [it, inserted] = label_index.try_emplace(
+        label, static_cast<std::uint32_t>(snap.labels.size()));
+    if (inserted) snap.labels.push_back(label);
+    flow::DeltaRow out;
+    out.subscriber = row.subscriber;
+    out.label = it->second;
+    out.mask0 = row.ev.mask[0];
+    out.mask1 = row.ev.mask[1];
+    out.packets = row.ev.packets;
+    out.first_seen = row.ev.first_seen;
+    snap.rows.push_back(out);
+  }
+  return flow::encode_delta(snap);
+}
+
+std::vector<std::uint8_t> Aggregator::snapshot_for(std::uint32_t id) const {
+  std::lock_guard lock{mu_};
+  const auto it = collectors_.find(id);
+  if (it == collectors_.end() || !it->second->merged_through) return {};
+  return encode_snapshot(*it->second, id);
+}
+
+std::vector<std::uint8_t> Aggregator::save() const {
+  std::lock_guard lock{mu_};
+  flow::ByteWriter w;
+  w.u32(kAggregatorMagic);
+  w.u32(kAggregatorVersion);
+  w.u64(std::bit_cast<std::uint64_t>(config_.detector.threshold));
+  w.u8(last_sealed_ ? 1 : 0);
+  w.u32(last_sealed_.value_or(0));
+  w.u32(static_cast<std::uint32_t>(collectors_.size()));
+  for (const auto& [id, st] : collectors_) {
+    w.u32(id);
+    w.u32(st->first_epoch);
+    w.u8(st->merged_through ? 1 : 0);
+    w.u32(st->merged_through.value_or(0));
+    w.u32(st->restarts);
+    const auto snap = encode_snapshot(*st, id);
+    w.u32(static_cast<std::uint32_t>(snap.size()));
+    w.bytes(snap);
+  }
+  const auto global_blob = core::save_checkpoint_interned(global_);
+  w.u64(global_blob.size());
+  w.bytes(global_blob);
+  return w.take();
+}
+
+bool Aggregator::restore(std::span<const std::uint8_t> blob,
+                         std::string* error) {
+  std::lock_guard lock{mu_};
+  // Any failure below clears ALL aggregator state (global and
+  // per-collector), mirroring the InternTable cleared-on-failed-restore
+  // contract: a corrupt blob must not leave a half-merged evidence map.
+  const auto fail = [this, error](const char* why) {
+    global_.clear();
+    global_.restore_stats({});
+    collectors_.clear();
+    last_sealed_.reset();
+    if (error != nullptr) *error = why;
+    if (obs_ != nullptr) {
+      obs_->recorder.record(obs::EventKind::kCheckpointRejected, 0, 0);
+    }
+    return false;
+  };
+
+  flow::ByteReader r{blob};
+  if (r.u32() != kAggregatorMagic) return fail("bad aggregator magic");
+  if (r.u32() != kAggregatorVersion) {
+    return fail("unsupported aggregator version");
+  }
+  if (r.u64() != std::bit_cast<std::uint64_t>(config_.detector.threshold)) {
+    return fail("aggregator state written under a different threshold");
+  }
+  const bool has_sealed = r.u8() != 0;
+  const std::uint32_t last_sealed = r.u32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok()) return fail("truncated aggregator header");
+
+  struct ParsedCollector {
+    std::uint32_t id = 0;
+    util::HourBin first_epoch = 0;
+    std::optional<util::HourBin> merged_through;
+    std::uint32_t restarts = 0;
+    flow::EvidenceDelta snapshot;
+    std::vector<core::ServiceId> services;  ///< parallel to snapshot.rows
+  };
+  std::vector<ParsedCollector> parsed;
+  parsed.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ParsedCollector pc;
+    pc.id = r.u32();
+    pc.first_epoch = r.u32();
+    const bool has_merged = r.u8() != 0;
+    const std::uint32_t merged = r.u32();
+    if (has_merged) pc.merged_through = merged;
+    pc.restarts = r.u32();
+    const std::uint32_t snap_len = r.u32();
+    if (!r.ok() || snap_len > r.remaining()) {
+      return fail("truncated aggregator collector section");
+    }
+    flow::ByteReader snap_reader = r.slice(snap_len);
+    if (!flow::decode_delta(snap_reader.rest(), pc.snapshot)) {
+      return fail("malformed embedded collector snapshot");
+    }
+    if (pc.snapshot.kind != flow::DeltaKind::kSnapshot ||
+        pc.snapshot.collector != pc.id ||
+        pc.snapshot.threshold_bits !=
+            std::bit_cast<std::uint64_t>(config_.detector.threshold)) {
+      return fail("inconsistent embedded collector snapshot");
+    }
+    for (const flow::DeltaRow& row : pc.snapshot.rows) {
+      core::ServiceId service = 0;
+      if (!core::resolve_service_label(pc.snapshot.labels[row.label], rules_,
+                                       service)) {
+        return fail("embedded snapshot references an unknown rule name");
+      }
+      pc.services.push_back(service);
+    }
+    parsed.push_back(std::move(pc));
+  }
+  const std::uint64_t global_len = r.u64();
+  if (!r.ok() || global_len != r.remaining()) {
+    return fail("aggregator global section size mismatch");
+  }
+  const std::span<const std::uint8_t> global_blob = r.rest();
+
+  // Structure validated — install. The global checkpoint restore is the
+  // last validation step; its failure clears everything too.
+  global_.clear();
+  global_.restore_stats({});
+  collectors_.clear();
+  last_sealed_.reset();
+  std::string gerr;
+  if (!core::restore_checkpoint(global_blob, global_, &gerr,
+                                obs_ != nullptr ? &obs_->recorder : nullptr)) {
+    return fail("malformed embedded global checkpoint");
+  }
+  for (ParsedCollector& pc : parsed) {
+    auto st = std::make_unique<CollectorState>();
+    st->first_epoch = pc.first_epoch;
+    st->merged_through = pc.merged_through;
+    st->restarts = pc.restarts;
+    st->cum_stats = {pc.snapshot.flows, pc.snapshot.matched};
+    st->seq = flow::SequenceTracker{config_.reorder_window};
+    for (std::size_t i = 0; i < pc.snapshot.rows.size(); ++i) {
+      bool inserted = false;
+      st->cum.find_or_insert(pc.snapshot.rows[i].subscriber, pc.services[i],
+                             inserted) = evidence_of(pc.snapshot.rows[i]);
+    }
+    if (obs_ != nullptr && m_healthy_.find(pc.id) == m_healthy_.end()) {
+      m_healthy_[pc.id] = obs_->registry.gauge(
+          "vantage_collector_healthy",
+          {{"collector", std::to_string(pc.id)}});
+    }
+    collectors_.emplace(pc.id, std::move(st));
+  }
+  last_sealed_ = has_sealed ? std::optional<util::HourBin>{last_sealed}
+                            : std::nullopt;
+  refresh_health();
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+void Aggregator::clear() {
+  std::lock_guard lock{mu_};
+  global_.clear();
+  global_.restore_stats({});
+  collectors_.clear();
+  last_sealed_.reset();
+}
+
+std::optional<util::HourBin> Aggregator::merged_through() const {
+  std::lock_guard lock{mu_};
+  return last_sealed_;
+}
+
+core::Detector::Stats Aggregator::stats() const {
+  std::lock_guard lock{mu_};
+  return global_.stats();
+}
+
+std::optional<core::Evidence> Aggregator::evidence(
+    core::SubscriberKey subscriber, core::ServiceId service) const {
+  std::lock_guard lock{mu_};
+  const core::Evidence* ev = global_.evidence(subscriber, service);
+  if (ev == nullptr) return std::nullopt;
+  return *ev;
+}
+
+void Aggregator::for_each_evidence(
+    const std::function<void(core::SubscriberKey, core::ServiceId,
+                             const core::Evidence&)>& fn) const {
+  std::lock_guard lock{mu_};
+  global_.for_each_evidence(fn);
+}
+
+std::optional<util::HourBin> Aggregator::detection_hour(
+    core::SubscriberKey subscriber, core::ServiceId service) const {
+  std::lock_guard lock{mu_};
+  return global_.detection_hour(subscriber, service);
+}
+
+Aggregator::Counters Aggregator::counters() const {
+  std::lock_guard lock{mu_};
+  return counters_;
+}
+
+}  // namespace haystack::vantage

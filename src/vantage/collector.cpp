@@ -1,0 +1,152 @@
+#include "vantage/collector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/checkpoint.hpp"
+
+namespace haystack::vantage {
+
+namespace {
+
+bool fail(std::string* error, const char* reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+}  // namespace
+
+Collector::Collector(const core::Hitlist& hitlist, const core::RuleSet& rules,
+                     const CollectorConfig& config, obs::Observability* obs)
+    : detector_{hitlist, rules, config.detector},
+      rules_{rules},
+      config_{config},
+      obs_{obs} {}
+
+void Collector::ingest(const core::Observation& obs) {
+  const auto hit = detector_.observe(obs.subscriber, obs.server, obs.port,
+                                     obs.packets, obs.hour);
+  // Only matches whose service has a rule create/update an evidence row
+  // (Detector::observe returns early otherwise) — mirror that exactly so
+  // deltas never reference rows the detector does not hold.
+  if (hit && rules_.rule_for(hit->service) != nullptr) {
+    touched_.insert({obs.subscriber, hit->service});
+  }
+}
+
+std::vector<std::uint8_t> Collector::seal_epoch(util::HourBin epoch) {
+  flow::EvidenceDelta delta;
+  delta.collector = config_.id;
+  delta.seq = next_seq_++;
+  delta.epoch = epoch;
+  delta.kind = flow::DeltaKind::kDelta;
+  delta.threshold_bits =
+      std::bit_cast<std::uint64_t>(config_.detector.threshold);
+  delta.flows = detector_.stats().flows;
+  delta.matched = detector_.stats().matched;
+
+  // touched_ iterates sorted by (subscriber, service), so both the label
+  // table (first-use order) and the row order are deterministic functions
+  // of the sealed state.
+  std::unordered_map<std::string_view, std::uint32_t> label_index;
+  for (const auto& [subscriber, service] : touched_) {
+    const core::Evidence* ev = detector_.evidence(subscriber, service);
+    if (ev == nullptr) continue;  // unreachable: touched rows exist
+    const core::DetectionRule* rule = rules_.rule_for(service);
+    const auto [it, inserted] = label_index.try_emplace(
+        std::string_view{rule->name},
+        static_cast<std::uint32_t>(delta.labels.size()));
+    if (inserted) delta.labels.push_back(rule->name);
+    flow::DeltaRow row;
+    row.subscriber = subscriber;
+    row.label = it->second;
+    row.mask0 = ev->mask[0];
+    row.mask1 = ev->mask[1];
+    row.packets = ev->packets;
+    row.first_seen = ev->first_seen;
+    delta.rows.push_back(row);
+  }
+  touched_.clear();
+
+  auto bytes = flow::encode_delta(delta);
+  Pending pending;
+  pending.bytes = bytes;
+  pending.ticks_left = config_.initial_backoff;
+  pending.backoff = config_.initial_backoff;
+  unacked_.emplace(epoch, std::move(pending));
+  ++deltas_sealed_;
+  return bytes;
+}
+
+void Collector::handle_ack(util::HourBin epoch) {
+  if (acked_ && *acked_ >= epoch) return;
+  acked_ = epoch;
+  unacked_.erase(unacked_.begin(), unacked_.upper_bound(epoch));
+}
+
+std::vector<std::vector<std::uint8_t>> Collector::tick() {
+  std::vector<std::vector<std::uint8_t>> due;
+  for (auto& [epoch, pending] : unacked_) {
+    if (pending.ticks_left > 0) {
+      --pending.ticks_left;
+      continue;
+    }
+    due.push_back(pending.bytes);
+    pending.backoff = std::min(pending.backoff * 2, config_.max_backoff);
+    pending.ticks_left = pending.backoff;
+    ++retransmissions_;
+  }
+  return due;
+}
+
+bool Collector::install_snapshot(const flow::EvidenceDelta& snapshot,
+                                 std::string* error) {
+  if (snapshot.kind != flow::DeltaKind::kSnapshot) {
+    return fail(error, "not a snapshot delta");
+  }
+  if (snapshot.threshold_bits !=
+      std::bit_cast<std::uint64_t>(config_.detector.threshold)) {
+    return fail(error, "snapshot built under a different threshold");
+  }
+  // Resolve every label before touching any state, so a bad snapshot
+  // leaves the collector exactly as constructed (empty).
+  std::vector<core::ServiceId> services;
+  services.reserve(snapshot.rows.size());
+  for (const flow::DeltaRow& row : snapshot.rows) {
+    core::ServiceId service = 0;
+    if (!core::resolve_service_label(snapshot.labels[row.label], rules_,
+                                     service)) {
+      return fail(error, "snapshot references an unknown rule name");
+    }
+    services.push_back(service);
+  }
+
+  detector_.clear();
+  detector_.restore_stats({snapshot.flows, snapshot.matched});
+  for (std::size_t i = 0; i < snapshot.rows.size(); ++i) {
+    const flow::DeltaRow& row = snapshot.rows[i];
+    core::Evidence ev;
+    ev.mask[0] = row.mask0;
+    ev.mask[1] = row.mask1;
+    ev.distinct = static_cast<std::uint16_t>(std::popcount(row.mask0) +
+                                             std::popcount(row.mask1));
+    ev.packets = row.packets;
+    ev.first_seen = row.first_seen;
+    // satisfied_hour stays kNever: a collector never ships it and never
+    // evaluates global satisfaction — the aggregator owns that field.
+    detector_.restore_evidence(row.subscriber, services[i], ev);
+  }
+  touched_.clear();
+  unacked_.clear();
+  acked_ = snapshot.epoch;
+  if (obs_ != nullptr) {
+    obs_->recorder.record(obs::EventKind::kCollectorResync, config_.id,
+                          snapshot.epoch, snapshot.rows.size());
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace haystack::vantage

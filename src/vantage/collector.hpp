@@ -1,0 +1,129 @@
+// One vantage collector of the multi-vantage fleet (ISSUE 7).
+//
+// A Collector owns a full core::Detector fed only its slice of the
+// subscriber traffic (the fleet routes by server address, mirroring
+// BorderRouterFleet::router_of). At the end of every hour the fleet calls
+// seal_epoch(): the collector encodes the rows it touched during that
+// hour — at their CUMULATIVE values, see flow/delta_wire.hpp — into one
+// delta datagram addressed to the aggregator, queues it unacked, and
+// hands it to the (possibly impaired) delta channel.
+//
+// Reliability is collector-driven: the aggregator acks the last epoch it
+// has MERGED (not merely received — staged-but-unmerged deltas die with
+// an aggregator crash and must be re-sent), and the collector retransmits
+// every unacked delta with bounded exponential backoff. Retransmissions
+// reuse the original datagram bytes and sequence number, so the
+// aggregator's SequenceTracker classifies them as replays and the
+// idempotent merge absorbs them.
+//
+// Crash/restart: a restarting collector is a fresh object. The fleet
+// installs the aggregator's per-collector snapshot (install_snapshot),
+// which reconstructs the detector exactly as it stood at the last merged
+// epoch M, then replays the spooled observation hours after M; because
+// replay is deterministic, the re-sealed deltas carry the same cumulative
+// row values as the lost originals and the merge converges without
+// double-counting. `satisfied_hour` is deliberately not recovered — a
+// collector never ships it, the aggregator owns it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/sharded_detector.hpp"
+#include "flow/delta_wire.hpp"
+#include "obs/observability.hpp"
+
+namespace haystack::vantage {
+
+struct CollectorConfig {
+  std::uint32_t id = 0;
+  core::DetectorConfig detector{};
+  /// Ticks before the first retransmission of an unacked delta.
+  std::uint32_t initial_backoff = 1;
+  /// Backoff ceiling, in ticks (exponential doubling stops here).
+  std::uint32_t max_backoff = 8;
+};
+
+class Collector {
+ public:
+  /// `hitlist`/`rules` must outlive the collector. A non-null `obs` gets
+  /// per-collector registry series and resync flight events.
+  Collector(const core::Hitlist& hitlist, const core::RuleSet& rules,
+            const CollectorConfig& config, obs::Observability* obs = nullptr);
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Feeds one observation of this collector's slice. Observations must
+  /// arrive hour-ordered (the fleet drives whole hours at a time); the
+  /// epoch protocol depends on it.
+  void ingest(const core::Observation& obs);
+
+  /// Seals hour `epoch`: encodes the rows touched since the previous seal
+  /// into one delta datagram, queues it for retransmission until acked,
+  /// and returns the bytes to transmit. An hour with no evidence yields
+  /// an empty (zero-row) delta — the fleet still sends it, as both the
+  /// epoch-barrier contribution and the collector's heartbeat.
+  [[nodiscard]] std::vector<std::uint8_t> seal_epoch(util::HourBin epoch);
+
+  /// Processes a cumulative ack: every unacked delta with epoch <= `epoch`
+  /// is retired.
+  void handle_ack(util::HourBin epoch);
+
+  /// One retry tick: returns the datagrams whose backoff expired (their
+  /// original bytes, verbatim) and doubles their backoff up to the cap.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> tick();
+
+  /// Installs an aggregator snapshot (restart resync / late join): clears
+  /// the detector and reconstructs evidence + throughput stats as of the
+  /// snapshot's epoch. Returns false — leaving the collector empty — when
+  /// the snapshot is not a kSnapshot, was built under a different
+  /// threshold, or references a label the rule set cannot resolve.
+  bool install_snapshot(const flow::EvidenceDelta& snapshot,
+                        std::string* error = nullptr);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return config_.id; }
+  [[nodiscard]] const core::Detector& detector() const noexcept {
+    return detector_;
+  }
+  /// Highest epoch acked by the aggregator (i.e. merged), if any.
+  [[nodiscard]] std::optional<util::HourBin> acked_through() const noexcept {
+    return acked_;
+  }
+  [[nodiscard]] std::size_t unacked() const noexcept {
+    return unacked_.size();
+  }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t deltas_sealed() const noexcept {
+    return deltas_sealed_;
+  }
+
+ private:
+  struct Pending {
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t ticks_left = 0;
+    std::uint32_t backoff = 0;
+  };
+
+  core::Detector detector_;
+  const core::RuleSet& rules_;
+  CollectorConfig config_;
+  obs::Observability* obs_ = nullptr;
+  std::uint32_t next_seq_ = 0;
+  /// Evidence rows touched since the last seal (sorted + deduplicated).
+  std::set<std::pair<core::SubscriberKey, core::ServiceId>> touched_;
+  std::map<util::HourBin, Pending> unacked_;
+  std::optional<util::HourBin> acked_;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t deltas_sealed_ = 0;
+};
+
+}  // namespace haystack::vantage

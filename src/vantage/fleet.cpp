@@ -1,0 +1,185 @@
+#include "vantage/fleet.hpp"
+
+#include <algorithm>
+
+namespace haystack::vantage {
+
+namespace {
+
+AggregatorConfig aggregator_config(const FleetConfig& config) {
+  AggregatorConfig acfg;
+  acfg.detector = config.detector;
+  acfg.reorder_window = config.reorder_window;
+  acfg.stale_after = config.stale_after;
+  return acfg;
+}
+
+}  // namespace
+
+Fleet::Fleet(const core::Hitlist& hitlist, const core::RuleSet& rules,
+             const FleetConfig& config, obs::Observability* obs)
+    : hitlist_{hitlist},
+      rules_{rules},
+      config_{config},
+      obs_{obs},
+      aggregator_{hitlist, rules, aggregator_config(config), obs},
+      ack_rng_{util::splitmix64(config.seed ^ 0xac4cULL), config.seed} {
+  config_.collectors = std::max(1U, config_.collectors);
+}
+
+std::unique_ptr<Collector> Fleet::make_collector(unsigned id) {
+  CollectorConfig ccfg;
+  ccfg.id = id;
+  ccfg.detector = config_.detector;
+  ccfg.initial_backoff = config_.initial_backoff;
+  ccfg.max_backoff = config_.max_backoff;
+  return std::make_unique<Collector>(hitlist_, rules_, ccfg, obs_);
+}
+
+void Fleet::start(util::HourBin first_hour) {
+  collectors_.reserve(config_.collectors);
+  links_.reserve(config_.collectors);
+  spool_.resize(config_.collectors);
+  for (unsigned id = 0; id < config_.collectors; ++id) {
+    collectors_.push_back(make_collector(id));
+    if (config_.delta_impairment) {
+      flow::ImpairmentConfig link_cfg = *config_.delta_impairment;
+      // Independent fault schedule per delta channel.
+      link_cfg.seed =
+          util::splitmix64(link_cfg.seed + 0x636f6cULL * (id + 1U));
+      links_.push_back(std::make_unique<flow::ImpairedLink>(link_cfg));
+    } else {
+      links_.push_back(nullptr);
+    }
+    aggregator_.add_collector(id, first_hour);
+  }
+  started_ = true;
+  start_hour_ = first_hour;
+}
+
+void Fleet::process_hour(util::HourBin hour,
+                         std::span<const core::Observation> observations) {
+  if (!started_) start(hour);
+  if (config_.kill_collector && config_.kill_hour &&
+      *config_.kill_hour == hour) {
+    kill(*config_.kill_collector);
+  }
+  if (config_.kill_collector && config_.restart_hour &&
+      *config_.restart_hour == hour) {
+    restart(*config_.kill_collector, hour);
+  }
+
+  for (const core::Observation& obs : observations) {
+    const unsigned id = collector_of(obs.server);
+    spool_[id][hour].push_back(obs);
+    if (collectors_[id]) collectors_[id]->ingest(obs);
+  }
+  for (unsigned id = 0; id < config_.collectors; ++id) {
+    if (collectors_[id]) transmit(id, collectors_[id]->seal_epoch(hour));
+  }
+  tick_retries();
+  pump_acks();
+  last_hour_ = hour;
+}
+
+void Fleet::kill(unsigned id) {
+  if (id < collectors_.size()) collectors_[id].reset();
+}
+
+void Fleet::restart(unsigned id, util::HourBin hour) {
+  if (id >= collectors_.size()) return;
+  collectors_[id] = make_collector(id);
+  util::HourBin resume = start_hour_;
+  const auto snap_bytes = aggregator_.snapshot_for(id);
+  if (!snap_bytes.empty()) {
+    flow::EvidenceDelta snap;
+    if (flow::decode_delta(snap_bytes, snap) &&
+        collectors_[id]->install_snapshot(snap)) {
+      resume = snap.epoch + 1;
+    }
+  }
+  // Replay the spooled hours the aggregator has not merged. Deterministic
+  // replay regenerates deltas with the same cumulative row values as the
+  // lost originals, so whatever already sits staged joins to a no-op.
+  for (util::HourBin h = resume; h < hour; ++h) {
+    const auto it = spool_[id].find(h);
+    if (it != spool_[id].end()) {
+      for (const core::Observation& obs : it->second) {
+        collectors_[id]->ingest(obs);
+      }
+    }
+    transmit(id, collectors_[id]->seal_epoch(h));
+  }
+}
+
+void Fleet::transmit(unsigned id, std::vector<std::uint8_t> datagram) {
+  ++datagrams_sent_;
+  bytes_sent_ += datagram.size();
+  if (links_[id]) {
+    for (auto& out : links_[id]->transmit(std::move(datagram))) {
+      (void)aggregator_.offer(out);
+    }
+  } else {
+    (void)aggregator_.offer(datagram);
+  }
+}
+
+void Fleet::tick_retries() {
+  for (unsigned id = 0; id < config_.collectors; ++id) {
+    if (!collectors_[id]) continue;
+    for (auto& datagram : collectors_[id]->tick()) {
+      transmit(id, std::move(datagram));
+    }
+  }
+}
+
+void Fleet::flush_links() {
+  for (auto& link : links_) {
+    if (!link) continue;
+    for (auto& out : link->flush()) {
+      (void)aggregator_.offer(out);
+    }
+  }
+}
+
+void Fleet::pump_acks() {
+  for (unsigned id = 0; id < config_.collectors; ++id) {
+    if (!collectors_[id]) continue;
+    if (ack_rng_.chance(config_.ack_loss)) continue;  // ack lost
+    const auto acked = aggregator_.acked_through(id);
+    if (!acked) continue;
+    collectors_[id]->handle_ack(*acked);
+    auto& spool = spool_[id];
+    spool.erase(spool.begin(), spool.upper_bound(*acked));
+  }
+}
+
+bool Fleet::finish(unsigned max_ticks) {
+  if (!started_) return true;
+  for (unsigned tick = 0; tick < max_ticks; ++tick) {
+    bool done = true;
+    for (unsigned id = 0; id < config_.collectors; ++id) {
+      if (!collectors_[id]) continue;
+      const auto acked = collectors_[id]->acked_through();
+      if (!acked || *acked < last_hour_) {
+        done = false;
+        break;
+      }
+    }
+    if (done) return true;
+    tick_retries();
+    flush_links();
+    pump_acks();
+  }
+  return false;
+}
+
+std::uint64_t Fleet::total_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& collector : collectors_) {
+    if (collector) total += collector->retransmissions();
+  }
+  return total;
+}
+
+}  // namespace haystack::vantage

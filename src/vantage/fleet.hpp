@@ -1,0 +1,134 @@
+// Multi-vantage collection fleet harness (ISSUE 7).
+//
+// Wires N Collectors and one Aggregator into the full fault-tolerant
+// collection loop: observations route to a collector by server address
+// (server.hash() % N, mirroring BorderRouterFleet::router_of — one
+// vantage per border-router slice), each hour every live collector seals
+// a delta, the delta rides a per-collector flow::ImpairedLink (the delta
+// channel itself drops/duplicates/reorders/truncates), the aggregator
+// stages and seals epochs behind its barrier, and merged-epoch acks flow
+// back over a lossy ack channel driving retransmission and spool pruning.
+//
+// Crash modeling: kill_collector/kill_hour destroys one collector object
+// (losing all its in-memory state); restart_hour builds a fresh one,
+// installs the aggregator's snapshot of its last MERGED epoch, and
+// replays the spooled observation hours after it. The spool models the
+// vantage's local capture WAL: the tap keeps writing while the collector
+// process is down (otherwise those observations would be gone and no
+// fleet could match a single-process detector bit-for-bit), and entries
+// are pruned only once their hour is acked — exactly the window a
+// restart needs.
+//
+// finish() drains the tail: retransmission ticks, link flushes, and ack
+// pumps until every live collector is acked through the last processed
+// hour. On a clean channel one round suffices; impaired channels converge
+// within the retry backoff bounds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/impairment.hpp"
+#include "vantage/aggregator.hpp"
+#include "vantage/collector.hpp"
+
+namespace haystack::vantage {
+
+struct FleetConfig {
+  unsigned collectors = 4;
+  core::DetectorConfig detector{};
+  /// Impairment applied to every collector's delta channel (each link is
+  /// seeded independently by xor-ing the collector id into `seed`).
+  /// nullopt means a pristine channel.
+  std::optional<flow::ImpairmentConfig> delta_impairment;
+  /// Probability an ack to a collector is lost (independent per pump).
+  double ack_loss = 0.0;
+  std::uint64_t seed = 1;
+  /// Scripted mid-study crash: collector `kill_collector` dies at the
+  /// start of `kill_hour` and comes back at the start of `restart_hour`.
+  std::optional<unsigned> kill_collector;
+  std::optional<util::HourBin> kill_hour;
+  std::optional<util::HourBin> restart_hour;
+  std::uint32_t initial_backoff = 1;
+  std::uint32_t max_backoff = 8;
+  std::uint32_t reorder_window = 64;
+  std::uint32_t stale_after = 3;
+};
+
+class Fleet {
+ public:
+  /// `hitlist`/`rules` must outlive the fleet.
+  Fleet(const core::Hitlist& hitlist, const core::RuleSet& rules,
+        const FleetConfig& config, obs::Observability* obs = nullptr);
+
+  /// Collector owning a server address (the vantage slice function).
+  [[nodiscard]] unsigned collector_of(const net::IpAddress& server) const {
+    return static_cast<unsigned>(server.hash() % config_.collectors);
+  }
+
+  /// Drives one hour: routes/spools observations, ingests them into live
+  /// collectors, runs the scripted kill/restart, seals and transmits the
+  /// hour's deltas, pumps retries and acks. Hours must be fed in
+  /// increasing order, contiguously (empty hours still advance the epoch
+  /// barrier via heartbeat deltas).
+  void process_hour(util::HourBin hour,
+                    std::span<const core::Observation> observations);
+
+  /// Drains retransmissions/acks until every live collector is acked
+  /// through the last processed hour; false when `max_ticks` rounds were
+  /// not enough (a collector left dead, or an absurdly hostile channel).
+  [[nodiscard]] bool finish(unsigned max_ticks = 10000);
+
+  [[nodiscard]] Aggregator& aggregator() noexcept { return aggregator_; }
+  [[nodiscard]] const Aggregator& aggregator() const noexcept {
+    return aggregator_;
+  }
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool alive(unsigned id) const {
+    return id < collectors_.size() && collectors_[id] != nullptr;
+  }
+  [[nodiscard]] const Collector* collector(unsigned id) const {
+    return id < collectors_.size() ? collectors_[id].get() : nullptr;
+  }
+  /// Datagrams handed to the delta channel (before impairment).
+  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept {
+    return datagrams_sent_;
+  }
+  /// Bytes handed to the delta channel (before impairment).
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t total_retransmissions() const;
+
+ private:
+  void start(util::HourBin first_hour);
+  void kill(unsigned id);
+  void restart(unsigned id, util::HourBin hour);
+  void transmit(unsigned id, std::vector<std::uint8_t> datagram);
+  void tick_retries();
+  void flush_links();
+  void pump_acks();
+  [[nodiscard]] std::unique_ptr<Collector> make_collector(unsigned id);
+
+  const core::Hitlist& hitlist_;
+  const core::RuleSet& rules_;
+  FleetConfig config_;
+  obs::Observability* obs_ = nullptr;
+  Aggregator aggregator_;
+  std::vector<std::unique_ptr<Collector>> collectors_;
+  std::vector<std::unique_ptr<flow::ImpairedLink>> links_;
+  /// Per-collector, per-hour observation spool (the capture WAL).
+  std::vector<std::map<util::HourBin, std::vector<core::Observation>>> spool_;
+  util::Pcg32 ack_rng_;
+  bool started_ = false;
+  util::HourBin start_hour_ = 0;
+  util::HourBin last_hour_ = 0;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace haystack::vantage

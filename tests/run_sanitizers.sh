@@ -16,7 +16,9 @@
 # concurrency stress/soak suite (ctest label `stress`: backpressure,
 # shutdown mid-stream, restart-after-drain), the observability suite
 # (ctest label `obs`: concurrent scrape-while-ingesting under load,
-# ISSUE 5), and the sharded detector and streaming-pipeline unit tests.
+# ISSUE 5), the multi-vantage suite (ctest label `vantage`: concurrent
+# aggregator offer/query, ISSUE 7), and the sharded detector and
+# streaming-pipeline unit tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,7 +31,7 @@ run_asan() {
   cmake --build build-asan -j "${jobs}"
   (cd build-asan && ctest --output-on-failure -j "${jobs}")
   (cd build-asan && ctest --output-on-failure -j "${jobs}" -L fault)
-  for codec in netflow_v9 ipfix dns_wire; do
+  for codec in netflow_v9 ipfix dns_wire vantage_delta; do
     "./build-asan/tests/fuzz/fuzz_${codec}" --iterations 10000 --seed 1
   done
 }
@@ -41,6 +43,7 @@ run_tsan() {
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L differential)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L stress)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L obs)
+  (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L vantage)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" \
     -R "Sharded|Queue|Ingest|Streaming")
 }

@@ -1,0 +1,228 @@
+// Live control plane benchmark (ISSUE 8): query latency under full
+// ingest, and the ingest-throughput cost of serving queries at all.
+//
+// One day of wild-ISP traffic is pre-materialized into hour batches
+// (isolating simulation cost from measurement), then replayed through an
+// 8-shard ShardedDetector at maximum rate while a query thread issues
+// snapshots at a fixed target rate. Three rates are measured:
+//
+//   0 q/s     — the ingest-only baseline;
+//   100 q/s   — the acceptance point (bench/serve_overhead.sh gates the
+//               ingest-throughput delta vs idle at <= 3% here);
+//   1000 q/s  — the abuse point, to show the wait-free read side does not
+//               collapse under query pressure.
+//
+// Per rate we report ingest observations/sec (best of BENCH_REPS runs,
+// default 3), the throughput delta vs the 0 q/s baseline, and p50/p99
+// latency for both query flavours: live (wait-free ViewHub loads) and
+// fresh (token-refreshed, every 10th query).
+//
+// Writes a JSON summary (default BENCH_serve.json, argv[1] overrides):
+//
+//   bench/serve_bench [out.json]
+//   HAYSTACK_LINES=40000 BENCH_REPS=5 BENCH_PASSES=8 bench/serve_bench
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/sharded_detector.hpp"
+#include "serve/control.hpp"
+#include "simnet/backend.hpp"
+#include "simnet/manual_analysis.hpp"
+#include "simnet/population.hpp"
+#include "simnet/wild_isp.hpp"
+
+namespace {
+
+using namespace haystack;
+
+constexpr unsigned kShards = 8;
+constexpr util::HourBin kHours = 24;
+
+// Sink so snapshot reads cannot be optimized away.
+std::atomic<std::uint64_t> g_sink{0};
+
+struct QuantileStats {
+  std::uint64_t count = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+QuantileStats quantiles(std::vector<std::uint64_t>& ns) {
+  QuantileStats q;
+  q.count = ns.size();
+  if (ns.empty()) return q;
+  std::sort(ns.begin(), ns.end());
+  q.p50_ns = ns[ns.size() / 2];
+  q.p99_ns = ns[(ns.size() * 99) / 100];
+  return q;
+}
+
+struct RateResult {
+  unsigned qps = 0;
+  double ingest_obs_per_sec = 0.0;
+  double delta_vs_idle = 0.0;  // filled in by main()
+  QuantileStats live;
+  QuantileStats fresh;
+};
+
+RateResult run_rate(const core::RuleSet& rules,
+                    const std::vector<std::vector<core::Observation>>& hours,
+                    unsigned qps, int passes, int reps) {
+  std::uint64_t per_pass = 0;
+  for (const auto& h : hours) per_pass += h.size();
+
+  RateResult result;
+  result.qps = qps;
+  std::vector<std::uint64_t> live_ns;
+  std::vector<std::uint64_t> fresh_ns;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    core::ShardedDetector det{rules.hitlist, rules,
+                              {.threshold = 0.4},
+                              kShards,
+                              /*queue_capacity=*/1024,
+                              nullptr,
+                              {.auto_publish_observations = 50'000}};
+    serve::ControlPlane control{det};
+
+    std::atomic<bool> done{false};
+    std::thread query;
+    if (qps > 0) {
+      query = std::thread{[&] {
+        const auto period =
+            std::chrono::nanoseconds{1'000'000'000ULL / qps};
+        auto next = std::chrono::steady_clock::now();
+        std::uint64_t i = 0;
+        while (!done.load(std::memory_order_acquire)) {
+          next += period;
+          std::this_thread::sleep_until(next);
+          const auto t0 = std::chrono::steady_clock::now();
+          if (i++ % 10 == 0) {
+            const auto snap = control.fresh_snapshot();
+            g_sink.fetch_add(snap.observations(),
+                             std::memory_order_relaxed);
+            fresh_ns.push_back(static_cast<std::uint64_t>(
+                (std::chrono::steady_clock::now() - t0).count()));
+          } else {
+            const auto snap = control.snapshot();
+            g_sink.fetch_add(snap.satisfied(), std::memory_order_relaxed);
+            live_ns.push_back(static_cast<std::uint64_t>(
+                (std::chrono::steady_clock::now() - t0).count()));
+          }
+        }
+      }};
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < passes; ++pass) {
+      for (const auto& h : hours) det.enqueue_batch(h);
+    }
+    det.drain();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    done.store(true, std::memory_order_release);
+    if (query.joinable()) query.join();
+
+    const double rate =
+        static_cast<double>(per_pass) * passes / std::max(secs, 1e-9);
+    result.ingest_obs_per_sec = std::max(result.ingest_obs_per_sec, rate);
+  }
+
+  result.live = quantiles(live_ns);
+  result.fresh = quantiles(fresh_ns);
+  return result;
+}
+
+void write_json(const char* path, std::uint64_t lines, int passes, int reps,
+                const std::vector<RateResult>& rates) {
+  std::ofstream out{path};
+  out << "{\n"
+      << "  \"bench\": \"serve\",\n"
+      << "  \"lines\": " << lines << ",\n"
+      << "  \"shards\": " << kShards << ",\n"
+      << "  \"hours\": " << kHours << ",\n"
+      << "  \"passes\": " << passes << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"rates\": [\n";
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto& r = rates[i];
+    out << "    {\"queries_per_sec\": " << r.qps
+        << ", \"ingest_obs_per_sec\": " << static_cast<std::uint64_t>(
+               r.ingest_obs_per_sec)
+        << ", \"ingest_delta_vs_idle\": " << r.delta_vs_idle
+        << ",\n     \"query_live_ns\": {\"count\": " << r.live.count
+        << ", \"p50\": " << r.live.p50_ns << ", \"p99\": " << r.live.p99_ns
+        << "},\n     \"query_fresh_ns\": {\"count\": " << r.fresh.count
+        << ", \"p50\": " << r.fresh.p50_ns
+        << ", \"p99\": " << r.fresh.p99_ns << "}}"
+        << (i + 1 < rates.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const std::uint64_t lines = bench::env_u64("HAYSTACK_LINES", 20'000);
+  const int reps = static_cast<int>(bench::env_u64("BENCH_REPS", 3));
+  const int passes = static_cast<int>(bench::env_u64("BENCH_PASSES", 4));
+
+  simnet::Catalog catalog;
+  simnet::Backend backend{catalog, simnet::BackendConfig{}};
+  const core::RuleSet rules = simnet::build_ruleset(backend);
+  simnet::Population population{catalog,
+                                {.lines = static_cast<std::uint32_t>(lines)}};
+  simnet::DomainRateModel rates_model{catalog, 7};
+  simnet::WildIspSim wild{backend, population, rates_model,
+                          simnet::WildIspConfig{}};
+
+  std::vector<std::vector<core::Observation>> hours(kHours);
+  std::uint64_t total = 0;
+  for (util::HourBin h = 0; h < kHours; ++h) {
+    wild.hour_observations(h, [&](const simnet::WildObs& o) {
+      hours[h].push_back(core::Observation{o.line, o.flow.key.dst,
+                                           o.flow.key.dst_port,
+                                           o.flow.packets, h});
+    });
+    total += hours[h].size();
+  }
+  std::printf("world: %llu lines, %llu observations/day\n",
+              static_cast<unsigned long long>(lines),
+              static_cast<unsigned long long>(total));
+
+  std::vector<RateResult> results;
+  for (const unsigned qps : {0U, 100U, 1000U}) {
+    results.push_back(run_rate(rules, hours, qps, passes, reps));
+    const auto& r = results.back();
+    std::printf("%5u q/s: ingest %.0f obs/s", qps, r.ingest_obs_per_sec);
+    if (qps > 0) {
+      std::printf("  live p50/p99 %llu/%llu ns  fresh p50/p99 %llu/%llu ns",
+                  static_cast<unsigned long long>(r.live.p50_ns),
+                  static_cast<unsigned long long>(r.live.p99_ns),
+                  static_cast<unsigned long long>(r.fresh.p50_ns),
+                  static_cast<unsigned long long>(r.fresh.p99_ns));
+    }
+    std::printf("\n");
+  }
+
+  const double idle = results[0].ingest_obs_per_sec;
+  for (auto& r : results) {
+    r.delta_vs_idle = idle > 0.0
+                          ? (idle - r.ingest_obs_per_sec) / idle
+                          : 0.0;
+  }
+
+  write_json(out_path, lines, passes, reps, results);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

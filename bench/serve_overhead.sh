@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Query-serving overhead gate (ISSUE 8).
+#
+# Builds bench/serve_bench in Release, runs the query-latency-under-ingest
+# sweep (0 / 100 / 1000 queries per second against an 8-shard detector at
+# full ingest rate), and gates the acceptance budget: serving 100 q/s must
+# cost no more than 3% of the ingest-only throughput. BENCH_serve.json
+# lands in the repo root with the full sweep (latency quantiles included).
+#
+#   bench/serve_overhead.sh                 # full run, writes BENCH_serve.json
+#   BENCH_REPS=5 bench/serve_overhead.sh    # more repetitions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+jobs="$(nproc)"
+
+cmake -B build-bench-serve -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench-serve -j "${jobs}" --target serve_bench >/dev/null
+./build-bench-serve/bench/serve_bench BENCH_serve.json
+
+python3 - <<'PY'
+import json
+
+with open("BENCH_serve.json") as f:
+    doc = json.load(f)
+
+by_rate = {r["queries_per_sec"]: r for r in doc["rates"]}
+gate = by_rate[100]
+delta = gate["ingest_delta_vs_idle"]
+print(f"ingest delta at 100 q/s: {delta * 100:+.2f}% "
+      f"({by_rate[0]['ingest_obs_per_sec']} -> "
+      f"{gate['ingest_obs_per_sec']} obs/s)")
+if delta > 0.03:
+    raise SystemExit(
+        f"FAIL: serving 100 q/s costs {delta * 100:.2f}% ingest "
+        "throughput, over the 3% budget")
+print("query-serving overhead within the 3% budget at 100 q/s")
+PY

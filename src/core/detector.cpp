@@ -6,30 +6,17 @@ namespace haystack::core {
 
 Detector::Detector(const Hitlist& hitlist, const RuleSet& rules,
                    const DetectorConfig& config)
-    : hitlist_{hitlist}, rules_{rules}, config_{config} {
-  ServiceId max_id = 0;
-  for (const auto& r : rules.rules) max_id = std::max(max_id, r.service);
-  rule_of_.assign(max_id + 1U, nullptr);
-  for (const auto& r : rules.rules) rule_of_[r.service] = &r;
+    : hitlist_{&hitlist},
+      compiled_{compile_rules(hitlist, rules, config, /*id=*/1, nullptr,
+                              /*build_index=*/false, nullptr)} {}
 
-  // Precompile the per-service fast data (ISSUE 6): the threshold is
-  // fixed for the detector's lifetime, so required_domains() and the
-  // critical-domain mask are constants the interned path can use without
-  // touching the rule.
-  fast_rules_.assign(rule_of_.size(), RuleFast{});
-  for (std::size_t s = 0; s < rule_of_.size(); ++s) {
-    const DetectionRule* rule = rule_of_[s];
-    if (rule == nullptr) continue;
-    RuleFast& fast = fast_rules_[s];
-    fast.has_rule = true;
-    fast.required = static_cast<std::uint16_t>(std::min(
-        rule->required_domains(config_.threshold), 0xffffU));
-    if (rule->critical_sufficient && rule->critical_monitored_index &&
-        *rule->critical_monitored_index < 128) {
-      const std::uint16_t idx = *rule->critical_monitored_index;
-      fast.critical_mask[idx >> 6] |= std::uint64_t{1} << (idx & 63U);
-    }
-  }
+Detector::Detector(std::shared_ptr<const CompiledRuleVersion> version)
+    : hitlist_{version->hitlist}, compiled_{std::move(version)} {}
+
+void Detector::adopt_version(
+    std::shared_ptr<const CompiledRuleVersion> version) {
+  hitlist_ = version->hitlist;
+  compiled_ = std::move(version);
 }
 
 void Detector::apply_match(SubscriberKey subscriber, ServiceId service,
@@ -59,6 +46,7 @@ void Detector::apply_match(SubscriberKey subscriber, ServiceId service,
          (ev.mask[1] & fast.critical_mask[1])) != 0;
     if (critical_ok || ev.distinct >= fast.required) {
       ev.satisfied_hour = hour;
+      ++satisfied_total_;
       if (instruments_.rules_satisfied) instruments_.rules_satisfied->add(1);
       if (instruments_.time_to_detection_hours) {
         instruments_.time_to_detection_hours->record(hour - ev.first_seen);
@@ -74,17 +62,16 @@ std::optional<Hit> Detector::observe(SubscriberKey subscriber,
                                      util::HourBin hour) {
   ++stats_.flows;
   if (instruments_.flows) instruments_.flows->add(1);
-  const auto hit = hitlist_.lookup(server, port, util::day_of(hour));
+  const auto hit = hitlist_->lookup(server, port, util::day_of(hour));
   if (!hit) return std::nullopt;
   ++stats_.matched;
   if (instruments_.matched) instruments_.matched->add(1);
 
-  const DetectionRule* rule =
-      hit->service < rule_of_.size() ? rule_of_[hit->service] : nullptr;
+  const DetectionRule* rule = compiled_->rule_for(hit->service);
   if (rule == nullptr) return hit;
 
   apply_match(subscriber, hit->service, hit->domain_index,
-              fast_rules_[hit->service], packets, hour);
+              compiled_->fast_rules[hit->service], packets, hour);
   return hit;
 }
 
@@ -97,9 +84,12 @@ void Detector::observe_interned(SubscriberKey subscriber, Signature sig,
   if (instruments_.matched) instruments_.matched->add(1);
 
   const ServiceId service = sig_service(sig);
-  if (service >= fast_rules_.size() || !fast_rules_[service].has_rule) return;
+  if (service >= compiled_->fast_rules.size() ||
+      !compiled_->fast_rules[service].has_rule) {
+    return;
+  }
   apply_match(subscriber, service, sig_domain_index(sig),
-              fast_rules_[service], packets, hour);
+              compiled_->fast_rules[service], packets, hour);
 }
 
 bool Detector::observe_interned_uncounted(SubscriberKey subscriber,
@@ -108,9 +98,10 @@ bool Detector::observe_interned_uncounted(SubscriberKey subscriber,
                                           util::HourBin hour) {
   if (sig == kNoSig) return false;
   const ServiceId service = sig_service(sig);
-  if (service < fast_rules_.size() && fast_rules_[service].has_rule) {
+  if (service < compiled_->fast_rules.size() &&
+      compiled_->fast_rules[service].has_rule) {
     apply_match(subscriber, service, sig_domain_index(sig),
-                fast_rules_[service], packets, hour);
+                compiled_->fast_rules[service], packets, hour);
   }
   return true;
 }
@@ -125,67 +116,16 @@ void Detector::add_observation_counts(std::uint64_t flows,
   }
 }
 
-std::optional<util::HourBin> Detector::detection_hour(
-    SubscriberKey subscriber, ServiceId service) const {
-  util::HourBin latest = 0;
-  std::optional<ServiceId> current = service;
-  while (current) {
-    const DetectionRule* rule =
-        *current < rule_of_.size() ? rule_of_[*current] : nullptr;
-    if (rule == nullptr) return std::nullopt;
-    const Evidence* ev = evidence_.find(subscriber, *current);
-    if (ev == nullptr || ev->satisfied_hour == Evidence::kNever) {
-      return std::nullopt;
-    }
-    latest = std::max(latest, ev->satisfied_hour);
-    current = rule->parent;
-  }
-  return latest;
-}
-
 void Detector::set_observed_loss(double fraction) noexcept {
   const bool was_degraded = degraded();
-  observed_loss_ = std::clamp(fraction, 0.0, 1.0);
+  observed_loss_.store(std::clamp(fraction, 0.0, 1.0),
+                       std::memory_order_relaxed);
   if (instruments_.recorder != nullptr && degraded() != was_degraded) {
-    const auto ppm = static_cast<std::uint64_t>(observed_loss_ * 1e6);
+    const auto ppm = static_cast<std::uint64_t>(observed_loss() * 1e6);
     instruments_.recorder->record(degraded() ? obs::EventKind::kDegradedEnter
                                              : obs::EventKind::kDegradedExit,
                                   instruments_.source, ppm);
   }
-}
-
-Verdict Detector::verdict(SubscriberKey subscriber, ServiceId service) const {
-  if (const auto hour = detection_hour(subscriber, service)) {
-    return {true, Confidence::kHigh, hour};
-  }
-  if (!degraded()) return {false, Confidence::kHigh, std::nullopt};
-
-  // Degraded channel: an estimated fraction `observed_loss_` of the
-  // export stream never reached us, so scale the evidence requirement
-  // down proportionally (never below one domain) and re-evaluate the
-  // hierarchy chain on current evidence. Whatever the answer, it is
-  // low-confidence.
-  std::optional<ServiceId> current = service;
-  while (current) {
-    const DetectionRule* rule =
-        *current < rule_of_.size() ? rule_of_[*current] : nullptr;
-    if (rule == nullptr) return {false, Confidence::kLow, std::nullopt};
-    const Evidence* found = evidence_.find(subscriber, *current);
-    if (found == nullptr) return {false, Confidence::kLow, std::nullopt};
-    const Evidence& ev = *found;
-    const bool critical_ok =
-        rule->critical_sufficient && rule->critical_monitored_index &&
-        ev.sees(*rule->critical_monitored_index);
-    const unsigned required = rule->required_domains(config_.threshold);
-    const auto relaxed = std::max<unsigned>(
-        1, static_cast<unsigned>(static_cast<double>(required) *
-                                 (1.0 - observed_loss_)));
-    if (!critical_ok && ev.distinct < relaxed) {
-      return {false, Confidence::kLow, std::nullopt};
-    }
-    current = rule->parent;
-  }
-  return {true, Confidence::kLow, std::nullopt};
 }
 
 void Detector::restore_evidence(SubscriberKey subscriber, ServiceId service,

@@ -11,9 +11,16 @@
 // The detector is deliberately tiny per flow: one hash lookup plus a bitset
 // update, which is what makes the methodology viable at ISP scale
 // ("millions of IoT devices within minutes").
+//
+// Rule state is versioned (ISSUE 8): the dispatch tables live in an
+// immutable CompiledRuleVersion the detector holds by shared_ptr, so a
+// hot-reload is one pointer swap (adopt_version) on the owning worker
+// thread — in-flight evidence is retained and every verdict reports the
+// version it was evaluated under.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -22,6 +29,7 @@
 
 #include "core/evidence_map.hpp"
 #include "core/hitlist.hpp"
+#include "core/rule_version.hpp"
 #include "core/rules.hpp"
 #include "core/signature_index.hpp"
 #include "obs/flight_recorder.hpp"
@@ -29,58 +37,6 @@
 #include "util/sim_clock.hpp"
 
 namespace haystack::core {
-
-/// Anonymized subscriber identifier (from telemetry::anonymize, or any
-/// stable 64-bit key).
-using SubscriberKey = std::uint64_t;
-
-/// Detector configuration.
-struct DetectorConfig {
-  /// Domain-coverage threshold D (Sec. 4.3.2; the paper's conservative
-  /// default is 0.4).
-  double threshold = 0.4;
-  /// Estimated observation-channel loss fraction above which the detector
-  /// runs in degraded mode: verdicts become low-confidence, and the
-  /// evidence requirement is relaxed in proportion to the loss (ISSUE 2).
-  double loss_tolerance = 0.05;
-};
-
-/// Confidence qualifier for loss-aware verdicts.
-enum class Confidence : std::uint8_t {
-  kHigh,  ///< full evidence requirement met on a healthy channel
-  kLow,   ///< verdict rendered under a degraded observation channel
-};
-
-/// A loss-aware detection verdict (ISSUE 2). On a healthy channel this is
-/// just detection_hour() with kHigh confidence. When the estimated loss
-/// exceeds the tolerance, missing evidence may be the channel's fault:
-/// services satisfying a loss-relaxed requirement are reported detected at
-/// kLow confidence (with no hour, since the full requirement never fired),
-/// and negative verdicts are themselves flagged kLow.
-struct Verdict {
-  bool detected = false;
-  Confidence confidence = Confidence::kHigh;
-  /// Detection hour; set only for full-evidence (kHigh) detections.
-  std::optional<util::HourBin> hour;
-};
-
-/// Per-(subscriber, service) evidence state.
-struct Evidence {
-  /// Bitset over monitored-domain positions (up to 128; Fire TV's 34 is
-  /// the catalog maximum).
-  std::array<std::uint64_t, 2> mask{0, 0};
-  std::uint16_t distinct = 0;
-  std::uint64_t packets = 0;          ///< cumulative sampled packets
-  util::HourBin first_seen = 0;
-  /// Hour the rule's own coverage requirement was first met; kNever until.
-  util::HourBin satisfied_hour = kNever;
-
-  static constexpr util::HourBin kNever = 0xffffffffU;
-
-  [[nodiscard]] bool sees(std::uint16_t position) const noexcept {
-    return (mask[position >> 6] >> (position & 63U)) & 1U;
-  }
-};
 
 /// Registry handles one detector instance bumps as it observes (ISSUE 5).
 /// Null handles disable each hook. ShardedDetector wires one set per shard
@@ -103,8 +59,48 @@ struct DetectorInstruments {
 /// The streaming detector.
 class Detector {
  public:
+  /// Compiles `rules` + `config` into version 1. `hitlist`/`rules` must
+  /// outlive the detector (or its next adopt_version, whichever first).
   Detector(const Hitlist& hitlist, const RuleSet& rules,
            const DetectorConfig& config);
+
+  /// Constructs directly on a precompiled version (shared across shards).
+  explicit Detector(std::shared_ptr<const CompiledRuleVersion> version);
+
+  /// Movable (factory functions return detectors by value); like every
+  /// other write, moving is not safe while another thread observes.
+  /// Spelled out because the atomic loss estimate is not itself movable.
+  Detector(Detector&& other) noexcept
+      : hitlist_{other.hitlist_},
+        compiled_{std::move(other.compiled_)},
+        evidence_{std::move(other.evidence_)},
+        stats_{other.stats_},
+        satisfied_total_{other.satisfied_total_},
+        observed_loss_{other.observed_loss()},
+        instruments_{std::move(other.instruments_)} {}
+  Detector& operator=(Detector&& other) noexcept {
+    hitlist_ = other.hitlist_;
+    compiled_ = std::move(other.compiled_);
+    evidence_ = std::move(other.evidence_);
+    stats_ = other.stats_;
+    satisfied_total_ = other.satisfied_total_;
+    observed_loss_.store(other.observed_loss(), std::memory_order_relaxed);
+    instruments_ = std::move(other.instruments_);
+    return *this;
+  }
+
+  /// Hot-reload cutover (ISSUE 8): swaps the compiled rule tables,
+  /// threshold, and hitlist to `version`, keeping all accumulated
+  /// evidence. Must be called from the thread that owns this detector's
+  /// writes (the shard worker, between waves) — it is NOT safe
+  /// concurrently with observe paths from other threads.
+  void adopt_version(std::shared_ptr<const CompiledRuleVersion> version);
+
+  /// The compiled version currently evaluated under.
+  [[nodiscard]] const std::shared_ptr<const CompiledRuleVersion>& version()
+      const noexcept {
+    return compiled_;
+  }
 
   /// Feeds one sampled flow observation (already direction-normalized:
   /// `server`/`port` are the service side). Returns the hitlist match, if
@@ -145,7 +141,9 @@ class Detector {
   /// Hierarchy-aware detection: the hour at which the service and all of
   /// its ancestors were satisfied for this subscriber, or nullopt.
   [[nodiscard]] std::optional<util::HourBin> detection_hour(
-      SubscriberKey subscriber, ServiceId service) const;
+      SubscriberKey subscriber, ServiceId service) const {
+    return eval_detection_hour(evidence_, *compiled_, subscriber, service);
+  }
 
   [[nodiscard]] bool detected(SubscriberKey subscriber,
                               ServiceId service) const {
@@ -153,24 +151,36 @@ class Detector {
   }
 
   /// Loss-aware verdict (see Verdict). Uses the loss set through
-  /// set_observed_loss() against config().loss_tolerance.
+  /// set_observed_loss() against config().loss_tolerance, and is tagged
+  /// with the active ruleset version.
   [[nodiscard]] Verdict verdict(SubscriberKey subscriber,
-                                ServiceId service) const;
+                                ServiceId service) const {
+    return eval_verdict(evidence_, *compiled_, observed_loss(), subscriber,
+                        service);
+  }
 
   /// Feeds the current estimated loss fraction of the observation channel
   /// (e.g. flow::nf9::Collector::estimated_loss()). Clamped to [0, 1].
   void set_observed_loss(double fraction) noexcept;
   [[nodiscard]] double observed_loss() const noexcept {
-    return observed_loss_;
+    return observed_loss_.load(std::memory_order_relaxed);
   }
   /// True when the channel loss exceeds the configured tolerance.
   [[nodiscard]] bool degraded() const noexcept {
-    return observed_loss_ > config_.loss_tolerance;
+    return observed_loss() > compiled_->config.loss_tolerance;
   }
 
   /// Raw evidence for diagnostics/tests; nullptr when none.
   [[nodiscard]] const Evidence* evidence(SubscriberKey subscriber,
                                          ServiceId service) const;
+
+  /// The raw evidence table — the read-view publisher clones it at wave
+  /// boundaries (core/read_view.hpp). Owning-thread or quiescent access
+  /// only, like every other read of live evidence.
+  [[nodiscard]] const FlatEvidenceMap<Evidence>& evidence_map()
+      const noexcept {
+    return evidence_;
+  }
 
   /// Visits every (subscriber, service, evidence) triple.
   void for_each_evidence(
@@ -187,6 +197,12 @@ class Detector {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Cumulative coverage-met transitions (the new-detection alert basis;
+  /// monotone, never reset by adopt_version).
+  [[nodiscard]] std::uint64_t satisfied_total() const noexcept {
+    return satisfied_total_;
+  }
+
   /// Checkpoint support (core/checkpoint.hpp): installs one evidence row /
   /// the saved throughput counters verbatim. Restored state is bit-for-bit
   /// what for_each_evidence()/stats() produced at save time.
@@ -195,9 +211,11 @@ class Detector {
   void restore_stats(const Stats& stats) noexcept { stats_ = stats; }
 
   [[nodiscard]] const DetectorConfig& config() const noexcept {
-    return config_;
+    return compiled_->config;
   }
-  [[nodiscard]] const RuleSet& rules() const noexcept { return rules_; }
+  [[nodiscard]] const RuleSet& rules() const noexcept {
+    return *compiled_->rules;
+  }
 
   /// Attaches registry instrumentation (ISSUE 5). Call at wiring time,
   /// before observations flow.
@@ -209,33 +227,25 @@ class Detector {
   }
 
  private:
-  /// Per-service data precompiled at construction so the interned path
-  /// never dereferences a DetectionRule: the evidence requirement under
-  /// config_.threshold and the critical-domain bitset (nonzero only when
-  /// the critical domain alone is sufficient).
-  struct RuleFast {
-    std::array<std::uint64_t, 2> critical_mask{0, 0};
-    std::uint16_t required = 1;
-    bool has_rule = false;
-  };
-
   /// Evidence update shared by observe() and observe_interned(); both
   /// paths must stay bit-identical (differential tier).
   void apply_match(SubscriberKey subscriber, ServiceId service,
                    std::uint16_t pos, const RuleFast& fast,
                    std::uint64_t packets, util::HourBin hour);
 
-  const Hitlist& hitlist_;
-  const RuleSet& rules_;
-  DetectorConfig config_;
-  // Rule pointer per service id for O(1) dispatch.
-  std::vector<const DetectionRule*> rule_of_;
-  std::vector<RuleFast> fast_rules_;  ///< parallel to rule_of_
+  /// Raw-IP lookup path hitlist; adopt_version retargets it to the new
+  /// version's hitlist (RuleSet owns its hitlist by value).
+  const Hitlist* hitlist_;
+  std::shared_ptr<const CompiledRuleVersion> compiled_;
   /// Flat open-addressing table: one cache line per probe on the hot
   /// path (see core/evidence_map.hpp).
   FlatEvidenceMap<Evidence> evidence_;
   Stats stats_;
-  double observed_loss_ = 0.0;
+  std::uint64_t satisfied_total_ = 0;
+  /// Atomic so a view publication on the owning worker may read it while
+  /// a control thread feeds a new estimate (relaxed: a one-publish-stale
+  /// loss is fine, tearing a double is not).
+  std::atomic<double> observed_loss_{0.0};
   DetectorInstruments instruments_;
 };
 

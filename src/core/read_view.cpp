@@ -1,0 +1,54 @@
+#include "core/read_view.hpp"
+
+namespace haystack::core {
+
+ViewHub::ViewHub(unsigned shards) : shards_{shards == 0 ? 1U : shards} {
+  cells_ = std::make_unique<Cell[]>(shards_);
+  for (unsigned s = 0; s < shards_; ++s) {
+    auto v = std::make_shared<ShardView>();
+    v->shard = s;
+    cells_[s].view.store(std::move(v));
+  }
+}
+
+std::shared_ptr<const ShardView> ViewHub::view(unsigned shard) const {
+  return cells_[shard].view.load();
+}
+
+std::vector<std::shared_ptr<const ShardView>> ViewHub::views() const {
+  std::vector<std::shared_ptr<const ShardView>> out;
+  out.reserve(shards_);
+  for (unsigned s = 0; s < shards_; ++s) out.push_back(view(s));
+  return out;
+}
+
+void ViewHub::publish(std::shared_ptr<const ShardView> v) {
+  const unsigned s = v->shard;
+  // Single writer per cell (the owning shard worker), so load-then-store
+  // cannot interleave with another publish to the same cell.
+  const auto prev = cells_[s].view.load();
+  if (prev != nullptr && v->epoch < prev->epoch) {
+    regressions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  cells_[s].view.store(std::move(v));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  if (waiters_.load(std::memory_order_seq_cst) != 0) {
+    // Empty critical section pairs the notify with the waiter's predicate
+    // check so no wait_epoch wakeup is lost.
+    { std::lock_guard lock{mu_}; }
+    cv_.notify_all();
+  }
+}
+
+void ViewHub::wait_epoch(unsigned shard, std::uint64_t epoch) const {
+  if (view(shard)->epoch >= epoch) return;
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock lock{mu_};
+    cv_.wait(lock, [&] { return view(shard)->epoch >= epoch; });
+  }
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace haystack::core

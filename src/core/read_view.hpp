@@ -1,0 +1,155 @@
+// Epoch-swapped read views over shard state (ISSUE 8 tentpole).
+//
+// Every read API in this repo used to drain the pipeline — a quiescence
+// barrier a production system serving live traffic cannot afford. This
+// layer is the RCU-style alternative: each shard worker, at a wave
+// boundary, clones its detection-relevant state into an immutable
+// ShardView and publishes it into the ViewHub with one pointer swap
+// (util::SharedSlot — chosen over std::atomic<shared_ptr>, whose GCC 12
+// reader side is formally racy; see shared_slot.hpp). Readers grab the
+// current view with one pointer copy — they never touch a queue, never
+// take the coalescing mutex, and never wait on ingest; publication
+// critical sections are a pointer move, so producers and readers only
+// ever contend for nanoseconds.
+//
+// Consistency contract (the "published epoch"): a shard's chunks are
+// applied in one total order by its single worker, and a view published
+// at epoch E reflects exactly the first E chunks of that order — a
+// prefix, never a torn mid-wave state (views are built between waves).
+// A multi-shard snapshot is a vector of such prefixes, one per shard; a
+// subscriber's evidence lives in exactly one shard, so every
+// per-subscriber answer is prefix-consistent with the ingest order, and
+// per-shard epochs are monotone (asserted by the serve property tests).
+//
+// Freshness is policy, not mechanism: views refresh when a publish token
+// rides through the shard queue (ShardedDetector::fresh_view — covers
+// everything enqueued before the request, the non-draining replacement
+// for the old read barrier) or automatically every
+// SnapshotPolicy::auto_publish_observations applied observations.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/evidence_map.hpp"
+#include "core/rule_version.hpp"
+#include "util/shared_slot.hpp"
+
+namespace haystack::core {
+
+/// Publication policy for the epoch-swapped read views.
+struct SnapshotPolicy {
+  /// Republish a shard's view automatically once this many observations
+  /// have been applied since its last publish; 0 publishes on demand only
+  /// (publish tokens and rule cutovers still refresh).
+  std::uint64_t auto_publish_observations = 0;
+};
+
+/// Throughput counters (mirrors Detector::Stats; duplicated here to keep
+/// this header free of the full detector).
+struct ViewStats {
+  std::uint64_t flows = 0;
+  std::uint64_t matched = 0;
+};
+
+/// One shard's immutable published view. Built by the shard worker at a
+/// wave boundary, then never mutated — readers share it by shared_ptr.
+struct ShardView {
+  unsigned shard = 0;
+  /// Chunks applied when published — the view is exactly this prefix of
+  /// the shard's serial application order.
+  std::uint64_t epoch = 0;
+  std::uint64_t observations = 0;  ///< observations applied at publish
+  /// Cumulative coverage-met transitions (new-detection alert basis).
+  std::uint64_t satisfied = 0;
+  std::uint64_t ruleset_version = 0;
+  /// The compiled rules active when the view was published; every query
+  /// against this view evaluates under exactly this version.
+  std::shared_ptr<const CompiledRuleVersion> compiled;
+  ViewStats stats{};  ///< includes boundary-filtered misses
+  double observed_loss = 0.0;
+  bool degraded = false;
+  FlatEvidenceMap<Evidence> evidence;
+
+  [[nodiscard]] std::optional<util::HourBin> detection_hour(
+      SubscriberKey subscriber, ServiceId service) const {
+    return eval_detection_hour(evidence, *compiled, subscriber, service);
+  }
+  [[nodiscard]] bool detected(SubscriberKey subscriber,
+                              ServiceId service) const {
+    return detection_hour(subscriber, service).has_value();
+  }
+  /// Verdict tagged with this view's ruleset_version.
+  [[nodiscard]] Verdict verdict(SubscriberKey subscriber,
+                                ServiceId service) const {
+    return eval_verdict(evidence, *compiled, observed_loss, subscriber,
+                        service);
+  }
+  [[nodiscard]] const Evidence* evidence_row(SubscriberKey subscriber,
+                                             ServiceId service) const {
+    return evidence.find(subscriber, service);
+  }
+};
+
+/// Per-shard publication cells. publish() is called only by the owning
+/// shard's worker (one writer per cell); view()/views() are safe from any
+/// number of reader threads concurrently with publication and never
+/// block ingest. wait_epoch() parks a control-plane caller until a
+/// shard's published epoch reaches a target (the fresh_view protocol).
+class ViewHub {
+ public:
+  explicit ViewHub(unsigned shards);
+
+  ViewHub(const ViewHub&) = delete;
+  ViewHub& operator=(const ViewHub&) = delete;
+
+  /// Current published view of one shard; never null after construction
+  /// (an empty epoch-0 view is published at startup).
+  [[nodiscard]] std::shared_ptr<const ShardView> view(unsigned shard) const;
+
+  /// Current views of every shard, grabbed one pointer copy apiece. The
+  /// vector is a snapshot-of-pointers: each element is prefix-consistent
+  /// at its own published epoch.
+  [[nodiscard]] std::vector<std::shared_ptr<const ShardView>> views() const;
+
+  /// Publishes a new view for v->shard (owning worker only). Epochs must
+  /// be monotone per shard; regressions are counted, dropped, and assert
+  /// in the serve property tests.
+  void publish(std::shared_ptr<const ShardView> v);
+
+  /// Blocks until shard's published epoch >= `epoch`. Control-plane path
+  /// only — never called from a shard worker (it would wait on itself).
+  void wait_epoch(unsigned shard, std::uint64_t epoch) const;
+
+  [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+  /// Views ever published (all shards).
+  [[nodiscard]] std::uint64_t publishes() const noexcept {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  /// Publish calls dropped for violating per-shard epoch monotonicity
+  /// (always 0 unless the single-writer contract is broken).
+  [[nodiscard]] std::uint64_t epoch_regressions() const noexcept {
+    return regressions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    util::SharedSlot<const ShardView> view;
+  };
+
+  unsigned shards_;
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> regressions_{0};
+  // wait_epoch parking (control-plane only; workers notify when waiters
+  // are registered, same discipline as ShardPool::drain).
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::atomic<int> waiters_{0};
+};
+
+}  // namespace haystack::core

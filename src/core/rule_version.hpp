@@ -1,0 +1,159 @@
+// Versioned, precompiled rule state (ISSUE 8 tentpole).
+//
+// The live control plane hot-reloads rule sets, hitlists, and thresholds
+// while ingest runs. That only works if "the rules" are an immutable value
+// the hot path can hold by pointer: a CompiledRuleVersion bundles one
+// rule set + detector config + the per-service dispatch tables the detect
+// loop reads (rule_of / RuleFast) + the boundary SignatureIndex compiled
+// from that version's hitlist, all tagged with a monotonically increasing
+// version id. Producers and shard workers pass shared_ptrs to these
+// around; a reload builds the next version off the hot path and swaps a
+// pointer — nothing ever mutates a published version.
+//
+// The evaluation helpers (eval_detection_hour / eval_verdict) are the ONE
+// implementation of the hierarchy-aware read path: the live Detector and
+// the epoch-published read views (core/read_view.hpp) both call them, so
+// snapshot queries are bit-for-bit the synchronous answers by
+// construction, and every Verdict carries the version id it was evaluated
+// under.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/evidence_map.hpp"
+#include "core/hitlist.hpp"
+#include "core/rules.hpp"
+#include "core/signature_index.hpp"
+#include "util/sim_clock.hpp"
+
+namespace haystack::core {
+
+class InternTable;
+
+/// Anonymized subscriber identifier (mirrors detector.hpp; declared here
+/// so the eval helpers don't need the full detector header).
+using SubscriberKey = std::uint64_t;
+
+/// Detector configuration (shared with detector.hpp via this header).
+struct DetectorConfig {
+  /// Domain-coverage threshold D (Sec. 4.3.2; the paper's conservative
+  /// default is 0.4).
+  double threshold = 0.4;
+  /// Estimated observation-channel loss fraction above which the detector
+  /// runs in degraded mode: verdicts become low-confidence, and the
+  /// evidence requirement is relaxed in proportion to the loss (ISSUE 2).
+  double loss_tolerance = 0.05;
+};
+
+/// Confidence qualifier for loss-aware verdicts.
+enum class Confidence : std::uint8_t {
+  kHigh,  ///< full evidence requirement met on a healthy channel
+  kLow,   ///< verdict rendered under a degraded observation channel
+};
+
+/// A loss-aware detection verdict (ISSUE 2). On a healthy channel this is
+/// just detection_hour() with kHigh confidence. When the estimated loss
+/// exceeds the tolerance, missing evidence may be the channel's fault:
+/// services satisfying a loss-relaxed requirement are reported detected at
+/// kLow confidence (with no hour, since the full requirement never fired),
+/// and negative verdicts are themselves flagged kLow.
+struct Verdict {
+  bool detected = false;
+  Confidence confidence = Confidence::kHigh;
+  /// Detection hour; set only for full-evidence (kHigh) detections.
+  std::optional<util::HourBin> hour;
+  /// Rule-set version the verdict was evaluated under (ISSUE 8). Every
+  /// verdict is rendered from exactly one CompiledRuleVersion — there is
+  /// no way to mix requirements from two versions in one answer.
+  std::uint64_t ruleset_version = 0;
+};
+
+/// Per-(subscriber, service) evidence state.
+struct Evidence {
+  /// Bitset over monitored-domain positions (up to 128; Fire TV's 34 is
+  /// the catalog maximum).
+  std::array<std::uint64_t, 2> mask{0, 0};
+  std::uint16_t distinct = 0;
+  std::uint64_t packets = 0;          ///< cumulative sampled packets
+  util::HourBin first_seen = 0;
+  /// Hour the rule's own coverage requirement was first met; kNever until.
+  util::HourBin satisfied_hour = kNever;
+
+  static constexpr util::HourBin kNever = 0xffffffffU;
+
+  [[nodiscard]] bool sees(std::uint16_t position) const noexcept {
+    return (mask[position >> 6] >> (position & 63U)) & 1U;
+  }
+};
+
+/// Per-service data precompiled once per version so the interned detect
+/// path never dereferences a DetectionRule: the evidence requirement under
+/// the version's threshold and the critical-domain bitset (nonzero only
+/// when the critical domain alone is sufficient).
+struct RuleFast {
+  std::array<std::uint64_t, 2> critical_mask{0, 0};
+  std::uint16_t required = 1;
+  bool has_rule = false;
+};
+
+/// One immutable compiled rule version. Built by compile(); never mutated
+/// after publication. Shard workers, producers, and read views share it by
+/// shared_ptr, so a version stays alive exactly as long as any in-flight
+/// chunk, snapshot, or verdict still references it.
+struct CompiledRuleVersion {
+  /// Monotonic version id; 1 is the construction-time version.
+  std::uint64_t id = 1;
+  /// The rule set this version compiles. Never null. For the
+  /// construction-time version this aliases the caller-owned set (the
+  /// pre-reload lifetime contract); for reloaded versions `owned` keeps
+  /// it alive.
+  const RuleSet* rules = nullptr;
+  /// The daily hitlist raw-IP lookups resolve against — usually
+  /// &rules->hitlist, but the construction-time version honors a
+  /// separately supplied hitlist (the pre-ISSUE-8 constructor contract).
+  const Hitlist* hitlist = nullptr;
+  std::shared_ptr<const RuleSet> owned;
+  DetectorConfig config{};
+  /// Rule pointer per service id for O(1) dispatch (into *rules).
+  std::vector<const DetectionRule*> rule_of;
+  std::vector<RuleFast> fast_rules;  ///< parallel to rule_of
+  /// Boundary (IP, port, day) -> Signature index compiled from this
+  /// version's hitlist. Null when the version was compiled without one
+  /// (a plain single-shard Detector never consults it).
+  std::shared_ptr<const SignatureIndex> index;
+
+  [[nodiscard]] const DetectionRule* rule_for(ServiceId service) const {
+    return service < rule_of.size() ? rule_of[service] : nullptr;
+  }
+};
+
+/// Compiles `rules` + `config` into an immutable version. When
+/// `build_index` is set, also compiles the SignatureIndex from `hitlist`
+/// and interns rule/domain labels into `intern` (which may be null).
+/// `owned` carries ownership for reloaded sets and may be null for the
+/// construction-time version (caller guarantees lifetime).
+[[nodiscard]] std::shared_ptr<const CompiledRuleVersion> compile_rules(
+    const Hitlist& hitlist, const RuleSet& rules,
+    const DetectorConfig& config, std::uint64_t id,
+    std::shared_ptr<const RuleSet> owned, bool build_index,
+    InternTable* intern);
+
+/// Hierarchy-aware detection over any evidence map: the hour at which the
+/// service and all of its ancestors were satisfied for this subscriber,
+/// or nullopt. The single read-path implementation shared by the live
+/// Detector and the published read views.
+[[nodiscard]] std::optional<util::HourBin> eval_detection_hour(
+    const FlatEvidenceMap<Evidence>& evidence, const CompiledRuleVersion& v,
+    SubscriberKey subscriber, ServiceId service);
+
+/// Loss-aware verdict over any evidence map, tagged with v.id.
+[[nodiscard]] Verdict eval_verdict(const FlatEvidenceMap<Evidence>& evidence,
+                                   const CompiledRuleVersion& v,
+                                   double observed_loss,
+                                   SubscriberKey subscriber,
+                                   ServiceId service);
+
+}  // namespace haystack::core

@@ -1,6 +1,7 @@
 #include "core/sharded_detector.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace haystack::core {
 
@@ -8,25 +9,36 @@ ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
                                  const DetectorConfig& config,
                                  unsigned shards,
                                  std::size_t queue_capacity,
-                                 obs::Observability* obs) {
-  // Compile the boundary signature index (and the rule-name intern table)
-  // once; every producer path resolves hitlist lookups through it.
-  sig_index_.build(hitlist, rules, &intern_);
+                                 obs::Observability* obs,
+                                 SnapshotPolicy snapshots)
+    : policy_{snapshots}, hub_{std::max(1U, shards)} {
+  const unsigned n = hub_.shards();
+  // Compile version 1: the boundary signature index, the rule-name intern
+  // table, and the per-service dispatch tables, shared by every shard.
+  auto v1 = compile_rules(hitlist, rules, config, /*id=*/1, nullptr,
+                          /*build_index=*/true, &intern_);
+  version_.store(v1);
   if (obs != nullptr) {
     sig_lookups_ = obs->registry.counter("signature_lookups_total");
     sig_hits_ = obs->registry.counter("signature_hits_total");
+    publishes_ = obs->registry.counter("view_publishes_total");
+    reloads_ = obs->registry.counter("ruleset_reloads_total");
+    version_gauge_ = obs->registry.gauge("ruleset_version");
+    version_gauge_->set(1);
     obs->registry.gauge("intern_table_size")
         ->set(static_cast<std::int64_t>(intern_.size()));
     obs->registry.gauge("signature_endpoints")
-        ->set(static_cast<std::int64_t>(sig_index_.endpoint_count()));
+        ->set(static_cast<std::int64_t>(v1->index->endpoint_count()));
   }
 
-  const unsigned n = std::max(1u, shards);
   missed_ = std::make_unique<PaddedCount[]>(n);
   pending_.resize(n);
+  submitted_.assign(n, 0);
+  work_.resize(n);
   shards_.reserve(n);
   for (unsigned s = 0; s < n; ++s) {
-    shards_.push_back(std::make_unique<Detector>(hitlist, rules, config));
+    shards_.push_back(std::make_unique<Detector>(v1));
+    work_[s].active = v1;
     if (obs != nullptr) {
       // Per-shard counter/gauge series so hot increments never share a
       // cache line across shards; the time-to-detection histogram is one
@@ -47,9 +59,19 @@ ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
       shards_.back()->set_instruments(std::move(inst));
     }
   }
+  // Seed the hub with real (empty, epoch-0, version-1) views before any
+  // chunk can flow, so live_view() is never version-less.
+  for (unsigned s = 0; s < n; ++s) {
+    auto v = std::make_shared<ShardView>();
+    v->shard = s;
+    v->ruleset_version = v1->id;
+    v->compiled = v1;
+    hub_.publish(std::move(v));
+  }
   // Persistent workers: one long-lived thread per shard, consuming that
   // shard's chunk queue. The handler runs on worker s and touches only
-  // shards_[s], so the hot path stays lock-free on evidence state.
+  // shards_[s] / work_[s], so the hot path stays lock-free on evidence
+  // state.
   pipeline::ShardPoolConfig pool_config{.shards = n,
                                         .queue_capacity = queue_capacity,
                                         .max_wave = 64};
@@ -77,32 +99,8 @@ ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
     pool_config.stage_tag = obs::kStageDetect;
   }
   pool_ = std::make_unique<pipeline::ShardPool<Chunk>>(
-      pool_config,
-      [this](unsigned s, std::vector<Chunk>& wave) {
-        Detector& det = *shards_[s];
-        std::uint64_t flows = 0;
-        std::uint64_t matched = 0;
-        // Evidence slots for distinct subscribers are effectively random
-        // lines in a table far larger than cache, so the apply loop is
-        // memory-latency-bound; prefetching a few items ahead overlaps
-        // those misses.
-        constexpr std::size_t kAhead = 8;
-        for (const Chunk& chunk : wave) {
-          flows += chunk.size();
-          const std::size_t count = chunk.size();
-          for (std::size_t i = 0; i < count; ++i) {
-            if (i + kAhead < count) {
-              const InternedObs& ahead = chunk[i + kAhead];
-              det.prefetch_evidence(ahead.subscriber, ahead.sig);
-            }
-            const InternedObs& o = chunk[i];
-            matched += det.observe_interned_uncounted(o.subscriber, o.sig,
-                                                      o.packets, o.hour)
-                           ? 1U
-                           : 0U;
-          }
-        }
-        det.add_observation_counts(flows, matched);
+      pool_config, [this](unsigned s, std::vector<Chunk>& wave) {
+        handle_wave(s, wave);
       });
 }
 
@@ -111,19 +109,110 @@ ShardedDetector::~ShardedDetector() {
   pool_->stop();
 }
 
-void ShardedDetector::flush_pending() const {
-  std::lock_guard lock{pending_mu_};
-  for (std::size_t s = 0; s < pending_.size(); ++s) {
-    if (pending_[s].empty()) continue;
-    Chunk chunk = std::move(pending_[s]);
-    pending_[s] = Chunk{};
-    pool_->submit(static_cast<unsigned>(s), std::move(chunk));
+void ShardedDetector::handle_wave(unsigned s, std::vector<Chunk>& wave) {
+  Detector& det = *shards_[s];
+  WorkState& ws = work_[s];
+  std::uint64_t flows = 0;
+  std::uint64_t matched = 0;
+  bool publish_due = false;
+  // Evidence slots for distinct subscribers are effectively random lines
+  // in a table far larger than cache, so the apply loop is
+  // memory-latency-bound; prefetching a few items ahead overlaps those
+  // misses.
+  constexpr std::size_t kAhead = 8;
+  for (const Chunk& chunk : wave) {
+    // Version cutover: every chunk is applied under exactly the version
+    // it was tagged with at submit time. Tagging happens under the same
+    // mutex reload_rules swaps under, so per-shard tags are monotone;
+    // the regression counter proves it in the serve soak.
+    if (chunk.version != ws.active) {
+      if (chunk.version->id > ws.active->id) {
+        det.adopt_version(chunk.version);
+        ws.active = chunk.version;
+        publish_due = true;  // snapshots must see the new version promptly
+      } else if (chunk.version->id < ws.active->id) {
+        cutover_regressions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    flows += chunk.items.size();
+    const std::size_t count = chunk.items.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (i + kAhead < count) {
+        const InternedObs& ahead = chunk.items[i + kAhead];
+        det.prefetch_evidence(ahead.subscriber, ahead.sig);
+      }
+      const InternedObs& o = chunk.items[i];
+      matched += det.observe_interned_uncounted(o.subscriber, o.sig,
+                                                o.packets, o.hour)
+                     ? 1U
+                     : 0U;
+    }
+    ++ws.applied_chunks;
+    ws.applied_obs += count;
+    ws.obs_since_publish += count;
+    if (chunk.publish) publish_due = true;
+  }
+  det.add_observation_counts(flows, matched);
+  if (publish_due ||
+      (policy_.auto_publish_observations > 0 &&
+       ws.obs_since_publish >= policy_.auto_publish_observations)) {
+    publish_view(s, ws);
   }
 }
 
+void ShardedDetector::publish_view(unsigned s, WorkState& ws) {
+  const Detector& det = *shards_[s];
+  auto v = std::make_shared<ShardView>();
+  v->shard = s;
+  v->epoch = ws.applied_chunks;
+  v->observations = ws.applied_obs;
+  v->satisfied = det.satisfied_total();
+  v->ruleset_version = ws.active->id;
+  v->compiled = ws.active;
+  v->stats.flows =
+      det.stats().flows + missed_[s].v.load(std::memory_order_relaxed);
+  v->stats.matched = det.stats().matched;
+  v->observed_loss = det.observed_loss();
+  v->degraded = det.degraded();
+  v->evidence = det.evidence_map();  // slot-order-preserving copy
+  ws.obs_since_publish = 0;
+  const std::shared_ptr<const ShardView> prev = hub_.view(s);
+  const std::shared_ptr<const ShardView> now = std::move(v);
+  hub_.publish(now);
+  if (publishes_) publishes_->add(1);
+  if (publish_hook_) publish_hook_(prev.get(), *now);
+}
+
+void ShardedDetector::submit_locked(std::size_t s, Chunk chunk) const {
+  // Submit under pending_mu_ (callers hold it): every shard-queue
+  // submission happens with the mutex held, so submissions occur in
+  // append order and a concurrent flush can never overtake a full-chunk
+  // submit for the same subscriber. Workers never take pending_mu_, so a
+  // backpressure block here still makes progress.
+  pool_->submit(static_cast<unsigned>(s), std::move(chunk));
+  ++submitted_[s];
+}
+
+void ShardedDetector::flush_shard_locked(std::size_t s) const {
+  if (pending_[s].empty()) return;
+  // Tag with the version current *now*: reload_rules flushes every
+  // pending buffer before swapping, so anything still pending was
+  // appended (and interned) under the current version.
+  Chunk chunk{version_.load(),
+              std::move(pending_[s]), /*publish=*/false};
+  pending_[s] = {};
+  submit_locked(s, std::move(chunk));
+}
+
+void ShardedDetector::flush_pending() const {
+  std::lock_guard lock{pending_mu_};
+  for (std::size_t s = 0; s < pending_.size(); ++s) flush_shard_locked(s);
+}
+
 void ShardedDetector::observe(const Observation& obs) {
+  const auto ver = current_version();
   std::uint64_t hits = 0;
-  const InternedObs interned = intern_obs(obs, hits);
+  const InternedObs interned = intern_obs(*ver->index, obs, hits);
   bump_sig_counters(1, hits);
   const auto s = shard_of(obs.subscriber);
   if (interned.sig == kNoSig) {
@@ -135,21 +224,18 @@ void ShardedDetector::observe(const Observation& obs) {
   std::lock_guard lock{pending_mu_};
   pending_[s].push_back(interned);
   if (pending_[s].size() >= kCoalesceItems) {
-    Chunk full = std::move(pending_[s]);
-    pending_[s] = Chunk{};
+    Chunk full{version_.load(),
+               std::move(pending_[s]), /*publish=*/false};
+    pending_[s] = {};
     pending_[s].reserve(kCoalesceItems);
-    // Submit under the mutex: every shard-queue submission happens with
-    // pending_mu_ held, so submissions occur in append order and a
-    // concurrent flush_pending() can never overtake a full-chunk submit
-    // for the same subscriber. Workers never take pending_mu_, so a
-    // backpressure block here still makes progress.
-    pool_->submit(static_cast<unsigned>(s), std::move(full));
+    submit_locked(s, std::move(full));
   }
 }
 
 void ShardedDetector::enqueue_batch(std::span<const Observation> batch) {
   if (batch.empty()) return;
   const std::size_t n = shards_.size();
+  const auto ver = current_version();
   std::uint64_t hits = 0;
   std::vector<std::uint64_t> misses(n, 0);
   // Partition preserving per-subscriber order, filtering misses at the
@@ -161,7 +247,7 @@ void ShardedDetector::enqueue_batch(std::span<const Observation> batch) {
   {
     std::lock_guard lock{pending_mu_};
     for (const auto& obs : batch) {
-      const InternedObs interned = intern_obs(obs, hits);
+      const InternedObs interned = intern_obs(*ver->index, obs, hits);
       const auto s = shard_of(obs.subscriber);
       if (interned.sig == kNoSig) {
         ++misses[s];
@@ -169,12 +255,11 @@ void ShardedDetector::enqueue_batch(std::span<const Observation> batch) {
       }
       pending_[s].push_back(interned);
       if (pending_[s].size() >= kCoalesceItems) {
-        Chunk full = std::move(pending_[s]);
-        pending_[s] = Chunk{};
+        Chunk full{version_.load(),
+                   std::move(pending_[s]), /*publish=*/false};
+        pending_[s] = {};
         pending_[s].reserve(kCoalesceItems);
-        // Under the mutex (see observe()): submissions stay in append
-        // order relative to concurrent producers and flush_pending().
-        pool_->submit(static_cast<unsigned>(s), std::move(full));
+        submit_locked(s, std::move(full));
       }
     }
   }
@@ -198,10 +283,11 @@ void ShardedDetector::enqueue_interned(std::span<const InternedObs> batch) {
       hits += 1;
       pending_[s].push_back(o);
       if (pending_[s].size() >= kCoalesceItems) {
-        Chunk full = std::move(pending_[s]);
-        pending_[s] = Chunk{};
+        Chunk full{version_.load(),
+                   std::move(pending_[s]), /*publish=*/false};
+        pending_[s] = {};
         pending_[s].reserve(kCoalesceItems);
-        pool_->submit(static_cast<unsigned>(s), std::move(full));
+        submit_locked(s, std::move(full));
       }
     }
   }
@@ -219,22 +305,101 @@ void ShardedDetector::drain() const {
   pool_->drain();
 }
 
+std::shared_ptr<const ShardView> ShardedDetector::fresh_view(
+    unsigned shard) const {
+  std::uint64_t target = 0;
+  {
+    std::lock_guard lock{pending_mu_};
+    flush_shard_locked(shard);
+    submit_locked(shard,
+                  Chunk{version_.load(),
+                        {},
+                        /*publish=*/true});
+    target = submitted_[shard];
+  }
+  // The token is chunk number `target` in this shard's FIFO; the wave
+  // containing it publishes at epoch >= target, covering everything
+  // enqueued before this call. No other shard is touched.
+  hub_.wait_epoch(shard, target);
+  return hub_.view(shard);
+}
+
+std::vector<std::shared_ptr<const ShardView>> ShardedDetector::fresh_views()
+    const {
+  const std::size_t n = shards_.size();
+  std::vector<std::uint64_t> targets(n, 0);
+  {
+    std::lock_guard lock{pending_mu_};
+    for (std::size_t s = 0; s < n; ++s) {
+      flush_shard_locked(s);
+      submit_locked(s, Chunk{version_.load(),
+                             {},
+                             /*publish=*/true});
+      targets[s] = submitted_[s];
+    }
+  }
+  // All tokens are in flight before any wait: shards refresh in parallel.
+  std::vector<std::shared_ptr<const ShardView>> out;
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    hub_.wait_epoch(static_cast<unsigned>(s), targets[s]);
+    out.push_back(hub_.view(static_cast<unsigned>(s)));
+  }
+  return out;
+}
+
+std::uint64_t ShardedDetector::reload_rules(
+    std::shared_ptr<const RuleSet> rules, const DetectorConfig& config) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock{pending_mu_};
+    id = next_version_id_++;
+  }
+  // Compile off the hot path: the new SignatureIndex build and the
+  // intern-table deltas (thread-safe, append-only, stable handles) run
+  // without pending_mu_, so producers never stall on a reload.
+  const RuleSet& r = *rules;
+  auto v = compile_rules(r.hitlist, r, config, id, rules,
+                         /*build_index=*/true, &intern_);
+  {
+    std::lock_guard lock{pending_mu_};
+    // Flush everything appended under the pre-reload version first (the
+    // flush tags it with the old version), then swap: in-flight waves
+    // finish on the old version, everything after applies on the new one.
+    for (std::size_t s = 0; s < pending_.size(); ++s) flush_shard_locked(s);
+    const auto cur = version_.load();
+    if (v->id > cur->id) {
+      version_.store(v);
+    }
+    // Cutover tokens: wake every shard so it adopts and republishes even
+    // with no traffic — the next snapshot reports the new version.
+    for (std::size_t s = 0; s < pending_.size(); ++s) {
+      submit_locked(s, Chunk{version_.load(),
+                             {},
+                             /*publish=*/true});
+    }
+  }
+  if (reloads_) reloads_->add(1);
+  if (version_gauge_) {
+    version_gauge_->set(static_cast<std::int64_t>(current_version()->id));
+  }
+  return v->id;
+}
+
 bool ShardedDetector::detected(SubscriberKey subscriber,
                                ServiceId service) const {
-  drain();
-  return shards_[shard_of(subscriber)]->detected(subscriber, service);
+  return fresh_view(owner_shard(subscriber))->detected(subscriber, service);
 }
 
 std::optional<util::HourBin> ShardedDetector::detection_hour(
     SubscriberKey subscriber, ServiceId service) const {
-  drain();
-  return shards_[shard_of(subscriber)]->detection_hour(subscriber, service);
+  return fresh_view(owner_shard(subscriber))
+      ->detection_hour(subscriber, service);
 }
 
 Verdict ShardedDetector::verdict(SubscriberKey subscriber,
                                  ServiceId service) const {
-  drain();
-  return shards_[shard_of(subscriber)]->verdict(subscriber, service);
+  return fresh_view(owner_shard(subscriber))->verdict(subscriber, service);
 }
 
 void ShardedDetector::set_observed_loss(double fraction) noexcept {
@@ -260,27 +425,36 @@ void ShardedDetector::restore_stats(const Detector::Stats& stats) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     missed_[s].v.store(0, std::memory_order_relaxed);
   }
+  // Republish so wait-free live views reflect the restored state too
+  // (the fresh-view read APIs would refresh on their own).
+  static_cast<void>(fresh_views());
 }
 
 void ShardedDetector::for_each_evidence(
     const std::function<void(SubscriberKey, ServiceId, const Evidence&)>& fn)
     const {
-  drain();
-  for (const auto& shard : shards_) shard->for_each_evidence(fn);
+  // Fresh views preserve the live tables' slot order, so iteration order
+  // matches a drained pass over the shards exactly.
+  for (const auto& view : fresh_views()) {
+    view->evidence.for_each([&](SubscriberKey subscriber, ServiceId service,
+                                const Evidence& ev) {
+      fn(subscriber, service, ev);
+    });
+  }
 }
 
 void ShardedDetector::clear() {
   drain();
   for (const auto& shard : shards_) shard->clear();
+  // Republish so stale pre-clear detections never linger in live views.
+  static_cast<void>(fresh_views());
 }
 
 Detector::Stats ShardedDetector::stats() const {
-  drain();
   Detector::Stats total;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    total.flows += shards_[s]->stats().flows +
-                   missed_[s].v.load(std::memory_order_relaxed);
-    total.matched += shards_[s]->stats().matched;
+  for (const auto& view : fresh_views()) {
+    total.flows += view->stats.flows;  // includes boundary-filtered misses
+    total.matched += view->stats.matched;
   }
   return total;
 }

@@ -26,6 +26,11 @@ const char* event_name(EventKind kind) noexcept {
     case EventKind::kDeltaMerged: return "delta_merged";
     case EventKind::kDeltaRejected: return "delta_rejected";
     case EventKind::kCollectorResync: return "collector_resync";
+    case EventKind::kAlertNewDetection: return "alert_new_detection";
+    case EventKind::kAlertConfidenceDegraded:
+      return "alert_confidence_degraded";
+    case EventKind::kAlertLossSpike: return "alert_loss_spike";
+    case EventKind::kEventKindCount: break;  // sentinel, never recorded
   }
   return "unknown";
 }

@@ -54,7 +54,23 @@ enum class EventKind : std::uint8_t {
                          ///< (source = collector, a = bytes)
   kCollectorResync,      ///< collector resynced from an aggregator
                          ///< snapshot (source = collector, a = epoch)
+  kAlertNewDetection,    ///< serve: coverage-met transitions in a published
+                         ///< view (source = 'q'<<24|shard, a = new
+                         ///< detections, b = ruleset version)
+  kAlertConfidenceDegraded, ///< serve: a shard's views crossed into
+                            ///< degraded confidence (a = loss, ppm)
+  kAlertLossSpike,       ///< serve: observed loss jumped by more than the
+                         ///< configured delta between consecutive views
+                         ///< (a = new loss ppm, b = previous loss ppm)
+  kEventKindCount,       ///< sentinel — keep last, never recorded
 };
+
+/// Event.kind is serialized into a uint8 slot in checkpoint/export ring
+/// headers; adding a 257th kind (or reordering past the sentinel) is a
+/// wire-format break. tests/obs_test.cpp additionally pins the numeric
+/// values of the kinds that have shipped.
+static_assert(static_cast<unsigned>(EventKind::kEventKindCount) <= 256U,
+              "EventKind must fit the uint8 ring-header slot");
 
 [[nodiscard]] const char* event_name(EventKind kind) noexcept;
 

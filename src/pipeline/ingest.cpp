@@ -50,7 +50,8 @@ IngestPipeline::IngestPipeline(const core::Hitlist& hitlist,
                 config.detector,
                 std::max(1u, config.shards),
                 config.queue_capacity,
-                obs_},
+                obs_,
+                config.snapshots},
       nf9_{flow::nf9::CollectorConfig{.dedup_window = config.dedup_window,
                                       .recorder = &obs_->recorder}},
       ipfix_{flow::ipfix::CollectorConfig{.dedup_window = config.dedup_window,
@@ -83,6 +84,10 @@ IngestPipeline::IngestPipeline(const core::Hitlist& hitlist,
       decode_recovered_{
           obs_->registry.gauge("decode_recovered_records")},
       decode_parked_{obs_->registry.gauge("decode_parked_flowsets")} {
+  // Wiring time: installs the alert engine as the detector's publish
+  // hook before any observation can flow.
+  control_ = std::make_unique<serve::ControlPlane>(detector_, config_.alerts,
+                                                   obs_);
   nf5_.set_recorder(&obs_->recorder);
   auto make_stage = [this](std::uint32_t tag) {
     const obs::Labels labels{{"stage", obs::stage_name(tag)}};
@@ -280,7 +285,11 @@ void IngestPipeline::normalize_wave(std::vector<DecodedBatch>& wave) {
     // hitlist hash downstream. Exactly equivalent to the generic path
     // below under default_normalizer (which never drops a flow).
     std::vector<core::InternedObs> chunk;
-    const auto& sig_index = detector_.signature_index();
+    // Pin the compiled rule version for this wave (ISSUE 8): a hot-reload
+    // mid-wave must not swap the index under us, and a version pinned
+    // here stays alive until the wave's observations are applied.
+    const auto version = detector_.current_version();
+    const core::SignatureIndex& sig_index = *version->index;
     const std::uint64_t key = config_.anonymization_key;
     for (const DecodedBatch& batch : wave) {
       const flow::FlowBatch& rows = *batch.rows;

@@ -43,6 +43,7 @@
 #include "flow/netflow_v9.hpp"
 #include "obs/observability.hpp"
 #include "pipeline/shard_pool.hpp"
+#include "serve/control.hpp"
 
 namespace haystack::pipeline {
 
@@ -78,6 +79,12 @@ struct IngestConfig {
   /// Stage-wave duration above which a kSlowWave flight event is recorded;
   /// 0 disables (the default keeps fault dumps free of timing noise).
   std::uint64_t slow_wave_ns = 0;
+  /// Read-view publication policy (ISSUE 8): how often shard workers
+  /// republish live views on their own (fresh snapshots and reload
+  /// cutovers always refresh). 0 = on demand only.
+  core::SnapshotPolicy snapshots{};
+  /// Alerting thresholds for the serve-layer control plane.
+  serve::AlertConfig alerts{};
 };
 
 /// The streaming service. One instance owns all stage threads.
@@ -115,14 +122,23 @@ class IngestPipeline {
   /// detector stays readable afterwards.
   void shutdown();
 
-  /// The detect stage. Reads are safe any time (they drain the shard
-  /// queues internally); prefer calling drain() first so upstream stages
-  /// are also settled.
+  /// The detect stage. Reads are safe any time — they are served from
+  /// epoch-published views covering everything already at the detect
+  /// stage (ISSUE 8); call drain() first when upstream stages must be
+  /// settled too.
   [[nodiscard]] core::ShardedDetector& detector() noexcept {
     return detector_;
   }
   [[nodiscard]] const core::ShardedDetector& detector() const noexcept {
     return detector_;
+  }
+
+  /// The live control plane (ISSUE 8): wait-free snapshots, fresh
+  /// (token-refreshed) snapshots, versioned rule hot-reload, and
+  /// threshold alerting — all safe under full ingest.
+  [[nodiscard]] serve::ControlPlane& control() noexcept { return *control_; }
+  [[nodiscard]] const serve::ControlPlane& control() const noexcept {
+    return *control_;
   }
 
   /// Thin facade over the metric registry (ISSUE 5): every counter below
@@ -227,6 +243,10 @@ class IngestPipeline {
 
   // Declaration order is reverse-topological so default destruction (after
   // shutdown()) tears down consumers last-to-first.
+  /// Declared before detector_ so it is destroyed after it: shard
+  /// workers may invoke the alert publish hook until the detector joins
+  /// them. Constructed (in the ctor body) right after detector_.
+  std::unique_ptr<serve::ControlPlane> control_;
   core::ShardedDetector detector_;
   std::unique_ptr<ShardPool<DecodedBatch>> normalize_;
   std::unique_ptr<ShardPool<Datagram>> decode_;

@@ -1,0 +1,56 @@
+#include "serve/alerts.hpp"
+
+namespace haystack::serve {
+
+AlertEngine::AlertEngine(AlertConfig config, obs::Observability* obs)
+    : config_{config} {
+  if (obs != nullptr) {
+    recorder_ = &obs->recorder;
+    new_detection_counter_ = obs->registry.counter(
+        "serve_alerts_total", {{"kind", "new_detection"}});
+    degraded_counter_ = obs->registry.counter(
+        "serve_alerts_total", {{"kind", "confidence_degraded"}});
+    loss_spike_counter_ = obs->registry.counter(
+        "serve_alerts_total", {{"kind", "loss_spike"}});
+  }
+}
+
+void AlertEngine::on_publish(const core::ShardView* prev,
+                             const core::ShardView& now) {
+  if (prev == nullptr) return;  // no baseline to diff against
+  const std::uint32_t source = alert_source(now.shard);
+
+  // satisfied is monotone per shard (cumulative coverage-met transitions),
+  // so the delta is exactly the detections that landed in this interval.
+  const std::uint64_t fresh = now.satisfied - prev->satisfied;
+  if (fresh >= config_.min_new_detections && fresh > 0) {
+    new_detection_.fetch_add(1, std::memory_order_relaxed);
+    if (new_detection_counter_) new_detection_counter_->add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::EventKind::kAlertNewDetection, source, fresh,
+                        now.ruleset_version);
+    }
+  }
+
+  if (!prev->degraded && now.degraded) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (degraded_counter_) degraded_counter_->add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(
+          obs::EventKind::kAlertConfidenceDegraded, source,
+          static_cast<std::uint64_t>(now.observed_loss * 1e6));
+    }
+  }
+
+  if (now.observed_loss - prev->observed_loss >= config_.loss_spike_delta) {
+    loss_spike_.fetch_add(1, std::memory_order_relaxed);
+    if (loss_spike_counter_) loss_spike_counter_->add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::EventKind::kAlertLossSpike, source,
+                        static_cast<std::uint64_t>(now.observed_loss * 1e6),
+                        static_cast<std::uint64_t>(prev->observed_loss * 1e6));
+    }
+  }
+}
+
+}  // namespace haystack::serve

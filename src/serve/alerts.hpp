@@ -1,0 +1,78 @@
+// Threshold alerting over view publications (ISSUE 8).
+//
+// The AlertEngine rides the ShardedDetector publish hook: every time a
+// shard worker publishes a new view, the engine diffs it against the view
+// it replaced and raises alert events for the transitions operators page
+// on — new detections landed, a shard crossed into degraded confidence,
+// or the observed channel loss spiked. Alerts are flight-recorder events
+// (kAlertNewDetection / kAlertConfidenceDegraded / kAlertLossSpike, so
+// they ride the existing dump/export paths into both exporters) plus
+// per-kind registry counters; the engine itself keeps only monotone
+// totals. Runs on shard worker threads — everything here is lock-free
+// and touches only the two immutable views it is handed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/read_view.hpp"
+#include "obs/observability.hpp"
+
+namespace haystack::serve {
+
+/// Alert thresholds.
+struct AlertConfig {
+  /// Raise kAlertNewDetection when a published view carries at least this
+  /// many new coverage-met transitions relative to its predecessor.
+  std::uint64_t min_new_detections = 1;
+  /// Raise kAlertLossSpike when observed loss jumps by at least this much
+  /// between consecutive views of one shard.
+  double loss_spike_delta = 0.05;
+};
+
+/// Flight-recorder source tag for alert events: 'q' (query/serve plane)
+/// in the top byte, the shard index below.
+[[nodiscard]] inline std::uint32_t alert_source(unsigned shard) noexcept {
+  return (std::uint32_t{'q'} << 24U) | (shard & 0x00ffffffU);
+}
+
+class AlertEngine {
+ public:
+  /// `obs` may be null (events and counters are then skipped; totals
+  /// still accumulate for tests).
+  explicit AlertEngine(AlertConfig config, obs::Observability* obs = nullptr);
+
+  AlertEngine(const AlertEngine&) = delete;
+  AlertEngine& operator=(const AlertEngine&) = delete;
+
+  /// ShardedDetector::PublishHook body. Called by shard workers, one
+  /// publication at a time per shard (concurrently across shards).
+  void on_publish(const core::ShardView* prev, const core::ShardView& now);
+
+  [[nodiscard]] std::uint64_t new_detection_alerts() const noexcept {
+    return new_detection_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t confidence_degraded_alerts() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t loss_spike_alerts() const noexcept {
+    return loss_spike_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_alerts() const noexcept {
+    return new_detection_alerts() + confidence_degraded_alerts() +
+           loss_spike_alerts();
+  }
+  [[nodiscard]] const AlertConfig& config() const noexcept { return config_; }
+
+ private:
+  AlertConfig config_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::shared_ptr<obs::Counter> new_detection_counter_;
+  std::shared_ptr<obs::Counter> degraded_counter_;
+  std::shared_ptr<obs::Counter> loss_spike_counter_;
+  std::atomic<std::uint64_t> new_detection_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> loss_spike_{0};
+};
+
+}  // namespace haystack::serve

@@ -1,0 +1,59 @@
+#include "serve/control.hpp"
+
+#include <chrono>
+
+namespace haystack::serve {
+
+namespace {
+[[nodiscard]] std::int64_t elapsed_ns(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+ControlPlane::ControlPlane(core::ShardedDetector& detector,
+                           AlertConfig alert_config, obs::Observability* obs)
+    : detector_{&detector}, alerts_{alert_config, obs} {
+  if (obs != nullptr) {
+    query_counter_ =
+        obs->registry.counter("serve_queries_total", {{"kind", "live"}});
+    fresh_query_counter_ =
+        obs->registry.counter("serve_queries_total", {{"kind", "fresh"}});
+    reload_counter_ = obs->registry.counter("serve_reloads_total");
+    query_ns_ = obs->registry.histogram("serve_query_ns");
+  }
+  detector_->set_publish_hook(
+      [this](const core::ShardView* prev, const core::ShardView& now) {
+        alerts_.on_publish(prev, now);
+      });
+}
+
+DetectionSnapshot ControlPlane::snapshot() const {
+  const auto start = std::chrono::steady_clock::now();
+  DetectionSnapshot snap{detector_->live_views()};
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (query_counter_) query_counter_->add(1);
+  if (query_ns_) query_ns_->record(elapsed_ns(start));
+  return snap;
+}
+
+DetectionSnapshot ControlPlane::fresh_snapshot() const {
+  const auto start = std::chrono::steady_clock::now();
+  DetectionSnapshot snap{detector_->fresh_views()};
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (fresh_query_counter_) fresh_query_counter_->add(1);
+  if (query_ns_) query_ns_->record(elapsed_ns(start));
+  return snap;
+}
+
+std::uint64_t ControlPlane::reload(std::shared_ptr<const core::RuleSet> rules,
+                                   const core::DetectorConfig& config) {
+  const std::uint64_t id = detector_->reload_rules(std::move(rules), config);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  if (reload_counter_) reload_counter_->add(1);
+  return id;
+}
+
+}  // namespace haystack::serve

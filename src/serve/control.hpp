@@ -1,0 +1,96 @@
+// Live control plane over a running ShardedDetector (ISSUE 8 tentpole).
+//
+// One object wires the three serve-layer capabilities together:
+//
+//   * snapshot()        — constant-time DetectionSnapshot from the currently
+//                         published views (never blocks, never drains;
+//                         freshness = last publication per shard).
+//   * fresh_snapshot()  — token-refreshed snapshot covering everything
+//                         enqueued before the call (blocks only on the
+//                         shards' own backlogs, never on other readers,
+//                         never quiesces producers).
+//   * reload()          — versioned rule/hitlist/threshold hot-reload
+//                         with atomic cutover: in-flight waves finish on
+//                         the old version, verdicts carry the version
+//                         they were evaluated under, producers never
+//                         stall.
+//   * alerting          — installs the AlertEngine as the detector's
+//                         publish hook; threshold crossings land in the
+//                         FlightRecorder and the metrics registry.
+//
+// Construct at wiring time (installs the publish hook) before traffic
+// flows. All query/reload entry points are safe from any thread while
+// ingest runs at full rate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/sharded_detector.hpp"
+#include "serve/alerts.hpp"
+#include "serve/query.hpp"
+
+namespace haystack::serve {
+
+class ControlPlane {
+ public:
+  /// `detector` must outlive the control plane. Installs the alert engine
+  /// as the detector's publish hook (wiring time — call before
+  /// observations flow).
+  explicit ControlPlane(core::ShardedDetector& detector,
+                        AlertConfig alert_config = {},
+                        obs::Observability* obs = nullptr);
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Constant-time snapshot of the currently published views (one
+  /// pointer copy per shard; never blocks behind ingest).
+  [[nodiscard]] DetectionSnapshot snapshot() const;
+
+  /// Snapshot covering everything enqueued before the call (rides publish
+  /// tokens through every shard queue).
+  [[nodiscard]] DetectionSnapshot fresh_snapshot() const;
+
+  /// Per-subscriber fresh lookup touching only the owning shard.
+  [[nodiscard]] core::Verdict verdict(core::SubscriberKey subscriber,
+                                      core::ServiceId service) const {
+    return detector_->verdict(subscriber, service);
+  }
+
+  /// Hot-reloads rules/hitlist/config; returns the new version id.
+  std::uint64_t reload(std::shared_ptr<const core::RuleSet> rules,
+                       const core::DetectorConfig& config);
+
+  [[nodiscard]] std::shared_ptr<const core::CompiledRuleVersion>
+  current_version() const {
+    return detector_->current_version();
+  }
+
+  [[nodiscard]] const AlertEngine& alerts() const noexcept {
+    return alerts_;
+  }
+  [[nodiscard]] core::ShardedDetector& detector() noexcept {
+    return *detector_;
+  }
+
+  /// Snapshots served (live + fresh) and reloads applied.
+  [[nodiscard]] std::uint64_t queries_served() const noexcept {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reloads_applied() const noexcept {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  core::ShardedDetector* detector_;
+  AlertEngine alerts_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::shared_ptr<obs::Counter> query_counter_;
+  std::shared_ptr<obs::Counter> fresh_query_counter_;
+  std::shared_ptr<obs::Counter> reload_counter_;
+  std::shared_ptr<obs::Histogram> query_ns_;
+};
+
+}  // namespace haystack::serve

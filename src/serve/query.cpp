@@ -1,0 +1,153 @@
+#include "serve/query.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace haystack::serve {
+
+DetectionSnapshot::DetectionSnapshot(
+    std::vector<std::shared_ptr<const core::ShardView>> views)
+    : views_{std::move(views)} {}
+
+std::vector<ProfileRow> DetectionSnapshot::subscriber_profile(
+    core::SubscriberKey subscriber) const {
+  const core::ShardView& v = owner(subscriber);
+  std::vector<ProfileRow> rows;
+  v.evidence.for_each([&](core::SubscriberKey sub, core::ServiceId service,
+                          const core::Evidence& ev) {
+    if (sub != subscriber) return;
+    ProfileRow row;
+    row.service = service;
+    if (const auto* rule = v.compiled->rule_for(service)) {
+      row.name = rule->name;
+    }
+    row.evidence = ev;
+    row.detected = v.detected(subscriber, service);
+    rows.push_back(std::move(row));
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              return a.service < b.service;
+            });
+  return rows;
+}
+
+std::vector<ServiceCount> DetectionSnapshot::service_counts() const {
+  std::unordered_map<core::ServiceId, ServiceCount> by_service;
+  for (const auto& view : views_) {
+    view->evidence.for_each([&](core::SubscriberKey sub,
+                                core::ServiceId service,
+                                const core::Evidence&) {
+      ServiceCount& c = by_service[service];
+      if (c.name.empty()) {
+        c.service = service;
+        if (const auto* rule = view->compiled->rule_for(service)) {
+          c.name = rule->name;
+        }
+      }
+      ++c.evidence_subscribers;
+      if (view->detected(sub, service)) ++c.detected_subscribers;
+    });
+  }
+  std::vector<ServiceCount> out;
+  out.reserve(by_service.size());
+  for (auto& [service, count] : by_service) out.push_back(std::move(count));
+  std::sort(out.begin(), out.end(),
+            [](const ServiceCount& a, const ServiceCount& b) {
+              if (a.detected_subscribers != b.detected_subscribers) {
+                return a.detected_subscribers > b.detected_subscribers;
+              }
+              return a.service < b.service;
+            });
+  return out;
+}
+
+std::vector<HeavyHitter> DetectionSnapshot::heavy_hitters(
+    std::size_t k) const {
+  // A subscriber's evidence lives in exactly one shard, so per-subscriber
+  // accumulation never needs a cross-shard merge.
+  std::unordered_map<core::SubscriberKey, HeavyHitter> by_subscriber;
+  for (const auto& view : views_) {
+    view->evidence.for_each([&](core::SubscriberKey sub,
+                                core::ServiceId service,
+                                const core::Evidence& ev) {
+      HeavyHitter& h = by_subscriber[sub];
+      h.subscriber = sub;
+      h.packets += ev.packets;
+      if (view->detected(sub, service)) ++h.detected_services;
+    });
+  }
+  std::vector<HeavyHitter> out;
+  out.reserve(by_subscriber.size());
+  for (auto& [sub, hitter] : by_subscriber) out.push_back(hitter);
+  const auto rank = [](const HeavyHitter& a, const HeavyHitter& b) {
+    if (a.detected_services != b.detected_services) {
+      return a.detected_services > b.detected_services;
+    }
+    if (a.packets != b.packets) return a.packets > b.packets;
+    return a.subscriber < b.subscriber;
+  };
+  if (out.size() > k) {
+    std::partial_sort(out.begin(), out.begin() + static_cast<long>(k),
+                      out.end(), rank);
+    out.resize(k);
+  } else {
+    std::sort(out.begin(), out.end(), rank);
+  }
+  return out;
+}
+
+void DetectionSnapshot::for_each_evidence(
+    const std::function<void(core::SubscriberKey, core::ServiceId,
+                             const core::Evidence&)>& fn) const {
+  for (const auto& view : views_) view->evidence.for_each(fn);
+}
+
+core::ViewStats DetectionSnapshot::stats() const {
+  core::ViewStats total;
+  for (const auto& view : views_) {
+    total.flows += view->stats.flows;
+    total.matched += view->stats.matched;
+  }
+  return total;
+}
+
+std::uint64_t DetectionSnapshot::observations() const {
+  std::uint64_t total = 0;
+  for (const auto& view : views_) total += view->observations;
+  return total;
+}
+
+std::uint64_t DetectionSnapshot::satisfied() const {
+  std::uint64_t total = 0;
+  for (const auto& view : views_) total += view->satisfied;
+  return total;
+}
+
+std::vector<std::uint64_t> DetectionSnapshot::epochs() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(views_.size());
+  for (const auto& view : views_) out.push_back(view->epoch);
+  return out;
+}
+
+std::uint64_t DetectionSnapshot::min_ruleset_version() const {
+  std::uint64_t lo = ~std::uint64_t{0};
+  for (const auto& view : views_) lo = std::min(lo, view->ruleset_version);
+  return views_.empty() ? 0 : lo;
+}
+
+std::uint64_t DetectionSnapshot::max_ruleset_version() const {
+  std::uint64_t hi = 0;
+  for (const auto& view : views_) hi = std::max(hi, view->ruleset_version);
+  return hi;
+}
+
+bool DetectionSnapshot::degraded() const {
+  for (const auto& view : views_) {
+    if (view->degraded) return true;
+  }
+  return false;
+}
+
+}  // namespace haystack::serve

@@ -1,0 +1,127 @@
+// Point-in-time detection queries over published read views (ISSUE 8).
+//
+// A DetectionSnapshot is a value: it pins one ShardView per shard (grabbed
+// lock-light from the ViewHub (one published-pointer copy), or token-refreshed by the control plane) and
+// answers every query from those immutable views — per-subscriber
+// detection/verdict/evidence, whole-population Fig. 12-style per-service
+// drill-downs, and heavy-hitter rankings — while ingest keeps running.
+// Consistency: each shard's view is a prefix of that shard's serial
+// application order at its published epoch, and a subscriber's evidence
+// lives in exactly one shard, so every per-subscriber answer (and every
+// per-service count, which sums per-subscriber facts) is prefix-consistent
+// with the ingest order. The snapshot stays valid — and keeps answering
+// identically — no matter what ingest, reloads, or clears happen after it
+// was taken.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/read_view.hpp"
+#include "core/sharded_detector.hpp"
+
+namespace haystack::serve {
+
+/// One row of a Fig. 12-style drill-down: how many subscribers a service
+/// was detected for in this snapshot (hierarchy-aware), and how many have
+/// any evidence toward it.
+struct ServiceCount {
+  core::ServiceId service = 0;
+  std::string name;  ///< from the owning view's compiled rules
+  std::uint64_t detected_subscribers = 0;
+  std::uint64_t evidence_subscribers = 0;
+};
+
+/// Heavy-hitter row: subscribers ranked by detected services, then by
+/// cumulative sampled packets.
+struct HeavyHitter {
+  core::SubscriberKey subscriber = 0;
+  std::uint32_t detected_services = 0;
+  std::uint64_t packets = 0;
+};
+
+/// One service's evidence for a subscriber-profile drill-down.
+struct ProfileRow {
+  core::ServiceId service = 0;
+  std::string name;
+  core::Evidence evidence{};
+  bool detected = false;  ///< hierarchy-aware, within the snapshot
+};
+
+/// Immutable multi-shard detection snapshot. Cheap to copy (shared views).
+class DetectionSnapshot {
+ public:
+  /// `views` must be one view per shard, in shard order — exactly what
+  /// ViewHub::views() / ShardedDetector::{live,fresh}_views() return.
+  explicit DetectionSnapshot(
+      std::vector<std::shared_ptr<const core::ShardView>> views);
+
+  // --- per-subscriber queries (answered by the owning shard's view) ----
+  [[nodiscard]] bool detected(core::SubscriberKey subscriber,
+                              core::ServiceId service) const {
+    return owner(subscriber).detected(subscriber, service);
+  }
+  [[nodiscard]] std::optional<util::HourBin> detection_hour(
+      core::SubscriberKey subscriber, core::ServiceId service) const {
+    return owner(subscriber).detection_hour(subscriber, service);
+  }
+  /// Verdict tagged with the owning view's ruleset_version.
+  [[nodiscard]] core::Verdict verdict(core::SubscriberKey subscriber,
+                                      core::ServiceId service) const {
+    return owner(subscriber).verdict(subscriber, service);
+  }
+  [[nodiscard]] const core::Evidence* evidence(
+      core::SubscriberKey subscriber, core::ServiceId service) const {
+    return owner(subscriber).evidence_row(subscriber, service);
+  }
+
+  /// All of one subscriber's evidence rows, hierarchy-evaluated.
+  [[nodiscard]] std::vector<ProfileRow> subscriber_profile(
+      core::SubscriberKey subscriber) const;
+
+  // --- whole-population drill-downs ------------------------------------
+  /// Per-service detection counts (Fig. 12 drill-down), sorted by
+  /// detected_subscribers descending, then service id.
+  [[nodiscard]] std::vector<ServiceCount> service_counts() const;
+
+  /// Top-k subscribers by detected services (ties: packets, then key).
+  [[nodiscard]] std::vector<HeavyHitter> heavy_hitters(std::size_t k) const;
+
+  /// Visits every evidence row, shard-major in shard order — identical
+  /// order to ShardedDetector::for_each_evidence at the same epochs.
+  void for_each_evidence(
+      const std::function<void(core::SubscriberKey, core::ServiceId,
+                               const core::Evidence&)>& fn) const;
+
+  // --- snapshot metadata ------------------------------------------------
+  [[nodiscard]] core::ViewStats stats() const;  ///< summed over shards
+  [[nodiscard]] std::uint64_t observations() const;
+  [[nodiscard]] std::uint64_t satisfied() const;
+  /// Published epochs, one per shard (the consistency stamp).
+  [[nodiscard]] std::vector<std::uint64_t> epochs() const;
+  /// Lowest / highest compiled-rule version across the shard views. Equal
+  /// everywhere except in the short window while a cutover propagates.
+  [[nodiscard]] std::uint64_t min_ruleset_version() const;
+  [[nodiscard]] std::uint64_t max_ruleset_version() const;
+  [[nodiscard]] bool degraded() const;  ///< any shard degraded
+
+  [[nodiscard]] unsigned shards() const noexcept {
+    return static_cast<unsigned>(views_.size());
+  }
+  [[nodiscard]] const core::ShardView& view(unsigned shard) const {
+    return *views_[shard];
+  }
+
+ private:
+  [[nodiscard]] const core::ShardView& owner(
+      core::SubscriberKey subscriber) const {
+    return *views_[core::shard_of_key(subscriber, views_.size())];
+  }
+
+  std::vector<std::shared_ptr<const core::ShardView>> views_;
+};
+
+}  // namespace haystack::serve

@@ -1,0 +1,66 @@
+// TSan-clean published-pointer slot.
+//
+// GCC 12's std::atomic<std::shared_ptr<T>> guards its control block with
+// an embedded pointer-tag spinlock, but the reader side of load() drops
+// that lock with a *relaxed* RMW (libstdc++ bits/shared_ptr_atomic.h:
+// `_M_refcount.unlock(memory_order_relaxed)`), so a reader's copy of the
+// raw pointer and the next writer's swap of it are not ordered by
+// happens-before. That is a formal data race under the C++ memory model
+// — harmless on the hardware the lock protocol targets, but reported by
+// ThreadSanitizer, and this repo's TSan legs are load-bearing.
+//
+// SharedSlot owns the synchronization explicitly instead: a one-byte
+// spinlock taken with exchange(acquire) and dropped with store(release)
+// around a plain shared_ptr copy/swap. The critical section is a pointer
+// move plus a refcount bump — publishers never hold it across merge or
+// detect work, so readers never wait behind ingest, and the progress
+// guarantee is the same as libstdc++'s own lock-bit implementation.
+// Retired values are released outside the critical section so a slot
+// store never runs a destructor under the lock.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace haystack::util {
+
+template <typename T>
+class SharedSlot {
+ public:
+  SharedSlot() = default;
+  explicit SharedSlot(std::shared_ptr<T> p) noexcept : ptr_(std::move(p)) {}
+
+  SharedSlot(const SharedSlot&) = delete;
+  SharedSlot& operator=(const SharedSlot&) = delete;
+
+  /// Copy of the currently published pointer.
+  [[nodiscard]] std::shared_ptr<T> load() const noexcept {
+    lock();
+    std::shared_ptr<T> out = ptr_;
+    unlock();
+    return out;
+  }
+
+  /// Publish `p`; the previous value is released after the lock drops.
+  void store(std::shared_ptr<T> p) noexcept {
+    lock();
+    ptr_.swap(p);
+    unlock();
+  }
+
+ private:
+  void lock() const noexcept {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      // Holders only move a pointer; spinning is nanoseconds.
+    }
+  }
+  void unlock() const noexcept {
+    locked_.store(false, std::memory_order_release);
+  }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace haystack::util

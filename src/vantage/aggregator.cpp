@@ -64,6 +64,17 @@ Aggregator::Aggregator(const core::Hitlist& hitlist,
     m_merged_epoch_ = reg.gauge("vantage_merged_epoch");
     m_staged_depth_ = reg.gauge("vantage_staged_epochs");
   }
+  publish_live_locked();  // live() is never null
+}
+
+void Aggregator::publish_live_locked() {
+  auto snap = std::make_shared<LiveSnapshot>();
+  snap->merged_through = last_sealed_;
+  snap->epochs_sealed = counters_.epochs_sealed;
+  snap->stats = global_.stats();
+  snap->compiled = global_.version();
+  snap->evidence = global_.evidence_map();  // merge-prefix clone
+  live_.store(std::move(snap));
 }
 
 void Aggregator::add_collector(std::uint32_t id, util::HourBin first_epoch) {
@@ -226,6 +237,7 @@ OfferResult Aggregator::offer(std::span<const std::uint8_t> datagram) {
   }
 
   const unsigned sealed = try_seal();
+  if (sealed != 0) publish_live_locked();
   refresh_health();
   return {true, sealed, ""};
 }
@@ -496,6 +508,7 @@ bool Aggregator::restore(std::span<const std::uint8_t> blob,
     global_.restore_stats({});
     collectors_.clear();
     last_sealed_.reset();
+    publish_live_locked();  // live readers must not keep pre-fail state
     if (error != nullptr) *error = why;
     if (obs_ != nullptr) {
       obs_->recorder.record(obs::EventKind::kCheckpointRejected, 0, 0);
@@ -596,6 +609,7 @@ bool Aggregator::restore(std::span<const std::uint8_t> blob,
   }
   last_sealed_ = has_sealed ? std::optional<util::HourBin>{last_sealed}
                             : std::nullopt;
+  publish_live_locked();
   refresh_health();
   if (error != nullptr) error->clear();
   return true;
@@ -607,6 +621,7 @@ void Aggregator::clear() {
   global_.restore_stats({});
   collectors_.clear();
   last_sealed_.reset();
+  publish_live_locked();
 }
 
 std::optional<util::HourBin> Aggregator::merged_through() const {

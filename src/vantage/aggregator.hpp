@@ -47,6 +47,7 @@
 // label).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,6 +63,7 @@
 #include "flow/delta_wire.hpp"
 #include "flow/gap_tracker.hpp"
 #include "obs/observability.hpp"
+#include "util/shared_slot.hpp"
 
 namespace haystack::vantage {
 
@@ -92,6 +94,37 @@ struct OfferResult {
   unsigned sealed_epochs = 0;
   /// Reject reason, or "stale" for harmless already-merged retransmits.
   std::string detail;
+};
+
+/// Point-in-time snapshot of the merged global state (ISSUE 8). Published
+/// with one atomic pointer swap each time the epoch barrier advances (and
+/// on restore/clear), so readers grab a complete merge prefix — state as
+/// of a sealed epoch, never a half-staged one — with a single published-pointer copy,
+/// while offer()/seal keep running under the aggregator mutex. The
+/// snapshot stays valid (and keeps answering identically) across
+/// collector kill/restart, further merges, and even aggregator
+/// destruction: a reader holding one is never blocked.
+struct LiveSnapshot {
+  /// Last epoch folded into this snapshot; nullopt before the first seal.
+  std::optional<util::HourBin> merged_through;
+  std::uint64_t epochs_sealed = 0;  ///< barrier advances at publish
+  core::Detector::Stats stats{};
+  std::shared_ptr<const core::CompiledRuleVersion> compiled;
+  core::FlatEvidenceMap<core::Evidence> evidence;
+
+  [[nodiscard]] std::optional<util::HourBin> detection_hour(
+      core::SubscriberKey subscriber, core::ServiceId service) const {
+    return core::eval_detection_hour(evidence, *compiled, subscriber,
+                                     service);
+  }
+  [[nodiscard]] bool detected(core::SubscriberKey subscriber,
+                              core::ServiceId service) const {
+    return detection_hour(subscriber, service).has_value();
+  }
+  [[nodiscard]] const core::Evidence* evidence_row(
+      core::SubscriberKey subscriber, core::ServiceId service) const {
+    return evidence.find(subscriber, service);
+  }
 };
 
 class Aggregator {
@@ -158,6 +191,12 @@ class Aggregator {
   [[nodiscard]] std::optional<util::HourBin> detection_hour(
       core::SubscriberKey subscriber, core::ServiceId service) const;
 
+  /// Constant-time merged-state snapshot: never takes the aggregator mutex,
+  /// never observes a half-staged epoch (see LiveSnapshot). Never null.
+  [[nodiscard]] std::shared_ptr<const LiveSnapshot> live() const {
+    return live_.load();
+  }
+
   /// Heartbeat-based health: true while the collector's progress (staged
   /// or merged) is within `stale_after` epochs of the fleet maximum.
   [[nodiscard]] bool healthy(std::uint32_t id) const;
@@ -195,6 +234,10 @@ class Aggregator {
 
   OfferResult reject(std::uint32_t collector, std::size_t bytes,
                      std::string reason);
+  /// Clones the merged global state into a new LiveSnapshot and swaps it
+  /// into live_. Callers hold mu_ (publication points: construction,
+  /// barrier advances, restore, clear).
+  void publish_live_locked();
   /// Folds every sealable epoch; returns how many were sealed.
   unsigned try_seal();
   void seal_epoch(util::HourBin epoch);
@@ -215,6 +258,8 @@ class Aggregator {
   /// Last epoch sealed into the global map; the barrier next waits on
   /// last_sealed_+1 (or the earliest first_epoch before the first seal).
   std::optional<util::HourBin> last_sealed_;
+  /// Epoch-swapped merge-prefix snapshot (see live()).
+  util::SharedSlot<const LiveSnapshot> live_;
   Counters counters_;
   // Registry series (null without obs).
   std::shared_ptr<obs::Counter> m_offered_, m_rejected_, m_stale_,

@@ -696,5 +696,58 @@ TEST(FlightReplayTest, SeededFleetRestartScenarioReplaysDeterministically) {
   EXPECT_TRUE(saw_restart);
 }
 
+// --- EventKind wire pinning (ISSUE 8 satellite) ----------------------------
+
+// Event.kind rides a uint8 slot in checkpoint/export ring headers, so the
+// numeric value of every shipped kind is wire format. This pins them all:
+// reordering the enum, inserting before an existing kind, or growing past
+// the uint8 sentinel must fail here before it silently corrupts archived
+// rings. The three serve alert kinds land strictly after kCollectorResync.
+TEST(FlightRecorderWire, EventKindValuesArePinned) {
+  const std::pair<EventKind, unsigned> pinned[] = {
+      {EventKind::kExporterRestart, 0},
+      {EventKind::kSequenceGap, 1},
+      {EventKind::kSequenceReplay, 2},
+      {EventKind::kTemplateParked, 3},
+      {EventKind::kTemplateRecovered, 4},
+      {EventKind::kTemplateEvicted, 5},
+      {EventKind::kBackpressureStall, 6},
+      {EventKind::kSlowWave, 7},
+      {EventKind::kCacheEmergencyExpiry, 8},
+      {EventKind::kCheckpointSave, 9},
+      {EventKind::kCheckpointRestore, 10},
+      {EventKind::kCheckpointRejected, 11},
+      {EventKind::kDegradedEnter, 12},
+      {EventKind::kDegradedExit, 13},
+      {EventKind::kPipelineShutdown, 14},
+      {EventKind::kSelfCheckFailed, 15},
+      {EventKind::kScrape, 16},
+      {EventKind::kDeltaMerged, 17},
+      {EventKind::kDeltaRejected, 18},
+      {EventKind::kCollectorResync, 19},
+      {EventKind::kAlertNewDetection, 20},
+      {EventKind::kAlertConfidenceDegraded, 21},
+      {EventKind::kAlertLossSpike, 22},
+  };
+  for (const auto& [kind, value] : pinned) {
+    EXPECT_EQ(static_cast<unsigned>(kind), value)
+        << obs::event_name(kind);
+  }
+  // The sentinel trails the last shipped kind and stays within uint8.
+  EXPECT_EQ(static_cast<unsigned>(EventKind::kEventKindCount),
+            std::size(pinned));
+  static_assert(static_cast<unsigned>(EventKind::kEventKindCount) <= 256U);
+}
+
+TEST(FlightRecorderWire, AlertKindsHaveStableNames) {
+  EXPECT_STREQ(obs::event_name(EventKind::kAlertNewDetection),
+               "alert_new_detection");
+  EXPECT_STREQ(obs::event_name(EventKind::kAlertConfidenceDegraded),
+               "alert_confidence_degraded");
+  EXPECT_STREQ(obs::event_name(EventKind::kAlertLossSpike),
+               "alert_loss_spike");
+  EXPECT_STREQ(obs::event_name(EventKind::kEventKindCount), "unknown");
+}
+
 }  // namespace
 }  // namespace haystack

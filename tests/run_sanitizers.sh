@@ -17,8 +17,10 @@
 # shutdown mid-stream, restart-after-drain), the observability suite
 # (ctest label `obs`: concurrent scrape-while-ingesting under load,
 # ISSUE 5), the multi-vantage suite (ctest label `vantage`: concurrent
-# aggregator offer/query, ISSUE 7), and the sharded detector and
-# streaming-pipeline unit tests.
+# aggregator offer/query, ISSUE 7), the live control plane suite (ctest
+# label `serve`: snapshot queries, hot-reloads, and alerts against full
+# ingest, ISSUE 8), and the sharded detector and streaming-pipeline unit
+# tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +46,7 @@ run_tsan() {
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L stress)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L obs)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L vantage)
+  (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L serve)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" \
     -R "Sharded|Queue|Ingest|Streaming")
 }

@@ -23,17 +23,19 @@ int main() {
   // Ground truth: lines owning each unit (directly or via a descendant
   // unit whose devices also speak this unit's domains).
   std::map<core::ServiceId, std::set<simnet::LineId>> owners;
-  for (const simnet::LineId line : population.lines_with_devices()) {
-    for (const auto& dev : population.devices_of(line)) {
-      simnet::UnitId unit = dev.unit;
-      for (;;) {
-        owners[unit].insert(line);
-        const auto& parent = catalog.units()[unit].parent;
-        if (!parent) break;
-        unit = *parent;
-      }
-    }
-  }
+  population.for_each_active_line(
+      [&](const simnet::LineId line,
+          const std::span<const simnet::OwnedDevice> devices) {
+        for (const auto& dev : devices) {
+          simnet::UnitId unit = dev.unit;
+          for (;;) {
+            owners[unit].insert(line);
+            const auto& parent = catalog.units()[unit].parent;
+            if (!parent) break;
+            unit = *parent;
+          }
+        }
+      });
 
   util::print_banner(std::cout,
                      "Ablation: threshold D vs true/false positives "

@@ -25,31 +25,32 @@ void Detector::apply_match(SubscriberKey subscriber, ServiceId service,
   bool inserted = false;
   Evidence& ev = evidence_.find_or_insert(subscriber, service, inserted);
   if (inserted) {
-    ev.first_seen = hour;
+    ev.set_first_seen(hour);
     if (instruments_.evidence_entries) {
       instruments_.evidence_entries->set(
           static_cast<std::int64_t>(evidence_.size()));
     }
+    if (instruments_.evidence_bytes) {
+      instruments_.evidence_bytes->set(
+          static_cast<std::int64_t>(evidence_.memory_bytes()));
+    }
   }
-  ev.packets += packets;
+  ev.add_packets(packets);
 
-  if (pos < 128 && !ev.sees(pos)) {
-    ev.mask[pos >> 6] |= std::uint64_t{1} << (pos & 63U);
-    ++ev.distinct;
-  }
+  if (pos < 128 && !ev.sees(pos)) ev.set_bit(pos);
 
-  if (ev.satisfied_hour == Evidence::kNever) {
+  if (!ev.satisfied()) {
     // critical_mask is nonzero only when the rule's critical domain alone
     // is sufficient; the AND tests sees(critical index) in one bit op.
     const bool critical_ok =
-        ((ev.mask[0] & fast.critical_mask[0]) |
-         (ev.mask[1] & fast.critical_mask[1])) != 0;
-    if (critical_ok || ev.distinct >= fast.required) {
-      ev.satisfied_hour = hour;
+        ((ev.mask(0) & fast.critical_mask[0]) |
+         (ev.mask(1) & fast.critical_mask[1])) != 0;
+    if (critical_ok || ev.distinct() >= fast.required) {
+      ev.set_satisfied_hour(hour);
       ++satisfied_total_;
       if (instruments_.rules_satisfied) instruments_.rules_satisfied->add(1);
       if (instruments_.time_to_detection_hours) {
-        instruments_.time_to_detection_hours->record(hour - ev.first_seen);
+        instruments_.time_to_detection_hours->record(hour - ev.first_seen());
       }
     }
   }

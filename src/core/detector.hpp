@@ -48,6 +48,9 @@ struct DetectorInstruments {
   std::shared_ptr<obs::Counter> matched;          ///< hitlist matches
   std::shared_ptr<obs::Counter> rules_satisfied;  ///< coverage-met events
   std::shared_ptr<obs::Gauge> evidence_entries;   ///< evidence-map size
+  /// Evidence-map slot-array bytes (FlatEvidenceMap::memory_bytes) — the
+  /// per-shard memory gauge for the 15 M-line tier (ISSUE 9).
+  std::shared_ptr<obs::Gauge> evidence_bytes;
   /// Hours from first evidence to rule satisfaction, per transition.
   std::shared_ptr<obs::Histogram> time_to_detection_hours;
   /// kDegradedEnter/kDegradedExit events on loss-tolerance crossings

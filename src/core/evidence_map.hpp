@@ -30,7 +30,10 @@ class FlatEvidenceMap {
   /// if absent; `inserted` reports which happened.
   EvidenceT& find_or_insert(std::uint64_t subscriber, std::uint16_t service,
                             bool& inserted) {
-    if ((size_ + 1) * 2 > entries_.size()) rehash(entries_.size() * 2);
+    // >=: rehash *before* the insert that would push the load factor past
+    // 0.5, keeping the documented ≤0.5 bound an invariant (the old `>`
+    // rehashed one insert late).
+    if ((size_ + 1) * 2 >= entries_.size()) rehash(entries_.size() * 2);
     Entry& e = *probe(subscriber, service);
     inserted = e.service_plus1 == 0;
     if (inserted) {
@@ -65,6 +68,12 @@ class FlatEvidenceMap {
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Bytes held by the slot array (the map's entire heap footprint —
+  /// surfaced as the per-shard evidence_bytes obs gauge, ISSUE 9).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return std::uint64_t{entries_.capacity()} * sizeof(Entry);
+  }
 
   /// Drops every entry; slot capacity is retained for reuse.
   void clear() {

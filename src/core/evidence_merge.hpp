@@ -43,14 +43,15 @@
 namespace haystack::core {
 
 /// Joins `from` into `into` (see file comment for the per-field lattice).
+/// `distinct` needs no recompute since the packed Evidence derives it from
+/// the mask (DESIGN.md §12).
 inline void merge_evidence(Evidence& into, const Evidence& from) noexcept {
-  into.mask[0] |= from.mask[0];
-  into.mask[1] |= from.mask[1];
-  into.distinct = static_cast<std::uint16_t>(std::popcount(into.mask[0]) +
-                                             std::popcount(into.mask[1]));
-  into.packets = std::max(into.packets, from.packets);
-  into.first_seen = std::min(into.first_seen, from.first_seen);
-  into.satisfied_hour = std::min(into.satisfied_hour, from.satisfied_hour);
+  into.or_mask(0, from.mask(0));
+  into.or_mask(1, from.mask(1));
+  into.set_packets(std::max(into.packets(), from.packets()));
+  into.set_first_seen(std::min(into.first_seen(), from.first_seen()));
+  into.set_satisfied_hour(
+      std::min(into.satisfied_hour(), from.satisfied_hour()));
 }
 
 /// The satisfaction predicate of one rule under a fixed threshold,
@@ -79,9 +80,9 @@ struct SatisfyRule {
 /// Detector::apply_match().
 [[nodiscard]] inline bool evidence_satisfies(
     const Evidence& ev, const SatisfyRule& rule) noexcept {
-  const bool critical_ok = ((ev.mask[0] & rule.critical_mask[0]) |
-                            (ev.mask[1] & rule.critical_mask[1])) != 0;
-  return critical_ok || ev.distinct >= rule.required;
+  const bool critical_ok = ((ev.mask(0) & rule.critical_mask[0]) |
+                            (ev.mask(1) & rule.critical_mask[1])) != 0;
+  return critical_ok || ev.distinct() >= rule.required;
 }
 
 }  // namespace haystack::core

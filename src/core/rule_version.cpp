@@ -55,10 +55,10 @@ std::optional<util::HourBin> eval_detection_hour(
     const DetectionRule* rule = v.rule_for(*current);
     if (rule == nullptr) return std::nullopt;
     const Evidence* ev = evidence.find(subscriber, *current);
-    if (ev == nullptr || ev->satisfied_hour == Evidence::kNever) {
+    if (ev == nullptr || !ev->satisfied()) {
       return std::nullopt;
     }
-    latest = std::max(latest, ev->satisfied_hour);
+    latest = std::max(latest, ev->satisfied_hour());
     current = rule->parent;
   }
   return latest;
@@ -92,7 +92,7 @@ Verdict eval_verdict(const FlatEvidenceMap<Evidence>& evidence,
     const auto relaxed = std::max<unsigned>(
         1, static_cast<unsigned>(static_cast<double>(required) *
                                  (1.0 - observed_loss)));
-    if (!critical_ok && ev.distinct < relaxed) {
+    if (!critical_ok && ev.distinct() < relaxed) {
       return {false, Confidence::kLow, std::nullopt, v.id};
     }
     current = rule->parent;

@@ -18,6 +18,8 @@
 // under.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -71,23 +73,95 @@ struct Verdict {
   std::uint64_t ruleset_version = 0;
 };
 
-/// Per-(subscriber, service) evidence state.
+/// Per-(subscriber, service) evidence state — the per-entry payload of the
+/// hottest table in the system, packed for the 15 M-line tier (DESIGN.md
+/// §12): 28 bytes, align 4 (the old layout was 40 bytes align 8, 56-byte
+/// map slots vs 40 now). Fields are private behind accessors so the wire
+/// formats and merge code can't silently depend on the layout:
+///  - the distinct-domain count is no longer stored; it is popcount(mask)
+///    by invariant (the detector only ever sets fresh bits), so it is
+///    derived on read.
+///  - hours are stored as u16: a study is 336 hours (util::kStudyHours)
+///    and the external HourBin type stays u32, widened/narrowed (with
+///    saturation at 0xfffe) at the accessor boundary. kNever round-trips
+///    exactly.
+///  - the 128-bit domain mask and 64-bit packet counter live in u32
+///    halves so the struct stays align-4 and map slots avoid 8-byte tail
+///    padding.
 struct Evidence {
-  /// Bitset over monitored-domain positions (up to 128; Fire TV's 34 is
-  /// the catalog maximum).
-  std::array<std::uint64_t, 2> mask{0, 0};
-  std::uint16_t distinct = 0;
-  std::uint64_t packets = 0;          ///< cumulative sampled packets
-  util::HourBin first_seen = 0;
-  /// Hour the rule's own coverage requirement was first met; kNever until.
-  util::HourBin satisfied_hour = kNever;
-
   static constexpr util::HourBin kNever = 0xffffffffU;
 
-  [[nodiscard]] bool sees(std::uint16_t position) const noexcept {
-    return (mask[position >> 6] >> (position & 63U)) & 1U;
+  /// 64-bit word `w` (0 or 1) of the monitored-domain bitset (up to 128
+  /// positions; Fire TV's 34 is the catalog maximum).
+  [[nodiscard]] std::uint64_t mask(unsigned w) const noexcept {
+    return std::uint64_t{mask_[2 * w]} |
+           (std::uint64_t{mask_[2 * w + 1]} << 32);
   }
+  void set_mask(unsigned w, std::uint64_t bits) noexcept {
+    mask_[2 * w] = static_cast<std::uint32_t>(bits);
+    mask_[2 * w + 1] = static_cast<std::uint32_t>(bits >> 32);
+  }
+  void or_mask(unsigned w, std::uint64_t bits) noexcept {
+    mask_[2 * w] |= static_cast<std::uint32_t>(bits);
+    mask_[2 * w + 1] |= static_cast<std::uint32_t>(bits >> 32);
+  }
+  void set_bit(std::uint16_t position) noexcept {
+    mask_[position >> 5] |= std::uint32_t{1} << (position & 31U);
+  }
+  [[nodiscard]] bool sees(std::uint16_t position) const noexcept {
+    return (mask_[position >> 5] >> (position & 31U)) & 1U;
+  }
+
+  /// Distinct monitored domains seen — popcount(mask) by invariant.
+  [[nodiscard]] std::uint16_t distinct() const noexcept {
+    return static_cast<std::uint16_t>(
+        std::popcount(mask_[0]) + std::popcount(mask_[1]) +
+        std::popcount(mask_[2]) + std::popcount(mask_[3]));
+  }
+
+  /// Cumulative sampled packets.
+  [[nodiscard]] std::uint64_t packets() const noexcept {
+    return std::uint64_t{packets_lo_} | (std::uint64_t{packets_hi_} << 32);
+  }
+  void set_packets(std::uint64_t v) noexcept {
+    packets_lo_ = static_cast<std::uint32_t>(v);
+    packets_hi_ = static_cast<std::uint32_t>(v >> 32);
+  }
+  void add_packets(std::uint64_t v) noexcept { set_packets(packets() + v); }
+
+  [[nodiscard]] util::HourBin first_seen() const noexcept {
+    return first_seen_;
+  }
+  void set_first_seen(util::HourBin h) noexcept {
+    first_seen_ = narrow_hour(h);
+  }
+
+  /// Hour the rule's own coverage requirement was first met; kNever until.
+  [[nodiscard]] util::HourBin satisfied_hour() const noexcept {
+    return satisfied_ == kNever16 ? kNever : satisfied_;
+  }
+  void set_satisfied_hour(util::HourBin h) noexcept {
+    satisfied_ = h == kNever ? kNever16 : narrow_hour(h);
+  }
+  [[nodiscard]] bool satisfied() const noexcept {
+    return satisfied_ != kNever16;
+  }
+
+ private:
+  static constexpr std::uint16_t kNever16 = 0xffff;
+
+  static std::uint16_t narrow_hour(util::HourBin h) noexcept {
+    return h >= kNever16 ? std::uint16_t{0xfffe} : static_cast<std::uint16_t>(h);
+  }
+
+  std::uint32_t mask_[4]{0, 0, 0, 0};
+  std::uint32_t packets_lo_ = 0;
+  std::uint32_t packets_hi_ = 0;
+  std::uint16_t first_seen_ = 0;
+  std::uint16_t satisfied_ = kNever16;
 };
+static_assert(sizeof(Evidence) == 28 && alignof(Evidence) == 4,
+              "Evidence must stay packed (DESIGN.md §12)");
 
 /// Per-service data precompiled once per version so the interned detect
 /// path never dereferences a DetectionRule: the evidence requirement under

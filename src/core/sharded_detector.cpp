@@ -52,6 +52,8 @@ ShardedDetector::ShardedDetector(const Hitlist& hitlist, const RuleSet& rules,
           obs->registry.counter("detector_rules_satisfied_total", shard_labels);
       inst.evidence_entries =
           obs->registry.gauge("detector_evidence_entries", shard_labels);
+      inst.evidence_bytes =
+          obs->registry.gauge("detector_evidence_bytes", shard_labels);
       inst.time_to_detection_hours =
           obs->registry.histogram("detector_time_to_detection_hours");
       inst.recorder = &obs->recorder;

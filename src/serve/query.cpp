@@ -73,7 +73,7 @@ std::vector<HeavyHitter> DetectionSnapshot::heavy_hitters(
                                 const core::Evidence& ev) {
       HeavyHitter& h = by_subscriber[sub];
       h.subscriber = sub;
-      h.packets += ev.packets;
+      h.packets += ev.packets();
       if (view->detected(sub, service)) ++h.detected_services;
     });
   }

@@ -12,18 +12,19 @@ BotnetSim::BotnetSim(const Population& population,
   const Product* product = catalog.product_by_name(config.product_name);
   if (product == nullptr) return;
 
-  for (const LineId line : population.lines_with_devices()) {
-    bool owns = false;
-    for (const auto& dev : population.devices_of(line)) {
-      if (dev.product && *dev.product == product->id) {
-        owns = true;
-        break;
-      }
-    }
-    if (!owns) continue;
-    util::Pcg32 rng = util::derive_rng(config_.seed ^ 0xb07, line, 0);
-    if (rng.chance(config_.infection_rate)) infected_.push_back(line);
-  }
+  population.for_each_active_line(
+      [&](const LineId line, const std::span<const OwnedDevice> devices) {
+        bool owns = false;
+        for (const auto& dev : devices) {
+          if (dev.product && *dev.product == product->id) {
+            owns = true;
+            break;
+          }
+        }
+        if (!owns) return;
+        util::Pcg32 rng = util::derive_rng(config_.seed ^ 0xb07, line, 0);
+        if (rng.chance(config_.infection_rate)) infected_.push_back(line);
+      });
 }
 
 void BotnetSim::hour_attack_observations(

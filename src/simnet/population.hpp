@@ -8,13 +8,26 @@
 // all deterministic functions of (seed, line), so any slice of the
 // population can be regenerated independently.
 //
+// Nothing is materialized per line. Ownership is regenerated on demand in
+// blocks of kBlockLines lines, held in a small LRU cache of immutable
+// shared blocks (DESIGN.md §12): the paper's 15 M-line ISP (Sec. 6,
+// Fig. 11) costs O(cache_blocks · kBlockLines) memory regardless of N,
+// while populations up to cache_blocks · kBlockLines lines (256 k at the
+// defaults — larger than every pre-scale workload) stay fully resident and
+// behave exactly like the old materialized CSR. Streaming consumers use
+// for_each_active_line, which walks blocks in order without retaining them.
+//
 // Addressing model: each line lives in a regional pool of four /24s shared
 // with 63 neighbours. Identifier rotation (router reboots, daily
 // re-assignment) moves the line to a different address within its pool,
 // which is exactly the effect Fig. 13 smooths by aggregating at /24 level.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -45,25 +58,40 @@ struct PopulationConfig {
   double daily_rotation_probability = 0.03;
   /// Fraction of lines with IPv6 connectivity.
   double dual_stack_fraction = 0.35;
+  /// Ownership-block LRU capacity. Blocks cover kBlockLines lines each, so
+  /// the default keeps 64 · 4096 = 262 144 lines hot — every pre-scale
+  /// workload fits entirely; a 15 M-line sweep cycles blocks in bounded
+  /// memory.
+  std::uint32_t cache_blocks = 64;
 };
 
-/// The materialized population.
+/// The (lazily generated) population.
 class Population {
  public:
+  /// Lines per ownership block; one deterministic regeneration unit.
+  static constexpr std::uint32_t kBlockLines = 4096;
+
   Population(const Catalog& catalog, const PopulationConfig& config);
 
   [[nodiscard]] std::uint32_t line_count() const noexcept {
     return config_.lines;
   }
 
-  /// Devices owned by a line (possibly empty).
+  /// Devices owned by a line (possibly empty). The span stays valid until
+  /// the calling thread's next devices_of / for_each_active_line call on
+  /// this Population (the thread pins the backing block; streaming callers
+  /// should prefer for_each_active_line).
   [[nodiscard]] std::span<const OwnedDevice> devices_of(LineId line) const;
 
-  /// Lines that own at least one device, ascending.
-  [[nodiscard]] const std::vector<LineId>& lines_with_devices()
-      const noexcept {
-    return active_lines_;
-  }
+  /// Streams every line owning at least one device, ascending, with its
+  /// devices. The span is valid only during the callback.
+  void for_each_active_line(
+      const std::function<void(LineId, std::span<const OwnedDevice>)>& fn)
+      const;
+
+  /// Number of lines owning at least one device (computed on first use via
+  /// one streaming pass, then cached).
+  [[nodiscard]] std::uint64_t active_line_count() const;
 
   /// The subscriber address (identifier) of a line on a given day,
   /// reflecting identifier rotation.
@@ -88,15 +116,67 @@ class Population {
   }
 
   /// Fraction of lines owning at least one catalog or virtual device.
-  [[nodiscard]] double device_penetration() const noexcept;
+  [[nodiscard]] double device_penetration() const;
+
+  /// Bytes held by the ownership-block cache plus fixed members — the
+  /// number the streaming design bounds (old CSR: O(lines)).
+  [[nodiscard]] std::uint64_t memory_bytes() const;
 
  private:
+  // One regenerated ownership block: devices of line (first_line + i) are
+  // devices[offsets[i] .. offsets[i+1]). Immutable once built; shared_ptr
+  // so readers outlive eviction.
+  struct Block {
+    LineId first_line = 0;
+    std::uint32_t line_span = 0;
+    std::vector<std::uint32_t> offsets;
+    std::vector<OwnedDevice> devices;
+    std::vector<LineId> active;  // lines in-block owning ≥1 device
+
+    [[nodiscard]] std::span<const OwnedDevice> devices_of(
+        LineId line) const {
+      const std::uint32_t i = line - first_line;
+      return {devices.data() + offsets[i], devices.data() + offsets[i + 1]};
+    }
+    [[nodiscard]] std::uint64_t bytes() const noexcept {
+      return sizeof(Block) + offsets.capacity() * sizeof(std::uint32_t) +
+             devices.capacity() * sizeof(OwnedDevice) +
+             active.capacity() * sizeof(LineId);
+    }
+  };
+
+  struct Candidate {
+    std::optional<ProductId> product;
+    UnitId unit = 0;
+    double penetration = 0.0;
+  };
+
+  [[nodiscard]] std::shared_ptr<const Block> block_for(LineId line) const;
+  [[nodiscard]] std::shared_ptr<const Block> build_block(
+      std::uint32_t index) const;
+
   const Catalog& catalog_;
   PopulationConfig config_;
-  // CSR layout: devices of line i are devices_[offsets_[i] .. offsets_[i+1]).
-  std::vector<std::uint32_t> offsets_;
-  std::vector<OwnedDevice> devices_;
-  std::vector<LineId> active_lines_;
+  std::vector<Candidate> candidates_;
+
+  // LRU over block index → block; guarded by cache_mutex_. Hot path is a
+  // hash lookup + recency bump; regeneration happens outside the lock is
+  // not needed at this tier (block builds are rare and cheap relative to
+  // the per-line simulation work they feed).
+  mutable std::mutex cache_mutex_;
+  struct CacheSlot {
+    std::uint32_t index = 0;
+    std::uint64_t last_use = 0;
+    std::shared_ptr<const Block> block;
+  };
+  mutable std::vector<CacheSlot> cache_;
+  mutable std::uint64_t cache_clock_ = 0;
+  mutable std::atomic<std::uint64_t> cached_bytes_{0};
+
+  // active_line_count / device_penetration are one full streaming pass;
+  // computed once on demand.
+  mutable std::once_flag active_count_once_;
+  mutable std::uint64_t active_count_ = 0;
 };
 
 }  // namespace haystack::simnet

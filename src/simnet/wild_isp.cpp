@@ -86,8 +86,9 @@ void WildIspSim::hour_observations(util::HourBin hour,
   const std::uint64_t hour_ms = static_cast<std::uint64_t>(hour) * 3'600'000;
 
   WildObs obs;
-  for (const LineId line : population_.lines_with_devices()) {
-    const auto devices = population_.devices_of(line);
+  population_.for_each_active_line([&](const LineId line,
+                                       const std::span<const OwnedDevice>
+                                           devices) {
     const net::IpAddress subscriber = population_.address_of(line, day);
     const bool v6_capable = population_.dual_stack(line);
     const net::IpAddress subscriber6 =
@@ -151,7 +152,7 @@ void WildIspSim::hour_observations(util::HourBin hour,
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace haystack::simnet

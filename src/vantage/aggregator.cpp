@@ -20,12 +20,10 @@ struct ResolvedRow {
 
 core::Evidence evidence_of(const flow::DeltaRow& row) noexcept {
   core::Evidence ev;
-  ev.mask[0] = row.mask0;
-  ev.mask[1] = row.mask1;
-  ev.distinct = static_cast<std::uint16_t>(std::popcount(row.mask0) +
-                                           std::popcount(row.mask1));
-  ev.packets = row.packets;
-  ev.first_seen = row.first_seen;
+  ev.set_mask(0, row.mask0);
+  ev.set_mask(1, row.mask1);
+  ev.set_packets(row.packets);
+  ev.set_first_seen(row.first_seen);
   return ev;
 }
 
@@ -297,7 +295,7 @@ void Aggregator::seal_epoch(util::HourBin epoch) {
       bool inserted = false;
       core::Evidence& cum =
           st.cum.find_or_insert(row.subscriber, service, inserted);
-      const std::uint64_t prev_packets = inserted ? 0 : cum.packets;
+      const std::uint64_t prev_packets = inserted ? 0 : cum.packets();
       if (inserted) {
         cum = incoming;
       } else {
@@ -306,17 +304,16 @@ void Aggregator::seal_epoch(util::HourBin epoch) {
       // Cumulative counters are max-joined, so this advance is the exact
       // number of packets the collector sampled for this row since its
       // last merged epoch — added to the global sum exactly once.
-      const std::uint64_t packet_delta = cum.packets - prev_packets;
+      const std::uint64_t packet_delta = cum.packets() - prev_packets;
 
       const core::Evidence* g = global_.evidence(row.subscriber, service);
       core::Evidence merged = g != nullptr ? *g : core::Evidence{};
-      if (g == nullptr) merged.first_seen = incoming.first_seen;
-      merged.mask[0] |= incoming.mask[0];
-      merged.mask[1] |= incoming.mask[1];
-      merged.distinct = static_cast<std::uint16_t>(
-          std::popcount(merged.mask[0]) + std::popcount(merged.mask[1]));
-      merged.packets += packet_delta;
-      merged.first_seen = std::min(merged.first_seen, incoming.first_seen);
+      if (g == nullptr) merged.set_first_seen(incoming.first_seen());
+      merged.or_mask(0, incoming.mask(0));
+      merged.or_mask(1, incoming.mask(1));
+      merged.add_packets(packet_delta);
+      merged.set_first_seen(
+          std::min(merged.first_seen(), incoming.first_seen()));
       global_.restore_evidence(row.subscriber, service, merged);
       touched.emplace_back(row.subscriber, service);
       ++folded_rows;
@@ -342,11 +339,11 @@ void Aggregator::seal_epoch(util::HourBin epoch) {
   // could stamp an hour a single-process detector never saw.
   for (const auto& [subscriber, service] : touched) {
     const core::Evidence* g = global_.evidence(subscriber, service);
-    if (g == nullptr || g->satisfied_hour != core::Evidence::kNever) continue;
+    if (g == nullptr || g->satisfied()) continue;
     if (service < satisfy_.size() && satisfy_[service] &&
         core::evidence_satisfies(*g, *satisfy_[service])) {
       core::Evidence updated = *g;
-      updated.satisfied_hour = epoch;
+      updated.set_satisfied_hour(epoch);
       global_.restore_evidence(subscriber, service, updated);
     }
   }
@@ -456,10 +453,10 @@ std::vector<std::uint8_t> Aggregator::encode_snapshot(
     flow::DeltaRow out;
     out.subscriber = row.subscriber;
     out.label = it->second;
-    out.mask0 = row.ev.mask[0];
-    out.mask1 = row.ev.mask[1];
-    out.packets = row.ev.packets;
-    out.first_seen = row.ev.first_seen;
+    out.mask0 = row.ev.mask(0);
+    out.mask1 = row.ev.mask(1);
+    out.packets = row.ev.packets();
+    out.first_seen = row.ev.first_seen();
     snap.rows.push_back(out);
   }
   return flow::encode_delta(snap);
@@ -491,7 +488,7 @@ std::vector<std::uint8_t> Aggregator::save() const {
     w.u32(static_cast<std::uint32_t>(snap.size()));
     w.bytes(snap);
   }
-  const auto global_blob = core::save_checkpoint_interned(global_);
+  const auto global_blob = core::save_checkpoint_compact(global_);
   w.u64(global_blob.size());
   w.bytes(global_blob);
   return w.take();

@@ -62,10 +62,10 @@ std::vector<std::uint8_t> Collector::seal_epoch(util::HourBin epoch) {
     flow::DeltaRow row;
     row.subscriber = subscriber;
     row.label = it->second;
-    row.mask0 = ev->mask[0];
-    row.mask1 = ev->mask[1];
-    row.packets = ev->packets;
-    row.first_seen = ev->first_seen;
+    row.mask0 = ev->mask(0);
+    row.mask1 = ev->mask(1);
+    row.packets = ev->packets();
+    row.first_seen = ev->first_seen();
     delta.rows.push_back(row);
   }
   touched_.clear();
@@ -128,12 +128,10 @@ bool Collector::install_snapshot(const flow::EvidenceDelta& snapshot,
   for (std::size_t i = 0; i < snapshot.rows.size(); ++i) {
     const flow::DeltaRow& row = snapshot.rows[i];
     core::Evidence ev;
-    ev.mask[0] = row.mask0;
-    ev.mask[1] = row.mask1;
-    ev.distinct = static_cast<std::uint16_t>(std::popcount(row.mask0) +
-                                             std::popcount(row.mask1));
-    ev.packets = row.packets;
-    ev.first_seen = row.first_seen;
+    ev.set_mask(0, row.mask0);
+    ev.set_mask(1, row.mask1);
+    ev.set_packets(row.packets);
+    ev.set_first_seen(row.first_seen);
     // satisfied_hour stays kNever: a collector never ships it and never
     // evaluates global satisfaction — the aggregator owns that field.
     detector_.restore_evidence(row.subscriber, services[i], ev);

@@ -137,9 +137,9 @@ TEST_F(DetectorTest, EvidenceAccumulatesPackets) {
   det.observe(1, ip_of(1, 1), 443, 7, 1);
   const Evidence* ev = det.evidence(1, 1);
   ASSERT_NE(ev, nullptr);
-  EXPECT_EQ(ev->packets, 12u);
-  EXPECT_EQ(ev->distinct, 2u);
-  EXPECT_EQ(ev->first_seen, 0u);
+  EXPECT_EQ(ev->packets(), 12u);
+  EXPECT_EQ(ev->distinct(), 2u);
+  EXPECT_EQ(ev->first_seen(), 0u);
   EXPECT_TRUE(ev->sees(0));
   EXPECT_TRUE(ev->sees(1));
   EXPECT_FALSE(ev->sees(2));

@@ -27,8 +27,10 @@ namespace {
 using haystack::fuzz::Bytes;
 using namespace haystack::flow;
 
-EvidenceDelta sample_delta(std::uint32_t rows, DeltaKind kind) {
+EvidenceDelta sample_delta(std::uint32_t rows, DeltaKind kind,
+                           std::uint32_t version = kDeltaVersionCompact) {
   EvidenceDelta delta;
+  delta.version = version;
   delta.collector = 3;
   delta.seq = 17;
   delta.epoch = 41;
@@ -52,10 +54,18 @@ EvidenceDelta sample_delta(std::uint32_t rows, DeltaKind kind) {
 
 std::vector<Bytes> build_corpus() {
   std::vector<Bytes> corpus;
-  corpus.push_back(encode_delta(sample_delta(0, DeltaKind::kDelta)));
-  corpus.push_back(encode_delta(sample_delta(5, DeltaKind::kDelta)));
-  corpus.push_back(encode_delta(sample_delta(64, DeltaKind::kDelta)));
-  corpus.push_back(encode_delta(sample_delta(9, DeltaKind::kSnapshot)));
+  // Both wire versions: compact v2 (the default emitters now produce) and
+  // legacy v1 (old collectors; the decoder keeps accepting it).
+  for (const std::uint32_t version : {kDeltaVersionCompact, kDeltaVersion}) {
+    corpus.push_back(
+        encode_delta(sample_delta(0, DeltaKind::kDelta, version)));
+    corpus.push_back(
+        encode_delta(sample_delta(5, DeltaKind::kDelta, version)));
+    corpus.push_back(
+        encode_delta(sample_delta(64, DeltaKind::kDelta, version)));
+    corpus.push_back(
+        encode_delta(sample_delta(9, DeltaKind::kSnapshot, version)));
+  }
   EvidenceDelta empty;
   corpus.push_back(encode_delta(empty));
   return corpus;

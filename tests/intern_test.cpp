@@ -221,8 +221,8 @@ std::vector<EvidenceRow> snapshot(const DetectorT& det) {
   std::vector<EvidenceRow> rows;
   det.for_each_evidence(
       [&](SubscriberKey sub, ServiceId svc, const Evidence& ev) {
-        rows.emplace_back(sub, svc, ev.mask[0], ev.mask[1], ev.distinct,
-                          ev.packets, ev.first_seen, ev.satisfied_hour);
+        rows.emplace_back(sub, svc, ev.mask(0), ev.mask(1), ev.distinct(),
+                          ev.packets(), ev.first_seen(), ev.satisfied_hour());
       });
   std::sort(rows.begin(), rows.end());
   return rows;

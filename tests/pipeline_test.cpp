@@ -162,8 +162,8 @@ std::vector<EvidenceRow> evidence_snapshot(const DetectorT& det) {
   std::vector<EvidenceRow> rows;
   det.for_each_evidence([&](core::SubscriberKey s, core::ServiceId sv,
                             const core::Evidence& ev) {
-    rows.emplace_back(s, sv, ev.mask[0], ev.mask[1], ev.distinct, ev.packets,
-                      ev.first_seen, ev.satisfied_hour);
+    rows.emplace_back(s, sv, ev.mask(0), ev.mask(1), ev.distinct(), ev.packets(),
+                      ev.first_seen(), ev.satisfied_hour());
   });
   std::sort(rows.begin(), rows.end());
   return rows;

@@ -50,11 +50,12 @@ TEST_F(PopulationTest, PerProductOwnershipMatchesPenetration) {
 
 TEST_F(PopulationTest, VirtualWildExtraDevicesExist) {
   std::size_t virtual_devices = 0;
-  for (const LineId line : population_->lines_with_devices()) {
-    for (const auto& dev : population_->devices_of(line)) {
-      if (!dev.product) ++virtual_devices;
-    }
-  }
+  population_->for_each_active_line(
+      [&](LineId, std::span<const OwnedDevice> devices) {
+        for (const auto& dev : devices) {
+          if (!dev.product) ++virtual_devices;
+        }
+      });
   // Alexa-extra alone is 7.7% of lines.
   EXPECT_GT(virtual_devices, population_->line_count() / 20);
 }
@@ -121,11 +122,12 @@ TEST_F(PopulationTest, CumulativeAddressesGrowFasterThanSlash24s) {
   std::vector<std::size_t> addr_curve;
   std::vector<std::size_t> s24_curve;
   for (util::DayBin day = 0; day < util::kStudyDays; ++day) {
-    for (const LineId line : population_->lines_with_devices()) {
-      const auto addr = population_->address_of(line, day);
-      addresses.insert(addr);
-      slash24s.insert(net::aggregate_of(addr));
-    }
+    population_->for_each_active_line(
+        [&](const LineId line, std::span<const OwnedDevice>) {
+          const auto addr = population_->address_of(line, day);
+          addresses.insert(addr);
+          slash24s.insert(net::aggregate_of(addr));
+        });
     addr_curve.push_back(addresses.size());
     s24_curve.push_back(slash24s.size());
   }

@@ -19,8 +19,10 @@
 # ISSUE 5), the multi-vantage suite (ctest label `vantage`: concurrent
 # aggregator offer/query, ISSUE 7), the live control plane suite (ctest
 # label `serve`: snapshot queries, hot-reloads, and alerts against full
-# ingest, ISSUE 8), and the sharded detector and streaming-pipeline unit
-# tests.
+# ingest, ISSUE 8), the paper-scale suite (ctest label `scale`: the
+# block-cache LRU under cross-thread devices_of pins plus the
+# million-entry evidence-map rehash storm, ISSUE 9), and the sharded
+# detector and streaming-pipeline unit tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,6 +49,7 @@ run_tsan() {
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L obs)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L vantage)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L serve)
+  (cd build-tsan && ctest --output-on-failure -j "${jobs}" -L scale)
   (cd build-tsan && ctest --output-on-failure -j "${jobs}" \
     -R "Sharded|Queue|Ingest|Streaming")
 }

@@ -138,8 +138,8 @@ std::vector<EvidenceRow> evidence_rows(const T& holder) {
   std::vector<EvidenceRow> rows;
   holder.for_each_evidence(
       [&rows](SubscriberKey sub, ServiceId svc, const Evidence& ev) {
-        rows.emplace_back(sub, svc, ev.mask[0], ev.mask[1], ev.distinct,
-                          ev.packets, ev.first_seen, ev.satisfied_hour);
+        rows.emplace_back(sub, svc, ev.mask(0), ev.mask(1), ev.distinct(),
+                          ev.packets(), ev.first_seen(), ev.satisfied_hour());
       });
   std::sort(rows.begin(), rows.end());
   return rows;
@@ -328,7 +328,7 @@ TEST(ServeProperty, EpochsMonotoneAndViewsNeverTorn) {
         std::uint64_t satisfied_rows = 0;
         v.evidence.for_each([&](SubscriberKey, ServiceId,
                                 const Evidence& ev) {
-          satisfied_rows += ev.satisfied_hour != Evidence::kNever ? 1U : 0U;
+          satisfied_rows += ev.satisfied_hour() != Evidence::kNever ? 1U : 0U;
         });
         ASSERT_EQ(satisfied_rows, v.satisfied)
             << "torn view: shard " << s << " epoch " << v.epoch;
@@ -733,8 +733,8 @@ TEST(ServeVantage, LiveSnapshotIsMergePrefixConsistent) {
   std::vector<EvidenceRow> live_rows;
   sealed->evidence.for_each(
       [&](SubscriberKey sub, ServiceId svc, const Evidence& ev) {
-        live_rows.emplace_back(sub, svc, ev.mask[0], ev.mask[1], ev.distinct,
-                               ev.packets, ev.first_seen, ev.satisfied_hour);
+        live_rows.emplace_back(sub, svc, ev.mask(0), ev.mask(1), ev.distinct(),
+                               ev.packets(), ev.first_seen(), ev.satisfied_hour());
       });
   std::sort(live_rows.begin(), live_rows.end());
   EXPECT_EQ(live_rows, evidence_rows(agg));
@@ -803,8 +803,8 @@ TEST(ServeVantage, KillRestartNeverBlocksLiveReader) {
   std::vector<EvidenceRow> rows;
   live->evidence.for_each(
       [&](SubscriberKey sub, ServiceId svc, const Evidence& ev) {
-        rows.emplace_back(sub, svc, ev.mask[0], ev.mask[1], ev.distinct,
-                          ev.packets, ev.first_seen, ev.satisfied_hour);
+        rows.emplace_back(sub, svc, ev.mask(0), ev.mask(1), ev.distinct(),
+                          ev.packets(), ev.first_seen(), ev.satisfied_hour());
       });
   std::sort(rows.begin(), rows.end());
   EXPECT_EQ(rows, evidence_rows(baseline));

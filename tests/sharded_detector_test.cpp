@@ -93,8 +93,8 @@ std::vector<EvidenceRow> snapshot(const ShardedDetector& det) {
   std::vector<EvidenceRow> rows;
   det.for_each_evidence(
       [&](SubscriberKey s, ServiceId sv, const Evidence& ev) {
-        rows.emplace_back(s, sv, ev.mask[0], ev.mask[1], ev.distinct,
-                          ev.packets, ev.first_seen, ev.satisfied_hour);
+        rows.emplace_back(s, sv, ev.mask(0), ev.mask(1), ev.distinct(),
+                          ev.packets(), ev.first_seen(), ev.satisfied_hour());
       });
   std::sort(rows.begin(), rows.end());
   return rows;

@@ -199,8 +199,8 @@ std::vector<EvidenceRow> snapshot(const core::ShardedDetector& det) {
   std::vector<EvidenceRow> rows;
   det.for_each_evidence([&](core::SubscriberKey s, core::ServiceId sv,
                             const core::Evidence& ev) {
-    rows.emplace_back(s, sv, ev.mask[0], ev.mask[1], ev.distinct, ev.packets,
-                      ev.first_seen, ev.satisfied_hour);
+    rows.emplace_back(s, sv, ev.mask(0), ev.mask(1), ev.distinct(), ev.packets(),
+                      ev.first_seen(), ev.satisfied_hour());
   });
   std::sort(rows.begin(), rows.end());
   return rows;

@@ -136,8 +136,8 @@ std::vector<EvidenceRow> snapshot(const T& holder) {
   std::vector<EvidenceRow> rows;
   holder.for_each_evidence(
       [&rows](SubscriberKey sub, ServiceId svc, const Evidence& ev) {
-        rows.emplace_back(sub, svc, ev.mask[0], ev.mask[1], ev.distinct,
-                          ev.packets, ev.first_seen, ev.satisfied_hour);
+        rows.emplace_back(sub, svc, ev.mask(0), ev.mask(1), ev.distinct(),
+                          ev.packets(), ev.first_seen(), ev.satisfied_hour());
       });
   std::sort(rows.begin(), rows.end());
   return rows;
@@ -257,26 +257,26 @@ INSTANTIATE_TEST_SUITE_P(Scenarios, VantageDifferentialTest,
 
 Evidence random_evidence(util::Pcg32& rng) {
   Evidence ev;
-  // Sparse-ish masks so merges actually change bit populations.
+  // Sparse-ish masks so merges actually change bit populations; distinct
+  // is derived from the mask by the packed layout.
   for (unsigned i = 0; i < 2; ++i) {
     std::uint64_t word = 0;
     const unsigned bits = rng.bounded(12);
     for (unsigned b = 0; b < bits; ++b) word |= 1ULL << rng.bounded(64);
-    ev.mask[i] = word;
+    ev.set_mask(i, word);
   }
-  ev.distinct = static_cast<std::uint16_t>(std::popcount(ev.mask[0]) +
-                                           std::popcount(ev.mask[1]));
-  ev.packets = rng.bounded(100000);
-  ev.first_seen = rng.bounded(500);
-  ev.satisfied_hour =
-      rng.chance(0.5) ? Evidence::kNever : rng.bounded(500);
+  ev.set_packets(rng.bounded(100000));
+  ev.set_first_seen(rng.bounded(500));
+  ev.set_satisfied_hour(rng.chance(0.5) ? Evidence::kNever
+                                        : rng.bounded(500));
   return ev;
 }
 
 bool same(const Evidence& a, const Evidence& b) {
-  return a.mask[0] == b.mask[0] && a.mask[1] == b.mask[1] &&
-         a.distinct == b.distinct && a.packets == b.packets &&
-         a.first_seen == b.first_seen && a.satisfied_hour == b.satisfied_hour;
+  return a.mask(0) == b.mask(0) && a.mask(1) == b.mask(1) &&
+         a.distinct() == b.distinct() && a.packets() == b.packets() &&
+         a.first_seen() == b.first_seen() &&
+         a.satisfied_hour() == b.satisfied_hour();
 }
 
 TEST(VantageMergeProperties, CommutativeIdempotentAssociative) {
@@ -338,7 +338,7 @@ TEST(VantageMergeProperties, SatisfactionIsMonotoneUnderMerge) {
     }
     // And satisfaction only ever depends on the mask/distinct, which the
     // merge grows: popcount(merged) >= popcount(a).
-    EXPECT_GE(merged.distinct, a.distinct);
+    EXPECT_GE(merged.distinct(), a.distinct());
   }
 }
 
@@ -478,7 +478,7 @@ TEST(VantageInternOrder, CollectorsWithDifferentLabelOrdersMergeCorrectly) {
   // though its row's label index is 1 in collector 1's table.
   const auto ev = agg.evidence(4, 0);
   ASSERT_TRUE(ev.has_value());
-  EXPECT_EQ(ev->mask[0], 2U);  // domain position 1
+  EXPECT_EQ(ev->mask(0), 2U);  // domain position 1
 }
 
 // --- crash-consistent save/restore (satellite) ---
@@ -853,7 +853,7 @@ TEST(VantageConcurrency, ConcurrentOffersAndQueriesConvergeDeterministically) {
       sink += concurrent.merged_through().value_or(0);
       sink += concurrent.healthy(0) ? 1 : 0;
       sink += concurrent.stats().flows;
-      if (const auto ev = concurrent.evidence(1, 0)) sink += ev->packets;
+      if (const auto ev = concurrent.evidence(1, 0)) sink += ev->packets();
     }
     EXPECT_GE(sink, 0U);
   }};
